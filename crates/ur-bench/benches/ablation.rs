@@ -1,0 +1,66 @@
+//! Law ablation bench: normalization/unification cost with the Figure-3
+//! laws enabled vs. selectively disabled, on workloads where the outcome
+//! is unchanged (ground rows), isolating the laws' overhead. (Workloads
+//! that *need* a law fail to elaborate without it — that is checked by
+//! `ur-infer/tests/ablation.rs`, not benchmarked.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+use ur_core::con::{Con, RCon};
+use ur_core::defeq::defeq;
+use ur_core::env::Env;
+use ur_core::kind::Kind;
+use ur_core::sym::Sym;
+use ur_core::{Cx, LawConfig};
+
+fn mapped_ground_row(n: usize) -> (RCon, RCon) {
+    let fields: Vec<(RCon, RCon)> = (0..n)
+        .map(|i| (Con::name(format!("F{i}")), Con::int()))
+        .collect();
+    let row = Con::row_of(Kind::Type, fields.clone());
+    let a = Sym::fresh("a");
+    let f = Con::lam(
+        a.clone(),
+        Kind::Type,
+        Con::arrow(Con::var(&a), Con::var(&a)),
+    );
+    let mapped = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&row));
+    let expanded = Con::row_of(
+        Kind::Type,
+        (0..n)
+            .map(|i| {
+                (
+                    Con::name(format!("F{i}")),
+                    Con::arrow(Con::int(), Con::int()),
+                )
+            })
+            .collect(),
+    );
+    (mapped, expanded)
+}
+
+fn bench_laws(c: &mut Criterion) {
+    let env = Env::new();
+    let (mapped, expanded) = mapped_ground_row(64);
+    let mut g = c.benchmark_group("law_ablation_defeq_map64");
+    g.bench_function("all_laws", |b| {
+        b.iter(|| {
+            let mut cx = Cx::new();
+            assert!(defeq(&env, &mut cx, &mapped, &expanded));
+        })
+    });
+    g.bench_function("no_identity", |b| {
+        b.iter(|| {
+            let mut cx = Cx::new();
+            cx.laws = LawConfig {
+                identity: false,
+                ..LawConfig::default()
+            };
+            assert!(defeq(&env, &mut cx, &mapped, &expanded));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_laws);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end elaboration cost: the §2 worked examples and every Figure-5
+//! case-study component (one benchmark per Figure-5 row), measuring the
+//! full §4 pipeline — constraint generation, postpone-and-retry solving,
+//! disjointness proving, and folder generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ur_studies::{studies, study, Study};
+use ur_web::Session;
+
+fn load_with_deps(s: &Study) -> Session {
+    let mut sess = Session::new().expect("session");
+    fn deps(sess: &mut Session, s: &Study) {
+        for d in s.deps {
+            let d = study(d);
+            deps(sess, &d);
+            sess.run(d.implementation()).expect("dep");
+        }
+    }
+    deps(&mut sess, s);
+    sess
+}
+
+fn bench_paper_examples(c: &mut Criterion) {
+    let proj = "fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
+                (x : $([nm = t] ++ r)) = x.nm\n\
+                val a = proj [#A] {A = 1, B = 2.3}";
+    c.bench_function("elaborate_proj", |b| {
+        b.iter(|| {
+            let mut sess = Session::new().unwrap();
+            sess.run(proj).unwrap();
+        })
+    });
+    c.bench_function("elaborate_session_bootstrap", |b| {
+        b.iter(|| Session::new().unwrap())
+    });
+}
+
+fn bench_studies(c: &mut Criterion) {
+    for s in studies() {
+        let id = s.id;
+        c.bench_function(&format!("elaborate_study_{id}"), |b| {
+            b.iter_batched(
+                || load_with_deps(&s),
+                |mut sess| {
+                    sess.run(s.implementation()).expect("study elaborates");
+                    sess
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_paper_examples, bench_studies);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Figure 5: code sizes of case-study components'
+//! interfaces and implementations, along with invocation counts for the
+//! critical pieces of type inference (disjointness prover; map-identity,
+//! map-distributivity, and map-fusion laws).
+//!
+//! Run with `cargo run -p ur-bench --bin figure5 --release`.
+
+fn main() {
+    println!("Figure 5 reproduction — paper vs. measured");
+    println!("(absolute numbers differ: our components are re-writings on a");
+    println!(" reduced substrate; the paper's claim is the *shape* — see");
+    println!(" EXPERIMENTS.md)");
+    println!();
+    let header = format!(
+        "{:18} {:>5} {:>5} {:>6} {:>5} {:>5} {:>5}   paper (Int/Imp/Disj/Id/Dist/Fuse)",
+        "Component", "Int.", "Imp.", "Disj.", "Id.", "Dist.", "Fuse"
+    );
+    println!("{header}");
+    let mut total_disj = 0;
+    for (rep, paper) in ur_bench::figure5_reports() {
+        let paper_s = match paper {
+            Some((i, m, d, id, di, fu)) => format!("{i}/{m}/{d}/{id}/{di}/{fu}"),
+            None => "(extra component, not in Fig. 5)".to_string(),
+        };
+        println!(
+            "{:18} {:>5} {:>5} {:>6} {:>5} {:>5} {:>5}   {}",
+            rep.title,
+            rep.interface_loc,
+            rep.impl_loc,
+            rep.stats.disjoint_prover_calls,
+            rep.stats.law_map_identity,
+            rep.stats.law_map_distrib,
+            rep.stats.law_map_fusion,
+            paper_s,
+        );
+        total_disj += rep.stats.disjoint_prover_calls;
+    }
+    println!();
+    println!("total disjointness prover invocations: {total_disj}");
+}

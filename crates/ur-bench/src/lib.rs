@@ -1,0 +1,72 @@
+//! # ur-bench — benchmark harness for the Ur reproduction
+//!
+//! The `figure5` binary regenerates the paper's only quantitative exhibit
+//! (Figure 5: per-component code sizes and inference-machinery invocation
+//! counts); the Criterion benches characterize the engine (row
+//! unification, disjointness proving, reverse-engineering, elaboration,
+//! evaluation, and the database substrate). See EXPERIMENTS.md for the
+//! recorded paper-vs-measured comparison.
+
+use ur_studies::{run_study, studies, StudyReport};
+
+/// A Figure-5 paper row: (interface LoC, implementation LoC, Disj., Id.,
+/// Dist., Fuse).
+pub type PaperRow = (u64, u64, u64, u64, u64, u64);
+
+/// Runs every Figure-5 component and returns its report, paired with the
+/// paper's row when one exists.
+///
+/// # Panics
+///
+/// Panics if any study fails to elaborate or run — the harness treats
+/// that as a broken build.
+pub fn figure5_reports() -> Vec<(StudyReport, Option<PaperRow>)> {
+    studies()
+        .iter()
+        .map(|s| {
+            let rep = run_study(s)
+                .unwrap_or_else(|e| panic!("study {} failed: {e}", s.id));
+            (rep, s.figure5)
+        })
+        .collect()
+}
+
+/// Renders the Figure-5 comparison as a markdown table.
+pub fn figure5_markdown() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Component | Int. | Imp. | Disj. | Id. | Dist. | Fuse | paper (Int/Imp/Disj/Id/Dist/Fuse) |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---|\n");
+    for (rep, paper) in figure5_reports() {
+        let paper_s = match paper {
+            Some((i, m, d, id, di, fu)) => format!("{i}/{m}/{d}/{id}/{di}/{fu}"),
+            None => "—".to_string(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            rep.title,
+            rep.interface_loc,
+            rep.impl_loc,
+            rep.stats.disjoint_prover_calls,
+            rep.stats.law_map_identity,
+            rep.stats.law_map_distrib,
+            rep.stats.law_map_fusion,
+            paper_s,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_table_renders() {
+        let md = figure5_markdown();
+        assert!(md.contains("ORM"));
+        assert!(md.contains("Versioned"));
+        assert!(md.contains("Spreadsh. (SQL)"));
+    }
+}

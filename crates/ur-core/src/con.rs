@@ -1,0 +1,288 @@
+//! Constructors (type-level terms) of Featherweight Ur (paper Figure 1).
+//!
+//! ```text
+//! c, t ::= t1 -> t2 | a | x :: k -> t | c c | fn a :: k => c
+//!        | #n | $c | [] | [c = c] | c ++ c | map | [c ~ c] => t
+//! ```
+//!
+//! extended with primitive base types, pairs (`(c, c)`, `c.1`, `c.2`) needed
+//! by the §2.2/§6 case studies, and constructor metavariables used during
+//! inference.
+
+use crate::kind::Kind;
+use crate::sym::Sym;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a constructor metavariable (unification variable).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MetaId(pub u32);
+
+impl fmt::Display for MetaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// Primitive base types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PrimType {
+    Int,
+    Float,
+    String,
+    Bool,
+    Unit,
+}
+
+impl fmt::Display for PrimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimType::Int => "int",
+            PrimType::Float => "float",
+            PrimType::String => "string",
+            PrimType::Bool => "bool",
+            PrimType::Unit => "unit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Reference-counted constructor; the AST is immutable and shared.
+pub type RCon = Rc<Con>;
+
+/// A constructor: the compile-time language of Ur. Types are the
+/// constructors of kind `Type`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Con {
+    /// A constructor variable `a` (bound by `Lam`, `Poly`, or the
+    /// environment).
+    Var(Sym),
+    /// A metavariable introduced during inference.
+    Meta(MetaId),
+    /// A primitive base type.
+    Prim(PrimType),
+    /// Function type `t1 -> t2`.
+    Arrow(RCon, RCon),
+    /// Polymorphic function type `a :: k -> t` (the variable may appear in
+    /// `t`).
+    Poly(Sym, Kind, RCon),
+    /// Guarded type `[c1 ~ c2] => t` (disjointness-constrained).
+    Guarded(RCon, RCon, RCon),
+    /// Constructor-level function `fn a :: k => c`.
+    Lam(Sym, Kind, RCon),
+    /// Application `c1 c2`.
+    App(RCon, RCon),
+    /// Name literal `#n`.
+    Name(Rc<str>),
+    /// Record type former `$c`, for `c :: {Type}`.
+    Record(RCon),
+    /// Empty row `[]` at element kind `k`.
+    RowNil(Kind),
+    /// Singleton row `[c1 = c2]`.
+    RowOne(RCon, RCon),
+    /// Row concatenation `c1 ++ c2`.
+    RowCat(RCon, RCon),
+    /// The `map` constant at kinds `(k1 -> k2) -> {k1} -> {k2}`.
+    Map(Kind, Kind),
+    /// The compiler-known `folder` type family at kind `{k} -> Type`
+    /// (paper §2.1/§4.4). Real Ur defines `folder` as a kind-polymorphic
+    /// library type; Featherweight Ur has no kind polymorphism, so we make
+    /// it a kind-indexed built-in. Applications `folder r` unfold on
+    /// demand to the polymorphic fold type (see `unfold_folder` in
+    /// `ur-infer`).
+    Folder(Kind),
+    /// Type-level pair `(c1, c2)`.
+    Pair(RCon, RCon),
+    /// First projection `c.1`.
+    Fst(RCon),
+    /// Second projection `c.2`.
+    Snd(RCon),
+}
+
+impl Con {
+    pub fn var(s: &Sym) -> RCon {
+        Rc::new(Con::Var(s.clone()))
+    }
+
+    pub fn meta(id: MetaId) -> RCon {
+        Rc::new(Con::Meta(id))
+    }
+
+    pub fn prim(p: PrimType) -> RCon {
+        Rc::new(Con::Prim(p))
+    }
+
+    pub fn int() -> RCon {
+        Con::prim(PrimType::Int)
+    }
+
+    pub fn float() -> RCon {
+        Con::prim(PrimType::Float)
+    }
+
+    pub fn string() -> RCon {
+        Con::prim(PrimType::String)
+    }
+
+    pub fn bool_() -> RCon {
+        Con::prim(PrimType::Bool)
+    }
+
+    pub fn unit() -> RCon {
+        Con::prim(PrimType::Unit)
+    }
+
+    pub fn arrow(a: RCon, b: RCon) -> RCon {
+        Rc::new(Con::Arrow(a, b))
+    }
+
+    pub fn poly(s: Sym, k: Kind, body: RCon) -> RCon {
+        Rc::new(Con::Poly(s, k, body))
+    }
+
+    pub fn guarded(c1: RCon, c2: RCon, t: RCon) -> RCon {
+        Rc::new(Con::Guarded(c1, c2, t))
+    }
+
+    pub fn lam(s: Sym, k: Kind, body: RCon) -> RCon {
+        Rc::new(Con::Lam(s, k, body))
+    }
+
+    pub fn app(f: RCon, a: RCon) -> RCon {
+        Rc::new(Con::App(f, a))
+    }
+
+    /// n-ary application.
+    pub fn apps(f: RCon, args: impl IntoIterator<Item = RCon>) -> RCon {
+        args.into_iter().fold(f, Con::app)
+    }
+
+    pub fn name(n: impl Into<Rc<str>>) -> RCon {
+        Rc::new(Con::Name(n.into()))
+    }
+
+    pub fn record(row: RCon) -> RCon {
+        Rc::new(Con::Record(row))
+    }
+
+    pub fn row_nil(k: Kind) -> RCon {
+        Rc::new(Con::RowNil(k))
+    }
+
+    pub fn row_one(n: RCon, v: RCon) -> RCon {
+        Rc::new(Con::RowOne(n, v))
+    }
+
+    pub fn row_cat(a: RCon, b: RCon) -> RCon {
+        Rc::new(Con::RowCat(a, b))
+    }
+
+    /// Builds a literal row `[n1 = v1] ++ ... ++ [nk = vk]` from
+    /// (name, value) pairs, or `[]` at `elem_kind` when empty.
+    pub fn row_of(elem_kind: Kind, fields: Vec<(RCon, RCon)>) -> RCon {
+        let mut it = fields.into_iter();
+        match it.next() {
+            None => Con::row_nil(elem_kind),
+            Some((n, v)) => {
+                let mut acc = Con::row_one(n, v);
+                for (n, v) in it {
+                    acc = Con::row_cat(acc, Con::row_one(n, v));
+                }
+                acc
+            }
+        }
+    }
+
+    /// `map` fully applied: `map f r` at the given kinds.
+    pub fn map_app(k1: Kind, k2: Kind, f: RCon, r: RCon) -> RCon {
+        Con::app(Con::app(Rc::new(Con::Map(k1, k2)), f), r)
+    }
+
+    /// The `folder` family at element kind `k`.
+    pub fn folder(k: Kind) -> RCon {
+        Rc::new(Con::Folder(k))
+    }
+
+    pub fn pair(a: RCon, b: RCon) -> RCon {
+        Rc::new(Con::Pair(a, b))
+    }
+
+    pub fn fst(c: RCon) -> RCon {
+        Rc::new(Con::Fst(c))
+    }
+
+    pub fn snd(c: RCon) -> RCon {
+        Rc::new(Con::Snd(c))
+    }
+
+    /// If this constructor is a spine `h a1 ... an`, returns the head and
+    /// arguments.
+    pub fn spine(self: &Rc<Self>) -> (RCon, Vec<RCon>) {
+        let mut args = Vec::new();
+        let mut cur = Rc::clone(self);
+        while let Con::App(f, a) = &*cur {
+            args.push(Rc::clone(a));
+            let next = Rc::clone(f);
+            cur = next;
+        }
+        args.reverse();
+        (cur, args)
+    }
+
+    /// True for metavariable occurrences.
+    pub fn is_meta(&self) -> bool {
+        matches!(self, Con::Meta(_))
+    }
+}
+
+impl fmt::Display for Con {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_con(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_decomposition() {
+        let f = Con::var(&Sym::fresh("f"));
+        let a = Con::int();
+        let b = Con::string();
+        let app = Con::apps(Rc::clone(&f), [a.clone(), b.clone()]);
+        let (head, args) = app.spine();
+        assert_eq!(&*head, &*f);
+        assert_eq!(args.len(), 2);
+        assert_eq!(&*args[0], &*a);
+        assert_eq!(&*args[1], &*b);
+    }
+
+    #[test]
+    fn row_of_empty_is_nil() {
+        let r = Con::row_of(Kind::Type, vec![]);
+        assert!(matches!(&*r, Con::RowNil(Kind::Type)));
+    }
+
+    #[test]
+    fn row_of_builds_left_nested_cats() {
+        let r = Con::row_of(
+            Kind::Type,
+            vec![
+                (Con::name("A"), Con::int()),
+                (Con::name("B"), Con::float()),
+                (Con::name("C"), Con::bool_()),
+            ],
+        );
+        match &*r {
+            Con::RowCat(l, _) => assert!(matches!(&**l, Con::RowCat(_, _))),
+            other => panic!("expected RowCat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prim_display() {
+        assert_eq!(PrimType::Int.to_string(), "int");
+        assert_eq!(PrimType::Unit.to_string(), "unit");
+    }
+}

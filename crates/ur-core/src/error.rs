@@ -1,0 +1,113 @@
+//! Error type shared by the core judgments.
+
+use crate::con::RCon;
+use crate::kind::Kind;
+use crate::sym::Sym;
+use std::fmt;
+
+/// Errors raised by kinding, typing, and disjointness checking.
+#[derive(Clone, Debug)]
+pub enum CoreError {
+    /// A constructor variable was not bound in the context.
+    UnboundConVar(Sym),
+    /// A value variable was not bound in the context.
+    UnboundVar(Sym),
+    /// A constructor had kind `got` where `expected` was required.
+    KindMismatch {
+        expected: Kind,
+        got: Kind,
+        context: String,
+    },
+    /// A constructor was expected to have a function kind.
+    NotArrowKind(RCon, Kind),
+    /// A constructor was expected to have a pair kind.
+    NotPairKind(RCon, Kind),
+    /// An expression of function type was required.
+    NotFunction(RCon),
+    /// An expression of polymorphic type was required.
+    NotPolymorphic(RCon),
+    /// An expression of guarded type was required.
+    NotGuarded(RCon),
+    /// An expression of record type was required.
+    NotRecord(RCon),
+    /// Projection or cut of a field that the record does not (provably)
+    /// contain.
+    FieldMissing { record_type: RCon, field: RCon },
+    /// Two types failed definitional equality.
+    TypeMismatch { expected: RCon, got: RCon },
+    /// A disjointness obligation could not be proved.
+    DisjointnessFailed { left: RCon, right: RCon },
+    /// A disjointness obligation is definitely violated (shared literal
+    /// name).
+    DisjointnessRefuted {
+        left: RCon,
+        right: RCon,
+        name: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnboundConVar(s) => write!(f, "unbound constructor variable {s}"),
+            CoreError::UnboundVar(s) => write!(f, "unbound variable {s}"),
+            CoreError::KindMismatch {
+                expected,
+                got,
+                context,
+            } => write!(f, "kind mismatch in {context}: expected {expected}, got {got}"),
+            CoreError::NotArrowKind(c, k) => {
+                write!(f, "constructor {c} has kind {k}, not a function kind")
+            }
+            CoreError::NotPairKind(c, k) => {
+                write!(f, "constructor {c} has kind {k}, not a pair kind")
+            }
+            CoreError::NotFunction(t) => write!(f, "expected a function, but type is {t}"),
+            CoreError::NotPolymorphic(t) => {
+                write!(f, "expected a polymorphic value, but type is {t}")
+            }
+            CoreError::NotGuarded(t) => {
+                write!(f, "expected a guarded (constraint) type, but type is {t}")
+            }
+            CoreError::NotRecord(t) => write!(f, "expected a record, but type is {t}"),
+            CoreError::FieldMissing { record_type, field } => {
+                write!(f, "record type {record_type} has no (provable) field {field}")
+            }
+            CoreError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            CoreError::DisjointnessFailed { left, right } => {
+                write!(f, "cannot prove disjointness {left} ~ {right}")
+            }
+            CoreError::DisjointnessRefuted { left, right, name } => write!(
+                f,
+                "rows {left} and {right} share the field name #{name}; they are not disjoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::con::Con;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::TypeMismatch {
+            expected: Con::int(),
+            got: Con::string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("int"));
+        assert!(s.contains("string"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::UnboundVar(Sym::fresh("x")));
+        assert!(e.to_string().contains("unbound"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Expressions (value-level terms) of Featherweight Ur (paper Figure 1).
+//!
+//! ```text
+//! e ::= x | e e | fn x : t => e | e [c] | fn a :: k => e
+//!     | {} | {c = e} | e.c | e -- c | e ++ e
+//!     | fn [c ~ c] => e | e !
+//! ```
+//!
+//! extended with literals, `let`, and `if` (surface conveniences that
+//! elaborate to core directly).
+
+use crate::con::RCon;
+use crate::kind::Kind;
+use crate::sym::Sym;
+use std::fmt;
+use std::rc::Rc;
+
+/// Reference-counted expression.
+pub type RExpr = Rc<Expr>;
+
+/// Literal constants.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Bool(bool),
+    Unit,
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(n) => write!(f, "{n}"),
+            Lit::Float(x) => write!(f, "{x:?}"),
+            Lit::Str(s) => write!(f, "{s:?}"),
+            Lit::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Lit::Unit => write!(f, "()"),
+        }
+    }
+}
+
+/// A core expression, produced by elaboration and consumed by the type
+/// checker ([`crate::typing`]) and the evaluator (`ur-eval`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Variable occurrence.
+    Var(Sym),
+    /// Literal constant.
+    Lit(Lit),
+    /// Application `e1 e2`.
+    App(RExpr, RExpr),
+    /// Value abstraction `fn x : t => e`.
+    Lam(Sym, RCon, RExpr),
+    /// Constructor application `e [c]`.
+    CApp(RExpr, RCon),
+    /// Constructor abstraction `fn a :: k => e`.
+    CLam(Sym, Kind, RExpr),
+    /// Empty record `{}`.
+    RecNil,
+    /// Singleton record `{c = e}`.
+    RecOne(RCon, RExpr),
+    /// Record concatenation `e1 ++ e2`.
+    RecCat(RExpr, RExpr),
+    /// Field projection `e.c`.
+    Proj(RExpr, RCon),
+    /// Field removal `e -- c`.
+    Cut(RExpr, RCon),
+    /// Guard abstraction `fn [c1 ~ c2] => e`.
+    DLam(RCon, RCon, RExpr),
+    /// Guard elimination `e !` — discharges the head disjointness
+    /// constraint of `e`'s type (the proof is always inferred; there is no
+    /// proof-term syntax, per the paper's design principle 1).
+    DApp(RExpr),
+    /// `let x : t = e1 in e2`.
+    Let(Sym, RCon, RExpr, RExpr),
+    /// `if e1 then e2 else e3`.
+    If(RExpr, RExpr, RExpr),
+}
+
+impl Expr {
+    pub fn var(s: &Sym) -> RExpr {
+        Rc::new(Expr::Var(s.clone()))
+    }
+
+    pub fn lit(l: Lit) -> RExpr {
+        Rc::new(Expr::Lit(l))
+    }
+
+    pub fn app(f: RExpr, a: RExpr) -> RExpr {
+        Rc::new(Expr::App(f, a))
+    }
+
+    pub fn apps(f: RExpr, args: impl IntoIterator<Item = RExpr>) -> RExpr {
+        args.into_iter().fold(f, Expr::app)
+    }
+
+    pub fn lam(x: Sym, t: RCon, body: RExpr) -> RExpr {
+        Rc::new(Expr::Lam(x, t, body))
+    }
+
+    pub fn capp(e: RExpr, c: RCon) -> RExpr {
+        Rc::new(Expr::CApp(e, c))
+    }
+
+    pub fn clam(a: Sym, k: Kind, body: RExpr) -> RExpr {
+        Rc::new(Expr::CLam(a, k, body))
+    }
+
+    pub fn rec_nil() -> RExpr {
+        Rc::new(Expr::RecNil)
+    }
+
+    pub fn rec_one(n: RCon, e: RExpr) -> RExpr {
+        Rc::new(Expr::RecOne(n, e))
+    }
+
+    pub fn rec_cat(a: RExpr, b: RExpr) -> RExpr {
+        Rc::new(Expr::RecCat(a, b))
+    }
+
+    /// Builds an n-ary record literal as a chain of concatenations.
+    pub fn record(fields: Vec<(RCon, RExpr)>) -> RExpr {
+        let mut it = fields.into_iter();
+        match it.next() {
+            None => Expr::rec_nil(),
+            Some((n, e)) => {
+                let mut acc = Expr::rec_one(n, e);
+                for (n, e) in it {
+                    acc = Expr::rec_cat(acc, Expr::rec_one(n, e));
+                }
+                acc
+            }
+        }
+    }
+
+    pub fn proj(e: RExpr, c: RCon) -> RExpr {
+        Rc::new(Expr::Proj(e, c))
+    }
+
+    pub fn cut(e: RExpr, c: RCon) -> RExpr {
+        Rc::new(Expr::Cut(e, c))
+    }
+
+    pub fn dlam(c1: RCon, c2: RCon, body: RExpr) -> RExpr {
+        Rc::new(Expr::DLam(c1, c2, body))
+    }
+
+    pub fn dapp(e: RExpr) -> RExpr {
+        Rc::new(Expr::DApp(e))
+    }
+
+    pub fn let_(x: Sym, t: RCon, bound: RExpr, body: RExpr) -> RExpr {
+        Rc::new(Expr::Let(x, t, bound, body))
+    }
+
+    pub fn if_(c: RExpr, t: RExpr, e: RExpr) -> RExpr {
+        Rc::new(Expr::If(c, t, e))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_expr(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::con::Con;
+
+    #[test]
+    fn record_builder_empty() {
+        assert!(matches!(&*Expr::record(vec![]), Expr::RecNil));
+    }
+
+    #[test]
+    fn record_builder_singleton() {
+        let e = Expr::record(vec![(Con::name("A"), Expr::lit(Lit::Int(1)))]);
+        assert!(matches!(&*e, Expr::RecOne(_, _)));
+    }
+
+    #[test]
+    fn record_builder_many() {
+        let e = Expr::record(vec![
+            (Con::name("A"), Expr::lit(Lit::Int(1))),
+            (Con::name("B"), Expr::lit(Lit::Float(2.3))),
+        ]);
+        assert!(matches!(&*e, Expr::RecCat(_, _)));
+    }
+
+    #[test]
+    fn lit_display() {
+        assert_eq!(Lit::Int(42).to_string(), "42");
+        assert_eq!(Lit::Bool(true).to_string(), "True");
+        assert_eq!(Lit::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Lit::Unit.to_string(), "()");
+    }
+}

@@ -1,0 +1,203 @@
+//! The compiler-known `folder` type family (paper §2.1, §4.4).
+//!
+//! `folder r` is the type of permutations of the fields of `r`, definable
+//! in source Ur as a first-class polymorphic fold:
+//!
+//! ```text
+//! type folder (r :: {k}) =
+//!   tf :: ({k} -> Type) ->
+//!   (nm :: Name -> t :: k -> r :: {k} -> [[nm = t] ~ r] =>
+//!      tf r -> tf ([nm = t] ++ r)) ->
+//!   tf [] -> tf r
+//! ```
+//!
+//! Real Ur makes this kind-polymorphic in its library; Featherweight Ur
+//! has no kind polymorphism, so [`Con::Folder`] is a kind-indexed
+//! built-in whose applications unfold on demand to the type above.
+//! Instances are *generated* by the elaborator after inference (§4.4),
+//! using [`gen_folder`], with the permutation implied by source field
+//! order.
+
+use crate::con::{Con, RCon};
+use crate::expr::{Expr, RExpr};
+use crate::kind::Kind;
+use crate::sym::Sym;
+use std::rc::Rc;
+
+/// The type of a fold step function, abstracted over the accumulator
+/// family variable `tf`:
+///
+/// ```text
+/// nm :: Name -> t :: k -> r :: {k} -> [[nm = t] ~ r] =>
+///    tf r -> tf ([nm = t] ++ r)
+/// ```
+pub fn folder_step_type(k: &Kind, tf: &Sym) -> RCon {
+    let nm = Sym::fresh("nm");
+    let t = Sym::fresh("t");
+    let r = Sym::fresh("r");
+    let single = Con::row_one(Con::var(&nm), Con::var(&t));
+    Con::poly(
+        nm.clone(),
+        Kind::Name,
+        Con::poly(
+            t.clone(),
+            k.clone(),
+            Con::poly(
+                r.clone(),
+                Kind::row(k.clone()),
+                Con::guarded(
+                    single.clone(),
+                    Con::var(&r),
+                    Con::arrow(
+                        Con::app(Con::var(tf), Con::var(&r)),
+                        Con::app(Con::var(tf), Con::row_cat(single, Con::var(&r))),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The `folder` type unfolded at element kind `k` and row `r`.
+pub fn unfold_folder(k: &Kind, r: &RCon) -> RCon {
+    let tf = Sym::fresh("tf");
+    let step_ty = folder_step_type(k, &tf);
+    Con::poly(
+        tf.clone(),
+        Kind::arrow(Kind::row(k.clone()), Kind::Type),
+        Con::arrow(
+            step_ty,
+            Con::arrow(
+                Con::app(Con::var(&tf), Con::row_nil(k.clone())),
+                Con::app(Con::var(&tf), Rc::clone(r)),
+            ),
+        ),
+    )
+}
+
+/// If `t` is a saturated folder application `folder r`, returns the
+/// element kind and row.
+pub fn as_folder_app(t: &RCon) -> Option<(Kind, RCon)> {
+    let (head, args) = t.spine();
+    match (&*head, args.len()) {
+        (Con::Folder(k), 1) => Some((k.clone(), Rc::clone(&args[0]))),
+        _ => None,
+    }
+}
+
+/// Generates the folder *value* for a literal row, in the given field
+/// order (§4.4):
+///
+/// ```text
+/// fn [tf :: {k} -> Type] => fn step : STEP => fn init : tf [] =>
+///   step [#f1] [t1] [[f2 = t2, ...]] !
+///     (step [#f2] [t2] [[f3 = t3, ...]] ! (... (step [#fn] [tn] [[]] ! init)))
+/// ```
+///
+/// The outermost `step` call processes the *first* field, so a fold whose
+/// step prepends output (like `mkTable`) lists fields in source order.
+pub fn gen_folder(k: &Kind, fields: &[(Rc<str>, RCon)]) -> RExpr {
+    let tf = Sym::fresh("tf");
+    let step = Sym::fresh("step");
+    let init = Sym::fresh("init");
+    let step_ty = folder_step_type(k, &tf);
+    let mut body = Expr::var(&init);
+    let mut acc_row = Con::row_nil(k.clone());
+    for (name, ty) in fields.iter().rev() {
+        let call = Expr::capp(
+            Expr::capp(
+                Expr::capp(Expr::var(&step), Con::name(Rc::clone(name))),
+                Rc::clone(ty),
+            ),
+            acc_row.clone(),
+        );
+        body = Expr::app(Expr::dapp(call), body);
+        acc_row = Con::row_cat(
+            Con::row_one(Con::name(Rc::clone(name)), Rc::clone(ty)),
+            acc_row,
+        );
+    }
+    Expr::clam(
+        tf.clone(),
+        Kind::arrow(Kind::row(k.clone()), Kind::Type),
+        Expr::lam(
+            step,
+            step_ty,
+            Expr::lam(
+                init,
+                Con::app(Con::var(&tf), Con::row_nil(k.clone())),
+                body,
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defeq::defeq;
+    use crate::env::Env;
+    use crate::typing::type_of;
+    use crate::Cx;
+
+    #[test]
+    fn as_folder_app_recognizes() {
+        let r = Con::row_one(Con::name("A"), Con::int());
+        let t = Con::app(Con::folder(Kind::Type), r.clone());
+        let (k, row) = as_folder_app(&t).unwrap();
+        assert_eq!(k, Kind::Type);
+        assert_eq!(&*row, &*r);
+        assert!(as_folder_app(&Con::int()).is_none());
+    }
+
+    #[test]
+    fn generated_folder_typechecks_against_unfolding() {
+        // The generated folder for [A = int, B = float] must have the
+        // unfolded folder type.
+        let env = Env::new();
+        let mut cx = Cx::new();
+        let fields: Vec<(Rc<str>, RCon)> = vec![
+            ("A".into(), Con::int()),
+            ("B".into(), Con::float()),
+        ];
+        let term = gen_folder(&Kind::Type, &fields);
+        let got = type_of(&env, &mut cx, &term).expect("folder term typechecks");
+        let row = Con::row_of(
+            Kind::Type,
+            vec![
+                (Con::name("A"), Con::int()),
+                (Con::name("B"), Con::float()),
+            ],
+        );
+        let want = unfold_folder(&Kind::Type, &row);
+        assert!(
+            defeq(&env, &mut cx, &got, &want),
+            "got {got}\nwant {want}"
+        );
+    }
+
+    #[test]
+    fn generated_folder_for_empty_row_typechecks() {
+        let env = Env::new();
+        let mut cx = Cx::new();
+        let term = gen_folder(&Kind::Type, &[]);
+        let got = type_of(&env, &mut cx, &term).expect("empty folder typechecks");
+        let want = unfold_folder(&Kind::Type, &Con::row_nil(Kind::Type));
+        assert!(defeq(&env, &mut cx, &got, &want));
+    }
+
+    #[test]
+    fn generated_folder_at_pair_kind_typechecks() {
+        // toDb-style folders over {Type * Type}.
+        let env = Env::new();
+        let mut cx = Cx::new();
+        let pk = Kind::pair(Kind::Type, Kind::Type);
+        let fields: Vec<(Rc<str>, RCon)> =
+            vec![("A".into(), Con::pair(Con::int(), Con::string()))];
+        let term = gen_folder(&pk, &fields);
+        let got = type_of(&env, &mut cx, &term).expect("pair-kind folder typechecks");
+        let row = Con::row_one(Con::name("A"), Con::pair(Con::int(), Con::string()));
+        let want = unfold_folder(&pk, &row);
+        assert!(defeq(&env, &mut cx, &got, &want));
+    }
+}

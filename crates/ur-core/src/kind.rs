@@ -1,0 +1,159 @@
+//! Kinds of Featherweight Ur (paper Figure 1), extended with pair kinds.
+//!
+//! ```text
+//! k ::= Type | Name | k -> k | {k} | k * k
+//! ```
+//!
+//! The paper's case studies additionally use records of *pairs* of types
+//! (kind `{Type * Type}`, §2.2) and triples (§6, spreadsheet); we therefore
+//! include binary product kinds, from which triples are built by nesting.
+//!
+//! Kind metavariables ([`Kind::Meta`]) exist only during inference: the
+//! elaborator creates them for un-annotated constructor binders and solves
+//! them by first-order kind unification (see `ur-infer`).
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a kind metavariable allocated in a [`crate::meta::MetaCx`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct KMetaId(pub u32);
+
+impl fmt::Display for KMetaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?k{}", self.0)
+    }
+}
+
+/// A kind, classifying constructors.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    /// Kind of ordinary types (`Type`).
+    Type,
+    /// Kind of field names (`Name`).
+    Name,
+    /// Kind of type-level functions (`k1 -> k2`).
+    Arrow(Rc<Kind>, Rc<Kind>),
+    /// Kind of type-level records / rows (`{k}`).
+    Row(Rc<Kind>),
+    /// Kind of type-level pairs (`k1 * k2`).
+    Pair(Rc<Kind>, Rc<Kind>),
+    /// A kind metavariable (inference only).
+    Meta(KMetaId),
+}
+
+impl Kind {
+    /// `k1 -> k2`.
+    pub fn arrow(k1: Kind, k2: Kind) -> Kind {
+        Kind::Arrow(Rc::new(k1), Rc::new(k2))
+    }
+
+    /// `{k}`.
+    pub fn row(k: Kind) -> Kind {
+        Kind::Row(Rc::new(k))
+    }
+
+    /// `k1 * k2`.
+    pub fn pair(k1: Kind, k2: Kind) -> Kind {
+        Kind::Pair(Rc::new(k1), Rc::new(k2))
+    }
+
+    /// True if this kind contains no metavariables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Kind::Type | Kind::Name => true,
+            Kind::Arrow(a, b) | Kind::Pair(a, b) => a.is_ground() && b.is_ground(),
+            Kind::Row(k) => k.is_ground(),
+            Kind::Meta(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_kind(self, f, 0)
+    }
+}
+
+/// Precedence levels: 0 = arrow (lowest), 1 = pair, 2 = atom.
+fn fmt_kind(k: &Kind, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match k {
+        Kind::Type => write!(f, "Type"),
+        Kind::Name => write!(f, "Name"),
+        Kind::Meta(m) => write!(f, "{m}"),
+        Kind::Row(inner) => {
+            write!(f, "{{")?;
+            fmt_kind(inner, f, 0)?;
+            write!(f, "}}")
+        }
+        Kind::Arrow(a, b) => {
+            if prec > 0 {
+                write!(f, "(")?;
+            }
+            fmt_kind(a, f, 1)?;
+            write!(f, " -> ")?;
+            fmt_kind(b, f, 0)?;
+            if prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Kind::Pair(a, b) => {
+            if prec > 1 {
+                write!(f, "(")?;
+            }
+            fmt_kind(a, f, 2)?;
+            write!(f, " * ")?;
+            fmt_kind(b, f, 1)?;
+            if prec > 1 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple() {
+        assert_eq!(Kind::Type.to_string(), "Type");
+        assert_eq!(Kind::Name.to_string(), "Name");
+        assert_eq!(Kind::row(Kind::Type).to_string(), "{Type}");
+    }
+
+    #[test]
+    fn display_arrow_right_assoc() {
+        let k = Kind::arrow(Kind::Type, Kind::arrow(Kind::Type, Kind::Name));
+        assert_eq!(k.to_string(), "Type -> Type -> Name");
+    }
+
+    #[test]
+    fn display_arrow_left_parenthesized() {
+        let k = Kind::arrow(Kind::arrow(Kind::Type, Kind::Type), Kind::Name);
+        assert_eq!(k.to_string(), "(Type -> Type) -> Name");
+    }
+
+    #[test]
+    fn display_row_of_pairs() {
+        let k = Kind::row(Kind::pair(Kind::Type, Kind::Type));
+        assert_eq!(k.to_string(), "{Type * Type}");
+    }
+
+    #[test]
+    fn display_nested_pair() {
+        // Triples as used by the spreadsheet case study.
+        let k = Kind::pair(Kind::Type, Kind::pair(Kind::Type, Kind::Type));
+        assert_eq!(k.to_string(), "Type * Type * Type");
+        let k2 = Kind::pair(Kind::pair(Kind::Type, Kind::Type), Kind::Type);
+        assert_eq!(k2.to_string(), "(Type * Type) * Type");
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Kind::arrow(Kind::Type, Kind::row(Kind::Name)).is_ground());
+        assert!(!Kind::arrow(Kind::Meta(KMetaId(0)), Kind::Type).is_ground());
+    }
+}

@@ -1,0 +1,339 @@
+//! The kinding judgment `G |- c :: k` (paper Figure 2, plus the standard
+//! F-omega rules).
+
+use crate::con::{Con, RCon};
+use crate::defeq::{kinds_eq, MutCxRef};
+use crate::env::Env;
+use crate::error::CoreError;
+use crate::kind::Kind;
+use crate::Cx;
+
+/// Computes the kind of `c` in `env`.
+///
+/// This checker does *not* verify the disjointness side condition on row
+/// concatenation — during inference that side condition becomes a queued
+/// constraint. Use [`kind_of_strict`] to additionally enforce it, as the
+/// declarative Figure 2 rules do.
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] when `c` is ill-kinded or mentions unbound
+/// variables.
+pub fn kind_of(env: &Env, cx: &mut Cx, c: &RCon) -> Result<Kind, CoreError> {
+    kind_of_inner(env, cx, c, false)
+}
+
+/// Like [`kind_of`], but also requires every row concatenation to have
+/// provably disjoint operands (Figure 2's side condition `G |- c1 ~ c2`).
+///
+/// # Errors
+///
+/// Additionally fails with [`CoreError::DisjointnessFailed`] when a
+/// concatenation's disjointness cannot be proved.
+pub fn kind_of_strict(env: &Env, cx: &mut Cx, c: &RCon) -> Result<Kind, CoreError> {
+    kind_of_inner(env, cx, c, true)
+}
+
+fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind, CoreError> {
+    match &**c {
+        Con::Var(a) => env
+            .lookup_con(a)
+            .map(|b| b.kind.clone())
+            .ok_or_else(|| CoreError::UnboundConVar(a.clone())),
+        Con::Meta(m) => Ok(cx.metas.kind_of(*m).clone()),
+        Con::Prim(_) => Ok(Kind::Type),
+        Con::Arrow(t1, t2) => {
+            expect_kind(env, cx, t1, &Kind::Type, "function domain", strict)?;
+            expect_kind(env, cx, t2, &Kind::Type, "function range", strict)?;
+            Ok(Kind::Type)
+        }
+        Con::Poly(a, k, t) => {
+            let mut env2 = env.clone();
+            env2.bind_con(a.clone(), k.clone());
+            expect_kind(&env2, cx, t, &Kind::Type, "polymorphic body", strict)?;
+            Ok(Kind::Type)
+        }
+        Con::Guarded(c1, c2, t) => {
+            let k1 = kind_of_inner(env, cx, c1, strict)?;
+            let k2 = kind_of_inner(env, cx, c2, strict)?;
+            expect_row(cx, c1, &k1)?;
+            expect_row(cx, c2, &k2)?;
+            let mut env2 = env.clone();
+            env2.assume_disjoint(c1.clone(), c2.clone());
+            expect_kind(&env2, cx, t, &Kind::Type, "guarded body", strict)?;
+            Ok(Kind::Type)
+        }
+        Con::Lam(a, k, body) => {
+            let mut env2 = env.clone();
+            env2.bind_con(a.clone(), k.clone());
+            let kb = kind_of_inner(&env2, cx, body, strict)?;
+            Ok(Kind::arrow(k.clone(), kb))
+        }
+        Con::App(f, a) => {
+            let kf = kind_of_inner(env, cx, f, strict)?;
+            match cx.metas.resolve_kind(&kf) {
+                Kind::Arrow(dom, ran) => {
+                    let ka = kind_of_inner(env, cx, a, strict)?;
+                    if !kinds_eq(&MutCxRef(&cx.metas), &ka, &dom) {
+                        return Err(CoreError::KindMismatch {
+                            expected: (*dom).clone(),
+                            got: ka,
+                            context: format!("argument of {f}"),
+                        });
+                    }
+                    Ok((*ran).clone())
+                }
+                other => Err(CoreError::NotArrowKind(f.clone(), other)),
+            }
+        }
+        Con::Name(_) => Ok(Kind::Name),
+        Con::Record(r) => {
+            expect_kind(env, cx, r, &Kind::row(Kind::Type), "record row", strict)?;
+            Ok(Kind::Type)
+        }
+        Con::RowNil(k) => Ok(Kind::row(k.clone())),
+        Con::RowOne(n, v) => {
+            expect_kind(env, cx, n, &Kind::Name, "field name", strict)?;
+            let kv = kind_of_inner(env, cx, v, strict)?;
+            Ok(Kind::row(kv))
+        }
+        Con::RowCat(a, b) => {
+            let ka = kind_of_inner(env, cx, a, strict)?;
+            let kb = kind_of_inner(env, cx, b, strict)?;
+            if !kinds_eq(&MutCxRef(&cx.metas), &ka, &kb) {
+                return Err(CoreError::KindMismatch {
+                    expected: ka,
+                    got: kb,
+                    context: "row concatenation".to_string(),
+                });
+            }
+            expect_row(cx, a, &ka)?;
+            if strict {
+                match crate::disjoint::prove(env, cx, a, b) {
+                    crate::disjoint::ProveResult::Proved => {}
+                    _ => {
+                        return Err(CoreError::DisjointnessFailed {
+                            left: a.clone(),
+                            right: b.clone(),
+                        })
+                    }
+                }
+            }
+            Ok(ka)
+        }
+        Con::Folder(k) => Ok(Kind::arrow(Kind::row(k.clone()), Kind::Type)),
+        Con::Map(k1, k2) => Ok(Kind::arrow(
+            Kind::arrow(k1.clone(), k2.clone()),
+            Kind::arrow(Kind::row(k1.clone()), Kind::row(k2.clone())),
+        )),
+        Con::Pair(a, b) => {
+            let ka = kind_of_inner(env, cx, a, strict)?;
+            let kb = kind_of_inner(env, cx, b, strict)?;
+            Ok(Kind::pair(ka, kb))
+        }
+        Con::Fst(p) => {
+            let kp = kind_of_inner(env, cx, p, strict)?;
+            match cx.metas.resolve_kind(&kp) {
+                Kind::Pair(a, _) => Ok((*a).clone()),
+                other => Err(CoreError::NotPairKind(p.clone(), other)),
+            }
+        }
+        Con::Snd(p) => {
+            let kp = kind_of_inner(env, cx, p, strict)?;
+            match cx.metas.resolve_kind(&kp) {
+                Kind::Pair(_, b) => Ok((*b).clone()),
+                other => Err(CoreError::NotPairKind(p.clone(), other)),
+            }
+        }
+    }
+}
+
+fn expect_kind(
+    env: &Env,
+    cx: &mut Cx,
+    c: &RCon,
+    want: &Kind,
+    context: &str,
+    strict: bool,
+) -> Result<(), CoreError> {
+    let got = kind_of_inner(env, cx, c, strict)?;
+    if kinds_eq(&MutCxRef(&cx.metas), &got, want) {
+        Ok(())
+    } else {
+        Err(CoreError::KindMismatch {
+            expected: want.clone(),
+            got,
+            context: context.to_string(),
+        })
+    }
+}
+
+fn expect_row(cx: &Cx, c: &RCon, k: &Kind) -> Result<(), CoreError> {
+    match cx.metas.resolve_kind(k) {
+        Kind::Row(_) | Kind::Meta(_) => Ok(()),
+        other => Err(CoreError::KindMismatch {
+            expected: Kind::row(Kind::Type),
+            got: other,
+            context: format!("row expected for {c}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::Sym;
+    use std::rc::Rc;
+
+    fn setup() -> (Env, Cx) {
+        (Env::new(), Cx::new())
+    }
+
+    #[test]
+    fn prims_are_types() {
+        let (env, mut cx) = setup();
+        assert_eq!(kind_of(&env, &mut cx, &Con::int()).unwrap(), Kind::Type);
+    }
+
+    #[test]
+    fn names_have_kind_name() {
+        let (env, mut cx) = setup();
+        assert_eq!(
+            kind_of(&env, &mut cx, &Con::name("A")).unwrap(),
+            Kind::Name
+        );
+    }
+
+    #[test]
+    fn rows_and_records() {
+        let (env, mut cx) = setup();
+        let row = Con::row_one(Con::name("A"), Con::int());
+        assert_eq!(
+            kind_of(&env, &mut cx, &row).unwrap(),
+            Kind::row(Kind::Type)
+        );
+        assert_eq!(
+            kind_of(&env, &mut cx, &Con::record(row)).unwrap(),
+            Kind::Type
+        );
+    }
+
+    #[test]
+    fn record_of_non_type_row_rejected() {
+        let (env, mut cx) = setup();
+        let row = Con::row_one(Con::name("A"), Con::name("B")); // {Name}
+        assert!(kind_of(&env, &mut cx, &Con::record(row)).is_err());
+    }
+
+    #[test]
+    fn unbound_var_errors() {
+        let (env, mut cx) = setup();
+        let a = Sym::fresh("a");
+        assert!(matches!(
+            kind_of(&env, &mut cx, &Con::var(&a)),
+            Err(CoreError::UnboundConVar(_))
+        ));
+    }
+
+    #[test]
+    fn poly_guarded_types() {
+        // nm :: Name -> r :: {Type} -> [[nm = int] ~ r] => $([nm = int] ++ r) -> int
+        let (env, mut cx) = setup();
+        let nm = Sym::fresh("nm");
+        let r = Sym::fresh("r");
+        let single = Con::row_one(Con::var(&nm), Con::int());
+        let t = Con::poly(
+            nm.clone(),
+            Kind::Name,
+            Con::poly(
+                r.clone(),
+                Kind::row(Kind::Type),
+                Con::guarded(
+                    single.clone(),
+                    Con::var(&r),
+                    Con::arrow(
+                        Con::record(Con::row_cat(single, Con::var(&r))),
+                        Con::int(),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(kind_of(&env, &mut cx, &t).unwrap(), Kind::Type);
+    }
+
+    #[test]
+    fn map_constant_kind() {
+        let (env, mut cx) = setup();
+        let m = Rc::new(Con::Map(Kind::Type, Kind::Type));
+        let k = kind_of(&env, &mut cx, &m).unwrap();
+        assert_eq!(
+            k,
+            Kind::arrow(
+                Kind::arrow(Kind::Type, Kind::Type),
+                Kind::arrow(Kind::row(Kind::Type), Kind::row(Kind::Type))
+            )
+        );
+    }
+
+    #[test]
+    fn applied_map_kind() {
+        let (mut env, mut cx) = setup();
+        let rv = Sym::fresh("r");
+        env.bind_con(rv.clone(), Kind::row(Kind::Type));
+        let a = Sym::fresh("a");
+        let f = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let m = Con::map_app(Kind::Type, Kind::Type, f, Con::var(&rv));
+        assert_eq!(kind_of(&env, &mut cx, &m).unwrap(), Kind::row(Kind::Type));
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        let (env, mut cx) = setup();
+        let p = Con::pair(Con::int(), Con::name("A"));
+        assert_eq!(
+            kind_of(&env, &mut cx, &p).unwrap(),
+            Kind::pair(Kind::Type, Kind::Name)
+        );
+        assert_eq!(kind_of(&env, &mut cx, &Con::fst(p.clone())).unwrap(), Kind::Type);
+        assert_eq!(kind_of(&env, &mut cx, &Con::snd(p)).unwrap(), Kind::Name);
+    }
+
+    #[test]
+    fn app_kind_mismatch_rejected() {
+        let (env, mut cx) = setup();
+        let a = Sym::fresh("a");
+        let f = Con::lam(a.clone(), Kind::Name, Con::var(&a));
+        let app = Con::app(f, Con::int()); // int :: Type, wanted Name
+        assert!(kind_of(&env, &mut cx, &app).is_err());
+    }
+
+    #[test]
+    fn strict_kinding_rejects_overlapping_concat() {
+        let (env, mut cx) = setup();
+        let r1 = Con::row_one(Con::name("A"), Con::int());
+        let r2 = Con::row_one(Con::name("A"), Con::float());
+        let cat = Con::row_cat(r1, r2);
+        assert!(kind_of(&env, &mut cx, &cat).is_ok());
+        assert!(kind_of_strict(&env, &mut cx, &cat).is_err());
+    }
+
+    #[test]
+    fn strict_kinding_accepts_disjoint_concat() {
+        let (env, mut cx) = setup();
+        let r1 = Con::row_one(Con::name("A"), Con::int());
+        let r2 = Con::row_one(Con::name("B"), Con::float());
+        let cat = Con::row_cat(r1, r2);
+        assert_eq!(
+            kind_of_strict(&env, &mut cx, &cat).unwrap(),
+            Kind::row(Kind::Type)
+        );
+    }
+
+    #[test]
+    fn row_cat_elem_kind_mismatch_rejected() {
+        let (env, mut cx) = setup();
+        let r1 = Con::row_one(Con::name("A"), Con::int()); // {Type}
+        let r2 = Con::row_one(Con::name("B"), Con::name("C")); // {Name}
+        assert!(kind_of(&env, &mut cx, &Con::row_cat(r1, r2)).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Metavariable contexts: arenas of constructor and kind unification
+//! variables.
+//!
+//! The elaborator allocates a fresh [`MetaId`] for every implicit argument
+//! and wildcard; unification solves them by writing into the arena.
+//! [`MetaCx::resolve`] follows solution chains (path compression is not
+//! needed at our scale; chains are short).
+
+use crate::con::{Con, MetaId, RCon};
+use crate::kind::{KMetaId, Kind};
+use std::rc::Rc;
+
+/// One constructor metavariable: its kind and, once solved, its value.
+#[derive(Clone, Debug)]
+struct MetaEntry {
+    kind: Kind,
+    solution: Option<RCon>,
+    /// Human-readable origin, for error messages ("implicit argument r of
+    /// mkTable").
+    origin: String,
+}
+
+/// One kind metavariable.
+#[derive(Clone, Debug, Default)]
+struct KMetaEntry {
+    solution: Option<Kind>,
+}
+
+/// Arena of constructor and kind metavariables.
+#[derive(Clone, Debug, Default)]
+pub struct MetaCx {
+    metas: Vec<MetaEntry>,
+    kmetas: Vec<KMetaEntry>,
+}
+
+impl MetaCx {
+    pub fn new() -> MetaCx {
+        MetaCx::default()
+    }
+
+    /// Allocates a fresh constructor metavariable of the given kind.
+    pub fn fresh(&mut self, kind: Kind, origin: impl Into<String>) -> MetaId {
+        let id = MetaId(self.metas.len() as u32);
+        self.metas.push(MetaEntry {
+            kind,
+            solution: None,
+            origin: origin.into(),
+        });
+        id
+    }
+
+    /// Allocates a fresh constructor metavariable and returns it as a
+    /// constructor.
+    pub fn fresh_con(&mut self, kind: Kind, origin: impl Into<String>) -> RCon {
+        Con::meta(self.fresh(kind, origin))
+    }
+
+    /// Allocates a fresh kind metavariable.
+    pub fn fresh_kind(&mut self) -> Kind {
+        let id = KMetaId(self.kmetas.len() as u32);
+        self.kmetas.push(KMetaEntry::default());
+        Kind::Meta(id)
+    }
+
+    /// The declared kind of a metavariable.
+    pub fn kind_of(&self, id: MetaId) -> &Kind {
+        &self.metas[id.0 as usize].kind
+    }
+
+    /// The origin string of a metavariable.
+    pub fn origin_of(&self, id: MetaId) -> &str {
+        &self.metas[id.0 as usize].origin
+    }
+
+    /// The solution, if any (not followed transitively).
+    pub fn solution(&self, id: MetaId) -> Option<&RCon> {
+        self.metas[id.0 as usize].solution.as_ref()
+    }
+
+    /// Records a solution for an unsolved metavariable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metavariable was already solved; callers must check
+    /// first (re-solving indicates a unifier bug).
+    pub fn solve(&mut self, id: MetaId, c: RCon) {
+        let entry = &mut self.metas[id.0 as usize];
+        assert!(
+            entry.solution.is_none(),
+            "metavariable {id} already solved"
+        );
+        entry.solution = Some(c);
+    }
+
+    /// Records a solution for a kind metavariable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already solved.
+    pub fn solve_kind(&mut self, id: KMetaId, k: Kind) {
+        let entry = &mut self.kmetas[id.0 as usize];
+        assert!(entry.solution.is_none(), "kind metavariable {id} already solved");
+        entry.solution = Some(k);
+    }
+
+    /// Follows metavariable solutions at the head of `c` until reaching a
+    /// non-meta constructor or an unsolved metavariable.
+    pub fn resolve(&self, c: &RCon) -> RCon {
+        let mut cur = Rc::clone(c);
+        loop {
+            match &*cur {
+                Con::Meta(id) => match self.solution(*id) {
+                    Some(sol) => cur = Rc::clone(sol),
+                    None => return cur,
+                },
+                _ => return cur,
+            }
+        }
+    }
+
+    /// Follows kind-metavariable solutions at the head of `k`.
+    pub fn resolve_kind(&self, k: &Kind) -> Kind {
+        let mut cur = k.clone();
+        loop {
+            match cur {
+                Kind::Meta(id) => match &self.kmetas[id.0 as usize].solution {
+                    Some(sol) => cur = sol.clone(),
+                    None => return Kind::Meta(id),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// Fully substitutes solved kind metavariables throughout `k`.
+    pub fn zonk_kind(&self, k: &Kind) -> Kind {
+        match self.resolve_kind(k) {
+            Kind::Arrow(a, b) => Kind::arrow(self.zonk_kind(&a), self.zonk_kind(&b)),
+            Kind::Row(a) => Kind::row(self.zonk_kind(&a)),
+            Kind::Pair(a, b) => Kind::pair(self.zonk_kind(&a), self.zonk_kind(&b)),
+            other => other,
+        }
+    }
+
+    /// Fully substitutes solved metavariables (constructor and kind)
+    /// throughout `c`.
+    pub fn zonk(&self, c: &RCon) -> RCon {
+        let c = self.resolve(c);
+        match &*c {
+            Con::Var(_) | Con::Meta(_) | Con::Prim(_) | Con::Name(_) => c,
+            Con::Arrow(a, b) => Con::arrow(self.zonk(a), self.zonk(b)),
+            Con::Poly(s, k, t) => Con::poly(s.clone(), self.zonk_kind(k), self.zonk(t)),
+            Con::Guarded(a, b, t) => Con::guarded(self.zonk(a), self.zonk(b), self.zonk(t)),
+            Con::Lam(s, k, t) => Con::lam(s.clone(), self.zonk_kind(k), self.zonk(t)),
+            Con::App(f, a) => Con::app(self.zonk(f), self.zonk(a)),
+            Con::Record(r) => Con::record(self.zonk(r)),
+            Con::RowNil(k) => Con::row_nil(self.zonk_kind(k)),
+            Con::RowOne(n, v) => Con::row_one(self.zonk(n), self.zonk(v)),
+            Con::RowCat(a, b) => Con::row_cat(self.zonk(a), self.zonk(b)),
+            Con::Map(k1, k2) => Rc::new(Con::Map(self.zonk_kind(k1), self.zonk_kind(k2))),
+            Con::Folder(k) => Con::folder(self.zonk_kind(k)),
+            Con::Pair(a, b) => Con::pair(self.zonk(a), self.zonk(b)),
+            Con::Fst(a) => Con::fst(self.zonk(a)),
+            Con::Snd(a) => Con::snd(self.zonk(a)),
+        }
+    }
+
+    /// Number of allocated constructor metavariables.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True if no constructor metavariables were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Iterator over unsolved constructor metavariables.
+    pub fn unsolved(&self) -> impl Iterator<Item = MetaId> + '_ {
+        self.metas
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.solution.is_none())
+            .map(|(i, _)| MetaId(i as u32))
+    }
+
+    /// True if `c` contains an occurrence of `id` (after resolving solved
+    /// metas). Used as the occurs check.
+    pub fn occurs(&self, id: MetaId, c: &RCon) -> bool {
+        let c = self.resolve(c);
+        match &*c {
+            Con::Meta(m) => *m == id,
+            Con::Var(_) | Con::Prim(_) | Con::Name(_) | Con::Map(_, _) | Con::Folder(_) => {
+                false
+            }
+            Con::Arrow(a, b) | Con::RowCat(a, b) | Con::RowOne(a, b) | Con::Pair(a, b) => {
+                self.occurs(id, a) || self.occurs(id, b)
+            }
+            Con::App(a, b) => self.occurs(id, a) || self.occurs(id, b),
+            Con::Poly(_, _, t) | Con::Lam(_, _, t) => self.occurs(id, t),
+            Con::Guarded(a, b, t) => {
+                self.occurs(id, a) || self.occurs(id, b) || self.occurs(id, t)
+            }
+            Con::Record(r) | Con::Fst(r) | Con::Snd(r) => self.occurs(id, r),
+            Con::RowNil(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::con::PrimType;
+
+    #[test]
+    fn fresh_and_solve() {
+        let mut cx = MetaCx::new();
+        let m = cx.fresh(Kind::Type, "test");
+        assert!(cx.solution(m).is_none());
+        cx.solve(m, Con::int());
+        assert_eq!(&**cx.solution(m).unwrap(), &Con::Prim(PrimType::Int));
+    }
+
+    #[test]
+    #[should_panic(expected = "already solved")]
+    fn double_solve_panics() {
+        let mut cx = MetaCx::new();
+        let m = cx.fresh(Kind::Type, "test");
+        cx.solve(m, Con::int());
+        cx.solve(m, Con::float());
+    }
+
+    #[test]
+    fn resolve_follows_chains() {
+        let mut cx = MetaCx::new();
+        let m1 = cx.fresh(Kind::Type, "a");
+        let m2 = cx.fresh(Kind::Type, "b");
+        cx.solve(m1, Con::meta(m2));
+        cx.solve(m2, Con::int());
+        let r = cx.resolve(&Con::meta(m1));
+        assert_eq!(&*r, &Con::Prim(PrimType::Int));
+    }
+
+    #[test]
+    fn zonk_rewrites_deeply() {
+        let mut cx = MetaCx::new();
+        let m = cx.fresh(Kind::Type, "t");
+        cx.solve(m, Con::int());
+        let c = Con::arrow(Con::meta(m), Con::string());
+        let z = cx.zonk(&c);
+        match &*z {
+            Con::Arrow(a, _) => assert_eq!(&**a, &Con::Prim(PrimType::Int)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut cx = MetaCx::new();
+        let m = cx.fresh(Kind::Type, "t");
+        let other = cx.fresh(Kind::Type, "u");
+        let c = Con::arrow(Con::meta(m), Con::int());
+        assert!(cx.occurs(m, &c));
+        assert!(!cx.occurs(other, &c));
+    }
+
+    #[test]
+    fn occurs_through_solutions() {
+        let mut cx = MetaCx::new();
+        let m1 = cx.fresh(Kind::Type, "a");
+        let m2 = cx.fresh(Kind::Type, "b");
+        cx.solve(m2, Con::arrow(Con::meta(m1), Con::int()));
+        assert!(cx.occurs(m1, &Con::meta(m2)));
+    }
+
+    #[test]
+    fn kind_meta_resolution() {
+        let mut cx = MetaCx::new();
+        let k = cx.fresh_kind();
+        if let Kind::Meta(id) = k {
+            cx.solve_kind(id, Kind::Type);
+        }
+        assert_eq!(cx.resolve_kind(&k), Kind::Type);
+        let deep = Kind::arrow(k.clone(), Kind::Name);
+        assert_eq!(cx.zonk_kind(&deep), Kind::arrow(Kind::Type, Kind::Name));
+    }
+
+    #[test]
+    fn unsolved_iterator() {
+        let mut cx = MetaCx::new();
+        let a = cx.fresh(Kind::Type, "a");
+        let b = cx.fresh(Kind::Type, "b");
+        cx.solve(a, Con::int());
+        let unsolved: Vec<MetaId> = cx.unsolved().collect();
+        assert_eq!(unsolved, vec![b]);
+    }
+}

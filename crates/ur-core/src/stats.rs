@@ -1,0 +1,130 @@
+//! Inference-statistics counters, the instrumentation behind the paper's
+//! Figure 5.
+//!
+//! The paper reports, per case-study component, "how many times the main
+//! type inference procedure invoked the disjointness prover, along with how
+//! many times inference applied the map-over-identity-function, map
+//! distributivity, and map fusion laws". [`Stats`] counts exactly those
+//! events (plus a few extra counters useful for the ablation benches).
+
+use std::fmt;
+
+/// Counters incremented by normalization, unification, and the disjointness
+/// prover.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Invocations of the disjointness prover on a goal (Fig. 5 "Disj.").
+    pub disjoint_prover_calls: u64,
+    /// Applications of `map (fn a => a) c = c` (Fig. 5 "Id.").
+    pub law_map_identity: u64,
+    /// Applications of `map f (c1 ++ c2) = map f c1 ++ map f c2`
+    /// (Fig. 5 "Dist.").
+    pub law_map_distrib: u64,
+    /// Applications of `map f (map g c) = map (fn a => f (g a)) c`
+    /// (Fig. 5 "Fuse").
+    pub law_map_fusion: u64,
+    /// Row normalizations performed.
+    pub row_normalizations: u64,
+    /// Unification subproblems attempted.
+    pub unify_calls: u64,
+    /// Constraints postponed at least once.
+    pub constraints_postponed: u64,
+    /// Folder instances generated automatically (§4.4).
+    pub folders_generated: u64,
+    /// Reverse-engineering unification successes (§4.2).
+    pub reverse_engineered: u64,
+}
+
+impl Stats {
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.disjoint_prover_calls += other.disjoint_prover_calls;
+        self.law_map_identity += other.law_map_identity;
+        self.law_map_distrib += other.law_map_distrib;
+        self.law_map_fusion += other.law_map_fusion;
+        self.row_normalizations += other.row_normalizations;
+        self.unify_calls += other.unify_calls;
+        self.constraints_postponed += other.constraints_postponed;
+        self.folders_generated += other.folders_generated;
+        self.reverse_engineered += other.reverse_engineered;
+    }
+
+    /// The difference `self - earlier`, counter-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `earlier` exceeds the corresponding counter
+    /// of `self` (i.e. `earlier` is not actually an earlier snapshot).
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        Stats {
+            disjoint_prover_calls: self.disjoint_prover_calls - earlier.disjoint_prover_calls,
+            law_map_identity: self.law_map_identity - earlier.law_map_identity,
+            law_map_distrib: self.law_map_distrib - earlier.law_map_distrib,
+            law_map_fusion: self.law_map_fusion - earlier.law_map_fusion,
+            row_normalizations: self.row_normalizations - earlier.row_normalizations,
+            unify_calls: self.unify_calls - earlier.unify_calls,
+            constraints_postponed: self.constraints_postponed - earlier.constraints_postponed,
+            folders_generated: self.folders_generated - earlier.folders_generated,
+            reverse_engineered: self.reverse_engineered - earlier.reverse_engineered,
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "disj={} id={} dist={} fuse={} (rows={} unify={} postponed={} folders={} reveng={})",
+            self.disjoint_prover_calls,
+            self.law_map_identity,
+            self.law_map_distrib,
+            self.law_map_fusion,
+            self.row_normalizations,
+            self.unify_calls,
+            self.constraints_postponed,
+            self.folders_generated,
+            self.reverse_engineered,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds() {
+        let mut a = Stats::new();
+        a.disjoint_prover_calls = 3;
+        let mut b = Stats::new();
+        b.disjoint_prover_calls = 4;
+        b.law_map_fusion = 1;
+        a.absorb(&b);
+        assert_eq!(a.disjoint_prover_calls, 7);
+        assert_eq!(a.law_map_fusion, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut early = Stats::new();
+        early.unify_calls = 10;
+        let mut late = early.clone();
+        late.unify_calls = 25;
+        late.law_map_identity = 2;
+        let d = late.since(&early);
+        assert_eq!(d.unify_calls, 15);
+        assert_eq!(d.law_map_identity, 2);
+    }
+
+    #[test]
+    fn display_mentions_all_figure5_columns() {
+        let s = Stats::new().to_string();
+        for key in ["disj=", "id=", "dist=", "fuse="] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! The database engine: tables, sequences, DML operations, and a SQL-text
+//! query log.
+//!
+//! The log records, for every operation, the SQL statement an Ur/Web
+//! deployment would have sent to a real server — useful both for the
+//! examples (showing generated SQL) and for the injection-safety tests
+//! (asserting the statements are correctly escaped).
+
+use crate::error::DbError;
+use crate::expr::SqlExpr;
+use crate::table::{Schema, Table};
+use crate::value::DbVal;
+use std::collections::HashMap;
+
+/// An in-memory relational database.
+#[derive(Clone, Debug, Default)]
+pub struct Db {
+    tables: HashMap<String, Table>,
+    sequences: HashMap<String, i64>,
+    log: Vec<String>,
+}
+
+impl Db {
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::TableExists`] on duplicates.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), DbError> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.log
+            .push(format!("CREATE TABLE \"{name}\" {schema};"));
+        self.tables.insert(name.to_string(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Creates a sequence starting at 1.
+    pub fn create_sequence(&mut self, name: &str) {
+        self.log.push(format!("CREATE SEQUENCE \"{name}\";"));
+        self.sequences.entry(name.to_string()).or_insert(1);
+    }
+
+    /// Returns the next value of a sequence, then increments it.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::UnknownSequence`] when absent.
+    pub fn nextval(&mut self, name: &str) -> Result<i64, DbError> {
+        let v = self
+            .sequences
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownSequence(name.to_string()))?;
+        let out = *v;
+        *v += 1;
+        self.log
+            .push(format!("SELECT NEXTVAL('\"{name}\"');"));
+        Ok(out)
+    }
+
+    /// The schema of a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::UnknownTable`] when absent.
+    pub fn schema(&self, table: &str) -> Result<&Schema, DbError> {
+        self.tables
+            .get(table)
+            .map(|t| &t.schema)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts a row given as (column, value-expression) pairs; the
+    /// expressions may not reference columns (Ur/Web types them in the
+    /// empty environment, `exp []`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table/columns or a type-invalid row.
+    pub fn insert(&mut self, table: &str, values: &[(String, SqlExpr)]) -> Result<(), DbError> {
+        let schema = self.table(table)?.schema.clone();
+        let empty = Schema::new(vec![])?;
+        let mut row = vec![DbVal::Null; schema.len()];
+        let mut provided = vec![false; schema.len()];
+        for (col, e) in values {
+            let idx = schema
+                .index_of(col)
+                .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+            row[idx] = e.eval(&empty, &[])?;
+            provided[idx] = true;
+        }
+        for (i, p) in provided.iter().enumerate() {
+            if !p && !schema.columns()[i].1.nullable() {
+                return Err(DbError::TypeError(format!(
+                    "column {} has no value and is not nullable",
+                    schema.columns()[i].0
+                )));
+            }
+        }
+        schema.check_row(&row)?;
+        let cols: Vec<String> = values.iter().map(|(c, _)| format!("\"{c}\"")).collect();
+        let vals: Vec<String> = values.iter().map(|(_, e)| e.to_sql()).collect();
+        self.log.push(format!(
+            "INSERT INTO \"{table}\" ({}) VALUES ({});",
+            cols.join(", "),
+            vals.join(", ")
+        ));
+        self.table_mut(table)?.rows.push(row);
+        Ok(())
+    }
+
+    /// Deletes all rows satisfying `pred`; returns the number removed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table or ill-typed predicate.
+    pub fn delete(&mut self, table: &str, pred: &SqlExpr) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let schema = t.schema.clone();
+        pred.check(&schema)?;
+        let mut kept = Vec::new();
+        let mut removed = 0;
+        for row in &t.rows {
+            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
+                removed += 1;
+            } else {
+                kept.push(row.clone());
+            }
+        }
+        self.log.push(format!(
+            "DELETE FROM \"{table}\" WHERE {};",
+            pred.to_sql()
+        ));
+        self.table_mut(table)?.rows = kept;
+        Ok(removed)
+    }
+
+    /// Updates the given columns on all rows satisfying `pred`; returns
+    /// the number of rows changed. Value expressions may reference the
+    /// row's current columns.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table/columns or ill-typed expressions.
+    pub fn update(
+        &mut self,
+        table: &str,
+        changes: &[(String, SqlExpr)],
+        pred: &SqlExpr,
+    ) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let schema = t.schema.clone();
+        pred.check(&schema)?;
+        let mut idxs = Vec::new();
+        for (col, e) in changes {
+            let idx = schema
+                .index_of(col)
+                .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
+            e.check(&schema)?;
+            idxs.push(idx);
+        }
+        let mut changed = 0;
+        let mut rows = t.rows.clone();
+        for row in &mut rows {
+            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
+                let mut new_row = row.clone();
+                for ((_, e), idx) in changes.iter().zip(&idxs) {
+                    new_row[*idx] = e.eval(&schema, row)?;
+                }
+                schema.check_row(&new_row)?;
+                *row = new_row;
+                changed += 1;
+            }
+        }
+        let sets: Vec<String> = changes
+            .iter()
+            .map(|(c, e)| format!("\"{c}\" = {}", e.to_sql()))
+            .collect();
+        self.log.push(format!(
+            "UPDATE \"{table}\" SET {} WHERE {};",
+            sets.join(", "),
+            pred.to_sql()
+        ));
+        self.table_mut(table)?.rows = rows;
+        Ok(changed)
+    }
+
+    /// Returns (a copy of) all rows satisfying `pred`, in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table or ill-typed predicate.
+    pub fn select(&mut self, table: &str, pred: &SqlExpr) -> Result<Vec<Vec<DbVal>>, DbError> {
+        let t = self.table(table)?;
+        let schema = &t.schema;
+        pred.check(schema)?;
+        let mut out = Vec::new();
+        for row in &t.rows {
+            if matches!(pred.eval(schema, row)?, DbVal::Bool(true)) {
+                out.push(row.clone());
+            }
+        }
+        self.log.push(format!(
+            "SELECT * FROM \"{table}\" WHERE {};",
+            pred.to_sql()
+        ));
+        Ok(out)
+    }
+
+    /// Returns rows satisfying `pred`, ordered ascending by `order_col`,
+    /// skipping `offset` rows and returning at most `limit`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table/column, ill-typed predicate, or an
+    /// unorderable column.
+    pub fn select_ordered(
+        &mut self,
+        table: &str,
+        pred: &SqlExpr,
+        order_col: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Vec<Vec<DbVal>>, DbError> {
+        let t = self.table(table)?;
+        let schema = t.schema.clone();
+        pred.check(&schema)?;
+        let idx = schema
+            .index_of(order_col)
+            .ok_or_else(|| DbError::UnknownColumn(order_col.to_string()))?;
+        let mut matching = Vec::new();
+        for row in &t.rows {
+            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
+                matching.push(row.clone());
+            }
+        }
+        // Stable sort; NULLs last, as in SQL's default NULLS LAST.
+        matching.sort_by(|a, b| match a[idx].sql_cmp(&b[idx]) {
+            Some(o) => o,
+            None => match (&a[idx], &b[idx]) {
+                (DbVal::Null, DbVal::Null) => std::cmp::Ordering::Equal,
+                (DbVal::Null, _) => std::cmp::Ordering::Greater,
+                (_, DbVal::Null) => std::cmp::Ordering::Less,
+                _ => std::cmp::Ordering::Equal,
+            },
+        });
+        self.log.push(format!(
+            "SELECT * FROM \"{table}\" WHERE {} ORDER BY \"{order_col}\" \
+             LIMIT {limit} OFFSET {offset};",
+            pred.to_sql()
+        ));
+        Ok(matching.into_iter().skip(offset).take(limit).collect())
+    }
+
+    /// Number of rows in a table.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table.
+    pub fn row_count(&self, table: &str) -> Result<usize, DbError> {
+        Ok(self.table(table)?.rows.len())
+    }
+
+    /// The SQL statements issued so far.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Clears the query log.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Names of all tables (sorted, for deterministic output).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColTy;
+
+    fn two_col_db() -> Db {
+        let mut db = Db::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ("A".into(), ColTy::Int),
+                ("B".into(), ColTy::Str),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn ins(db: &mut Db, a: i64, b: &str) {
+        db.insert(
+            "t",
+            &[
+                ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+                ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn insert_and_select_roundtrip() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "x");
+        ins(&mut db, 2, "y");
+        let rows = db
+            .select("t", &SqlExpr::lit(DbVal::Bool(true)))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![DbVal::Int(1), DbVal::Str("x".into())]);
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "x");
+        ins(&mut db, 2, "y");
+        let pred = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(2)));
+        let rows = db.select("t", &pred).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], DbVal::Str("y".into()));
+    }
+
+    #[test]
+    fn delete_removes_matching() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "x");
+        ins(&mut db, 2, "y");
+        ins(&mut db, 3, "z");
+        let pred = SqlExpr::Lt(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(3))),
+        );
+        assert_eq!(db.delete("t", &pred).unwrap(), 2);
+        assert_eq!(db.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn update_changes_matching_rows() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "x");
+        ins(&mut db, 2, "y");
+        let pred = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(1)));
+        let changed = db
+            .update(
+                "t",
+                &[(
+                    "B".into(),
+                    SqlExpr::lit(DbVal::Str("updated".into())),
+                )],
+                &pred,
+            )
+            .unwrap();
+        assert_eq!(changed, 1);
+        let rows = db.select("t", &pred).unwrap();
+        assert_eq!(rows[0][1], DbVal::Str("updated".into()));
+    }
+
+    #[test]
+    fn update_sees_old_row_values() {
+        // UPDATE t SET A = A + 1 — expressions reference the pre-update row.
+        let mut db = two_col_db();
+        ins(&mut db, 10, "x");
+        let bump = SqlExpr::Add(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(1))),
+        );
+        db.update("t", &[("A".into(), bump)], &SqlExpr::lit(DbVal::Bool(true)))
+            .unwrap();
+        let rows = db
+            .select("t", &SqlExpr::lit(DbVal::Bool(true)))
+            .unwrap();
+        assert_eq!(rows[0][0], DbVal::Int(11));
+    }
+
+    #[test]
+    fn insert_missing_non_nullable_fails() {
+        let mut db = two_col_db();
+        let err = db
+            .insert("t", &[("A".into(), SqlExpr::lit(DbVal::Int(1)))])
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeError(_)));
+    }
+
+    #[test]
+    fn insert_wrong_type_fails() {
+        let mut db = two_col_db();
+        let err = db
+            .insert(
+                "t",
+                &[
+                    ("A".into(), SqlExpr::lit(DbVal::Str("no".into()))),
+                    ("B".into(), SqlExpr::lit(DbVal::Str("x".into()))),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeError(_)));
+    }
+
+    #[test]
+    fn nullable_columns_accept_null() {
+        let mut db = Db::new();
+        db.create_table(
+            "v",
+            Schema::new(vec![
+                ("K".into(), ColTy::Int),
+                ("D".into(), ColTy::Nullable(Box::new(ColTy::Str))),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("v", &[("K".into(), SqlExpr::lit(DbVal::Int(1)))])
+            .unwrap();
+        let rows = db
+            .select("v", &SqlExpr::is_null(SqlExpr::col("D")))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn sequences() {
+        let mut db = Db::new();
+        db.create_sequence("s");
+        assert_eq!(db.nextval("s").unwrap(), 1);
+        assert_eq!(db.nextval("s").unwrap(), 2);
+        assert!(db.nextval("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = two_col_db();
+        let err = db
+            .create_table("t", Schema::new(vec![]).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DbError::TableExists(_)));
+    }
+
+    #[test]
+    fn query_log_records_escaped_sql() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "Robert'); DROP TABLE Students;--");
+        let log = db.log().join("\n");
+        assert!(log.contains("INSERT INTO \"t\""));
+        // The malicious quote is doubled in the log.
+        assert!(log.contains("Robert''); DROP TABLE Students;--"));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Db::new();
+        db.create_table("zz", Schema::new(vec![]).unwrap()).unwrap();
+        db.create_table("aa", Schema::new(vec![]).unwrap()).unwrap();
+        assert_eq!(db.table_names(), vec!["aa".to_string(), "zz".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod ordered_tests {
+    use super::*;
+    use crate::value::ColTy;
+
+    fn db_with_rows() -> Db {
+        let mut db = Db::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ("A".into(), ColTy::Int),
+                ("B".into(), ColTy::Str),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        for (a, b) in [(3, "c"), (1, "a"), (2, "b"), (5, "e"), (4, "d")] {
+            db.insert(
+                "t",
+                &[
+                    ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+                    ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ordered_select_sorts_limits_offsets() {
+        let mut db = db_with_rows();
+        let rows = db
+            .select_ordered("t", &SqlExpr::lit(DbVal::Bool(true)), "A", 1, 2)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], DbVal::Int(2));
+        assert_eq!(rows[1][0], DbVal::Int(3));
+    }
+
+    #[test]
+    fn ordered_select_respects_predicate() {
+        let mut db = db_with_rows();
+        let pred = SqlExpr::Lt(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(4))),
+        );
+        let rows = db.select_ordered("t", &pred, "A", 0, 10).unwrap();
+        let vals: Vec<&DbVal> = rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(vals, vec![&DbVal::Int(1), &DbVal::Int(2), &DbVal::Int(3)]);
+    }
+
+    #[test]
+    fn ordered_select_unknown_column_fails() {
+        let mut db = db_with_rows();
+        assert!(db
+            .select_ordered("t", &SqlExpr::lit(DbVal::Bool(true)), "Z", 0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn ordered_select_logs_order_by() {
+        let mut db = db_with_rows();
+        db.select_ordered("t", &SqlExpr::lit(DbVal::Bool(true)), "B", 0, 3)
+            .unwrap();
+        assert!(db.log().last().unwrap().contains("ORDER BY \"B\""));
+    }
+
+    #[test]
+    fn nulls_sort_last() {
+        let mut db = Db::new();
+        db.create_table(
+            "n",
+            Schema::new(vec![(
+                "A".into(),
+                ColTy::Nullable(Box::new(ColTy::Int)),
+            )])
+            .unwrap(),
+        )
+        .unwrap();
+        for v in [DbVal::Null, DbVal::Int(2), DbVal::Int(1)] {
+            db.insert("n", &[("A".into(), SqlExpr::lit(v))]).unwrap();
+        }
+        let rows = db
+            .select_ordered("n", &SqlExpr::lit(DbVal::Bool(true)), "A", 0, 10)
+            .unwrap();
+        assert_eq!(rows[0][0], DbVal::Int(1));
+        assert_eq!(rows[2][0], DbVal::Null);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type of the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the in-memory database engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The named sequence does not exist.
+    UnknownSequence(String),
+    /// The named column does not exist in the schema.
+    UnknownColumn(String),
+    /// A dynamic or static type error in a row or expression.
+    TypeError(String),
+    /// Schema construction failed.
+    SchemaError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::TableExists(t) => write!(f, "table {t} already exists"),
+            DbError::UnknownSequence(s) => write!(f, "unknown sequence {s}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            DbError::TypeError(m) => write!(f, "type error: {m}"),
+            DbError::SchemaError(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            DbError::UnknownTable("t".into()).to_string(),
+            "unknown table t"
+        );
+    }
+}

@@ -1,0 +1,361 @@
+//! SQL expression trees: the runtime representation of the Ur/Web `exp`
+//! type family.
+//!
+//! Ur/Web's typed embedding guarantees that every expression reaching the
+//! engine is well-typed against its table schema; the engine still
+//! validates dynamically ([`SqlExpr::check`]) so that the property tests
+//! can confirm the static layer never lets a bad expression through.
+
+use crate::error::DbError;
+use crate::table::Schema;
+use crate::value::{ColTy, DbVal};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL scalar expression over the columns of one table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExpr {
+    /// A constant.
+    Const(DbVal),
+    /// A column reference.
+    Column(String),
+    /// `a = b` (three-valued).
+    Eq(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a < b`.
+    Lt(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a <= b`.
+    Le(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a AND b`.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a OR b`.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// `NOT a`.
+    Not(Box<SqlExpr>),
+    /// `a IS NULL`.
+    IsNull(Box<SqlExpr>),
+    /// Arithmetic `a + b` (ints and floats).
+    Add(Box<SqlExpr>, Box<SqlExpr>),
+    /// Arithmetic `a * b`.
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+}
+
+impl SqlExpr {
+    pub fn col(name: impl Into<String>) -> SqlExpr {
+        SqlExpr::Column(name.into())
+    }
+
+    pub fn lit(v: DbVal) -> SqlExpr {
+        SqlExpr::Const(v)
+    }
+
+    pub fn eq(a: SqlExpr, b: SqlExpr) -> SqlExpr {
+        SqlExpr::Eq(Box::new(a), Box::new(b))
+    }
+
+    pub fn and(a: SqlExpr, b: SqlExpr) -> SqlExpr {
+        SqlExpr::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: SqlExpr, b: SqlExpr) -> SqlExpr {
+        SqlExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    #[allow(clippy::should_implement_trait)] // SQL NOT, deliberately method-like
+    pub fn not(a: SqlExpr) -> SqlExpr {
+        SqlExpr::Not(Box::new(a))
+    }
+
+    pub fn is_null(a: SqlExpr) -> SqlExpr {
+        SqlExpr::IsNull(Box::new(a))
+    }
+
+    /// Evaluates against one row (three-valued logic: `NULL` propagates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownColumn`] for columns missing from the
+    /// schema and [`DbError::TypeError`] for ill-typed operations — both
+    /// impossible for expressions produced by the typed Ur/Web layer.
+    pub fn eval(&self, schema: &Schema, row: &[DbVal]) -> Result<DbVal, DbError> {
+        match self {
+            SqlExpr::Const(v) => Ok(v.clone()),
+            SqlExpr::Column(name) => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| DbError::UnknownColumn(name.clone()))?;
+                Ok(row[idx].clone())
+            }
+            SqlExpr::Eq(a, b) => {
+                let (a, b) = (a.eval(schema, row)?, b.eval(schema, row)?);
+                Ok(match a.sql_eq(&b) {
+                    Some(v) => DbVal::Bool(v),
+                    None => DbVal::Null,
+                })
+            }
+            SqlExpr::Lt(a, b) => cmp3(a.eval(schema, row)?, b.eval(schema, row)?, |o| {
+                o == Ordering::Less
+            }),
+            SqlExpr::Le(a, b) => cmp3(a.eval(schema, row)?, b.eval(schema, row)?, |o| {
+                o != Ordering::Greater
+            }),
+            SqlExpr::And(a, b) => {
+                let a = truth(a.eval(schema, row)?)?;
+                let b = truth(b.eval(schema, row)?)?;
+                Ok(match (a, b) {
+                    (Some(false), _) | (_, Some(false)) => DbVal::Bool(false),
+                    (Some(true), Some(true)) => DbVal::Bool(true),
+                    _ => DbVal::Null,
+                })
+            }
+            SqlExpr::Or(a, b) => {
+                let a = truth(a.eval(schema, row)?)?;
+                let b = truth(b.eval(schema, row)?)?;
+                Ok(match (a, b) {
+                    (Some(true), _) | (_, Some(true)) => DbVal::Bool(true),
+                    (Some(false), Some(false)) => DbVal::Bool(false),
+                    _ => DbVal::Null,
+                })
+            }
+            SqlExpr::Not(a) => Ok(match truth(a.eval(schema, row)?)? {
+                Some(v) => DbVal::Bool(!v),
+                None => DbVal::Null,
+            }),
+            SqlExpr::IsNull(a) => Ok(DbVal::Bool(matches!(a.eval(schema, row)?, DbVal::Null))),
+            SqlExpr::Add(a, b) => arith(a.eval(schema, row)?, b.eval(schema, row)?, "+"),
+            SqlExpr::Mul(a, b) => arith(a.eval(schema, row)?, b.eval(schema, row)?, "*"),
+        }
+    }
+
+    /// Statically checks the expression against a schema and returns its
+    /// column type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DbError`] on unknown columns or type mismatches.
+    pub fn check(&self, schema: &Schema) -> Result<ColTy, DbError> {
+        match self {
+            SqlExpr::Const(v) => match v {
+                DbVal::Int(_) => Ok(ColTy::Int),
+                DbVal::Float(_) => Ok(ColTy::Float),
+                DbVal::Str(_) => Ok(ColTy::Str),
+                DbVal::Bool(_) => Ok(ColTy::Bool),
+                DbVal::Null => Ok(ColTy::Nullable(Box::new(ColTy::Int))),
+            },
+            SqlExpr::Column(name) => schema
+                .col_type(name)
+                .cloned()
+                .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+            SqlExpr::Eq(a, b) | SqlExpr::Lt(a, b) | SqlExpr::Le(a, b) => {
+                let ta = a.check(schema)?;
+                let tb = b.check(schema)?;
+                if ta.base() == tb.base() {
+                    Ok(ColTy::Bool)
+                } else {
+                    Err(DbError::TypeError(format!(
+                        "cannot compare {ta} with {tb}"
+                    )))
+                }
+            }
+            SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+                expect_bool(a.check(schema)?)?;
+                expect_bool(b.check(schema)?)?;
+                Ok(ColTy::Bool)
+            }
+            SqlExpr::Not(a) => {
+                expect_bool(a.check(schema)?)?;
+                Ok(ColTy::Bool)
+            }
+            SqlExpr::IsNull(a) => {
+                a.check(schema)?;
+                Ok(ColTy::Bool)
+            }
+            SqlExpr::Add(a, b) | SqlExpr::Mul(a, b) => {
+                let ta = a.check(schema)?;
+                let tb = b.check(schema)?;
+                match (ta.base(), tb.base()) {
+                    (ColTy::Int, ColTy::Int) => Ok(ColTy::Int),
+                    (ColTy::Float, ColTy::Float) => Ok(ColTy::Float),
+                    _ => Err(DbError::TypeError(format!(
+                        "cannot do arithmetic on {ta} and {tb}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Renders the expression as SQL text (for the query log and
+    /// debugging; column names are double-quoted, string literals
+    /// escaped).
+    pub fn to_sql(&self) -> String {
+        match self {
+            SqlExpr::Const(v) => v.to_sql(),
+            SqlExpr::Column(name) => format!("\"{}\"", name.replace('"', "\"\"")),
+            SqlExpr::Eq(a, b) => format!("({} = {})", a.to_sql(), b.to_sql()),
+            SqlExpr::Lt(a, b) => format!("({} < {})", a.to_sql(), b.to_sql()),
+            SqlExpr::Le(a, b) => format!("({} <= {})", a.to_sql(), b.to_sql()),
+            SqlExpr::And(a, b) => format!("({} AND {})", a.to_sql(), b.to_sql()),
+            SqlExpr::Or(a, b) => format!("({} OR {})", a.to_sql(), b.to_sql()),
+            SqlExpr::Not(a) => format!("(NOT {})", a.to_sql()),
+            SqlExpr::IsNull(a) => format!("({} IS NULL)", a.to_sql()),
+            SqlExpr::Add(a, b) => format!("({} + {})", a.to_sql(), b.to_sql()),
+            SqlExpr::Mul(a, b) => format!("({} * {})", a.to_sql(), b.to_sql()),
+        }
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sql())
+    }
+}
+
+fn truth(v: DbVal) -> Result<Option<bool>, DbError> {
+    match v {
+        DbVal::Bool(b) => Ok(Some(b)),
+        DbVal::Null => Ok(None),
+        other => Err(DbError::TypeError(format!(
+            "expected boolean, got {other}"
+        ))),
+    }
+}
+
+fn cmp3(a: DbVal, b: DbVal, f: impl Fn(Ordering) -> bool) -> Result<DbVal, DbError> {
+    if matches!(a, DbVal::Null) || matches!(b, DbVal::Null) {
+        return Ok(DbVal::Null);
+    }
+    match a.sql_cmp(&b) {
+        Some(o) => Ok(DbVal::Bool(f(o))),
+        None => Err(DbError::TypeError(format!("cannot compare {a} and {b}"))),
+    }
+}
+
+fn arith(a: DbVal, b: DbVal, op: &str) -> Result<DbVal, DbError> {
+    match (a, b, op) {
+        (DbVal::Null, _, _) | (_, DbVal::Null, _) => Ok(DbVal::Null),
+        (DbVal::Int(a), DbVal::Int(b), "+") => Ok(DbVal::Int(a.wrapping_add(b))),
+        (DbVal::Int(a), DbVal::Int(b), "*") => Ok(DbVal::Int(a.wrapping_mul(b))),
+        (DbVal::Float(a), DbVal::Float(b), "+") => Ok(DbVal::Float(a + b)),
+        (DbVal::Float(a), DbVal::Float(b), "*") => Ok(DbVal::Float(a * b)),
+        (a, b, op) => Err(DbError::TypeError(format!("cannot compute {a} {op} {b}"))),
+    }
+}
+
+fn expect_bool(t: ColTy) -> Result<(), DbError> {
+    if matches!(t.base(), ColTy::Bool) {
+        Ok(())
+    } else {
+        Err(DbError::TypeError(format!("expected boolean, got {t}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("A".into(), ColTy::Int),
+            ("B".into(), ColTy::Str),
+            ("C".into(), ColTy::Nullable(Box::new(ColTy::Int))),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Vec<DbVal> {
+        vec![DbVal::Int(5), DbVal::Str("x".into()), DbVal::Null]
+    }
+
+    #[test]
+    fn column_and_const_eval() {
+        let s = schema();
+        let e = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(5)));
+        assert_eq!(e.eval(&s, &row()).unwrap(), DbVal::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_three_valued() {
+        let s = schema();
+        let e = SqlExpr::eq(SqlExpr::col("C"), SqlExpr::lit(DbVal::Int(5)));
+        assert_eq!(e.eval(&s, &row()).unwrap(), DbVal::Null);
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE.
+        let f = SqlExpr::and(e.clone(), SqlExpr::lit(DbVal::Bool(false)));
+        assert_eq!(f.eval(&s, &row()).unwrap(), DbVal::Bool(false));
+        let g = SqlExpr::or(e, SqlExpr::lit(DbVal::Bool(true)));
+        assert_eq!(g.eval(&s, &row()).unwrap(), DbVal::Bool(true));
+    }
+
+    #[test]
+    fn is_null() {
+        let s = schema();
+        let e = SqlExpr::is_null(SqlExpr::col("C"));
+        assert_eq!(e.eval(&s, &row()).unwrap(), DbVal::Bool(true));
+        let e2 = SqlExpr::is_null(SqlExpr::col("A"));
+        assert_eq!(e2.eval(&s, &row()).unwrap(), DbVal::Bool(false));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let s = schema();
+        let e = SqlExpr::col("Z");
+        assert!(matches!(
+            e.eval(&s, &row()),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(e.check(&s).is_err());
+    }
+
+    #[test]
+    fn check_types() {
+        let s = schema();
+        let good = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(1)));
+        assert_eq!(good.check(&s).unwrap(), ColTy::Bool);
+        let bad = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::col("B"));
+        assert!(bad.check(&s).is_err());
+        let bad2 = SqlExpr::and(SqlExpr::col("A"), SqlExpr::lit(DbVal::Bool(true)));
+        assert!(bad2.check(&s).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let e = SqlExpr::Add(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(2))),
+        );
+        assert_eq!(e.eval(&s, &row()).unwrap(), DbVal::Int(7));
+        let m = SqlExpr::Mul(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(3))),
+        );
+        assert_eq!(m.eval(&s, &row()).unwrap(), DbVal::Int(15));
+    }
+
+    #[test]
+    fn sql_text_is_escaped() {
+        let e = SqlExpr::eq(
+            SqlExpr::col("B"),
+            SqlExpr::lit(DbVal::Str("'; DROP TABLE t; --".into())),
+        );
+        let sql = e.to_sql();
+        assert!(sql.contains("''; DROP TABLE t; --'"));
+        assert_eq!(sql, "(\"B\" = '''; DROP TABLE t; --')");
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let s = schema();
+        let lt = SqlExpr::Lt(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(6))),
+        );
+        assert_eq!(lt.eval(&s, &row()).unwrap(), DbVal::Bool(true));
+        let le = SqlExpr::Le(
+            Box::new(SqlExpr::col("A")),
+            Box::new(SqlExpr::lit(DbVal::Int(5))),
+        );
+        assert_eq!(le.eval(&s, &row()).unwrap(), DbVal::Bool(true));
+        let not = SqlExpr::not(lt);
+        assert_eq!(not.eval(&s, &row()).unwrap(), DbVal::Bool(false));
+    }
+}

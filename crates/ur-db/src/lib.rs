@@ -1,0 +1,42 @@
+//! # ur-db — in-memory relational engine substrate
+//!
+//! The paper's case studies (§2.2, §6) generate SQL commands against a
+//! database server; Ur/Web's typed `table`/`exp` embedding guarantees the
+//! generated SQL is schema-correct and injection-free. This crate is the
+//! substitute substrate: an in-memory engine executing the same command
+//! ASTs, with a SQL-text log whose statements are escaped exactly as a
+//! real deployment's wire statements would be (see DESIGN.md §3).
+//!
+//! ## Example
+//!
+//! ```
+//! use ur_db::{ColTy, Db, DbVal, Schema, SqlExpr};
+//!
+//! let mut db = Db::new();
+//! db.create_table(
+//!     "t",
+//!     Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)])?,
+//! )?;
+//! db.insert(
+//!     "t",
+//!     &[
+//!         ("A".into(), SqlExpr::lit(DbVal::Int(1))),
+//!         ("B".into(), SqlExpr::lit(DbVal::Str("hello".into()))),
+//!     ],
+//! )?;
+//! let rows = db.select("t", &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(1))))?;
+//! assert_eq!(rows.len(), 1);
+//! # Ok::<(), ur_db::DbError>(())
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod expr;
+pub mod table;
+pub mod value;
+
+pub use db::Db;
+pub use error::DbError;
+pub use expr::SqlExpr;
+pub use table::{Schema, Table};
+pub use value::{ColTy, DbVal};

@@ -1,0 +1,154 @@
+//! Schemas and table storage.
+
+use crate::error::DbError;
+use crate::value::{ColTy, DbVal};
+use std::fmt;
+
+/// An ordered list of named, typed columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    cols: Vec<(String, ColTy)>,
+}
+
+impl Schema {
+    /// Creates a schema; column names must be distinct and non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::SchemaError`] on duplicates or empty names.
+    pub fn new(cols: Vec<(String, ColTy)>) -> Result<Schema, DbError> {
+        for (i, (n, _)) in cols.iter().enumerate() {
+            if n.is_empty() {
+                return Err(DbError::SchemaError("empty column name".into()));
+            }
+            if cols[..i].iter().any(|(m, _)| m == n) {
+                return Err(DbError::SchemaError(format!("duplicate column {n}")));
+            }
+        }
+        Ok(Schema { cols })
+    }
+
+    pub fn columns(&self) -> &[(String, ColTy)] {
+        &self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(n, _)| n == name)
+    }
+
+    pub fn col_type(&self, name: &str) -> Option<&ColTy> {
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Validates a full row against this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TypeError`] if arity or any column type is
+    /// wrong.
+    pub fn check_row(&self, row: &[DbVal]) -> Result<(), DbError> {
+        if row.len() != self.cols.len() {
+            return Err(DbError::TypeError(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.cols.len()
+            )));
+        }
+        for ((name, ty), v) in self.cols.iter().zip(row) {
+            if !ty.admits(v) {
+                return Err(DbError::TypeError(format!(
+                    "column {name} of type {ty} cannot hold {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .cols
+            .iter()
+            .map(|(n, t)| format!("\"{n}\" {t}"))
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+/// A table: a schema plus rows in insertion order.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub schema: Schema,
+    pub rows: Vec<Vec<DbVal>>,
+}
+
+impl Table {
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(Schema::new(vec![
+            ("A".into(), ColTy::Int),
+            ("A".into(), ColTy::Str)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn schema_rejects_empty_names() {
+        assert!(Schema::new(vec![("".into(), ColTy::Int)]).is_err());
+    }
+
+    #[test]
+    fn index_and_type_lookup() {
+        let s = Schema::new(vec![
+            ("A".into(), ColTy::Int),
+            ("B".into(), ColTy::Str),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.col_type("A"), Some(&ColTy::Int));
+        assert_eq!(s.index_of("Z"), None);
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = Schema::new(vec![
+            ("A".into(), ColTy::Int),
+            ("B".into(), ColTy::Str),
+        ])
+        .unwrap();
+        assert!(s
+            .check_row(&[DbVal::Int(1), DbVal::Str("x".into())])
+            .is_ok());
+        assert!(s.check_row(&[DbVal::Int(1)]).is_err());
+        assert!(s
+            .check_row(&[DbVal::Str("x".into()), DbVal::Int(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn schema_display_is_sql() {
+        let s = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
+        assert_eq!(s.to_string(), "(\"A\" BIGINT NOT NULL)");
+    }
+}

@@ -1,0 +1,172 @@
+//! Column types and runtime values of the relational substrate.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column types supported by the engine, mirroring the primitive types of
+/// the Ur surface language plus nullability (used by the paper's
+/// versioned-database case study, which stores unchanged columns as
+/// `NULL`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ColTy {
+    Int,
+    Float,
+    Str,
+    Bool,
+    /// A nullable column of the given base type.
+    Nullable(Box<ColTy>),
+}
+
+impl ColTy {
+    /// The SQL spelling of this type.
+    pub fn sql_name(&self) -> String {
+        match self {
+            ColTy::Int => "BIGINT".to_string(),
+            ColTy::Float => "DOUBLE PRECISION".to_string(),
+            ColTy::Str => "TEXT".to_string(),
+            ColTy::Bool => "BOOLEAN".to_string(),
+            ColTy::Nullable(inner) => inner.sql_name(),
+        }
+    }
+
+    /// Whether `NULL` is admissible.
+    pub fn nullable(&self) -> bool {
+        matches!(self, ColTy::Nullable(_))
+    }
+
+    /// Strips nullability.
+    pub fn base(&self) -> &ColTy {
+        match self {
+            ColTy::Nullable(inner) => inner.base(),
+            other => other,
+        }
+    }
+
+    /// Checks that `v` inhabits this column type.
+    pub fn admits(&self, v: &DbVal) -> bool {
+        match (self, v) {
+            (ColTy::Nullable(_), DbVal::Null) => true,
+            (ColTy::Nullable(inner), v) => inner.admits(v),
+            (ColTy::Int, DbVal::Int(_)) => true,
+            (ColTy::Float, DbVal::Float(_)) => true,
+            (ColTy::Str, DbVal::Str(_)) => true,
+            (ColTy::Bool, DbVal::Bool(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ColTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nullable() {
+            write!(f, "{}", self.sql_name())
+        } else {
+            write!(f, "{} NOT NULL", self.sql_name())
+        }
+    }
+}
+
+/// A runtime database value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbVal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl DbVal {
+    /// SQL-literal rendering, with single quotes in strings doubled —
+    /// the classic injection-proof escaping that Ur/Web's typed trees
+    /// guarantee is always applied.
+    pub fn to_sql(&self) -> String {
+        match self {
+            DbVal::Int(n) => n.to_string(),
+            DbVal::Float(x) => format!("{x:?}"),
+            DbVal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            DbVal::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            DbVal::Null => "NULL".to_string(),
+        }
+    }
+
+    /// Three-valued-logic aware equality: comparisons with `NULL` are
+    /// unknown (`None`).
+    pub fn sql_eq(&self, other: &DbVal) -> Option<bool> {
+        match (self, other) {
+            (DbVal::Null, _) | (_, DbVal::Null) => None,
+            (a, b) => Some(a == b),
+        }
+    }
+
+    /// SQL ordering; `None` when incomparable or either side is `NULL`.
+    pub fn sql_cmp(&self, other: &DbVal) -> Option<Ordering> {
+        match (self, other) {
+            (DbVal::Int(a), DbVal::Int(b)) => Some(a.cmp(b)),
+            (DbVal::Float(a), DbVal::Float(b)) => a.partial_cmp(b),
+            (DbVal::Str(a), DbVal::Str(b)) => Some(a.cmp(b)),
+            (DbVal::Bool(a), DbVal::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DbVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering_escapes_quotes() {
+        let v = DbVal::Str("O'Brien'; DROP TABLE t; --".into());
+        let sql = v.to_sql();
+        assert_eq!(sql, "'O''Brien''; DROP TABLE t; --'");
+        // The rendered literal contains no lone quote that would close
+        // the string early.
+        let inner = &sql[1..sql.len() - 1];
+        assert!(!inner.replace("''", "").contains('\''));
+    }
+
+    #[test]
+    fn admits_respects_types() {
+        assert!(ColTy::Int.admits(&DbVal::Int(3)));
+        assert!(!ColTy::Int.admits(&DbVal::Str("3".into())));
+        assert!(!ColTy::Int.admits(&DbVal::Null));
+        assert!(ColTy::Nullable(Box::new(ColTy::Int)).admits(&DbVal::Null));
+        assert!(ColTy::Nullable(Box::new(ColTy::Int)).admits(&DbVal::Int(1)));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(DbVal::Null.sql_eq(&DbVal::Int(1)), None);
+        assert_eq!(DbVal::Int(1).sql_eq(&DbVal::Int(1)), Some(true));
+        assert_eq!(DbVal::Int(1).sql_eq(&DbVal::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn ordering() {
+        assert_eq!(
+            DbVal::Int(1).sql_cmp(&DbVal::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            DbVal::Str("a".into()).sql_cmp(&DbVal::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(DbVal::Int(1).sql_cmp(&DbVal::Str("a".into())), None);
+    }
+
+    #[test]
+    fn colty_display() {
+        assert_eq!(ColTy::Int.to_string(), "BIGINT NOT NULL");
+        assert_eq!(
+            ColTy::Nullable(Box::new(ColTy::Str)).to_string(),
+            "TEXT"
+        );
+    }
+}

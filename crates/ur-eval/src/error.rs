@@ -1,0 +1,50 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// A runtime error. Since elaborated programs are statically typed, these
+/// only arise from builtin misuse (e.g. `error`-primitive calls) or from
+/// interpreter-level invariant violations, which the test suite treats as
+/// bugs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl EvalError {
+    pub fn new(message: impl Into<String>) -> EvalError {
+        EvalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ur_db::DbError> for EvalError {
+    fn from(e: ur_db::DbError) -> Self {
+        EvalError::new(format!("database: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(EvalError::new("boom").to_string(), "runtime error: boom");
+    }
+
+    #[test]
+    fn from_db_error() {
+        let e: EvalError = ur_db::DbError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+    }
+}

@@ -1,0 +1,397 @@
+//! The call-by-value interpreter over elaborated core terms.
+
+use crate::error::EvalError;
+use crate::value::{Builtin, BuiltinApp, CClosure, Closure, DSusp, VEnv, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use ur_core::con::{Con, RCon};
+use ur_core::env::Env;
+use ur_core::expr::{Expr, Lit, RExpr};
+use ur_core::hnf::hnf;
+use ur_core::subst::{fv, subst};
+use ur_core::sym::Sym;
+use ur_core::Cx;
+
+/// Mutable world state visible to effectful builtins.
+#[derive(Default)]
+pub struct World {
+    /// The database backing the SQL builtins.
+    pub db: ur_db::Db,
+    /// Debug output collected by the `debug` builtin.
+    pub out: Vec<String>,
+}
+
+impl World {
+    pub fn new() -> World {
+        World::default()
+    }
+}
+
+/// The interpreter: world state, the global constructor environment (for
+/// resolving type-level names at runtime), and the builtin registry.
+pub struct Interp<'a> {
+    pub world: &'a mut World,
+    pub genv: &'a Env,
+    pub builtins: &'a HashMap<Sym, Rc<Builtin>>,
+    /// Scratch context for constructor normalization.
+    pub cx: Cx,
+}
+
+impl<'a> Interp<'a> {
+    pub fn new(
+        world: &'a mut World,
+        genv: &'a Env,
+        builtins: &'a HashMap<Sym, Rc<Builtin>>,
+    ) -> Interp<'a> {
+        Interp {
+            world,
+            genv,
+            builtins,
+            cx: Cx::new(),
+        }
+    }
+
+    /// Substitutes the runtime constructor bindings of `venv` into `c` and
+    /// head-normalizes.
+    pub fn resolve_con(&mut self, venv: &VEnv, c: &RCon) -> RCon {
+        let mut out = Rc::clone(c);
+        loop {
+            let vars = fv(&out);
+            let mut changed = false;
+            for v in vars {
+                if let Some(repl) = venv.cons.get(&v) {
+                    out = subst(&out, &v, repl);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        hnf(self.genv, &mut self.cx, &out)
+    }
+
+    /// Resolves a constructor expected to be a field name to the literal
+    /// name string.
+    pub fn resolve_name(&mut self, venv: &VEnv, c: &RCon) -> Result<Rc<str>, EvalError> {
+        let c = self.resolve_con(venv, c);
+        match &*c {
+            Con::Name(n) => Ok(Rc::clone(n)),
+            other => Err(EvalError::new(format!(
+                "field name did not reduce to a literal: {other}"
+            ))),
+        }
+    }
+
+    /// Evaluates an expression in an environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] on builtin failures or interpreter
+    /// invariant violations (the latter indicate elaborator bugs).
+    pub fn eval(&mut self, venv: &VEnv, e: &RExpr) -> Result<Value, EvalError> {
+        match &**e {
+            Expr::Var(x) => {
+                if let Some(v) = venv.vals.get(x) {
+                    return Ok(v.clone());
+                }
+                if let Some(spec) = self.builtins.get(x) {
+                    let app = BuiltinApp {
+                        spec: Rc::clone(spec),
+                        cons: Vec::new(),
+                        args: Vec::new(),
+                    };
+                    return self.maybe_run_builtin(app);
+                }
+                Err(EvalError::new(format!("unbound variable {x:?} at runtime")))
+            }
+            Expr::Lit(l) => Ok(match l {
+                Lit::Int(n) => Value::Int(*n),
+                Lit::Float(x) => Value::Float(*x),
+                Lit::Str(s) => Value::Str(Rc::clone(s)),
+                Lit::Bool(b) => Value::Bool(*b),
+                Lit::Unit => Value::Unit,
+            }),
+            Expr::App(f, a) => {
+                let fv_ = self.eval(venv, f)?;
+                let av = self.eval(venv, a)?;
+                self.apply(fv_, av)
+            }
+            Expr::Lam(x, _, body) => Ok(Value::Closure(Rc::new(Closure {
+                env: venv.clone(),
+                param: x.clone(),
+                body: Rc::clone(body),
+            }))),
+            Expr::CApp(f, c) => {
+                let fv_ = self.eval(venv, f)?;
+                let c = self.resolve_con(venv, c);
+                self.capply(fv_, c)
+            }
+            Expr::CLam(a, _, body) => Ok(Value::CClosure(Rc::new(CClosure {
+                env: venv.clone(),
+                param: a.clone(),
+                body: Rc::clone(body),
+            }))),
+            Expr::RecNil => Ok(Value::Record(BTreeMap::new())),
+            Expr::RecOne(n, v) => {
+                let name = self.resolve_name(venv, n)?;
+                let val = self.eval(venv, v)?;
+                let mut map = BTreeMap::new();
+                map.insert(name, val);
+                Ok(Value::Record(map))
+            }
+            Expr::RecCat(a, b) => {
+                let va = self.eval(venv, a)?;
+                let vb = self.eval(venv, b)?;
+                match (va, vb) {
+                    (Value::Record(mut ra), Value::Record(rb)) => {
+                        for (k, v) in rb {
+                            if ra.insert(k.clone(), v).is_some() {
+                                return Err(EvalError::new(format!(
+                                    "duplicate field {k} in record concatenation \
+                                     (type system should prevent this)"
+                                )));
+                            }
+                        }
+                        Ok(Value::Record(ra))
+                    }
+                    (a, b) => Err(EvalError::new(format!(
+                        "record concatenation of non-records {a} and {b}"
+                    ))),
+                }
+            }
+            Expr::Proj(r, c) => {
+                let name = self.resolve_name(venv, c)?;
+                let rv = self.eval(venv, r)?;
+                let rec = rv.as_record()?;
+                rec.get(&name).cloned().ok_or_else(|| {
+                    EvalError::new(format!("record {rv} has no field {name}"))
+                })
+            }
+            Expr::Cut(r, c) => {
+                let name = self.resolve_name(venv, c)?;
+                let rv = self.eval(venv, r)?;
+                let mut rec = rv.as_record()?.clone();
+                if rec.remove(&name).is_none() {
+                    return Err(EvalError::new(format!(
+                        "record {rv} has no field {name} to remove"
+                    )));
+                }
+                Ok(Value::Record(rec))
+            }
+            Expr::DLam(_, _, body) => Ok(Value::DSusp(Rc::new(DSusp {
+                env: venv.clone(),
+                body: Rc::clone(body),
+            }))),
+            Expr::DApp(e) => {
+                let v = self.eval(venv, e)?;
+                match v {
+                    Value::DSusp(s) => {
+                        let env = s.env.clone();
+                        self.eval(&env, &s.body)
+                    }
+                    // Builtins erase guards.
+                    other => Ok(other),
+                }
+            }
+            Expr::Let(x, _, bound, body) => {
+                let bv = self.eval(venv, bound)?;
+                let env2 = venv.with_val(x.clone(), bv);
+                self.eval(&env2, body)
+            }
+            Expr::If(c, t, el) => {
+                if self.eval(venv, c)?.as_bool()? {
+                    self.eval(venv, t)
+                } else {
+                    self.eval(venv, el)
+                }
+            }
+        }
+    }
+
+    /// Applies a function value to an argument.
+    pub fn apply(&mut self, f: Value, arg: Value) -> Result<Value, EvalError> {
+        match f {
+            Value::Closure(c) => {
+                let env2 = c.env.with_val(c.param.clone(), arg);
+                self.eval(&env2, &c.body)
+            }
+            Value::Builtin(b) => {
+                let mut app = (*b).clone();
+                app.args.push(arg);
+                self.maybe_run_builtin(app)
+            }
+            other => Err(EvalError::new(format!(
+                "application of non-function {other}"
+            ))),
+        }
+    }
+
+    /// Applies a value to a constructor argument.
+    pub fn capply(&mut self, f: Value, c: RCon) -> Result<Value, EvalError> {
+        match f {
+            Value::CClosure(cl) => {
+                let env2 = cl.env.with_con(cl.param.clone(), c);
+                self.eval(&env2, &cl.body)
+            }
+            Value::Builtin(b) => {
+                let mut app = (*b).clone();
+                app.cons.push(c);
+                self.maybe_run_builtin(app)
+            }
+            // Constructor application is erased on other values (a
+            // monomorphic builtin result being instantiated).
+            other => Ok(other),
+        }
+    }
+
+    fn maybe_run_builtin(&mut self, app: BuiltinApp) -> Result<Value, EvalError> {
+        if app.args.len() >= app.spec.arity && app.cons.len() >= app.spec.con_arity {
+            let spec = Rc::clone(&app.spec);
+            (spec.run)(self, &app.cons, &app.args)
+        } else {
+            Ok(Value::Builtin(Rc::new(app)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ur_core::kind::Kind;
+
+    fn run(e: &RExpr) -> Value {
+        let mut world = World::new();
+        let genv = Env::new();
+        let builtins = HashMap::new();
+        let mut interp = Interp::new(&mut world, &genv, &builtins);
+        interp.eval(&VEnv::new(), e).unwrap()
+    }
+
+    #[test]
+    fn literals_and_if() {
+        let e = Expr::if_(
+            Expr::lit(Lit::Bool(true)),
+            Expr::lit(Lit::Int(1)),
+            Expr::lit(Lit::Int(2)),
+        );
+        assert!(matches!(run(&e), Value::Int(1)));
+    }
+
+    #[test]
+    fn lambda_application() {
+        let x = Sym::fresh("x");
+        let f = Expr::lam(x.clone(), Con::int(), Expr::var(&x));
+        let e = Expr::app(f, Expr::lit(Lit::Int(42)));
+        assert!(matches!(run(&e), Value::Int(42)));
+    }
+
+    #[test]
+    fn records_project_and_cut() {
+        let rec = Expr::record(vec![
+            (Con::name("A"), Expr::lit(Lit::Int(1))),
+            (Con::name("B"), Expr::lit(Lit::Int(2))),
+        ]);
+        let proj = Expr::proj(rec.clone(), Con::name("B"));
+        assert!(matches!(run(&proj), Value::Int(2)));
+        let cut = Expr::cut(rec, Con::name("A"));
+        match run(&cut) {
+            Value::Record(r) => {
+                assert_eq!(r.len(), 1);
+                assert!(r.contains_key("B"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn projection_by_constructor_variable() {
+        // (fn [nm :: Name] => fn (x : $[nm = int]) => x.nm) [#A] {A = 7}
+        let nm = Sym::fresh("nm");
+        let x = Sym::fresh("x");
+        let f = Expr::clam(
+            nm.clone(),
+            Kind::Name,
+            Expr::lam(
+                x.clone(),
+                Con::record(Con::row_one(Con::var(&nm), Con::int())),
+                Expr::proj(Expr::var(&x), Con::var(&nm)),
+            ),
+        );
+        let e = Expr::app(
+            Expr::capp(f, Con::name("A")),
+            Expr::record(vec![(Con::name("A"), Expr::lit(Lit::Int(7)))]),
+        );
+        assert!(matches!(run(&e), Value::Int(7)));
+    }
+
+    #[test]
+    fn guard_suspends_and_forces() {
+        let body = Expr::lit(Lit::Int(9));
+        let g = Expr::dlam(
+            Con::row_nil(Kind::Type),
+            Con::row_nil(Kind::Type),
+            body,
+        );
+        let forced = Expr::dapp(g);
+        assert!(matches!(run(&forced), Value::Int(9)));
+    }
+
+    #[test]
+    fn let_binds() {
+        let x = Sym::fresh("x");
+        let e = Expr::let_(
+            x.clone(),
+            Con::int(),
+            Expr::lit(Lit::Int(5)),
+            Expr::var(&x),
+        );
+        assert!(matches!(run(&e), Value::Int(5)));
+    }
+
+    #[test]
+    fn builtin_partial_application() {
+        let mut world = World::new();
+        let genv = Env::new();
+        let mut builtins = HashMap::new();
+        let plus = Sym::fresh("add");
+        builtins.insert(
+            plus.clone(),
+            Rc::new(Builtin {
+                name: "add".into(),
+                con_arity: 0,
+                arity: 2,
+                run: Rc::new(|_, _, args| {
+                    Ok(Value::Int(args[0].as_int()? + args[1].as_int()?))
+                }),
+            }),
+        );
+        let mut interp = Interp::new(&mut world, &genv, &builtins);
+        let e = Expr::app(
+            Expr::app(Expr::var(&plus), Expr::lit(Lit::Int(2))),
+            Expr::lit(Lit::Int(3)),
+        );
+        let v = interp.eval(&VEnv::new(), &e).unwrap();
+        assert!(matches!(v, Value::Int(5)));
+        // Partial application yields a builtin value.
+        let partial = interp
+            .eval(&VEnv::new(), &Expr::app(Expr::var(&plus), Expr::lit(Lit::Int(1))))
+            .unwrap();
+        assert!(matches!(partial, Value::Builtin(_)));
+    }
+
+    #[test]
+    fn duplicate_field_concat_is_runtime_error() {
+        // Can only be reached by bypassing the type system.
+        let r1 = Expr::record(vec![(Con::name("A"), Expr::lit(Lit::Int(1)))]);
+        let r2 = Expr::record(vec![(Con::name("A"), Expr::lit(Lit::Int(2)))]);
+        let mut world = World::new();
+        let genv = Env::new();
+        let builtins = HashMap::new();
+        let mut interp = Interp::new(&mut world, &genv, &builtins);
+        let err = interp
+            .eval(&VEnv::new(), &Expr::rec_cat(r1, r2))
+            .unwrap_err();
+        assert!(err.message.contains("duplicate field"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # ur-eval — call-by-value interpreter for elaborated Ur
+//!
+//! The paper specifies Ur's dynamic semantics by elaboration into the
+//! Calculus of Inductive Constructions (§3.3) and implements it with a
+//! whole-program monomorphizing compiler (§5). This crate substitutes a
+//! *type-passing* interpreter: constructor abstraction/application are
+//! runtime closures, so first-class names resolve to concrete record
+//! fields at projection time. Observable behaviour of every paper example
+//! is preserved (see DESIGN.md §3).
+//!
+//! Builtins (the Ur/Web standard library primitives, supplied by `ur-web`)
+//! receive the accumulated constructor arguments, the evaluated value
+//! arguments, and mutable access to the [`interp::World`] (database +
+//! debug output).
+
+pub mod error;
+pub mod interp;
+pub mod value;
+
+pub use error::EvalError;
+pub use interp::{Interp, World};
+pub use value::{Builtin, BuiltinApp, VEnv, Value, XmlVal};

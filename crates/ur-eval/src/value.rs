@@ -1,0 +1,386 @@
+//! Runtime values of the Ur interpreter.
+//!
+//! The interpreter is *type-passing*: constructor abstractions are real
+//! closures and constructor arguments are carried at runtime, so that
+//! first-class names (`e.nm` under a name variable) resolve to concrete
+//! field names. (The real Ur/Web compiler instead erases all polymorphism
+//! by whole-program monomorphization, §5 — a performance technique we
+//! substitute with interpretation; see DESIGN.md.)
+
+use crate::error::EvalError;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use ur_core::con::RCon;
+use ur_core::expr::RExpr;
+use ur_core::sym::Sym;
+use ur_db::{ColTy, SqlExpr};
+
+/// Runtime environments: value and constructor bindings. Cloned on
+/// closure capture.
+#[derive(Clone, Debug, Default)]
+pub struct VEnv {
+    pub vals: HashMap<Sym, Value>,
+    pub cons: HashMap<Sym, RCon>,
+}
+
+impl VEnv {
+    pub fn new() -> VEnv {
+        VEnv::default()
+    }
+
+    pub fn with_val(&self, x: Sym, v: Value) -> VEnv {
+        let mut out = self.clone();
+        out.vals.insert(x, v);
+        out
+    }
+
+    pub fn with_con(&self, a: Sym, c: RCon) -> VEnv {
+        let mut out = self.clone();
+        out.cons.insert(a, c);
+        out
+    }
+}
+
+/// A value-level closure `fn x : t => e`.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    pub env: VEnv,
+    pub param: Sym,
+    pub body: RExpr,
+}
+
+/// A constructor-level closure `fn [a :: k] => e`.
+#[derive(Clone, Debug)]
+pub struct CClosure {
+    pub env: VEnv,
+    pub param: Sym,
+    pub body: RExpr,
+}
+
+/// A suspended guard abstraction `fn [c1 ~ c2] => e`, forced by `!`.
+#[derive(Clone, Debug)]
+pub struct DSusp {
+    pub env: VEnv,
+    pub body: RExpr,
+}
+
+/// A library primitive: `arity` counts *value* arguments and `con_arity`
+/// counts constructor arguments; the implementation runs once both are
+/// saturated (guard applications `!` are erased).
+pub struct Builtin {
+    pub name: String,
+    pub con_arity: usize,
+    pub arity: usize,
+    #[allow(clippy::type_complexity)]
+    pub run: Rc<
+        dyn Fn(&mut crate::interp::Interp<'_>, &[RCon], &[Value]) -> Result<Value, EvalError>,
+    >,
+}
+
+impl fmt::Debug for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<builtin {} / {}>", self.name, self.arity)
+    }
+}
+
+/// A (possibly partially applied) builtin.
+#[derive(Clone, Debug)]
+pub struct BuiltinApp {
+    pub spec: Rc<Builtin>,
+    pub cons: Vec<RCon>,
+    pub args: Vec<Value>,
+}
+
+/// A document tree — the runtime form of the typed `xml ctx` family.
+/// Strings enter only through `Text`, which is escaped at render time, so
+/// a constructed tree can never inject markup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlVal {
+    /// The empty document.
+    Empty,
+    /// Raw text, escaped when rendered.
+    Text(String),
+    /// An element with attributes and children.
+    Tag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<XmlVal>,
+    },
+    /// Concatenation.
+    Seq(Vec<XmlVal>),
+}
+
+impl XmlVal {
+    /// Renders to HTML text with all text nodes and attribute values
+    /// escaped.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            XmlVal::Empty => {}
+            XmlVal::Text(t) => out.push_str(&escape_text(t)),
+            XmlVal::Tag {
+                name,
+                attrs,
+                children,
+            } => {
+                out.push('<');
+                out.push_str(name);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(v));
+                    out.push('"');
+                }
+                out.push('>');
+                for c in children {
+                    c.render_into(out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+            XmlVal::Seq(items) => {
+                for i in items {
+                    i.render_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// Escapes character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (additionally quotes).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Bool(bool),
+    Unit,
+    /// A record; field names are concrete at runtime.
+    Record(BTreeMap<Rc<str>, Value>),
+    Closure(Rc<Closure>),
+    CClosure(Rc<CClosure>),
+    DSusp(Rc<DSusp>),
+    Builtin(Rc<BuiltinApp>),
+    /// A homogeneous list (`list t`).
+    List(Rc<Vec<Value>>),
+    /// An optional value (`option t`).
+    Opt(Option<Rc<Value>>),
+    /// A typed document tree (`xml ctx`).
+    Xml(Rc<XmlVal>),
+    /// A SQL expression (`sql_exp r t`).
+    SqlExp(Rc<SqlExpr>),
+    /// A handle to a database table (`sql_table r`).
+    SqlTable(Rc<str>),
+    /// A column-type witness (`sql_type t`).
+    SqlType(ColTy),
+}
+
+impl Value {
+    pub fn str(s: impl Into<Rc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Extracts an `i64`, or errors.
+    pub fn as_int(&self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => Err(EvalError::new(format!("expected int, got {other}"))),
+        }
+    }
+
+    pub fn as_float(&self) -> Result<f64, EvalError> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            other => Err(EvalError::new(format!("expected float, got {other}"))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<Rc<str>, EvalError> {
+        match self {
+            Value::Str(s) => Ok(Rc::clone(s)),
+            other => Err(EvalError::new(format!("expected string, got {other}"))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::new(format!("expected bool, got {other}"))),
+        }
+    }
+
+    pub fn as_record(&self) -> Result<&BTreeMap<Rc<str>, Value>, EvalError> {
+        match self {
+            Value::Record(r) => Ok(r),
+            other => Err(EvalError::new(format!("expected record, got {other}"))),
+        }
+    }
+
+    pub fn as_list(&self) -> Result<&[Value], EvalError> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(EvalError::new(format!("expected list, got {other}"))),
+        }
+    }
+
+    pub fn as_xml(&self) -> Result<&XmlVal, EvalError> {
+        match self {
+            Value::Xml(x) => Ok(x),
+            other => Err(EvalError::new(format!("expected xml, got {other}"))),
+        }
+    }
+
+    pub fn as_sql_exp(&self) -> Result<&SqlExpr, EvalError> {
+        match self {
+            Value::SqlExp(e) => Ok(e),
+            other => Err(EvalError::new(format!(
+                "expected SQL expression, got {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Value::Unit => write!(f, "()"),
+            Value::Record(r) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Closure(_) => write!(f, "<fn>"),
+            Value::CClosure(_) => write!(f, "<polyfn>"),
+            Value::DSusp(_) => write!(f, "<guarded>"),
+            Value::Builtin(b) => write!(f, "<builtin {}>", b.spec.name),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Opt(None) => write!(f, "None"),
+            Value::Opt(Some(v)) => write!(f, "Some {v}"),
+            Value::Xml(x) => write!(f, "{}", x.render()),
+            Value::SqlExp(e) => write!(f, "{e}"),
+            Value::SqlTable(t) => write!(f, "<table {t}>"),
+            Value::SqlType(t) => write!(f, "<sql_type {t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_text() {
+        assert_eq!(
+            escape_text("<script>alert('x') & more</script>"),
+            "&lt;script&gt;alert('x') &amp; more&lt;/script&gt;"
+        );
+    }
+
+    #[test]
+    fn escaping_attrs() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&#39;c");
+    }
+
+    #[test]
+    fn xml_render_escapes_nested_text() {
+        let x = XmlVal::Tag {
+            name: "td".into(),
+            attrs: vec![],
+            children: vec![XmlVal::Text("<b>bold?</b>".into())],
+        };
+        assert_eq!(x.render(), "<td>&lt;b&gt;bold?&lt;/b&gt;</td>");
+    }
+
+    #[test]
+    fn xml_render_attrs() {
+        let x = XmlVal::Tag {
+            name: "input".into(),
+            attrs: vec![("name".into(), "a\"b".into())],
+            children: vec![],
+        };
+        assert_eq!(x.render(), "<input name=\"a&quot;b\"></input>");
+    }
+
+    #[test]
+    fn xml_seq_and_empty() {
+        let x = XmlVal::Seq(vec![
+            XmlVal::Text("a".into()),
+            XmlVal::Empty,
+            XmlVal::Text("b".into()),
+        ]);
+        assert_eq!(x.render(), "ab");
+    }
+
+    #[test]
+    fn value_display() {
+        let mut r = BTreeMap::new();
+        r.insert(Rc::from("A"), Value::Int(1));
+        assert_eq!(Value::Record(r).to_string(), "{A = 1}");
+        assert_eq!(Value::List(Rc::new(vec![Value::Int(1)])).to_string(), "[1]");
+        assert_eq!(Value::Opt(None).to_string(), "None");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert!(Value::Int(3).as_str().is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+    }
+}

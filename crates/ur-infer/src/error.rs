@@ -1,0 +1,42 @@
+//! Elaboration errors with source positions.
+
+use std::fmt;
+use ur_syntax::Span;
+
+/// An error produced during elaboration or constraint solving.
+#[derive(Clone, Debug)]
+pub struct ElabError {
+    pub span: Span,
+    pub message: String,
+}
+
+impl ElabError {
+    pub fn new(span: Span, message: impl Into<String>) -> ElabError {
+        ElabError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// Result alias used throughout the elaborator.
+pub type EResult<T> = Result<T, ElabError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ElabError::new(Span { line: 4, col: 7 }, "boom");
+        assert_eq!(e.to_string(), "error at 4:7: boom");
+    }
+}

@@ -1,0 +1,129 @@
+//! Law ablations: the paper's claim that its five built-in algebraic laws
+//! are "sufficient to avoid any proofs about type equality" has a
+//! converse worth checking — without them, the flagship metaprograms stop
+//! type-checking. Each test disables one Figure-3 law and shows a §2
+//! example that then fails (and still succeeds with the law enabled).
+
+use ur_infer::Elaborator;
+
+const PRELUDE: &str = r#"
+val showInt : int -> string
+val strcat : string -> string -> string
+
+con table :: {Type} -> Type
+con exp :: {Type} -> Type -> Type
+val const : r :: {Type} -> t :: Type -> t -> exp r t
+val insert : r :: {Type} -> table r -> $(map (exp []) r) -> unit
+"#;
+
+const TODB: &str = r#"
+type arrow (p :: Type * Type) = p.1 -> p.2
+
+fun toDb [r :: {(Type * Type)}] (fl : folder r) (mr : $(map arrow r))
+         (tab : table (map snd r)) (x : $(map fst r)) : unit =
+  insert tab
+    (fl [fn r => $(map arrow r) -> $(map fst r) -> $(map (fn p => exp [] p.2) r)]
+        (fn [nm] [p] [r] [[nm] ~ r] acc mr x =>
+           {nm = const (mr.nm x.nm)} ++ acc (mr -- nm) (x -- nm))
+        (fn _ _ => {}) mr x)
+"#;
+
+/// §2.2's toDb: "a corollary of a more general fusion law ... In all
+/// related systems that we are aware of, the programmer would need to
+/// apply an explicit coercion."
+#[test]
+fn todb_requires_the_fusion_law() {
+    // With fusion: elaborates.
+    let mut e = Elaborator::new();
+    e.elab_source(PRELUDE).unwrap();
+    e.elab_source(TODB).expect("toDb elaborates with fusion on");
+    assert!(e.cx.stats.law_map_fusion >= 1);
+
+    // Without fusion: the same program is rejected.
+    let mut e = Elaborator::new();
+    e.cx.laws.fusion = false;
+    e.elab_source(PRELUDE).unwrap();
+    let err = e.elab_source(TODB).expect_err("toDb must fail without fusion");
+    assert!(
+        err.message.contains("unsolved") || err.message.contains("cannot unify"),
+        "unexpected: {}",
+        err.message
+    );
+}
+
+const MKTABLE_STEP: &str = r#"
+type meta (t :: Type) = {Label : string, Show : t -> string}
+
+fun mkTable [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : string =
+  fl [fn r => $(map meta r) -> $r -> string]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        mr.nm.Label ^ mr.nm.Show x.nm ^ acc (mr -- nm) (x -- nm))
+     (fn _ _ => "") mr x
+"#;
+
+/// The mkTable step function projects `mr.nm` out of
+/// `$(map meta ([nm = t] ++ r))` — that needs the map to distribute over
+/// the concatenation.
+#[test]
+fn mktable_requires_distributivity() {
+    let mut e = Elaborator::new();
+    e.elab_source(PRELUDE).unwrap();
+    e.elab_source(MKTABLE_STEP)
+        .expect("mkTable elaborates with distributivity on");
+
+    let mut e = Elaborator::new();
+    e.cx.laws.distrib = false;
+    e.elab_source(PRELUDE).unwrap();
+    assert!(
+        e.elab_source(MKTABLE_STEP).is_err(),
+        "mkTable must fail without distributivity"
+    );
+}
+
+const IDENTITY_USER: &str = r#"
+type same (t :: Type) = (t, t)
+
+fun useIdentity [r :: {Type}] (x : $(map (fn p :: (Type * Type) => p.1) (map same r))) : $r = x
+"#;
+
+/// `map fst (map same r) = r` needs fusion *and* the identity law on the
+/// composed function.
+#[test]
+fn identity_law_collapses_fused_projections() {
+    let mut e = Elaborator::new();
+    e.elab_source(PRELUDE).unwrap();
+    e.elab_source(IDENTITY_USER)
+        .expect("identity collapse elaborates with the law on");
+    assert!(e.cx.stats.law_map_identity >= 1);
+
+    let mut e = Elaborator::new();
+    e.cx.laws.identity = false;
+    e.elab_source(PRELUDE).unwrap();
+    assert!(
+        e.elab_source(IDENTITY_USER).is_err(),
+        "identity collapse must fail without the law"
+    );
+}
+
+/// Programs that do not lean on a law are unaffected by disabling it —
+/// the ablation switches are precise.
+#[test]
+fn law_free_programs_unaffected_by_ablation() {
+    let src = "fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
+               (x : $([nm = t] ++ r)) = x.nm\n\
+               val a = proj [#A] {A = 1, B = 2}";
+    for (id, di, fu) in [
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+        (false, false, false),
+    ] {
+        let mut e = Elaborator::new();
+        e.cx.laws.identity = id;
+        e.cx.laws.distrib = di;
+        e.cx.laws.fusion = fu;
+        e.elab_source(PRELUDE).unwrap();
+        e.elab_source(src)
+            .unwrap_or_else(|err| panic!("proj failed under ablation {id}/{di}/{fu}: {err}"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Focused elaborator feature tests: local declarations, the `@`
+//! explicitness marker, constraint-encoding patterns (§3.1: "from this
+//! base, it is easy to define other constraints, including record
+//! equality and inclusion"), and implicit-insertion corner cases.
+
+use ur_infer::Elaborator;
+
+const PRELUDE: &str = r#"
+val showInt : int -> string
+val strcat : string -> string -> string
+val add : int -> int -> int
+val mul : int -> int -> int
+"#;
+
+fn ok(src: &str) -> Elaborator {
+    let mut e = Elaborator::new();
+    e.elab_source(PRELUDE).unwrap();
+    if let Err(err) = e.elab_source(src) {
+        panic!("elaboration failed: {err}");
+    }
+    e
+}
+
+#[test]
+fn local_type_definitions_in_let() {
+    ok(r#"
+val x =
+  let
+    type pair = {L : int, R : int}
+    fun mk (a : int) (b : int) : pair = {L = a, R = b}
+  in
+    (mk 1 2).L
+  end
+"#);
+}
+
+#[test]
+fn local_functions_close_over_earlier_locals() {
+    ok(r#"
+val y =
+  let
+    val base = 10
+    fun bump (n : int) = n + base
+    fun twice (n : int) = bump (bump n)
+  in
+    twice 1
+  end
+"#);
+}
+
+#[test]
+fn record_inclusion_encoded_with_disjointness() {
+    // §3.1: record inclusion `sub ⊆ full` is encoded as
+    // `full = sub ++ rest` with `[sub ~ rest]` — the basis of the SQL
+    // library's typing rules.
+    ok(r#"
+fun getSub [sub :: {Type}] [rest :: {Type}] [sub ~ rest]
+    (keep : $sub -> int) (x : $(sub ++ rest)) : int = keep ??
+"#
+    .replace("keep ??", "0")
+    .as_str());
+    // And a use that picks a concrete split.
+    ok(r#"
+fun width [sub :: {Type}] [rest :: {Type}] [sub ~ rest]
+    (x : $(sub ++ rest)) : int = 1
+val w = width [[A = int]] [[B = float]] {A = 1, B = 2.0}
+"#);
+}
+
+#[test]
+fn record_equality_encoded_with_two_inclusions() {
+    // Record equality r1 = r2 as definitional equality through an
+    // identity coercion.
+    ok(r#"
+fun coerce [r :: {Type}] (x : $r) : $r = x
+fun eqShape [r :: {Type}] [[A] ~ r] (x : $([A = int] ++ r)) : $(r ++ [A = int]) = x
+"#);
+}
+
+#[test]
+fn explicit_marker_is_harmless_on_folder_free_functions() {
+    ok("fun dbl (n : int) = n * 2\nval a = @dbl 21");
+}
+
+#[test]
+fn wildcard_constructor_arguments() {
+    ok(r#"
+fun pick [t :: Type] (x : t) (y : t) = x
+val a = pick [_] 1 2
+"#);
+}
+
+#[test]
+fn nested_polymorphic_instantiation() {
+    ok(r#"
+fun konst [a :: Type] [b :: Type] (x : a) (y : b) : a = x
+val k1 = konst 1 "s"
+val k2 = konst "s" 1
+val k3 = konst [int] [string] 2 "t"
+"#);
+}
+
+#[test]
+fn guards_discharge_in_any_written_order() {
+    // Multiple constraints, written and discharged in sequence.
+    ok(r#"
+fun tri [a :: {Type}] [b :: {Type}] [c :: {Type}]
+    [a ~ b] [b ~ c] [a ~ c]
+    (x : $a) (y : $b) (z : $c) : $((a ++ b) ++ c) = (x ++ y) ++ z
+val t = tri {P = 1} {Q = 2} {R = 3}
+val p = t.P
+val r = t.R
+"#);
+}
+
+#[test]
+fn shadowing_in_nested_scopes() {
+    ok(r#"
+val x = 1
+val y =
+  let
+    val x = 2
+  in
+    let
+      val x = 3
+    in x end
+  end
+"#);
+}
+
+#[test]
+fn annotations_propagate_into_applications() {
+    // Checking mode flows through the spine into the record argument.
+    ok(r#"
+fun wrap [r :: {Type}] (x : $r) : $r = x
+val a : {A : int} = wrap {A = 1}
+"#);
+}
+
+#[test]
+fn constraint_shorthand_accepts_multiple_names() {
+    // `[A, B] ~ r` decomposes into A~r and B~r.
+    ok(r#"
+fun two [r :: {Type}] [[A, B] ~ r] (x : $([A = int] ++ ([B = int] ++ r))) : int =
+  x.A + x.B
+val n = two {A = 1, B = 2, C = "x"}
+"#);
+}
+
+#[test]
+fn stats_count_all_machinery_on_a_rich_program() {
+    let e = ok(r#"
+type meta (t :: Type) = {Show : t -> string}
+fun render [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : string =
+  fl [fn r => $(map meta r) -> $r -> string]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        mr.nm.Show x.nm ^ acc (mr -- nm) (x -- nm))
+     (fn _ _ => "") mr x
+val out = render {A = {Show = showInt}, B = {Show = showInt}} {A = 1, B = 2}
+"#);
+    let s = &e.cx.stats;
+    assert!(s.disjoint_prover_calls > 0);
+    assert!(s.law_map_distrib > 0);
+    assert!(s.folders_generated == 1, "{s}");
+    assert!(s.reverse_engineered >= 1, "{s}");
+    assert!(s.unify_calls > 10, "{s}");
+}

@@ -1,0 +1,348 @@
+//! # ur-studies — the paper's case-study metaprograms, written in Ur
+//!
+//! Section 6 of the paper evaluates Ur by building statically-typed
+//! versions of metaprogramming components popular in Web frameworks. This
+//! crate contains our re-implementations as Ur source (embedded), each
+//! split into an *interface* block (`val` specifications, validated
+//! against the inferred types) and an *implementation* block — the split
+//! Figure 5 reports line counts for.
+//!
+//! [`run_study`] loads a study (and its dependencies) into a fresh
+//! [`Session`], measures the inference-statistics delta attributable to
+//! the component itself, validates the interface, and runs the study's
+//! usage demo — the "novice" client code that must stay free of fancy
+//! types (design principle 2).
+
+use std::fmt;
+use ur_core::defeq::defeq;
+use ur_core::stats::Stats;
+use ur_infer::ElabDecl;
+use ur_web::{Session, SessionError};
+
+/// One case-study component.
+#[derive(Clone, Copy, Debug)]
+pub struct Study {
+    /// Short identifier (also the source file name).
+    pub id: &'static str,
+    /// Display title matching the paper's Figure 5 where applicable.
+    pub title: &'static str,
+    /// Full source: interface and implementation separated by markers.
+    pub source: &'static str,
+    /// Ids of studies that must be loaded first.
+    pub deps: &'static [&'static str],
+    /// Client ("novice") code exercising the component.
+    pub usage: &'static str,
+    /// The paper's Figure 5 row, when this component appears there:
+    /// (interface LoC, implementation LoC, Disj., Id., Dist., Fuse).
+    pub figure5: Option<(u64, u64, u64, u64, u64, u64)>,
+}
+
+const INTERFACE_MARK: &str = "(* ==== interface ==== *)";
+const IMPL_MARK: &str = "(* ==== implementation ==== *)";
+
+impl Study {
+    /// The interface block.
+    pub fn interface(&self) -> &'static str {
+        let start = self.source.find(INTERFACE_MARK).expect("interface marker")
+            + INTERFACE_MARK.len();
+        let end = self.source.find(IMPL_MARK).expect("impl marker");
+        &self.source[start..end]
+    }
+
+    /// The implementation block.
+    pub fn implementation(&self) -> &'static str {
+        let start = self.source.find(IMPL_MARK).expect("impl marker") + IMPL_MARK.len();
+        &self.source[start..]
+    }
+}
+
+/// All case studies, in dependency order.
+pub fn studies() -> Vec<Study> {
+    vec![
+        Study {
+            id: "folders",
+            title: "Folder combinators",
+            source: include_str!("../ur/folders.ur"),
+            deps: &[],
+            usage: include_str!("../ur/folders_use.ur"),
+            figure5: None,
+        },
+        Study {
+            id: "mktable",
+            title: "Table formatter",
+            source: include_str!("../ur/mktable.ur"),
+            deps: &[],
+            usage: include_str!("../ur/mktable_use.ur"),
+            figure5: None,
+        },
+        Study {
+            id: "todb",
+            title: "DB modification",
+            source: include_str!("../ur/todb.ur"),
+            deps: &[],
+            usage: include_str!("../ur/todb_use.ur"),
+            figure5: None,
+        },
+        Study {
+            id: "selector",
+            title: "Typed selectors",
+            source: include_str!("../ur/selector.ur"),
+            deps: &["folders"],
+            usage: include_str!("../ur/selector_use.ur"),
+            figure5: None,
+        },
+        Study {
+            id: "orm",
+            title: "ORM",
+            source: include_str!("../ur/orm.ur"),
+            deps: &["selector"],
+            usage: include_str!("../ur/orm_use.ur"),
+            figure5: Some((40, 77, 580, 0, 13, 5)),
+        },
+        Study {
+            id: "orm_links",
+            title: "ORM foreign keys",
+            source: include_str!("../ur/orm_links.ur"),
+            deps: &["selector", "orm"],
+            usage: include_str!("../ur/orm_links_use.ur"),
+            figure5: None,
+        },
+        Study {
+            id: "versioned",
+            title: "Versioned",
+            source: include_str!("../ur/versioned.ur"),
+            deps: &["folders", "selector"],
+            usage: include_str!("../ur/versioned_use.ur"),
+            figure5: Some((20, 122, 616, 6, 4, 2)),
+        },
+        Study {
+            id: "admin",
+            title: "Table Admin",
+            source: include_str!("../ur/admin.ur"),
+            deps: &["selector"],
+            usage: include_str!("../ur/admin_use.ur"),
+            figure5: Some((22, 158, 1412, 0, 1, 2)),
+        },
+        Study {
+            id: "admin2",
+            title: "Web 2.0 Admin",
+            source: include_str!("../ur/admin2.ur"),
+            deps: &["admin"],
+            usage: include_str!("../ur/admin2_use.ur"),
+            figure5: Some((21, 134, 1105, 0, 1, 1)),
+        },
+        Study {
+            id: "spreadsheet",
+            title: "Spreadsh. (base)",
+            source: include_str!("../ur/spreadsheet.ur"),
+            deps: &[],
+            usage: include_str!("../ur/spreadsheet_use.ur"),
+            figure5: Some((46, 291, 1667, 6, 0, 1)),
+        },
+        Study {
+            id: "spreadsheet_sql",
+            title: "Spreadsh. (SQL)",
+            source: include_str!("../ur/spreadsheet_sql.ur"),
+            deps: &["folders", "spreadsheet"],
+            usage: include_str!("../ur/spreadsheet_sql_use.ur"),
+            figure5: Some((110, 391, 1257, 3, 11, 0)),
+        },
+    ]
+}
+
+/// Finds a study by id.
+///
+/// # Panics
+///
+/// Panics if the id is unknown.
+pub fn study(id: &str) -> Study {
+    studies()
+        .into_iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("unknown study {id}"))
+}
+
+/// Counts lines of code: lines with content other than whitespace and
+/// comments (the paper's Figure 5 methodology).
+pub fn loc(src: &str) -> u64 {
+    let mut count = 0u64;
+    let mut depth = 0i32;
+    for line in src.lines() {
+        let mut content = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if i + 1 < bytes.len() && bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                depth += 1;
+                i += 2;
+                continue;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'*' && bytes[i + 1] == b')' {
+                depth -= 1;
+                i += 2;
+                continue;
+            }
+            if depth == 0 && !bytes[i].is_ascii_whitespace() {
+                content = true;
+            }
+            i += 1;
+        }
+        if content {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The measured result of loading one study.
+#[derive(Clone, Debug)]
+pub struct StudyReport {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub interface_loc: u64,
+    pub impl_loc: u64,
+    /// Inference statistics attributable to elaborating the component
+    /// (excluding its dependencies).
+    pub stats: Stats,
+    /// Statistics from elaborating and running the usage demo.
+    pub usage_stats: Stats,
+    /// Values produced by the usage demo, for smoke checks.
+    pub usage_values: Vec<(String, String)>,
+}
+
+impl fmt::Display for StudyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:18} int={:4} imp={:4} | disj={:5} id={:3} dist={:3} fuse={:3}",
+            self.title,
+            self.interface_loc,
+            self.impl_loc,
+            self.stats.disjoint_prover_calls,
+            self.stats.law_map_identity,
+            self.stats.law_map_distrib,
+            self.stats.law_map_fusion,
+        )
+    }
+}
+
+/// Loads a study's dependencies and implementation into a fresh session,
+/// validates its interface, runs its usage demo, and reports Figure-5
+/// statistics.
+///
+/// # Errors
+///
+/// Returns any elaboration or runtime error, including interface
+/// mismatches.
+pub fn run_study(s: &Study) -> Result<StudyReport, SessionError> {
+    let mut sess = Session::new()?;
+    load_deps(&mut sess, s)?;
+
+    let before = sess.stats().clone();
+    sess.run(s.implementation())?;
+    let stats = sess.stats().since(&before);
+
+    check_interface(&mut sess, s.interface())?;
+
+    let before_use = sess.stats().clone();
+    let values = sess.run(s.usage)?;
+    let usage_stats = sess.stats().since(&before_use);
+
+    Ok(StudyReport {
+        id: s.id,
+        title: s.title,
+        interface_loc: loc(s.interface()),
+        impl_loc: loc(s.implementation()),
+        stats,
+        usage_stats,
+        usage_values: values
+            .into_iter()
+            .map(|(n, v)| (n, v.to_string()))
+            .collect(),
+    })
+}
+
+fn load_deps(sess: &mut Session, s: &Study) -> Result<(), SessionError> {
+    for dep in s.deps {
+        let d = study(dep);
+        load_deps(sess, &d)?;
+        sess.run(d.implementation())?;
+    }
+    Ok(())
+}
+
+/// Validates an interface block: every `val x : t` must match the inferred
+/// type of `x` up to definitional equality.
+///
+/// # Errors
+///
+/// Returns an error naming the first mismatching or missing value.
+pub fn check_interface(sess: &mut Session, iface: &str) -> Result<(), SessionError> {
+    let prog = ur_syntax::parse_program(iface)
+        .map_err(|e| SessionError::Elab(ur_infer::ElabError::new(e.span, e.message)))?;
+    for d in &prog.decls {
+        let ur_syntax::SDecl::ValAbs(span, name, tspec) = d else {
+            continue;
+        };
+        let actual = sess
+            .elab
+            .decls
+            .iter()
+            .rev()
+            .find_map(|d| match d {
+                ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                SessionError::Elab(ur_infer::ElabError::new(
+                    *span,
+                    format!("interface lists {name}, but the implementation does not define it"),
+                ))
+            })?;
+        let env = sess.elab.genv.clone();
+        let (spec_ty, _) = sess
+            .elab
+            .elab_con(&env, tspec, Some(&ur_core::kind::Kind::Type))
+            .map_err(SessionError::Elab)?;
+        let spec_ty = ur_infer::elab::finalize_con(&sess.elab.cx, &spec_ty);
+        if !defeq(&env, &mut sess.elab.cx, &actual, &spec_ty) {
+            return Err(SessionError::Elab(ur_infer::ElabError::new(
+                *span,
+                format!(
+                    "interface mismatch for {name}: specified {spec_ty}, inferred {actual}"
+                ),
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counts_content_lines_only() {
+        let src = "\n(* comment\n   more comment *)\nval x : int\n\nval y : int (* trailing *)\n";
+        assert_eq!(loc(src), 2);
+    }
+
+    #[test]
+    fn studies_have_markers() {
+        for s in studies() {
+            assert!(!s.interface().trim().is_empty(), "{} interface", s.id);
+            assert!(!s.implementation().trim().is_empty(), "{} impl", s.id);
+        }
+    }
+
+    #[test]
+    fn study_lookup() {
+        assert_eq!(study("mktable").id, "mktable");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown study")]
+    fn unknown_study_panics() {
+        let _ = study("nope");
+    }
+}

@@ -1,0 +1,34 @@
+use ur_studies::{run_study, study};
+
+#[test]
+fn admin_study_end_to_end() {
+    let r = run_study(&study("admin")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["n"], "2");
+    let html = &vals["html"];
+    assert!(html.contains("<h1>Inventory</h1>"), "{html}");
+    assert!(html.contains("<th>Name</th>"), "{html}");
+    assert!(html.contains("<td>bolt</td>"), "{html}");
+    assert!(html.contains("<td>42</td>"), "{html}");
+    // The malicious row label is escaped in the rendered page.
+    assert!(html.contains("&lt;b&gt;nut&lt;/b&gt;"), "{html}");
+    assert!(!html.contains("<b>nut</b>"), "{html}");
+    // Form inputs present.
+    // (usage_values stringifies via Debug, so quotes are escaped)
+    assert!(html.contains("<input type=\\\"text\\\" name=\\\"Qty\\\"></input>"), "{html}");
+    assert_eq!(vals["cleared"], "2");
+    assert_eq!(vals["n2"], "0");
+    assert!(r.stats.disjoint_prover_calls > 20, "{}", r.stats);
+}
+
+#[test]
+fn admin2_study_end_to_end() {
+    let r = run_study(&study("admin2")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["beforeFlush"], "0");
+    assert_eq!(vals["pending"], "2");
+    // Serialized RPC payload contains both rows through the column Shows.
+    assert!(vals["wire"].contains("Label=widget;Price=5;"), "{}", vals["wire"]);
+    assert!(vals["wire"].contains("Label=gizmo;Price=8;"), "{}", vals["wire"]);
+    assert_eq!(vals["afterFlush"], "2");
+}

@@ -1,0 +1,72 @@
+//! End-to-end checks of the §2 components as packaged studies.
+
+use ur_studies::{run_study, study};
+
+#[test]
+fn folders_study() {
+    let r = run_study(&study("folders")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["n"], "2");
+    assert_eq!(vals["n0"], "0");
+}
+
+#[test]
+fn mktable_study() {
+    let r = run_study(&study("mktable")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    // The paper's §2.1 expected output.
+    assert_eq!(
+        vals["html"],
+        "\"<tr> <th>A</th> <td>2</td> </tr> <tr> <th>B</th> <td>3.4</td> </tr> \""
+    );
+    assert!(vals["xhtml"].contains("<table><tr><th>A</th><td>2</td></tr>"));
+    // Injection neutralized by the typed tree.
+    assert!(vals["attack"].contains("&lt;script&gt;"));
+    assert!(!vals["attack"].contains("<script>"));
+}
+
+#[test]
+fn todb_study() {
+    let r = run_study(&study("todb")).unwrap();
+    assert!(r.stats.law_map_fusion >= 1, "fusion law must fire: {}", r.stats);
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["total"], "2");
+}
+
+#[test]
+fn selector_study() {
+    let r = run_study(&study("selector")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["hit"], "1");
+    assert_eq!(vals["removed"], "1");
+    assert_eq!(vals["left"], "2");
+    assert!(r.stats.disjoint_prover_calls > 0);
+}
+
+#[test]
+fn update_matching_sets_subset_of_columns() {
+    let r = run_study(&study("selector")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["bumped"], "1");
+    assert_eq!(vals["naliice"], "1");
+}
+
+#[test]
+fn interface_mismatches_are_detected() {
+    // check_interface must reject a wrong specification.
+    let mut sess = ur_web::Session::new().unwrap();
+    sess.run(study("mktable").implementation()).unwrap();
+    let bad_iface = "val mkTable : int -> int";
+    let err = ur_studies::check_interface(&mut sess, bad_iface).unwrap_err();
+    assert!(err.to_string().contains("interface mismatch"), "{err}");
+    let missing = "val noSuchThing : int";
+    let err = ur_studies::check_interface(&mut sess, missing).unwrap_err();
+    assert!(err.to_string().contains("does not define"), "{err}");
+}
+
+#[test]
+fn loc_handles_nested_and_inline_comments() {
+    assert_eq!(ur_studies::loc("(* a (* b *) c *)\n"), 0);
+    assert_eq!(ur_studies::loc("val x (* mid *) : int\n"), 1);
+    assert_eq!(ur_studies::loc(""), 0);
+}

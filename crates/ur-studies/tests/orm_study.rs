@@ -1,0 +1,26 @@
+use ur_studies::{run_study, study};
+
+#[test]
+fn orm_study_end_to_end() {
+    let r = run_study(&study("orm")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["count"], "3");
+    assert_eq!(vals["deleted"], "1");
+    assert_eq!(vals["count2"], "2");
+    assert_eq!(vals["younger"], "1"); // alice (30) removed; carol (41) stays
+    assert_eq!(vals["count3"], "1");
+    assert_eq!(vals["total"], "1");
+    assert_eq!(vals["txt"], "\"dave 7 \"");
+    assert_eq!(vals["pcount"], "1");
+    // Figure 5 shape: the prover is the workhorse.
+    assert!(r.stats.disjoint_prover_calls > 10, "{}", r.stats);
+}
+
+#[test]
+fn orm_links_follow_foreign_keys() {
+    let r = run_study(&study("orm_links")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["nOwners"], "1");
+    assert_eq!(vals["ownerName"], "\"alice\"");
+    assert_eq!(vals["nBobs"], "1");
+}

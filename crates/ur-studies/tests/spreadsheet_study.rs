@@ -1,0 +1,57 @@
+use ur_studies::{run_study, study};
+
+#[test]
+fn spreadsheet_study_end_to_end() {
+    let r = run_study(&study("spreadsheet")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    let html = &vals["html"];
+    // Headers: stored and computed columns.
+    for h in ["<th>Id</th>", "<th>A</th>", "<th>B</th>", "<th>2A</th>"] {
+        assert!(html.contains(h), "{html}");
+    }
+    // A computed cell: 2 * 10 = 20.
+    assert!(html.contains("<td>20</td>"), "{html}");
+    // Aggregates over [10, 7, 5] and [True, False, True].
+    assert_eq!(vals["totals"], "\"<tr><td>22</td><td>False</td></tr>\"");
+    assert_eq!(vals["nbig"], "2");
+    assert_eq!(vals["totalsBig"], "\"<tr><td>17</td><td>False</td></tr>\"");
+    assert!(r.stats.disjoint_prover_calls > 20, "{}", r.stats);
+}
+
+#[test]
+fn spreadsheet_sql_study_end_to_end() {
+    let r = run_study(&study("spreadsheet_sql")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["n"], "3");
+    assert_eq!(vals["count"], "3");
+    let html = &vals["html"];
+    assert!(html.contains("<th>2A</th>"), "{html}");
+    assert!(html.contains("<td>20</td>"), "{html}");
+    // Bool column round-trips through its int SQL representation.
+    assert!(html.contains("<td>True</td>"), "{html}");
+    assert_eq!(vals["totals"], "\"<tr><td>22</td><td>False</td></tr>\"");
+    // Figure 5 shape: the SQL spreadsheet is the heaviest distributivity
+    // user.
+    assert!(r.stats.law_map_distrib >= 1, "{}", r.stats);
+    assert!(r.stats.disjoint_prover_calls > 20, "{}", r.stats);
+}
+
+#[test]
+fn spreadsheet_filtering_sorting_paging() {
+    let r = run_study(&study("spreadsheet")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    // A > 6 and B: only {Id=1, A=10, B=True}.
+    assert_eq!(vals["npicked"], "1");
+    // Sorted A values ascending.
+    assert_eq!(vals["firstA"], "[5, 7, 10]");
+    assert_eq!(vals["npage"], "2");
+}
+
+#[test]
+fn sql_spreadsheet_server_side_paging() {
+    let r = run_study(&study("spreadsheet_sql")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    // Rows have A = 10, 7, 5; ordered ascending [5, 7, 10]; offset 1,
+    // limit 1 -> [7].
+    assert_eq!(vals["pageA"], "[7]");
+}

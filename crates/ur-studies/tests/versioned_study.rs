@@ -1,0 +1,16 @@
+use ur_studies::{run_study, study};
+
+#[test]
+fn versioned_study_end_to_end() {
+    let r = run_study(&study("versioned")).unwrap();
+    let vals: std::collections::HashMap<_, _> = r.usage_values.into_iter().collect();
+    assert_eq!(vals["nversions"], "3");
+    assert_eq!(vals["latestTitle"], "\"Final\"");
+    assert_eq!(vals["latestBody"], "\"hello world\"");
+    // Rolling back to version 2: the title change had not happened yet.
+    assert_eq!(vals["middleTitle"], "\"v1\"");
+    assert_eq!(vals["middleBody"], "\"hello world\"");
+    // Figure 5 shape for Versioned: prover-heavy, with fusion uses.
+    assert!(r.stats.disjoint_prover_calls > 20, "{}", r.stats);
+    assert!(r.stats.law_map_fusion >= 1, "{}", r.stats);
+}

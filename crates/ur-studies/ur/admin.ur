@@ -1,0 +1,85 @@
+(* Database admin interface (paper §6): "the most popular Ruby on Rails
+   metaprogram" — a standard interface for administering an arbitrary
+   table, viewing and modifying its contents via HTML tables and forms.
+   Instantiated from just a table name, a page title, and a record of
+   per-column metadata. *)
+(* ==== interface ==== *)
+val adminTable : r :: {Type} -> folder r -> string -> string ->
+    $(map adminMeta r) -> adminOps r
+val parseRow : r :: {Type} -> folder r -> $(map adminMeta r) ->
+    $(map (fn _ => string) r) -> $(map (sql_exp []) r)
+val headerRow : r :: {Type} -> folder r -> $(map adminMeta r) -> xml #tr
+val dataRow : r :: {Type} -> folder r -> $(map adminMeta r) -> $r -> xml #tr
+(* ==== implementation ==== *)
+
+(* Display label, renderer, form parser, and SQL type per column. *)
+type adminMeta (t :: Type) = {Label : string, Show : t -> string,
+                              Parse : string -> t, SqlType : sql_type t}
+
+type adminOps (r :: {Type}) = {
+  Page : unit -> string,
+  AddRow : $(map (fn _ => string) r) -> unit,
+  DeleteAll : unit -> int,
+  Count : unit -> int
+}
+
+fun adminSqlTypes [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r))
+    : $(map sql_type r) =
+  fl [fn r => $(map adminMeta r) -> $(map sql_type r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        {nm = mr.nm.SqlType} ++ acc (mr -- nm))
+     (fn _ => {}) mr
+
+(* Table header: one <th> per column label. *)
+fun headerRow [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r)) : xml #tr =
+  fl [fn r => $(map adminMeta r) -> xml #tr]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        xcat (tagTh (cdata mr.nm.Label)) (acc (mr -- nm)))
+     (fn _ => xempty) mr
+
+(* One data row: <td> cells rendered by each column's Show. *)
+fun dataRow [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r)) (x : $r) : xml #tr =
+  fl [fn r => $(map adminMeta r) -> $r -> xml #tr]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        xcat (tagTd (cdata (mr.nm.Show x.nm))) (acc (mr -- nm) (x -- nm)))
+     (fn _ _ => xempty) mr x
+
+(* The add-row form: a labelled text input per column. The incoming form
+   data is a record of strings (a constant type-level map). *)
+fun formRow [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r)) : xml #inline =
+  fl [fn r => $(map adminMeta r) -> xml #inline]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        xcat (cdata mr.nm.Label)
+             (xcat (inputText mr.nm.Label) (acc (mr -- nm))))
+     (fn _ => xempty) mr
+
+(* Parse a record of form strings into a typed INSERT row. *)
+fun parseRow [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r))
+    (inp : $(map (fn _ => string) r)) : $(map (sql_exp []) r) =
+  fl [fn r => $(map adminMeta r) -> $(map (fn _ => string) r) -> $(map (sql_exp []) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr inp =>
+        {nm = const (mr.nm.Parse inp.nm)} ++ acc (mr -- nm) (inp -- nm))
+     (fn _ _ => {}) mr inp
+
+fun adminTable [r :: {Type}] (fl : folder r) (title : string) (name : string)
+    (mr : $(map adminMeta r)) : adminOps r =
+  let
+    val tab = createTable name (@adminSqlTypes fl mr)
+  in
+    {Page = fn (u : unit) =>
+       page title
+         (xcat (tagH1 (cdata title))
+           (xcat
+             (tagTable
+               (xcat (tagTr (@headerRow fl mr))
+                 (foldList
+                    (fn (row : $r) (acc : xml #table) =>
+                       xcat (tagTr (@dataRow fl mr row)) acc)
+                    xempty
+                    (selectAll tab (sqlTrue)))))
+             (tagP (@formRow fl mr)))),
+     AddRow = fn (inp : $(map (fn _ => string) r)) =>
+       insert tab (@parseRow fl mr inp),
+     DeleteAll = fn (u : unit) => deleteRows tab (sqlTrue),
+     Count = fn (u : unit) => rowCount tab}
+  end

@@ -1,0 +1,61 @@
+(* Batched ("Web 2.0") admin interface (paper §6): new rows are
+   accumulated client-side without contacting the server; the user then
+   submits the batch en masse through one RPC whose serialized row type is
+   computed by a map over the column metadata. *)
+(* ==== interface ==== *)
+val adminBatch : r :: {Type} -> folder r -> string -> $(map adminMeta r) -> batchOps r
+val parseNative : r :: {Type} -> folder r -> $(map adminMeta r) ->
+    $(map (fn _ => string) r) -> $r
+val serializeRow : r :: {Type} -> folder r -> $(map adminMeta r) -> $r -> string
+(* ==== implementation ==== *)
+
+type batchOps (r :: {Type}) = {
+  Init : list $r,
+  AddLocal : $(map (fn _ => string) r) -> list $r -> list $r,
+  RenderLocal : list $r -> string,
+  Serialize : list $r -> string,
+  Flush : list $r -> unit,
+  Count : unit -> int
+}
+
+(* Client-side parsing: no server round trip per row. *)
+fun parseNative [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r))
+    (inp : $(map (fn _ => string) r)) : $r =
+  fl [fn r => $(map adminMeta r) -> $(map (fn _ => string) r) -> $r]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr inp =>
+        {nm = mr.nm.Parse inp.nm} ++ acc (mr -- nm) (inp -- nm))
+     (fn _ _ => {}) mr inp
+
+(* The RPC wire format: each row serialized through the column Shows. *)
+fun serializeRow [r :: {Type}] (fl : folder r) (mr : $(map adminMeta r)) (x : $r) : string =
+  fl [fn r => $(map adminMeta r) -> $r -> string]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        mr.nm.Label ^ "=" ^ mr.nm.Show x.nm ^ ";" ^ acc (mr -- nm) (x -- nm))
+     (fn _ _ => "") mr x
+
+fun rowToExpsB [r :: {Type}] (fl : folder r) (x : $r) : $(map (sql_exp []) r) =
+  fl [fn r => $r -> $(map (sql_exp []) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x =>
+        {nm = const x.nm} ++ acc (x -- nm))
+     (fn _ => {}) x
+
+fun adminBatch [r :: {Type}] (fl : folder r) (name : string)
+    (mr : $(map adminMeta r)) : batchOps r =
+  let
+    val tab = createTable name (@adminSqlTypes fl mr)
+  in
+    {Init = nil,
+     AddLocal = fn (inp : $(map (fn _ => string) r)) (batch : list $r) =>
+       cons (@parseNative fl mr inp) batch,
+     RenderLocal = fn (batch : list $r) =>
+       foldList (fn (row : $r) (acc : string) =>
+                   @serializeRow fl mr row ^ " | " ^ acc)
+                "" batch,
+     Serialize = fn (batch : list $r) =>
+       joinStrings "&" (mapL (fn (row : $r) => @serializeRow fl mr row) batch),
+     Flush = fn (batch : list $r) =>
+       foldList (fn (row : $r) (u : unit) =>
+                   insert tab (@rowToExpsB fl row))
+                () batch,
+     Count = fn (u : unit) => rowCount tab}
+  end

@@ -1,0 +1,15 @@
+(* Novice client: batch two rows locally, flush once. *)
+val gadgets = adminBatch "gadget_batch"
+  {Label = {Label = "Label", Show = fn (s : string) => s,
+            Parse = fn (s : string) => s, SqlType = sqlString},
+   Price = {Label = "Price", Show = showInt, Parse = parseInt, SqlType = sqlInt}}
+
+val b0 = gadgets.Init
+val beforeFlush = gadgets.Count ()
+val b1 = gadgets.AddLocal {Label = "widget", Price = "5"} b0
+val b2 = gadgets.AddLocal {Label = "gizmo", Price = "8"} b1
+val localView = gadgets.RenderLocal b2
+val wire = gadgets.Serialize b2
+val pending = lengthList b2
+val f = gadgets.Flush b2
+val afterFlush = gadgets.Count ()

@@ -1,0 +1,12 @@
+(* Novice client: an inventory admin page from three lines of metadata. *)
+val inv = adminTable "Inventory" "inv_items"
+  {Name = {Label = "Name", Show = fn (s : string) => s,
+           Parse = fn (s : string) => s, SqlType = sqlString},
+   Qty = {Label = "Qty", Show = showInt, Parse = parseInt, SqlType = sqlInt}}
+
+val a1 = inv.AddRow {Name = "bolt", Qty = "42"}
+val a2 = inv.AddRow {Name = "<b>nut</b>", Qty = "17"}
+val n = inv.Count ()
+val html = inv.Page ()
+val cleared = inv.DeleteAll ()
+val n2 = inv.Count ()

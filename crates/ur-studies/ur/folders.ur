@@ -1,0 +1,41 @@
+(* Folder combinators: first-class field permutations (paper §2.1, §4.4),
+   built *in Ur* on top of the compiler-known folder family. These are the
+   analogue of real Ur/Web's Folder library module. *)
+(* ==== interface ==== *)
+val folderNil : folder []
+val folderSingle : nm :: Name -> t :: Type -> folder [nm = t]
+val folderCat : r1 :: {Type} -> r2 :: {Type} -> [r1 ~ r2] =>
+    folder r1 -> folder r2 -> folder (r1 ++ r2)
+val folderFst : r :: {(Type * Type)} -> folder r -> folder (map fst r)
+val folderSnd : r :: {(Type * Type)} -> folder r -> folder (map snd r)
+(* ==== implementation ==== *)
+
+val folderNil : folder [] = fn [tf] step init => init
+
+fun folderSingle [nm :: Name] [t :: Type] : folder [nm = t] =
+  fn [tf] step init => step [nm] [t] [[]] ! init
+
+fun folderCat [r1 :: {Type}] [r2 :: {Type}] [r1 ~ r2]
+    (f1 : folder r1) (f2 : folder r2) : folder (r1 ++ r2) =
+  fn [tf] step init =>
+    f1 [fn r => [r ~ r2] => tf (r ++ r2)]
+       (fn [nm] [t] [r] [[nm] ~ r] acc [[nm] ~ r2] =>
+          step [nm] [t] [r ++ r2] ! (acc !))
+       (fn [[] ~ r2] => f2 [tf] step init)
+       !
+
+(* Transport a folder along a type-level map (the analogue of real
+   Ur/Web's Folder.mp, specialized to the pair projections). *)
+fun folderFst [r :: {(Type * Type)}] (fl : folder r) : folder (map fst r) =
+  fn [tf] step init =>
+    fl [fn c => tf (map fst c)]
+       (fn [nm] [p] [c] [[nm] ~ c] acc =>
+          step [nm] [p.1] [map fst c] ! acc)
+       init
+
+fun folderSnd [r :: {(Type * Type)}] (fl : folder r) : folder (map snd r) =
+  fn [tf] step init =>
+    fl [fn c => tf (map snd c)]
+       (fn [nm] [p] [c] [[nm] ~ c] acc =>
+          step [nm] [p.2] [map snd c] ! acc)
+       init

@@ -1,0 +1,9 @@
+(* Client code: build a folder for [A = int, B = string] by combination,
+   then fold with it to count fields. *)
+val fl2 = @folderCat (folderSingle [#A] [int]) (folderSingle [#B] [string])
+
+fun countFields [r :: {Type}] (fl : folder r) : int =
+  fl [fn _ => int] (fn [nm] [t] [r] [[nm] ~ r] (acc : int) => acc + 1) 0
+
+val n = @countFields fl2
+val n0 = @countFields folderNil

@@ -1,0 +1,28 @@
+(* The generic table formatter of paper §2.1: reifies the copy-and-paste
+   "format a record as an HTML table" recipe as one well-typed function,
+   in both the string and the injection-proof XML-tree versions. *)
+(* ==== interface ==== *)
+val mkTable : r :: {Type} -> folder r -> $(map meta r) -> $r -> string
+val mkRows : r :: {Type} -> folder r -> $(map meta r) -> $r -> xml #table
+val mkXmlTable : r :: {Type} -> folder r -> $(map meta r) -> $r -> xml #body
+(* ==== implementation ==== *)
+
+type meta (t :: Type) = {Label : string, Show : t -> string}
+
+fun mkTable [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : string =
+  fl [fn r => $(map meta r) -> $r -> string]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        "<tr> <th>" ^ mr.nm.Label ^ "</th> <td>" ^ mr.nm.Show x.nm ^ "</td> </tr> " ^
+        acc (mr -- nm) (x -- nm))
+     (fn _ _ => "") mr x
+
+fun mkRows [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : xml #table =
+  fl [fn r => $(map meta r) -> $r -> xml #table]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        xcat (tagTr (xcat (tagTh (cdata mr.nm.Label))
+                          (tagTd (cdata (mr.nm.Show x.nm)))))
+             (acc (mr -- nm) (x -- nm)))
+     (fn _ _ => xempty) mr x
+
+fun mkXmlTable [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : xml #body =
+  tagTable (mkRows fl mr x)

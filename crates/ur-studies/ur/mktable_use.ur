@@ -1,0 +1,12 @@
+(* The paper's §2.1 client code, verbatim in spirit. *)
+val f = mkTable {A = {Label = "A", Show = showInt},
+                 B = {Label = "B", Show = showFloat}}
+val html = f {A = 2, B = 3.4}
+
+val fx = mkXmlTable {A = {Label = "A", Show = showInt},
+                     B = {Label = "B", Show = showFloat}}
+val xhtml = renderXml (fx {A = 2, B = 3.4})
+
+(* Injection attempt: the XML version must escape it. *)
+val g = mkXmlTable {N = {Label = "Note", Show = fn (s : string) => s}}
+val attack = renderXml (g {N = "<script>alert(1)</script>"})

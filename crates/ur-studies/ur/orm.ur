@@ -1,0 +1,59 @@
+(* Object-relational mapping (paper §6): a generic component mapping SQL
+   table rows to native Ur records. Produces, for any record of column
+   metadata, a record of classic ORM operations working directly on native
+   records. *)
+(* ==== interface ==== *)
+val ormTable : r :: {Type} -> folder r -> string -> $(map colMeta r) -> ormOps r
+val rowToExps : r :: {Type} -> folder r -> $r -> $(map (sql_exp []) r)
+val sqlTypes : r :: {Type} -> folder r -> $(map colMeta r) -> $(map sql_type r)
+val renderRow : r :: {Type} -> folder r -> $(map colMeta r) -> $r -> string
+(* ==== implementation ==== *)
+
+(* Per-column metadata: the SQL representation plus a display function. *)
+type colMeta (t :: Type) = {SqlType : sql_type t, Show : t -> string}
+
+(* The operations record an instantiation provides (the analogue of the
+   paper's Table functor output module). *)
+type ormOps (r :: {Type}) = {
+  List : unit -> list $r,
+  Add : $r -> unit,
+  Delete : $r -> int,
+  DeleteWhere : sql_exp r bool -> int,
+  FindWhere : sql_exp r bool -> list $r,
+  Count : unit -> int,
+  Render : $r -> string
+}
+
+(* Convert a native record to a record of constant SQL expressions. *)
+fun rowToExps [r :: {Type}] (fl : folder r) (x : $r) : $(map (sql_exp []) r) =
+  fl [fn r => $r -> $(map (sql_exp []) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x =>
+        {nm = const x.nm} ++ acc (x -- nm))
+     (fn _ => {}) x
+
+(* Project the SQL column types out of the metadata record. *)
+fun sqlTypes [r :: {Type}] (fl : folder r) (mr : $(map colMeta r)) : $(map sql_type r) =
+  fl [fn r => $(map colMeta r) -> $(map sql_type r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        {nm = mr.nm.SqlType} ++ acc (mr -- nm))
+     (fn _ => {}) mr
+
+(* Render one row for debugging/display. *)
+fun renderRow [r :: {Type}] (fl : folder r) (mr : $(map colMeta r)) (x : $r) : string =
+  fl [fn r => $(map colMeta r) -> $r -> string]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        mr.nm.Show x.nm ^ " " ^ acc (mr -- nm) (x -- nm))
+     (fn _ _ => "") mr x
+
+fun ormTable [r :: {Type}] (fl : folder r) (name : string) (mr : $(map colMeta r)) : ormOps r =
+  let
+    val tab = createTable name (@sqlTypes fl mr)
+  in
+    {List = fn (u : unit) => selectAll tab (sqlTrue),
+     Add = fn (x : $r) => insert tab (@rowToExps fl x),
+     Delete = fn (x : $r) => deleteRows tab (@selector fl x),
+     DeleteWhere = fn (p : sql_exp r bool) => deleteRows tab p,
+     FindWhere = fn (p : sql_exp r bool) => selectAll tab p,
+     Count = fn (u : unit) => rowCount tab,
+     Render = fn (x : $r) => @renderRow fl mr x}
+  end

@@ -1,0 +1,35 @@
+(* ORM foreign keys (paper §6): "To support foreign keys, we require that
+   a table be described in terms of a record of kind {Type * Type}, where
+   each field is associated both with its own type and with the type of
+   the table it references ... The foreign key link-following function is
+   typed in terms of a map over this record."
+
+   Here each column carries the pair (column type, referenced row type);
+   a linker record holds, per column, the function from a column value to
+   the referenced rows; followAll follows every link at once, producing a
+   record of result lists — its type is a map over the pair record. *)
+(* ==== interface ==== *)
+val followAll : cols :: {(Type * Type)} -> folder cols ->
+    $(map linker cols) -> $(map fst cols) -> $(map (fn p => list p.2) cols)
+val followOne : nm :: Name -> p :: (Type * Type) -> cols :: {(Type * Type)} ->
+    [[nm] ~ cols] => $(map linker ([nm = p] ++ cols)) -> p.1 -> list p.2
+(* ==== implementation ==== *)
+
+(* A link-follower for one column: from the column's value to the rows of
+   the referenced table (empty for non-foreign-key columns). *)
+type linker (p :: Type * Type) = p.1 -> list p.2
+
+(* Follow every column's link, collecting a record of referenced-row
+   lists. *)
+fun followAll [cols :: {(Type * Type)}] (fl : folder cols)
+    (lk : $(map linker cols)) (x : $(map fst cols))
+    : $(map (fn p => list p.2) cols) =
+  fl [fn c => $(map linker c) -> $(map fst c) -> $(map (fn p => list p.2) c)]
+     (fn [nm] [p] [c] [[nm] ~ c] acc lk x =>
+        {nm = lk.nm x.nm} ++ acc (lk -- nm) (x -- nm))
+     (fn _ _ => {}) lk x
+
+(* Follow a single named link out of a linker record. *)
+fun followOne [nm :: Name] [p :: (Type * Type)] [cols :: {(Type * Type)}]
+    [[nm] ~ cols] (lk : $(map linker ([nm = p] ++ cols))) (v : p.1) : list p.2 =
+  lk.nm v

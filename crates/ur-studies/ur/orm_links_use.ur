@@ -1,0 +1,30 @@
+(* People and their pets: Pet.Owner is a foreign key into people. *)
+val people = ormTable "link_people"
+  {Id = {SqlType = sqlInt, Show = showInt},
+   Name = {SqlType = sqlString, Show = fn (s : string) => s}}
+val pets = ormTable "link_pets"
+  {PetName = {SqlType = sqlString, Show = fn (s : string) => s},
+   Owner = {SqlType = sqlInt, Show = showInt}}
+
+val u1 = people.Add {Id = 1, Name = "alice"}
+val u2 = people.Add {Id = 2, Name = "bob"}
+val u3 = pets.Add {PetName = "rex", Owner = 1}
+val u4 = pets.Add {PetName = "tom", Owner = 1}
+val u5 = pets.Add {PetName = "jerry", Owner = 2}
+
+(* The linker record: Owner follows into people; PetName links nowhere. *)
+val petLinks =
+  {PetName = fn (s : string) => (nil : list {}),
+   Owner = fn (id : int) => people.FindWhere (sqlEq (column [#Id]) (const id))}
+
+(* Follow all links of one pet row at once. *)
+val followed = followAll petLinks {PetName = "rex", Owner = 1}
+val owners = followed.Owner
+val nOwners = lengthList owners
+val ownerName = foldList
+  (fn (p : {Id : int, Name : string}) (acc : string) => p.Name ^ acc)
+  "" owners
+
+(* And via the single-link helper. *)
+val bobs = followOne [#Owner] petLinks 2
+val nBobs = lengthList bobs

@@ -1,0 +1,22 @@
+(* Novice client code: two tables, no fancy types anywhere. *)
+val people = ormTable "orm_people"
+  {Name = {SqlType = sqlString, Show = fn (s : string) => s},
+   Age = {SqlType = sqlInt, Show = showInt}}
+
+val u1 = people.Add {Name = "alice", Age = 30}
+val u2 = people.Add {Name = "bob", Age = 25}
+val u3 = people.Add {Name = "carol", Age = 41}
+val count = people.Count ()
+val txt = people.Render {Name = "dave", Age = 7}
+val deleted = people.Delete {Name = "bob", Age = 25}
+val count2 = people.Count ()
+val younger = people.DeleteWhere (sqlLt (column [#Age]) (const 35))
+val count3 = people.Count ()
+val rows = people.List ()
+val total = lengthList rows
+
+val points = ormTable "orm_points"
+  {X = {SqlType = sqlInt, Show = showInt},
+   Y = {SqlType = sqlInt, Show = showInt}}
+val p1 = points.Add {X = 1, Y = 2}
+val pcount = points.Count ()

@@ -1,0 +1,44 @@
+(* Typed expression building, paper §2.3: convert a record of values into
+   a database predicate matching rows whose columns equal the record. The
+   fold's accumulator carries an explicit disjointness assertion, and every
+   `!` proof is assembled automatically from facts in the context. *)
+(* ==== interface ==== *)
+val selector : r :: {Type} -> folder r -> $r -> sql_exp r bool
+val deleteMatching : r :: {Type} -> folder r -> sql_table r -> $r -> int
+val countMatching : r :: {Type} -> folder r -> sql_table r -> $r -> int
+val setCols : chg :: {Type} -> rest :: {Type} -> [chg ~ rest] =>
+    folder chg -> $chg -> $(map (sql_exp (chg ++ rest)) chg)
+val updateMatching : chg :: {Type} -> rest :: {Type} -> [chg ~ rest] =>
+    folder chg -> folder rest -> sql_table (chg ++ rest) -> $chg -> $rest -> int
+(* ==== implementation ==== *)
+
+fun selector [r :: {Type}] (fl : folder r) (x : $r) : sql_exp r bool =
+  fl [fn r => $r -> rest :: {Type} -> [rest ~ r] => sql_exp (r ++ rest) bool]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x [rest] [rest ~ r] =>
+        sqlAnd (sqlEq (column [nm]) (const x.nm))
+               (acc (x -- nm) [[nm = t] ++ rest] !))
+     (fn _ [rest] [rest ~ []] => const True) x [[]] !
+
+fun deleteMatching [r :: {Type}] (fl : folder r) (tab : sql_table r) (x : $r) : int =
+  deleteRows tab (selector fl x)
+
+fun countMatching [r :: {Type}] (fl : folder r) (tab : sql_table r) (x : $r) : int =
+  lengthList (selectAll tab (selector fl x))
+
+(* Build the SET clause of an UPDATE: constant expressions for a subset of
+   the columns, typed in the *full* row environment. *)
+fun setCols [chg :: {Type}] [rest :: {Type}] [chg ~ rest]
+    (flc : folder chg) (new : $chg) : $(map (sql_exp (chg ++ rest)) chg) =
+  flc [fn c => [c ~ rest] => $c -> $(map (sql_exp (chg ++ rest)) c)]
+      (fn [nm] [t] [c] [[nm] ~ c] acc [[nm] ~ rest] (x : $([nm = t] ++ c)) =>
+         {nm = const x.nm} ++ acc ! (x -- nm))
+      (fn [[] ~ rest] (x : $[]) => {})
+      ! new
+
+(* Set the chg-columns of every row whose rest-columns match a record —
+   the §6 components' generic "edit these fields of that row". *)
+fun updateMatching [chg :: {Type}] [rest :: {Type}] [chg ~ rest]
+    (flc : folder chg) (flr : folder rest) (tab : sql_table (chg ++ rest))
+    (new : $chg) (key : $rest) : int =
+  updateRows [chg] [rest] tab (@setCols [chg] [rest] flc new)
+             (weaken (@selector flr key))

@@ -1,0 +1,16 @@
+val people = createTable "sel_people" {Name = sqlString, Age = sqlInt}
+val u1 = insert people {Name = const "alice", Age = const 30}
+val u2 = insert people {Name = const "bob", Age = const 25}
+val u3 = insert people {Name = const "bob", Age = const 40}
+
+val pred = selector {Name = "bob", Age = 25}
+val hit = countMatching people {Name = "bob", Age = 25}
+val removed = deleteMatching people {Name = "bob", Age = 25}
+val left = rowCount people
+
+(* Generic field update: set Age for every row whose Name matches. *)
+val bumped = @updateMatching [[Age = int]] [[Name = string]]
+  (folderSingle [#Age] [int]) (folderSingle [#Name] [string])
+  people {Age = 26} {Name = "alice"}
+val aliceRows = selectAll people (selector {Name = "alice", Age = 26})
+val naliice = lengthList aliceRows

@@ -1,0 +1,127 @@
+(* In-browser spreadsheet, base component (paper §6): spreadsheets over
+   arbitrary data sources, with stored columns, computed columns, summary
+   (aggregate) rows, and per-column filtering. The SQL-backed variant is
+   derived separately (spreadsheet_sql.ur), mirroring the paper's split:
+   "we reduce the complexity of our code by first building a functor for
+   constructing spreadsheets backed by arbitrary data sources". *)
+(* ==== interface ==== *)
+val sheet : r :: {Type} -> comp :: {Type} -> agg :: {Type} ->
+    folder r -> folder comp -> folder agg -> string ->
+    $(map sheetMeta r) -> $(map (compMeta r) comp) -> $(map (aggMeta r) agg) ->
+    sheetOps r
+val sheetCells : r :: {Type} -> folder r -> $(map sheetMeta r) -> $r -> xml #tr
+val aggCells : r :: {Type} -> agg :: {Type} -> folder agg ->
+    $(map (aggMeta r) agg) -> list $r -> xml #tr
+val filterCols : r :: {Type} -> folder r -> $(map (fn t => t -> bool) r) ->
+    list $r -> list $r
+(* ==== implementation ==== *)
+
+(* Stored column: label plus renderer. *)
+type sheetMeta (t :: Type) = {Label : string, Show : t -> string}
+
+(* Computed column: derives a value of type t from the whole row. *)
+type compMeta (r :: {Type}) (t :: Type) = {Label : string, Fn : $r -> t, Show : t -> string}
+
+(* Aggregate: a fold over all rows producing a summary value of type t. *)
+type aggMeta (r :: {Type}) (t :: Type) =
+  {Label : string, Init : t, Step : $r -> t -> t, Show : t -> string}
+
+type sheetOps (r :: {Type}) = {
+  Render : list $r -> string,
+  RenderRows : list $r -> xml #table,
+  Totals : list $r -> string,
+  Filter : ($r -> bool) -> list $r -> list $r,
+  FilterCols : $(map (fn t => t -> bool) r) -> list $r -> list $r,
+  SortOn : ($r -> int) -> list $r -> list $r,
+  Page : int -> int -> list $r -> list $r,
+  CountRows : list $r -> int
+}
+
+fun sheetHeader [r :: {Type}] (fl : folder r) (mr : $(map sheetMeta r)) : xml #tr =
+  fl [fn r => $(map sheetMeta r) -> xml #tr]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        xcat (tagTh (cdata mr.nm.Label)) (acc (mr -- nm)))
+     (fn _ => xempty) mr
+
+fun compHeader [r :: {Type}] [comp :: {Type}] (flc : folder comp)
+    (mc : $(map (compMeta r) comp)) : xml #tr =
+  flc [fn c => $(map (compMeta r) c) -> xml #tr]
+      (fn [nm] [t] [c] [[nm] ~ c] acc mc =>
+         xcat (tagTh (cdata mc.nm.Label)) (acc (mc -- nm)))
+      (fn _ => xempty) mc
+
+fun aggHeader [r :: {Type}] [agg :: {Type}] (fla : folder agg)
+    (ma : $(map (aggMeta r) agg)) : xml #tr =
+  fla [fn a => $(map (aggMeta r) a) -> xml #tr]
+      (fn [nm] [t] [a] [[nm] ~ a] acc ma =>
+         xcat (tagTh (cdata ma.nm.Label)) (acc (ma -- nm)))
+      (fn _ => xempty) ma
+
+fun sheetCells [r :: {Type}] (fl : folder r) (mr : $(map sheetMeta r)) (x : $r) : xml #tr =
+  fl [fn r => $(map sheetMeta r) -> $r -> xml #tr]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>
+        xcat (tagTd (cdata (mr.nm.Show x.nm))) (acc (mr -- nm) (x -- nm)))
+     (fn _ _ => xempty) mr x
+
+(* Computed cells read the *whole* row, so the row is passed unchanged
+   through the fold. *)
+fun compCells [r :: {Type}] [comp :: {Type}] (flc : folder comp)
+    (mc : $(map (compMeta r) comp)) (x : $r) : xml #tr =
+  flc [fn c => $(map (compMeta r) c) -> xml #tr]
+      (fn [nm] [t] [c] [[nm] ~ c] acc mc =>
+         xcat (tagTd (cdata (mc.nm.Show (mc.nm.Fn x)))) (acc (mc -- nm)))
+      (fn _ => xempty) mc
+
+(* The summary row: each aggregate folds over every data row. *)
+fun aggCells [r :: {Type}] [agg :: {Type}] (fla : folder agg)
+    (ma : $(map (aggMeta r) agg)) (rows : list $r) : xml #tr =
+  fla [fn a => $(map (aggMeta r) a) -> xml #tr]
+      (fn [nm] [t] [a] [[nm] ~ a] acc ma =>
+         xcat (tagTd (cdata (ma.nm.Show (foldList ma.nm.Step ma.nm.Init rows))))
+              (acc (ma -- nm)))
+      (fn _ => xempty) ma
+
+(* Per-column filtering (paper §6: "per-column filtering"): a record of
+   one predicate per column, folded into a single row predicate. *)
+fun filterCols [r :: {Type}] (fl : folder r) (preds : $(map (fn t => t -> bool) r))
+    (rows : list $r) : list $r =
+  filterL
+    (fn (row : $r) =>
+       fl [fn c => $(map (fn t => t -> bool) c) -> $c -> bool]
+          (fn [nm] [t] [c] [[nm] ~ c] acc preds x =>
+             preds.nm x.nm && acc (preds -- nm) (x -- nm))
+          (fn _ _ => True) preds row)
+    rows
+
+fun sheet [r :: {Type}] [comp :: {Type}] [agg :: {Type}]
+    (fl : folder r) (flc : folder comp) (fla : folder agg) (title : string)
+    (mr : $(map sheetMeta r)) (mc : $(map (compMeta r) comp))
+    (ma : $(map (aggMeta r) agg)) : sheetOps r =
+  let
+    val headers = tagTr (xcat (@sheetHeader fl mr) (@compHeader [r] flc mc))
+  in
+    {Render = fn (rows : list $r) =>
+       page title
+         (tagTable
+           (xcat headers
+             (xcat
+               (foldList
+                  (fn (row : $r) (acc : xml #table) =>
+                     xcat acc (tagTr (xcat (@sheetCells fl mr row)
+                                           (@compCells [r] flc mc row))))
+                  xempty rows)
+               (tagTr (@aggCells [r] fla ma rows))))),
+     RenderRows = fn (rows : list $r) =>
+       foldList
+         (fn (row : $r) (acc : xml #table) =>
+            xcat acc (tagTr (@sheetCells fl mr row)))
+         xempty rows,
+     Totals = fn (rows : list $r) => renderXml (tagTr (@aggCells [r] fla ma rows)),
+     Filter = fn (p : $r -> bool) (rows : list $r) => filterL p rows,
+     FilterCols = fn (preds : $(map (fn t => t -> bool) r)) (rows : list $r) =>
+       @filterCols fl preds rows,
+     SortOn = fn (key : $r -> int) (rows : list $r) => sortByInt key rows,
+     Page = fn (offset : int) (size : int) (rows : list $r) =>
+       takeL size (dropL offset rows),
+     CountRows = fn (rows : list $r) => lengthList rows}
+  end

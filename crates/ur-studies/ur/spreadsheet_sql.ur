@@ -1,0 +1,129 @@
+(* SQL-backed spreadsheet (paper §6): derives a spreadsheet whose rows
+   persist in a database table. Each column carries a *pair* of types —
+   its client-side representation and its SQL representation — related by
+   conversion functions; maps over this record of pairs compute the table
+   schema, the INSERT row type, and the client row type (the paper's
+   heaviest user of map distributivity/fusion). *)
+(* ==== interface ==== *)
+val sqlSheet : cr :: {(Type * Type)} -> comp :: {Type} -> agg :: {Type} ->
+    folder cr -> folder comp -> folder agg -> string -> string ->
+    $(map convMeta cr) ->
+    $(map (compMeta (map fst cr)) comp) ->
+    $(map (aggMeta (map fst cr)) agg) ->
+    sqlSheetOps cr
+val toExps : cr :: {(Type * Type)} -> folder cr -> $(map convMeta cr) ->
+    $(map fst cr) -> $(map (fn p => sql_exp [] p.2) cr)
+val fromDb : cr :: {(Type * Type)} -> folder cr -> $(map convMeta cr) ->
+    $(map snd cr) -> $(map fst cr)
+val sqlSheetSame : r :: {Type} -> comp :: {Type} -> agg :: {Type} ->
+    folder r -> folder comp -> folder agg -> string -> string ->
+    $(map sameMeta r) ->
+    $(map (compMeta r) comp) ->
+    $(map (aggMeta r) agg) ->
+    sqlSheetOps (map same r)
+(* ==== implementation ==== *)
+
+(* Client type, SQL type, and the conversions between them. *)
+type convMeta (p :: Type * Type) =
+  {Label : string, ToDb : p.1 -> p.2, FromDb : p.2 -> p.1,
+   Show : p.1 -> string, SqlType : sql_type p.2}
+
+type sqlSheetOps (cr :: {(Type * Type)}) = {
+  Insert : $(map fst cr) -> unit,
+  Load : unit -> list $(map fst cr),
+  FromDb : $(map snd cr) -> $(map fst cr),
+  Table : sql_table (map snd cr),
+  Render : unit -> string,
+  Totals : unit -> string,
+  Count : unit -> int
+}
+
+(* Schema of the backing table: the SQL types of the second components. *)
+fun convTypes [cr :: {(Type * Type)}] (fl : folder cr) (mc : $(map convMeta cr))
+    : $(map (fn p => sql_type p.2) cr) =
+  fl [fn c => $(map convMeta c) -> $(map (fn p => sql_type p.2) c)]
+     (fn [nm] [p] [c] [[nm] ~ c] acc mc =>
+        {nm = mc.nm.SqlType} ++ acc (mc -- nm))
+     (fn _ => {}) mc
+
+(* Convert a client row into a typed INSERT row. *)
+fun toExps [cr :: {(Type * Type)}] (fl : folder cr) (mc : $(map convMeta cr))
+    (x : $(map fst cr)) : $(map (fn p => sql_exp [] p.2) cr) =
+  fl [fn c => $(map convMeta c) -> $(map fst c) -> $(map (fn p => sql_exp [] p.2) c)]
+     (fn [nm] [p] [c] [[nm] ~ c] acc mc x =>
+        {nm = const (mc.nm.ToDb x.nm)} ++ acc (mc -- nm) (x -- nm))
+     (fn _ _ => {}) mc x
+
+(* Convert a loaded SQL row back to its client representation. *)
+fun fromDb [cr :: {(Type * Type)}] (fl : folder cr) (mc : $(map convMeta cr))
+    (row : $(map snd cr)) : $(map fst cr) =
+  fl [fn c => $(map convMeta c) -> $(map snd c) -> $(map fst c)]
+     (fn [nm] [p] [c] [[nm] ~ c] acc mc row =>
+        {nm = mc.nm.FromDb row.nm} ++ acc (mc -- nm) (row -- nm))
+     (fn _ _ => {}) mc row
+
+(* Display metadata for the base spreadsheet, over the client types. *)
+fun sheetMetas [cr :: {(Type * Type)}] (fl : folder cr) (mc : $(map convMeta cr))
+    : $(map sheetMeta (map fst cr)) =
+  fl [fn c => $(map convMeta c) -> $(map sheetMeta (map fst c))]
+     (fn [nm] [p] [c] [[nm] ~ c] acc mc =>
+        {nm = {Label = mc.nm.Label, Show = mc.nm.Show}} ++ acc (mc -- nm))
+     (fn _ => {}) mc
+
+fun sqlSheet [cr :: {(Type * Type)}] [comp :: {Type}] [agg :: {Type}]
+    (fl : folder cr) (flc : folder comp) (fla : folder agg)
+    (title : string) (name : string)
+    (mc : $(map convMeta cr))
+    (mcc : $(map (compMeta (map fst cr)) comp))
+    (ma : $(map (aggMeta (map fst cr)) agg)) : sqlSheetOps cr =
+  let
+    val tab = createTable name (@convTypes fl mc)
+    val flf = @folderFst fl
+    val base = @sheet [map fst cr] [comp] [agg] flf flc fla title
+                 (@sheetMetas fl mc) mcc ma
+    fun load (u : unit) : list $(map fst cr) =
+      mapL (fn (row : $(map snd cr)) => @fromDb fl mc row)
+           (selectAll tab (sqlTrue))
+  in
+    {Insert = fn (x : $(map fst cr)) => insert tab (@toExps fl mc x),
+     Load = load,
+     FromDb = fn (row : $(map snd cr)) => @fromDb fl mc row,
+     Table = tab,
+     Render = fn (u : unit) => base.Render (load ()),
+     Totals = fn (u : unit) => base.Totals (load ()),
+     Count = fn (u : unit) => rowCount tab}
+  end
+
+(* ---- convenience layer: columns whose client and SQL types coincide.
+   Instantiating the pair-typed component at `map same r` makes the client
+   row type `map fst (map same r)`, which inference collapses back to `r`
+   by the fusion and map-identity laws. ---- *)
+
+type same (t :: Type) = (t, t)
+
+type sameMeta (t :: Type) = {Label : string, Show : t -> string, SqlType : sql_type t}
+
+fun folderSame [r :: {Type}] (fl : folder r) : folder (map same r) =
+  fn [tf] step init =>
+    fl [fn c => tf (map same c)]
+       (fn [nm] [t] [c] [[nm] ~ c] acc =>
+          step [nm] [(t, t)] [map same c] ! acc)
+       init
+
+fun sameMetas [r :: {Type}] (fl : folder r) (ms : $(map sameMeta r))
+    : $(map (fn t => convMeta (t, t)) r) =
+  fl [fn c => $(map sameMeta c) -> $(map (fn t => convMeta (t, t)) c)]
+     (fn [nm] [t] [c] [[nm] ~ c] acc ms =>
+        {nm = {Label = ms.nm.Label, ToDb = fn (x : t) => x,
+               FromDb = fn (x : t) => x, Show = ms.nm.Show,
+               SqlType = ms.nm.SqlType}} ++ acc (ms -- nm))
+     (fn _ => {}) ms
+
+fun sqlSheetSame [r :: {Type}] [comp :: {Type}] [agg :: {Type}]
+    (fl : folder r) (flc : folder comp) (fla : folder agg)
+    (title : string) (name : string)
+    (ms : $(map sameMeta r))
+    (mcc : $(map (compMeta r) comp))
+    (ma : $(map (aggMeta r) agg)) : sqlSheetOps (map same r) =
+  @sqlSheet [map same r] [comp] [agg] (@folderSame fl) flc fla title name
+    (@sameMetas fl ms) mcc ma

@@ -1,0 +1,39 @@
+(* Novice client: the §6 spreadsheet over a real table. Column B is a
+   bool client-side but stored as an int, exercising the conversions. *)
+val s = sqlSheet "SQL Sheet" "sheet_data"
+  {Id = {Label = "Id", ToDb = fn (n : int) => n, FromDb = fn (n : int) => n,
+         Show = showInt, SqlType = sqlInt},
+   A = {Label = "A", ToDb = fn (n : int) => n, FromDb = fn (n : int) => n,
+        Show = showInt, SqlType = sqlInt},
+   B = {Label = "B", ToDb = fn (b : bool) => if b then 1 else 0,
+        FromDb = fn (n : int) => n == 1, Show = showBool, SqlType = sqlInt}}
+  {DA = {Label = "2A", Fn = fn x => 2 * x.A, Show = showInt}}
+  {Sum = {Label = "Sum", Init = 0, Step = fn x n => x.A + n, Show = showInt},
+   AllTrue = {Label = "AllTrue", Init = True, Step = fn x b => x.B && b, Show = showBool}}
+
+val i1 = s.Insert {Id = 1, A = 10, B = True}
+val i2 = s.Insert {Id = 2, A = 7, B = False}
+val i3 = s.Insert {Id = 3, A = 5, B = True}
+val loaded = s.Load ()
+val n = lengthList loaded
+val html = s.Render ()
+val totals = s.Totals ()
+val count = s.Count ()
+
+(* The conversion-free convenience variant: client types are SQL types. *)
+val s2 = sqlSheetSame "Plain Sheet" "sheet_plain"
+  {Id = {Label = "Id", Show = showInt, SqlType = sqlInt},
+   A = {Label = "A", Show = showInt, SqlType = sqlInt}}
+  {Triple = {Label = "3A", Fn = fn x => 3 * x.A, Show = showInt}}
+  {Max = {Label = "Count", Init = 0, Step = fn x n => n + 1, Show = showInt}}
+
+val j1 = s2.Insert {Id = 1, A = 4}
+val j2 = s2.Insert {Id = 2, A = 6}
+val html2 = s2.Render ()
+val count2 = s2.Count ()
+
+(* Server-side ordered paging through the exposed typed table handle:
+   the second page (size 1) ordered by column A. *)
+val pageRows = selectOrdered [#A] s.Table (sqlTrue) 1 1
+val page = mapL s.FromDb pageRows
+val pageA = mapL (fn (x : {Id : int, A : int, B : bool}) => x.A) page

@@ -1,0 +1,32 @@
+(* Novice client: the paper's §6 example — a sheet with columns Id, A, B,
+   a computed column showing 2*A, and aggregates Sum (of A) and AllTrue
+   (conjunction of B). *)
+val s = sheet "Sheet"
+  {Id = {Label = "Id", Show = showInt},
+   A = {Label = "A", Show = showInt},
+   B = {Label = "B", Show = showBool}}
+  {DA = {Label = "2A", Fn = fn x => 2 * x.A, Show = showInt}}
+  {Sum = {Label = "Sum", Init = 0, Step = fn x n => x.A + n, Show = showInt},
+   AllTrue = {Label = "AllTrue", Init = True, Step = fn x b => x.B && b, Show = showBool}}
+
+val rows = cons {Id = 1, A = 10, B = True}
+           (cons {Id = 2, A = 7, B = False}
+           (cons {Id = 3, A = 5, B = True} nil))
+
+val html = s.Render rows
+val totals = s.Totals rows
+val bigA = s.Filter (fn x => x.A > 6) rows
+val nbig = s.CountRows bigA
+val totalsBig = s.Totals bigA
+
+(* Per-column filtering: one predicate per column, novice-level. *)
+val picked = s.FilterCols
+  {Id = fn (i : int) => True, A = fn (a : int) => a > 6, B = fn (b : bool) => b}
+  rows
+val npicked = s.CountRows picked
+
+(* Sorting and paging. *)
+val sorted = s.SortOn (fn x => x.A) rows
+val firstA = mapL (fn (x : {Id : int, A : int, B : bool}) => x.A) sorted
+val pageOne = s.Page 0 2 sorted
+val npage = s.CountRows pageOne

@@ -1,0 +1,18 @@
+(* Generic database modification, paper §2.2: convert a record of native
+   values through per-column conversion functions into a typed INSERT.
+   Type-checking this definition needs the map-fusion law applied
+   implicitly. *)
+(* ==== interface ==== *)
+val toDb : r :: {(Type * Type)} -> folder r -> $(map arrow r) ->
+    sql_table (map snd r) -> $(map fst r) -> unit
+(* ==== implementation ==== *)
+
+type arrow (p :: Type * Type) = p.1 -> p.2
+
+fun toDb [r :: {(Type * Type)}] (fl : folder r) (mr : $(map arrow r))
+         (tab : sql_table (map snd r)) (x : $(map fst r)) : unit =
+  insert tab
+    (fl [fn r => $(map arrow r) -> $(map fst r) -> $(map (fn p => sql_exp [] p.2) r)]
+        (fn [nm] [p] [r] [[nm] ~ r] acc mr x =>
+           {nm = const (mr.nm x.nm)} ++ acc (mr -- nm) (x -- nm))
+        (fn _ _ => {}) mr x)

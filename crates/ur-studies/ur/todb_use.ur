@@ -1,0 +1,10 @@
+(* The paper's §2.2 client code: reverse-engineering unification finds
+   r = [A = (int, int), B = (float, int)]. *)
+fun double (n : int) = n * 2
+fun trunc (x : float) = floatToInt x
+
+val tab = createTable "converted" {A = sqlInt, B = sqlInt}
+val inserter = toDb {A = double, B = trunc}
+val u1 = inserter tab {A = 21, B = 3.9}
+val u2 = inserter tab {A = 5, B = 1.2}
+val total = rowCount tab

@@ -1,0 +1,113 @@
+(* Versioned database access (paper §6): query the current state of a
+   table or roll back to any past version. The concrete table stores a
+   version ID, the key columns, and a nullable version of each non-key
+   column; an update stores NULL for each unchanged column. The types
+   involved concatenate the key and non-key records under explicit
+   disjointness constraints — the paper's stress test for the prover. *)
+(* ==== interface ==== *)
+val mergeRow : r :: {Type} -> folder r -> $(map option r) -> $r -> $r
+val allSome : r :: {Type} -> folder r -> $r -> $(map option r)
+val diffRow : r :: {Type} -> folder r -> $(map verMeta r) -> $r -> $r -> $(map option r)
+val cutAll : r1 :: {Type} -> r2 :: {Type} -> [r1 ~ r2] =>
+    folder r1 -> $(r1 ++ r2) -> $r2
+val verTable : key :: {Type} -> data :: {Type} ->
+    [key ~ data] => [[Version] ~ key] => [[Version] ~ data] =>
+    folder key -> folder data -> string ->
+    $(map sql_type key) -> $(map verMeta data) -> verOps key data
+(* ==== implementation ==== *)
+
+type verMeta (t :: Type) = {SqlType : sql_type t, Eq : t -> t -> bool}
+
+type verOps (key :: {Type}) (data :: {Type}) = {
+  Save : $key -> $data -> unit,
+  SaveDelta : $key -> $data -> $data -> unit,
+  Versions : $key -> list int,
+  Reconstruct : $key -> int -> $data -> $data
+}
+
+(* Merge a delta over an older row: NULL (none) keeps the old value. *)
+fun mergeRow [r :: {Type}] (fl : folder r) (delta : $(map option r)) (old : $r) : $r =
+  fl [fn r => $(map option r) -> $r -> $r]
+     (fn [nm] [t] [r] [[nm] ~ r] acc delta old =>
+        {nm = getOpt delta.nm old.nm} ++ acc (delta -- nm) (old -- nm))
+     (fn _ _ => {}) delta old
+
+(* Wrap every column in some (a full snapshot). *)
+fun allSome [r :: {Type}] (fl : folder r) (x : $r) : $(map option r) =
+  fl [fn r => $r -> $(map option r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x =>
+        {nm = some x.nm} ++ acc (x -- nm))
+     (fn _ => {}) x
+
+(* Per-column delta: some v where changed, none where equal. *)
+fun diffRow [r :: {Type}] (fl : folder r) (mr : $(map verMeta r)) (old : $r) (new : $r)
+    : $(map option r) =
+  fl [fn r => $(map verMeta r) -> $r -> $r -> $(map option r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr old new =>
+        {nm = if mr.nm.Eq old.nm new.nm then none else some new.nm} ++
+        acc (mr -- nm) (old -- nm) (new -- nm))
+     (fn _ _ _ => {}) mr old new
+
+(* Remove a whole sub-record, via a fold whose accumulator carries a
+   disjointness assertion (like §2.3's selector). *)
+fun cutAll [r1 :: {Type}] [r2 :: {Type}] [r1 ~ r2]
+    (fl : folder r1) (x : $(r1 ++ r2)) : $r2 =
+  fl [fn r => [r ~ r2] => $(r ++ r2) -> $r2]
+     (fn [nm] [t] [r] [[nm] ~ r] acc [[nm] ~ r2] (x : $(([nm = t] ++ r) ++ r2)) =>
+        acc ! (x -- nm))
+     (fn [[] ~ r2] (x : $r2) => x)
+     ! x
+
+(* Nullable SQL types for the non-key columns. *)
+fun optTypes [r :: {Type}] (fl : folder r) (mr : $(map verMeta r))
+    : $(map (fn t => sql_type (option t)) r) =
+  fl [fn r => $(map verMeta r) -> $(map (fn t => sql_type (option t)) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc mr =>
+        {nm = sqlOption mr.nm.SqlType} ++ acc (mr -- nm))
+     (fn _ => {}) mr
+
+(* Constant SQL expressions for a record of native values. *)
+fun rowExps [r :: {Type}] (fl : folder r) (x : $r) : $(map (sql_exp []) r) =
+  fl [fn r => $r -> $(map (sql_exp []) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x =>
+        {nm = const x.nm} ++ acc (x -- nm))
+     (fn _ => {}) x
+
+(* Constant SQL expressions for a record of optional values (typing needs
+   the map-fusion law: map (sql_exp []) (map option r)). *)
+fun optExps [r :: {Type}] (fl : folder r) (x : $(map option r))
+    : $(map (fn t => sql_exp [] (option t)) r) =
+  fl [fn r => $(map option r) -> $(map (fn t => sql_exp [] (option t)) r)]
+     (fn [nm] [t] [r] [[nm] ~ r] acc x =>
+        {nm = const x.nm} ++ acc (x -- nm))
+     (fn _ => {}) x
+
+fun verTable [key :: {Type}] [data :: {Type}]
+    [key ~ data] [[Version] ~ key] [[Version] ~ data]
+    (flk : folder key) (fld : folder data) (name : string)
+    (kt : $(map sql_type key)) (mr : $(map verMeta data)) : verOps key data =
+  let
+    val tab = createTable name ({Version = sqlInt} ++ kt ++ @optTypes fld mr)
+    val seqname = name ^ "_seq"
+    val u = createSequence seqname
+    val flvk = @folderCat (@folderSingle [#Version] [int]) flk
+    fun saveDelta (k : $key) (delta : $(map option data)) : unit =
+      insert tab ({Version = const (nextval seqname)} ++
+                  @rowExps flk k ++ @optExps fld delta)
+  in
+    {Save = fn (k : $key) (d : $data) => saveDelta k (@allSome fld d),
+     SaveDelta = fn (k : $key) (old : $data) (new : $data) =>
+       saveDelta k (@diffRow fld mr old new),
+     Versions = fn (k : $key) =>
+       mapL (fn (row : $(([Version = int] ++ key) ++ map option data)) => row.Version)
+            (selectAll tab (weaken (@selector flk k))),
+     Reconstruct = fn (k : $key) (v : int) (base : $data) =>
+       foldList
+         (fn (row : $(([Version = int] ++ key) ++ map option data)) (acc : $data) =>
+            @mergeRow fld
+              (@cutAll [[Version = int] ++ key] [map option data] flvk row)
+              acc)
+         base
+         (selectAll tab (sqlAnd (weaken (@selector flk k))
+                                (sqlLe (column [#Version]) (const v))))}
+  end

@@ -1,0 +1,21 @@
+(* Novice client: a versioned document store keyed by Id. *)
+val docs = verTable "docs"
+  {Id = sqlInt}
+  {Title = {SqlType = sqlString, Eq = eqString},
+   Body = {SqlType = sqlString, Eq = eqString}}
+
+val u1 = docs.Save {Id = 1} {Title = "v1", Body = "hello"}
+val u2 = docs.SaveDelta {Id = 1}
+           {Title = "v1", Body = "hello"}
+           {Title = "v1", Body = "hello world"}
+val u3 = docs.SaveDelta {Id = 1}
+           {Title = "v1", Body = "hello world"}
+           {Title = "Final", Body = "hello world"}
+
+val nversions = lengthList (docs.Versions {Id = 1})
+val latest = docs.Reconstruct {Id = 1} 3 {Title = "", Body = ""}
+val latestTitle = latest.Title
+val latestBody = latest.Body
+val middle = docs.Reconstruct {Id = 1} 2 {Title = "", Body = ""}
+val middleTitle = middle.Title
+val middleBody = middle.Body

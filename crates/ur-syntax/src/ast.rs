@@ -1,0 +1,236 @@
+//! Surface abstract syntax, produced by the parser and consumed by the
+//! elaborator in `ur-infer`.
+//!
+//! The surface language is the ML-style notation of the paper's Section 2:
+//! explicit constructor binders `[a :: K]`, disjointness binders
+//! `[[nm] ~ r]`, record types `{A : t, ...}`, type-level record literals
+//! `[A = t, ...]`, `$`, `++`, `--`, `!`, and wildcard `_` for inferred
+//! arguments.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Surface kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SKind {
+    Type,
+    Name,
+    Arrow(Box<SKind>, Box<SKind>),
+    Row(Box<SKind>),
+    Pair(Box<SKind>, Box<SKind>),
+    /// `_`: to be inferred (becomes a kind metavariable).
+    Wild,
+}
+
+/// Surface constructors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SCon {
+    /// Identifier: a constructor variable (or the pseudo-constants
+    /// `map`, `fst`, `snd`, resolved by the elaborator).
+    Var(Span, String),
+    /// `#Name` literal.
+    Name(Span, String),
+    /// `$c` record type former.
+    Record(Span, Box<SCon>),
+    /// `[n1 = c1, n2 = c2, ...]` — a type-level record literal; an entry
+    /// without `= c` denotes the unit type (used in constraints like
+    /// `[nm] ~ r`). Empty brackets denote the empty row.
+    RowLit(Span, Vec<(SCon, Option<SCon>)>),
+    /// `{A : t, B : u}` — sugar for `$[A = t, B = u]`.
+    RecordType(Span, Vec<(SCon, SCon)>),
+    /// `c1 ++ c2`.
+    Cat(Span, Box<SCon>, Box<SCon>),
+    /// Application `c1 c2`.
+    App(Span, Box<SCon>, Box<SCon>),
+    /// `fn a :: K => c` (kind optional).
+    Lam(Span, String, Option<SKind>, Box<SCon>),
+    /// `t1 -> t2`.
+    Arrow(Span, Box<SCon>, Box<SCon>),
+    /// `x :: K -> t` — polymorphic function type.
+    Poly(Span, String, SKind, Box<SCon>),
+    /// `[c1 ~ c2] => t` — guarded type.
+    Guarded(Span, Box<SCon>, Box<SCon>, Box<SCon>),
+    /// `(c1, c2)` type-level pair.
+    Pair(Span, Box<SCon>, Box<SCon>),
+    /// `c.1`.
+    Fst(Span, Box<SCon>),
+    /// `c.2`.
+    Snd(Span, Box<SCon>),
+    /// `_`: an inferred constructor (becomes a metavariable).
+    Wild(Span),
+}
+
+impl SCon {
+    pub fn span(&self) -> Span {
+        match self {
+            SCon::Var(s, _)
+            | SCon::Name(s, _)
+            | SCon::Record(s, _)
+            | SCon::RowLit(s, _)
+            | SCon::RecordType(s, _)
+            | SCon::Cat(s, _, _)
+            | SCon::App(s, _, _)
+            | SCon::Lam(s, _, _, _)
+            | SCon::Arrow(s, _, _)
+            | SCon::Poly(s, _, _, _)
+            | SCon::Guarded(s, _, _, _)
+            | SCon::Pair(s, _, _)
+            | SCon::Fst(s, _)
+            | SCon::Snd(s, _)
+            | SCon::Wild(s) => *s,
+        }
+    }
+}
+
+/// Surface literals.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SLit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Unit,
+}
+
+/// Binders accepted by `fn` and `fun`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SParam {
+    /// `[a :: K]` or `[a]` — constructor binder.
+    CParam(String, Option<SKind>),
+    /// `[c1 ~ c2]` — disjointness binder.
+    DParam(SCon, SCon),
+    /// `(x : t)` or bare `x` — value binder.
+    VParam(String, Option<SCon>),
+}
+
+/// Surface expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SExpr {
+    Var(Span, String),
+    Lit(Span, SLit),
+    /// Application of a value argument.
+    App(Span, Box<SExpr>, Box<SExpr>),
+    /// Application of an explicit constructor argument `e [c]`.
+    CApp(Span, Box<SExpr>, SCon),
+    /// `e !`.
+    Bang(Span, Box<SExpr>),
+    /// `fn params => e` (desugared to nested binders during elaboration).
+    Fn(Span, Vec<SParam>, Box<SExpr>),
+    /// `{A = e1, B = e2}` — record literal (field names are constructors:
+    /// identifiers resolve to constructor variables when in scope, and to
+    /// literal names otherwise).
+    Record(Span, Vec<(SCon, SExpr)>),
+    /// `e.c` — field projection.
+    Proj(Span, Box<SExpr>, SCon),
+    /// `e -- c` — field removal.
+    Cut(Span, Box<SExpr>, SCon),
+    /// `e1 ++ e2` — record concatenation.
+    Cat(Span, Box<SExpr>, Box<SExpr>),
+    /// Binary operator (lowered to builtin functions by the elaborator).
+    BinOp(Span, String, Box<SExpr>, Box<SExpr>),
+    /// `let decls in e end`.
+    Let(Span, Vec<SDecl>, Box<SExpr>),
+    /// `if e1 then e2 else e3`.
+    If(Span, Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// `(e : t)` type ascription.
+    Ann(Span, Box<SExpr>, SCon),
+    /// `@e` — explicitness marker (as in real Ur): folder arguments of
+    /// this application spine are passed explicitly instead of being
+    /// generated.
+    Explicit(Span, Box<SExpr>),
+}
+
+impl SExpr {
+    pub fn span(&self) -> Span {
+        match self {
+            SExpr::Var(s, _)
+            | SExpr::Lit(s, _)
+            | SExpr::App(s, _, _)
+            | SExpr::CApp(s, _, _)
+            | SExpr::Bang(s, _)
+            | SExpr::Fn(s, _, _)
+            | SExpr::Record(s, _)
+            | SExpr::Proj(s, _, _)
+            | SExpr::Cut(s, _, _)
+            | SExpr::Cat(s, _, _)
+            | SExpr::BinOp(s, _, _, _)
+            | SExpr::Let(s, _, _)
+            | SExpr::If(s, _, _, _)
+            | SExpr::Ann(s, _, _)
+            | SExpr::Explicit(s, _) => *s,
+        }
+    }
+}
+
+/// Top-level (and `let`-local) declarations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SDecl {
+    /// `con x :: K` — abstract constructor (e.g. library type families).
+    ConAbs(Span, String, SKind),
+    /// `con x :: K = c` / `type x params = c` — transparent definition.
+    ConDef(Span, String, Option<SKind>, SCon),
+    /// `val x : t` — value with no body (a library primitive).
+    ValAbs(Span, String, SCon),
+    /// `val x (: t)? = e`.
+    Val(Span, String, Option<SCon>, SExpr),
+    /// `fun f params (: t)? = e` — sugar for `val f = fn params => e`
+    /// (with the optional result-type annotation applied to the body).
+    Fun(Span, String, Vec<SParam>, Option<SCon>, SExpr),
+}
+
+impl SDecl {
+    pub fn name(&self) -> &str {
+        match self {
+            SDecl::ConAbs(_, n, _)
+            | SDecl::ConDef(_, n, _, _)
+            | SDecl::ValAbs(_, n, _)
+            | SDecl::Val(_, n, _, _)
+            | SDecl::Fun(_, n, _, _, _) => n,
+        }
+    }
+
+    pub fn span(&self) -> Span {
+        match self {
+            SDecl::ConAbs(s, _, _)
+            | SDecl::ConDef(s, _, _, _)
+            | SDecl::ValAbs(s, _, _)
+            | SDecl::Val(s, _, _, _)
+            | SDecl::Fun(s, _, _, _, _) => *s,
+        }
+    }
+}
+
+/// A parsed program: a sequence of declarations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    pub decls: Vec<SDecl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_displayable() {
+        let s = Span { line: 3, col: 14 };
+        assert_eq!(s.to_string(), "3:14");
+    }
+
+    #[test]
+    fn decl_names() {
+        let d = SDecl::ConAbs(Span::default(), "folder".into(), SKind::Type);
+        assert_eq!(d.name(), "folder");
+    }
+}

@@ -1,0 +1,28 @@
+//! # ur-syntax — surface syntax for the Ur language
+//!
+//! The lexer ([`lex`]) and recursive-descent parser ([`parse`]) for the
+//! ML-style surface notation used throughout Section 2 of
+//! *Ur: Statically-Typed Metaprogramming with Type-Level Record
+//! Computation* (Chlipala, PLDI 2010): explicit constructor binders
+//! `[a :: K]`, disjointness binders `[[nm] ~ r]`, first-class names `#A`,
+//! record types `$c` and `{A : t}`, and inferred arguments `_` / `!`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ur_syntax::parse::parse_program;
+//!
+//! let src = "fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
+//!            (x : $([nm = t] ++ r)) = x.nm";
+//! let program = parse_program(src)?;
+//! assert_eq!(program.decls.len(), 1);
+//! # Ok::<(), ur_syntax::parse::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lex;
+pub mod parse;
+pub mod pretty;
+
+pub use ast::{Program, SCon, SDecl, SExpr, SKind, SLit, SParam, Span};
+pub use parse::{parse_con, parse_expr, parse_program, ParseError};

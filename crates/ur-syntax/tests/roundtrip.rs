@@ -1,0 +1,167 @@
+//! Generative print/parse roundtrip: for random surface trees,
+//! `parse(print(t))` prints identically to `print(t)`. Doubles as a
+//! fuzzer for the parser's precedence and disambiguation rules.
+
+use proptest::prelude::*;
+use ur_syntax::ast::*;
+use ur_syntax::pretty::{con_to_string, expr_to_string};
+use ur_syntax::{parse_con, parse_expr};
+
+fn sp() -> Span {
+    Span::default()
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "f", "g", "r", "x", "y"])
+        .prop_map(|s| s.to_string())
+}
+
+fn field() -> impl Strategy<Value = SCon> {
+    prop_oneof![
+        prop::sample::select(vec!["A", "B", "C", "D"])
+            .prop_map(|n| SCon::Name(sp(), n.to_string())),
+        var_name().prop_map(|n| SCon::Var(sp(), n)),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = SKind> {
+    let leaf = prop_oneof![Just(SKind::Type), Just(SKind::Name)];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|k| SKind::Row(Box::new(k))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SKind::Arrow(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| SKind::Pair(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn con_strategy() -> impl Strategy<Value = SCon> {
+    let leaf = prop_oneof![
+        var_name().prop_map(|n| SCon::Var(sp(), n)),
+        prop::sample::select(vec!["A", "B", "C"])
+            .prop_map(|n| SCon::Name(sp(), n.to_string())),
+        Just(SCon::Wild(sp())),
+        Just(SCon::RowLit(sp(), vec![])),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|c| SCon::Record(sp(), Box::new(c))),
+            (field(), inner.clone()).prop_map(|(n, v)| SCon::RowLit(
+                sp(),
+                vec![(n, Some(v))]
+            )),
+            (field(), inner.clone()).prop_map(|(n, t)| SCon::RecordType(
+                sp(),
+                vec![(n, t)]
+            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SCon::Cat(sp(), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SCon::App(sp(), Box::new(a), Box::new(b))),
+            (var_name(), prop::option::of(kind_strategy()), inner.clone())
+                .prop_map(|(x, k, b)| SCon::Lam(sp(), x, k, Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SCon::Arrow(sp(), Box::new(a), Box::new(b))),
+            (var_name(), kind_strategy(), inner.clone())
+                .prop_map(|(x, k, b)| SCon::Poly(sp(), x, k, Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, t)| {
+                SCon::Guarded(sp(), Box::new(a), Box::new(b), Box::new(t))
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SCon::Pair(sp(), Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|c| SCon::Fst(sp(), Box::new(c))),
+            inner.prop_map(|c| SCon::Snd(sp(), Box::new(c))),
+        ]
+    })
+}
+
+fn lit_strategy() -> impl Strategy<Value = SLit> {
+    prop_oneof![
+        (0i64..1000).prop_map(SLit::Int),
+        prop::bool::ANY.prop_map(SLit::Bool),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(SLit::Str),
+        Just(SLit::Unit),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "+", "-", "*", "/", "%", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+    ])
+    .prop_map(|s| s.to_string())
+}
+
+fn expr_strategy() -> impl Strategy<Value = SExpr> {
+    let leaf = prop_oneof![
+        var_name().prop_map(|n| SExpr::Var(sp(), n)),
+        lit_strategy().prop_map(|l| SExpr::Lit(sp(), l)),
+        var_name().prop_map(|n| SExpr::Explicit(
+            sp(),
+            Box::new(SExpr::Var(sp(), n))
+        )),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, a)| SExpr::App(sp(), Box::new(f), Box::new(a))),
+            (inner.clone(), con_strategy())
+                .prop_map(|(f, c)| SExpr::CApp(sp(), Box::new(f), c)),
+            inner.clone().prop_map(|f| SExpr::Bang(sp(), Box::new(f))),
+            (field(), inner.clone())
+                .prop_map(|(n, v)| SExpr::Record(sp(), vec![(n, v)])),
+            (inner.clone(), field())
+                .prop_map(|(f, n)| SExpr::Proj(sp(), Box::new(f), n)),
+            (inner.clone(), field())
+                .prop_map(|(f, n)| SExpr::Cut(sp(), Box::new(f), n)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SExpr::Cat(sp(), Box::new(a), Box::new(b))),
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
+                SExpr::BinOp(sp(), op, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                SExpr::If(sp(), Box::new(c), Box::new(t), Box::new(e))
+            }),
+            (var_name(), inner.clone(), inner.clone()).prop_map(|(x, b, e)| {
+                SExpr::Let(
+                    sp(),
+                    vec![SDecl::Val(sp(), x, None, b)],
+                    Box::new(e),
+                )
+            }),
+            (var_name(), con_strategy(), inner.clone()).prop_map(|(x, t, b)| {
+                SExpr::Fn(
+                    sp(),
+                    vec![SParam::VParam(x, Some(t))],
+                    Box::new(b),
+                )
+            }),
+            (var_name(), prop::option::of(kind_strategy()), inner.clone()).prop_map(
+                |(x, k, b)| SExpr::Fn(sp(), vec![SParam::CParam(x, k)], Box::new(b))
+            ),
+            (inner.clone(), con_strategy())
+                .prop_map(|(e, t)| SExpr::Ann(sp(), Box::new(e), t)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn con_print_parse_print_stable(c in con_strategy()) {
+        let printed = con_to_string(&c);
+        let reparsed = parse_con(&printed)
+            .unwrap_or_else(|e| panic!("parse of `{printed}` failed: {e}"));
+        prop_assert_eq!(con_to_string(&reparsed), printed);
+    }
+
+    #[test]
+    fn expr_print_parse_print_stable(e in expr_strategy()) {
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("parse of `{printed}` failed: {err}"));
+        prop_assert_eq!(expr_to_string(&reparsed), printed);
+    }
+}

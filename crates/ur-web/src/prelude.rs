@@ -1,0 +1,152 @@
+//! The Ur/Web standard-library signature, written in Ur itself.
+//!
+//! As in the paper (§5), "we did not need to write any custom type
+//! inference code. Instead, we encoded those structures in the signature
+//! of the main module of the standard library": abstract type families
+//! (`con x :: K`) and primitive values (`val x : t`) whose implementations
+//! live in [`crate::builtins`].
+
+/// The library signature elaborated into every [`crate::Session`].
+pub const PRELUDE: &str = r#"
+(* ---------- primitive operations ---------- *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val div : int -> int -> int
+val mod : int -> int -> int
+val neg : int -> int
+val lt : int -> int -> bool
+val le : int -> int -> bool
+val gt : int -> int -> bool
+val ge : int -> int -> bool
+val eq : int -> int -> bool
+val ne : int -> int -> bool
+val andb : bool -> bool -> bool
+val orb : bool -> bool -> bool
+val notb : bool -> bool
+
+val addFloat : float -> float -> float
+val mulFloat : float -> float -> float
+val intToFloat : int -> float
+val floatToInt : float -> int
+
+val strcat : string -> string -> string
+val eqString : string -> string -> bool
+val showInt : int -> string
+val showFloat : float -> string
+val showBool : bool -> string
+val parseInt : string -> int
+val parseFloat : string -> float
+val parseBool : string -> bool
+
+val error : t :: Type -> string -> t
+val debug : string -> unit
+val seq : t :: Type -> unit -> t -> t
+val ignore : t :: Type -> t -> unit
+
+(* ---------- lists ---------- *)
+
+con list :: Type -> Type
+val nil : t :: Type -> list t
+val cons : t :: Type -> t -> list t -> list t
+val foldList : t :: Type -> acc :: Type -> (t -> acc -> acc) -> acc -> list t -> acc
+val mapL : a :: Type -> b :: Type -> (a -> b) -> list a -> list b
+val filterL : t :: Type -> (t -> bool) -> list t -> list t
+val appendList : t :: Type -> list t -> list t -> list t
+val lengthList : t :: Type -> list t -> int
+val nullList : t :: Type -> list t -> bool
+val revList : t :: Type -> list t -> list t
+val joinStrings : string -> list string -> string
+val takeL : t :: Type -> int -> list t -> list t
+val dropL : t :: Type -> int -> list t -> list t
+val sortByInt : t :: Type -> (t -> int) -> list t -> list t
+
+(* ---------- options ---------- *)
+
+con option :: Type -> Type
+val some : t :: Type -> t -> option t
+val none : t :: Type -> option t
+val isSome : t :: Type -> option t -> bool
+val getOpt : t :: Type -> option t -> t -> t
+
+(* ---------- typed XML (contexts: #body, #table, #tr, #list, #inline) ---------- *)
+
+con xml :: Name -> Type
+val cdata : ctx :: Name -> string -> xml ctx
+val xempty : ctx :: Name -> xml ctx
+val xcat : ctx :: Name -> xml ctx -> xml ctx -> xml ctx
+val tagTable : xml #table -> xml #body
+val tagTr : xml #tr -> xml #table
+val tagTh : xml #inline -> xml #tr
+val tagTd : xml #inline -> xml #tr
+val tagP : xml #inline -> xml #body
+val tagDiv : xml #body -> xml #body
+val tagH1 : xml #inline -> xml #body
+val tagH2 : xml #inline -> xml #body
+val tagUl : xml #list -> xml #body
+val tagLi : xml #inline -> xml #list
+val tagSpan : xml #inline -> xml #inline
+val tagB : xml #inline -> xml #inline
+val inputText : string -> xml #inline
+val button : string -> xml #inline
+val renderXml : ctx :: Name -> xml ctx -> string
+val page : string -> xml #body -> string
+
+(* ---------- typed SQL ---------- *)
+
+con sql_table :: {Type} -> Type
+con sql_exp :: {Type} -> Type -> Type
+con sql_type :: Type -> Type
+
+val sqlInt : sql_type int
+val sqlFloat : sql_type float
+val sqlString : sql_type string
+val sqlBool : sql_type bool
+val sqlOption : t :: Type -> sql_type t -> sql_type (option t)
+
+val createTable : r :: {Type} -> string -> $(map sql_type r) -> sql_table r
+val createSequence : string -> unit
+val nextval : string -> int
+
+val const : r :: {Type} -> t :: Type -> t -> sql_exp r t
+val column : nm :: Name -> t :: Type -> r :: {Type} -> [[nm] ~ r] => sql_exp ([nm = t] ++ r) t
+val sqlEq : r :: {Type} -> t :: Type -> sql_exp r t -> sql_exp r t -> sql_exp r bool
+val sqlLt : r :: {Type} -> sql_exp r int -> sql_exp r int -> sql_exp r bool
+val sqlLe : r :: {Type} -> sql_exp r int -> sql_exp r int -> sql_exp r bool
+val sqlAnd : r :: {Type} -> sql_exp r bool -> sql_exp r bool -> sql_exp r bool
+val sqlOr : r :: {Type} -> sql_exp r bool -> sql_exp r bool -> sql_exp r bool
+val sqlNot : r :: {Type} -> sql_exp r bool -> sql_exp r bool
+val sqlIsNull : r :: {Type} -> t :: Type -> sql_exp r (option t) -> sql_exp r bool
+val sqlTrue : r :: {Type} -> sql_exp r bool
+val weaken : r :: {Type} -> rest :: {Type} -> t :: Type -> [r ~ rest] =>
+    sql_exp r t -> sql_exp (r ++ rest) t
+
+val insert : r :: {Type} -> sql_table r -> $(map (sql_exp []) r) -> unit
+val deleteRows : r :: {Type} -> sql_table r -> sql_exp r bool -> int
+val updateRows : chg :: {Type} -> rest :: {Type} -> [chg ~ rest] =>
+    sql_table (chg ++ rest) -> $(map (sql_exp (chg ++ rest)) chg) ->
+    sql_exp (chg ++ rest) bool -> int
+val selectAll : r :: {Type} -> sql_table r -> sql_exp r bool -> list $r
+val selectOrdered : nm :: Name -> t :: Type -> r :: {Type} -> [[nm] ~ r] =>
+    sql_table ([nm = t] ++ r) -> sql_exp ([nm = t] ++ r) bool ->
+    int -> int -> list $([nm = t] ++ r)
+val rowCount : r :: {Type} -> sql_table r -> int
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_parses() {
+        let prog = ur_syntax::parse_program(PRELUDE).expect("prelude parses");
+        assert!(prog.decls.len() > 60);
+    }
+
+    #[test]
+    fn prelude_elaborates() {
+        let mut e = ur_infer::Elaborator::new();
+        e.elab_source(PRELUDE).expect("prelude elaborates");
+    }
+}

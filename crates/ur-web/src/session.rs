@@ -1,0 +1,459 @@
+//! High-level sessions: the main public API for running Ur/Web programs.
+//!
+//! A [`Session`] owns an elaborator pre-loaded with the standard-library
+//! signature, the builtin registry, the interpreter world (database +
+//! debug log), and the runtime environment of top-level values.
+
+use crate::builtins;
+use crate::prelude::PRELUDE;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use ur_core::con::RCon;
+use ur_core::sym::Sym;
+use ur_eval::{Builtin, EvalError, Interp, VEnv, Value, World};
+use ur_infer::{ElabDecl, ElabError, Elaborator};
+
+/// Errors from running a program in a session.
+#[derive(Clone, Debug)]
+pub enum SessionError {
+    /// A parse/type error.
+    Elab(ElabError),
+    /// A runtime error.
+    Eval(EvalError),
+    /// A prelude primitive without an implementation (an internal error).
+    MissingBuiltin(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Elab(e) => write!(f, "{e}"),
+            SessionError::Eval(e) => write!(f, "{e}"),
+            SessionError::MissingBuiltin(n) => {
+                write!(f, "internal error: no implementation for builtin {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ElabError> for SessionError {
+    fn from(e: ElabError) -> Self {
+        SessionError::Elab(e)
+    }
+}
+
+impl From<EvalError> for SessionError {
+    fn from(e: EvalError) -> Self {
+        SessionError::Eval(e)
+    }
+}
+
+/// An Ur/Web session: elaborate-and-run programs against a persistent
+/// world.
+///
+/// ```
+/// use ur_web::Session;
+///
+/// let mut sess = Session::new()?;
+/// sess.run("val x = 20 + 22")?;
+/// assert_eq!(sess.get_int("x")?, 42);
+/// # Ok::<(), ur_web::SessionError>(())
+/// ```
+pub struct Session {
+    /// The elaborator (inference statistics live in `elab.cx.stats`).
+    pub elab: Elaborator,
+    /// Runtime world: database and debug output.
+    pub world: World,
+    builtins: HashMap<Sym, Rc<Builtin>>,
+    top: VEnv,
+    by_name: HashMap<String, Sym>,
+}
+
+impl Session {
+    /// Creates a session with the standard library installed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the prelude does not elaborate or a primitive lacks an
+    /// implementation (both internal errors, exercised by tests).
+    pub fn new() -> Result<Session, SessionError> {
+        let mut elab = Elaborator::new();
+        let decls = elab.elab_source(PRELUDE)?;
+        let impls = builtins::registry();
+        let mut map = HashMap::new();
+        let mut by_name = HashMap::new();
+        for d in &decls {
+            if let ElabDecl::Val {
+                name,
+                sym,
+                body: None,
+                ..
+            } = d
+            {
+                let spec = impls
+                    .get(name)
+                    .ok_or_else(|| SessionError::MissingBuiltin(name.clone()))?;
+                map.insert(sym.clone(), Rc::clone(spec));
+                by_name.insert(name.clone(), sym.clone());
+            }
+        }
+        Ok(Session {
+            elab,
+            world: World::new(),
+            builtins: map,
+            top: VEnv::new(),
+            by_name,
+        })
+    }
+
+    /// Elaborates and evaluates a program; returns the (name, value) pairs
+    /// of the newly defined top-level values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse, type, or runtime error.
+    pub fn run(&mut self, src: &str) -> Result<Vec<(String, Value)>, SessionError> {
+        let decls = self.elab.elab_source(src)?;
+        let mut out = Vec::new();
+        for d in &decls {
+            if let ElabDecl::Val {
+                name,
+                sym,
+                body: Some(body),
+                ..
+            } = d
+            {
+                let mut interp =
+                    Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
+                let v = interp.eval(&self.top, body)?;
+                self.top.vals.insert(sym.clone(), v.clone());
+                self.by_name.insert(name.clone(), sym.clone());
+                out.push((name.clone(), v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elaborates and evaluates a single expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse, type, or runtime error.
+    pub fn eval(&mut self, src: &str) -> Result<Value, SessionError> {
+        let (ee, _ty) = self.elab.elab_expr_source(src)?;
+        let mut interp = Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
+        Ok(interp.eval(&self.top, &ee)?)
+    }
+
+    /// Elaborates a single expression and returns its type without
+    /// evaluating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or type error.
+    pub fn type_of(&mut self, src: &str) -> Result<RCon, SessionError> {
+        let (_ee, ty) = self.elab.elab_expr_source(src)?;
+        Ok(ty)
+    }
+
+    /// Looks up a previously defined top-level value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        let sym = self.by_name.get(name)?;
+        self.top.vals.get(sym)
+    }
+
+    /// Convenience: a top-level int value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is absent or not an int.
+    pub fn get_int(&self, name: &str) -> Result<i64, SessionError> {
+        self.get(name)
+            .ok_or_else(|| SessionError::Eval(EvalError::new(format!("no value {name}"))))?
+            .as_int()
+            .map_err(SessionError::Eval)
+    }
+
+    /// Convenience: a top-level string value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is absent or not a string.
+    pub fn get_str(&self, name: &str) -> Result<String, SessionError> {
+        Ok(self
+            .get(name)
+            .ok_or_else(|| SessionError::Eval(EvalError::new(format!("no value {name}"))))?
+            .as_str()
+            .map_err(SessionError::Eval)?
+            .to_string())
+    }
+
+    /// Applies a function value to arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn apply(&mut self, f: &Value, args: &[Value]) -> Result<Value, SessionError> {
+        let mut interp = Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
+        let mut v = f.clone();
+        for a in args {
+            v = interp.apply(v, a.clone())?;
+        }
+        Ok(v)
+    }
+
+    /// The database.
+    pub fn db(&mut self) -> &mut ur_db::Db {
+        &mut self.world.db
+    }
+
+    /// Inference statistics accumulated so far (the Figure-5 counters).
+    pub fn stats(&self) -> &ur_core::stats::Stats {
+        &self.elab.cx.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_bootstraps() {
+        let sess = Session::new().expect("prelude installs");
+        assert!(sess.get("missing").is_none());
+    }
+
+    #[test]
+    fn arithmetic_and_strings() {
+        let mut sess = Session::new().unwrap();
+        sess.run("val x = 1 + 2 * 3\nval s = \"a\" ^ showInt x").unwrap();
+        assert_eq!(sess.get_int("x").unwrap(), 7);
+        assert_eq!(sess.get_str("s").unwrap(), "a7");
+    }
+
+    #[test]
+    fn eval_expression() {
+        let mut sess = Session::new().unwrap();
+        let v = sess.eval("if 1 < 2 then 10 else 20").unwrap();
+        assert_eq!(v.as_int().unwrap(), 10);
+    }
+
+    #[test]
+    fn lists_and_folds() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val l = cons 1 (cons 2 (cons 3 nil))\n\
+             val total = foldList (fn (x : int) (acc : int) => x + acc) 0 l\n\
+             val n = lengthList l",
+        )
+        .unwrap();
+        assert_eq!(sess.get_int("total").unwrap(), 6);
+        assert_eq!(sess.get_int("n").unwrap(), 3);
+    }
+
+    #[test]
+    fn options() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val a = getOpt (some 5) 0\n\
+             val b = getOpt none 7",
+        )
+        .unwrap();
+        assert_eq!(sess.get_int("a").unwrap(), 5);
+        assert_eq!(sess.get_int("b").unwrap(), 7);
+    }
+
+    #[test]
+    fn xml_rendering_escapes() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val x = renderXml (tagP (cdata \"<script>alert(1)</script>\"))",
+        )
+        .unwrap();
+        let s = sess.get_str("x").unwrap();
+        assert_eq!(s, "<p>&lt;script&gt;alert(1)&lt;/script&gt;</p>");
+    }
+
+    #[test]
+    fn sql_end_to_end() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val t = createTable \"people\" {Name = sqlString, Age = sqlInt}\n\
+             val u1 = insert t {Name = const \"alice\", Age = const 30}\n\
+             val u2 = insert t {Name = const \"bob\", Age = const 25}\n\
+             val n = rowCount t",
+        )
+        .unwrap();
+        assert_eq!(sess.get_int("n").unwrap(), 2);
+        let rows = sess.eval("selectAll t (sqlLt (column [#Age]) (const 28))").unwrap();
+        let rows = rows.as_list().unwrap().to_vec();
+        assert_eq!(rows.len(), 1);
+        let rec = rows[0].as_record().unwrap();
+        assert_eq!(rec.get("Name").unwrap().as_str().unwrap().as_ref(), "bob");
+    }
+
+    #[test]
+    fn sql_injection_is_neutralized() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val t = createTable \"notes\" {Body = sqlString}\n\
+             val u = insert t {Body = const \"'; DROP TABLE notes; --\"}\n\
+             val n = rowCount t",
+        )
+        .unwrap();
+        assert_eq!(sess.get_int("n").unwrap(), 1);
+        // The table still exists and the malicious text round-trips as data.
+        let rows = sess.eval("selectAll t (sqlTrue)").unwrap();
+        let rows = rows.as_list().unwrap().to_vec();
+        let body = rows[0].as_record().unwrap()["Body"].as_str().unwrap();
+        assert_eq!(body.as_ref(), "'; DROP TABLE notes; --");
+        // And the logged SQL has the quote escaped.
+        let log = sess.db().log().join("\n");
+        assert!(log.contains("''; DROP TABLE notes; --"));
+    }
+
+    #[test]
+    fn type_errors_are_reported_not_executed() {
+        let mut sess = Session::new().unwrap();
+        let err = sess.run("val bad = 1 + \"two\"").unwrap_err();
+        assert!(matches!(err, SessionError::Elab(_)));
+    }
+
+    #[test]
+    fn sequences_and_debug() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val u = createSequence \"s\"\n\
+             val a = nextval \"s\"\n\
+             val b = nextval \"s\"\n\
+             val d = debug \"hello\"",
+        )
+        .unwrap();
+        assert_eq!(sess.get_int("a").unwrap(), 1);
+        assert_eq!(sess.get_int("b").unwrap(), 2);
+        assert_eq!(sess.world.out, vec!["hello".to_string()]);
+    }
+
+    #[test]
+    fn stats_are_exposed() {
+        let mut sess = Session::new().unwrap();
+        sess.run("fun proj3 [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] (x : $([nm = t] ++ r)) = x.nm\nval v = proj3 [#A] {A = 1, B = 2}").unwrap();
+        assert!(sess.stats().disjoint_prover_calls > 0);
+        assert_eq!(sess.get_int("v").unwrap(), 1);
+    }
+}
+
+#[cfg(test)]
+mod xml_typing_tests {
+    use super::*;
+
+    #[test]
+    fn misplaced_tags_are_type_errors() {
+        // <tr> directly inside <p> (inline context) is rejected.
+        let mut sess = Session::new().unwrap();
+        assert!(sess.eval("tagP (tagTr (tagTd (cdata \"x\")))").is_err());
+        // <td> inside <table> without <tr> is rejected.
+        assert!(sess.eval("tagTable (tagTd (cdata \"x\"))").is_err());
+        // The correct nesting is accepted.
+        assert!(sess
+            .eval("tagTable (tagTr (tagTd (cdata \"x\")))")
+            .is_ok());
+    }
+
+    #[test]
+    fn cdata_is_context_polymorphic() {
+        let mut sess = Session::new().unwrap();
+        for src in [
+            "renderXml (tagP (cdata \"a\"))",
+            "renderXml (tagTr (tagTd (cdata \"a\")))",
+            "renderXml (tagUl (tagLi (cdata \"a\")))",
+        ] {
+            assert!(sess.eval(src).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn xcat_requires_matching_contexts() {
+        let mut sess = Session::new().unwrap();
+        // body ++ tr cells: contexts differ.
+        assert!(sess
+            .eval("xcat (tagP (cdata \"a\")) (tagTd (cdata \"b\"))")
+            .is_err());
+        assert!(sess
+            .eval("xcat (tagP (cdata \"a\")) (tagH1 (cdata \"b\"))")
+            .is_ok());
+    }
+
+    #[test]
+    fn page_produces_full_document() {
+        let mut sess = Session::new().unwrap();
+        let v = sess
+            .eval("page \"T&C\" (tagP (cdata \"hi\"))")
+            .unwrap();
+        let s = v.as_str().unwrap();
+        assert!(s.starts_with("<html><head><title>T&amp;C</title>"));
+        assert!(s.contains("<body><p>hi</p></body>"));
+    }
+
+    #[test]
+    fn ordered_select_builtin() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val t = createTable \"ord\" {K = sqlInt, V = sqlString}\n\
+             val a = insert t {K = const 3, V = const \"c\"}\n\
+             val b = insert t {K = const 1, V = const \"a\"}\n\
+             val c = insert t {K = const 2, V = const \"b\"}",
+        )
+        .unwrap();
+        let rows = sess
+            .eval("selectOrdered [#K] t (sqlTrue) 0 2")
+            .unwrap();
+        assert_eq!(
+            rows.to_string(),
+            "[{K = 1, V = \"a\"}, {K = 2, V = \"b\"}]"
+        );
+        // Ordering by a column the table lacks is a type error.
+        assert!(sess.eval("selectOrdered [#Nope] t (sqlTrue) 0 2").is_err());
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    /// A failed declaration must not poison the session: stale folder
+    /// holes and constraints are discarded (regression test).
+    #[test]
+    fn session_recovers_from_failed_declarations() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "type meta (t :: Type) = {Show : t -> string}\n\
+             fun render [r :: {Type}] (fl : folder r) (mr : $(map meta r)) (x : $r) : string =\n\
+               fl [fn r => $(map meta r) -> $r -> string]\n\
+                  (fn [nm] [t] [r] [[nm] ~ r] acc mr x =>\n\
+                     mr.nm.Show x.nm ^ acc (mr -- nm) (x -- nm))\n\
+                  (fn _ _ => \"\") mr x",
+        )
+        .unwrap();
+        // Creates a folder hole with an undetermined row, then fails.
+        assert!(sess.run("val bad = render oops").is_err());
+        // Unrelated follow-up work must succeed.
+        sess.run("val ok = 1 + 1").unwrap();
+        assert_eq!(sess.get_int("ok").unwrap(), 2);
+        // And the metaprogram still works.
+        sess.run("val out = render {A = {Show = showInt}} {A = 5}")
+            .unwrap();
+        assert_eq!(sess.get_str("out").unwrap(), "5");
+    }
+
+    /// Failed `eval` calls also leave the session clean.
+    #[test]
+    fn eval_errors_do_not_leak_constraints() {
+        let mut sess = Session::new().unwrap();
+        assert!(sess.eval("{A = 1} ++ {A = 2}").is_err());
+        assert_eq!(sess.eval("1 + 1").unwrap().as_int().unwrap(), 2);
+    }
+}

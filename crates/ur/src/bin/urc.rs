@@ -1,0 +1,171 @@
+//! `urc` — the Ur compiler/interpreter driver.
+//!
+//! ```text
+//! usage: urc [OPTIONS] FILE...
+//!
+//!   Elaborates and runs the given .ur files in order, against the Ur/Web
+//!   standard library.
+//!
+//! options:
+//!   --print            print every top-level value as it is defined
+//!   --stats            print inference statistics (the Figure 5 counters)
+//!   --core NAME        dump the elaborated core term of value NAME
+//!   --type NAME        print the inferred type of value NAME
+//!   --eval EXPR        evaluate EXPR after loading the files
+//!   --sql-log          print the SQL statements the program issued
+//!   --no-identity      disable the map-identity law   (ablation)
+//!   --no-distrib       disable map-distributivity     (ablation)
+//!   --no-fusion        disable map-fusion             (ablation)
+//!   --help             this message
+//! ```
+
+use std::process::ExitCode;
+use ur::infer::ElabDecl;
+use ur::Session;
+
+struct Options {
+    files: Vec<String>,
+    print: bool,
+    stats: bool,
+    core: Vec<String>,
+    types: Vec<String>,
+    evals: Vec<String>,
+    sql_log: bool,
+    no_identity: bool,
+    no_distrib: bool,
+    no_fusion: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: urc [--print] [--stats] [--core NAME] [--type NAME] [--eval EXPR]\n\
+     \x20          [--sql-log] [--no-identity] [--no-distrib] [--no-fusion] FILE...\n\
+     Elaborates and runs Ur source files against the Ur/Web standard library."
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        print: false,
+        stats: false,
+        core: Vec::new(),
+        types: Vec::new(),
+        evals: Vec::new(),
+        sql_log: false,
+        no_identity: false,
+        no_distrib: false,
+        no_fusion: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(usage().to_string()),
+            "--print" => opts.print = true,
+            "--stats" => opts.stats = true,
+            "--sql-log" => opts.sql_log = true,
+            "--no-identity" => opts.no_identity = true,
+            "--no-distrib" => opts.no_distrib = true,
+            "--no-fusion" => opts.no_fusion = true,
+            "--core" => opts
+                .core
+                .push(args.next().ok_or("--core needs a value name")?),
+            "--type" => opts
+                .types
+                .push(args.next().ok_or("--type needs a value name")?),
+            "--eval" => opts
+                .evals
+                .push(args.next().ok_or("--eval needs an expression")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}\n{}", usage()))
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() && opts.evals.is_empty() {
+        return Err(format!("no input files\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let mut sess = Session::new().map_err(|e| e.to_string())?;
+    sess.elab.cx.laws.identity = !opts.no_identity;
+    sess.elab.cx.laws.distrib = !opts.no_distrib;
+    sess.elab.cx.laws.fusion = !opts.no_fusion;
+
+    for file in &opts.files {
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("{file}: {e}"))?;
+        let defs = sess
+            .run(&src)
+            .map_err(|e| format!("{file}: {e}"))?;
+        if opts.print {
+            for (name, v) in defs {
+                println!("{name} = {v}");
+            }
+        }
+    }
+
+    for name in &opts.types {
+        let ty = sess
+            .elab
+            .decls
+            .iter()
+            .rev()
+            .find_map(|d| match d {
+                ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("--type: no value named {name}"))?;
+        println!("{name} : {ty}");
+    }
+
+    for name in &opts.core {
+        let body = sess
+            .elab
+            .decls
+            .iter()
+            .rev()
+            .find_map(|d| match d {
+                ElabDecl::Val {
+                    name: n,
+                    body: Some(b),
+                    ..
+                } if n == name => Some(b.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("--core: no value named {name} with a body"))?;
+        println!("(* core of {name} *)\n{body}");
+    }
+
+    for expr in &opts.evals {
+        let v = sess.eval(expr).map_err(|e| e.to_string())?;
+        println!("{v}");
+    }
+
+    if opts.sql_log {
+        for stmt in sess.db().log() {
+            println!("{stmt}");
+        }
+    }
+
+    if opts.stats {
+        eprintln!("stats: {}", sess.stats());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

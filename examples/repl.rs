@@ -1,0 +1,73 @@
+//! A minimal Ur REPL on top of [`ur::Session`].
+//!
+//! ```sh
+//! cargo run -p ur --example repl
+//! ```
+//!
+//! Enter expressions to evaluate them, declarations (`val`/`fun`/`type`/
+//! `con`) to extend the session, `:t e` for the type of an expression,
+//! `:stats` for the Figure-5 counters, and `:quit` to exit.
+
+use std::io::{BufRead, Write};
+use ur::Session;
+
+fn main() {
+    let mut sess = match Session::new() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start session: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("Ur REPL — :t <expr> for types, :stats for counters, :quit to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("ur> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":stats" {
+            println!("{}", sess.stats());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":t ") {
+            match sess.type_of(rest) {
+                Ok(t) => println!("{rest} : {t}"),
+                Err(e) => println!("{e}"),
+            }
+            continue;
+        }
+        let is_decl = ["val ", "fun ", "type ", "con "]
+            .iter()
+            .any(|kw| line.starts_with(kw));
+        if is_decl {
+            match sess.run(line) {
+                Ok(defs) => {
+                    for (name, v) in defs {
+                        println!("{name} = {v}");
+                    }
+                }
+                Err(e) => println!("{e}"),
+            }
+        } else {
+            match sess.eval(line) {
+                Ok(v) => println!("{v}"),
+                Err(e) => println!("{e}"),
+            }
+        }
+    }
+}

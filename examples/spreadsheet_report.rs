@@ -1,0 +1,41 @@
+//! A sales report built from the SQL-backed spreadsheet case study:
+//! stored columns persist in the database, computed columns and
+//! aggregates are evaluated per render.
+//!
+//! ```sh
+//! cargo run -p ur --example spreadsheet_report
+//! ```
+
+use ur::studies::study;
+use ur::Session;
+
+fn main() -> Result<(), ur::SessionError> {
+    let mut sess = Session::new()?;
+    for dep in ["folders", "spreadsheet", "spreadsheet_sql"] {
+        sess.run(study(dep).implementation())?;
+    }
+
+    sess.run(
+        "val report = sqlSheetSame \"Q3 Sales\" \"sales\"\n\
+           {Region = {Label = \"Region\", Show = fn (s : string) => s, SqlType = sqlString},\n\
+            Units = {Label = \"Units\", Show = showInt, SqlType = sqlInt},\n\
+            Price = {Label = \"Unit price\", Show = showInt, SqlType = sqlInt}}\n\
+           {Revenue = {Label = \"Revenue\", Fn = fn x => x.Units * x.Price, Show = showInt}}\n\
+           {TotalUnits = {Label = \"Total units\", Init = 0,\n\
+                          Step = fn x n => x.Units + n, Show = showInt},\n\
+            Rows = {Label = \"Rows\", Init = 0, Step = fn x n => n + 1, Show = showInt}}",
+    )?;
+
+    sess.run(
+        "val i1 = report.Insert {Region = \"north\", Units = 10, Price = 7}\n\
+         val i2 = report.Insert {Region = \"south\", Units = 4, Price = 12}\n\
+         val i3 = report.Insert {Region = \"west\", Units = 9, Price = 5}\n\
+         val html = report.Render ()\n\
+         val totals = report.Totals ()",
+    )?;
+
+    println!("rendered sheet:\n{}\n", sess.get_str("html")?);
+    println!("summary row: {}", sess.get_str("totals")?);
+    println!("\ninference statistics: {}", sess.stats());
+    Ok(())
+}

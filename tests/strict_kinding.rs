@@ -1,0 +1,30 @@
+use ur::infer::ElabDecl;
+use ur::studies::{studies, study};
+use ur::Session;
+
+#[test]
+fn all_decl_types_are_strictly_wellkinded() {
+    // Figure 2's declarative kinding requires every row concatenation in a
+    // type to have provably disjoint operands. All inferred declaration
+    // types must satisfy it.
+    for s in studies() {
+        let mut sess = Session::new().unwrap();
+        fn load(sess: &mut Session, s: &ur::studies::Study) {
+            for d in s.deps {
+                load(sess, &study(d));
+                sess.run(study(d).implementation()).unwrap();
+            }
+        }
+        load(&mut sess, &s);
+        sess.run(s.implementation()).unwrap();
+        sess.run(s.usage).unwrap();
+        let env = sess.elab.genv.clone();
+        let decls = sess.elab.decls.clone();
+        for d in &decls {
+            if let ElabDecl::Val { name, ty, .. } = d {
+                ur::core::kinding::kind_of_strict(&env, &mut sess.elab.cx, ty)
+                    .unwrap_or_else(|e| panic!("[{}] {name} : {ty}\n  {e}", s.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Keeps docs/TUTORIAL.md honest: every behaviour it shows is executed
+//! here.
+
+use ur::Session;
+
+#[test]
+fn record_basics() {
+    let mut sess = Session::new().unwrap();
+    sess.run("val p = {Name = \"ada\", Age = 36}").unwrap();
+    assert_eq!(
+        sess.eval("p.Name").unwrap().to_string(),
+        "\"ada\""
+    );
+    assert_eq!(
+        sess.eval("p -- Age").unwrap().to_string(),
+        "{Name = \"ada\"}"
+    );
+    assert_eq!(
+        sess.eval("{A = 1} ++ {B = 2}").unwrap().to_string(),
+        "{A = 1, B = 2}"
+    );
+}
+
+#[test]
+fn record_types_are_unordered() {
+    let mut sess = Session::new().unwrap();
+    // Without the disjointness constraint the annotation itself is
+    // rejected (the concatenation might repeat #A) ...
+    assert!(sess
+        .run("fun first0 [r :: {Type}] (x : $([A = int] ++ r)) = x.A")
+        .is_err());
+    // ... and with it, fields may be passed in any order.
+    sess.run(
+        "fun first [r :: {Type}] [[A] ~ r] (x : $([A = int] ++ r)) = x.A\n\
+         val a = first {B = 2.0, A = 7}",
+    )
+    .unwrap();
+    assert_eq!(sess.get_int("a").unwrap(), 7);
+}
+
+#[test]
+fn explicit_instantiation_recovers_incomplete_inference() {
+    // The tutorial's §7 claim.
+    let mut sess = Session::new().unwrap();
+    sess.run("fun id2 [f :: (Type -> Type)] [t :: Type] (x : f t) : f t = x")
+        .unwrap();
+    assert!(sess.run("val bad = id2 0").is_err());
+    sess.run("val good = id2 [fn t => t] [int] 0").unwrap();
+    assert_eq!(sess.get_int("good").unwrap(), 0);
+}
+
+#[test]
+fn typed_sql_tour() {
+    let mut sess = Session::new().unwrap();
+    sess.run(
+        "val t = createTable \"people\" {Name = sqlString, Age = sqlInt}\n\
+         val u = insert t {Name = const \"alice\", Age = const 30}",
+    )
+    .unwrap();
+    let rows = sess
+        .eval("selectAll t (sqlLt (column [#Age]) (const 40))")
+        .unwrap();
+    assert_eq!(
+        rows.to_string(),
+        "[{Age = 30, Name = \"alice\"}]"
+    );
+    // Wrong-schema predicate is a type error.
+    assert!(sess
+        .eval("selectAll t (sqlLt (column [#Height]) (const 40))")
+        .is_err());
+}
+
+#[test]
+fn type_of_query() {
+    let mut sess = Session::new().unwrap();
+    let t = sess.type_of("{A = 1, B = 2.3}").unwrap();
+    let shown = t.to_string();
+    assert!(shown.contains("#A = int") && shown.contains("#B = float"), "{shown}");
+}
