@@ -4,7 +4,6 @@
 //! that *need* a law fail to elaborate without it — that is checked by
 //! `ur-infer/tests/ablation.rs`, not benchmarked.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::rc::Rc;
 use ur_core::con::{Con, RCon};
 use ur_core::defeq::defeq;
@@ -12,6 +11,7 @@ use ur_core::env::Env;
 use ur_core::kind::Kind;
 use ur_core::sym::Sym;
 use ur_core::{Cx, LawConfig};
+use ur_testutil::bench::Bench;
 
 fn mapped_ground_row(n: usize) -> (RCon, RCon) {
     let fields: Vec<(RCon, RCon)> = (0..n)
@@ -39,28 +39,20 @@ fn mapped_ground_row(n: usize) -> (RCon, RCon) {
     (mapped, expanded)
 }
 
-fn bench_laws(c: &mut Criterion) {
+fn main() {
     let env = Env::new();
     let (mapped, expanded) = mapped_ground_row(64);
-    let mut g = c.benchmark_group("law_ablation_defeq_map64");
-    g.bench_function("all_laws", |b| {
-        b.iter(|| {
-            let mut cx = Cx::new();
-            assert!(defeq(&env, &mut cx, &mapped, &expanded));
-        })
+    let mut g = Bench::new("law_ablation_defeq_map64");
+    g.measure("all_laws", || {
+        let mut cx = Cx::new();
+        assert!(defeq(&env, &mut cx, &mapped, &expanded));
     });
-    g.bench_function("no_identity", |b| {
-        b.iter(|| {
-            let mut cx = Cx::new();
-            cx.laws = LawConfig {
-                identity: false,
-                ..LawConfig::default()
-            };
-            assert!(defeq(&env, &mut cx, &mapped, &expanded));
-        })
+    g.measure("no_identity", || {
+        let mut cx = Cx::new();
+        cx.laws = LawConfig {
+            identity: false,
+            ..LawConfig::default()
+        };
+        assert!(defeq(&env, &mut cx, &mapped, &expanded));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_laws);
-criterion_main!(benches);

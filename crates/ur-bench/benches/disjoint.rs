@@ -1,13 +1,13 @@
 //! Disjointness-prover scaling (§4.1): decomposition plus Cartesian-product
 //! fact lookup, as goal width and the assumption database grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ur_core::con::{Con, RCon};
 use ur_core::disjoint::{prove, ProveResult};
 use ur_core::env::Env;
 use ur_core::kind::Kind;
 use ur_core::sym::Sym;
 use ur_core::Cx;
+use ur_testutil::bench::Bench;
 
 fn named_row(prefix: &str, n: usize) -> RCon {
     Con::row_of(
@@ -18,55 +18,48 @@ fn named_row(prefix: &str, n: usize) -> RCon {
     )
 }
 
-fn bench_literal_goals(c: &mut Criterion) {
-    let mut g = c.benchmark_group("disjoint_literal");
+fn bench_literal_goals() {
+    let mut g = Bench::new("disjoint_literal");
     for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let env = Env::new();
-            let left = named_row("A", n);
-            let right = named_row("B", n);
-            b.iter(|| {
-                let mut cx = Cx::new();
-                assert_eq!(
-                    prove(&env, &mut cx, &left, &right),
-                    ProveResult::Proved
-                );
-            });
+        let env = Env::new();
+        let left = named_row("A", n);
+        let right = named_row("B", n);
+        g.measure(&n.to_string(), || {
+            let mut cx = Cx::new();
+            assert_eq!(prove(&env, &mut cx, &left, &right), ProveResult::Proved);
         });
     }
-    g.finish();
 }
 
-fn bench_fact_database(c: &mut Criterion) {
+fn bench_fact_database() {
     // Goal provable only via assumptions, with a growing fact database —
     // the §6 components' dominant cost.
-    let mut g = c.benchmark_group("disjoint_facts");
+    let mut g = Bench::new("disjoint_facts");
     for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut env = Env::new();
-            let mut vars = Vec::new();
-            for i in 0..n {
-                let s = Sym::fresh(format!("r{i}"));
-                env.bind_con(s.clone(), Kind::row(Kind::Type));
-                vars.push(Con::var(&s));
-            }
-            // Assume each abstract row disjoint from a block of names.
-            for v in &vars {
-                env.assume_disjoint(named_row("A", 4), v.clone());
-            }
-            let goal_left = named_row("A", 4);
-            let goal_right = vars.last().unwrap().clone();
-            b.iter(|| {
-                let mut cx = Cx::new();
-                assert_eq!(
-                    prove(&env, &mut cx, &goal_left, &goal_right),
-                    ProveResult::Proved
-                );
-            });
+        let mut env = Env::new();
+        let mut vars = Vec::new();
+        for i in 0..n {
+            let s = Sym::fresh(format!("r{i}"));
+            env.bind_con(s.clone(), Kind::row(Kind::Type));
+            vars.push(Con::var(&s));
+        }
+        // Assume each abstract row disjoint from a block of names.
+        for v in &vars {
+            env.assume_disjoint(named_row("A", 4), v.clone());
+        }
+        let goal_left = named_row("A", 4);
+        let goal_right = vars.last().unwrap().clone();
+        g.measure(&n.to_string(), || {
+            let mut cx = Cx::new();
+            assert_eq!(
+                prove(&env, &mut cx, &goal_left, &goal_right),
+                ProveResult::Proved
+            );
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_literal_goals, bench_fact_database);
-criterion_main!(benches);
+fn main() {
+    bench_literal_goals();
+    bench_fact_database();
+}

@@ -3,8 +3,8 @@
 //! full §4 pipeline — constraint generation, postpone-and-retry solving,
 //! disjointness proving, and folder generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ur_studies::{studies, study, Study};
+use ur_testutil::bench::Bench;
 use ur_web::Session;
 
 fn load_with_deps(s: &Study) -> Session {
@@ -20,36 +20,33 @@ fn load_with_deps(s: &Study) -> Session {
     sess
 }
 
-fn bench_paper_examples(c: &mut Criterion) {
+fn bench_paper_examples() {
     let proj = "fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
                 (x : $([nm = t] ++ r)) = x.nm\n\
                 val a = proj [#A] {A = 1, B = 2.3}";
-    c.bench_function("elaborate_proj", |b| {
-        b.iter(|| {
-            let mut sess = Session::new().unwrap();
-            sess.run(proj).unwrap();
-        })
+    let mut g = Bench::new("elaborate");
+    g.measure("proj", || {
+        let mut sess = Session::new().unwrap();
+        sess.run(proj).unwrap();
     });
-    c.bench_function("elaborate_session_bootstrap", |b| {
-        b.iter(|| Session::new().unwrap())
+    g.measure("session_bootstrap", || {
+        Session::new().unwrap();
     });
 }
 
-fn bench_studies(c: &mut Criterion) {
+fn bench_studies() {
+    let mut g = Bench::new("elaborate_study");
     for s in studies() {
-        let id = s.id;
-        c.bench_function(&format!("elaborate_study_{id}"), |b| {
-            b.iter_batched(
-                || load_with_deps(&s),
-                |mut sess| {
-                    sess.run(s.implementation()).expect("study elaborates");
-                    sess
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        // Setup cost (session + deps) is included in each iteration; it is
+        // the same fresh-session pipeline the Figure-5 table measures.
+        g.measure(s.id, || {
+            let mut sess = load_with_deps(&s);
+            sess.run(s.implementation()).expect("study elaborates");
         });
     }
 }
 
-criterion_group!(benches, bench_paper_examples, bench_studies);
-criterion_main!(benches);
+fn main() {
+    bench_paper_examples();
+    bench_studies();
+}

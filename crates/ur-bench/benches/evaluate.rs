@@ -1,9 +1,9 @@
 //! Interpreter and substrate throughput: running generated metaprograms
 //! (mkTable rendering, ORM round trips) and raw database operations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ur_db::{ColTy, Db, DbVal, Schema, SqlExpr};
 use ur_studies::study;
+use ur_testutil::bench::Bench;
 use ur_web::Session;
 
 #[allow(clippy::literal_string_with_formatting_args)] // Ur source, not a format string
@@ -19,84 +19,69 @@ fn mktable_session() -> Session {
     sess
 }
 
-fn bench_mktable_render(c: &mut Criterion) {
+fn bench_mktable_render() {
     let mut sess = mktable_session();
     let f = sess.get("f").unwrap().clone();
     let row = sess.eval("{A = 2, B = 3.4}").unwrap();
-    c.bench_function("eval_mktable_row", |b| {
-        b.iter(|| sess.apply(&f, std::slice::from_ref(&row)).unwrap())
+    let mut g = Bench::new("eval");
+    g.measure("mktable_row", || {
+        sess.apply(&f, std::slice::from_ref(&row)).unwrap();
     });
 }
 
-fn bench_orm_roundtrip(c: &mut Criterion) {
-    c.bench_function("eval_orm_add_list", |b| {
-        b.iter_batched(
-            || {
-                let mut sess = Session::new().unwrap();
-                sess.run(study("selector").implementation()).unwrap();
-                sess.run(study("orm").implementation()).unwrap();
-                sess.run(
-                    "val t = ormTable \"bench_t\" \
-                     {Name = {SqlType = sqlString, Show = fn (s : string) => s}, \
-                      Age = {SqlType = sqlInt, Show = showInt}}",
-                )
-                .unwrap();
-                sess
-            },
-            |mut sess| {
-                sess.run(
-                    "val u = t.Add {Name = \"alice\", Age = 30}\n\
-                     val l = t.List ()",
-                )
-                .unwrap();
-                sess
-            },
-            criterion::BatchSize::LargeInput,
+fn bench_orm_roundtrip() {
+    let mut g = Bench::new("eval");
+    g.measure("orm_add_list", || {
+        let mut sess = Session::new().unwrap();
+        sess.run(study("selector").implementation()).unwrap();
+        sess.run(study("orm").implementation()).unwrap();
+        sess.run(
+            "val t = ormTable \"bench_t\" \
+             {Name = {SqlType = sqlString, Show = fn (s : string) => s}, \
+              Age = {SqlType = sqlInt, Show = showInt}}",
         )
+        .unwrap();
+        sess.run(
+            "val u = t.Add {Name = \"alice\", Age = 30}\n\
+             val l = t.List ()",
+        )
+        .unwrap();
     });
 }
 
-fn bench_db_substrate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("db_ops");
+fn bench_db_substrate() {
+    let mut g = Bench::new("db_ops_insert_select");
     for n in [100usize, 1000] {
-        g.bench_with_input(BenchmarkId::new("insert_select", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut db = Db::new();
-                db.create_table(
-                    "t",
-                    Schema::new(vec![
-                        ("A".into(), ColTy::Int),
-                        ("B".into(), ColTy::Str),
-                    ])
+        g.measure(&n.to_string(), || {
+            let mut db = Db::new();
+            db.create_table(
+                "t",
+                Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)])
                     .unwrap(),
+            )
+            .unwrap();
+            for i in 0..n {
+                db.insert(
+                    "t",
+                    &[
+                        ("A".into(), SqlExpr::lit(DbVal::Int(i as i64))),
+                        ("B".into(), SqlExpr::lit(DbVal::Str(format!("row{i}")))),
+                    ],
                 )
                 .unwrap();
-                for i in 0..n {
-                    db.insert(
-                        "t",
-                        &[
-                            ("A".into(), SqlExpr::lit(DbVal::Int(i as i64))),
-                            ("B".into(), SqlExpr::lit(DbVal::Str(format!("row{i}")))),
-                        ],
-                    )
-                    .unwrap();
-                }
-                let pred = SqlExpr::Lt(
-                    Box::new(SqlExpr::col("A")),
-                    Box::new(SqlExpr::lit(DbVal::Int((n / 2) as i64))),
-                );
-                let rows = db.select("t", &pred).unwrap();
-                assert_eq!(rows.len(), n / 2);
-            })
+            }
+            let pred = SqlExpr::Lt(
+                Box::new(SqlExpr::col("A")),
+                Box::new(SqlExpr::lit(DbVal::Int((n / 2) as i64))),
+            );
+            let rows = db.select("t", &pred).unwrap();
+            assert_eq!(rows.len(), n / 2);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mktable_render,
-    bench_orm_roundtrip,
-    bench_db_substrate
-);
-criterion_main!(benches);
+fn main() {
+    bench_mktable_render();
+    bench_orm_roundtrip();
+    bench_db_substrate();
+}

@@ -2,24 +2,17 @@
 //! (fresh session, dependencies, component elaboration, interface check,
 //! usage demo) — regenerating the paper's table is itself the workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ur_studies::{run_study, studies};
+use ur_testutil::bench::Bench;
 
-fn bench_figure5_rows(c: &mut Criterion) {
+fn main() {
+    let mut g = Bench::new("figure5_row");
     for s in studies() {
         if s.figure5.is_none() {
             continue;
         }
-        let id = s.id;
-        c.bench_function(&format!("figure5_row_{id}"), |b| {
-            b.iter(|| run_study(&s).expect("study runs"))
+        g.measure(s.id, || {
+            run_study(&s).expect("study runs");
         });
     }
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figure5_rows
-);
-criterion_main!(benches);

@@ -2,7 +2,6 @@
 //! record width grows, for the three problem shapes the engine meets most:
 //! ground-vs-ground, meta-tail, and reverse-engineering (§4.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::rc::Rc;
 use ur_core::con::{Con, RCon};
 use ur_core::env::Env;
@@ -10,6 +9,7 @@ use ur_core::kind::Kind;
 use ur_core::sym::Sym;
 use ur_core::Cx;
 use ur_infer::{unify, Unify};
+use ur_testutil::bench::Bench;
 
 fn lit_row(n: usize) -> RCon {
     Con::row_of(
@@ -33,78 +33,67 @@ fn lit_row_reversed(n: usize) -> RCon {
     )
 }
 
-fn bench_ground(c: &mut Criterion) {
-    let mut g = c.benchmark_group("row_unify_ground");
+fn bench_ground() {
+    let mut g = Bench::new("row_unify_ground");
     for n in [8usize, 32, 128, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let env = Env::new();
-            let row = lit_row(n);
-            let rev = lit_row_reversed(n);
-            b.iter(|| {
-                let mut cx = Cx::new();
-                assert_eq!(unify(&env, &mut cx, &row, &rev), Unify::Solved);
-            });
+        let env = Env::new();
+        let row = lit_row(n);
+        let rev = lit_row_reversed(n);
+        g.measure(&n.to_string(), || {
+            let mut cx = Cx::new();
+            assert_eq!(unify(&env, &mut cx, &row, &rev), Unify::Solved);
         });
     }
-    g.finish();
 }
 
-fn bench_meta_tail(c: &mut Criterion) {
-    let mut g = c.benchmark_group("row_unify_meta_tail");
+fn bench_meta_tail() {
+    let mut g = Bench::new("row_unify_meta_tail");
     for n in [8usize, 32, 128, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let env = Env::new();
-            let full = lit_row(n);
-            let half = lit_row(n / 2);
-            b.iter(|| {
-                let mut cx = Cx::new();
-                let m = cx.metas.fresh_con(Kind::row(Kind::Type), "tail");
-                let left = Con::row_cat(half.clone(), m);
-                assert_eq!(unify(&env, &mut cx, &left, &full), Unify::Solved);
-            });
+        let env = Env::new();
+        let full = lit_row(n);
+        let half = lit_row(n / 2);
+        g.measure(&n.to_string(), || {
+            let mut cx = Cx::new();
+            let m = cx.metas.fresh_con(Kind::row(Kind::Type), "tail");
+            let left = Con::row_cat(half.clone(), m);
+            assert_eq!(unify(&env, &mut cx, &left, &full), Unify::Solved);
         });
     }
-    g.finish();
 }
 
-fn bench_reverse_engineering(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reverse_engineering");
+fn bench_reverse_engineering() {
+    let mut g = Bench::new("reverse_engineering");
     for n in [8usize, 32, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let env = Env::new();
-            // map (fn a => a -> a) ?m = [F0 = int -> int, ...]
-            let ground = Con::row_of(
+        let env = Env::new();
+        // map (fn a => a -> a) ?m = [F0 = int -> int, ...]
+        let ground = Con::row_of(
+            Kind::Type,
+            (0..n)
+                .map(|i| {
+                    (
+                        Con::name(format!("F{i}")),
+                        Con::arrow(Con::int(), Con::int()),
+                    )
+                })
+                .collect(),
+        );
+        g.measure(&n.to_string(), || {
+            let mut cx = Cx::new();
+            let m = cx.metas.fresh_con(Kind::row(Kind::Type), "m");
+            let a = Sym::fresh("a");
+            let f = Con::lam(
+                a.clone(),
                 Kind::Type,
-                (0..n)
-                    .map(|i| {
-                        (
-                            Con::name(format!("F{i}")),
-                            Con::arrow(Con::int(), Con::int()),
-                        )
-                    })
-                    .collect(),
+                Con::arrow(Con::var(&a), Con::var(&a)),
             );
-            b.iter(|| {
-                let mut cx = Cx::new();
-                let m = cx.metas.fresh_con(Kind::row(Kind::Type), "m");
-                let a = Sym::fresh("a");
-                let f = Con::lam(
-                    a.clone(),
-                    Kind::Type,
-                    Con::arrow(Con::var(&a), Con::var(&a)),
-                );
-                let left = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&m));
-                assert_eq!(unify(&env, &mut cx, &left, &ground), Unify::Solved);
-            });
+            let left = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&m));
+            assert_eq!(unify(&env, &mut cx, &left, &ground), Unify::Solved);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ground,
-    bench_meta_tail,
-    bench_reverse_engineering
-);
-criterion_main!(benches);
+fn main() {
+    bench_ground();
+    bench_meta_tail();
+    bench_reverse_engineering();
+}

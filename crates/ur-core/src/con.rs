@@ -179,18 +179,31 @@ impl Con {
 
     /// Builds a literal row `[n1 = v1] ++ ... ++ [nk = vk]` from
     /// (name, value) pairs, or `[]` at `elem_kind` when empty.
+    ///
+    /// The concatenations form a *balanced* tree: `++` is associative
+    /// (Figure 3), and `log2(n)` depth keeps every recursive term walker
+    /// (normalization, zonking, drop) from consuming stack linear in
+    /// field count — a 5,000-field row is legitimate input.
     pub fn row_of(elem_kind: Kind, fields: Vec<(RCon, RCon)>) -> RCon {
-        let mut it = fields.into_iter();
-        match it.next() {
-            None => Con::row_nil(elem_kind),
-            Some((n, v)) => {
-                let mut acc = Con::row_one(n, v);
-                for (n, v) in it {
-                    acc = Con::row_cat(acc, Con::row_one(n, v));
+        fn build(fields: &mut std::vec::Drain<(RCon, RCon)>, n: usize, k: &Kind) -> RCon {
+            match n {
+                0 => Con::row_nil(k.clone()),
+                1 => match fields.next() {
+                    Some((name, v)) => Con::row_one(name, v),
+                    None => Con::row_nil(k.clone()),
+                },
+                _ => {
+                    let half = n / 2;
+                    let l = build(fields, half, k);
+                    let r = build(fields, n - half, k);
+                    Con::row_cat(l, r)
                 }
-                acc
             }
         }
+        let mut fields = fields;
+        let n = fields.len();
+        let mut drain = fields.drain(..);
+        build(&mut drain, n, &elem_kind)
     }
 
     /// `map` fully applied: `map f r` at the given kinds.
@@ -265,7 +278,9 @@ mod tests {
     }
 
     #[test]
-    fn row_of_builds_left_nested_cats() {
+    fn row_of_builds_balanced_cats() {
+        // Three fields: balanced split is 1 + 2, so the root is a cat of
+        // a single field and a two-field cat.
         let r = Con::row_of(
             Kind::Type,
             vec![
@@ -275,9 +290,27 @@ mod tests {
             ],
         );
         match &*r {
-            Con::RowCat(l, _) => assert!(matches!(&**l, Con::RowCat(_, _))),
+            Con::RowCat(l, rr) => {
+                assert!(matches!(&**l, Con::RowOne(_, _)));
+                assert!(matches!(&**rr, Con::RowCat(_, _)));
+            }
             other => panic!("expected RowCat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn row_of_depth_is_logarithmic() {
+        fn depth(c: &RCon) -> usize {
+            match &**c {
+                Con::RowCat(a, b) => 1 + depth(a).max(depth(b)),
+                _ => 1,
+            }
+        }
+        let r = Con::row_of(
+            Kind::Type,
+            (0..1024).map(|i| (Con::name(format!("F{i}")), Con::int())).collect(),
+        );
+        assert!(depth(&r) <= 12, "depth {} for 1024 fields", depth(&r));
     }
 
     #[test]

@@ -40,7 +40,22 @@ pub struct MutCxRef<'a>(pub &'a crate::meta::MetaCx);
 ///
 /// Increments the Figure-5 law counters in `cx.stats` as normalization
 /// applies the algebraic laws.
+///
+/// Fuel-bounded: charges one recursion level per subproblem. On
+/// exhaustion (`cx.fuel` sticky-exhausted) it answers `false` — the
+/// conservative direction; the elaborator checks [`crate::limits::Fuel::
+/// exhausted`] and reports a resource diagnostic instead of a plain
+/// mismatch.
 pub fn defeq(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> bool {
+    if !cx.fuel.descend() {
+        return false;
+    }
+    let out = defeq_inner(env, cx, c1, c2);
+    cx.fuel.ascend();
+    out
+}
+
+fn defeq_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> bool {
     let c1 = hnf(env, cx, c1);
     let c2 = hnf(env, cx, c2);
     if Rc::ptr_eq(&c1, &c2) {

@@ -98,6 +98,11 @@ impl FactDb {
             let (p2, _) = decompose(env, cx, &c2);
             for a in &p1 {
                 for b in &p2 {
+                    // Fuel-bounded: a truncated database only loses facts,
+                    // so goals degrade to `NotYet`, never to `Proved`.
+                    if !cx.fuel.prover_pair() {
+                        return FactDb { facts };
+                    }
                     facts.push((a.clone(), b.clone()));
                     facts.push((b.clone(), a.clone()));
                 }
@@ -135,6 +140,12 @@ pub fn prove(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> ProveResult {
     let mut pending = false;
     for a in &p1 {
         for b in &p2 {
+            // Fuel-bounded: wide goals (≥5k fields per side mean ≥25M
+            // pairs) bail out with `NotYet`; the elaborator reports the
+            // exhaustion as a resource diagnostic.
+            if !cx.fuel.prover_pair() {
+                return ProveResult::NotYet;
+            }
             match (a, b) {
                 (Piece::Name(x), Piece::Name(y)) => {
                     if x == y {

@@ -119,19 +119,31 @@ impl Expr {
         Rc::new(Expr::RecCat(a, b))
     }
 
-    /// Builds an n-ary record literal as a chain of concatenations.
+    /// Builds an n-ary record literal as a *balanced* tree of
+    /// concatenations. Concatenation is associative, and a balanced tree
+    /// keeps the term depth at `log2(n)` so recursive walkers
+    /// (finalization, evaluation, drop) never consume stack linear in
+    /// field count — a 5,000-field record is legitimate input.
     pub fn record(fields: Vec<(RCon, RExpr)>) -> RExpr {
-        let mut it = fields.into_iter();
-        match it.next() {
-            None => Expr::rec_nil(),
-            Some((n, e)) => {
-                let mut acc = Expr::rec_one(n, e);
-                for (n, e) in it {
-                    acc = Expr::rec_cat(acc, Expr::rec_one(n, e));
+        fn build(fields: &mut std::vec::Drain<(RCon, RExpr)>, n: usize) -> RExpr {
+            match n {
+                0 => Expr::rec_nil(),
+                1 => match fields.next() {
+                    Some((name, e)) => Expr::rec_one(name, e),
+                    None => Expr::rec_nil(),
+                },
+                _ => {
+                    let half = n / 2;
+                    let l = build(fields, half);
+                    let r = build(fields, n - half);
+                    Expr::rec_cat(l, r)
                 }
-                acc
             }
         }
+        let mut fields = fields;
+        let n = fields.len();
+        let mut drain = fields.drain(..);
+        build(&mut drain, n)
     }
 
     pub fn proj(e: RExpr, c: RCon) -> RExpr {

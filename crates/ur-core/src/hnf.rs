@@ -19,9 +19,26 @@ use std::rc::Rc;
 ///
 /// `map` applications are *not* reduced here; they are left for the row
 /// normalizer, so that the Figure-5 law counters fire in one place.
+///
+/// Fuel-bounded: each call charges one recursion level and each reduction
+/// one step. When the budget is gone (`cx.fuel` sticky-exhausted) the
+/// input is returned as-is — callers treat it as neutral, which is always
+/// sound (it only makes fewer things definitionally equal).
 pub fn hnf(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
+    if !cx.fuel.descend() {
+        return Rc::clone(c);
+    }
+    let out = hnf_loop(env, cx, c);
+    cx.fuel.ascend();
+    out
+}
+
+fn hnf_loop(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
     let mut cur = Rc::clone(c);
     loop {
+        if !cx.fuel.step() {
+            return cur;
+        }
         match &*cur {
             Con::Meta(id) => match cx.metas.solution(*id) {
                 Some(sol) => {

@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-core — Featherweight Ur, the core calculus
 //!
 //! This crate implements the core calculus of
@@ -45,6 +49,7 @@ pub mod folder;
 pub mod hnf;
 pub mod kind;
 pub mod kinding;
+pub mod limits;
 pub mod meta;
 pub mod pretty;
 pub mod row;
@@ -53,6 +58,7 @@ pub mod subst;
 pub mod sym;
 pub mod typing;
 
+pub use limits::{Fuel, Limits, ResourceKind};
 use meta::MetaCx;
 use stats::Stats;
 
@@ -78,18 +84,27 @@ impl Default for LawConfig {
 }
 
 /// Mutable checking context threaded through every judgment: the
-/// metavariable arena, the Figure-5 statistics counters, and the law
-/// configuration.
+/// metavariable arena, the Figure-5 statistics counters, the law
+/// configuration, and the resource budget (see [`limits`]).
 #[derive(Clone, Debug, Default)]
 pub struct Cx {
     pub metas: MetaCx,
     pub stats: Stats,
     pub laws: LawConfig,
+    pub fuel: Fuel,
 }
 
 impl Cx {
     pub fn new() -> Cx {
         Cx::default()
+    }
+
+    /// A context with explicit resource limits.
+    pub fn with_limits(limits: Limits) -> Cx {
+        Cx {
+            fuel: Fuel::new(limits),
+            ..Cx::default()
+        }
     }
 }
 
@@ -100,6 +115,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::expr::{Expr, Lit, RExpr};
     pub use crate::kind::Kind;
+    pub use crate::limits::{Fuel, Limits, ResourceKind};
     pub use crate::meta::MetaCx;
     pub use crate::stats::Stats;
     pub use crate::sym::Sym;

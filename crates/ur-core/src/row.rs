@@ -191,6 +191,21 @@ pub fn normalize_row(env: &Env, cx: &mut Cx, c: &RCon) -> RowNf {
 }
 
 fn collect(env: &Env, cx: &mut Cx, c: &RCon, nf: &mut RowNf) {
+    // Fuel-bounded: on exhaustion the remaining subtree is kept as one
+    // opaque neutral atom — sound (it only makes fewer rows equal), and
+    // the elaborator reports the exhaustion as a resource diagnostic.
+    if !cx.fuel.descend() {
+        nf.atoms.push(RowAtom {
+            map: None,
+            base: Rc::clone(c),
+        });
+        return;
+    }
+    collect_inner(env, cx, c, nf);
+    cx.fuel.ascend();
+}
+
+fn collect_inner(env: &Env, cx: &mut Cx, c: &RCon, nf: &mut RowNf) {
     let c = hnf(env, cx, c);
     match &*c {
         Con::RowNil(k) => {
@@ -206,9 +221,20 @@ fn collect(env: &Env, cx: &mut Cx, c: &RCon, nf: &mut RowNf) {
             };
             nf.fields.push((key, Rc::clone(v)));
         }
-        Con::RowCat(a, b) => {
-            collect(env, cx, a, nf);
-            collect(env, cx, b, nf);
+        Con::RowCat(_, _) => {
+            // Wide rows are the common case; walk the concat tree with an
+            // explicit worklist so field count costs no call stack (a
+            // 5,000-field record is a 5,000-deep concat chain).
+            let mut work = vec![Rc::clone(&c)];
+            while let Some(part) = work.pop() {
+                let part = hnf(env, cx, &part);
+                if let Con::RowCat(a, b) = &*part {
+                    work.push(Rc::clone(b));
+                    work.push(Rc::clone(a));
+                } else {
+                    collect(env, cx, &part, nf);
+                }
+            }
         }
         Con::App(_, _) => {
             let (head, args) = c.spine();

@@ -53,23 +53,30 @@ impl Stats {
         self.reverse_engineered += other.reverse_engineered;
     }
 
-    /// The difference `self - earlier`, counter-wise.
+    /// The difference `self - earlier`, counter-wise, saturating at zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if any counter of `earlier` exceeds the corresponding counter
-    /// of `self` (i.e. `earlier` is not actually an earlier snapshot).
+    /// Counters that ran *backwards* (i.e. `earlier` is not actually an
+    /// earlier snapshot of `self`, e.g. because the context was reset
+    /// between the two samples) clamp to 0 instead of panicking.
     pub fn since(&self, earlier: &Stats) -> Stats {
         Stats {
-            disjoint_prover_calls: self.disjoint_prover_calls - earlier.disjoint_prover_calls,
-            law_map_identity: self.law_map_identity - earlier.law_map_identity,
-            law_map_distrib: self.law_map_distrib - earlier.law_map_distrib,
-            law_map_fusion: self.law_map_fusion - earlier.law_map_fusion,
-            row_normalizations: self.row_normalizations - earlier.row_normalizations,
-            unify_calls: self.unify_calls - earlier.unify_calls,
-            constraints_postponed: self.constraints_postponed - earlier.constraints_postponed,
-            folders_generated: self.folders_generated - earlier.folders_generated,
-            reverse_engineered: self.reverse_engineered - earlier.reverse_engineered,
+            disjoint_prover_calls: self
+                .disjoint_prover_calls
+                .saturating_sub(earlier.disjoint_prover_calls),
+            law_map_identity: self.law_map_identity.saturating_sub(earlier.law_map_identity),
+            law_map_distrib: self.law_map_distrib.saturating_sub(earlier.law_map_distrib),
+            law_map_fusion: self.law_map_fusion.saturating_sub(earlier.law_map_fusion),
+            row_normalizations: self
+                .row_normalizations
+                .saturating_sub(earlier.row_normalizations),
+            unify_calls: self.unify_calls.saturating_sub(earlier.unify_calls),
+            constraints_postponed: self
+                .constraints_postponed
+                .saturating_sub(earlier.constraints_postponed),
+            folders_generated: self.folders_generated.saturating_sub(earlier.folders_generated),
+            reverse_engineered: self
+                .reverse_engineered
+                .saturating_sub(earlier.reverse_engineered),
         }
     }
 }
@@ -118,6 +125,23 @@ mod tests {
         let d = late.since(&early);
         assert_eq!(d.unify_calls, 15);
         assert_eq!(d.law_map_identity, 2);
+    }
+
+    #[test]
+    fn since_saturates_when_earlier_is_ahead() {
+        // Regression: `since` used to panic when `earlier` was not in fact
+        // an earlier snapshot (counters ran backwards, e.g. after a
+        // context reset). It must clamp to zero instead.
+        let mut early = Stats::new();
+        early.unify_calls = 50;
+        early.disjoint_prover_calls = 9;
+        let mut late = Stats::new();
+        late.unify_calls = 10;
+        late.law_map_identity = 3;
+        let d = late.since(&early);
+        assert_eq!(d.unify_calls, 0);
+        assert_eq!(d.disjoint_prover_calls, 0);
+        assert_eq!(d.law_map_identity, 3);
     }
 
     #[test]

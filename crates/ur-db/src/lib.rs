@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-db — in-memory relational engine substrate
 //!
 //! The paper's case studies (§2.2, §6) generate SQL commands against a

@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-eval — call-by-value interpreter for elaborated Ur
 //!
 //! The paper specifies Ur's dynamic semantics by elaboration into the

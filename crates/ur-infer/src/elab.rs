@@ -110,6 +110,13 @@ impl Default for Elaborator {
     }
 }
 
+/// Converts a parse error to an [`ElabError`], preserving its diagnostic
+/// code (E02xx / E01xx) through the classification in `ur_syntax`.
+fn parse_to_elab(e: ur_syntax::ParseError) -> ElabError {
+    let d: ur_syntax::Diagnostic = e.into();
+    ElabError::new(d.span, d.message).with_code(d.code)
+}
+
 impl Elaborator {
     pub fn new() -> Elaborator {
         Elaborator {
@@ -129,8 +136,7 @@ impl Elaborator {
     ///
     /// Returns the first parse or elaboration error.
     pub fn elab_source(&mut self, src: &str) -> EResult<Vec<ElabDecl>> {
-        let prog = ur_syntax::parse_program(src)
-            .map_err(|e| ElabError::new(e.span, e.message))?;
+        let prog = ur_syntax::parse_program(src).map_err(parse_to_elab)?;
         self.elab_program(&prog)
     }
 
@@ -144,10 +150,57 @@ impl Elaborator {
         for d in &prog.decls {
             if let Err(e) = self.elab_top_decl(d) {
                 self.reset_transient();
+                self.cx.fuel.reset();
                 return Err(e);
+            }
+            if let Some(kind) = self.cx.fuel.exhausted() {
+                self.reset_transient();
+                return Err(self.resource_error(d.span(), kind));
             }
         }
         Ok(self.decls[start..].to_vec())
+    }
+
+    /// Parses and elaborates a whole program, collecting **every**
+    /// diagnostic instead of stopping at the first.
+    ///
+    /// Recovery happens at declaration boundaries: a failed declaration's
+    /// transient state (queued constraints, folder holes) is discarded and
+    /// elaboration continues with the next declaration, so one pass
+    /// reports all independent errors. Returns the declarations that did
+    /// elaborate alongside the diagnostics (empty when the program is
+    /// clean).
+    pub fn elab_source_all(&mut self, src: &str) -> (Vec<ElabDecl>, ur_syntax::Diagnostics) {
+        match ur_syntax::parse_program(src) {
+            Err(e) => (Vec::new(), vec![e.into()]),
+            Ok(prog) => self.elab_program_all(&prog),
+        }
+    }
+
+    /// Elaborates a parsed program, collecting every diagnostic (see
+    /// [`elab_source_all`](Self::elab_source_all)).
+    pub fn elab_program_all(
+        &mut self,
+        prog: &Program,
+    ) -> (Vec<ElabDecl>, ur_syntax::Diagnostics) {
+        let start = self.decls.len();
+        let mut diags = ur_syntax::Diagnostics::new();
+        for d in &prog.decls {
+            match self.elab_top_decl(d) {
+                Ok(()) => {
+                    if let Some(kind) = self.cx.fuel.exhausted() {
+                        self.reset_transient();
+                        diags.push(self.resource_error(d.span(), kind).into());
+                    }
+                }
+                Err(e) => {
+                    self.reset_transient();
+                    self.cx.fuel.reset();
+                    diags.push(e.into());
+                }
+            }
+        }
+        (self.decls[start..].to_vec(), diags)
     }
 
     /// Discards constraints and folder holes left behind by a failed
@@ -166,10 +219,11 @@ impl Elaborator {
     ///
     /// Returns the first parse or elaboration error.
     pub fn elab_expr_source(&mut self, src: &str) -> EResult<(RExpr, RCon)> {
-        let se = ur_syntax::parse_expr(src).map_err(|e| ElabError::new(e.span, e.message))?;
+        let se = ur_syntax::parse_expr(src).map_err(parse_to_elab)?;
         let out = self.elab_expr_parsed(&se);
         if out.is_err() {
             self.reset_transient();
+            self.cx.fuel.reset();
         }
         out
     }
@@ -216,10 +270,15 @@ impl Elaborator {
     }
 
     fn bind_scope(&mut self, name: &str, e: Entry) {
-        self.scope
-            .last_mut()
-            .expect("scope stack never empty")
-            .push((name.to_string(), e));
+        // The stack is never empty in practice (a root frame is installed
+        // at construction and `reset_transient` keeps it), but re-install
+        // it rather than panic if a recovery path ever drops it.
+        if self.scope.is_empty() {
+            self.scope.push(Vec::new());
+        }
+        if let Some(frame) = self.scope.last_mut() {
+            frame.push((name.to_string(), e));
+        }
     }
 
     // ---------------- constraints ----------------
@@ -285,8 +344,23 @@ impl Elaborator {
     /// Iterates the constraint queue to a fixed point (§4: "iterating
     /// through finding an immediately-solvable constraint, until no
     /// constraints remain").
+    ///
+    /// The number of rounds is capped by
+    /// [`Limits::max_solver_rounds`](ur_core::Limits); exceeding it marks
+    /// the fuel exhausted and returns normally, leaving the remaining
+    /// constraints queued — [`check_no_constraints`](Self::check_no_constraints)
+    /// then reports the exhaustion as a resource diagnostic.
     fn drain(&mut self) -> EResult<()> {
+        let mut rounds: u32 = 0;
         loop {
+            if self.cx.fuel.exhausted().is_some() {
+                return Ok(());
+            }
+            rounds += 1;
+            if rounds > self.cx.fuel.limits.max_solver_rounds {
+                self.cx.fuel.exhaust(ur_core::ResourceKind::SolverRounds);
+                return Ok(());
+            }
             let mut progress = false;
             let pending = std::mem::take(&mut self.constraints);
             for p in pending {
@@ -681,36 +755,42 @@ impl Elaborator {
                 let mut core_fields = Vec::new();
                 let mut row_fields: Vec<(RCon, RCon)> = Vec::new();
                 let mut seen: HashSet<String> = HashSet::new();
-                let mut acc_row: Option<RCon> = None;
+                // Literal field names are proved pairwise-distinct by the
+                // `seen` set in O(1) each; only computed (neutral) names
+                // need the disjointness prover. Without this, an n-field
+                // literal costs O(n²) normalization work.
+                let mut all_names_lit = true;
                 for (nc, ve) in fields {
                     let name = self.elab_field_name(env, nc)?;
-                    if let Con::Name(n) = &*name {
+                    let name_is_lit = if let Con::Name(n) = &*name {
                         if !seen.insert(n.to_string()) {
                             return Err(ElabError::new(
                                 *span,
                                 format!("duplicate field #{n} in record literal"),
                             ));
                         }
-                    }
+                        true
+                    } else {
+                        false
+                    };
                     let (ev, tv) = self.elab_expr(env, ve, None)?;
                     // Record fields are monomorphic (ML-style): a
                     // polymorphic field value is instantiated with fresh
                     // metavariables; annotate to keep polymorphism.
                     let (ev, tv) = self.instantiate_implicits(env, *span, ev, tv)?;
-                    let single = Con::row_one(name.clone(), tv.clone());
-                    if let Some(acc) = &acc_row {
+                    let lit_so_far = name_is_lit && all_names_lit;
+                    if !lit_so_far && !row_fields.is_empty() {
+                        let single = Con::row_one(name.clone(), tv.clone());
+                        let acc = Con::row_of(Kind::Type, row_fields.clone());
                         self.require_disjoint(
                             env,
                             *span,
-                            single.clone(),
-                            Rc::clone(acc),
+                            single,
+                            acc,
                             "record literal",
                         )?;
                     }
-                    acc_row = Some(match acc_row.take() {
-                        None => single,
-                        Some(acc) => Con::row_cat(acc, single),
-                    });
+                    all_names_lit &= name_is_lit;
                     core_fields.push((name.clone(), ev));
                     row_fields.push((name, tv));
                 }
@@ -1642,7 +1722,39 @@ impl Elaborator {
         Ok(())
     }
 
+    /// Builds the E0900 diagnostic for an exhausted budget and resets the
+    /// fuel so the session stays usable.
+    fn resource_error(&mut self, span: Span, kind: ur_core::ResourceKind) -> ElabError {
+        let used = match kind {
+            ur_core::ResourceKind::NormSteps => {
+                format!("{} normalization steps used", self.cx.fuel.norm_steps_used())
+            }
+            ur_core::ResourceKind::ProverPairs => {
+                format!("{} prover pairs checked", self.cx.fuel.prover_pairs_used())
+            }
+            ur_core::ResourceKind::Depth => {
+                format!("recursion depth limit {}", self.cx.fuel.limits.max_depth)
+            }
+            ur_core::ResourceKind::SolverRounds => {
+                format!("solver round limit {}", self.cx.fuel.limits.max_solver_rounds)
+            }
+        };
+        self.cx.fuel.reset();
+        ElabError::new(
+            span,
+            format!("resource limit exhausted during inference: {kind} ({used})"),
+        )
+        .with_code(ur_syntax::Code::ResourceExhausted)
+    }
+
     fn check_no_constraints(&mut self, span: Span) -> EResult<()> {
+        // Budget exhaustion dominates: leftover constraints are expected
+        // when inference was cut short, and reporting them as "unsolved"
+        // would bury the real cause.
+        if let Some(kind) = self.cx.fuel.exhausted() {
+            self.constraints.clear();
+            return Err(self.resource_error(span, kind));
+        }
         if let Some(p) = self.constraints.first() {
             let msg = match &p.goal {
                 Goal::Eq(c1, c2) => format!(

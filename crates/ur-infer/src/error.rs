@@ -1,13 +1,16 @@
 //! Elaboration errors with source positions.
 
 use std::fmt;
-use ur_syntax::Span;
+use ur_syntax::{Code, Diagnostic, Span};
 
 /// An error produced during elaboration or constraint solving.
 #[derive(Clone, Debug)]
 pub struct ElabError {
     pub span: Span,
     pub message: String,
+    /// Stable diagnostic code; classified from the message if not set
+    /// explicitly.
+    pub code: Option<Code>,
 }
 
 impl ElabError {
@@ -15,7 +18,43 @@ impl ElabError {
         ElabError {
             span,
             message: message.into(),
+            code: None,
         }
+    }
+
+    /// Tags this error with an explicit diagnostic code.
+    pub fn with_code(mut self, code: Code) -> ElabError {
+        self.code = Some(code);
+        self
+    }
+
+    /// The diagnostic code: the explicit tag if set, otherwise classified
+    /// from the message text.
+    pub fn code(&self) -> Code {
+        self.code.unwrap_or_else(|| classify(&self.message))
+    }
+}
+
+/// Best-effort classification of a legacy message-only error into the
+/// stable code scheme (see [`ur_syntax::diag`]).
+fn classify(message: &str) -> Code {
+    if message.contains("resource limit exhausted") {
+        Code::ResourceExhausted
+    } else if message.contains("unbound") {
+        Code::Unbound
+    } else if message.contains("share a field name") || message.contains("disjoint") {
+        Code::Disjoint
+    } else if message.contains("could not infer")
+        || message.contains("unsolved constraint")
+        || message.contains("undetermined part")
+    {
+        Code::Unresolved
+    } else if message.contains("kind") {
+        Code::Kind
+    } else if message.starts_with("expected ") || message.contains("nesting too deep") {
+        Code::Parse
+    } else {
+        Code::TypeMismatch
     }
 }
 
@@ -26,6 +65,13 @@ impl fmt::Display for ElabError {
 }
 
 impl std::error::Error for ElabError {}
+
+impl From<ElabError> for Diagnostic {
+    fn from(e: ElabError) -> Self {
+        let code = e.code();
+        Diagnostic::new(e.span, code, e.message)
+    }
+}
 
 /// Result alias used throughout the elaborator.
 pub type EResult<T> = Result<T, ElabError>;
@@ -38,5 +84,35 @@ mod tests {
     fn display_includes_position() {
         let e = ElabError::new(Span { line: 4, col: 7 }, "boom");
         assert_eq!(e.to_string(), "error at 4:7: boom");
+    }
+
+    #[test]
+    fn explicit_code_wins() {
+        let e = ElabError::new(Span::default(), "anything")
+            .with_code(Code::ResourceExhausted);
+        assert_eq!(e.code(), Code::ResourceExhausted);
+    }
+
+    #[test]
+    fn classification_covers_common_messages() {
+        let cases = [
+            ("resource limit exhausted: recursion depth", Code::ResourceExhausted),
+            ("unbound variable x", Code::Unbound),
+            ("rows [A] and [A] share a field name", Code::Disjoint),
+            ("could not infer ?t", Code::Unresolved),
+            ("cannot unify kind Type with Name", Code::Kind),
+            ("cannot unify int with string", Code::TypeMismatch),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(ElabError::new(Span::default(), msg).code(), want, "{msg}");
+        }
+    }
+
+    #[test]
+    fn converts_to_diagnostic() {
+        let d: Diagnostic =
+            ElabError::new(Span { line: 1, col: 2 }, "unbound variable y").into();
+        assert_eq!(d.code, Code::Unbound);
+        assert!(d.to_string().contains("1:2"));
     }
 }

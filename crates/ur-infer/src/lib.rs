@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-infer — the Ur type-inference engine (paper §4)
 //!
 //! Implements the heuristic, domain-specific inference the paper argues
@@ -36,3 +40,5 @@ pub mod unify;
 pub use elab::{ElabDecl, Elaborator};
 pub use error::{ElabError, EResult};
 pub use unify::{unify, unify_kind, Unify};
+pub use ur_core::{Limits, ResourceKind};
+pub use ur_syntax::{Code, Diagnostic, Diagnostics};

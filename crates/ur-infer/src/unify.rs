@@ -103,7 +103,21 @@ fn kind_occurs(cx: &Cx, id: ur_core::kind::KMetaId, k: &Kind) -> bool {
 }
 
 /// Unifies two constructors in context `env`.
+///
+/// Fuel-bounded: each recursive unification step charges one level of
+/// depth budget. On exhaustion the problem degrades to
+/// [`Unify::Postpone`] — sound (nothing is solved) and reported by the
+/// elaborator as a resource diagnostic instead of a stack overflow.
 pub fn unify(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
+    if !cx.fuel.descend() {
+        return Unify::Postpone;
+    }
+    let out = unify_inner(env, cx, c1, c2);
+    cx.fuel.ascend();
+    out
+}
+
+fn unify_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
     cx.stats.unify_calls += 1;
     let c1 = hnf(env, cx, c1);
     let c2 = hnf(env, cx, c2);

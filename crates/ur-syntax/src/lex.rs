@@ -153,6 +153,17 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
+impl From<LexError> for crate::diag::Diagnostic {
+    fn from(e: LexError) -> Self {
+        let code = if e.message.starts_with("unterminated") {
+            crate::diag::Code::LexUnterminated
+        } else {
+            crate::diag::Code::Lex
+        };
+        crate::diag::Diagnostic::new(e.span, code, e.message)
+    }
+}
+
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
@@ -252,7 +263,9 @@ impl<'a> Lexer<'a> {
             while self.peek().is_some_and(|c| c.is_ascii_digit()) {
                 self.bump();
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            // Only ASCII digits and '.' were bumped, so the slice is valid
+            // UTF-8; `from_utf8_lossy` keeps this path panic-free anyway.
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             text.parse::<f64>()
                 .map(Tok::Float)
                 .map_err(|e| LexError {
@@ -260,7 +273,7 @@ impl<'a> Lexer<'a> {
                     message: format!("bad float literal: {e}"),
                 })
         } else {
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]);
             text.parse::<i64>().map(Tok::Int).map_err(|e| LexError {
                 span,
                 message: format!("bad int literal: {e}"),

@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-syntax — surface syntax for the Ur language
 //!
 //! The lexer ([`lex`]) and recursive-descent parser ([`parse`]) for the
@@ -20,9 +24,11 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod lex;
 pub mod parse;
 pub mod pretty;
 
 pub use ast::{Program, SCon, SDecl, SExpr, SKind, SLit, SParam, Span};
-pub use parse::{parse_con, parse_expr, parse_program, ParseError};
+pub use diag::{Code, Diagnostic, Diagnostics};
+pub use parse::{parse_con, parse_expr, parse_program, ParseError, MAX_PARSE_DEPTH};

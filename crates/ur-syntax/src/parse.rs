@@ -39,6 +39,66 @@ impl From<LexError> for ParseError {
     }
 }
 
+impl From<ParseError> for crate::diag::Diagnostic {
+    fn from(e: ParseError) -> Self {
+        let code = if e.message.contains(TOO_DEEP_MSG) {
+            crate::diag::Code::ParseTooDeep
+        } else if e.message.starts_with("unterminated") {
+            crate::diag::Code::LexUnterminated
+        } else {
+            crate::diag::Code::Parse
+        };
+        crate::diag::Diagnostic::new(e.span, code, e.message)
+    }
+}
+
+/// Maximum nesting depth of the recursive-descent parser. Inputs nested
+/// deeper than this (e.g. ten thousand unbalanced `(`s) are rejected with
+/// a `ParseTooDeep` diagnostic instead of overflowing the stack. One
+/// nesting level costs several grammar-cascade stack frames (expression →
+/// binop chain → application → atom), each of which is kilobyte-sized in
+/// debug builds — tens of kilobytes of stack per level in the worst case.
+/// The entry points therefore run on a dedicated [`PARSER_STACK_BYTES`]
+/// thread, independent of the caller's stack, and 200 levels keep the
+/// worst case under ~1/3 of it.
+pub const MAX_PARSE_DEPTH: usize = 200;
+
+/// Stack size of the dedicated parsing thread. The recursive-descent
+/// cascade costs up to ~25 KiB of stack per nesting level in debug
+/// builds, so [`MAX_PARSE_DEPTH`] levels fit with a ~3× margin.
+const PARSER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+const TOO_DEEP_MSG: &str = "nesting too deep";
+
+/// Runs `f` on a thread with a parser-sized stack, so the depth guard —
+/// not the caller's (possibly 2 MiB test-runner) stack — is what bounds
+/// recursion. Falls back to a structured error if the thread cannot be
+/// spawned or the parser panics; callers never see a panic.
+fn on_parser_stack<T, F>(f: F) -> PResult<T>
+where
+    T: Send,
+    F: FnOnce() -> PResult<T> + Send,
+{
+    std::thread::scope(|scope| {
+        let spawned = std::thread::Builder::new()
+            .name("ur-parse".into())
+            .stack_size(PARSER_STACK_BYTES)
+            .spawn_scoped(scope, f);
+        match spawned {
+            Ok(handle) => handle.join().unwrap_or_else(|_| {
+                Err(ParseError {
+                    span: Span::default(),
+                    message: "internal parser error".into(),
+                })
+            }),
+            Err(_) => Err(ParseError {
+                span: Span::default(),
+                message: "could not allocate parser stack".into(),
+            }),
+        }
+    })
+}
+
 type PResult<T> = Result<T, ParseError>;
 
 /// Parses a full program (a sequence of declarations).
@@ -47,13 +107,15 @@ type PResult<T> = Result<T, ParseError>;
 ///
 /// Returns the first lexing or parsing error encountered.
 pub fn parse_program(src: &str) -> PResult<Program> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    let mut decls = Vec::new();
-    while p.peek() != &Tok::Eof {
-        decls.push(p.decl()?);
-    }
-    Ok(Program { decls })
+    on_parser_stack(|| {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0, depth: 0 };
+        let mut decls = Vec::new();
+        while p.peek() != &Tok::Eof {
+            decls.push(p.decl()?);
+        }
+        Ok(Program { decls })
+    })
 }
 
 /// Parses a single expression (useful for tests and the REPL example).
@@ -62,11 +124,13 @@ pub fn parse_program(src: &str) -> PResult<Program> {
 ///
 /// Returns the first lexing or parsing error encountered.
 pub fn parse_expr(src: &str) -> PResult<SExpr> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    let e = p.expr()?;
-    p.expect(Tok::Eof)?;
-    Ok(e)
+    on_parser_stack(|| {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0, depth: 0 };
+        let e = p.expr()?;
+        p.expect(Tok::Eof)?;
+        Ok(e)
+    })
 }
 
 /// Parses a single constructor (type).
@@ -75,16 +139,19 @@ pub fn parse_expr(src: &str) -> PResult<SExpr> {
 ///
 /// Returns the first lexing or parsing error encountered.
 pub fn parse_con(src: &str) -> PResult<SCon> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    let c = p.con()?;
-    p.expect(Tok::Eof)?;
-    Ok(c)
+    on_parser_stack(|| {
+        let toks = lex(src)?;
+        let mut p = Parser { toks, pos: 0, depth: 0 };
+        let c = p.con()?;
+        p.expect(Tok::Eof)?;
+        Ok(c)
+    })
 }
 
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -327,9 +394,31 @@ impl Parser {
         Ok(SParam::DParam(c1, c2))
     }
 
+    /// Charges one level of parser recursion; deeply nested inputs get a
+    /// `ParseTooDeep` error instead of a stack overflow.
+    fn descend(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(self.err(format!("{TOO_DEEP_MSG} (limit {MAX_PARSE_DEPTH})")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ascend(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
     // ---------------- kinds ----------------
 
     fn kind(&mut self) -> PResult<SKind> {
+        self.descend()?;
+        let out = self.kind_inner();
+        self.ascend();
+        out
+    }
+
+    fn kind_inner(&mut self) -> PResult<SKind> {
         let lhs = self.kind_pair()?;
         if self.eat(Tok::Arrow) {
             let rhs = self.kind()?;
@@ -340,13 +429,19 @@ impl Parser {
     }
 
     fn kind_pair(&mut self) -> PResult<SKind> {
-        let lhs = self.kind_atom()?;
-        if self.eat(Tok::Star) {
-            let rhs = self.kind_pair()?;
-            Ok(SKind::Pair(Box::new(lhs), Box::new(rhs)))
-        } else {
-            Ok(lhs)
+        // Iterative right fold: `k1 * k2 * ... * kn` in O(1) stack.
+        let mut parts = vec![self.kind_atom()?];
+        while self.eat(Tok::Star) {
+            parts.push(self.kind_atom()?);
         }
+        let mut out = match parts.pop() {
+            Some(last) => last,
+            None => return Err(self.err("expected a kind".into())),
+        };
+        while let Some(lhs) = parts.pop() {
+            out = SKind::Pair(Box::new(lhs), Box::new(out));
+        }
+        Ok(out)
     }
 
     fn kind_atom(&mut self) -> PResult<SKind> {
@@ -382,6 +477,13 @@ impl Parser {
     // ---------------- constructors ----------------
 
     fn con(&mut self) -> PResult<SCon> {
+        self.descend()?;
+        let out = self.con_inner();
+        self.ascend();
+        out
+    }
+
+    fn con_inner(&mut self) -> PResult<SCon> {
         let span = self.span();
         // Polymorphic type: IDENT :: K -> c. The binder kind parses
         // without a top-level arrow (write `tf :: ({Type} -> Type) -> ...`
@@ -494,14 +596,21 @@ impl Parser {
     }
 
     fn con_cat(&mut self) -> PResult<SCon> {
+        // Iterative right fold, like `e_cat`: wide `++` chains must not
+        // consume stack proportional to their length.
         let span = self.span();
-        let lhs = self.con_app()?;
-        if self.eat(Tok::PlusPlus) {
-            let rhs = self.con_cat()?;
-            Ok(SCon::Cat(span, Box::new(lhs), Box::new(rhs)))
-        } else {
-            Ok(lhs)
+        let mut parts = vec![self.con_app()?];
+        while self.eat(Tok::PlusPlus) {
+            parts.push(self.con_app()?);
         }
+        let mut out = match parts.pop() {
+            Some(last) => last,
+            None => return Err(self.err("expected a constructor".into())),
+        };
+        while let Some(lhs) = parts.pop() {
+            out = SCon::Cat(span, Box::new(lhs), Box::new(out));
+        }
+        Ok(out)
     }
 
     fn con_app(&mut self) -> PResult<SCon> {
@@ -645,6 +754,13 @@ impl Parser {
     // ---------------- expressions ----------------
 
     fn expr(&mut self) -> PResult<SExpr> {
+        self.descend()?;
+        let out = self.expr_inner();
+        self.ascend();
+        out
+    }
+
+    fn expr_inner(&mut self) -> PResult<SExpr> {
         let span = self.span();
         match self.peek().clone() {
             Tok::Fn => {
@@ -720,14 +836,22 @@ impl Parser {
     }
 
     fn e_cat(&mut self) -> PResult<SExpr> {
+        // `++` is right-associative; collect the chain iteratively and
+        // fold from the right so a 10k-element concatenation costs O(1)
+        // stack instead of one frame per element.
         let span = self.span();
-        let lhs = self.e_add()?;
-        if self.eat(Tok::PlusPlus) {
-            let rhs = self.e_cat()?;
-            Ok(SExpr::Cat(span, Box::new(lhs), Box::new(rhs)))
-        } else {
-            Ok(lhs)
+        let mut parts = vec![self.e_add()?];
+        while self.eat(Tok::PlusPlus) {
+            parts.push(self.e_add()?);
         }
+        let mut out = match parts.pop() {
+            Some(last) => last,
+            None => return Err(self.err("expected an expression".into())),
+        };
+        while let Some(lhs) = parts.pop() {
+            out = SExpr::Cat(span, Box::new(lhs), Box::new(out));
+        }
+        Ok(out)
     }
 
     fn e_add(&mut self) -> PResult<SExpr> {

@@ -174,13 +174,21 @@ fn con(out: &mut String, c: &SCon, prec: u8) {
         }
         SCon::Fst(_, p) => {
             // Nested projections need parens: `x.1.1` would re-lex as a
-            // float (see the lexer's note), so print `(x.1).1`.
-            let nested = matches!(&**p, SCon::Fst(_, _) | SCon::Snd(_, _));
+            // float (see the lexer's note), so print `(x.1).1`. A `$`
+            // operand needs them too: the parser gives `$` a full atom
+            // including postfix projections, so `$c.1` means `$(c.1)`.
+            let nested = matches!(
+                &**p,
+                SCon::Fst(_, _) | SCon::Snd(_, _) | SCon::Record(_, _)
+            );
             paren(out, nested, |out| con(out, p, 3));
             out.push_str(".1");
         }
         SCon::Snd(_, p) => {
-            let nested = matches!(&**p, SCon::Fst(_, _) | SCon::Snd(_, _));
+            let nested = matches!(
+                &**p,
+                SCon::Fst(_, _) | SCon::Snd(_, _) | SCon::Record(_, _)
+            );
             paren(out, nested, |out| con(out, p, 3));
             out.push_str(".2");
         }
@@ -299,7 +307,7 @@ fn expr(out: &mut String, e: &SExpr, prec: u8) {
                 out.push(' ');
                 out.push_str(op);
                 out.push(' ');
-                expr(out, b, if left { p + 1 } else { p + 1 });
+                expr(out, b, p + 1);
             });
         }
         SExpr::Cat(_, a, b) => paren(out, prec > 4, |out| {

@@ -1,0 +1,168 @@
+//! Malformed-input tests for the lexer and parser: every hostile input
+//! must produce a structured error with a sensible span — never a panic
+//! — and the error must convert to a coded [`Diagnostic`].
+
+use ur_syntax::diag::Code;
+use ur_syntax::lex::lex;
+use ur_syntax::{parse_con, parse_expr, parse_program, Diagnostic, MAX_PARSE_DEPTH};
+
+// ---------------- lexer ----------------
+
+#[test]
+fn unterminated_string_reports_span() {
+    let err = lex("val s = \"never closed").unwrap_err();
+    assert!(err.message.contains("unterminated string"), "{}", err.message);
+    assert_eq!(err.span.line, 1);
+    assert_eq!(err.span.col, 9, "span points at the opening quote");
+    let d: Diagnostic = err.into();
+    assert_eq!(d.code, Code::LexUnterminated);
+}
+
+#[test]
+fn unterminated_string_at_later_line_has_right_line() {
+    let err = lex("val a = 1\nval b = 2\nval s = \"oops").unwrap_err();
+    assert_eq!(err.span.line, 3);
+}
+
+#[test]
+fn unterminated_comment_reports_span() {
+    let err = lex("val x = 1 (* never closed").unwrap_err();
+    assert!(err.message.contains("unterminated comment"), "{}", err.message);
+    assert_eq!(err.span.line, 1);
+    let d: Diagnostic = err.into();
+    assert_eq!(d.code, Code::LexUnterminated);
+}
+
+#[test]
+fn bad_escape_is_a_lex_error() {
+    let err = lex(r#"val s = "bad \q escape""#).unwrap_err();
+    assert!(err.message.contains("escape"), "{}", err.message);
+    let d: Diagnostic = err.into();
+    assert_eq!(d.code, Code::Lex);
+}
+
+#[test]
+fn lexer_survives_control_and_non_ascii_garbage() {
+    // Arbitrary byte salad must lex or error, never panic.
+    for src in ["\u{0}\u{1}\u{2}", "émoji 🦀 ïdent", "\\\\\\", "\u{7f}\u{80}"] {
+        let _ = lex(src);
+    }
+}
+
+// ---------------- parser ----------------
+
+#[test]
+fn unbalanced_paren_reports_span() {
+    let err = parse_expr("(1 + 2").unwrap_err();
+    assert_eq!(err.span.line, 1);
+    assert!(err.message.contains("expected"), "{}", err.message);
+    let d: Diagnostic = err.into();
+    assert_eq!(d.code, Code::Parse);
+}
+
+#[test]
+fn unbalanced_brace_in_record_reports_span() {
+    let err = parse_expr("{A = 1, B = 2").unwrap_err();
+    assert_eq!(err.span.line, 1);
+    assert!(err.message.contains("expected"), "{}", err.message);
+}
+
+#[test]
+fn unbalanced_bracket_in_row_reports_span() {
+    let err = parse_con("[A = int, B = float").unwrap_err();
+    assert_eq!(err.span.line, 1);
+}
+
+#[test]
+fn stray_concat_operator_is_an_error() {
+    let err = parse_expr("1 ++").unwrap_err();
+    assert!(err.message.contains("expected an expression"), "{}", err.message);
+    let err = parse_expr("++ 1").unwrap_err();
+    assert!(err.message.contains("expected"), "{}", err.message);
+}
+
+#[test]
+fn stray_disjointness_tilde_is_an_error() {
+    assert!(parse_program("val x = 1 ~ 2 ~").is_err());
+    assert!(parse_con("~ r").is_err());
+}
+
+#[test]
+fn error_span_tracks_the_offending_token() {
+    // The error is at the `)` on line 2, not at the start of input.
+    let err = parse_expr("1 +\n)").unwrap_err();
+    assert_eq!(err.span.line, 2);
+    assert_eq!(err.span.col, 1);
+}
+
+#[test]
+fn empty_and_whitespace_inputs_error_cleanly() {
+    assert!(parse_expr("").is_err());
+    assert!(parse_expr("   \n\t  ").is_err());
+    assert!(parse_con("").is_err());
+    // An empty program is legal (no declarations).
+    assert!(parse_program("").is_ok());
+}
+
+// ---------------- depth limit ----------------
+
+#[test]
+fn over_deep_expression_is_rejected_with_diagnostic() {
+    let n = MAX_PARSE_DEPTH + 50;
+    let src = format!("{}1{}", "(".repeat(n), ")".repeat(n));
+    let err = parse_expr(&src).unwrap_err();
+    assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    let d: Diagnostic = err.into();
+    assert_eq!(d.code, Code::ParseTooDeep);
+}
+
+#[test]
+fn over_deep_type_is_rejected_with_diagnostic() {
+    let n = MAX_PARSE_DEPTH + 50;
+    let src = format!("{}int{}", "(".repeat(n), ")".repeat(n));
+    let err = parse_con(&src).unwrap_err();
+    assert!(err.message.contains("nesting too deep"), "{}", err.message);
+}
+
+#[test]
+fn depth_just_under_the_limit_parses() {
+    let n = MAX_PARSE_DEPTH / 2;
+    let src = format!("{}1{}", "(".repeat(n), ")".repeat(n));
+    assert!(parse_expr(&src).is_ok());
+}
+
+#[test]
+fn wide_concat_chain_is_not_depth_limited() {
+    // `++` chains are parsed iteratively: width must never trip the
+    // nesting guard.
+    let src = (0..2_000)
+        .map(|i| format!("{{F{i} = {i}}}"))
+        .collect::<Vec<_>>()
+        .join(" ++ ");
+    assert!(parse_expr(&src).is_ok());
+}
+
+#[test]
+fn gauntlet_of_garbage_never_panics() {
+    for src in [
+        "val = =",
+        "fun fun fun",
+        "val x : = 1",
+        "}{",
+        ")(",
+        "][",
+        "val x = {A = }",
+        "val x = fn => 1",
+        "con c = fn a :: =>",
+        "type t = $",
+        "val x = #",
+        "val x = y.",
+        "val x = 1 .. 2",
+        "\"",
+        "(*",
+    ] {
+        let _ = parse_program(src);
+        let _ = parse_expr(src);
+        let _ = parse_con(src);
+    }
+}

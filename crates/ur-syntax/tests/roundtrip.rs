@@ -1,167 +1,209 @@
 //! Generative print/parse roundtrip: for random surface trees,
 //! `parse(print(t))` prints identically to `print(t)`. Doubles as a
 //! fuzzer for the parser's precedence and disambiguation rules.
+//!
+//! Trees are grown with the in-repo deterministic [`ur_testutil::Rng`]
+//! (offline build: no `proptest`); seeds are fixed, so failures reproduce.
 
-use proptest::prelude::*;
 use ur_syntax::ast::*;
 use ur_syntax::pretty::{con_to_string, expr_to_string};
 use ur_syntax::{parse_con, parse_expr};
+use ur_testutil::Rng;
+
+const CASES: usize = 256;
 
 fn sp() -> Span {
     Span::default()
 }
 
-fn var_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "c", "f", "g", "r", "x", "y"])
-        .prop_map(|s| s.to_string())
+const VAR_NAMES: &[&str] = &["a", "b", "c", "f", "g", "r", "x", "y"];
+const FIELD_NAMES: &[&str] = &["A", "B", "C", "D"];
+
+fn var_name(rng: &mut Rng) -> String {
+    rng.pick(VAR_NAMES).to_string()
 }
 
-fn field() -> impl Strategy<Value = SCon> {
-    prop_oneof![
-        prop::sample::select(vec!["A", "B", "C", "D"])
-            .prop_map(|n| SCon::Name(sp(), n.to_string())),
-        var_name().prop_map(|n| SCon::Var(sp(), n)),
-    ]
+fn field(rng: &mut Rng) -> SCon {
+    if rng.bool_() {
+        SCon::Name(sp(), rng.pick(FIELD_NAMES).to_string())
+    } else {
+        SCon::Var(sp(), var_name(rng))
+    }
 }
 
-fn kind_strategy() -> impl Strategy<Value = SKind> {
-    let leaf = prop_oneof![Just(SKind::Type), Just(SKind::Name)];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|k| SKind::Row(Box::new(k))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SKind::Arrow(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| SKind::Pair(Box::new(a), Box::new(b))),
-        ]
-    })
+fn kind_gen(rng: &mut Rng, depth: usize) -> SKind {
+    if depth == 0 || rng.chance(2, 5) {
+        return if rng.bool_() { SKind::Type } else { SKind::Name };
+    }
+    match rng.below(3) {
+        0 => SKind::Row(Box::new(kind_gen(rng, depth - 1))),
+        1 => SKind::Arrow(
+            Box::new(kind_gen(rng, depth - 1)),
+            Box::new(kind_gen(rng, depth - 1)),
+        ),
+        _ => SKind::Pair(
+            Box::new(kind_gen(rng, depth - 1)),
+            Box::new(kind_gen(rng, depth - 1)),
+        ),
+    }
 }
 
-fn con_strategy() -> impl Strategy<Value = SCon> {
-    let leaf = prop_oneof![
-        var_name().prop_map(|n| SCon::Var(sp(), n)),
-        prop::sample::select(vec!["A", "B", "C"])
-            .prop_map(|n| SCon::Name(sp(), n.to_string())),
-        Just(SCon::Wild(sp())),
-        Just(SCon::RowLit(sp(), vec![])),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|c| SCon::Record(sp(), Box::new(c))),
-            (field(), inner.clone()).prop_map(|(n, v)| SCon::RowLit(
-                sp(),
-                vec![(n, Some(v))]
-            )),
-            (field(), inner.clone()).prop_map(|(n, t)| SCon::RecordType(
-                sp(),
-                vec![(n, t)]
-            )),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SCon::Cat(sp(), Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SCon::App(sp(), Box::new(a), Box::new(b))),
-            (var_name(), prop::option::of(kind_strategy()), inner.clone())
-                .prop_map(|(x, k, b)| SCon::Lam(sp(), x, k, Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SCon::Arrow(sp(), Box::new(a), Box::new(b))),
-            (var_name(), kind_strategy(), inner.clone())
-                .prop_map(|(x, k, b)| SCon::Poly(sp(), x, k, Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, t)| {
-                SCon::Guarded(sp(), Box::new(a), Box::new(b), Box::new(t))
-            }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SCon::Pair(sp(), Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|c| SCon::Fst(sp(), Box::new(c))),
-            inner.prop_map(|c| SCon::Snd(sp(), Box::new(c))),
-        ]
-    })
+fn con_leaf(rng: &mut Rng) -> SCon {
+    match rng.below(4) {
+        0 => SCon::Var(sp(), var_name(rng)),
+        1 => SCon::Name(sp(), rng.pick(&["A", "B", "C"]).to_string()),
+        2 => SCon::Wild(sp()),
+        _ => SCon::RowLit(sp(), vec![]),
+    }
 }
 
-fn lit_strategy() -> impl Strategy<Value = SLit> {
-    prop_oneof![
-        (0i64..1000).prop_map(SLit::Int),
-        prop::bool::ANY.prop_map(SLit::Bool),
-        "[ -~&&[^\"\\\\]]{0,12}".prop_map(SLit::Str),
-        Just(SLit::Unit),
-    ]
-}
-
-fn binop() -> impl Strategy<Value = String> {
-    prop::sample::select(vec![
-        "+", "-", "*", "/", "%", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
-    ])
-    .prop_map(|s| s.to_string())
-}
-
-fn expr_strategy() -> impl Strategy<Value = SExpr> {
-    let leaf = prop_oneof![
-        var_name().prop_map(|n| SExpr::Var(sp(), n)),
-        lit_strategy().prop_map(|l| SExpr::Lit(sp(), l)),
-        var_name().prop_map(|n| SExpr::Explicit(
+fn con_gen(rng: &mut Rng, depth: usize) -> SCon {
+    if depth == 0 || rng.chance(1, 4) {
+        return con_leaf(rng);
+    }
+    let d = depth - 1;
+    match rng.below(12) {
+        0 => SCon::Record(sp(), Box::new(con_gen(rng, d))),
+        1 => {
+            let n = field(rng);
+            let v = con_gen(rng, d);
+            SCon::RowLit(sp(), vec![(n, Some(v))])
+        }
+        2 => {
+            let n = field(rng);
+            let t = con_gen(rng, d);
+            SCon::RecordType(sp(), vec![(n, t)])
+        }
+        3 => SCon::Cat(sp(), Box::new(con_gen(rng, d)), Box::new(con_gen(rng, d))),
+        4 => SCon::App(sp(), Box::new(con_gen(rng, d)), Box::new(con_gen(rng, d))),
+        5 => {
+            let x = var_name(rng);
+            let k = if rng.bool_() { Some(kind_gen(rng, 2)) } else { None };
+            SCon::Lam(sp(), x, k, Box::new(con_gen(rng, d)))
+        }
+        6 => SCon::Arrow(sp(), Box::new(con_gen(rng, d)), Box::new(con_gen(rng, d))),
+        7 => {
+            let x = var_name(rng);
+            let k = kind_gen(rng, 2);
+            SCon::Poly(sp(), x, k, Box::new(con_gen(rng, d)))
+        }
+        8 => SCon::Guarded(
             sp(),
-            Box::new(SExpr::Var(sp(), n))
-        )),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, a)| SExpr::App(sp(), Box::new(f), Box::new(a))),
-            (inner.clone(), con_strategy())
-                .prop_map(|(f, c)| SExpr::CApp(sp(), Box::new(f), c)),
-            inner.clone().prop_map(|f| SExpr::Bang(sp(), Box::new(f))),
-            (field(), inner.clone())
-                .prop_map(|(n, v)| SExpr::Record(sp(), vec![(n, v)])),
-            (inner.clone(), field())
-                .prop_map(|(f, n)| SExpr::Proj(sp(), Box::new(f), n)),
-            (inner.clone(), field())
-                .prop_map(|(f, n)| SExpr::Cut(sp(), Box::new(f), n)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| SExpr::Cat(sp(), Box::new(a), Box::new(b))),
-            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
-                SExpr::BinOp(sp(), op, Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
-                SExpr::If(sp(), Box::new(c), Box::new(t), Box::new(e))
-            }),
-            (var_name(), inner.clone(), inner.clone()).prop_map(|(x, b, e)| {
-                SExpr::Let(
-                    sp(),
-                    vec![SDecl::Val(sp(), x, None, b)],
-                    Box::new(e),
-                )
-            }),
-            (var_name(), con_strategy(), inner.clone()).prop_map(|(x, t, b)| {
-                SExpr::Fn(
-                    sp(),
-                    vec![SParam::VParam(x, Some(t))],
-                    Box::new(b),
-                )
-            }),
-            (var_name(), prop::option::of(kind_strategy()), inner.clone()).prop_map(
-                |(x, k, b)| SExpr::Fn(sp(), vec![SParam::CParam(x, k)], Box::new(b))
-            ),
-            (inner.clone(), con_strategy())
-                .prop_map(|(e, t)| SExpr::Ann(sp(), Box::new(e), t)),
-        ]
-    })
+            Box::new(con_gen(rng, d)),
+            Box::new(con_gen(rng, d)),
+            Box::new(con_gen(rng, d)),
+        ),
+        9 => SCon::Pair(sp(), Box::new(con_gen(rng, d)), Box::new(con_gen(rng, d))),
+        10 => SCon::Fst(sp(), Box::new(con_gen(rng, d))),
+        _ => SCon::Snd(sp(), Box::new(con_gen(rng, d))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn lit_gen(rng: &mut Rng) -> SLit {
+    match rng.below(4) {
+        0 => SLit::Int(rng.range_i64(0, 1000)),
+        1 => SLit::Bool(rng.bool_()),
+        2 => {
+            // Printable ASCII without quote or backslash.
+            let len = rng.below(13);
+            let s: String = (0..len)
+                .map(|_| loop {
+                    let c = (b' ' + rng.below(95) as u8) as char;
+                    if c != '"' && c != '\\' {
+                        break c;
+                    }
+                })
+                .collect();
+            SLit::Str(s)
+        }
+        _ => SLit::Unit,
+    }
+}
 
-    #[test]
-    fn con_print_parse_print_stable(c in con_strategy()) {
+const BINOPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "^", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+];
+
+fn expr_leaf(rng: &mut Rng) -> SExpr {
+    match rng.below(3) {
+        0 => SExpr::Var(sp(), var_name(rng)),
+        1 => SExpr::Lit(sp(), lit_gen(rng)),
+        _ => SExpr::Explicit(sp(), Box::new(SExpr::Var(sp(), var_name(rng)))),
+    }
+}
+
+fn expr_gen(rng: &mut Rng, depth: usize) -> SExpr {
+    if depth == 0 || rng.chance(1, 4) {
+        return expr_leaf(rng);
+    }
+    let d = depth - 1;
+    match rng.below(13) {
+        0 => SExpr::App(sp(), Box::new(expr_gen(rng, d)), Box::new(expr_gen(rng, d))),
+        1 => SExpr::CApp(sp(), Box::new(expr_gen(rng, d)), con_gen(rng, 2)),
+        2 => SExpr::Bang(sp(), Box::new(expr_gen(rng, d))),
+        3 => {
+            let n = field(rng);
+            let v = expr_gen(rng, d);
+            SExpr::Record(sp(), vec![(n, v)])
+        }
+        4 => SExpr::Proj(sp(), Box::new(expr_gen(rng, d)), field(rng)),
+        5 => SExpr::Cut(sp(), Box::new(expr_gen(rng, d)), field(rng)),
+        6 => SExpr::Cat(sp(), Box::new(expr_gen(rng, d)), Box::new(expr_gen(rng, d))),
+        7 => SExpr::BinOp(
+            sp(),
+            rng.pick(BINOPS).to_string(),
+            Box::new(expr_gen(rng, d)),
+            Box::new(expr_gen(rng, d)),
+        ),
+        8 => SExpr::If(
+            sp(),
+            Box::new(expr_gen(rng, d)),
+            Box::new(expr_gen(rng, d)),
+            Box::new(expr_gen(rng, d)),
+        ),
+        9 => {
+            let x = var_name(rng);
+            let b = expr_gen(rng, d);
+            SExpr::Let(
+                sp(),
+                vec![SDecl::Val(sp(), x, None, b)],
+                Box::new(expr_gen(rng, d)),
+            )
+        }
+        10 => {
+            let x = var_name(rng);
+            let t = con_gen(rng, 2);
+            SExpr::Fn(sp(), vec![SParam::VParam(x, Some(t))], Box::new(expr_gen(rng, d)))
+        }
+        11 => {
+            let x = var_name(rng);
+            let k = if rng.bool_() { Some(kind_gen(rng, 2)) } else { None };
+            SExpr::Fn(sp(), vec![SParam::CParam(x, k)], Box::new(expr_gen(rng, d)))
+        }
+        _ => SExpr::Ann(sp(), Box::new(expr_gen(rng, d)), con_gen(rng, 2)),
+    }
+}
+
+#[test]
+fn con_print_parse_print_stable() {
+    let mut rng = Rng::new(0x5717_0001);
+    for _ in 0..CASES {
+        let c = con_gen(&mut rng, 4);
         let printed = con_to_string(&c);
         let reparsed = parse_con(&printed)
             .unwrap_or_else(|e| panic!("parse of `{printed}` failed: {e}"));
-        prop_assert_eq!(con_to_string(&reparsed), printed);
+        assert_eq!(con_to_string(&reparsed), printed);
     }
+}
 
-    #[test]
-    fn expr_print_parse_print_stable(e in expr_strategy()) {
+#[test]
+fn expr_print_parse_print_stable() {
+    let mut rng = Rng::new(0x5717_0002);
+    for _ in 0..CASES {
+        let e = expr_gen(&mut rng, 4);
         let printed = expr_to_string(&e);
         let reparsed = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("parse of `{printed}` failed: {err}"));
-        prop_assert_eq!(expr_to_string(&reparsed), printed);
+        assert_eq!(expr_to_string(&reparsed), printed);
     }
 }

@@ -1,0 +1,134 @@
+//! Offline test support: a deterministic xorshift PRNG and a tiny
+//! wall-clock micro-benchmark harness.
+//!
+//! The container this repo builds in has no network access, so external
+//! crates (`proptest`, `criterion`, `rand`) cannot be resolved. The
+//! generative tests and benches instead draw randomness from [`Rng`]
+//! (seeded, reproducible) and time hot loops with [`bench::Bench`].
+
+/// xorshift64* — deterministic, seedable, good enough for generative
+/// testing. Not cryptographic.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. A zero seed is remapped to a fixed non-zero
+    /// constant (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n`. Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `lo..hi` (i64). Returns `lo` when the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Fair coin.
+    pub fn bool_(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// Pick a reference from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Random lowercase ASCII string of length `0..=max_len`.
+    pub fn lowercase(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
+    }
+
+    /// Printable-torture string: ASCII printables plus quote/backslash and
+    /// a couple of multi-byte code points, biased toward the nasty cases.
+    pub fn torture_string(&mut self, max_len: usize) -> String {
+        const NASTY: &[char] = &['\'', '"', '\\', '&', '<', '>', 'é', '✓'];
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| {
+                if self.chance(1, 3) {
+                    *self.pick(NASTY)
+                } else {
+                    (b' ' + self.below(95) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+pub mod bench {
+    //! Minimal `Instant`-based micro-bench harness (criterion stand-in).
+
+    use std::time::Instant;
+
+    /// A named group of measurements printed as `group/id  <ns>/iter`.
+    pub struct Bench {
+        group: String,
+        /// Target wall-clock per measurement, in milliseconds.
+        pub budget_ms: u64,
+    }
+
+    impl Bench {
+        pub fn new(group: &str) -> Self {
+            Bench {
+                group: group.to_string(),
+                budget_ms: 200,
+            }
+        }
+
+        /// Measure `f`, auto-scaling the iteration count to the budget,
+        /// and print mean ns/iter.
+        pub fn measure<F: FnMut()>(&mut self, id: &str, mut f: F) {
+            // Warm up and estimate cost with a single call.
+            let t0 = Instant::now();
+            f();
+            let once = t0.elapsed().as_nanos().max(1);
+            let budget = u128::from(self.budget_ms) * 1_000_000;
+            let iters = (budget / once).clamp(1, 100_000) as u64;
+            let t1 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let total = t1.elapsed().as_nanos();
+            let per = total / u128::from(iters);
+            println!(
+                "{:<40} {:>12} ns/iter ({} iters)",
+                format!("{}/{}", self.group, id),
+                per,
+                iters
+            );
+        }
+    }
+}

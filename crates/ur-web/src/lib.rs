@@ -1,3 +1,7 @@
+// Library code must be panic-free: unwrap/expect/panic are denied
+// outside cfg(test) (see docs/ROBUSTNESS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 //! # ur-web — the Ur/Web standard library and session runtime
 //!
 //! Reproduces the Ur/Web layer of the paper (§5): a standard library whose

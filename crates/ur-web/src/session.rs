@@ -137,6 +137,45 @@ impl Session {
         Ok(out)
     }
 
+    /// Elaborates and evaluates a program in multi-error mode: every
+    /// declaration that elaborates is evaluated, and every error —
+    /// parse, type, resource, or runtime — is collected as a
+    /// [`Diagnostic`](ur_syntax::Diagnostic) instead of aborting the
+    /// batch. The session stays usable afterwards regardless of how
+    /// hostile the input was.
+    pub fn run_all(
+        &mut self,
+        src: &str,
+    ) -> (Vec<(String, Value)>, ur_syntax::Diagnostics) {
+        let (decls, mut diags) = self.elab.elab_source_all(src);
+        let mut out = Vec::new();
+        for d in &decls {
+            if let ElabDecl::Val {
+                name,
+                sym,
+                body: Some(body),
+                ..
+            } = d
+            {
+                let mut interp =
+                    Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
+                match interp.eval(&self.top, body) {
+                    Ok(v) => {
+                        self.top.vals.insert(sym.clone(), v.clone());
+                        self.by_name.insert(name.clone(), sym.clone());
+                        out.push((name.clone(), v));
+                    }
+                    Err(e) => diags.push(ur_syntax::Diagnostic::new(
+                        ur_syntax::Span::default(),
+                        ur_syntax::Code::Eval,
+                        format!("runtime error evaluating {name}: {e}"),
+                    )),
+                }
+            }
+        }
+        (out, diags)
+    }
+
     /// Elaborates and evaluates a single expression.
     ///
     /// # Errors
@@ -455,5 +494,20 @@ mod recovery_tests {
         let mut sess = Session::new().unwrap();
         assert!(sess.eval("{A = 1} ++ {A = 2}").is_err());
         assert_eq!(sess.eval("1 + 1").unwrap().as_int().unwrap(), 2);
+    }
+
+    /// `run_all` reports every bad declaration and still evaluates the
+    /// good ones.
+    #[test]
+    fn run_all_reports_all_errors_and_runs_the_rest() {
+        let mut sess = Session::new().unwrap();
+        let (defs, diags) = sess.run_all(
+            "val a : int = \"nope\"\n\
+             val b = missing\n\
+             val ok = 40 + 2",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(sess.get_int("ok").unwrap(), 42);
     }
 }

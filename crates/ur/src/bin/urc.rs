@@ -91,17 +91,29 @@ fn run(opts: &Options) -> Result<(), String> {
     sess.elab.cx.laws.distrib = !opts.no_distrib;
     sess.elab.cx.laws.fusion = !opts.no_fusion;
 
+    // Multi-error mode: report every diagnostic in every file in one
+    // pass, keep going (later files may still be useful), and fail at
+    // the end if anything was wrong.
+    let mut n_errors = 0usize;
     for file in &opts.files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("{file}: {e}"))?;
-        let defs = sess
-            .run(&src)
-            .map_err(|e| format!("{file}: {e}"))?;
+        let (defs, diags) = sess.run_all(&src);
+        for d in &diags {
+            eprintln!("{file}: {d}");
+        }
+        n_errors += diags.len();
         if opts.print {
             for (name, v) in defs {
                 println!("{name} = {v}");
             }
         }
+    }
+    if n_errors > 0 {
+        return Err(format!(
+            "{n_errors} error{} found",
+            if n_errors == 1 { "" } else { "s" }
+        ));
     }
 
     for name in &opts.types {

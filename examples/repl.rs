@@ -9,7 +9,16 @@
 //! `:stats` for the Figure-5 counters, and `:quit` to exit.
 
 use std::io::{BufRead, Write};
-use ur::Session;
+use ur::{Session, SessionError};
+
+/// Renders elaboration errors in the coded diagnostic format the
+/// declaration path uses, so every REPL error looks the same.
+fn render(e: SessionError) -> String {
+    match e {
+        SessionError::Elab(e) => ur::syntax::Diagnostic::from(e).to_string(),
+        other => other.to_string(),
+    }
+}
 
 fn main() {
     let mut sess = match Session::new() {
@@ -47,7 +56,7 @@ fn main() {
         if let Some(rest) = line.strip_prefix(":t ") {
             match sess.type_of(rest) {
                 Ok(t) => println!("{rest} : {t}"),
-                Err(e) => println!("{e}"),
+                Err(e) => println!("{}", render(e)),
             }
             continue;
         }
@@ -55,18 +64,20 @@ fn main() {
             .iter()
             .any(|kw| line.starts_with(kw));
         if is_decl {
-            match sess.run(line) {
-                Ok(defs) => {
-                    for (name, v) in defs {
-                        println!("{name} = {v}");
-                    }
-                }
-                Err(e) => println!("{e}"),
+            // Multi-error mode: a line holding several declarations
+            // reports every error and still defines the good ones; the
+            // session survives arbitrary malformed input.
+            let (defs, diags) = sess.run_all(line);
+            for d in &diags {
+                println!("{d}");
+            }
+            for (name, v) in defs {
+                println!("{name} = {v}");
             }
         } else {
             match sess.eval(line) {
                 Ok(v) => println!("{v}"),
-                Err(e) => println!("{e}"),
+                Err(e) => println!("{}", render(e)),
             }
         }
     }

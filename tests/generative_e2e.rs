@@ -3,10 +3,15 @@
 //! semantics computed in Rust. This exercises the whole pipeline (lexer,
 //! parser, elaborator, folder generation, interpreter) on inputs no one
 //! hand-wrote.
+//!
+//! Randomness comes from the in-repo deterministic [`ur_testutil::Rng`]
+//! (offline build: no `proptest`); seeds are fixed, so failures reproduce.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use ur::Session;
+use ur_testutil::Rng;
+
+const CASES: usize = 48;
 
 #[derive(Clone, Debug)]
 enum FieldVal {
@@ -35,20 +40,25 @@ impl FieldVal {
     }
 }
 
-fn field_val() -> impl Strategy<Value = FieldVal> {
-    prop_oneof![
-        (0i64..1000).prop_map(FieldVal::Int),
-        "[a-z]{0,8}".prop_map(FieldVal::Str),
-        prop::bool::ANY.prop_map(FieldVal::Bool),
-    ]
+fn field_val(rng: &mut Rng) -> FieldVal {
+    match rng.below(3) {
+        0 => FieldVal::Int(rng.range_i64(0, 1000)),
+        1 => FieldVal::Str(rng.lowercase(8)),
+        _ => FieldVal::Bool(rng.bool_()),
+    }
 }
 
-fn record() -> impl Strategy<Value = BTreeMap<String, FieldVal>> {
-    prop::collection::btree_map(
-        prop::sample::select(vec!["A", "B", "C", "D", "E"]).prop_map(str::to_string),
-        field_val(),
-        1..5,
-    )
+/// A random record with 1..5 distinct field names.
+fn record(rng: &mut Rng) -> BTreeMap<String, FieldVal> {
+    const NAMES: &[&str] = &["A", "B", "C", "D", "E"];
+    let n = 1 + rng.below(4);
+    let mut m = BTreeMap::new();
+    while m.len() < n {
+        let name = rng.pick(NAMES).to_string();
+        let v = field_val(rng);
+        m.insert(name, v);
+    }
+    m
 }
 
 fn record_literal(rec: &BTreeMap<String, FieldVal>) -> String {
@@ -59,44 +69,53 @@ fn record_literal(rec: &BTreeMap<String, FieldVal>) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Projection of every field of a random record literal returns the
-    /// field's value.
-    #[test]
-    fn projections_evaluate_to_their_fields(rec in record()) {
+/// Projection of every field of a random record literal returns the
+/// field's value.
+#[test]
+fn projections_evaluate_to_their_fields() {
+    let mut rng = Rng::new(0xE2E_0001);
+    for _ in 0..CASES {
+        let rec = record(&mut rng);
         let mut sess = Session::new().unwrap();
         sess.run(&format!("val r = {}", record_literal(&rec))).unwrap();
         for (name, v) in &rec {
             let got = sess.eval(&format!("r.{name}")).unwrap();
-            prop_assert_eq!(got.to_string(), v.expected_display());
+            assert_eq!(got.to_string(), v.expected_display());
         }
     }
+}
 
-    /// Removing a field then re-adding it rebuilds the same record value,
-    /// through the generic paper `proj`-style machinery.
-    #[test]
-    fn cut_and_readd_preserves_records(rec in record(), pick in any::<prop::sample::Index>()) {
+/// Removing a field then re-adding it rebuilds the same record value,
+/// through the generic paper `proj`-style machinery.
+#[test]
+fn cut_and_readd_preserves_records() {
+    let mut rng = Rng::new(0xE2E_0002);
+    for _ in 0..CASES {
+        let rec = record(&mut rng);
         let names: Vec<&String> = rec.keys().collect();
-        let chosen = names[pick.index(names.len())].clone();
+        let chosen = names[rng.below(names.len())].clone();
         let mut sess = Session::new().unwrap();
         sess.run(&format!(
             "val r = {lit}\nval r2 = (r -- {f}) ++ {{{f} = r.{f}}}",
             lit = record_literal(&rec),
             f = chosen
-        )).unwrap();
+        ))
+        .unwrap();
         let v1 = sess.eval("r").unwrap().to_string();
         let v2 = sess.eval("r2").unwrap().to_string();
-        prop_assert_eq!(v1, v2);
+        assert_eq!(v1, v2);
     }
+}
 
-    /// A random split of a record into two disjoint literals concatenates
-    /// back to the whole, independent of order.
-    #[test]
-    fn split_concat_roundtrip(rec in record(), split in any::<prop::sample::Index>()) {
+/// A random split of a record into two disjoint literals concatenates
+/// back to the whole, independent of order.
+#[test]
+fn split_concat_roundtrip() {
+    let mut rng = Rng::new(0xE2E_0003);
+    for _ in 0..CASES {
+        let rec = record(&mut rng);
         let items: Vec<(&String, &FieldVal)> = rec.iter().collect();
-        let k = split.index(items.len() + 1);
+        let k = rng.below(items.len() + 1);
         let (l, r) = items.split_at(k);
         let part = |fields: &[(&String, &FieldVal)]| {
             let inner: Vec<String> = fields
@@ -109,35 +128,47 @@ proptest! {
         sess.run(&format!(
             "val whole = {}\nval ab = {} ++ {}\nval ba = {} ++ {}",
             record_literal(&rec),
-            part(l), part(r),
-            part(r), part(l),
-        )).unwrap();
+            part(l),
+            part(r),
+            part(r),
+            part(l),
+        ))
+        .unwrap();
         let whole = sess.eval("whole").unwrap().to_string();
-        prop_assert_eq!(sess.eval("ab").unwrap().to_string(), whole.clone());
-        prop_assert_eq!(sess.eval("ba").unwrap().to_string(), whole);
+        assert_eq!(sess.eval("ab").unwrap().to_string(), whole.clone());
+        assert_eq!(sess.eval("ba").unwrap().to_string(), whole);
     }
+}
 
-    /// The generic projection metaprogram agrees with direct projection on
-    /// random records, for every field.
-    #[test]
-    fn generic_proj_matches_direct(rec in record()) {
+/// The generic projection metaprogram agrees with direct projection on
+/// random records, for every field.
+#[test]
+fn generic_proj_matches_direct() {
+    let mut rng = Rng::new(0xE2E_0004);
+    for _ in 0..CASES {
+        let rec = record(&mut rng);
         let mut sess = Session::new().unwrap();
         sess.run(
             "fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
                  (x : $([nm = t] ++ r)) = x.nm",
-        ).unwrap();
+        )
+        .unwrap();
         sess.run(&format!("val r = {}", record_literal(&rec))).unwrap();
         for name in rec.keys() {
             let generic = sess.eval(&format!("proj [#{name}] r")).unwrap().to_string();
             let direct = sess.eval(&format!("r.{name}")).unwrap().to_string();
-            prop_assert_eq!(generic, direct);
+            assert_eq!(generic, direct);
         }
     }
+}
 
-    /// Round-trip through the database: a random record inserted into a
-    /// matching table comes back unchanged.
-    #[test]
-    fn db_roundtrip_for_random_records(rec in record()) {
+/// Round-trip through the database: a random record inserted into a
+/// matching table comes back unchanged.
+#[test]
+fn db_roundtrip_for_random_records() {
+    let mut rng = Rng::new(0xE2E_0005);
+    for _ in 0..CASES {
+        let rec = record(&mut rng);
         let mut sess = Session::new().unwrap();
         let schema: Vec<String> = rec
             .iter()
@@ -159,16 +190,14 @@ proptest! {
              val u = insert t {{{}}}",
             schema.join(", "),
             exps.join(", "),
-        )).unwrap();
+        ))
+        .unwrap();
         let rows = sess.eval("selectAll t (sqlTrue)").unwrap();
         let rows = rows.as_list().unwrap();
-        prop_assert_eq!(rows.len(), 1);
+        assert_eq!(rows.len(), 1);
         let rec_v = rows[0].as_record().unwrap();
         for (name, v) in &rec {
-            prop_assert_eq!(
-                rec_v[name.as_str()].to_string(),
-                v.expected_display()
-            );
+            assert_eq!(rec_v[name.as_str()].to_string(), v.expected_display());
         }
     }
 }

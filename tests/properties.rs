@@ -2,8 +2,12 @@
 //! theory realized by row normalization, unification soundness with
 //! respect to definitional equality, disjointness-prover consistency, and
 //! substrate round trips.
+//!
+//! Randomness comes from the in-repo deterministic [`ur_testutil::Rng`]
+//! (the build runs offline, so `proptest` is unavailable); every test
+//! fixes its seed, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use ur::core::con::{Con, RCon};
 use ur::core::defeq::defeq;
@@ -14,33 +18,33 @@ use ur::core::prelude::Cx;
 use ur::core::row::{canon_con, normalize_row};
 use ur::core::sym::Sym;
 use ur::infer::{unify, Unify};
+use ur_testutil::Rng;
+
+const CASES: usize = 128;
 
 /// A small pool of field names so that collisions actually happen.
-fn field_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["A", "B", "C", "D", "E", "F", "G", "H"])
-        .prop_map(|s| s.to_string())
+const NAME_POOL: &[&str] = &["A", "B", "C", "D", "E", "F", "G", "H"];
+
+fn prim_type(rng: &mut Rng) -> RCon {
+    match rng.below(4) {
+        0 => Con::int(),
+        1 => Con::float(),
+        2 => Con::string(),
+        _ => Con::bool_(),
+    }
 }
 
-fn prim_type() -> impl Strategy<Value = RCon> {
-    prop::sample::select(vec![
-        Con::int(),
-        Con::float(),
-        Con::string(),
-        Con::bool_(),
-    ])
+/// A random literal row with distinct field names (0..6 fields).
+fn lit_row(rng: &mut Rng) -> Vec<(String, RCon)> {
+    let n = rng.below(6);
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let name = rng.pick(NAME_POOL).to_string();
+        let ty = prim_type(rng);
+        m.insert(name, ty);
+    }
+    m.into_iter().collect()
 }
-
-/// A random literal row with distinct field names.
-fn lit_row() -> impl Strategy<Value = Vec<(String, RCon)>> {
-    lit_row_pub()
-}
-
-/// Public variant usable by submodules.
-fn lit_row_pub() -> impl Strategy<Value = Vec<(String, RCon)>> {
-    prop::collection::btree_map(field_name(), prim_type(), 0..6)
-        .prop_map(|m| m.into_iter().collect())
-}
-
 
 fn to_row(fields: &[(String, RCon)]) -> RCon {
     Con::row_of(
@@ -67,204 +71,266 @@ fn random_assoc(fields: &[(String, RCon)], shape: u64) -> RCon {
     )
 }
 
-proptest! {
-    /// Any two concatenation trees over the same fields are definitionally
-    /// equal (commutativity + associativity + unit, Figure 3).
-    #[test]
-    fn concat_trees_normalize_equally(fields in lit_row(), s1 in any::<u64>(), s2 in any::<u64>()) {
+/// Any two concatenation trees over the same fields are definitionally
+/// equal (commutativity + associativity + unit, Figure 3).
+#[test]
+fn concat_trees_normalize_equally() {
+    let mut rng = Rng::new(0xF16_3A01);
+    for _ in 0..CASES {
+        let fields = lit_row(&mut rng);
+        let (s1, s2) = (rng.next_u64(), rng.next_u64());
         let env = Env::new();
         let mut cx = Cx::new();
         let t1 = random_assoc(&fields, s1);
         let t2 = random_assoc(&fields, s2);
-        prop_assert!(defeq(&env, &mut cx, &t1, &t2));
+        assert!(defeq(&env, &mut cx, &t1, &t2), "fields={fields:?}");
     }
+}
 
-    /// Normalization is idempotent: to_con of a normal form re-normalizes
-    /// to the same canonical string.
-    #[test]
-    fn normalization_idempotent(fields in lit_row(), s in any::<u64>()) {
+/// Normalization is idempotent: to_con of a normal form re-normalizes
+/// to the same canonical string.
+#[test]
+fn normalization_idempotent() {
+    let mut rng = Rng::new(0xF16_3A02);
+    for _ in 0..CASES {
+        let fields = lit_row(&mut rng);
+        let s = rng.next_u64();
         let env = Env::new();
         let mut cx = Cx::new();
         let t = random_assoc(&fields, s);
         let n1 = normalize_row(&env, &mut cx, &t);
         let c1 = n1.to_con();
         let n2 = normalize_row(&env, &mut cx, &c1);
-        prop_assert_eq!(canon_con(&n1.to_con()), canon_con(&n2.to_con()));
+        assert_eq!(canon_con(&n1.to_con()), canon_con(&n2.to_con()));
     }
+}
 
-    /// map identity is a definitional no-op on random rows.
-    #[test]
-    fn map_identity_noop(fields in lit_row(), s in any::<u64>()) {
+/// map identity is a definitional no-op on random rows.
+#[test]
+fn map_identity_noop() {
+    let mut rng = Rng::new(0xF16_3A03);
+    for _ in 0..CASES {
+        let fields = lit_row(&mut rng);
+        let s = rng.next_u64();
         let env = Env::new();
         let mut cx = Cx::new();
         let t = random_assoc(&fields, s);
         let a = Sym::fresh("a");
         let idf = Con::lam(a.clone(), Kind::Type, Con::var(&a));
         let mapped = Con::map_app(Kind::Type, Kind::Type, idf, t.clone());
-        prop_assert!(defeq(&env, &mut cx, &mapped, &t));
+        assert!(defeq(&env, &mut cx, &mapped, &t), "fields={fields:?}");
     }
+}
 
-    /// map distributes over any split of the fields.
-    #[test]
-    fn map_distributes(fields in lit_row(), split in any::<prop::sample::Index>()) {
+/// map distributes over any split of the fields.
+#[test]
+fn map_distributes() {
+    let mut rng = Rng::new(0xF16_3A04);
+    for _ in 0..CASES {
+        let fields = lit_row(&mut rng);
         let env = Env::new();
         let mut cx = Cx::new();
-        let k = if fields.is_empty() { 0 } else { split.index(fields.len() + 1) };
+        let k = rng.below(fields.len() + 1);
         let (l, r) = fields.split_at(k);
         let a = Sym::fresh("a");
         let f = Con::lam(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
         let whole = Con::map_app(
-            Kind::Type, Kind::Type, f.clone(),
+            Kind::Type,
+            Kind::Type,
+            f.clone(),
             Con::row_cat(to_row(l), to_row(r)),
         );
         let split_map = Con::row_cat(
             Con::map_app(Kind::Type, Kind::Type, f.clone(), to_row(l)),
             Con::map_app(Kind::Type, Kind::Type, f, to_row(r)),
         );
-        prop_assert!(defeq(&env, &mut cx, &whole, &split_map));
+        assert!(defeq(&env, &mut cx, &whole, &split_map), "fields={fields:?}");
     }
+}
 
-    /// If unification says Solved, the two sides are definitionally equal
-    /// afterwards (soundness of the §4.3 heuristics).
-    #[test]
-    fn unify_solved_implies_defeq(fields in lit_row(), s1 in any::<u64>(), hole in any::<prop::sample::Index>()) {
+/// If unification says Solved, the two sides are definitionally equal
+/// afterwards (soundness of the §4.3 heuristics).
+#[test]
+fn unify_solved_implies_defeq() {
+    let mut rng = Rng::new(0xF16_3A05);
+    for _ in 0..CASES {
+        let fields = lit_row(&mut rng);
+        let s1 = rng.next_u64();
         let env = Env::new();
         let mut cx = Cx::new();
         let full = to_row(&fields);
         // Left side: some prefix of the fields plus a metavariable tail.
-        let k = if fields.is_empty() { 0 } else { hole.index(fields.len() + 1) };
+        let k = rng.below(fields.len() + 1);
         let m = cx.metas.fresh_con(Kind::row(Kind::Type), "tail");
         let left = Con::row_cat(random_assoc(&fields[..k], s1), m);
         match unify(&env, &mut cx, &left, &full) {
-            Unify::Solved => prop_assert!(defeq(&env, &mut cx, &left, &full)),
-            other => prop_assert!(false, "expected Solved, got {:?}", other),
+            Unify::Solved => assert!(defeq(&env, &mut cx, &left, &full)),
+            other => panic!("expected Solved, got {other:?} on fields={fields:?}"),
         }
     }
+}
 
-    /// The disjointness prover agrees with literal-name set disjointness
-    /// on closed rows.
-    #[test]
-    fn prover_matches_set_semantics(f1 in lit_row(), f2 in lit_row()) {
+/// The disjointness prover agrees with literal-name set disjointness
+/// on closed rows.
+#[test]
+fn prover_matches_set_semantics() {
+    let mut rng = Rng::new(0xF16_3A06);
+    for _ in 0..CASES {
+        let f1 = lit_row(&mut rng);
+        let f2 = lit_row(&mut rng);
         let env = Env::new();
         let mut cx = Cx::new();
         let r1 = to_row(&f1);
         let r2 = to_row(&f2);
-        let names1: std::collections::HashSet<&str> = f1.iter().map(|(n, _)| n.as_str()).collect();
-        let names2: std::collections::HashSet<&str> = f2.iter().map(|(n, _)| n.as_str()).collect();
+        let names1: std::collections::HashSet<&str> =
+            f1.iter().map(|(n, _)| n.as_str()).collect();
+        let names2: std::collections::HashSet<&str> =
+            f2.iter().map(|(n, _)| n.as_str()).collect();
         let expected = if names1.is_disjoint(&names2) {
             ProveResult::Proved
         } else {
             ProveResult::Refuted
         };
-        prop_assert_eq!(prove(&env, &mut cx, &r1, &r2), expected);
+        assert_eq!(prove(&env, &mut cx, &r1, &r2), expected);
     }
+}
 
-    /// Projection typing agrees with the field map, whatever the
-    /// concatenation shape.
-    #[test]
-    fn projection_finds_every_field(fields in lit_row(), s in any::<u64>()) {
-        prop_assume!(!fields.is_empty());
+/// Projection typing agrees with the field map, whatever the
+/// concatenation shape.
+#[test]
+fn projection_finds_every_field() {
+    let mut rng = Rng::new(0xF16_3A07);
+    let mut done = 0;
+    while done < CASES {
+        let fields = lit_row(&mut rng);
+        if fields.is_empty() {
+            continue;
+        }
+        done += 1;
+        let s = rng.next_u64();
         let env = Env::new();
         let mut cx = Cx::new();
         let t = random_assoc(&fields, s);
         let nf = normalize_row(&env, &mut cx, &t);
         for (n, ty) in &fields {
             let got = nf.field_lit(n).expect("field present");
-            prop_assert!(defeq(&env, &mut cx, got, ty));
+            assert!(defeq(&env, &mut cx, got, ty));
         }
-        prop_assert_eq!(nf.fields.len(), fields.len());
+        assert_eq!(nf.fields.len(), fields.len());
     }
 }
 
 mod db_props {
-    use proptest::prelude::*;
     use ur_db::{ColTy, Db, DbVal, Schema, SqlExpr};
+    use ur_testutil::Rng;
 
-    fn db_val() -> impl Strategy<Value = DbVal> {
-        prop_oneof![
-            any::<i64>().prop_map(DbVal::Int),
-            "[ -~]{0,20}".prop_map(DbVal::Str),
-        ]
+    fn db_val(rng: &mut Rng) -> DbVal {
+        if rng.bool_() {
+            DbVal::Int(rng.next_u64() as i64)
+        } else {
+            DbVal::Str(rng.torture_string(20))
+        }
     }
 
-    proptest! {
-        /// insert → select round-trips arbitrary strings (including quote
-        /// and backslash torture) byte-for-byte.
-        #[test]
-        fn insert_select_roundtrip(s in "\\PC{0,40}") {
+    /// insert → select round-trips arbitrary strings (including quote
+    /// and backslash torture) byte-for-byte.
+    #[test]
+    fn insert_select_roundtrip() {
+        let mut rng = Rng::new(0xDB_0001);
+        for _ in 0..super::CASES {
+            let s = rng.torture_string(40);
             let mut db = Db::new();
-            db.create_table(
-                "t",
-                Schema::new(vec![("S".into(), ColTy::Str)]).unwrap(),
-            ).unwrap();
-            db.insert("t", &[("S".into(), SqlExpr::lit(DbVal::Str(s.clone())))]).unwrap();
+            db.create_table("t", Schema::new(vec![("S".into(), ColTy::Str)]).unwrap())
+                .unwrap();
+            db.insert("t", &[("S".into(), SqlExpr::lit(DbVal::Str(s.clone())))])
+                .unwrap();
             let rows = db.select("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
-            prop_assert_eq!(&rows[0][0], &DbVal::Str(s));
+            assert_eq!(&rows[0][0], &DbVal::Str(s));
         }
+    }
 
-        /// Rendered SQL literals never contain an unescaped quote.
-        #[test]
-        fn sql_literals_always_escaped(s in "\\PC{0,40}") {
+    /// Rendered SQL literals never contain an unescaped quote.
+    #[test]
+    fn sql_literals_always_escaped() {
+        let mut rng = Rng::new(0xDB_0002);
+        for _ in 0..super::CASES {
+            let s = rng.torture_string(40);
             let lit = DbVal::Str(s).to_sql();
             let inner = &lit[1..lit.len() - 1];
-            prop_assert!(!inner.replace("''", "").contains('\''));
+            assert!(!inner.replace("''", "").contains('\''));
         }
+    }
 
-        /// delete removes exactly the matching rows.
-        #[test]
-        fn delete_is_exact(vals in prop::collection::vec(db_val(), 0..20)) {
+    /// delete removes exactly the matching rows.
+    #[test]
+    fn delete_is_exact() {
+        let mut rng = Rng::new(0xDB_0003);
+        for _ in 0..super::CASES {
+            let vals: Vec<DbVal> = (0..rng.below(20)).map(|_| db_val(&mut rng)).collect();
             let mut db = Db::new();
-            db.create_table(
-                "t",
-                Schema::new(vec![("A".into(), ColTy::Int)]).unwrap(),
-            ).unwrap();
-            let ints: Vec<i64> = vals.iter().filter_map(|v| match v {
-                DbVal::Int(n) => Some(*n % 10),
-                _ => None,
-            }).collect();
+            db.create_table("t", Schema::new(vec![("A".into(), ColTy::Int)]).unwrap())
+                .unwrap();
+            let ints: Vec<i64> = vals
+                .iter()
+                .filter_map(|v| match v {
+                    DbVal::Int(n) => Some(*n % 10),
+                    _ => None,
+                })
+                .collect();
             for n in &ints {
-                db.insert("t", &[("A".into(), SqlExpr::lit(DbVal::Int(*n)))]).unwrap();
+                db.insert("t", &[("A".into(), SqlExpr::lit(DbVal::Int(*n)))])
+                    .unwrap();
             }
             let pred = SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(3)));
             let removed = db.delete("t", &pred).unwrap();
             let expected = ints.iter().filter(|n| **n == 3).count();
-            prop_assert_eq!(removed, expected);
-            prop_assert_eq!(db.row_count("t").unwrap(), ints.len() - expected);
+            assert_eq!(removed, expected);
+            assert_eq!(db.row_count("t").unwrap(), ints.len() - expected);
         }
     }
 }
 
 mod xml_props {
-    use proptest::prelude::*;
     use ur::eval::value::{escape_attr, escape_text, XmlVal};
+    use ur_testutil::Rng;
 
-    proptest! {
-        /// Rendered text never contains raw markup characters from the
-        /// input.
-        #[test]
-        fn text_is_always_escaped(s in "\\PC{0,60}") {
+    /// Rendered text never contains raw markup characters from the
+    /// input.
+    #[test]
+    fn text_is_always_escaped() {
+        let mut rng = Rng::new(0x3117_0001);
+        for _ in 0..super::CASES {
+            let s = rng.torture_string(60);
             let rendered = XmlVal::Text(s).render();
-            prop_assert!(!rendered.contains('<'));
-            prop_assert!(!rendered.contains('>'));
+            assert!(!rendered.contains('<'));
+            assert!(!rendered.contains('>'));
         }
+    }
 
-        /// Escaping is injective-enough: unescaping recovers the input.
-        #[test]
-        fn escape_roundtrip(s in "\\PC{0,60}") {
+    /// Escaping is injective-enough: unescaping recovers the input.
+    #[test]
+    fn escape_roundtrip() {
+        let mut rng = Rng::new(0x3117_0002);
+        for _ in 0..super::CASES {
+            let s = rng.torture_string(60);
             let e = escape_text(&s);
             let back = e
                 .replace("&lt;", "<")
                 .replace("&gt;", ">")
                 .replace("&amp;", "&");
-            prop_assert_eq!(back, s);
+            assert_eq!(back, s);
         }
+    }
 
-        /// Attribute escaping removes quotes.
-        #[test]
-        fn attrs_have_no_raw_quotes(s in "\\PC{0,60}") {
+    /// Attribute escaping removes quotes.
+    #[test]
+    fn attrs_have_no_raw_quotes() {
+        let mut rng = Rng::new(0x3117_0003);
+        for _ in 0..super::CASES {
+            let s = rng.torture_string(60);
             let e = escape_attr(&s);
-            prop_assert!(!e.contains('"'));
-            prop_assert!(!e.contains('\''));
+            assert!(!e.contains('"'));
+            assert!(!e.contains('\''));
         }
     }
 }
@@ -282,16 +348,12 @@ mod defeq_equivalence {
 
     fn wrap_fun() -> RCon {
         let a = Sym::fresh("a");
-        Con::lam(
-            a.clone(),
-            Kind::Type,
-            Con::arrow(Con::var(&a), Con::var(&a)),
-        )
+        Con::lam(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)))
     }
 
     /// Random row-shaped constructor: a concat tree, possibly under maps.
     fn mapped(fields: &[(String, RCon)], shape: u64, wraps: u8) -> RCon {
-        let mut c = random_assoc_pub(fields, shape);
+        let mut c = random_assoc(fields, shape);
         for i in 0..(wraps % 3) {
             let f = if i % 2 == 0 { id_fun() } else { wrap_fun() };
             c = Con::map_app(Kind::Type, Kind::Type, f, c);
@@ -299,70 +361,71 @@ mod defeq_equivalence {
         c
     }
 
-    fn random_assoc_pub(fields: &[(String, RCon)], shape: u64) -> RCon {
-        if fields.is_empty() {
-            return Con::row_nil(Kind::Type);
-        }
-        if fields.len() == 1 {
-            return Con::row_of(
-                Kind::Type,
-                fields
-                    .iter()
-                    .map(|(n, t)| (Con::name(n.as_str()), Rc::clone(t)))
-                    .collect(),
-            );
-        }
-        let mid = 1 + (shape as usize % (fields.len() - 1));
-        Con::row_cat(
-            random_assoc_pub(&fields[..mid], shape / 2),
-            random_assoc_pub(&fields[mid..], shape / 3 + 1),
-        )
-    }
-
-    proptest! {
-        #[test]
-        fn reflexive(fields in super::lit_row_pub(), s in any::<u64>(), w in any::<u8>()) {
+    #[test]
+    fn reflexive() {
+        let mut rng = Rng::new(0xDEF_E001);
+        for _ in 0..CASES {
+            let fields = lit_row(&mut rng);
+            let s = rng.next_u64();
+            let w = rng.below(256) as u8;
             let env = Env::new();
             let mut cx = Cx::new();
             let c = mapped(&fields, s, w);
-            prop_assert!(defeq(&env, &mut cx, &c, &c));
+            assert!(defeq(&env, &mut cx, &c, &c));
         }
+    }
 
-        #[test]
-        fn symmetric(fields in super::lit_row_pub(), s1 in any::<u64>(), s2 in any::<u64>(), w in any::<u8>()) {
+    #[test]
+    fn symmetric() {
+        let mut rng = Rng::new(0xDEF_E002);
+        for _ in 0..CASES {
+            let fields = lit_row(&mut rng);
+            let (s1, s2) = (rng.next_u64(), rng.next_u64());
+            let w = rng.below(256) as u8;
             let env = Env::new();
             let mut cx = Cx::new();
             let c1 = mapped(&fields, s1, w);
             let c2 = mapped(&fields, s2, w);
             let fwd = defeq(&env, &mut cx, &c1, &c2);
             let bwd = defeq(&env, &mut cx, &c2, &c1);
-            prop_assert_eq!(fwd, bwd);
+            assert_eq!(fwd, bwd);
         }
+    }
 
-        #[test]
-        fn transitive_on_reassociations(fields in super::lit_row_pub(), s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+    #[test]
+    fn transitive_on_reassociations() {
+        let mut rng = Rng::new(0xDEF_E003);
+        for _ in 0..CASES {
+            let fields = lit_row(&mut rng);
+            let (s1, s2, s3) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
             let env = Env::new();
             let mut cx = Cx::new();
-            let c1 = random_assoc_pub(&fields, s1);
-            let c2 = random_assoc_pub(&fields, s2);
-            let c3 = random_assoc_pub(&fields, s3);
-            prop_assert!(defeq(&env, &mut cx, &c1, &c2));
-            prop_assert!(defeq(&env, &mut cx, &c2, &c3));
-            prop_assert!(defeq(&env, &mut cx, &c1, &c3));
+            let c1 = random_assoc(&fields, s1);
+            let c2 = random_assoc(&fields, s2);
+            let c3 = random_assoc(&fields, s3);
+            assert!(defeq(&env, &mut cx, &c1, &c2));
+            assert!(defeq(&env, &mut cx, &c2, &c3));
+            assert!(defeq(&env, &mut cx, &c1, &c3));
         }
+    }
 
-        /// Identity-wrapped rows stay equal to the bare row, whatever the
-        /// number of identity layers.
-        #[test]
-        fn identity_layers_are_invisible(fields in super::lit_row_pub(), s in any::<u64>(), layers in 0u8..4) {
+    /// Identity-wrapped rows stay equal to the bare row, whatever the
+    /// number of identity layers.
+    #[test]
+    fn identity_layers_are_invisible() {
+        let mut rng = Rng::new(0xDEF_E004);
+        for _ in 0..CASES {
+            let fields = lit_row(&mut rng);
+            let s = rng.next_u64();
+            let layers = rng.below(4);
             let env = Env::new();
             let mut cx = Cx::new();
-            let bare = random_assoc_pub(&fields, s);
+            let bare = random_assoc(&fields, s);
             let mut wrapped = bare.clone();
             for _ in 0..layers {
                 wrapped = Con::map_app(Kind::Type, Kind::Type, id_fun(), wrapped);
             }
-            prop_assert!(defeq(&env, &mut cx, &wrapped, &bare));
+            assert!(defeq(&env, &mut cx, &wrapped, &bare));
         }
     }
 }
