@@ -95,16 +95,19 @@ fn deep_map_nest() -> Result<(), String> {
 }
 
 fn deep_defeq() -> Result<(), String> {
+    // The two chains differ at the innermost leaf: identical chains would
+    // hash-cons to a single shared node and compare in O(1), which is
+    // exactly what this stressor must avoid.
     let env = Env::new();
     let mut cx = Cx::new();
-    let deep = |n: usize| {
-        let mut c = Con::int();
+    let deep = |leaf: ur_core::con::RCon, n: usize| {
+        let mut c = leaf;
         for _ in 0..n {
             c = Con::arrow(c, Con::int());
         }
         c
     };
-    let (a, b) = (deep(10_000), deep(10_000));
+    let (a, b) = (deep(Con::int(), 10_000), deep(Con::float(), 10_000));
     let eq = ur_core::defeq::defeq(&env, &mut cx, &a, &b);
     expect(!eq, "budget exhaustion must answer the conservative false")?;
     expect(

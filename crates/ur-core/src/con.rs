@@ -14,6 +14,8 @@ use crate::sym::Sym;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::intern::mk;
+
 /// Identifier of a constructor metavariable (unification variable).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct MetaId(pub u32);
@@ -47,7 +49,11 @@ impl fmt::Display for PrimType {
     }
 }
 
-/// Reference-counted constructor; the AST is immutable and shared.
+/// Reference-counted constructor; the AST is immutable, shared, and
+/// hash-consed: all smart constructors intern through
+/// [`crate::intern`], so structurally equal trees are pointer-equal and
+/// `Rc::ptr_eq` is a complete structural-equality test on canonically
+/// built terms.
 pub type RCon = Rc<Con>;
 
 /// A constructor: the compile-time language of Ur. Types are the
@@ -101,15 +107,15 @@ pub enum Con {
 
 impl Con {
     pub fn var(s: &Sym) -> RCon {
-        Rc::new(Con::Var(s.clone()))
+        mk(Con::Var(s.clone()))
     }
 
     pub fn meta(id: MetaId) -> RCon {
-        Rc::new(Con::Meta(id))
+        mk(Con::Meta(id))
     }
 
     pub fn prim(p: PrimType) -> RCon {
-        Rc::new(Con::Prim(p))
+        mk(Con::Prim(p))
     }
 
     pub fn int() -> RCon {
@@ -133,23 +139,23 @@ impl Con {
     }
 
     pub fn arrow(a: RCon, b: RCon) -> RCon {
-        Rc::new(Con::Arrow(a, b))
+        mk(Con::Arrow(a, b))
     }
 
     pub fn poly(s: Sym, k: Kind, body: RCon) -> RCon {
-        Rc::new(Con::Poly(s, k, body))
+        mk(Con::Poly(s, k, body))
     }
 
     pub fn guarded(c1: RCon, c2: RCon, t: RCon) -> RCon {
-        Rc::new(Con::Guarded(c1, c2, t))
+        mk(Con::Guarded(c1, c2, t))
     }
 
     pub fn lam(s: Sym, k: Kind, body: RCon) -> RCon {
-        Rc::new(Con::Lam(s, k, body))
+        mk(Con::Lam(s, k, body))
     }
 
     pub fn app(f: RCon, a: RCon) -> RCon {
-        Rc::new(Con::App(f, a))
+        mk(Con::App(f, a))
     }
 
     /// n-ary application.
@@ -158,23 +164,23 @@ impl Con {
     }
 
     pub fn name(n: impl Into<Rc<str>>) -> RCon {
-        Rc::new(Con::Name(n.into()))
+        mk(Con::Name(n.into()))
     }
 
     pub fn record(row: RCon) -> RCon {
-        Rc::new(Con::Record(row))
+        mk(Con::Record(row))
     }
 
     pub fn row_nil(k: Kind) -> RCon {
-        Rc::new(Con::RowNil(k))
+        mk(Con::RowNil(k))
     }
 
     pub fn row_one(n: RCon, v: RCon) -> RCon {
-        Rc::new(Con::RowOne(n, v))
+        mk(Con::RowOne(n, v))
     }
 
     pub fn row_cat(a: RCon, b: RCon) -> RCon {
-        Rc::new(Con::RowCat(a, b))
+        mk(Con::RowCat(a, b))
     }
 
     /// Builds a literal row `[n1 = v1] ++ ... ++ [nk = vk]` from
@@ -206,26 +212,31 @@ impl Con {
         build(&mut drain, n, &elem_kind)
     }
 
+    /// The bare `map` constant at kinds `(k1 -> k2) -> {k1} -> {k2}`.
+    pub fn map_c(k1: Kind, k2: Kind) -> RCon {
+        mk(Con::Map(k1, k2))
+    }
+
     /// `map` fully applied: `map f r` at the given kinds.
     pub fn map_app(k1: Kind, k2: Kind, f: RCon, r: RCon) -> RCon {
-        Con::app(Con::app(Rc::new(Con::Map(k1, k2)), f), r)
+        Con::app(Con::app(Con::map_c(k1, k2), f), r)
     }
 
     /// The `folder` family at element kind `k`.
     pub fn folder(k: Kind) -> RCon {
-        Rc::new(Con::Folder(k))
+        mk(Con::Folder(k))
     }
 
     pub fn pair(a: RCon, b: RCon) -> RCon {
-        Rc::new(Con::Pair(a, b))
+        mk(Con::Pair(a, b))
     }
 
     pub fn fst(c: RCon) -> RCon {
-        Rc::new(Con::Fst(c))
+        mk(Con::Fst(c))
     }
 
     pub fn snd(c: RCon) -> RCon {
-        Rc::new(Con::Snd(c))
+        mk(Con::Snd(c))
     }
 
     /// If this constructor is a spine `h a1 ... an`, returns the head and
@@ -245,6 +256,14 @@ impl Con {
     /// True for metavariable occurrences.
     pub fn is_meta(&self) -> bool {
         matches!(self, Con::Meta(_))
+    }
+
+    /// The canonical intern-table handle for this constructor. A handle is
+    /// `Copy` and `==` on handles is O(1) structural equality; use it where
+    /// a deep clone of the tree would otherwise be taken just to compare
+    /// or key on the term.
+    pub fn intern_id(self: &Rc<Self>) -> crate::intern::ConId {
+        crate::intern::id_of(self)
     }
 }
 

@@ -183,7 +183,6 @@ fn expect_row(cx: &Cx, c: &RCon, k: &Kind) -> Result<(), CoreError> {
 mod tests {
     use super::*;
     use crate::sym::Sym;
-    use std::rc::Rc;
 
     fn setup() -> (Env, Cx) {
         (Env::new(), Cx::new())
@@ -264,7 +263,7 @@ mod tests {
     #[test]
     fn map_constant_kind() {
         let (env, mut cx) = setup();
-        let m = Rc::new(Con::Map(Kind::Type, Kind::Type));
+        let m = Con::map_c(Kind::Type, Kind::Type);
         let k = kind_of(&env, &mut cx, &m).unwrap();
         assert_eq!(
             k,

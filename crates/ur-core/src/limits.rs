@@ -102,6 +102,11 @@ pub struct Fuel {
     depth: usize,
     norm_steps: u64,
     prover_pairs: u64,
+    /// Total steps ever charged, *not* cleared by [`Fuel::reset`]. The
+    /// elaborator resets fuel at every declaration boundary, so this is
+    /// the only whole-run normalization-work metric (used by the
+    /// interning benchmark to compare cached vs. uncached runs).
+    lifetime_norm_steps: u64,
     exhausted: Option<ResourceKind>,
 }
 
@@ -118,6 +123,7 @@ impl Fuel {
             depth: 0,
             norm_steps: 0,
             prover_pairs: 0,
+            lifetime_norm_steps: 0,
             exhausted: None,
         }
     }
@@ -166,6 +172,7 @@ impl Fuel {
             return false;
         }
         self.norm_steps += 1;
+        self.lifetime_norm_steps += 1;
         true
     }
 
@@ -191,6 +198,12 @@ impl Fuel {
     /// Prover pairs charged since the last reset (for instrumentation).
     pub fn prover_pairs_used(&self) -> u64 {
         self.prover_pairs
+    }
+
+    /// Total normalization steps charged over the fuel's whole lifetime,
+    /// across [`Fuel::reset`]s.
+    pub fn lifetime_norm_steps(&self) -> u64 {
+        self.lifetime_norm_steps
     }
 
     /// Clears exhaustion and all counters — called by the elaborator at
@@ -250,6 +263,17 @@ mod tests {
         assert!(f.prover_pair());
         assert!(!f.prover_pair());
         assert_eq!(f.exhausted(), Some(ResourceKind::ProverPairs));
+    }
+
+    #[test]
+    fn lifetime_steps_survive_reset() {
+        let mut f = Fuel::new(Limits::default());
+        assert!(f.step());
+        assert!(f.step());
+        f.reset();
+        assert!(f.step());
+        assert_eq!(f.norm_steps_used(), 1);
+        assert_eq!(f.lifetime_norm_steps(), 3);
     }
 
     #[test]

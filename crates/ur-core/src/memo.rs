@@ -1,0 +1,266 @@
+//! Memo tables for the four expensive judgments: head normalization,
+//! definitional equality, row normalization, and disjointness verdicts.
+//!
+//! All four tables key on canonical [`ConId`]s (see [`crate::intern`]) plus
+//! the *semantic generation* of the [`crate::env::Env`] the judgment ran
+//! under: two envs share a generation only when they have identical
+//! constructor bindings and disjointness facts, so a `(ConId, env_gen)` key
+//! pins down every input the judgment reads — except the metavariable
+//! store.
+//!
+//! Metavariable solutions are **write-once and monotone**: `MetaCx::solve`
+//! / `solve_kind` assert the slot was unsolved, and elaborator error
+//! recovery never rolls the store back. Each entry therefore records the
+//! meta generation at store time and is served only while no further
+//! solution has been recorded — *unless* the entry is `stable`, meaning no
+//! future solution can change it:
+//!
+//! * `hnf` results containing no `Con::Meta` node (hnf never reads kinds,
+//!   so kind metas are irrelevant to it);
+//! * `defeq == true` (solving metas only makes more terms equal, never
+//!   fewer);
+//! * row normal forms all of whose components are meta-free, con and kind
+//!   alike (`normalize_row` zonks kinds into `elem_kind`);
+//! * prover verdicts `Proved` and `Refuted` (both are preserved under
+//!   refinement: literal-name evidence cannot change, and fact matches are
+//!   `defeq`-based, which is monotone). `NotYet` is exactly the verdict
+//!   that later solutions revise, so it is generation-guarded.
+//!
+//! Law configuration is part of the judgment semantics too: if
+//! [`crate::Cx::laws`] changes between calls, every table is cleared.
+//!
+//! Fuel interaction (see `docs/PERFORMANCE.md`): callers never store a
+//! result computed under exhausted fuel (it would be a degenerate value,
+//! not the judgment's answer), and a cache hit still charges one
+//! normalization step so cached elaboration remains fuel-bounded.
+
+use crate::con::RCon;
+use crate::disjoint::ProveResult;
+use crate::intern::{self, ConId};
+use crate::row::{FieldKey, RowNf};
+use crate::LawConfig;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    value: T,
+    /// Meta generation at store time; ignored when `stable`.
+    meta_gen: u64,
+    /// True when no future meta solution can change the value.
+    stable: bool,
+}
+
+impl<T: Clone> Entry<T> {
+    fn get(&self, meta_gen: u64) -> Option<T> {
+        if self.stable || self.meta_gen == meta_gen {
+            Some(self.value.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// Unordered pair key: `defeq` and the prover are symmetric, so both
+/// orientations of a query share one entry.
+fn pair_key(a: ConId, b: ConId, env_gen: u64) -> (ConId, ConId, u64) {
+    if a <= b {
+        (a, b, env_gen)
+    } else {
+        (b, a, env_gen)
+    }
+}
+
+/// True when every constructor and kind in `nf` is meta-free, so the
+/// normal form can never be refined by later solutions.
+fn row_nf_stable(nf: &RowNf) -> bool {
+    let con_ok = |c: &RCon| {
+        let f = intern::flags_of(c);
+        !f.has_meta() && !f.has_kmeta()
+    };
+    let key_ok = |k: &FieldKey| match k {
+        FieldKey::Lit(_) => true,
+        FieldKey::Neutral(c) => con_ok(c),
+    };
+    nf.elem_kind.as_ref().is_none_or(|k| k.is_ground())
+        && nf.fields.iter().all(|(k, v)| key_ok(k) && con_ok(v))
+        && nf
+            .atoms
+            .iter()
+            .all(|a| con_ok(&a.base) && a.map.as_ref().is_none_or(|(f, k)| con_ok(f) && k.is_ground()))
+}
+
+/// The per-[`crate::Cx`] memo store.
+#[derive(Clone, Debug)]
+pub struct Memo {
+    /// Master switch; benches flip this off for uncached comparison runs.
+    /// When disabled, callers skip both lookups and stores.
+    pub enabled: bool,
+    laws: Option<LawConfig>,
+    hnf: HashMap<(ConId, u64), Entry<RCon>>,
+    defeq: HashMap<(ConId, ConId, u64), Entry<bool>>,
+    rows: HashMap<(ConId, u64), Entry<RowNf>>,
+    disjoint: HashMap<(ConId, ConId, u64), Entry<ProveResult>>,
+}
+
+impl Default for Memo {
+    fn default() -> Memo {
+        Memo {
+            enabled: true,
+            laws: None,
+            hnf: HashMap::new(),
+            defeq: HashMap::new(),
+            rows: HashMap::new(),
+            disjoint: HashMap::new(),
+        }
+    }
+}
+
+impl Memo {
+    /// Clears every table when the law configuration differs from the one
+    /// the entries were computed under (law toggles change `defeq`, row
+    /// normalization, and prover outcomes).
+    pub fn check_laws(&mut self, laws: LawConfig) {
+        if self.laws != Some(laws) {
+            self.hnf.clear();
+            self.defeq.clear();
+            self.rows.clear();
+            self.disjoint.clear();
+            self.laws = Some(laws);
+        }
+    }
+
+    pub fn hnf_get(&self, c: ConId, env_gen: u64, meta_gen: u64) -> Option<RCon> {
+        self.hnf.get(&(c, env_gen)).and_then(|e| e.get(meta_gen))
+    }
+
+    pub fn hnf_put(&mut self, c: ConId, env_gen: u64, meta_gen: u64, out: &RCon) {
+        let stable = !intern::flags_of(out).has_meta();
+        self.hnf.insert(
+            (c, env_gen),
+            Entry { value: RCon::clone(out), meta_gen, stable },
+        );
+    }
+
+    pub fn defeq_get(&self, a: ConId, b: ConId, env_gen: u64, meta_gen: u64) -> Option<bool> {
+        self.defeq
+            .get(&pair_key(a, b, env_gen))
+            .and_then(|e| e.get(meta_gen))
+    }
+
+    pub fn defeq_put(&mut self, a: ConId, b: ConId, env_gen: u64, meta_gen: u64, eq: bool) {
+        self.defeq.insert(
+            pair_key(a, b, env_gen),
+            Entry { value: eq, meta_gen, stable: eq },
+        );
+    }
+
+    pub fn row_get(&self, c: ConId, env_gen: u64, meta_gen: u64) -> Option<RowNf> {
+        self.rows.get(&(c, env_gen)).and_then(|e| e.get(meta_gen))
+    }
+
+    pub fn row_put(&mut self, c: ConId, env_gen: u64, meta_gen: u64, nf: &RowNf) {
+        let stable = row_nf_stable(nf);
+        self.rows.insert(
+            (c, env_gen),
+            Entry { value: nf.clone(), meta_gen, stable },
+        );
+    }
+
+    pub fn disjoint_get(
+        &self,
+        a: ConId,
+        b: ConId,
+        env_gen: u64,
+        meta_gen: u64,
+    ) -> Option<ProveResult> {
+        self.disjoint
+            .get(&pair_key(a, b, env_gen))
+            .and_then(|e| e.get(meta_gen))
+    }
+
+    pub fn disjoint_put(
+        &mut self,
+        a: ConId,
+        b: ConId,
+        env_gen: u64,
+        meta_gen: u64,
+        out: ProveResult,
+    ) {
+        let stable = matches!(out, ProveResult::Proved | ProveResult::Refuted);
+        self.disjoint.insert(
+            pair_key(a, b, env_gen),
+            Entry { value: out, meta_gen, stable },
+        );
+    }
+
+    /// Entry counts per table `(hnf, defeq, rows, disjoint)`, for
+    /// instrumentation.
+    pub fn table_sizes(&self) -> (usize, usize, usize, usize) {
+        (self.hnf.len(), self.defeq.len(), self.rows.len(), self.disjoint.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::con::Con;
+    use crate::kind::Kind;
+
+    #[test]
+    fn defeq_true_survives_meta_generations() {
+        let mut m = Memo::default();
+        let a = intern::id_of(&Con::int());
+        let b = intern::id_of(&Con::int());
+        m.defeq_put(a, b, 0, 0, true);
+        assert_eq!(m.defeq_get(a, b, 0, 99), Some(true));
+        // ... and is symmetric in the key.
+        assert_eq!(m.defeq_get(b, a, 0, 99), Some(true));
+    }
+
+    #[test]
+    fn defeq_false_is_generation_guarded() {
+        let mut m = Memo::default();
+        let a = intern::id_of(&Con::int());
+        let b = intern::id_of(&Con::float());
+        m.defeq_put(a, b, 0, 3, false);
+        assert_eq!(m.defeq_get(a, b, 0, 3), Some(false));
+        assert_eq!(m.defeq_get(a, b, 0, 4), None);
+    }
+
+    #[test]
+    fn notyet_is_generation_guarded_but_proved_is_not() {
+        let mut m = Memo::default();
+        let a = intern::id_of(&Con::row_nil(Kind::Type));
+        let b = intern::id_of(&Con::int());
+        m.disjoint_put(a, b, 0, 1, ProveResult::NotYet);
+        assert_eq!(m.disjoint_get(a, b, 0, 2), None);
+        m.disjoint_put(a, b, 0, 1, ProveResult::Proved);
+        assert_eq!(m.disjoint_get(a, b, 0, 2), Some(ProveResult::Proved));
+    }
+
+    #[test]
+    fn law_change_clears_tables() {
+        let mut m = Memo::default();
+        let a = intern::id_of(&Con::int());
+        m.check_laws(LawConfig::default());
+        m.defeq_put(a, a, 0, 0, true);
+        m.check_laws(LawConfig::default());
+        assert_eq!(m.defeq_get(a, a, 0, 0), Some(true), "same laws keep entries");
+        m.check_laws(LawConfig { identity: false, ..LawConfig::default() });
+        assert_eq!(m.defeq_get(a, a, 0, 0), None, "law flip clears entries");
+    }
+
+    #[test]
+    fn meta_bearing_hnf_results_are_guarded() {
+        let mut m = Memo::default();
+        let c = Con::meta(crate::con::MetaId(902_000));
+        let id = intern::id_of(&c);
+        m.hnf_put(id, 0, 5, &c);
+        assert!(m.hnf_get(id, 0, 5).is_some());
+        assert!(m.hnf_get(id, 0, 6).is_none());
+        // A meta-free result is stable across generations.
+        let ground = Con::int();
+        m.hnf_put(id, 0, 5, &ground);
+        assert!(m.hnf_get(id, 0, 6).is_some());
+    }
+}

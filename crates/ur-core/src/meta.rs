@@ -27,15 +27,28 @@ struct KMetaEntry {
 }
 
 /// Arena of constructor and kind metavariables.
+///
+/// Solutions are write-once ([`MetaCx::solve`] / [`MetaCx::solve_kind`]
+/// panic on re-solve), which makes the solution state *monotone*: it only
+/// ever gains equations. The memo tables in [`crate::memo`] rely on this
+/// by tagging entries with [`MetaCx::generation`], which counts recorded
+/// solutions. Allocating fresh metas does not bump the generation — a new
+/// metavariable cannot occur in any previously cached term.
 #[derive(Clone, Debug, Default)]
 pub struct MetaCx {
     metas: Vec<MetaEntry>,
     kmetas: Vec<KMetaEntry>,
+    gen: u64,
 }
 
 impl MetaCx {
     pub fn new() -> MetaCx {
         MetaCx::default()
+    }
+
+    /// Number of solutions (constructor and kind) recorded so far.
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Allocates a fresh constructor metavariable of the given kind.
@@ -90,6 +103,7 @@ impl MetaCx {
             "metavariable {id} already solved"
         );
         entry.solution = Some(c);
+        self.gen += 1;
     }
 
     /// Records a solution for a kind metavariable.
@@ -101,6 +115,9 @@ impl MetaCx {
         let entry = &mut self.kmetas[id.0 as usize];
         assert!(entry.solution.is_none(), "kind metavariable {id} already solved");
         entry.solution = Some(k);
+        // Kind solutions invalidate caches too: `normalize_row` zonks
+        // kinds into `RowNf::elem_kind`.
+        self.gen += 1;
     }
 
     /// Follows metavariable solutions at the head of `c` until reaching a
@@ -145,6 +162,14 @@ impl MetaCx {
     /// Fully substitutes solved metavariables (constructor and kind)
     /// throughout `c`.
     pub fn zonk(&self, c: &RCon) -> RCon {
+        // Precomputed-flag fast path: a term with no Con::Meta and no
+        // Kind::Meta anywhere cannot be changed by zonking.
+        {
+            let f = crate::intern::flags_of(c);
+            if !f.has_meta() && !f.has_kmeta() {
+                return Rc::clone(c);
+            }
+        }
         let c = self.resolve(c);
         match &*c {
             Con::Var(_) | Con::Meta(_) | Con::Prim(_) | Con::Name(_) => c,
@@ -157,7 +182,7 @@ impl MetaCx {
             Con::RowNil(k) => Con::row_nil(self.zonk_kind(k)),
             Con::RowOne(n, v) => Con::row_one(self.zonk(n), self.zonk(v)),
             Con::RowCat(a, b) => Con::row_cat(self.zonk(a), self.zonk(b)),
-            Con::Map(k1, k2) => Rc::new(Con::Map(self.zonk_kind(k1), self.zonk_kind(k2))),
+            Con::Map(k1, k2) => Con::map_c(self.zonk_kind(k1), self.zonk_kind(k2)),
             Con::Folder(k) => Con::folder(self.zonk_kind(k)),
             Con::Pair(a, b) => Con::pair(self.zonk(a), self.zonk(b)),
             Con::Fst(a) => Con::fst(self.zonk(a)),
@@ -187,6 +212,11 @@ impl MetaCx {
     /// True if `c` contains an occurrence of `id` (after resolving solved
     /// metas). Used as the occurs check.
     pub fn occurs(&self, id: MetaId, c: &RCon) -> bool {
+        // Fast path: `occurs` only resolves metas that occur syntactically,
+        // so a term whose flags say "no Con::Meta" cannot contain `id`.
+        if !crate::intern::flags_of(c).has_meta() {
+            return false;
+        }
         let c = self.resolve(c);
         match &*c {
             Con::Meta(m) => *m == id,
@@ -228,6 +258,21 @@ mod tests {
         let m = cx.fresh(Kind::Type, "test");
         cx.solve(m, Con::int());
         cx.solve(m, Con::float());
+    }
+
+    #[test]
+    fn generation_counts_solutions_only() {
+        let mut cx = MetaCx::new();
+        assert_eq!(cx.generation(), 0);
+        let m = cx.fresh(Kind::Type, "t");
+        let k = cx.fresh_kind();
+        assert_eq!(cx.generation(), 0, "allocation must not bump the generation");
+        cx.solve(m, Con::int());
+        assert_eq!(cx.generation(), 1);
+        if let Kind::Meta(id) = k {
+            cx.solve_kind(id, Kind::Type);
+        }
+        assert_eq!(cx.generation(), 2, "kind solutions bump the generation too");
     }
 
     #[test]

@@ -264,6 +264,15 @@ mod tests {
     }
 
     #[test]
+    fn shared_interned_subterms_print_as_trees() {
+        // Hash-consing collapses repeated subterms into one shared node;
+        // printing must still expand the DAG into full tree notation.
+        let sub = Con::arrow(Con::int(), Con::int());
+        let c = Con::pair(sub.clone(), sub);
+        assert_eq!(c.to_string(), "(int -> int, int -> int)");
+    }
+
+    #[test]
     fn bang_display() {
         let f = Sym::fresh("f");
         assert_eq!(Expr::dapp(Expr::var(&f)).to_string(), "f !");

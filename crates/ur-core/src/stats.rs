@@ -33,6 +33,25 @@ pub struct Stats {
     pub folders_generated: u64,
     /// Reverse-engineering unification successes (§4.2).
     pub reverse_engineered: u64,
+    /// `hnf` memo-table hits / misses (see `ur_core::memo`).
+    pub hnf_memo_hits: u64,
+    pub hnf_memo_misses: u64,
+    /// `defeq` memo-table hits / misses.
+    pub defeq_memo_hits: u64,
+    pub defeq_memo_misses: u64,
+    /// Row-normalization memo-table hits / misses.
+    pub row_memo_hits: u64,
+    pub row_memo_misses: u64,
+    /// Disjointness-prover verdict memo hits / misses.
+    pub disjoint_memo_hits: u64,
+    pub disjoint_memo_misses: u64,
+    /// Snapshot of the thread-local intern table (filled by
+    /// [`Stats::capture_intern`]): canonical nodes, intern hits/misses,
+    /// and distinct name literals.
+    pub intern_nodes: u64,
+    pub intern_hits: u64,
+    pub intern_misses: u64,
+    pub intern_names: u64,
 }
 
 impl Stats {
@@ -51,6 +70,29 @@ impl Stats {
         self.constraints_postponed += other.constraints_postponed;
         self.folders_generated += other.folders_generated;
         self.reverse_engineered += other.reverse_engineered;
+        self.hnf_memo_hits += other.hnf_memo_hits;
+        self.hnf_memo_misses += other.hnf_memo_misses;
+        self.defeq_memo_hits += other.defeq_memo_hits;
+        self.defeq_memo_misses += other.defeq_memo_misses;
+        self.row_memo_hits += other.row_memo_hits;
+        self.row_memo_misses += other.row_memo_misses;
+        self.disjoint_memo_hits += other.disjoint_memo_hits;
+        self.disjoint_memo_misses += other.disjoint_memo_misses;
+        self.intern_nodes += other.intern_nodes;
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
+        self.intern_names += other.intern_names;
+    }
+
+    /// Copies the thread-local intern table's size and hit/miss counters
+    /// into this snapshot (they are table-global, not per-`Cx`, so they
+    /// are captured on demand rather than incremented by the judgments).
+    pub fn capture_intern(&mut self) {
+        let t = crate::intern::table_stats();
+        self.intern_nodes = t.nodes;
+        self.intern_hits = t.hits;
+        self.intern_misses = t.misses;
+        self.intern_names = t.names;
     }
 
     /// The difference `self - earlier`, counter-wise, saturating at zero.
@@ -77,6 +119,22 @@ impl Stats {
             reverse_engineered: self
                 .reverse_engineered
                 .saturating_sub(earlier.reverse_engineered),
+            hnf_memo_hits: self.hnf_memo_hits.saturating_sub(earlier.hnf_memo_hits),
+            hnf_memo_misses: self.hnf_memo_misses.saturating_sub(earlier.hnf_memo_misses),
+            defeq_memo_hits: self.defeq_memo_hits.saturating_sub(earlier.defeq_memo_hits),
+            defeq_memo_misses: self.defeq_memo_misses.saturating_sub(earlier.defeq_memo_misses),
+            row_memo_hits: self.row_memo_hits.saturating_sub(earlier.row_memo_hits),
+            row_memo_misses: self.row_memo_misses.saturating_sub(earlier.row_memo_misses),
+            disjoint_memo_hits: self
+                .disjoint_memo_hits
+                .saturating_sub(earlier.disjoint_memo_hits),
+            disjoint_memo_misses: self
+                .disjoint_memo_misses
+                .saturating_sub(earlier.disjoint_memo_misses),
+            intern_nodes: self.intern_nodes.saturating_sub(earlier.intern_nodes),
+            intern_hits: self.intern_hits.saturating_sub(earlier.intern_hits),
+            intern_misses: self.intern_misses.saturating_sub(earlier.intern_misses),
+            intern_names: self.intern_names.saturating_sub(earlier.intern_names),
         }
     }
 }
@@ -95,6 +153,23 @@ impl fmt::Display for Stats {
             self.constraints_postponed,
             self.folders_generated,
             self.reverse_engineered,
+        )?;
+        write!(
+            f,
+            " cache[hnf={}/{} defeq={}/{} rows={}/{} disj={}/{}]",
+            self.hnf_memo_hits,
+            self.hnf_memo_misses,
+            self.defeq_memo_hits,
+            self.defeq_memo_misses,
+            self.row_memo_hits,
+            self.row_memo_misses,
+            self.disjoint_memo_hits,
+            self.disjoint_memo_misses,
+        )?;
+        write!(
+            f,
+            " intern[nodes={} names={} hits={} misses={}]",
+            self.intern_nodes, self.intern_names, self.intern_hits, self.intern_misses,
         )
     }
 }
@@ -150,5 +225,23 @@ mod tests {
         for key in ["disj=", "id=", "dist=", "fuse="] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn display_mentions_cache_and_intern_counters() {
+        let s = Stats::new().to_string();
+        for key in ["cache[hnf=", "defeq=", "rows=", "intern[nodes=", "names="] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn capture_intern_reads_live_table() {
+        use crate::con::Con;
+        // Force at least one intern-table node to exist on this thread.
+        let _ = Con::arrow(Con::int(), Con::bool_());
+        let mut s = Stats::new();
+        s.capture_intern();
+        assert!(s.intern_nodes > 0);
     }
 }

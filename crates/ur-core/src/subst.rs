@@ -55,6 +55,11 @@ pub fn fv(c: &RCon) -> HashSet<Sym> {
 /// Substitutes `repl` for free occurrences of `target` in `c`,
 /// alpha-renaming binders when they would capture free variables of `repl`.
 pub fn subst(c: &RCon, target: &Sym, repl: &RCon) -> RCon {
+    // O(1) fast path: the interner precomputes a has-var bit, so a term with
+    // no variables at all (bound or free) cannot mention `target`.
+    if !crate::intern::flags_of(c).has_var() {
+        return Rc::clone(c);
+    }
     // Fast path: nothing to do if `target` is not free in `c`.
     if !fv(c).contains(target) {
         return Rc::clone(c);
@@ -64,6 +69,10 @@ pub fn subst(c: &RCon, target: &Sym, repl: &RCon) -> RCon {
 }
 
 fn go(c: &RCon, target: &Sym, repl: &RCon, repl_fv: &HashSet<Sym>) -> RCon {
+    // Variable-free subtrees are returned as-is without traversal.
+    if !crate::intern::flags_of(c).has_var() {
+        return Rc::clone(c);
+    }
     match &**c {
         Con::Var(s) => {
             if s == target {

@@ -3,11 +3,16 @@
 use crate::error::DbError;
 use crate::value::{ColTy, DbVal};
 use std::fmt;
+use std::rc::Rc;
 
 /// An ordered list of named, typed columns.
+///
+/// The column list is behind an `Rc`, so cloning a schema (which the
+/// query engine does per statement to appease the borrow checker) is a
+/// handle copy, not a deep copy of every column name.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Schema {
-    cols: Vec<(String, ColTy)>,
+    cols: Rc<[(String, ColTy)]>,
 }
 
 impl Schema {
@@ -25,7 +30,7 @@ impl Schema {
                 return Err(DbError::SchemaError(format!("duplicate column {n}")));
             }
         }
-        Ok(Schema { cols })
+        Ok(Schema { cols: cols.into() })
     }
 
     pub fn columns(&self) -> &[(String, ColTy)] {

@@ -454,7 +454,7 @@ impl Elaborator {
                             Kind::arrow(k1.clone(), k2.clone()),
                             Kind::arrow(Kind::row(k1.clone()), Kind::row(k2.clone())),
                         );
-                        Ok((Rc::new(Con::Map(k1, k2)), kind))
+                        Ok((Con::map_c(k1, k2), kind))
                     }
                     "fst" | "snd" => {
                         let k1 = self.cx.metas.fresh_kind();
@@ -1013,7 +1013,7 @@ impl Elaborator {
         let name_h = hnf(env, &mut self.cx, name);
         for (key, v) in &nf.fields {
             let hit = match (&*name_h, key) {
-                (Con::Name(n), FieldKey::Lit(m)) => n == m,
+                (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                 (_, FieldKey::Neutral(k)) => {
                     let k = Rc::clone(k);
                     ur_core::defeq::defeq(env, &mut self.cx, &name_h, &k)
@@ -1085,7 +1085,7 @@ impl Elaborator {
         for (key, v) in &nf.source_fields {
             let hit = !removed
                 && match (&**name, key) {
-                    (Con::Name(n), FieldKey::Lit(m)) => n == m,
+                    (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                     (_, FieldKey::Neutral(k)) => {
                         let k = Rc::clone(k);
                         ur_core::defeq::defeq(env, &mut self.cx, name, &k)
@@ -1112,7 +1112,7 @@ impl Elaborator {
             for (key, v) in &nf.source_fields {
                 let hit = !found
                     && match (&*name_h, key) {
-                        (Con::Name(n), FieldKey::Lit(m)) => n == m,
+                        (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                         (_, FieldKey::Neutral(k)) => {
                             let k = Rc::clone(k);
                             ur_core::defeq::defeq(env, &mut self.cx, &name_h, &k)
@@ -1963,7 +1963,7 @@ pub fn finalize_con(cx: &Cx, c: &RCon) -> RCon {
         Con::RowNil(k) => Con::row_nil(finalize_kind(cx, k)),
         Con::RowOne(n, v) => Con::row_one(finalize_con(cx, n), finalize_con(cx, v)),
         Con::RowCat(a, b) => Con::row_cat(finalize_con(cx, a), finalize_con(cx, b)),
-        Con::Map(k1, k2) => Rc::new(Con::Map(finalize_kind(cx, k1), finalize_kind(cx, k2))),
+        Con::Map(k1, k2) => Con::map_c(finalize_kind(cx, k1), finalize_kind(cx, k2)),
         Con::Folder(k) => Con::folder(finalize_kind(cx, k)),
         Con::Pair(a, b) => Con::pair(finalize_con(cx, a), finalize_con(cx, b)),
         Con::Fst(a) => Con::fst(finalize_con(cx, a)),

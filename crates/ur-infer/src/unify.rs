@@ -119,6 +119,11 @@ pub fn unify(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
 
 fn unify_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
     cx.stats.unify_calls += 1;
+    // Hash-consing makes pointer identity a complete syntactic-equality
+    // test, so identical handles solve without normalizing at all.
+    if Rc::ptr_eq(c1, c2) {
+        return Unify::Solved;
+    }
     let c1 = hnf(env, cx, c1);
     let c2 = hnf(env, cx, c2);
     if Rc::ptr_eq(&c1, &c2) {
@@ -363,7 +368,7 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
         let mut matched = None;
         for j in 0..f2.len() {
             let keys_match = match (&f1[i].0, &f2[j].0) {
-                (FieldKey::Lit(a), FieldKey::Lit(b)) => a == b,
+                (FieldKey::Lit(a), FieldKey::Lit(b)) => ur_core::intern::names_eq(a, b),
                 (FieldKey::Neutral(a), FieldKey::Neutral(b)) => {
                     let (a, b) = (Rc::clone(a), Rc::clone(b));
                     defeq(env, cx, &a, &b)

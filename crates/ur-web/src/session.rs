@@ -253,6 +253,16 @@ impl Session {
     pub fn stats(&self) -> &ur_core::stats::Stats {
         &self.elab.cx.stats
     }
+
+    /// [`Session::stats`] plus a snapshot of the thread-local intern
+    /// table (node count, name count, hit/miss rates). The per-`Cx`
+    /// counters are copied; the intern columns are read from the live
+    /// table at call time.
+    pub fn stats_snapshot(&self) -> ur_core::stats::Stats {
+        let mut s = self.elab.cx.stats.clone();
+        s.capture_intern();
+        s
+    }
 }
 
 #[cfg(test)]

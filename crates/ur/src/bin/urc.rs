@@ -160,7 +160,7 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     if opts.stats {
-        eprintln!("stats: {}", sess.stats());
+        eprintln!("stats: {}", sess.stats_snapshot());
     }
     Ok(())
 }

@@ -6,7 +6,8 @@
 //!
 //! Enter expressions to evaluate them, declarations (`val`/`fun`/`type`/
 //! `con`) to extend the session, `:t e` for the type of an expression,
-//! `:stats` for the Figure-5 counters, and `:quit` to exit.
+//! `:stats` for the Figure-5 counters plus the memo-cache and
+//! intern-table columns, and `:quit` to exit.
 
 use std::io::{BufRead, Write};
 use ur::{Session, SessionError};
@@ -50,7 +51,7 @@ fn main() {
             break;
         }
         if line == ":stats" {
-            println!("{}", sess.stats());
+            println!("{}", sess.stats_snapshot());
             continue;
         }
         if let Some(rest) = line.strip_prefix(":t ") {

@@ -81,20 +81,22 @@ fn ten_k_deep_map_nest_normalizes_within_budget() {
 
 #[test]
 fn ten_k_deep_arrow_defeq_hits_depth_budget() {
-    // Two structurally equal but separately allocated 10,000-deep arrow
-    // types. Structural recursion would need 10k stack frames; the depth
-    // budget (512) cuts it off and returns the conservative answer.
+    // Two 10,000-deep arrow types that differ only at the innermost leaf.
+    // (Identical chains would be hash-consed to the *same* node and compare
+    // in O(1), so the near-miss is what forces structural recursion.)
+    // That recursion would need 10k stack frames; the depth budget (512)
+    // cuts it off and returns the conservative answer.
     let start = Instant::now();
     let env = Env::new();
     let mut cx = Cx::new();
-    let deep = |n: usize| {
-        let mut c = Con::int();
+    let deep = |leaf: ur::core::con::RCon, n: usize| {
+        let mut c = leaf;
         for _ in 0..n {
             c = Con::arrow(c, Con::int());
         }
         c
     };
-    let (a, b) = (deep(10_000), deep(10_000));
+    let (a, b) = (deep(Con::int(), 10_000), deep(Con::float(), 10_000));
     let eq = ur::core::defeq::defeq(&env, &mut cx, &a, &b);
     assert_eq!(
         cx.fuel.exhausted(),
@@ -109,17 +111,19 @@ fn ten_k_deep_arrow_defeq_hits_depth_budget() {
 
 #[test]
 fn ten_k_deep_arrow_unify_postpones_not_overflows() {
+    // As above: distinct leaves keep the chains from being hash-consed to
+    // one shared node, so unification actually has to walk them.
     let start = Instant::now();
     let env = Env::new();
     let mut cx = Cx::new();
-    let deep = |n: usize| {
-        let mut c = Con::int();
+    let deep = |leaf: ur::core::con::RCon, n: usize| {
+        let mut c = leaf;
         for _ in 0..n {
             c = Con::arrow(c, Con::int());
         }
         c
     };
-    let (a, b) = (deep(10_000), deep(10_000));
+    let (a, b) = (deep(Con::int(), 10_000), deep(Con::float(), 10_000));
     let out = ur::infer::unify(&env, &mut cx, &a, &b);
     assert!(
         !matches!(out, Unify::Fail(_)),
