@@ -1,0 +1,226 @@
+//! Parallel-elaboration benchmark: the combined Figure-5 batch — every
+//! §6 case study's implementation and usage demo, plus a fan of
+//! independent `mkTable` clients to give the dependency graph width —
+//! elaborated at 1, 2, 4, and 8 worker threads.
+//!
+//! Two things are measured and written to `BENCH_parallel.json`:
+//!
+//! * **wall-clock** per thread count (best of `REPS` runs), with the
+//!   speedup relative to the sequential run;
+//! * **divergence** — the elaborated declarations (up to fresh symbol
+//!   ids) and span-sorted diagnostics at every thread count are compared
+//!   against the sequential run; any mismatch is a hard failure. The
+//!   determinism guarantee is the point; the speedup is the bonus.
+//!
+//! The >1.5x speedup gate only applies when the machine actually has ≥4
+//! cores (`std::thread::available_parallelism`); the divergence gate
+//! always applies.
+//!
+//! Run with `cargo run -p ur-bench --bin parallel --release`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use ur_infer::DepGraph;
+use ur_studies::{studies, study, Study};
+use ur_web::Session;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+const REPS: usize = 5;
+/// Independent wide `mkTable` clients appended to the batch; each is a
+/// root of the dependency graph, so the batch has parallel width by
+/// construction.
+const CLIENT_FAN: usize = 8;
+const CLIENT_WIDTH: usize = 12;
+
+struct Row {
+    threads: usize,
+    best_ms: f64,
+    speedup: f64,
+    par_decls: u64,
+    par_workers: u64,
+    diverged: bool,
+}
+
+/// Combined batch: every study's transitive dependencies (depth-first,
+/// deduplicated), implementation, and usage demo, then the client fan.
+fn combined_source() -> String {
+    fn push_impl(parts: &mut Vec<&'static str>, s: &Study) {
+        for dep in s.deps {
+            push_impl(parts, &study(dep));
+        }
+        let src = s.implementation();
+        if !parts.contains(&src) {
+            parts.push(src);
+        }
+    }
+    let mut parts: Vec<&'static str> = Vec::new();
+    let mut usages: Vec<&'static str> = Vec::new();
+    for s in studies() {
+        push_impl(&mut parts, &s);
+        usages.push(s.usage);
+    }
+    parts.extend(usages);
+    let mut src = parts.join("\n");
+    for c in 0..CLIENT_FAN {
+        let mut meta = String::new();
+        let mut row = String::new();
+        for i in 0..CLIENT_WIDTH {
+            if i > 0 {
+                meta.push_str(", ");
+                row.push_str(", ");
+            }
+            let _ = write!(meta, "F{c}x{i} = {{Label = \"f{i}\", Show = showInt}}");
+            let _ = write!(row, "F{c}x{i} = {i}");
+        }
+        let _ = write!(
+            src,
+            "\nval client{c} = mkTable {{{meta}}}\nval render{c} = client{c} {{{row}}}"
+        );
+    }
+    src
+}
+
+/// Elaborates the batch once at the given thread count in a fresh
+/// session. Returns (elapsed ms, decl fingerprints, diag fingerprints,
+/// parallel stats counters).
+fn run_once(src: &str, threads: usize) -> (f64, Vec<String>, Vec<String>, u64, u64) {
+    let mut sess = Session::new().expect("session");
+    let start = Instant::now();
+    let (decls, diags) = sess.elab.elab_source_all_threads(src, threads);
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    let decl_fps = decls
+        .iter()
+        .map(|d| strip_sym_ids(&format!("{d:?}")))
+        .collect();
+    let diag_fps = diags.iter().map(|d| d.to_string()).collect();
+    let stats = &sess.elab.cx.stats;
+    (ms, decl_fps, diag_fps, stats.par_decls, stats.par_workers)
+}
+
+/// Erases gensym counters (`foo#123` -> `foo#`) so runs drawing
+/// different fresh-symbol numbers compare structurally.
+fn strip_sym_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '#' {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let src = combined_source();
+
+    // Graph shape, for the report: batch size, roots, critical path.
+    let prog = ur_syntax::parse_program(&src).expect("combined batch parses");
+    let graph = DepGraph::build(&prog.decls);
+    let n = graph.len();
+    let roots = (0..n).filter(|&i| graph.deps(i).is_empty()).count();
+    let mut depth = vec![0usize; n];
+    let order = graph.topo_order().expect("combined batch is acyclic");
+    for &i in &order {
+        depth[i] = graph.deps(i).iter().map(|&j| depth[j] + 1).max().unwrap_or(0);
+    }
+    let critical_path = depth.iter().copied().max().unwrap_or(0) + usize::from(n > 0);
+
+    println!(
+        "Parallel elaboration benchmark — combined Figure-5 batch \
+         ({n} decls, {roots} roots, critical path {critical_path})"
+    );
+    println!();
+
+    let (_, base_decls, base_diags, _, _) = run_once(&src, 1);
+    assert!(
+        base_diags.is_empty(),
+        "combined batch must be clean: {base_diags:?}"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base_ms = 0.0f64;
+    for &t in THREAD_COUNTS {
+        let mut best_ms = f64::INFINITY;
+        let mut diverged = false;
+        let mut par_decls = 0u64;
+        let mut par_workers = 0u64;
+        for _ in 0..REPS {
+            let (ms, decls, diags, pd, pw) = run_once(&src, t);
+            best_ms = best_ms.min(ms);
+            par_decls = pd;
+            par_workers = pw;
+            diverged |= decls != base_decls || diags != base_diags;
+        }
+        if t == 1 {
+            base_ms = best_ms;
+        }
+        rows.push(Row {
+            threads: t,
+            best_ms,
+            speedup: if best_ms > 0.0 { base_ms / best_ms } else { 0.0 },
+            par_decls,
+            par_workers,
+            diverged,
+        });
+    }
+
+    println!(
+        "{:>8} {:>10} {:>9} {:>10} {:>12} {:>10}",
+        "threads", "best(ms)", "speedup", "par_decls", "par_workers", "diverged"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>10.1} {:>8.2}x {:>10} {:>12} {:>10}",
+            r.threads, r.best_ms, r.speedup, r.par_decls, r.par_workers, r.diverged
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup4 = rows
+        .iter()
+        .find(|r| r.threads == 4)
+        .map_or(0.0, |r| r.speedup);
+    println!();
+    println!("machine cores: {cores}; speedup at 4 threads: {speedup4:.2}x");
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"parallel\",\n  \"metric\": \"wall_clock_ms\",\n  \
+         \"batch\": {{\"decls\": {n}, \"roots\": {roots}, \"critical_path\": {critical_path}}},\n  \
+         \"machine_cores\": {cores},\n  \"reps\": {REPS},\n  \"runs\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"best_ms\": {:.2}, \"speedup\": {:.3}, \
+             \"par_decls\": {}, \"par_workers\": {}, \"diverged\": {}}}",
+            r.threads, r.best_ms, r.speedup, r.par_decls, r.par_workers, r.diverged
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"divergence_count\": {},\n  \"speedup_at_4_threads\": {:.3}\n}}\n",
+        rows.iter().filter(|r| r.diverged).count(),
+        speedup4
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+
+    // Hard gate: zero divergence, always. Determinism is the contract.
+    assert!(
+        rows.iter().all(|r| !r.diverged),
+        "parallel elaboration diverged from sequential"
+    );
+    // Speedup gate only where the hardware can deliver one.
+    if cores >= 4 {
+        assert!(
+            speedup4 > 1.5,
+            "expected >1.5x speedup at 4 threads on a {cores}-core machine, got {speedup4:.2}x"
+        );
+    } else {
+        println!("({cores} core(s): speedup gate skipped — divergence gate still enforced)");
+    }
+}

@@ -58,6 +58,7 @@ pub mod row;
 pub mod stats;
 pub mod subst;
 pub mod sym;
+pub mod transfer;
 pub mod typing;
 
 pub use limits::{Fuel, Limits, ResourceKind};

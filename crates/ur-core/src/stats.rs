@@ -52,6 +52,13 @@ pub struct Stats {
     pub intern_hits: u64,
     pub intern_misses: u64,
     pub intern_names: u64,
+    /// Parallel batches elaborated (scheduler invocations that actually
+    /// fanned out to workers; see `ur_infer::batch`).
+    pub par_batches: u64,
+    /// Declarations elaborated on worker threads.
+    pub par_decls: u64,
+    /// Worker threads spawned across all parallel batches.
+    pub par_workers: u64,
 }
 
 impl Stats {
@@ -59,29 +66,42 @@ impl Stats {
         Stats::default()
     }
 
-    /// Adds every counter of `other` into `self`.
+    /// Adds every counter of `other` into `self`, saturating at
+    /// `u64::MAX`. The parallel scheduler folds per-worker deltas into the
+    /// coordinator's stats, so wrap-around here would corrupt whole-run
+    /// metrics the same way it would in [`crate::limits::Fuel`].
     pub fn absorb(&mut self, other: &Stats) {
-        self.disjoint_prover_calls += other.disjoint_prover_calls;
-        self.law_map_identity += other.law_map_identity;
-        self.law_map_distrib += other.law_map_distrib;
-        self.law_map_fusion += other.law_map_fusion;
-        self.row_normalizations += other.row_normalizations;
-        self.unify_calls += other.unify_calls;
-        self.constraints_postponed += other.constraints_postponed;
-        self.folders_generated += other.folders_generated;
-        self.reverse_engineered += other.reverse_engineered;
-        self.hnf_memo_hits += other.hnf_memo_hits;
-        self.hnf_memo_misses += other.hnf_memo_misses;
-        self.defeq_memo_hits += other.defeq_memo_hits;
-        self.defeq_memo_misses += other.defeq_memo_misses;
-        self.row_memo_hits += other.row_memo_hits;
-        self.row_memo_misses += other.row_memo_misses;
-        self.disjoint_memo_hits += other.disjoint_memo_hits;
-        self.disjoint_memo_misses += other.disjoint_memo_misses;
-        self.intern_nodes += other.intern_nodes;
-        self.intern_hits += other.intern_hits;
-        self.intern_misses += other.intern_misses;
-        self.intern_names += other.intern_names;
+        macro_rules! add {
+            ($($field:ident),+ $(,)?) => {
+                $(self.$field = self.$field.saturating_add(other.$field);)+
+            };
+        }
+        add!(
+            disjoint_prover_calls,
+            law_map_identity,
+            law_map_distrib,
+            law_map_fusion,
+            row_normalizations,
+            unify_calls,
+            constraints_postponed,
+            folders_generated,
+            reverse_engineered,
+            hnf_memo_hits,
+            hnf_memo_misses,
+            defeq_memo_hits,
+            defeq_memo_misses,
+            row_memo_hits,
+            row_memo_misses,
+            disjoint_memo_hits,
+            disjoint_memo_misses,
+            intern_nodes,
+            intern_hits,
+            intern_misses,
+            intern_names,
+            par_batches,
+            par_decls,
+            par_workers,
+        );
     }
 
     /// Copies the thread-local intern table's size and hit/miss counters
@@ -135,6 +155,9 @@ impl Stats {
             intern_hits: self.intern_hits.saturating_sub(earlier.intern_hits),
             intern_misses: self.intern_misses.saturating_sub(earlier.intern_misses),
             intern_names: self.intern_names.saturating_sub(earlier.intern_names),
+            par_batches: self.par_batches.saturating_sub(earlier.par_batches),
+            par_decls: self.par_decls.saturating_sub(earlier.par_decls),
+            par_workers: self.par_workers.saturating_sub(earlier.par_workers),
         }
     }
 }
@@ -170,6 +193,11 @@ impl fmt::Display for Stats {
             f,
             " intern[nodes={} names={} hits={} misses={}]",
             self.intern_nodes, self.intern_names, self.intern_hits, self.intern_misses,
+        )?;
+        write!(
+            f,
+            " par[batches={} decls={} workers={}]",
+            self.par_batches, self.par_decls, self.par_workers,
         )
     }
 }
@@ -231,6 +259,24 @@ mod tests {
     fn display_mentions_cache_and_intern_counters() {
         let s = Stats::new().to_string();
         for key in ["cache[hnf=", "defeq=", "rows=", "intern[nodes=", "names="] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_saturates_at_ceiling() {
+        let mut a = Stats::new();
+        a.unify_calls = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.unify_calls = 10;
+        a.absorb(&b);
+        assert_eq!(a.unify_calls, u64::MAX);
+    }
+
+    #[test]
+    fn display_mentions_parallel_counters() {
+        let s = Stats::new().to_string();
+        for key in ["par[batches=", "decls=", "workers="] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -38,6 +38,17 @@ impl Sym {
         }
     }
 
+    /// Rebuilds a symbol from a `(name, id)` pair captured on another
+    /// thread (see [`crate::transfer`]). The id supply is process-global,
+    /// so a transferred id can never collide with a locally fresh one, and
+    /// the rebuilt symbol is `==` to the original (equality is id-only).
+    pub fn from_raw(name: impl Into<Rc<str>>, id: u32) -> Sym {
+        Sym {
+            name: name.into(),
+            id,
+        }
+    }
+
     /// Creates a fresh symbol reusing this symbol's textual name.
     ///
     /// Used by capture-avoiding substitution to rename binders.

@@ -1,0 +1,547 @@
+//! Cross-thread transfer of core terms.
+//!
+//! The core AST is deliberately `!Send`: constructors are hash-consed
+//! `Rc` nodes interned in a thread-local table ([`crate::intern`]), and
+//! symbol names share `Rc<str>` allocations. The parallel batch scheduler
+//! (`ur-infer::batch`) still needs to ship elaborated declarations and
+//! environment snapshots between the coordinator and its workers, so this
+//! module defines *portable* deep-copied mirrors of [`Sym`], [`Kind`],
+//! [`Con`], and [`Expr`] built from owned `String`/`Box` storage (all
+//! `Send`), plus an [`Importer`] that rebuilds native terms on the
+//! destination thread through the ordinary smart constructors — i.e.
+//! re-interns them into that thread's table.
+//!
+//! Two invariants make this sound:
+//!
+//! - **Symbol identity survives the round trip.** `Sym` ids come from one
+//!   process-global counter and equality/hashing consider only the id, so
+//!   [`Sym::from_raw`] rebuilds a symbol `==` to the original even though
+//!   the `Rc<str>` allocation differs. The [`Importer`] additionally
+//!   caches one rebuilt `Sym` per id so a transferred environment and the
+//!   terms referring into it agree on pointer identity of names.
+//! - **Interning keys binders by sym id**, not by allocation, so a
+//!   re-imported term hash-conses exactly like a locally built one.
+//!
+//! Metavariables ([`Con::Meta`], [`Kind::Meta`]) are *per-context*
+//! indices and do not transfer meaningfully between `MetaCx`s. The
+//! elaborator only exports finalized (meta-free) declarations, so the
+//! mirror types carry the raw index purely to keep conversion total and
+//! panic-free.
+
+use crate::con::{Con, MetaId, PrimType, RCon};
+use crate::env::Env;
+use crate::expr::{Expr, Lit, RExpr};
+use crate::kind::{KMetaId, Kind};
+use crate::sym::Sym;
+use std::collections::HashMap;
+
+/// Portable mirror of [`Sym`]: the textual name plus the globally unique
+/// id, with no shared allocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PSym {
+    pub name: String,
+    pub id: u32,
+}
+
+/// Portable mirror of [`Kind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PKind {
+    Type,
+    Name,
+    Arrow(Box<PKind>, Box<PKind>),
+    Row(Box<PKind>),
+    Pair(Box<PKind>, Box<PKind>),
+    Meta(u32),
+}
+
+/// Portable mirror of [`Con`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PCon {
+    Var(PSym),
+    Meta(u32),
+    Prim(PrimType),
+    Arrow(Box<PCon>, Box<PCon>),
+    Poly(PSym, PKind, Box<PCon>),
+    Guarded(Box<PCon>, Box<PCon>, Box<PCon>),
+    Lam(PSym, PKind, Box<PCon>),
+    App(Box<PCon>, Box<PCon>),
+    Name(String),
+    Record(Box<PCon>),
+    RowNil(PKind),
+    RowOne(Box<PCon>, Box<PCon>),
+    RowCat(Box<PCon>, Box<PCon>),
+    Map(PKind, PKind),
+    Folder(PKind),
+    Pair(Box<PCon>, Box<PCon>),
+    Fst(Box<PCon>),
+    Snd(Box<PCon>),
+}
+
+/// Portable mirror of [`Lit`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PLit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Unit,
+}
+
+/// Portable mirror of [`Expr`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PExpr {
+    Var(PSym),
+    Lit(PLit),
+    App(Box<PExpr>, Box<PExpr>),
+    Lam(PSym, PCon, Box<PExpr>),
+    CApp(Box<PExpr>, PCon),
+    CLam(PSym, PKind, Box<PExpr>),
+    RecNil,
+    RecOne(PCon, Box<PExpr>),
+    RecCat(Box<PExpr>, Box<PExpr>),
+    Proj(Box<PExpr>, PCon),
+    Cut(Box<PExpr>, PCon),
+    DLam(PCon, PCon, Box<PExpr>),
+    DApp(Box<PExpr>),
+    Let(PSym, PCon, Box<PExpr>, Box<PExpr>),
+    If(Box<PExpr>, Box<PExpr>, Box<PExpr>),
+}
+
+/// Portable constructor binding: one `cons` entry of an [`Env`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PConBind {
+    pub sym: PSym,
+    pub kind: PKind,
+    pub def: Option<PCon>,
+}
+
+/// Portable snapshot of an [`Env`]'s semantic content (constructor
+/// bindings, value typings, disjointness facts). Entries are sorted by
+/// sym id so a snapshot is deterministic regardless of `HashMap` order.
+#[derive(Clone, Debug, Default)]
+pub struct PEnv {
+    pub cons: Vec<PConBind>,
+    pub vals: Vec<(PSym, PCon)>,
+    pub facts: Vec<(PCon, PCon)>,
+}
+
+// Compile-time proof that the portable mirrors actually cross threads.
+const _: () = {
+    const fn is_send<T: Send>() {}
+    is_send::<PSym>();
+    is_send::<PKind>();
+    is_send::<PCon>();
+    is_send::<PExpr>();
+    is_send::<PConBind>();
+    is_send::<PEnv>();
+};
+
+/// Captures a [`Sym`] as a portable value.
+pub fn export_sym(s: &Sym) -> PSym {
+    PSym {
+        name: s.name().to_string(),
+        id: s.id(),
+    }
+}
+
+/// Captures a [`Kind`] as a portable value.
+pub fn export_kind(k: &Kind) -> PKind {
+    match k {
+        Kind::Type => PKind::Type,
+        Kind::Name => PKind::Name,
+        Kind::Arrow(a, b) => PKind::Arrow(Box::new(export_kind(a)), Box::new(export_kind(b))),
+        Kind::Row(k) => PKind::Row(Box::new(export_kind(k))),
+        Kind::Pair(a, b) => PKind::Pair(Box::new(export_kind(a)), Box::new(export_kind(b))),
+        Kind::Meta(KMetaId(n)) => PKind::Meta(*n),
+    }
+}
+
+/// Captures a [`Con`] as a portable value.
+pub fn export_con(c: &Con) -> PCon {
+    match c {
+        Con::Var(s) => PCon::Var(export_sym(s)),
+        Con::Meta(MetaId(n)) => PCon::Meta(*n),
+        Con::Prim(p) => PCon::Prim(*p),
+        Con::Arrow(a, b) => PCon::Arrow(Box::new(export_con(a)), Box::new(export_con(b))),
+        Con::Poly(s, k, t) => {
+            PCon::Poly(export_sym(s), export_kind(k), Box::new(export_con(t)))
+        }
+        Con::Guarded(c1, c2, t) => PCon::Guarded(
+            Box::new(export_con(c1)),
+            Box::new(export_con(c2)),
+            Box::new(export_con(t)),
+        ),
+        Con::Lam(s, k, b) => PCon::Lam(export_sym(s), export_kind(k), Box::new(export_con(b))),
+        Con::App(f, a) => PCon::App(Box::new(export_con(f)), Box::new(export_con(a))),
+        Con::Name(n) => PCon::Name(n.to_string()),
+        Con::Record(r) => PCon::Record(Box::new(export_con(r))),
+        Con::RowNil(k) => PCon::RowNil(export_kind(k)),
+        Con::RowOne(n, v) => PCon::RowOne(Box::new(export_con(n)), Box::new(export_con(v))),
+        Con::RowCat(a, b) => PCon::RowCat(Box::new(export_con(a)), Box::new(export_con(b))),
+        Con::Map(k1, k2) => PCon::Map(export_kind(k1), export_kind(k2)),
+        Con::Folder(k) => PCon::Folder(export_kind(k)),
+        Con::Pair(a, b) => PCon::Pair(Box::new(export_con(a)), Box::new(export_con(b))),
+        Con::Fst(c) => PCon::Fst(Box::new(export_con(c))),
+        Con::Snd(c) => PCon::Snd(Box::new(export_con(c))),
+    }
+}
+
+/// Captures an [`Expr`] as a portable value.
+pub fn export_expr(e: &Expr) -> PExpr {
+    match e {
+        Expr::Var(s) => PExpr::Var(export_sym(s)),
+        Expr::Lit(l) => PExpr::Lit(match l {
+            Lit::Int(n) => PLit::Int(*n),
+            Lit::Float(x) => PLit::Float(*x),
+            Lit::Str(s) => PLit::Str(s.to_string()),
+            Lit::Bool(b) => PLit::Bool(*b),
+            Lit::Unit => PLit::Unit,
+        }),
+        Expr::App(f, a) => PExpr::App(Box::new(export_expr(f)), Box::new(export_expr(a))),
+        Expr::Lam(x, t, b) => {
+            PExpr::Lam(export_sym(x), export_con(t), Box::new(export_expr(b)))
+        }
+        Expr::CApp(e, c) => PExpr::CApp(Box::new(export_expr(e)), export_con(c)),
+        Expr::CLam(a, k, b) => {
+            PExpr::CLam(export_sym(a), export_kind(k), Box::new(export_expr(b)))
+        }
+        Expr::RecNil => PExpr::RecNil,
+        Expr::RecOne(n, e) => PExpr::RecOne(export_con(n), Box::new(export_expr(e))),
+        Expr::RecCat(a, b) => PExpr::RecCat(Box::new(export_expr(a)), Box::new(export_expr(b))),
+        Expr::Proj(e, c) => PExpr::Proj(Box::new(export_expr(e)), export_con(c)),
+        Expr::Cut(e, c) => PExpr::Cut(Box::new(export_expr(e)), export_con(c)),
+        Expr::DLam(c1, c2, b) => {
+            PExpr::DLam(export_con(c1), export_con(c2), Box::new(export_expr(b)))
+        }
+        Expr::DApp(e) => PExpr::DApp(Box::new(export_expr(e))),
+        Expr::Let(x, t, bound, body) => PExpr::Let(
+            export_sym(x),
+            export_con(t),
+            Box::new(export_expr(bound)),
+            Box::new(export_expr(body)),
+        ),
+        Expr::If(c, t, e) => PExpr::If(
+            Box::new(export_expr(c)),
+            Box::new(export_expr(t)),
+            Box::new(export_expr(e)),
+        ),
+    }
+}
+
+/// Captures an [`Env`]'s semantic content as a portable snapshot, with
+/// entries sorted by sym id for determinism.
+pub fn export_env(env: &Env) -> PEnv {
+    let mut cons: Vec<PConBind> = env
+        .cons()
+        .map(|(s, b)| PConBind {
+            sym: export_sym(s),
+            kind: export_kind(&b.kind),
+            def: b.def.as_deref().map(export_con),
+        })
+        .collect();
+    cons.sort_by_key(|b| b.sym.id);
+    let mut vals: Vec<(PSym, PCon)> = env
+        .vals()
+        .map(|(s, t)| (export_sym(s), export_con(t)))
+        .collect();
+    vals.sort_by_key(|(s, _)| s.id);
+    let facts = env
+        .facts()
+        .iter()
+        .map(|(c1, c2)| (export_con(c1), export_con(c2)))
+        .collect();
+    PEnv { cons, vals, facts }
+}
+
+/// Rebuilds native terms from portable mirrors on the current thread,
+/// re-interning constructors through the thread-local table.
+///
+/// One importer caches one rebuilt [`Sym`] per id, so everything imported
+/// through it shares symbol instances; since `Sym` equality is id-only
+/// this is an optimization, not a correctness requirement — but it keeps
+/// `Rc<str>` allocations from multiplying.
+#[derive(Default)]
+pub struct Importer {
+    syms: HashMap<u32, Sym>,
+}
+
+impl Importer {
+    pub fn new() -> Importer {
+        Importer::default()
+    }
+
+    /// Rebuilds a symbol, preserving its global id.
+    pub fn sym(&mut self, p: &PSym) -> Sym {
+        self.syms
+            .entry(p.id)
+            .or_insert_with(|| Sym::from_raw(p.name.as_str(), p.id))
+            .clone()
+    }
+
+    /// Rebuilds a kind.
+    pub fn kind(&mut self, p: &PKind) -> Kind {
+        match p {
+            PKind::Type => Kind::Type,
+            PKind::Name => Kind::Name,
+            PKind::Arrow(a, b) => Kind::arrow(self.kind(a), self.kind(b)),
+            PKind::Row(k) => Kind::row(self.kind(k)),
+            PKind::Pair(a, b) => Kind::pair(self.kind(a), self.kind(b)),
+            PKind::Meta(n) => Kind::Meta(KMetaId(*n)),
+        }
+    }
+
+    /// Rebuilds a constructor through the smart constructors, interning
+    /// it into this thread's table.
+    pub fn con(&mut self, p: &PCon) -> RCon {
+        match p {
+            PCon::Var(s) => {
+                let s = self.sym(s);
+                Con::var(&s)
+            }
+            PCon::Meta(n) => Con::meta(MetaId(*n)),
+            PCon::Prim(t) => Con::prim(*t),
+            PCon::Arrow(a, b) => Con::arrow(self.con(a), self.con(b)),
+            PCon::Poly(s, k, t) => {
+                let s = self.sym(s);
+                let k = self.kind(k);
+                Con::poly(s, k, self.con(t))
+            }
+            PCon::Guarded(c1, c2, t) => Con::guarded(self.con(c1), self.con(c2), self.con(t)),
+            PCon::Lam(s, k, b) => {
+                let s = self.sym(s);
+                let k = self.kind(k);
+                Con::lam(s, k, self.con(b))
+            }
+            PCon::App(f, a) => Con::app(self.con(f), self.con(a)),
+            PCon::Name(n) => Con::name(n.as_str()),
+            PCon::Record(r) => Con::record(self.con(r)),
+            PCon::RowNil(k) => Con::row_nil(self.kind(k)),
+            PCon::RowOne(n, v) => Con::row_one(self.con(n), self.con(v)),
+            PCon::RowCat(a, b) => Con::row_cat(self.con(a), self.con(b)),
+            PCon::Map(k1, k2) => Con::map_c(self.kind(k1), self.kind(k2)),
+            PCon::Folder(k) => Con::folder(self.kind(k)),
+            PCon::Pair(a, b) => Con::pair(self.con(a), self.con(b)),
+            PCon::Fst(c) => Con::fst(self.con(c)),
+            PCon::Snd(c) => Con::snd(self.con(c)),
+        }
+    }
+
+    /// Rebuilds an expression.
+    pub fn expr(&mut self, p: &PExpr) -> RExpr {
+        match p {
+            PExpr::Var(s) => {
+                let s = self.sym(s);
+                Expr::var(&s)
+            }
+            PExpr::Lit(l) => Expr::lit(match l {
+                PLit::Int(n) => Lit::Int(*n),
+                PLit::Float(x) => Lit::Float(*x),
+                PLit::Str(s) => Lit::Str(s.as_str().into()),
+                PLit::Bool(b) => Lit::Bool(*b),
+                PLit::Unit => Lit::Unit,
+            }),
+            PExpr::App(f, a) => Expr::app(self.expr(f), self.expr(a)),
+            PExpr::Lam(x, t, b) => {
+                let x = self.sym(x);
+                let t = self.con(t);
+                Expr::lam(x, t, self.expr(b))
+            }
+            PExpr::CApp(e, c) => {
+                let e = self.expr(e);
+                Expr::capp(e, self.con(c))
+            }
+            PExpr::CLam(a, k, b) => {
+                let a = self.sym(a);
+                let k = self.kind(k);
+                Expr::clam(a, k, self.expr(b))
+            }
+            PExpr::RecNil => Expr::rec_nil(),
+            PExpr::RecOne(n, e) => {
+                let n = self.con(n);
+                Expr::rec_one(n, self.expr(e))
+            }
+            PExpr::RecCat(a, b) => Expr::rec_cat(self.expr(a), self.expr(b)),
+            PExpr::Proj(e, c) => {
+                let e = self.expr(e);
+                Expr::proj(e, self.con(c))
+            }
+            PExpr::Cut(e, c) => {
+                let e = self.expr(e);
+                Expr::cut(e, self.con(c))
+            }
+            PExpr::DLam(c1, c2, b) => {
+                let c1 = self.con(c1);
+                let c2 = self.con(c2);
+                Expr::dlam(c1, c2, self.expr(b))
+            }
+            PExpr::DApp(e) => Expr::dapp(self.expr(e)),
+            PExpr::Let(x, t, bound, body) => {
+                let x = self.sym(x);
+                let t = self.con(t);
+                let bound = self.expr(bound);
+                Expr::let_(x, t, bound, self.expr(body))
+            }
+            PExpr::If(c, t, e) => {
+                let c = self.expr(c);
+                let t = self.expr(t);
+                Expr::if_(c, t, self.expr(e))
+            }
+        }
+    }
+
+    /// Rebuilds an environment snapshot into a fresh [`Env`].
+    pub fn env(&mut self, p: &PEnv) -> Env {
+        let mut env = Env::new();
+        for b in &p.cons {
+            let sym = self.sym(&b.sym);
+            let kind = self.kind(&b.kind);
+            match &b.def {
+                Some(def) => {
+                    let def = self.con(def);
+                    env.define_con(sym, kind, def);
+                }
+                None => env.bind_con(sym, kind),
+            }
+        }
+        for (s, t) in &p.vals {
+            let sym = self.sym(s);
+            let t = self.con(t);
+            env.bind_val(sym, t);
+        }
+        for (c1, c2) in &p.facts {
+            let c1 = self.con(c1);
+            let c2 = self.con(c2);
+            env.assume_disjoint(c1, c2);
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_con() -> RCon {
+        let a = Sym::fresh("a");
+        let row = Con::row_cat(
+            Con::row_one(Con::name("X"), Con::int()),
+            Con::row_one(Con::name("Y"), Con::var(&a)),
+        );
+        Con::poly(
+            a.clone(),
+            Kind::Type,
+            Con::guarded(
+                Con::row_one(Con::name("X"), Con::int()),
+                Con::var(&a),
+                Con::arrow(Con::record(row), Con::string()),
+            ),
+        )
+    }
+
+    #[test]
+    fn con_round_trip_is_identity() {
+        let c = sample_con();
+        let p = export_con(&c);
+        let mut imp = Importer::new();
+        let back = imp.con(&p);
+        // Same thread + same sym ids + hash-consing => pointer equality.
+        assert!(std::rc::Rc::ptr_eq(&c, &back));
+    }
+
+    #[test]
+    fn importer_caches_syms_by_id() {
+        let s = Sym::fresh("x");
+        let p = export_sym(&s);
+        let mut imp = Importer::new();
+        let s1 = imp.sym(&p);
+        let s2 = imp.sym(&p);
+        assert_eq!(s1, s);
+        assert_eq!(s1.id(), s.id());
+        assert_eq!(s1.name(), "x");
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn expr_round_trip_preserves_structure() {
+        let x = Sym::fresh("x");
+        let e = Expr::lam(
+            x.clone(),
+            Con::int(),
+            Expr::if_(
+                Expr::lit(Lit::Bool(true)),
+                Expr::var(&x),
+                Expr::lit(Lit::Int(3)),
+            ),
+        );
+        let p = export_expr(&e);
+        let mut imp = Importer::new();
+        let back = imp.expr(&p);
+        assert_eq!(*e, *back);
+    }
+
+    #[test]
+    fn env_round_trip_preserves_bindings_and_facts() {
+        let mut env = Env::new();
+        let a = Sym::fresh("a");
+        let x = Sym::fresh("x");
+        env.bind_con(a.clone(), Kind::row(Kind::Type));
+        env.define_con(Sym::fresh("t"), Kind::Type, Con::int());
+        env.bind_val(x.clone(), Con::record(Con::var(&a)));
+        env.assume_disjoint(Con::name("A"), Con::var(&a));
+
+        let p = export_env(&env);
+        let mut imp = Importer::new();
+        let back = imp.env(&p);
+
+        let b = back.lookup_con(&a).expect("con binding survives");
+        assert_eq!(b.kind, Kind::row(Kind::Type));
+        let t = back.lookup_val(&x).expect("val binding survives");
+        assert!(std::rc::Rc::ptr_eq(t, env.lookup_val(&x).expect("orig")));
+        assert_eq!(back.facts().len(), 1);
+    }
+
+    #[test]
+    fn export_env_is_deterministically_ordered() {
+        let mut env = Env::new();
+        for i in 0..32 {
+            env.bind_con(Sym::fresh(format!("c{i}")), Kind::Type);
+            env.bind_val(Sym::fresh(format!("v{i}")), Con::int());
+        }
+        let a = export_env(&env);
+        let b = export_env(&env);
+        assert_eq!(a.cons, b.cons);
+        assert_eq!(a.vals, b.vals);
+        let mut ids: Vec<u32> = a.cons.iter().map(|c| c.sym.id).collect();
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(ids, sorted);
+        ids = a.vals.iter().map(|(s, _)| s.id).collect();
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn cross_thread_round_trip() {
+        // The real use: export on one thread, rebuild on another, ship the
+        // portable form back, and confirm the original thread re-interns
+        // it to the identical hash-consed node.
+        let c = sample_con();
+        let p = export_con(&c);
+        let handle = std::thread::spawn(move || {
+            let mut imp = Importer::new();
+            let rebuilt = imp.con(&p);
+            export_con(&rebuilt)
+        });
+        let p2 = handle.join().expect("worker thread");
+        let mut imp = Importer::new();
+        let back = imp.con(&p2);
+        assert!(std::rc::Rc::ptr_eq(&c, &back));
+    }
+}

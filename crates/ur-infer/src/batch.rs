@@ -1,0 +1,897 @@
+//! Parallel dependency-aware batch elaboration.
+//!
+//! The elaborator's per-declaration judgments are independent once
+//! cross-declaration references are known, so a batch of top-level
+//! declarations can be fanned out to worker threads:
+//!
+//! 1. **Dependency graph** ([`DepGraph::build`]): a binder-aware free-name
+//!    pass over the surface AST. Declaration `i` depends on *every*
+//!    earlier declaration that binds one of `i`'s free names — all of
+//!    them, not just the latest, because sequential error recovery falls
+//!    back to the previous binder when the latest one failed to
+//!    elaborate, and the parallel result must be identical.
+//! 2. **Scheduler** ([`run_parallel`]): a Kahn-style topological scheduler
+//!    dispatches ready declarations (lowest source index first) to a
+//!    fixed pool of `std::thread` workers. Each worker owns its own
+//!    thread-local intern table and memo caches; per task it rebuilds a
+//!    snapshot of the base environment plus the transitive dependency
+//!    closure's outcomes, shipped as portable terms ([`ur_core::transfer`])
+//!    and re-interned locally.
+//! 3. **Deterministic merge**: the coordinator installs results in source
+//!    order — never completion order — re-interning each worker's
+//!    declarations into its own table, folding worker `Stats` and
+//!    lifetime fuel in with saturating arithmetic, and span-sorting the
+//!    combined diagnostics.
+//!
+//! Determinism guarantee: for any thread count, `elab_program_all_threads`
+//! produces the same declarations (up to fresh symbol ids), the same
+//! span-sorted diagnostics, and the same error recovery as the
+//! sequential `elab_program_all`. Three invariants carry the proof:
+//! every declaration starts on a fresh fuel budget in both modes; each
+//! worker task sees exactly the environment its dependency closure
+//! induces, installed in source index order; and metavariable numerals in
+//! diagnostic messages are canonicalized by first appearance (allocation
+//! order is the one schedule-dependent artifact; see
+//! `error::canon_meta_numerals`).
+//!
+//! Graphs built from source are acyclic by construction (edges only point
+//! to earlier declarations), but the scheduler is defensive: a cyclic
+//! graph (constructible through [`DepGraph::from_edges`]) is rejected up
+//! front with one E0700 diagnostic per cycle member instead of
+//! deadlocking.
+
+use crate::elab::{binop_name, sort_diags, ElabDecl, Elaborator, Entry};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::mpsc;
+use std::sync::Arc;
+use ur_core::con::RCon;
+use ur_core::kind::Kind;
+use ur_core::limits::{Fuel, Limits};
+use ur_core::stats::Stats;
+use ur_core::sym::Sym;
+use ur_core::transfer::{
+    export_con, export_env, export_expr, export_kind, export_sym, Importer, PCon, PConBind, PEnv,
+    PExpr, PKind, PSym,
+};
+use ur_core::LawConfig;
+use ur_syntax::ast::{Program, SCon, SDecl, SExpr, SParam};
+use ur_syntax::{Code, Diagnostic, Diagnostics};
+
+/// Stack size for worker threads: matches the parser's dedicated thread
+/// (deep elaboration recursion is fuel-bounded but still wants headroom).
+const WORKER_STACK: usize = 16 * 1024 * 1024;
+
+/// The default worker count: the `UR_TEST_THREADS` environment variable
+/// when set (how CI pins both test runs), otherwise the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("UR_TEST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------- free names ----------------
+
+/// Binder-aware free-name collector over the surface AST.
+///
+/// Names are resolved textually, exactly like the elaborator's scope
+/// lookup: a name is free if no enclosing binder (constructor lambda,
+/// `fn` parameter, `let` declaration, ...) introduces it. Field-name
+/// positions (`{A = e}`, row literals, projections) count conservatively
+/// as references — the elaborator resolves them to constructor variables
+/// when one is in scope, so a same-named earlier declaration *is* a real
+/// dependency.
+#[derive(Default)]
+struct FreeNames {
+    bound: Vec<String>,
+    free: BTreeSet<String>,
+}
+
+impl FreeNames {
+    fn refer(&mut self, name: &str) {
+        if !self.bound.iter().any(|b| b == name) {
+            self.free.insert(name.to_string());
+        }
+    }
+
+    fn scon(&mut self, c: &SCon) {
+        match c {
+            SCon::Var(_, x) => self.refer(x),
+            SCon::Name(_, _) | SCon::Wild(_) => {}
+            SCon::Record(_, c) | SCon::Fst(_, c) | SCon::Snd(_, c) => self.scon(c),
+            SCon::RowLit(_, entries) => {
+                for (n, v) in entries {
+                    self.scon(n);
+                    if let Some(v) = v {
+                        self.scon(v);
+                    }
+                }
+            }
+            SCon::RecordType(_, fields) => {
+                for (n, t) in fields {
+                    self.scon(n);
+                    self.scon(t);
+                }
+            }
+            SCon::Cat(_, a, b) | SCon::App(_, a, b) | SCon::Arrow(_, a, b) | SCon::Pair(_, a, b) => {
+                self.scon(a);
+                self.scon(b);
+            }
+            SCon::Lam(_, x, _, body) | SCon::Poly(_, x, _, body) => {
+                self.bound.push(x.clone());
+                self.scon(body);
+                self.bound.pop();
+            }
+            SCon::Guarded(_, c1, c2, t) => {
+                self.scon(c1);
+                self.scon(c2);
+                self.scon(t);
+            }
+        }
+    }
+
+    /// Walks `fn`/`fun` parameters, pushing their binders; returns how
+    /// many names were pushed so the caller can pop them after the body.
+    fn params(&mut self, params: &[SParam]) -> usize {
+        let mut pushed = 0;
+        for p in params {
+            match p {
+                SParam::CParam(x, _) => {
+                    self.bound.push(x.clone());
+                    pushed += 1;
+                }
+                SParam::DParam(c1, c2) => {
+                    self.scon(c1);
+                    self.scon(c2);
+                }
+                SParam::VParam(x, t) => {
+                    if let Some(t) = t {
+                        self.scon(t);
+                    }
+                    self.bound.push(x.clone());
+                    pushed += 1;
+                }
+            }
+        }
+        pushed
+    }
+
+    fn sexpr(&mut self, e: &SExpr) {
+        match e {
+            SExpr::Var(_, x) => self.refer(x),
+            SExpr::Lit(_, _) => {}
+            SExpr::App(_, f, a) | SExpr::Cat(_, f, a) => {
+                self.sexpr(f);
+                self.sexpr(a);
+            }
+            SExpr::CApp(_, e, c) => {
+                self.sexpr(e);
+                self.scon(c);
+            }
+            SExpr::Bang(_, e) | SExpr::Explicit(_, e) => self.sexpr(e),
+            SExpr::Fn(_, params, body) => {
+                let pushed = self.params(params);
+                self.sexpr(body);
+                for _ in 0..pushed {
+                    self.bound.pop();
+                }
+            }
+            SExpr::Record(_, fields) => {
+                for (n, e) in fields {
+                    self.scon(n);
+                    self.sexpr(e);
+                }
+            }
+            SExpr::Proj(_, e, c) | SExpr::Cut(_, e, c) => {
+                self.sexpr(e);
+                self.scon(c);
+            }
+            SExpr::BinOp(_, op, l, r) => {
+                // Operators lower to prelude functions (`+` -> `add`, ...):
+                // reference the lowered name so a shadowing declaration is
+                // a dependency.
+                if let Some(name) = binop_name(op) {
+                    self.refer(name);
+                }
+                self.sexpr(l);
+                self.sexpr(r);
+            }
+            SExpr::Let(_, decls, body) => {
+                let mut pushed = 0;
+                for d in decls {
+                    self.sdecl_refs(d);
+                    self.bound.push(d.name().to_string());
+                    pushed += 1;
+                }
+                self.sexpr(body);
+                for _ in 0..pushed {
+                    self.bound.pop();
+                }
+            }
+            SExpr::If(_, c, t, e) => {
+                self.sexpr(c);
+                self.sexpr(t);
+                self.sexpr(e);
+            }
+            SExpr::Ann(_, e, t) => {
+                self.sexpr(e);
+                self.scon(t);
+            }
+        }
+    }
+
+    /// References made by a declaration's right-hand side (its own name is
+    /// *not* bound: `fun` is non-recursive sugar for `val f = fn ...`).
+    fn sdecl_refs(&mut self, d: &SDecl) {
+        match d {
+            SDecl::ConAbs(_, _, _) => {}
+            SDecl::ConDef(_, _, _, c) => self.scon(c),
+            SDecl::ValAbs(_, _, t) => self.scon(t),
+            SDecl::Val(_, _, ann, e) => {
+                if let Some(t) = ann {
+                    self.scon(t);
+                }
+                self.sexpr(e);
+            }
+            SDecl::Fun(_, _, params, ann, e) => {
+                let pushed = self.params(params);
+                if let Some(t) = ann {
+                    self.scon(t);
+                }
+                self.sexpr(e);
+                for _ in 0..pushed {
+                    self.bound.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Free names of a declaration's right-hand side, sorted.
+fn decl_free_names(d: &SDecl) -> BTreeSet<String> {
+    let mut fv = FreeNames::default();
+    fv.sdecl_refs(d);
+    fv.free
+}
+
+// ---------------- dependency graph ----------------
+
+/// Declaration-level dependency graph for one batch.
+///
+/// `deps[i]` holds the indices `i` depends on; `dependents[i]` the
+/// reverse edges. Both are sorted ascending.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    deps: Vec<Vec<usize>>,
+    dependents: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Builds the graph by name resolution over the batch: declaration
+    /// `i` gets an edge to every earlier declaration binding one of `i`'s
+    /// free names (see the module docs for why *every*, not just the
+    /// latest). Forward references get no edge — the referencing
+    /// declaration elaborates against the base environment and fails with
+    /// the same "unbound" error as in sequential mode.
+    pub fn build(decls: &[SDecl]) -> DepGraph {
+        let n = decls.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut binders: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, d) in decls.iter().enumerate() {
+            let mut my_deps: BTreeSet<usize> = BTreeSet::new();
+            for name in decl_free_names(d) {
+                if let Some(ix) = binders.get(name.as_str()) {
+                    my_deps.extend(ix.iter().copied());
+                }
+            }
+            for &j in &my_deps {
+                dependents[j].push(i);
+            }
+            deps[i] = my_deps.into_iter().collect();
+            binders.entry(d.name()).or_default().push(i);
+        }
+        DepGraph { deps, dependents }
+    }
+
+    /// Builds a graph from explicit `(dependent, dependency)` edges; used
+    /// by tests to exercise shapes (including cycles) that name
+    /// resolution over source can never produce. Out-of-range and
+    /// self-referential edges are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> DepGraph {
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for &(i, j) in edges {
+            if i < n && j < n && i != j {
+                deps[i].insert(j);
+            }
+        }
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ds) in deps.iter().enumerate() {
+            for &j in ds {
+                dependents[j].push(i);
+            }
+        }
+        DepGraph {
+            deps: deps.into_iter().map(|s| s.into_iter().collect()).collect(),
+            dependents,
+        }
+    }
+
+    /// Number of declarations in the batch.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Direct dependencies of declaration `i` (sorted ascending).
+    pub fn deps(&self, i: usize) -> &[usize] {
+        self.deps.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Direct dependents of declaration `i` (sorted ascending).
+    pub fn dependents(&self, i: usize) -> &[usize] {
+        self.dependents.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Kahn's algorithm with a lowest-index-first ready set. `Ok` is a
+    /// topological order; `Err` is the sorted set of declarations caught
+    /// in (or downstream of) a dependency cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>, Vec<usize>> {
+        let n = self.len();
+        let mut indegree: Vec<usize> = self.deps.iter().map(Vec::len).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut scheduled = vec![false; n];
+        while let Some(&i) = ready.iter().next() {
+            ready.remove(&i);
+            scheduled[i] = true;
+            order.push(i);
+            for &d in &self.dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.insert(d);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err((0..n).filter(|&i| !scheduled[i]).collect())
+        }
+    }
+
+    /// Transitive dependency closures, one sorted vector per declaration.
+    /// Requires an acyclic graph (pass a [`Self::topo_order`] result).
+    fn closures(&self, topo: &[usize]) -> Vec<Vec<usize>> {
+        let mut closures: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.len()];
+        for &i in topo {
+            let mut cl = BTreeSet::new();
+            for &j in &self.deps[i] {
+                cl.insert(j);
+                cl.extend(closures[j].iter().copied());
+            }
+            closures[i] = cl;
+        }
+        closures
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect()
+    }
+}
+
+/// One E0700 diagnostic per declaration caught in a dependency cycle.
+pub fn cycle_diagnostics(prog: &Program, cycle: &[usize]) -> Diagnostics {
+    let names: Vec<&str> = cycle
+        .iter()
+        .filter_map(|&i| prog.decls.get(i).map(SDecl::name))
+        .collect();
+    let ring = names.join(", ");
+    let mut diags: Diagnostics = cycle
+        .iter()
+        .filter_map(|&i| prog.decls.get(i))
+        .map(|d| {
+            Diagnostic::new(
+                d.span(),
+                Code::DependencyCycle,
+                format!("declaration dependency cycle involving {}", d.name()),
+            )
+            .with_note(format!("cycle members: {ring}"))
+        })
+        .collect();
+    sort_diags(&mut diags);
+    diags
+}
+
+// ---------------- portable task/result payloads ----------------
+
+/// Portable scope entry (mirror of `elab::Entry`).
+#[derive(Clone, Debug)]
+enum PEntry {
+    CVar(PSym),
+    Val(PSym),
+}
+
+/// Portable mirror of [`ElabDecl`].
+#[derive(Clone, Debug)]
+enum PElabDecl {
+    Con {
+        name: String,
+        sym: PSym,
+        kind: PKind,
+        def: Option<PCon>,
+    },
+    Val {
+        name: String,
+        sym: PSym,
+        ty: PCon,
+        body: Option<PExpr>,
+    },
+}
+
+fn export_decl(d: &ElabDecl) -> PElabDecl {
+    match d {
+        ElabDecl::Con { name, sym, kind, def } => PElabDecl::Con {
+            name: name.clone(),
+            sym: export_sym(sym),
+            kind: export_kind(kind),
+            def: def.as_deref().map(export_con),
+        },
+        ElabDecl::Val { name, sym, ty, body } => PElabDecl::Val {
+            name: name.clone(),
+            sym: export_sym(sym),
+            ty: export_con(ty),
+            body: body.as_deref().map(export_expr),
+        },
+    }
+}
+
+fn import_decl(imp: &mut Importer, p: &PElabDecl) -> ElabDecl {
+    match p {
+        PElabDecl::Con { name, sym, kind, def } => ElabDecl::Con {
+            name: name.clone(),
+            sym: imp.sym(sym),
+            kind: imp.kind(kind),
+            def: def.as_ref().map(|c| imp.con(c)),
+        },
+        PElabDecl::Val { name, sym, ty, body } => ElabDecl::Val {
+            name: name.clone(),
+            sym: imp.sym(sym),
+            ty: imp.con(ty),
+            body: body.as_ref().map(|e| imp.expr(e)),
+        },
+    }
+}
+
+/// Everything a declaration's elaboration persistently contributed: the
+/// declaration itself (absent when it failed) plus any `let`-local `con`
+/// definitions it recorded into the global environment as a side effect.
+#[derive(Clone, Debug, Default)]
+struct POutcome {
+    decl: Option<PElabDecl>,
+    extra_cons: Vec<PConBind>,
+}
+
+/// Read-only batch context shared by all workers.
+struct BaseSnapshot {
+    env: PEnv,
+    scope: Vec<(String, PEntry)>,
+    laws: LawConfig,
+    limits: Limits,
+    memo_enabled: bool,
+}
+
+struct Task {
+    idx: usize,
+    decl: SDecl,
+    /// Transitive dependency closure, ascending source order.
+    closure: Vec<usize>,
+    /// Closure outcomes this worker has not seen yet.
+    new_outcomes: Vec<(usize, POutcome)>,
+}
+
+struct TaskResult {
+    idx: usize,
+    worker: usize,
+    outcome: POutcome,
+    diag: Option<Diagnostic>,
+    stats: Stats,
+    lifetime_steps: u64,
+}
+
+/// Worker-local imported form of a dependency outcome.
+struct LocalOutcome {
+    decl: Option<ElabDecl>,
+    extra_cons: Vec<(Sym, Kind, Option<RCon>)>,
+}
+
+fn import_outcome(imp: &mut Importer, p: &POutcome) -> LocalOutcome {
+    LocalOutcome {
+        decl: p.decl.as_ref().map(|d| import_decl(imp, d)),
+        extra_cons: p
+            .extra_cons
+            .iter()
+            .map(|b| {
+                let def = b.def.as_ref().map(|c| imp.con(c));
+                (imp.sym(&b.sym), imp.kind(&b.kind), def)
+            })
+            .collect(),
+    }
+}
+
+/// Installs one dependency outcome into an elaborator: extra `con`
+/// bindings first (the declaration's type may mention their symbols),
+/// then the declaration itself.
+fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
+    for (sym, kind, def) in &o.extra_cons {
+        match def {
+            Some(c) => el.genv.define_con(sym.clone(), kind.clone(), c.clone()),
+            None => el.genv.bind_con(sym.clone(), kind.clone()),
+        }
+    }
+    if let Some(d) = &o.decl {
+        el.install_elab_decl(d.clone());
+    }
+}
+
+// ---------------- worker ----------------
+
+fn worker_main(
+    wid: usize,
+    base: &BaseSnapshot,
+    rx: &mpsc::Receiver<Task>,
+    tx: &mpsc::Sender<TaskResult>,
+) {
+    let mut el = Elaborator::new();
+    el.cx.laws = base.laws;
+    el.cx.fuel = Fuel::new(base.limits);
+    el.cx.memo.enabled = base.memo_enabled;
+
+    let mut imp = Importer::new();
+    let base_env = imp.env(&base.env);
+    let base_scope: Vec<(String, Entry)> = base
+        .scope
+        .iter()
+        .map(|(n, e)| {
+            let entry = match e {
+                PEntry::CVar(s) => Entry::CVar(imp.sym(s)),
+                PEntry::Val(s) => Entry::Val(imp.sym(s)),
+            };
+            (n.clone(), entry)
+        })
+        .collect();
+
+    let mut cache: HashMap<usize, LocalOutcome> = HashMap::new();
+    let mut prev_stats = el.cx.stats.clone();
+    let mut prev_lifetime = el.cx.fuel.lifetime_norm_steps();
+
+    while let Ok(task) = rx.recv() {
+        for (j, po) in &task.new_outcomes {
+            cache.insert(*j, import_outcome(&mut imp, po));
+        }
+
+        // Fresh per-task state: the base snapshot plus exactly the
+        // dependency closure, installed in source index order. Never
+        // accumulated across tasks — a stale extra binding would corrupt
+        // shadowing resolution.
+        el.genv = base_env.clone();
+        el.scope.clear();
+        el.scope.push(base_scope.clone());
+        el.decls.clear();
+        for j in &task.closure {
+            if let Some(o) = cache.get(j) {
+                install_outcome(&mut el, o);
+            }
+        }
+
+        let before: HashSet<u32> = el.genv.cons().map(|(s, _)| s.id()).collect();
+        let start = el.decls.len();
+        let diag = el.elab_decl_recover(&task.decl);
+        let decl = el.decls.get(start).cloned();
+
+        let own_con = match &decl {
+            Some(ElabDecl::Con { sym, .. }) => Some(sym.id()),
+            _ => None,
+        };
+        let mut extra: Vec<(Sym, Kind, Option<RCon>)> = el
+            .genv
+            .cons()
+            .filter(|(s, _)| !before.contains(&s.id()) && Some(s.id()) != own_con)
+            .map(|(s, b)| (s.clone(), b.kind.clone(), b.def.clone()))
+            .collect();
+        extra.sort_by_key(|(s, _, _)| s.id());
+        let extra_cons: Vec<PConBind> = extra
+            .iter()
+            .map(|(s, k, d)| PConBind {
+                sym: export_sym(s),
+                kind: export_kind(k),
+                def: d.as_deref().map(export_con),
+            })
+            .collect();
+
+        let stats = el.cx.stats.since(&prev_stats);
+        prev_stats = el.cx.stats.clone();
+        let lifetime = el.cx.fuel.lifetime_norm_steps();
+        let lifetime_steps = lifetime.saturating_sub(prev_lifetime);
+        prev_lifetime = lifetime;
+
+        let sent = tx.send(TaskResult {
+            idx: task.idx,
+            worker: wid,
+            outcome: POutcome {
+                decl: decl.as_ref().map(export_decl),
+                extra_cons,
+            },
+            diag,
+            stats,
+            lifetime_steps,
+        });
+        if sent.is_err() {
+            // Coordinator is gone; nothing left to do.
+            return;
+        }
+    }
+}
+
+// ---------------- coordinator ----------------
+
+/// Runs a parsed batch on `threads` workers using the graph built from
+/// source. Called by `Elaborator::elab_program_all_threads`.
+pub(crate) fn run_parallel(
+    elab: &mut Elaborator,
+    prog: &Program,
+    threads: usize,
+) -> (Vec<ElabDecl>, Diagnostics) {
+    let graph = DepGraph::build(&prog.decls);
+    elab_program_all_with_graph(elab, prog, threads, &graph)
+}
+
+/// Runs a parsed batch on `threads` workers against an explicit
+/// dependency graph. Public so tests can exercise graph shapes (cycles,
+/// extra edges) that name resolution never produces; the graph must have
+/// one node per declaration or the batch falls back to sequential
+/// elaboration.
+pub fn elab_program_all_with_graph(
+    elab: &mut Elaborator,
+    prog: &Program,
+    threads: usize,
+    graph: &DepGraph,
+) -> (Vec<ElabDecl>, Diagnostics) {
+    let n = prog.decls.len();
+    if graph.len() != n || threads <= 1 || n < 2 {
+        return elab.elab_program_all(prog);
+    }
+    let topo = match graph.topo_order() {
+        Ok(t) => t,
+        Err(cycle) => {
+            // Reject the whole batch: a cycle means there is no valid
+            // elaboration order to be deterministic against.
+            return (Vec::new(), cycle_diagnostics(prog, &cycle));
+        }
+    };
+    let closures = graph.closures(&topo);
+
+    let base = Arc::new(BaseSnapshot {
+        env: export_env(&elab.genv),
+        scope: elab
+            .scope
+            .first()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|(n, e)| {
+                        let entry = match e {
+                            Entry::CVar(s) => PEntry::CVar(export_sym(s)),
+                            Entry::Val(s) => PEntry::Val(export_sym(s)),
+                        };
+                        (n.clone(), entry)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default(),
+        laws: elab.cx.laws,
+        limits: elab.cx.fuel.limits,
+        memo_enabled: elab.cx.memo.enabled,
+    });
+
+    // Spawn the pool. Spawn failures just shrink it; with zero workers we
+    // fall back to the sequential path below (every outcome missing).
+    let pool = threads.min(n);
+    let (res_tx, res_rx) = mpsc::channel::<TaskResult>();
+    let mut task_txs: Vec<Option<mpsc::Sender<Task>>> = Vec::with_capacity(pool);
+    let mut handles = Vec::with_capacity(pool);
+    for wid in 0..pool {
+        let (tx, rx) = mpsc::channel::<Task>();
+        let base = Arc::clone(&base);
+        let res_tx = res_tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("ur-elab-{wid}"))
+            .stack_size(WORKER_STACK)
+            .spawn(move || worker_main(wid, &base, &rx, &res_tx));
+        match spawned {
+            Ok(h) => {
+                task_txs.push(Some(tx));
+                handles.push(h);
+            }
+            Err(_) => break,
+        }
+    }
+    drop(res_tx);
+    let workers = task_txs.len();
+
+    // Kahn-style dispatch: ready declarations go out lowest-index-first;
+    // each worker remembers which outcomes it has been sent so dependency
+    // payloads ship at most once per worker.
+    let mut indegree: Vec<usize> = (0..n).map(|i| graph.deps(i).len()).collect();
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut idle: Vec<usize> = (0..workers).rev().collect();
+    let mut sent: Vec<HashSet<usize>> = vec![HashSet::new(); workers];
+    let mut shipped: Vec<Option<POutcome>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<TaskResult>> = (0..n).map(|_| None).collect();
+    let mut in_flight = 0usize;
+    let mut completed = 0usize;
+
+    loop {
+        while let (Some(&i), true) = (ready.iter().next(), !idle.is_empty()) {
+            let Some(wid) = idle.pop() else { break };
+            ready.remove(&i);
+            let new_outcomes: Vec<(usize, POutcome)> = closures[i]
+                .iter()
+                .filter(|j| !sent[wid].contains(j))
+                .filter_map(|j| shipped[*j].clone().map(|o| (*j, o)))
+                .collect();
+            sent[wid].extend(new_outcomes.iter().map(|(j, _)| *j));
+            let task = Task {
+                idx: i,
+                decl: prog.decls[i].clone(),
+                closure: closures[i].clone(),
+                new_outcomes,
+            };
+            let alive = task_txs
+                .get(wid)
+                .and_then(Option::as_ref)
+                .is_some_and(|tx| tx.send(task).is_ok());
+            if alive {
+                in_flight += 1;
+            } else {
+                // Worker died: retire it and put the task back.
+                if let Some(slot) = task_txs.get_mut(wid) {
+                    *slot = None;
+                }
+                ready.insert(i);
+            }
+        }
+        if completed == n || in_flight == 0 {
+            break;
+        }
+        match res_rx.recv() {
+            Ok(res) => {
+                in_flight -= 1;
+                completed += 1;
+                idle.push(res.worker);
+                let i = res.idx;
+                shipped[i] = Some(res.outcome.clone());
+                results[i] = Some(res);
+                for &d in graph.dependents(i) {
+                    indegree[d] = indegree[d].saturating_sub(1);
+                    if indegree[d] == 0 {
+                        ready.insert(d);
+                    }
+                }
+            }
+            // All workers gone; the merge loop below elaborates whatever
+            // is missing sequentially.
+            Err(_) => break,
+        }
+    }
+    drop(task_txs);
+    for h in handles {
+        let _ = h.join();
+    }
+
+    // Deterministic merge, in source order regardless of completion
+    // order. Missing outcomes (dead worker, failed spawn) are elaborated
+    // sequentially right here, at their source position, which reproduces
+    // sequential semantics exactly.
+    let start = elab.decls.len();
+    let mut imp = Importer::new();
+    let mut diags = Diagnostics::new();
+    let mut par_decls = 0u64;
+    for (i, d) in prog.decls.iter().enumerate() {
+        match results[i].take() {
+            Some(res) => {
+                let local = import_outcome(&mut imp, &res.outcome);
+                install_outcome(elab, &local);
+                if let Some(diag) = res.diag {
+                    diags.push(diag);
+                }
+                elab.cx.stats.absorb(&res.stats);
+                elab.cx.fuel.absorb_lifetime(res.lifetime_steps);
+                par_decls += 1;
+            }
+            None => {
+                if let Some(diag) = elab.elab_decl_recover(d) {
+                    diags.push(diag);
+                }
+            }
+        }
+    }
+    elab.cx.stats.par_batches = elab.cx.stats.par_batches.saturating_add(1);
+    elab.cx.stats.par_decls = elab.cx.stats.par_decls.saturating_add(par_decls);
+    elab.cx.stats.par_workers = elab.cx.stats.par_workers.saturating_add(workers as u64);
+    sort_diags(&mut diags);
+    (elab.decls[start..].to_vec(), diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        ur_syntax::parse_program(src).expect("test source parses")
+    }
+
+    #[test]
+    fn graph_tracks_value_dependencies() {
+        let prog = parse("val a = 1\nval b = a\nval c = b + a");
+        let g = DepGraph::build(&prog.decls);
+        assert_eq!(g.deps(0), &[] as &[usize]);
+        assert_eq!(g.deps(1), &[0]);
+        assert_eq!(g.deps(2), &[0, 1]);
+        assert_eq!(g.dependents(0), &[1, 2]);
+    }
+
+    #[test]
+    fn independent_decls_share_no_edges() {
+        let prog = parse("val a = 1\nval b = 2\nval c = 3");
+        let g = DepGraph::build(&prog.decls);
+        for i in 0..3 {
+            assert!(g.deps(i).is_empty());
+            assert!(g.dependents(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn binders_inside_lambdas_do_not_leak() {
+        // `x` is fn-bound; only `one` is a real dependency.
+        let prog = parse("val one = 1\nval f = fn x => x + one");
+        let g = DepGraph::build(&prog.decls);
+        assert_eq!(g.deps(1), &[0]);
+    }
+
+    #[test]
+    fn binop_references_lowered_prelude_names() {
+        // `+` lowers to `add`; an in-batch shadow of `add` must become a
+        // dependency of every later use of `+`.
+        let prog = parse("val add = 0\nval s = 1 + 2");
+        let g = DepGraph::build(&prog.decls);
+        assert_eq!(g.deps(1), &[0]);
+    }
+
+    #[test]
+    fn topo_order_is_lowest_index_first() {
+        let g = DepGraph::from_edges(4, &[(3, 0), (2, 0)]);
+        assert_eq!(g.topo_order(), Ok(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn closures_are_transitive() {
+        let prog = parse("val a = 1\nval b = a\nval c = b");
+        let g = DepGraph::build(&prog.decls);
+        let topo = g.topo_order().expect("acyclic");
+        let cl = g.closures(&topo);
+        assert_eq!(cl[2], vec![0, 1], "c's closure includes a through b");
+    }
+
+    #[test]
+    fn cycle_is_reported_not_scheduled() {
+        let g = DepGraph::from_edges(3, &[(0, 1), (1, 0)]);
+        let cycle = g.topo_order().expect_err("cyclic");
+        assert_eq!(cycle, vec![0, 1], "node 2 is acyclic and schedulable");
+    }
+}

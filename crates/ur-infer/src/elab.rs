@@ -64,7 +64,7 @@ impl ElabDecl {
 }
 
 #[derive(Clone)]
-enum Entry {
+pub(crate) enum Entry {
     CVar(Sym),
     Val(Sym),
 }
@@ -97,7 +97,7 @@ pub struct Elaborator {
     pub genv: Env,
     /// Metavariables and Figure-5 statistics.
     pub cx: Cx,
-    scope: Vec<Vec<(String, Entry)>>,
+    pub(crate) scope: Vec<Vec<(String, Entry)>>,
     constraints: Vec<Pending>,
     holes: Vec<Hole>,
     /// All declarations elaborated so far, in order.
@@ -148,6 +148,11 @@ impl Elaborator {
     pub fn elab_program(&mut self, prog: &Program) -> EResult<Vec<ElabDecl>> {
         let start = self.decls.len();
         for d in &prog.decls {
+            // Per-declaration budget: resource outcomes must not depend on
+            // how much fuel earlier declarations happened to burn, so the
+            // sequential path matches the parallel scheduler (where every
+            // worker task starts on a fresh budget).
+            self.cx.fuel.reset();
             if let Err(e) = self.elab_top_decl(d) {
                 self.reset_transient();
                 self.cx.fuel.reset();
@@ -178,7 +183,9 @@ impl Elaborator {
     }
 
     /// Elaborates a parsed program, collecting every diagnostic (see
-    /// [`elab_source_all`](Self::elab_source_all)).
+    /// [`elab_source_all`](Self::elab_source_all)). Diagnostics come back
+    /// sorted by source span, so multi-error output is stable no matter
+    /// what order the declarations were actually elaborated in.
     pub fn elab_program_all(
         &mut self,
         prog: &Program,
@@ -186,26 +193,100 @@ impl Elaborator {
         let start = self.decls.len();
         let mut diags = ur_syntax::Diagnostics::new();
         for d in &prog.decls {
-            match self.elab_top_decl(d) {
-                Ok(()) => {
-                    if let Some(kind) = self.cx.fuel.exhausted() {
-                        self.reset_transient();
-                        diags.push(self.resource_error(d.span(), kind).into());
-                    }
-                }
-                Err(e) => {
-                    self.reset_transient();
-                    self.cx.fuel.reset();
-                    diags.push(e.into());
-                }
+            if let Some(diag) = self.elab_decl_recover(d) {
+                diags.push(diag);
             }
         }
+        sort_diags(&mut diags);
         (self.decls[start..].to_vec(), diags)
+    }
+
+    /// Parses and elaborates a whole program on `threads` worker threads
+    /// (see [`crate::batch`]), collecting every diagnostic. Produces
+    /// results identical to [`elab_source_all`](Self::elab_source_all):
+    /// same declarations, same span-sorted diagnostics, same error
+    /// recovery. `threads <= 1` simply runs the sequential path.
+    pub fn elab_source_all_threads(
+        &mut self,
+        src: &str,
+        threads: usize,
+    ) -> (Vec<ElabDecl>, ur_syntax::Diagnostics) {
+        match ur_syntax::parse_program(src) {
+            Err(e) => (Vec::new(), vec![e.into()]),
+            Ok(prog) => self.elab_program_all_threads(&prog, threads),
+        }
+    }
+
+    /// Elaborates a parsed program on `threads` worker threads (see
+    /// [`crate::batch`]); `threads <= 1` runs sequentially.
+    pub fn elab_program_all_threads(
+        &mut self,
+        prog: &Program,
+        threads: usize,
+    ) -> (Vec<ElabDecl>, ur_syntax::Diagnostics) {
+        if threads <= 1 || prog.decls.len() < 2 {
+            self.elab_program_all(prog)
+        } else {
+            crate::batch::run_parallel(self, prog, threads)
+        }
+    }
+
+    /// Elaborates one top-level declaration with error recovery: on
+    /// failure the declaration's transient state (queued constraints,
+    /// folder holes) is discarded, the fuel is reset, and the error is
+    /// returned as a diagnostic; the elaborator stays usable either way.
+    ///
+    /// Every declaration starts on a fresh fuel budget (the lifetime
+    /// counter is preserved), so resource outcomes are independent of
+    /// elaboration order — the invariant the parallel scheduler's
+    /// determinism guarantee rests on.
+    pub(crate) fn elab_decl_recover(&mut self, d: &SDecl) -> Option<ur_syntax::Diagnostic> {
+        self.cx.fuel.reset();
+        match self.elab_top_decl(d) {
+            Ok(()) => {
+                if let Some(kind) = self.cx.fuel.exhausted() {
+                    self.reset_transient();
+                    Some(self.resource_error(d.span(), kind).into())
+                } else {
+                    None
+                }
+            }
+            Err(e) => {
+                self.reset_transient();
+                self.cx.fuel.reset();
+                Some(e.into())
+            }
+        }
+    }
+
+    /// Installs an already-elaborated declaration (produced by a worker
+    /// thread and re-interned locally): records its global binding, its
+    /// scope entry, and the declaration itself, exactly as
+    /// [`elab_top_decl`](Self::elab_top_decl) would have.
+    pub(crate) fn install_elab_decl(&mut self, d: ElabDecl) {
+        match &d {
+            ElabDecl::Con { name, sym, kind, def } => {
+                match def {
+                    Some(c) => self.genv.define_con(sym.clone(), kind.clone(), c.clone()),
+                    None => self.genv.bind_con(sym.clone(), kind.clone()),
+                }
+                let name = name.clone();
+                let sym = sym.clone();
+                self.bind_scope(&name, Entry::CVar(sym));
+            }
+            ElabDecl::Val { name, sym, ty, .. } => {
+                self.genv.bind_val(sym.clone(), ty.clone());
+                let name = name.clone();
+                let sym = sym.clone();
+                self.bind_scope(&name, Entry::Val(sym));
+            }
+        }
+        self.decls.push(d);
     }
 
     /// Discards constraints and folder holes left behind by a failed
     /// declaration, so the session stays usable.
-    fn reset_transient(&mut self) {
+    pub(crate) fn reset_transient(&mut self) {
         self.constraints.clear();
         self.holes.clear();
         self.scope.truncate(1);
@@ -269,7 +350,7 @@ impl Elaborator {
         self.scope.pop();
     }
 
-    fn bind_scope(&mut self, name: &str, e: Entry) {
+    pub(crate) fn bind_scope(&mut self, name: &str, e: Entry) {
         // The stack is never empty in practice (a root frame is installed
         // at construction and `reset_transient` keeps it), but re-install
         // it rather than panic if a recovery path ever drops it.
@@ -1605,7 +1686,7 @@ impl Elaborator {
 
     // ---------------- declarations ----------------
 
-    fn elab_top_decl(&mut self, d: &SDecl) -> EResult<()> {
+    pub(crate) fn elab_top_decl(&mut self, d: &SDecl) -> EResult<()> {
         match d {
             SDecl::ConAbs(_, name, k) => {
                 let kind = self.elab_kind(k);
@@ -1724,7 +1805,7 @@ impl Elaborator {
 
     /// Builds the E0900 diagnostic for an exhausted budget and resets the
     /// fuel so the session stays usable.
-    fn resource_error(&mut self, span: Span, kind: ur_core::ResourceKind) -> ElabError {
+    pub(crate) fn resource_error(&mut self, span: Span, kind: ur_core::ResourceKind) -> ElabError {
         let used = match kind {
             ur_core::ResourceKind::NormSteps => {
                 format!("{} normalization steps used", self.cx.fuel.norm_steps_used())
@@ -1910,7 +1991,15 @@ fn param_desc(p: &SParam) -> String {
     }
 }
 
-fn binop_name(op: &str) -> Option<&'static str> {
+/// Sorts a diagnostic batch by source span. `sort_by_key` is stable, so
+/// diagnostics sharing a span keep their declaration order — the same
+/// final order whether the batch was produced sequentially or merged from
+/// parallel workers.
+pub(crate) fn sort_diags(diags: &mut ur_syntax::Diagnostics) {
+    diags.sort_by_key(|d| d.span);
+}
+
+pub(crate) fn binop_name(op: &str) -> Option<&'static str> {
     Some(match op {
         "+" => "add",
         "-" => "sub",

@@ -58,6 +58,60 @@ fn classify(message: &str) -> Code {
     }
 }
 
+/// Renumbers metavariable numerals (`?3`, `?k17`) in a message by first
+/// appearance, so the same error renders identically regardless of how
+/// many metavariables the context happened to allocate earlier.
+///
+/// Metavariable indices are per-`MetaCx` allocation order, which depends
+/// on elaboration *schedule* — the one piece of diagnostic text that
+/// would otherwise differ between sequential and parallel runs of the
+/// same program. Everything else in a message (symbols display by name
+/// only, types are zonked) is schedule-independent.
+pub(crate) fn canon_meta_numerals(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    let mut con_ids: Vec<String> = Vec::new();
+    let mut kind_ids: Vec<String> = Vec::new();
+    let bytes = msg.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'?' {
+            let mut j = i + 1;
+            let is_kind = bytes.get(j) == Some(&b'k')
+                && bytes.get(j + 1).is_some_and(u8::is_ascii_digit);
+            if is_kind {
+                j += 1;
+            }
+            let digits_start = j;
+            while bytes.get(j).is_some_and(u8::is_ascii_digit) {
+                j += 1;
+            }
+            if j > digits_start {
+                let numeral = &msg[digits_start..j];
+                let ids = if is_kind { &mut kind_ids } else { &mut con_ids };
+                let canon = match ids.iter().position(|n| n == numeral) {
+                    Some(p) => p,
+                    None => {
+                        ids.push(numeral.to_string());
+                        ids.len() - 1
+                    }
+                };
+                out.push('?');
+                if is_kind {
+                    out.push('k');
+                }
+                out.push_str(&canon.to_string());
+                i = j;
+                continue;
+            }
+        }
+        // Advance over one whole UTF-8 scalar, not one byte.
+        let ch_len = msg[i..].chars().next().map_or(1, char::len_utf8);
+        out.push_str(&msg[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
 impl fmt::Display for ElabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "error at {}: {}", self.span, self.message)
@@ -69,7 +123,7 @@ impl std::error::Error for ElabError {}
 impl From<ElabError> for Diagnostic {
     fn from(e: ElabError) -> Self {
         let code = e.code();
-        Diagnostic::new(e.span, code, e.message)
+        Diagnostic::new(e.span, code, canon_meta_numerals(&e.message))
     }
 }
 
@@ -114,5 +168,29 @@ mod tests {
             ElabError::new(Span { line: 1, col: 2 }, "unbound variable y").into();
         assert_eq!(d.code, Code::Unbound);
         assert!(d.to_string().contains("1:2"));
+    }
+
+    #[test]
+    fn meta_numerals_canonicalize_by_first_appearance() {
+        assert_eq!(
+            canon_meta_numerals("unsolved constraint: ?17 = ?5 -> ?17"),
+            "unsolved constraint: ?0 = ?1 -> ?0"
+        );
+        // Kind metas get their own counter; already-canonical text is a
+        // fixed point.
+        assert_eq!(
+            canon_meta_numerals("?k9 vs ?9 vs ?k9"),
+            "?k0 vs ?0 vs ?k0"
+        );
+        assert_eq!(canon_meta_numerals("?0 = ?1"), "?0 = ?1");
+        // A bare '?' (no digits) passes through untouched.
+        assert_eq!(canon_meta_numerals("what? nothing"), "what? nothing");
+    }
+
+    #[test]
+    fn diagnostic_conversion_canonicalizes_metas() {
+        let d: Diagnostic =
+            ElabError::new(Span::default(), "could not infer ?42").into();
+        assert_eq!(d.message, "could not infer ?0");
     }
 }

@@ -33,10 +33,12 @@
 //! assert!(elab.cx.stats.disjoint_prover_calls > 0);
 //! ```
 
+pub mod batch;
 pub mod elab;
 pub mod error;
 pub mod unify;
 
+pub use batch::{default_threads, DepGraph};
 pub use elab::{ElabDecl, Elaborator};
 pub use error::{ElabError, EResult};
 pub use unify::{unify, unify_kind, Unify};

@@ -10,7 +10,11 @@
 use std::fmt;
 
 /// A source position (1-based line and column).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+///
+/// The derived ordering is lexicographic on `(line, col)` — source order —
+/// which multi-error elaboration uses to sort diagnostic batches
+/// deterministically regardless of elaboration schedule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
 pub struct Span {
     pub line: u32,
     pub col: u32,

@@ -13,6 +13,7 @@
 //! | E04xx  | type checking / unification             |
 //! | E05xx  | disjointness constraints                |
 //! | E06xx  | evaluation / runtime substrate          |
+//! | E07xx  | batch scheduling (dependency graph)     |
 //! | E09xx  | resource exhaustion (fuel limits)       |
 
 use crate::ast::Span;
@@ -41,6 +42,9 @@ pub enum Code {
     Disjoint,
     /// E0600: evaluation error.
     Eval,
+    /// E0700: the declaration dependency graph contains a cycle, so the
+    /// batch scheduler cannot order the involved declarations.
+    DependencyCycle,
     /// E0900: a resource limit was exhausted during inference.
     ResourceExhausted,
     /// E0999: uncategorized.
@@ -60,6 +64,7 @@ impl Code {
             Code::Unresolved => "E0402",
             Code::Disjoint => "E0500",
             Code::Eval => "E0600",
+            Code::DependencyCycle => "E0700",
             Code::ResourceExhausted => "E0900",
             Code::Other => "E0999",
         }

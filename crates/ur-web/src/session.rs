@@ -67,6 +67,12 @@ pub struct Session {
     pub elab: Elaborator,
     /// Runtime world: database and debug output.
     pub world: World,
+    /// Worker threads for batch elaboration ([`Session::run_all`]).
+    /// Defaults to [`ur_infer::default_threads`] (the `UR_TEST_THREADS`
+    /// environment variable when set, else the machine's available
+    /// parallelism); `<= 1` elaborates sequentially. Evaluation always
+    /// runs on the calling thread in source order.
+    pub threads: usize,
     builtins: HashMap<Sym, Rc<Builtin>>,
     top: VEnv,
     by_name: HashMap<String, Sym>,
@@ -103,6 +109,7 @@ impl Session {
         Ok(Session {
             elab,
             world: World::new(),
+            threads: ur_infer::default_threads(),
             builtins: map,
             top: VEnv::new(),
             by_name,
@@ -147,7 +154,7 @@ impl Session {
         &mut self,
         src: &str,
     ) -> (Vec<(String, Value)>, ur_syntax::Diagnostics) {
-        let (decls, mut diags) = self.elab.elab_source_all(src);
+        let (decls, mut diags) = self.elab.elab_source_all_threads(src, self.threads);
         let mut out = Vec::new();
         for d in &decls {
             if let ElabDecl::Val {

@@ -13,6 +13,8 @@
 //!   --type NAME        print the inferred type of value NAME
 //!   --eval EXPR        evaluate EXPR after loading the files
 //!   --sql-log          print the SQL statements the program issued
+//!   --jobs N           elaborate on N worker threads (default: available
+//!                      parallelism; 1 = sequential)
 //!   --no-identity      disable the map-identity law   (ablation)
 //!   --no-distrib       disable map-distributivity     (ablation)
 //!   --no-fusion        disable map-fusion             (ablation)
@@ -31,6 +33,7 @@ struct Options {
     types: Vec<String>,
     evals: Vec<String>,
     sql_log: bool,
+    jobs: Option<usize>,
     no_identity: bool,
     no_distrib: bool,
     no_fusion: bool,
@@ -38,7 +41,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: urc [--print] [--stats] [--core NAME] [--type NAME] [--eval EXPR]\n\
-     \x20          [--sql-log] [--no-identity] [--no-distrib] [--no-fusion] FILE...\n\
+     \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib]\n\
+     \x20          [--no-fusion] FILE...\n\
      Elaborates and runs Ur source files against the Ur/Web standard library."
 }
 
@@ -51,6 +55,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         types: Vec::new(),
         evals: Vec::new(),
         sql_log: false,
+        jobs: None,
         no_identity: false,
         no_distrib: false,
         no_fusion: false,
@@ -73,6 +78,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--eval" => opts
                 .evals
                 .push(args.next().ok_or("--eval needs an expression")?),
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a thread count: {v}"))?;
+                opts.jobs = Some(n.max(1));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}\n{}", usage()))
             }
@@ -87,6 +99,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
 
 fn run(opts: &Options) -> Result<(), String> {
     let mut sess = Session::new().map_err(|e| e.to_string())?;
+    if let Some(jobs) = opts.jobs {
+        sess.threads = jobs;
+    }
     sess.elab.cx.laws.identity = !opts.no_identity;
     sess.elab.cx.laws.distrib = !opts.no_distrib;
     sess.elab.cx.laws.fusion = !opts.no_fusion;

@@ -351,8 +351,8 @@ fn repeated_wide_disjoint_queries_are_stable() {
 fn studies_elaborate_identically_cached_and_uncached() {
     let mut total_cached = ur::core::stats::Stats::new();
     for s in ur::studies::studies() {
-        let cached = run_study_with_memo(&s, true);
-        let uncached = run_study_with_memo(&s, false);
+        let cached = run_study_with_memo(&s, true, 1);
+        let uncached = run_study_with_memo(&s, false, 1);
         assert_eq!(
             cached.0, uncached.0,
             "study {} must produce identical usage values",
@@ -370,28 +370,69 @@ fn studies_elaborate_identically_cached_and_uncached() {
     assert!(total_cached.disjoint_memo_hits > 0, "{total_cached}");
 }
 
+/// Memo transparency must survive the parallel scheduler: each worker
+/// owns its *own* (initially cold) memo tables, so hit patterns differ
+/// completely from the sequential warm-table run — while every
+/// observable result stays identical.
+#[test]
+fn studies_elaborate_identically_cached_and_uncached_in_parallel() {
+    for s in ur::studies::studies() {
+        let sequential = run_study_with_memo(&s, true, 1);
+        for threads in [2, 4] {
+            let cached = run_study_with_memo(&s, true, threads);
+            let uncached = run_study_with_memo(&s, false, threads);
+            assert_eq!(
+                cached.0, uncached.0,
+                "study {} values diverge cached/uncached at {threads} threads",
+                s.id
+            );
+            assert_eq!(
+                cached.1, uncached.1,
+                "study {} types diverge cached/uncached at {threads} threads",
+                s.id
+            );
+            assert_eq!(
+                sequential.0, cached.0,
+                "study {} values diverge sequential/parallel",
+                s.id
+            );
+            assert_eq!(
+                sequential.1, cached.1,
+                "study {} types diverge sequential/parallel",
+                s.id
+            );
+        }
+    }
+}
+
 /// Runs a study (dependencies, implementation, usage demo) in a fresh
-/// session with the memo tables forced on or off. Returns the usage
-/// values, the pretty-printed types of all elaborated declarations, and
-/// the session's final stats.
+/// session with the memo tables forced on or off and the given
+/// elaboration thread count. Returns the usage values, the
+/// pretty-printed types of all elaborated declarations, and the
+/// session's final stats.
 fn run_study_with_memo(
     s: &ur::studies::Study,
     enabled: bool,
+    threads: usize,
 ) -> (Vec<(String, String)>, Vec<String>, ur::core::stats::Stats) {
+    fn load(sess: &mut ur::Session, src: &str, what: &str) -> Vec<(String, ur::Value)> {
+        let (vals, diags) = sess.run_all(src);
+        assert!(diags.is_empty(), "{what} must load cleanly: {diags:?}");
+        vals
+    }
     fn load_deps(sess: &mut ur::Session, s: &ur::studies::Study) {
         for dep in s.deps {
             let d = ur::studies::study(dep);
             load_deps(sess, &d);
-            sess.run(d.implementation()).expect("dep must load");
+            load(sess, d.implementation(), d.id);
         }
     }
     let mut sess = ur::Session::new().expect("session");
     sess.elab.cx.memo.enabled = enabled;
+    sess.threads = threads;
     load_deps(&mut sess, s);
-    sess.run(s.implementation()).expect("impl must elaborate");
-    let values: Vec<(String, String)> = sess
-        .run(s.usage)
-        .expect("usage must run")
+    load(&mut sess, s.implementation(), s.id);
+    let values: Vec<(String, String)> = load(&mut sess, s.usage, "usage")
         .into_iter()
         .map(|(n, v)| (n, v.to_string()))
         .collect();

@@ -1,0 +1,365 @@
+//! Sequential-vs-parallel differential suite for batch elaboration.
+//!
+//! The parallel scheduler (`ur_infer::batch`) promises *bit-identical
+//! observable results* at any thread count: the same declarations (up to
+//! fresh symbol ids), the same span-sorted diagnostics, and the same
+//! error recovery as the sequential path. This suite pins that promise
+//! down on three corpora:
+//!
+//! 1. the §6 case studies (the Figure-5 suite), elaborated and run
+//!    end-to-end;
+//! 2. the adversarial corpus from `tests/adversarial.rs` — multi-error
+//!    programs, hostile shapes, unbound names, shadowing-with-failure;
+//! 3. randomly generated batches, under random permutation and sharding
+//!    (deterministic [`ur_testutil::Rng`], fixed seeds).
+//!
+//! Thread counts 1, 2, and 8 are compared pairwise; 1 routes through the
+//! sequential path, so equality at 2 and 8 *is* the differential oracle.
+
+use ur::infer::Diagnostics;
+use ur::Session;
+use ur_testutil::Rng;
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+/// Erases gensym counters (`foo#123` -> `foo#`) so runs that draw
+/// different fresh-symbol numbers from the process-global counter compare
+/// structurally.
+fn strip_sym_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '#' {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        }
+    }
+    out
+}
+
+/// Elaborates `src` in a fresh session (prelude installed) at the given
+/// thread count, without evaluating. Returns the normalized debug form
+/// of every newly elaborated declaration plus the diagnostics.
+fn elab_at(src: &str, threads: usize) -> (Vec<String>, Diagnostics) {
+    let mut sess = Session::new().expect("session");
+    let (decls, diags) = sess.elab.elab_source_all_threads(src, threads);
+    let decls = decls
+        .iter()
+        .map(|d| strip_sym_ids(&format!("{d:?}")))
+        .collect();
+    (decls, diags)
+}
+
+/// Elaborates *and evaluates* `src` at the given thread count, returning
+/// printed values and diagnostics.
+fn run_at(src: &str, threads: usize) -> (Vec<(String, String)>, Diagnostics) {
+    let mut sess = Session::new().expect("session");
+    sess.threads = threads;
+    let (vals, diags) = sess.run_all(src);
+    let vals = vals.into_iter().map(|(n, v)| (n, v.to_string())).collect();
+    (vals, diags)
+}
+
+fn assert_span_sorted(diags: &Diagnostics, ctx: &str) {
+    for w in diags.windows(2) {
+        assert!(
+            w[0].span <= w[1].span,
+            "{ctx}: diagnostics not span-sorted: {} before {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// The differential oracle: elaborate at every thread count and require
+/// identical declarations and identical, span-sorted diagnostics.
+fn assert_identical_across_threads(src: &str, ctx: &str) {
+    let (base_decls, base_diags) = elab_at(src, THREADS[0]);
+    assert_span_sorted(&base_diags, ctx);
+    for &t in &THREADS[1..] {
+        let (decls, diags) = elab_at(src, t);
+        assert_eq!(base_decls, decls, "{ctx}: decls diverge at {t} threads");
+        assert_eq!(base_diags, diags, "{ctx}: diags diverge at {t} threads");
+        assert_span_sorted(&diags, ctx);
+    }
+}
+
+/// One combined source for a study: all transitive dependency
+/// implementations (depth-first, deduplicated), then the study's own
+/// implementation, then its usage demo.
+fn combined_study_source(s: &ur::studies::Study) -> String {
+    fn push(out: &mut Vec<&'static str>, s: &ur::studies::Study) {
+        for dep in s.deps {
+            push(out, &ur::studies::study(dep));
+        }
+        let impl_src = s.implementation();
+        if !out.contains(&impl_src) {
+            out.push(impl_src);
+        }
+    }
+    let mut parts = Vec::new();
+    push(&mut parts, s);
+    parts.push(s.usage);
+    parts.join("\n")
+}
+
+// ---------------------------------------------------------------------
+// 1. Case studies
+// ---------------------------------------------------------------------
+
+#[test]
+fn case_studies_elaborate_identically_across_thread_counts() {
+    for s in ur::studies::studies() {
+        let src = combined_study_source(&s);
+        let (decls, diags) = elab_at(&src, 1);
+        assert!(
+            diags.is_empty(),
+            "study {} must be clean sequentially: {:?}",
+            s.id,
+            diags
+        );
+        assert!(!decls.is_empty(), "study {} elaborates nothing", s.id);
+        assert_identical_across_threads(&src, s.id);
+    }
+}
+
+#[test]
+fn case_studies_run_identically_across_thread_counts() {
+    for s in ur::studies::studies() {
+        let src = combined_study_source(&s);
+        let (base_vals, base_diags) = run_at(&src, 1);
+        assert!(base_diags.is_empty(), "study {}: {:?}", s.id, base_diags);
+        for &t in &THREADS[1..] {
+            let (vals, diags) = run_at(&src, t);
+            assert_eq!(base_vals, vals, "study {} values diverge at {t}", s.id);
+            assert_eq!(base_diags, diags, "study {} diags diverge at {t}", s.id);
+        }
+    }
+}
+
+#[test]
+fn combined_figure5_batch_is_schedule_independent() {
+    // The whole suite in one batch — the benchmark workload — must also
+    // agree across thread counts.
+    let mut parts: Vec<&'static str> = Vec::new();
+    for s in ur::studies::studies() {
+        let impl_src = s.implementation();
+        if !parts.contains(&impl_src) {
+            parts.push(impl_src);
+        }
+    }
+    let src = parts.join("\n");
+    assert_identical_across_threads(&src, "combined figure-5 batch");
+}
+
+// ---------------------------------------------------------------------
+// 2. Adversarial corpus
+// ---------------------------------------------------------------------
+
+/// Hostile inputs drawn from `tests/adversarial.rs`: every entry must
+/// yield identical outcomes at every thread count — including the ones
+/// whose whole point is to fail.
+const ADVERSARIAL: &[(&str, &str)] = &[
+    (
+        "multi-error",
+        "val a : int = \"not an int\"\nval b = missingVariable\nval c : string = 42\nval good = 7",
+    ),
+    ("unbound", "val x = definitelyNotDefined"),
+    ("self-application", "val omega = fn x => x x"),
+    (
+        "bad-disjointness",
+        "val r = {A = 1} ++ {A = 2}\nval ok = 3",
+    ),
+    (
+        "shadow-then-use",
+        "val x = 1\nval x = \"two\"\nval y = x",
+    ),
+    (
+        "failed-shadow-falls-back",
+        "val x = 1\nval x = missingName\nval y = x",
+    ),
+    (
+        "forward-reference",
+        "val a = laterName\nval laterName = 2\nval b = laterName",
+    ),
+    (
+        "type-shadowing",
+        "con t :: Type = int\ncon t :: Type = string\nval v : t = \"s\"",
+    ),
+    (
+        "mixed-good-bad",
+        "val one = 1\nval bad : string = one\nval two = one + one",
+    ),
+    ("dup-field-concat", "val u = {A = 1, A = 2} ++ {A = 3}"),
+    ("both-sides-missing", "val v = missing ++ alsoMissing"),
+    ("kind-error", "con k :: Type = #A #B #C\nval after = 1"),
+    ("unterminated-string", "val s = \"unterminated"),
+    ("trailing-parens", "val x = ((("),
+    ("missing-binder", "val = 3\nval ok = 4"),
+    (
+        "wide-independent-with-errors",
+        "val a = 1\nval b = a + missing1\nval c = 2\nval d = c + missing2\nval e = a + c",
+    ),
+    (
+        "let-local-con-escapes",
+        "val y = let con t = int val v : t = 5 in v end\nval z = y + 1",
+    ),
+];
+
+#[test]
+fn adversarial_corpus_is_schedule_independent() {
+    for (name, src) in ADVERSARIAL {
+        assert_identical_across_threads(src, name);
+    }
+}
+
+#[test]
+fn multi_error_diagnostics_are_complete_and_span_sorted_at_any_thread_count() {
+    let src =
+        "val a : int = \"not an int\"\nval b = missingVariable\nval c : string = 42\nval good = 7";
+    for &t in THREADS {
+        let (decls, diags) = elab_at(src, t);
+        assert_eq!(diags.len(), 3, "at {t} threads: {diags:?}");
+        assert_eq!(decls.len(), 1, "only `good` elaborates at {t} threads");
+        assert_span_sorted(&diags, "multi-error");
+        let lines: Vec<u32> = diags.iter().map(|d| d.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 3], "at {t} threads");
+    }
+}
+
+#[test]
+fn error_recovery_falls_back_to_earlier_binder_at_any_thread_count() {
+    // The second `x` fails, so `y` must see the *first* `x` — the
+    // sequential recovery rule the dependency graph encodes by drawing
+    // edges to every earlier binder, not just the latest.
+    let src = "val x = 1\nval x = missingName\nval y = x + 1";
+    let (base_vals, base_diags) = run_at(src, 1);
+    assert_eq!(base_diags.len(), 1);
+    assert!(
+        base_vals.iter().any(|(n, v)| n == "y" && v == "2"),
+        "sequential run must compute y = 2: {base_vals:?}"
+    );
+    for &t in &THREADS[1..] {
+        let (vals, diags) = run_at(src, t);
+        assert_eq!(base_vals, vals, "at {t} threads");
+        assert_eq!(base_diags, diags, "at {t} threads");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Random permutations and shards
+// ---------------------------------------------------------------------
+
+/// A pool of independent well-formed declaration groups; any subset in
+/// any order is a valid program.
+fn gen_groups(rng: &mut Rng, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| match rng.below(5) {
+            0 => format!("val int{i} = {}", rng.range_i64(0, 1000)),
+            1 => format!(
+                "val rec{i} = {{A{i} = {}, B{i} = \"s{i}\"}}",
+                rng.range_i64(0, 100)
+            ),
+            2 => format!(
+                "con ty{i} :: Type = int\nval use{i} : ty{i} = {}",
+                rng.range_i64(0, 50)
+            ),
+            3 => format!(
+                "fun f{i} [t :: Type] (x : t) = x\nval app{i} = f{i} {}",
+                rng.range_i64(0, 9)
+            ),
+            _ => format!("val sum{i} = {} + {}", rng.below(100), rng.below(100)),
+        })
+        .collect()
+}
+
+fn shuffle<T>(rng: &mut Rng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn random_permuted_batches_are_schedule_independent() {
+    let mut rng = Rng::new(0xba7c_5eed);
+    for round in 0..6 {
+        let mut groups = gen_groups(&mut rng, 12);
+        shuffle(&mut rng, &mut groups);
+        let src = groups.join("\n");
+        assert_identical_across_threads(&src, &format!("permutation round {round}"));
+    }
+}
+
+#[test]
+fn random_batches_with_dependency_chains_are_schedule_independent() {
+    let mut rng = Rng::new(0xc4a1f00d);
+    for round in 0..4 {
+        let mut src = String::from("val base = 1\n");
+        let mut prev = "base".to_string();
+        for i in 0..10 {
+            // Mix chain links (depend on the previous value) with
+            // independent declarations, so the graph has both width and
+            // depth.
+            if rng.bool_() {
+                src.push_str(&format!("val chain{round}_{i} = {prev} + 1\n"));
+                prev = format!("chain{round}_{i}");
+            } else {
+                src.push_str(&format!("val solo{round}_{i} = {}\n", rng.below(100)));
+            }
+        }
+        src.push_str(&format!("val last{round} = {prev}\n"));
+        assert_identical_across_threads(&src, &format!("chain round {round}"));
+    }
+}
+
+#[test]
+fn sharded_elaboration_matches_single_batch() {
+    // Splitting one batch into consecutive `run_all` calls must not
+    // change the outcome, at any thread count.
+    let mut rng = Rng::new(0x5aa2ded);
+    let groups = gen_groups(&mut rng, 9);
+    let whole = groups.join("\n");
+    let (base_vals, base_diags) = run_at(&whole, 1);
+    assert!(base_diags.is_empty(), "{base_diags:?}");
+    for &t in THREADS {
+        let mut sess = Session::new().expect("session");
+        sess.threads = t;
+        let mut vals: Vec<(String, String)> = Vec::new();
+        let mut diags = Diagnostics::new();
+        for shard in groups.chunks(3) {
+            let (v, d) = sess.run_all(&shard.join("\n"));
+            vals.extend(v.into_iter().map(|(n, v)| (n, v.to_string())));
+            diags.extend(d);
+        }
+        assert_eq!(base_vals, vals, "sharded at {t} threads");
+        assert!(diags.is_empty(), "sharded at {t} threads: {diags:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. Scheduler bookkeeping
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_runs_record_worker_stats() {
+    let mut sess = Session::new().expect("session");
+    sess.threads = 4;
+    let (_, diags) = sess.run_all("val a = 1\nval b = 2\nval c = 3\nval d = 4");
+    assert!(diags.is_empty(), "{diags:?}");
+    let stats = &sess.elab.cx.stats;
+    assert_eq!(stats.par_batches, 1, "{stats}");
+    assert_eq!(stats.par_decls, 4, "{stats}");
+    assert!(stats.par_workers >= 1 && stats.par_workers <= 4, "{stats}");
+}
+
+#[test]
+fn single_threaded_runs_do_not_count_as_parallel() {
+    let mut sess = Session::new().expect("session");
+    sess.threads = 1;
+    let (_, diags) = sess.run_all("val a = 1\nval b = 2");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(sess.elab.cx.stats.par_batches, 0);
+}
