@@ -1,0 +1,335 @@
+//! Chaos differential benchmark: the combined Figure-5 batch and an
+//! adversarial mixed-error batch, elaborated under seeded fault
+//! schedules (`ur_core::failpoint`) at 1, 2, 4, and 8 worker threads,
+//! compared declaration-by-declaration against a clean sequential
+//! baseline.
+//!
+//! Two hard gates, written to `BENCH_chaos.json`:
+//!
+//! * **zero divergence** — elaborated declarations (up to fresh symbol
+//!   ids) and diagnostics under every fault schedule must equal the
+//!   clean sequential run's. Faults may cost retries and recomputation;
+//!   they must never change results.
+//! * **full site coverage** — every named fault site must actually fire
+//!   at least once across the bench, so none of the recovery paths is
+//!   silently untested.
+//!
+//! Every run's seed is printed; any failure reproduces by re-running
+//! with the same seed (see docs/ROBUSTNESS.md).
+//!
+//! Run with `cargo run -p ur-bench --bin chaos --features failpoints --release`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use ur_core::failpoint::{self, FpConfig, FpCounters, Site};
+use ur_studies::{studies, study, Study};
+use ur_web::Session;
+
+const MATRIX_SEEDS: &[u64] = &[0x5EED_0001, 0x5EED_0002, 0x5EED_0003];
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+/// Independent wide `mkTable` clients appended to the Figure-5 batch so
+/// the dependency graph has parallel width (same shape as the parallel
+/// benchmark, slightly smaller — chaos runs the batch many times).
+const CLIENT_FAN: usize = 4;
+const CLIENT_WIDTH: usize = 8;
+
+/// A fault schedule touching every site at moderate rates. Faults per
+/// site are capped *below* every retry budget (task re-dispatch and
+/// declaration retry both allow 3+ attempts), so self-healing always
+/// converges to the clean result.
+fn balanced(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(2)
+        .with_rate(Site::WorkerSpawn, 120)
+        .with_rate(Site::WorkerExec, 180)
+        .with_rate(Site::WorkerSend, 180)
+        .with_rate(Site::WorkerStall, 120)
+        .with_rate(Site::MemoLoad, 60)
+        .with_rate(Site::MemoStore, 60)
+        .with_rate(Site::InternGrow, 40)
+        .with_rate(Site::FuelCharge, 4)
+}
+
+/// Every spawn fails (capped): the pool comes up short-handed and the
+/// merge loop's sequential fallback covers the difference.
+fn spawn_storm(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(2)
+        .with_rate(Site::WorkerSpawn, 1000)
+}
+
+/// Worker-lifecycle havoc: deaths, lost results, and stalls at high
+/// rates, exercising watchdog, re-dispatch, and the duplicate guard.
+fn worker_havoc(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(2)
+        .with_rate(Site::WorkerExec, 800)
+        .with_rate(Site::WorkerSend, 800)
+        .with_rate(Site::WorkerStall, 400)
+}
+
+/// State-layer havoc: memo corruption, intern-table rehash, and phantom
+/// fuel bursts, exercising integrity rejection and declaration retry.
+fn state_havoc(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(2)
+        .with_rate(Site::MemoLoad, 400)
+        .with_rate(Site::MemoStore, 400)
+        .with_rate(Site::InternGrow, 300)
+        .with_rate(Site::FuelCharge, 20)
+}
+
+/// Combined batch: every study's transitive dependencies (depth-first,
+/// deduplicated), implementation, and usage demo, then the client fan.
+fn combined_source() -> String {
+    fn push_impl(parts: &mut Vec<&'static str>, s: &Study) {
+        for dep in s.deps {
+            push_impl(parts, &study(dep));
+        }
+        let src = s.implementation();
+        if !parts.contains(&src) {
+            parts.push(src);
+        }
+    }
+    let mut parts: Vec<&'static str> = Vec::new();
+    let mut usages: Vec<&'static str> = Vec::new();
+    for s in studies() {
+        push_impl(&mut parts, &s);
+        usages.push(s.usage);
+    }
+    parts.extend(usages);
+    let mut src = parts.join("\n");
+    for c in 0..CLIENT_FAN {
+        let mut meta = String::new();
+        let mut row = String::new();
+        for i in 0..CLIENT_WIDTH {
+            if i > 0 {
+                meta.push_str(", ");
+                row.push_str(", ");
+            }
+            let _ = write!(meta, "F{c}x{i} = {{Label = \"f{i}\", Show = showInt}}");
+            let _ = write!(row, "F{c}x{i} = {i}");
+        }
+        let _ = write!(
+            src,
+            "\nval client{c} = mkTable {{{meta}}}\nval render{c} = client{c} {{{row}}}"
+        );
+    }
+    src
+}
+
+/// Mixed-error batch: the multi-error contract (every bad declaration
+/// diagnosed, every good one elaborated) must hold identically under
+/// faults at every thread count.
+fn adversarial_source() -> String {
+    "val ok1 = 1 + 2\n\
+     val bad_type : int = \"nope\"\n\
+     val bad_unbound = missing\n\
+     fun ok2 (x : int) = x * 2\n\
+     val bad_overlap = {A = 1} ++ {A = 2}\n\
+     val ok3 = ok2 ok1\n\
+     fun proj [nm :: Name] [t :: Type] [r :: {Type}] [[nm] ~ r] \
+        (x : $([nm = t] ++ r)) = x.nm\n\
+     val ok4 = proj [#A] {A = 40, B = \"b\"} + 2\n\
+     val ok5 = ok3 + ok4"
+        .to_string()
+}
+
+/// Erases gensym counters (`foo#123` -> `foo#`) so runs drawing
+/// different fresh-symbol numbers compare structurally.
+fn strip_sym_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '#' {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        }
+    }
+    out
+}
+
+/// Elaborates `src` once in a fresh session under `cfg` (or clean, with
+/// `None`). The schedule is installed after session construction so the
+/// prelude does not consume the per-site fault caps, and uninstalled
+/// before returning. Returns (ms, decl fingerprints, diag fingerprints,
+/// faults injected during the run).
+fn run_once(
+    src: &str,
+    threads: usize,
+    cfg: Option<FpConfig>,
+) -> (f64, Vec<String>, Vec<String>, FpCounters) {
+    let mut sess = Session::new().expect("session");
+    let _ = failpoint::take_counters();
+    failpoint::install(cfg);
+    let start = Instant::now();
+    let (decls, diags) = sess.elab.elab_source_all_threads(src, threads);
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    failpoint::install(None);
+    let injected = failpoint::take_counters();
+    let decl_fps = decls
+        .iter()
+        .map(|d| strip_sym_ids(&format!("{d:?}")))
+        .collect();
+    let diag_fps = diags.iter().map(|d| d.to_string()).collect();
+    (ms, decl_fps, diag_fps, injected)
+}
+
+struct RunRecord {
+    corpus: &'static str,
+    schedule: &'static str,
+    seed: u64,
+    threads: usize,
+    ms: f64,
+    injected: u64,
+    rejections: u64,
+    diverged: bool,
+}
+
+fn main() {
+    // Short watchdog so injected stalls cost milliseconds, not seconds.
+    // Spurious trips only cause (dup-guarded) re-dispatches.
+    if std::env::var_os("UR_WATCHDOG_MS").is_none() {
+        std::env::set_var("UR_WATCHDOG_MS", "50");
+    }
+
+    let fig5 = combined_source();
+    let adv = adversarial_source();
+    let corpora: [(&'static str, &str); 2] = [("figure5", &fig5), ("adversarial", &adv)];
+
+    println!("Chaos differential benchmark — seeded fault schedules vs clean sequential");
+    println!();
+
+    let mut baselines: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for (name, src) in &corpora {
+        let (_, decls, diags, injected) = run_once(src, 1, None);
+        assert_eq!(injected, FpCounters::default(), "baseline must be fault-free");
+        println!(
+            "baseline [{name}]: {} decls, {} diagnostics (clean, sequential)",
+            decls.len(),
+            diags.len()
+        );
+        baselines.push((decls, diags));
+    }
+    println!();
+
+    let mut rows: Vec<RunRecord> = Vec::new();
+    let mut totals = FpCounters::default();
+    let chaos = |corpus_ix: usize,
+                     schedule: &'static str,
+                     cfg: FpConfig,
+                     threads: usize,
+                     rows: &mut Vec<RunRecord>,
+                     totals: &mut FpCounters| {
+        let (name, src) = corpora[corpus_ix];
+        let (base_decls, base_diags) = &baselines[corpus_ix];
+        let (ms, decls, diags, injected) = run_once(src, threads, Some(cfg));
+        totals.absorb(&injected);
+        rows.push(RunRecord {
+            corpus: name,
+            schedule,
+            seed: cfg.seed,
+            threads,
+            ms,
+            injected: injected.total_injected(),
+            rejections: injected.integrity_rejections,
+            diverged: decls != *base_decls || diags != *base_diags,
+        });
+    };
+
+    for &seed in MATRIX_SEEDS {
+        for &t in THREAD_COUNTS {
+            for corpus_ix in 0..corpora.len() {
+                chaos(corpus_ix, "balanced", balanced(seed), t, &mut rows, &mut totals);
+            }
+        }
+    }
+    // Targeted schedules: make each recovery path certain to run at
+    // least once regardless of how the balanced draws land.
+    chaos(0, "spawn_storm", spawn_storm(0xD00D), 4, &mut rows, &mut totals);
+    chaos(0, "worker_havoc", worker_havoc(0xBAD), 4, &mut rows, &mut totals);
+    chaos(0, "state_havoc", state_havoc(0xC0DE), 1, &mut rows, &mut totals);
+    chaos(1, "state_havoc", state_havoc(0xC0DE), 4, &mut rows, &mut totals);
+
+    println!(
+        "{:>12} {:>12} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "corpus", "schedule", "seed", "threads", "ms", "injected", "rejects", "diverged"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>12} {:>10} {:>8} {:>9.1} {:>9} {:>8} {:>9}",
+            r.corpus, r.schedule, r.seed, r.threads, r.ms, r.injected, r.rejections, r.diverged
+        );
+    }
+    println!();
+    println!(
+        "faults injected per site: {}",
+        Site::ALL
+            .iter()
+            .map(|s| format!("{}={}", s.name(), totals.injected[s.index()]))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let divergences = rows.iter().filter(|r| r.diverged).count();
+    println!(
+        "runs: {}; divergences: {divergences}; sites exercised: {}/{}",
+        rows.len(),
+        totals.sites_exercised(),
+        Site::ALL.len()
+    );
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"chaos\",\n  \"metric\": \"divergence\",\n  \
+         \"matrix_seeds\": {MATRIX_SEEDS:?},\n  \"thread_counts\": {THREAD_COUNTS:?},\n  \
+         \"runs\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"corpus\": \"{}\", \"schedule\": \"{}\", \"seed\": {}, \
+             \"threads\": {}, \"ms\": {:.2}, \"injected\": {}, \
+             \"integrity_rejections\": {}, \"diverged\": {}}}",
+            r.corpus, r.schedule, r.seed, r.threads, r.ms, r.injected, r.rejections, r.diverged
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(json, "  ],\n  \"faults_per_site\": {{");
+    for (i, s) in Site::ALL.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\"{}\": {}",
+            if i > 0 { ", " } else { "" },
+            s.name(),
+            totals.injected[s.index()]
+        );
+    }
+    let _ = write!(
+        json,
+        "}},\n  \"integrity_rejections\": {},\n  \"sites_exercised\": {},\n  \
+         \"divergence_count\": {divergences}\n}}\n",
+        totals.integrity_rejections,
+        totals.sites_exercised()
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+
+    // Hard gate 1: faults never change results.
+    assert_eq!(
+        divergences, 0,
+        "chaos runs diverged from the clean sequential baseline"
+    );
+    // Hard gate 2: every recovery path actually ran.
+    assert_eq!(
+        totals.sites_exercised(),
+        Site::ALL.len(),
+        "some fault sites never fired: {}",
+        Site::ALL
+            .iter()
+            .filter(|s| totals.injected[s.index()] == 0)
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

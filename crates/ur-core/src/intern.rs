@@ -291,6 +291,15 @@ impl Interner {
             return id;
         }
         self.misses += 1;
+        // failpoint `intern_grow`: a simulated growth hiccup on the
+        // hash-cons map — force an immediate shrink-and-rehash before the
+        // insert. Semantically invisible (same entries, same ids), but it
+        // exercises the capacity-change path deterministically so the
+        // chaos harness can prove table growth never perturbs results.
+        if crate::failpoint::fire(crate::failpoint::Site::InternGrow) {
+            self.map.shrink_to_fit();
+            self.map.reserve(self.map.len() + 64);
+        }
         let flags = self.flags_of_key(&key);
         let mut h = DefaultHasher::new();
         key.hash(&mut h);

@@ -45,6 +45,7 @@ pub mod disjoint;
 pub mod env;
 pub mod error;
 pub mod expr;
+pub mod failpoint;
 pub mod folder;
 pub mod hnf;
 pub mod intern;

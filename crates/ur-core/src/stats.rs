@@ -59,6 +59,25 @@ pub struct Stats {
     pub par_decls: u64,
     /// Worker threads spawned across all parallel batches.
     pub par_workers: u64,
+    /// Tasks re-dispatched after a watchdog timeout or worker death.
+    pub par_retries: u64,
+    /// Worker threads observed dead (announced or vanished) mid-batch.
+    pub par_worker_deaths: u64,
+    /// Watchdog deadline expirations (each triggers requeue/fallback).
+    pub watchdog_trips: u64,
+    /// Circuit-breaker activations in `Session` (degrade parallel →
+    /// sequential and/or memo off).
+    pub breaker_trips: u64,
+    /// Batches that ran degraded because the breaker was open.
+    pub breaker_degraded_batches: u64,
+    /// Whole-declaration retries after a suspect resource exhaustion.
+    pub decl_retries: u64,
+    /// Snapshot of the thread-local failpoint counters (filled by
+    /// [`Stats::capture_failpoints`]): faults injected and memo entries
+    /// rejected by the per-entry integrity check. Always zero without
+    /// the `failpoints` feature.
+    pub fp_faults_injected: u64,
+    pub fp_memo_rejections: u64,
 }
 
 impl Stats {
@@ -101,6 +120,14 @@ impl Stats {
             par_batches,
             par_decls,
             par_workers,
+            par_retries,
+            par_worker_deaths,
+            watchdog_trips,
+            breaker_trips,
+            breaker_degraded_batches,
+            decl_retries,
+            fp_faults_injected,
+            fp_memo_rejections,
         );
     }
 
@@ -113,6 +140,16 @@ impl Stats {
         self.intern_hits = t.hits;
         self.intern_misses = t.misses;
         self.intern_names = t.names;
+    }
+
+    /// Copies the thread-local failpoint counters into this snapshot
+    /// (like [`Stats::capture_intern`], they are thread-global and
+    /// captured on demand). No-op totals without the `failpoints`
+    /// feature.
+    pub fn capture_failpoints(&mut self) {
+        let c = crate::failpoint::counters();
+        self.fp_faults_injected = c.total_injected();
+        self.fp_memo_rejections = c.integrity_rejections;
     }
 
     /// The difference `self - earlier`, counter-wise, saturating at zero.
@@ -158,6 +195,22 @@ impl Stats {
             par_batches: self.par_batches.saturating_sub(earlier.par_batches),
             par_decls: self.par_decls.saturating_sub(earlier.par_decls),
             par_workers: self.par_workers.saturating_sub(earlier.par_workers),
+            par_retries: self.par_retries.saturating_sub(earlier.par_retries),
+            par_worker_deaths: self
+                .par_worker_deaths
+                .saturating_sub(earlier.par_worker_deaths),
+            watchdog_trips: self.watchdog_trips.saturating_sub(earlier.watchdog_trips),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_degraded_batches: self
+                .breaker_degraded_batches
+                .saturating_sub(earlier.breaker_degraded_batches),
+            decl_retries: self.decl_retries.saturating_sub(earlier.decl_retries),
+            fp_faults_injected: self
+                .fp_faults_injected
+                .saturating_sub(earlier.fp_faults_injected),
+            fp_memo_rejections: self
+                .fp_memo_rejections
+                .saturating_sub(earlier.fp_memo_rejections),
         }
     }
 }
@@ -198,6 +251,21 @@ impl fmt::Display for Stats {
             f,
             " par[batches={} decls={} workers={}]",
             self.par_batches, self.par_decls, self.par_workers,
+        )?;
+        write!(
+            f,
+            " heal[retries={} deaths={} watchdog={} decl_retries={} breaker={}/{}]",
+            self.par_retries,
+            self.par_worker_deaths,
+            self.watchdog_trips,
+            self.decl_retries,
+            self.breaker_trips,
+            self.breaker_degraded_batches,
+        )?;
+        write!(
+            f,
+            " faults[injected={} memo_rejected={}]",
+            self.fp_faults_injected, self.fp_memo_rejections,
         )
     }
 }
@@ -279,6 +347,64 @@ mod tests {
         for key in ["par[batches=", "decls=", "workers="] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn display_mentions_healing_and_fault_counters() {
+        let s = Stats::new().to_string();
+        for key in [
+            "heal[retries=",
+            "deaths=",
+            "watchdog=",
+            "decl_retries=",
+            "breaker=",
+            "faults[injected=",
+            "memo_rejected=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_and_since_cover_healing_counters() {
+        let mut a = Stats::new();
+        a.par_retries = 2;
+        a.watchdog_trips = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.par_retries = 3;
+        b.watchdog_trips = 10;
+        b.par_worker_deaths = 1;
+        b.breaker_trips = 1;
+        b.breaker_degraded_batches = 4;
+        b.decl_retries = 5;
+        b.fp_faults_injected = 6;
+        b.fp_memo_rejections = 7;
+        a.absorb(&b);
+        assert_eq!(a.par_retries, 5);
+        assert_eq!(a.watchdog_trips, u64::MAX, "saturating add");
+        assert_eq!(a.par_worker_deaths, 1);
+        assert_eq!(a.breaker_trips, 1);
+        assert_eq!(a.breaker_degraded_batches, 4);
+        assert_eq!(a.decl_retries, 5);
+        assert_eq!(a.fp_faults_injected, 6);
+        assert_eq!(a.fp_memo_rejections, 7);
+
+        let d = a.since(&b);
+        assert_eq!(d.par_retries, 2);
+        assert_eq!(d.fp_faults_injected, 0);
+        let d2 = b.since(&a);
+        assert_eq!(d2.par_retries, 0, "saturating sub");
+    }
+
+    #[test]
+    fn capture_failpoints_is_zero_without_faults() {
+        let mut s = Stats::new();
+        s.fp_faults_injected = 99;
+        s.capture_failpoints();
+        // No schedule installed on this thread: counters read zero (and
+        // with the feature off they are always zero).
+        assert_eq!(s.fp_faults_injected, crate::failpoint::counters().total_injected());
+        assert_eq!(s.fp_memo_rejections, crate::failpoint::counters().integrity_rejections);
     }
 
     #[test]

@@ -12,8 +12,10 @@ use ur_core::subst::{fv, subst};
 use ur_core::sym::Sym;
 use ur_core::Cx;
 
-/// Mutable world state visible to effectful builtins.
-#[derive(Default)]
+/// Mutable world state visible to effectful builtins. `Clone` backs
+/// `Session::snapshot`/`rollback`: a chaos-aborted batch restores the
+/// whole world (database, sequences, SQL log, debug output) bit for bit.
+#[derive(Clone, Default)]
 pub struct World {
     /// The database backing the SQL builtins.
     pub db: ur_db::Db,

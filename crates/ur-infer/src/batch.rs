@@ -45,6 +45,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::mpsc;
 use std::sync::Arc;
 use ur_core::con::RCon;
+use ur_core::failpoint::{self, FpConfig, FpCounters, Site};
 use ur_core::kind::Kind;
 use ur_core::limits::{Fuel, Limits};
 use ur_core::stats::Stats;
@@ -60,6 +61,37 @@ use ur_syntax::{Code, Diagnostic, Diagnostics};
 /// Stack size for worker threads: matches the parser's dedicated thread
 /// (deep elaboration recursion is fuel-bounded but still wants headroom).
 const WORKER_STACK: usize = 16 * 1024 * 1024;
+
+/// Maximum dispatches per declaration before the scheduler stops
+/// retrying and leaves the declaration to the sequential fallback in the
+/// merge loop. Three attempts ride out the default failpoint cap
+/// (`FpConfig::max_per_site == 3` spread across the whole batch) while
+/// bounding the work a genuinely cursed declaration can consume.
+const MAX_TASK_ATTEMPTS: u32 = 3;
+
+/// Sentinel task index for a worker's final counters-only flush message
+/// (sent when its task channel closes, carrying failpoint counters that
+/// earlier lost-send faults kept on the worker).
+const FLUSH: usize = usize::MAX;
+
+/// Watchdog base patience in milliseconds: how long the coordinator
+/// waits for *any* worker result before declaring the batch stalled and
+/// re-dispatching in-flight work. `UR_WATCHDOG_MS` overrides (chaos
+/// tests shrink it to trip on injected stalls); the default is generous
+/// because a spurious trip is only wasted work, never a wrong answer —
+/// late results are deduplicated and requeued tasks re-elaborate to
+/// identical outcomes.
+fn watchdog_base_ms() -> u64 {
+    std::env::var("UR_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(500, |n| n.max(1))
+}
+
+/// Patience escalation cap: watchdog waits double per consecutive trip,
+/// up to `base << MAX_PATIENCE_SHIFT`, so a healthy-but-slow batch stops
+/// tripping instead of thrashing on requeues.
+const MAX_PATIENCE_SHIFT: u32 = 6;
 
 /// The default worker count: the `UR_TEST_THREADS` environment variable
 /// when set (how CI pins both test runs), otherwise the machine's
@@ -484,6 +516,11 @@ struct BaseSnapshot {
     laws: LawConfig,
     limits: Limits,
     memo_enabled: bool,
+    /// The coordinator's failpoint schedule, installed on every worker so
+    /// one seeded configuration governs the whole batch (workers draw
+    /// from per-site streams, so the schedule is per-thread
+    /// deterministic). `None` outside chaos runs.
+    fp: Option<FpConfig>,
 }
 
 struct Task {
@@ -502,6 +539,30 @@ struct TaskResult {
     diag: Option<Diagnostic>,
     stats: Stats,
     lifetime_steps: u64,
+    /// Announced worker death (the `worker_exec` failpoint): the worker
+    /// is exiting without elaborating `idx`; the coordinator must retire
+    /// it and re-dispatch the task elsewhere.
+    died: bool,
+    /// Failpoint counter delta accrued on the worker since its last
+    /// shipped result; each delta is shipped exactly once, so the
+    /// coordinator absorbs it from every message, duplicates included.
+    fp: FpCounters,
+}
+
+impl TaskResult {
+    /// A counters-only flush sent when the worker's task channel closes.
+    fn flush(worker: usize, fp: FpCounters) -> TaskResult {
+        TaskResult {
+            idx: FLUSH,
+            worker,
+            outcome: POutcome::default(),
+            diag: None,
+            stats: Stats::default(),
+            lifetime_steps: 0,
+            died: false,
+            fp,
+        }
+    }
 }
 
 /// Worker-local imported form of a dependency outcome.
@@ -547,6 +608,7 @@ fn worker_main(
     rx: &mpsc::Receiver<Task>,
     tx: &mpsc::Sender<TaskResult>,
 ) {
+    failpoint::install(base.fp);
     let mut el = Elaborator::new();
     el.cx.laws = base.laws;
     el.cx.fuel = Fuel::new(base.limits);
@@ -573,6 +635,25 @@ fn worker_main(
     while let Ok(task) = rx.recv() {
         for (j, po) in &task.new_outcomes {
             cache.insert(*j, import_outcome(&mut imp, po));
+        }
+
+        // failpoint `worker_exec`: die mid-task. The death is announced
+        // (so the coordinator can retire this worker and requeue the task
+        // promptly) but no outcome is produced — the re-dispatch
+        // elaborates the declaration from the same dependency closure, so
+        // the healed result is identical to the never-faulted one.
+        if failpoint::fire(Site::WorkerExec) {
+            let _ = tx.send(TaskResult {
+                idx: task.idx,
+                worker: wid,
+                outcome: POutcome::default(),
+                diag: None,
+                stats: Stats::default(),
+                lifetime_steps: 0,
+                died: true,
+                fp: failpoint::take_counters(),
+            });
+            return;
         }
 
         // Fresh per-task state: the base snapshot plus exactly the
@@ -620,6 +701,25 @@ fn worker_main(
         let lifetime_steps = lifetime.saturating_sub(prev_lifetime);
         prev_lifetime = lifetime;
 
+        // failpoint `worker_stall`: sleep past the coordinator's watchdog
+        // deadline. The watchdog requeues the task; whichever copy of the
+        // result lands second is discarded by the duplicate guard, so the
+        // race between recovery and late delivery cannot change results.
+        if failpoint::fire(Site::WorkerStall) {
+            std::thread::sleep(std::time::Duration::from_millis(
+                (watchdog_base_ms() * 2).min(2_000),
+            ));
+        }
+
+        // failpoint `worker_send`: the finished outcome is lost in
+        // transit. The worker stays alive (distinct failure mode from
+        // `worker_exec`); the coordinator's watchdog notices the missing
+        // result and re-dispatches. The failpoint counter delta for this
+        // task stays on the worker and ships with its next message.
+        if failpoint::fire(Site::WorkerSend) {
+            continue;
+        }
+
         let sent = tx.send(TaskResult {
             idx: task.idx,
             worker: wid,
@@ -630,11 +730,20 @@ fn worker_main(
             diag,
             stats,
             lifetime_steps,
+            died: false,
+            fp: failpoint::take_counters(),
         });
         if sent.is_err() {
             // Coordinator is gone; nothing left to do.
             return;
         }
+    }
+    // Task channel closed: flush any counters still held locally (e.g.
+    // from a `worker_send` loss on our final task) so the coordinator's
+    // post-join drain sees every injected fault.
+    let fp = failpoint::take_counters();
+    if fp != FpCounters::default() {
+        let _ = tx.send(TaskResult::flush(wid, fp));
     }
 }
 
@@ -697,15 +806,23 @@ pub fn elab_program_all_with_graph(
         laws: elab.cx.laws,
         limits: elab.cx.fuel.limits,
         memo_enabled: elab.cx.memo.enabled,
+        fp: failpoint::config(),
     });
 
-    // Spawn the pool. Spawn failures just shrink it; with zero workers we
-    // fall back to the sequential path below (every outcome missing).
+    // Spawn the pool. Spawn failures (real or injected via the
+    // `worker_spawn` failpoint) leave a placeholder slot so worker ids
+    // stay aligned with channel indices; the pool just runs smaller. With
+    // zero live workers every outcome is missing and the merge loop below
+    // degrades to fully sequential elaboration.
     let pool = threads.min(n);
     let (res_tx, res_rx) = mpsc::channel::<TaskResult>();
     let mut task_txs: Vec<Option<mpsc::Sender<Task>>> = Vec::with_capacity(pool);
     let mut handles = Vec::with_capacity(pool);
     for wid in 0..pool {
+        if failpoint::fire(Site::WorkerSpawn) {
+            task_txs.push(None);
+            continue;
+        }
         let (tx, rx) = mpsc::channel::<Task>();
         let base = Arc::clone(&base);
         let res_tx = res_tx.clone();
@@ -718,25 +835,65 @@ pub fn elab_program_all_with_graph(
                 task_txs.push(Some(tx));
                 handles.push(h);
             }
-            Err(_) => break,
+            Err(_) => task_txs.push(None),
         }
     }
     drop(res_tx);
-    let workers = task_txs.len();
+    let workers = handles.len();
 
     // Kahn-style dispatch: ready declarations go out lowest-index-first;
     // each worker remembers which outcomes it has been sent so dependency
     // payloads ship at most once per worker.
+    //
+    // Self-healing bookkeeping on top of the PR 3 scheduler:
+    //
+    // * a **watchdog** bounds how long the coordinator blocks on worker
+    //   results (`recv_timeout` with exponential patience); on expiry,
+    //   every in-flight task is re-dispatched. This also fixes a PR 3
+    //   latent deadlock: a worker dying *between* receiving a task and
+    //   sending its result left `res_rx.recv()` blocking forever, because
+    //   the surviving workers' sender clones kept the channel open.
+    // * re-dispatches are **bounded** (`MAX_TASK_ATTEMPTS`) with
+    //   exponential backoff in *virtual ticks* (one tick per scheduler
+    //   iteration, not wall clock, so backoff is deterministic); a
+    //   declaration that exhausts its attempts is left to the sequential
+    //   fallback in the merge loop.
+    // * late results for an already-completed declaration are discarded
+    //   by a **duplicate guard** (first result wins; requeued tasks
+    //   re-elaborate identical outcomes, so which copy wins is
+    //   unobservable).
     let mut indegree: Vec<usize> = (0..n).map(|i| graph.deps(i).len()).collect();
     let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-    let mut idle: Vec<usize> = (0..workers).rev().collect();
-    let mut sent: Vec<HashSet<usize>> = vec![HashSet::new(); workers];
+    let mut idle: Vec<usize> = (0..task_txs.len())
+        .rev()
+        .filter(|&w| task_txs[w].is_some())
+        .collect();
+    let mut sent: Vec<HashSet<usize>> = vec![HashSet::new(); task_txs.len()];
     let mut shipped: Vec<Option<POutcome>> = (0..n).map(|_| None).collect();
     let mut results: Vec<Option<TaskResult>> = (0..n).map(|_| None).collect();
-    let mut in_flight = 0usize;
+    let mut attempts: Vec<u32> = vec![0; n];
+    let mut done: Vec<bool> = vec![false; n];
+    // Backoff queue: `(ready_at_tick, idx)` for re-dispatches waiting out
+    // their exponential delay.
+    let mut deferred: Vec<(u64, usize)> = Vec::new();
+    let mut in_flight: HashMap<usize, usize> = HashMap::new(); // idx -> wid
     let mut completed = 0usize;
+    let mut tick = 0u64;
+    let mut patience_shift = 0u32;
+    let mut par_retries = 0u64;
+    let mut worker_deaths = 0u64;
+    let mut watchdog_trips = 0u64;
 
     loop {
+        // Promote re-dispatches whose backoff has elapsed.
+        deferred.retain(|&(at, i)| {
+            if at <= tick {
+                ready.insert(i);
+                false
+            } else {
+                true
+            }
+        });
         while let (Some(&i), true) = (ready.iter().next(), !idle.is_empty()) {
             let Some(wid) = idle.pop() else { break };
             ready.remove(&i);
@@ -757,24 +914,79 @@ pub fn elab_program_all_with_graph(
                 .and_then(Option::as_ref)
                 .is_some_and(|tx| tx.send(task).is_ok());
             if alive {
-                in_flight += 1;
+                attempts[i] += 1;
+                in_flight.insert(i, wid);
             } else {
-                // Worker died: retire it and put the task back.
-                if let Some(slot) = task_txs.get_mut(wid) {
-                    *slot = None;
+                // Worker died silently: retire it and put the task back.
+                if task_txs.get_mut(wid).and_then(Option::take).is_some() {
+                    worker_deaths += 1;
                 }
                 ready.insert(i);
             }
         }
-        if completed == n || in_flight == 0 {
+        if completed == n {
             break;
         }
-        match res_rx.recv() {
+        if in_flight.is_empty() {
+            if let Some(&(at, _)) = deferred.iter().min_by_key(|&&(at, _)| at) {
+                // Nothing running: fast-forward virtual time to the next
+                // re-dispatch instead of spinning.
+                tick = tick.max(at);
+                continue;
+            }
+            // No work running, none deferred: whatever is left had no
+            // live worker or exhausted its attempts — the merge loop
+            // elaborates it sequentially.
+            break;
+        }
+        let patience =
+            std::time::Duration::from_millis(watchdog_base_ms() << patience_shift);
+        match res_rx.recv_timeout(patience) {
             Ok(res) => {
-                in_flight -= 1;
-                completed += 1;
-                idle.push(res.worker);
+                tick += 1;
+                // Failpoint deltas ship exactly once per message; absorb
+                // unconditionally (flushes and duplicates included).
+                failpoint::absorb_counters(&res.fp);
+                if res.idx == FLUSH {
+                    continue;
+                }
                 let i = res.idx;
+                if res.died {
+                    // Announced death (`worker_exec`): retire the worker
+                    // and requeue its task with backoff.
+                    if task_txs.get_mut(res.worker).and_then(Option::take).is_some() {
+                        worker_deaths += 1;
+                    }
+                    if in_flight.get(&i) == Some(&res.worker) {
+                        in_flight.remove(&i);
+                    }
+                    // Out-of-attempts tasks are left for the sequential
+                    // fallback.
+                    if !done[i]
+                        && !in_flight.contains_key(&i)
+                        && attempts[i] < MAX_TASK_ATTEMPTS
+                    {
+                        par_retries += 1;
+                        deferred.push((tick + (1u64 << attempts[i].min(16)), i));
+                    }
+                    continue;
+                }
+                patience_shift = 0;
+                idle.push(res.worker);
+                if done[i] {
+                    // Duplicate guard: a stalled worker's late result
+                    // landing after its requeue already completed. The
+                    // outcome is identical by construction; drop it (and
+                    // its stats — the work was redundant).
+                    continue;
+                }
+                done[i] = true;
+                in_flight.remove(&i);
+                // A requeued copy may still be waiting in the backoff
+                // queue or ready set; this result supersedes it.
+                deferred.retain(|&(_, j)| j != i);
+                ready.remove(&i);
+                completed += 1;
                 shipped[i] = Some(res.outcome.clone());
                 results[i] = Some(res);
                 for &d in graph.dependents(i) {
@@ -784,14 +996,35 @@ pub fn elab_program_all_with_graph(
                     }
                 }
             }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Watchdog trip: some worker is stalled, dead without
+                // announcing, or lost its result in transit. Requeue all
+                // in-flight work (late originals are dup-guarded) and
+                // escalate patience so a merely slow batch stops
+                // tripping.
+                tick += 1;
+                watchdog_trips += 1;
+                patience_shift = (patience_shift + 1).min(MAX_PATIENCE_SHIFT);
+                for (i, _wid) in std::mem::take(&mut in_flight) {
+                    if !done[i] && attempts[i] < MAX_TASK_ATTEMPTS {
+                        par_retries += 1;
+                        deferred.push((tick + (1u64 << attempts[i].min(16)), i));
+                    }
+                }
+            }
             // All workers gone; the merge loop below elaborates whatever
             // is missing sequentially.
-            Err(_) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
     drop(task_txs);
     for h in handles {
         let _ = h.join();
+    }
+    // Post-join drain: counters-only flushes and any results that raced
+    // the shutdown still carry failpoint deltas.
+    while let Ok(res) = res_rx.try_recv() {
+        failpoint::absorb_counters(&res.fp);
     }
 
     // Deterministic merge, in source order regardless of completion
@@ -824,6 +1057,14 @@ pub fn elab_program_all_with_graph(
     elab.cx.stats.par_batches = elab.cx.stats.par_batches.saturating_add(1);
     elab.cx.stats.par_decls = elab.cx.stats.par_decls.saturating_add(par_decls);
     elab.cx.stats.par_workers = elab.cx.stats.par_workers.saturating_add(workers as u64);
+    elab.cx.stats.par_retries = elab.cx.stats.par_retries.saturating_add(par_retries);
+    elab.cx.stats.par_worker_deaths = elab
+        .cx
+        .stats
+        .par_worker_deaths
+        .saturating_add(worker_deaths);
+    elab.cx.stats.watchdog_trips = elab.cx.stats.watchdog_trips.saturating_add(watchdog_trips);
+    elab.cx.stats.capture_failpoints();
     sort_diags(&mut diags);
     (elab.decls[start..].to_vec(), diags)
 }

@@ -69,6 +69,18 @@ pub(crate) enum Entry {
     Val(Sym),
 }
 
+/// A full capture of the elaborator's persistent state, for rolling back
+/// a chaos-faulted declaration attempt (see
+/// [`Elaborator::snapshot`]/[`Elaborator::restore`]). Sessions reuse it
+/// to roll back whole aborted batches. Opaque: it can only be fed back
+/// to the elaborator it came from.
+pub struct ElabSnapshot {
+    genv: Env,
+    cx: Cx,
+    scope: Vec<Vec<(String, Entry)>>,
+    decls_len: usize,
+}
+
 #[derive(Clone)]
 enum Goal {
     Eq(RCon, RCon),
@@ -240,7 +252,44 @@ impl Elaborator {
     /// counter is preserved), so resource outcomes are independent of
     /// elaboration order — the invariant the parallel scheduler's
     /// determinism guarantee rests on.
+    ///
+    /// Under an active failpoint schedule, a resource exhaustion that
+    /// coincides with injected `fuel_charge` faults is *suspect*: the
+    /// declaration is retried (bounded, with full elaborator-state
+    /// restore so metavariable numbering matches a clean run). The fault
+    /// cap (`FpConfig::max_per_site`, default 3) is below the retry
+    /// budget, so the final attempt is guaranteed fault-free and the
+    /// healed outcome is identical to the never-faulted one. Without an
+    /// active schedule this is a single attempt with zero extra cost.
     pub(crate) fn elab_decl_recover(&mut self, d: &SDecl) -> Option<ur_syntax::Diagnostic> {
+        use ur_core::failpoint::{self, Site};
+        if !failpoint::active() {
+            return self.elab_decl_once(d);
+        }
+        const MAX_DECL_RETRIES: u32 = 4;
+        let mut attempt = 0u32;
+        loop {
+            let snap = self.snapshot();
+            let faults_before = failpoint::injected_at(Site::FuelCharge);
+            let diag = self.elab_decl_once(d);
+            let fuel_faulted = failpoint::injected_at(Site::FuelCharge) > faults_before;
+            let suspect = fuel_faulted
+                && diag
+                    .as_ref()
+                    .is_some_and(|g| g.code == ur_syntax::Code::ResourceExhausted);
+            if suspect && attempt + 1 < MAX_DECL_RETRIES {
+                self.restore(snap);
+                self.cx.stats.decl_retries = self.cx.stats.decl_retries.saturating_add(1);
+                attempt += 1;
+                continue;
+            }
+            return diag;
+        }
+    }
+
+    /// One elaboration attempt for a top-level declaration (the PR 3
+    /// `elab_decl_recover` body, unchanged).
+    fn elab_decl_once(&mut self, d: &SDecl) -> Option<ur_syntax::Diagnostic> {
         self.cx.fuel.reset();
         match self.elab_top_decl(d) {
             Ok(()) => {
@@ -257,6 +306,33 @@ impl Elaborator {
                 Some(e.into())
             }
         }
+    }
+
+    /// Captures the elaborator's full persistent state — global env,
+    /// checking context (metas, stats, fuel, memo), scope stack, and the
+    /// elaborated-declaration count — so a chaos-faulted attempt can be
+    /// rolled back as if it never ran. Transient state (constraints,
+    /// folder holes) is empty at declaration boundaries and needs no
+    /// capture.
+    pub fn snapshot(&self) -> ElabSnapshot {
+        ElabSnapshot {
+            genv: self.genv.clone(),
+            cx: self.cx.clone(),
+            scope: self.scope.clone(),
+            decls_len: self.decls.len(),
+        }
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot), discarding everything a
+    /// failed attempt may have recorded (env bindings, meta solutions,
+    /// memo entries, pushed declarations).
+    pub fn restore(&mut self, snap: ElabSnapshot) {
+        self.genv = snap.genv;
+        self.cx = snap.cx;
+        self.scope = snap.scope;
+        self.decls.truncate(snap.decls_len);
+        self.constraints.clear();
+        self.holes.clear();
     }
 
     /// Installs an already-elaborated declaration (produced by a worker
@@ -1804,26 +1880,43 @@ impl Elaborator {
     }
 
     /// Builds the E0900 diagnostic for an exhausted budget and resets the
-    /// fuel so the session stays usable.
+    /// fuel so the session stays usable. The message names *which* budget
+    /// ran out, how much of it was spent against its configured limit,
+    /// and the `Limits` knob that raises it — so a user hitting E0900 on
+    /// a legitimately large program knows exactly what to tune. (The
+    /// "resource limit exhausted" prefix is what `error::classify` keys
+    /// on; keep it stable.)
     pub(crate) fn resource_error(&mut self, span: Span, kind: ur_core::ResourceKind) -> ElabError {
-        let used = match kind {
-            ur_core::ResourceKind::NormSteps => {
-                format!("{} normalization steps used", self.cx.fuel.norm_steps_used())
-            }
-            ur_core::ResourceKind::ProverPairs => {
-                format!("{} prover pairs checked", self.cx.fuel.prover_pairs_used())
-            }
-            ur_core::ResourceKind::Depth => {
-                format!("recursion depth limit {}", self.cx.fuel.limits.max_depth)
-            }
-            ur_core::ResourceKind::SolverRounds => {
-                format!("solver round limit {}", self.cx.fuel.limits.max_solver_rounds)
-            }
+        let limits = self.cx.fuel.limits;
+        let (used, limit, knob) = match kind {
+            ur_core::ResourceKind::NormSteps => (
+                self.cx.fuel.norm_steps_used(),
+                limits.max_norm_steps,
+                "max_norm_steps",
+            ),
+            ur_core::ResourceKind::ProverPairs => (
+                self.cx.fuel.prover_pairs_used(),
+                limits.max_prover_pairs,
+                "max_prover_pairs",
+            ),
+            ur_core::ResourceKind::Depth => (
+                limits.max_depth as u64,
+                limits.max_depth as u64,
+                "max_depth",
+            ),
+            ur_core::ResourceKind::SolverRounds => (
+                u64::from(limits.max_solver_rounds),
+                u64::from(limits.max_solver_rounds),
+                "max_solver_rounds",
+            ),
         };
         self.cx.fuel.reset();
         ElabError::new(
             span,
-            format!("resource limit exhausted during inference: {kind} ({used})"),
+            format!(
+                "resource limit exhausted during inference: {kind} budget spent \
+                 ({used} of {limit}; raise Limits::{knob} for larger programs)"
+            ),
         )
         .with_code(ur_syntax::Code::ResourceExhausted)
     }

@@ -39,7 +39,7 @@ pub mod error;
 pub mod unify;
 
 pub use batch::{default_threads, DepGraph};
-pub use elab::{ElabDecl, Elaborator};
+pub use elab::{ElabDecl, ElabSnapshot, Elaborator};
 pub use error::{ElabError, EResult};
 pub use unify::{unify, unify_kind, Unify};
 pub use ur_core::{Limits, ResourceKind};

@@ -399,7 +399,10 @@ impl Parser {
     fn descend(&mut self) -> PResult<()> {
         self.depth += 1;
         if self.depth > MAX_PARSE_DEPTH {
-            Err(self.err(format!("{TOO_DEEP_MSG} (limit {MAX_PARSE_DEPTH})")))
+            Err(self.err(format!(
+                "{TOO_DEEP_MSG}: the parse-depth budget of {MAX_PARSE_DEPTH} \
+                 nesting levels is exhausted"
+            )))
         } else {
             Ok(())
         }

@@ -112,6 +112,13 @@ fn over_deep_expression_is_rejected_with_diagnostic() {
     let src = format!("{}1{}", "(".repeat(n), ")".repeat(n));
     let err = parse_expr(&src).unwrap_err();
     assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    // Like E0900, the message names *which* budget ran out and its size.
+    assert!(err.message.contains("parse-depth budget"), "{}", err.message);
+    assert!(
+        err.message.contains(&MAX_PARSE_DEPTH.to_string()),
+        "{}",
+        err.message
+    );
     let d: Diagnostic = err.into();
     assert_eq!(d.code, Code::ParseTooDeep);
 }
@@ -122,6 +129,7 @@ fn over_deep_type_is_rejected_with_diagnostic() {
     let src = format!("{}int{}", "(".repeat(n), ")".repeat(n));
     let err = parse_con(&src).unwrap_err();
     assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    assert!(err.message.contains("parse-depth budget"), "{}", err.message);
 }
 
 #[test]

@@ -6,13 +6,13 @@
 
 use crate::builtins;
 use crate::prelude::PRELUDE;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 use ur_core::con::RCon;
 use ur_core::sym::Sym;
 use ur_eval::{Builtin, EvalError, Interp, VEnv, Value, World};
-use ur_infer::{ElabDecl, ElabError, Elaborator};
+use ur_infer::{ElabDecl, ElabError, ElabSnapshot, Elaborator};
 
 /// Errors from running a program in a session.
 #[derive(Clone, Debug)]
@@ -51,6 +51,121 @@ impl From<EvalError> for SessionError {
     }
 }
 
+/// Tunables for the session's self-healing circuit breaker (see
+/// [`Breaker`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// How many recent batches the fault window covers.
+    pub window: usize,
+    /// Total faults across the window at which the breaker opens.
+    pub threshold: u64,
+    /// When open: force sequential elaboration (`threads = 1`).
+    pub degrade_parallelism: bool,
+    /// When open: switch the judgment memo tables off, so a corrupting
+    /// cache cannot keep feeding the elaborator bad entries.
+    pub disable_memo: bool,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            threshold: 8,
+            degrade_parallelism: true,
+            disable_memo: true,
+        }
+    }
+}
+
+/// A sticky circuit breaker over per-batch fault counts.
+///
+/// After every [`Session::run_all`] batch the session records the number
+/// of faults the batch survived (worker deaths, watchdog trips, task and
+/// declaration retries, memo integrity rejections). When the total over
+/// the last [`BreakerConfig::window`] batches reaches
+/// [`BreakerConfig::threshold`], the breaker opens and stays open until
+/// [`Breaker::reset`]: subsequent batches run degraded (sequential
+/// and/or memo off), trading throughput for blast-radius containment.
+#[derive(Clone, Debug)]
+pub struct Breaker {
+    /// Tunable thresholds; adjust before the first batch.
+    pub config: BreakerConfig,
+    recent: VecDeque<u64>,
+    open: bool,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker::new(BreakerConfig::default())
+    }
+}
+
+impl Breaker {
+    pub fn new(config: BreakerConfig) -> Breaker {
+        Breaker {
+            config,
+            recent: VecDeque::new(),
+            open: false,
+        }
+    }
+
+    /// Records one batch's fault count. Returns `true` exactly when this
+    /// record trips the breaker (a closed-to-open edge); an already-open
+    /// breaker keeps recording but never "re-trips".
+    pub fn record(&mut self, faults: u64) -> bool {
+        let cap = self.config.window.max(1);
+        while self.recent.len() >= cap {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(faults);
+        if self.open {
+            return false;
+        }
+        let total = self.window_total();
+        if total >= self.config.threshold.max(1) {
+            self.open = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the breaker is open (degraded mode active).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Faults summed over the current window.
+    pub fn window_total(&self) -> u64 {
+        self.recent.iter().fold(0u64, |a, b| a.saturating_add(*b))
+    }
+
+    /// Batches currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Closes the breaker and clears the window (operator reset; the
+    /// memo switch and thread count recover on the next healthy batch).
+    pub fn reset(&mut self) {
+        self.open = false;
+        self.recent.clear();
+    }
+}
+
+/// A point-in-time capture of a whole session, for rolling back a
+/// chaos-aborted (or simply unwanted) batch: elaborator state, runtime
+/// world (database + debug log), top-level value environment, name
+/// table, and breaker. Created by [`Session::snapshot`], consumed by
+/// [`Session::rollback`]. Builtins are immutable and not captured.
+pub struct SessionSnapshot {
+    elab: ElabSnapshot,
+    world: World,
+    top: VEnv,
+    by_name: HashMap<String, Sym>,
+    breaker: Breaker,
+}
+
 /// An Ur/Web session: elaborate-and-run programs against a persistent
 /// world.
 ///
@@ -73,6 +188,9 @@ pub struct Session {
     /// parallelism); `<= 1` elaborates sequentially. Evaluation always
     /// runs on the calling thread in source order.
     pub threads: usize,
+    /// Self-healing circuit breaker fed by per-batch fault counts (see
+    /// [`Breaker`]). Open ⇒ [`Session::run_all`] runs degraded.
+    pub breaker: Breaker,
     builtins: HashMap<Sym, Rc<Builtin>>,
     top: VEnv,
     by_name: HashMap<String, Sym>,
@@ -88,6 +206,14 @@ impl Session {
     pub fn new() -> Result<Session, SessionError> {
         let mut elab = Elaborator::new();
         let decls = elab.elab_source(PRELUDE)?;
+        // `UR_FAILPOINTS` configures fault injection without code changes
+        // (urc, the REPL, any embedder). Installed *after* the prelude so
+        // the bounded fault budget is spent on user code, not stdlib
+        // loading — the same convention the chaos harness uses.
+        #[cfg(feature = "failpoints")]
+        if let Some(cfg) = ur_core::failpoint::FpConfig::from_env() {
+            ur_core::failpoint::install(Some(cfg));
+        }
         let impls = builtins::registry();
         let mut map = HashMap::new();
         let mut by_name = HashMap::new();
@@ -110,6 +236,7 @@ impl Session {
             elab,
             world: World::new(),
             threads: ur_infer::default_threads(),
+            breaker: Breaker::default(),
             builtins: map,
             top: VEnv::new(),
             by_name,
@@ -150,11 +277,43 @@ impl Session {
     /// [`Diagnostic`](ur_syntax::Diagnostic) instead of aborting the
     /// batch. The session stays usable afterwards regardless of how
     /// hostile the input was.
+    ///
+    /// Every batch also feeds the [`Breaker`]: the fault delta the batch
+    /// survived (worker deaths, watchdog trips, task/declaration
+    /// retries, memo integrity rejections) is recorded, and while the
+    /// breaker is open the batch runs degraded — sequentially and/or
+    /// with memoization off, per [`BreakerConfig`] — with the
+    /// degradation counted in [`Session::stats`].
     pub fn run_all(
         &mut self,
         src: &str,
     ) -> (Vec<(String, Value)>, ur_syntax::Diagnostics) {
-        let (decls, mut diags) = self.elab.elab_source_all_threads(src, self.threads);
+        self.elab.cx.stats.capture_failpoints();
+        let before = self.elab.cx.stats.clone();
+        let mut threads = self.threads;
+        if self.breaker.is_open() {
+            if self.breaker.config.degrade_parallelism {
+                threads = 1;
+            }
+            if self.breaker.config.disable_memo {
+                self.elab.cx.memo.enabled = false;
+            }
+            self.elab.cx.stats.breaker_degraded_batches =
+                self.elab.cx.stats.breaker_degraded_batches.saturating_add(1);
+        }
+        let (decls, mut diags) = self.elab.elab_source_all_threads(src, threads);
+        self.elab.cx.stats.capture_failpoints();
+        let delta = self.elab.cx.stats.since(&before);
+        let faults = delta
+            .par_worker_deaths
+            .saturating_add(delta.watchdog_trips)
+            .saturating_add(delta.par_retries)
+            .saturating_add(delta.decl_retries)
+            .saturating_add(delta.fp_memo_rejections);
+        if self.breaker.record(faults) {
+            self.elab.cx.stats.breaker_trips =
+                self.elab.cx.stats.breaker_trips.saturating_add(1);
+        }
         let mut out = Vec::new();
         for d in &decls {
             if let ElabDecl::Val {
@@ -268,7 +427,80 @@ impl Session {
     pub fn stats_snapshot(&self) -> ur_core::stats::Stats {
         let mut s = self.elab.cx.stats.clone();
         s.capture_intern();
+        s.capture_failpoints();
         s
+    }
+
+    /// Captures the whole session (elaborator, world, environment,
+    /// breaker) so a later [`Session::rollback`] can undo everything a
+    /// batch did — including a chaos-aborted one.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            elab: self.elab.snapshot(),
+            world: self.world.clone(),
+            top: self.top.clone(),
+            by_name: self.by_name.clone(),
+            breaker: self.breaker.clone(),
+        }
+    }
+
+    /// Restores the session to a previous [`Session::snapshot`]: env,
+    /// folder cache, memo tables, stats, database, debug log, top-level
+    /// values, and breaker state all return to the captured point.
+    pub fn rollback(&mut self, snap: SessionSnapshot) {
+        self.elab.restore(snap.elab);
+        self.world = snap.world;
+        self.top = snap.top;
+        self.by_name = snap.by_name;
+        self.breaker = snap.breaker;
+    }
+
+    /// A human-readable self-healing/health summary: breaker state,
+    /// effective degradations, and the fault and recovery counters.
+    /// Surfaced by `urc --health` and the REPL's `:health` command.
+    pub fn health_report(&self) -> String {
+        use fmt::Write as _;
+        let s = self.stats_snapshot();
+        let mut out = String::new();
+        let state = if self.breaker.is_open() { "OPEN (degraded)" } else { "closed" };
+        let _ = writeln!(out, "session health");
+        let _ = writeln!(
+            out,
+            "  breaker: {state} — {}/{} faults over last {} batch(es) (window {}, threshold {})",
+            self.breaker.window_total(),
+            self.breaker.config.threshold,
+            self.breaker.window_len(),
+            self.breaker.config.window,
+            self.breaker.config.threshold,
+        );
+        let degraded_threads = self.breaker.is_open() && self.breaker.config.degrade_parallelism;
+        let _ = writeln!(
+            out,
+            "  threads: {}{}",
+            self.threads,
+            if degraded_threads { " (degraded to 1 while open)" } else { "" },
+        );
+        let _ = writeln!(
+            out,
+            "  memoization: {}",
+            if self.elab.cx.memo.enabled { "on" } else { "off (breaker)" },
+        );
+        let _ = writeln!(
+            out,
+            "  self-healing: task_retries={} worker_deaths={} watchdog_trips={} decl_retries={}",
+            s.par_retries, s.par_worker_deaths, s.watchdog_trips, s.decl_retries,
+        );
+        let _ = writeln!(
+            out,
+            "  breaker history: trips={} degraded_batches={}",
+            s.breaker_trips, s.breaker_degraded_batches,
+        );
+        let _ = writeln!(
+            out,
+            "  fault injection: injected={} memo_rejections={}",
+            s.fp_faults_injected, s.fp_memo_rejections,
+        );
+        out
     }
 }
 
@@ -526,5 +758,115 @@ mod recovery_tests {
         assert_eq!(diags.len(), 2, "{diags:?}");
         assert_eq!(defs.len(), 1);
         assert_eq!(sess.get_int("ok").unwrap(), 42);
+    }
+
+    /// `snapshot`/`rollback` must undo *everything* a batch did — env
+    /// bindings, database tables, debug output, and stats — even when
+    /// the batch partially failed, leaving the session bit-identical to
+    /// its pre-batch state (the chaos harness relies on this to abort
+    /// faulted batches).
+    #[test]
+    fn snapshot_rollback_restores_env_db_and_stats() {
+        let mut sess = Session::new().unwrap();
+        sess.run("val base = 10").unwrap();
+        let stats_before = sess.stats().clone();
+        let log_before = sess.world.out.clone();
+        let snap = sess.snapshot();
+
+        // A messy batch: new bindings, a new table, debug output, and a
+        // failing declaration in the middle.
+        let (defs, diags) = sess.run_all(
+            "val good = base + 1\n\
+             val t = createTable \"snapped\" {K = sqlInt}\n\
+             val u = insert t {K = const 7}\n\
+             val bad = 1 + \"two\"\n\
+             val d = debug \"noise\"",
+        );
+        assert!(!diags.is_empty());
+        assert!(!defs.is_empty());
+        assert!(sess.get("good").is_some());
+        assert_eq!(sess.world.db.row_count("snapped").unwrap(), 1);
+
+        sess.rollback(snap);
+        assert!(sess.get("good").is_none(), "binding survived rollback");
+        assert!(sess.get("t").is_none(), "table binding survived rollback");
+        assert!(
+            sess.world.db.row_count("snapped").is_err(),
+            "database table survived rollback"
+        );
+        assert_eq!(sess.world.out, log_before, "debug log survived rollback");
+        assert_eq!(sess.get_int("base").unwrap(), 10);
+        assert_eq!(
+            *sess.stats(),
+            stats_before,
+            "stats drifted across snapshot/rollback"
+        );
+
+        // The rolled-back session is fully usable.
+        sess.run("val after = base + 32").unwrap();
+        assert_eq!(sess.get_int("after").unwrap(), 42);
+    }
+
+    /// Breaker state machine: accumulates over a sliding window, trips
+    /// once on the closed→open edge, stays open (sticky), and recovers
+    /// only via `reset`.
+    #[test]
+    fn breaker_trips_once_and_is_sticky() {
+        let mut b = Breaker::new(BreakerConfig {
+            window: 3,
+            threshold: 5,
+            ..BreakerConfig::default()
+        });
+        assert!(!b.record(2));
+        assert!(!b.record(2));
+        assert!(!b.is_open());
+        assert!(b.record(1), "third batch reaches the threshold");
+        assert!(b.is_open());
+        assert!(!b.record(100), "an open breaker never re-trips");
+        assert!(b.is_open());
+        b.reset();
+        assert!(!b.is_open());
+        assert_eq!(b.window_len(), 0);
+        // Old faults fell out of the window after reset.
+        assert!(!b.record(4));
+        assert!(!b.is_open());
+    }
+
+    /// While the breaker is open, `run_all` degrades (sequential + memo
+    /// off), counts the degradation, and still produces correct values.
+    #[test]
+    fn open_breaker_degrades_run_all_but_stays_correct() {
+        let mut sess = Session::new().unwrap();
+        sess.threads = 4;
+        // Trip the breaker by hand (fault injection does it for real in
+        // the chaos suite).
+        sess.breaker.record(BreakerConfig::default().threshold);
+        assert!(sess.breaker.is_open());
+
+        let (defs, diags) = sess.run_all("val z = 40 + 2");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(sess.get_int("z").unwrap(), 42);
+        assert_eq!(sess.stats().breaker_degraded_batches, 1);
+        assert!(!sess.elab.cx.memo.enabled, "memo not switched off");
+        assert_eq!(sess.threads, 4, "configured thread count must survive");
+
+        let report = sess.health_report();
+        assert!(report.contains("OPEN (degraded)"), "{report}");
+        assert!(report.contains("off (breaker)"), "{report}");
+        assert!(report.contains("degraded_batches=1"), "{report}");
+    }
+
+    /// A healthy session reports a closed breaker and zeroed healing
+    /// counters.
+    #[test]
+    fn health_report_on_healthy_session() {
+        let mut sess = Session::new().unwrap();
+        let (_defs, diags) = sess.run_all("val x = 1");
+        assert!(diags.is_empty());
+        let report = sess.health_report();
+        assert!(report.contains("breaker: closed"), "{report}");
+        assert!(report.contains("memoization: on"), "{report}");
+        assert!(report.contains("trips=0"), "{report}");
     }
 }

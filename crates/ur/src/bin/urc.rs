@@ -9,6 +9,8 @@
 //! options:
 //!   --print            print every top-level value as it is defined
 //!   --stats            print inference statistics (the Figure 5 counters)
+//!   --health           print the self-healing report (circuit breaker,
+//!                      watchdog/retry counters, fault injection totals)
 //!   --core NAME        dump the elaborated core term of value NAME
 //!   --type NAME        print the inferred type of value NAME
 //!   --eval EXPR        evaluate EXPR after loading the files
@@ -29,6 +31,7 @@ struct Options {
     files: Vec<String>,
     print: bool,
     stats: bool,
+    health: bool,
     core: Vec<String>,
     types: Vec<String>,
     evals: Vec<String>,
@@ -40,7 +43,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: urc [--print] [--stats] [--core NAME] [--type NAME] [--eval EXPR]\n\
+    "usage: urc [--print] [--stats] [--health] [--core NAME] [--type NAME] [--eval EXPR]\n\
      \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib]\n\
      \x20          [--no-fusion] FILE...\n\
      Elaborates and runs Ur source files against the Ur/Web standard library."
@@ -51,6 +54,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         files: Vec::new(),
         print: false,
         stats: false,
+        health: false,
         core: Vec::new(),
         types: Vec::new(),
         evals: Vec::new(),
@@ -65,6 +69,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--help" | "-h" => return Err(usage().to_string()),
             "--print" => opts.print = true,
             "--stats" => opts.stats = true,
+            "--health" => opts.health = true,
             "--sql-log" => opts.sql_log = true,
             "--no-identity" => opts.no_identity = true,
             "--no-distrib" => opts.no_distrib = true,
@@ -176,6 +181,9 @@ fn run(opts: &Options) -> Result<(), String> {
 
     if opts.stats {
         eprintln!("stats: {}", sess.stats_snapshot());
+    }
+    if opts.health {
+        eprint!("{}", sess.health_report());
     }
     Ok(())
 }

@@ -6,8 +6,9 @@
 //!
 //! Enter expressions to evaluate them, declarations (`val`/`fun`/`type`/
 //! `con`) to extend the session, `:t e` for the type of an expression,
-//! `:stats` for the Figure-5 counters plus the memo-cache and
-//! intern-table columns, and `:quit` to exit.
+//! `:stats` for the Figure-5 counters plus the memo-cache, intern-table,
+//! and self-healing columns, `:health` for the circuit-breaker/fault
+//! report, and `:quit` to exit.
 
 use std::io::{BufRead, Write};
 use ur::{Session, SessionError};
@@ -29,7 +30,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("Ur REPL — :t <expr> for types, :stats for counters, :quit to exit");
+    println!(
+        "Ur REPL — :t <expr> for types, :stats for counters, :health for the \
+         self-healing report, :quit to exit"
+    );
     let stdin = std::io::stdin();
     loop {
         print!("ur> ");
@@ -52,6 +56,10 @@ fn main() {
         }
         if line == ":stats" {
             println!("{}", sess.stats_snapshot());
+            continue;
+        }
+        if line == ":health" {
+            print!("{}", sess.health_report());
             continue;
         }
         if let Some(rest) = line.strip_prefix(":t ") {
