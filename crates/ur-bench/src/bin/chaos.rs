@@ -79,6 +79,16 @@ fn state_havoc(seed: u64) -> FpConfig {
         .with_rate(Site::FuelCharge, 20)
 }
 
+/// Disk-cache havoc for the incremental engine: stores corrupt their
+/// integrity tag, loads return unreadable bytes. Every damaged entry
+/// must degrade to a recompute, never to a wrong answer.
+fn cache_havoc(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(2)
+        .with_rate(Site::CacheLoad, 500)
+        .with_rate(Site::CacheStore, 500)
+}
+
 /// Combined batch: every study's transitive dependencies (depth-first,
 /// deduplicated), implementation, and usage demo, then the client fan.
 fn combined_source() -> String {
@@ -177,6 +187,36 @@ fn run_once(
     (ms, decl_fps, diag_fps, injected)
 }
 
+/// One chaos pass through the incremental engine: build under a faulty
+/// store layer, then rebuild with a fresh engine under a faulty load
+/// layer. Corrupted entries are rejected and recomputed; the rebuild's
+/// declarations and diagnostics must still match the clean baseline.
+fn run_once_cache(src: &str, cfg: FpConfig) -> (f64, Vec<String>, Vec<String>, FpCounters) {
+    use ur_query::{Engine, EngineConfig};
+    let dir = std::env::temp_dir().join(format!("ur-chaos-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut sess = Session::new().expect("session");
+    let base = sess.elab.snapshot();
+    let base_tag = ur_core::fingerprint::hash_str(ur_web::PRELUDE);
+    let mk = || Engine::new(EngineConfig { cache_dir: Some(dir.clone()), base_tag });
+    let _ = failpoint::take_counters();
+    failpoint::install(Some(cfg));
+    let start = Instant::now();
+    mk().run(&mut sess.elab, src, 1);
+    sess.elab.restore(base);
+    let (decls, diags, _report) = mk().run(&mut sess.elab, src, 1);
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    failpoint::install(None);
+    let injected = failpoint::take_counters();
+    let _ = std::fs::remove_dir_all(&dir);
+    let decl_fps = decls
+        .iter()
+        .map(|d| strip_sym_ids(&format!("{d:?}")))
+        .collect();
+    let diag_fps = diags.iter().map(|d| d.to_string()).collect();
+    (ms, decl_fps, diag_fps, injected)
+}
+
 struct RunRecord {
     corpus: &'static str,
     schedule: &'static str,
@@ -252,6 +292,24 @@ fn main() {
     chaos(0, "worker_havoc", worker_havoc(0xBAD), 4, &mut rows, &mut totals);
     chaos(0, "state_havoc", state_havoc(0xC0DE), 1, &mut rows, &mut totals);
     chaos(1, "state_havoc", state_havoc(0xC0DE), 4, &mut rows, &mut totals);
+    // Incremental-engine cache corruption, against both corpora.
+    for corpus_ix in 0..corpora.len() {
+        let cfg = cache_havoc(0xCAC4E + corpus_ix as u64);
+        let (name, src) = corpora[corpus_ix];
+        let (base_decls, base_diags) = &baselines[corpus_ix];
+        let (ms, decls, diags, injected) = run_once_cache(src, cfg);
+        totals.absorb(&injected);
+        rows.push(RunRecord {
+            corpus: name,
+            schedule: "cache_havoc",
+            seed: cfg.seed,
+            threads: 1,
+            ms,
+            injected: injected.total_injected(),
+            rejections: injected.integrity_rejections,
+            diverged: decls != *base_decls || diags != *base_diags,
+        });
+    }
 
     println!(
         "{:>12} {:>12} {:>10} {:>8} {:>9} {:>9} {:>8} {:>9}",

@@ -9,8 +9,8 @@
 //!
 //! * **Named sites** ([`Site`]): worker spawn/execution/send/stall in
 //!   `ur-infer::batch`, memo-table load/store in [`crate::memo`],
-//!   intern-table growth in [`crate::intern`], and fuel accounting in
-//!   [`crate::limits`].
+//!   intern-table growth in [`crate::intern`], fuel accounting in
+//!   [`crate::limits`], and incremental-cache load/store in `ur-query`.
 //! * **Seeded activation**: each site draws from a splitmix64 stream
 //!   keyed by `(seed, site, hit index)`, so a given configuration
 //!   produces the same fault schedule on every run — chaos tests print
@@ -33,7 +33,7 @@
 use std::fmt;
 
 /// Number of named sites (length of [`Site::ALL`]).
-pub const NSITES: usize = 8;
+pub const NSITES: usize = 10;
 
 /// A named fault-injection site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,6 +60,12 @@ pub enum Site {
     /// Fuel accounting mischarges a burst of phantom steps; a resulting
     /// spurious exhaustion is healed by the bounded declaration retry.
     FuelCharge,
+    /// Loading an on-disk incremental-cache entry observes corruption;
+    /// the integrity tag must reject it and the declaration recomputes.
+    CacheLoad,
+    /// Storing an on-disk incremental-cache entry corrupts it in flight
+    /// (detected by a later load's integrity check).
+    CacheStore,
 }
 
 impl Site {
@@ -73,6 +79,8 @@ impl Site {
         Site::MemoStore,
         Site::InternGrow,
         Site::FuelCharge,
+        Site::CacheLoad,
+        Site::CacheStore,
     ];
 
     /// Stable index of this site.
@@ -86,6 +94,8 @@ impl Site {
             Site::MemoStore => 5,
             Site::InternGrow => 6,
             Site::FuelCharge => 7,
+            Site::CacheLoad => 8,
+            Site::CacheStore => 9,
         }
     }
 
@@ -100,6 +110,8 @@ impl Site {
             Site::MemoStore => "memo_store",
             Site::InternGrow => "intern_grow",
             Site::FuelCharge => "fuel_charge",
+            Site::CacheLoad => "cache_load",
+            Site::CacheStore => "cache_store",
         }
     }
 

@@ -39,6 +39,7 @@
 //! assert_eq!(cx.stats.law_map_identity, 1);
 //! ```
 
+pub mod codec;
 pub mod con;
 pub mod defeq;
 pub mod disjoint;
@@ -46,6 +47,7 @@ pub mod env;
 pub mod error;
 pub mod expr;
 pub mod failpoint;
+pub mod fingerprint;
 pub mod folder;
 pub mod hnf;
 pub mod intern;

@@ -78,6 +78,18 @@ pub struct Stats {
     /// the `failpoints` feature.
     pub fp_faults_injected: u64,
     pub fp_memo_rejections: u64,
+    /// Incremental-engine queries issued (one per declaration per
+    /// rebuild; see `ur-query`).
+    pub queries_total: u64,
+    /// Declarations verified green and reused without re-elaboration.
+    pub green_reused: u64,
+    /// Declarations recomputed because their inputs changed (red).
+    pub red_recomputed: u64,
+    /// On-disk cache entries loaded and accepted.
+    pub disk_hits: u64,
+    /// On-disk cache entries rejected (bad magic/version/env, integrity
+    /// mismatch, or undecodable payload) and recomputed instead.
+    pub disk_rejections: u64,
 }
 
 impl Stats {
@@ -128,6 +140,11 @@ impl Stats {
             decl_retries,
             fp_faults_injected,
             fp_memo_rejections,
+            queries_total,
+            green_reused,
+            red_recomputed,
+            disk_hits,
+            disk_rejections,
         );
     }
 
@@ -211,6 +228,11 @@ impl Stats {
             fp_memo_rejections: self
                 .fp_memo_rejections
                 .saturating_sub(earlier.fp_memo_rejections),
+            queries_total: self.queries_total.saturating_sub(earlier.queries_total),
+            green_reused: self.green_reused.saturating_sub(earlier.green_reused),
+            red_recomputed: self.red_recomputed.saturating_sub(earlier.red_recomputed),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            disk_rejections: self.disk_rejections.saturating_sub(earlier.disk_rejections),
         }
     }
 }
@@ -266,6 +288,15 @@ impl fmt::Display for Stats {
             f,
             " faults[injected={} memo_rejected={}]",
             self.fp_faults_injected, self.fp_memo_rejections,
+        )?;
+        write!(
+            f,
+            " incr[queries={} green={} red={} disk={}/{}]",
+            self.queries_total,
+            self.green_reused,
+            self.red_recomputed,
+            self.disk_hits,
+            self.disk_rejections,
         )
     }
 }
@@ -394,6 +425,39 @@ mod tests {
         assert_eq!(d.fp_faults_injected, 0);
         let d2 = b.since(&a);
         assert_eq!(d2.par_retries, 0, "saturating sub");
+    }
+
+    #[test]
+    fn display_mentions_incremental_counters() {
+        let s = Stats::new().to_string();
+        for key in ["incr[queries=", "green=", "red=", "disk="] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_and_since_cover_incremental_counters() {
+        let mut a = Stats::new();
+        a.queries_total = 5;
+        a.disk_hits = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.queries_total = 7;
+        b.green_reused = 4;
+        b.red_recomputed = 3;
+        b.disk_hits = 10;
+        b.disk_rejections = 2;
+        a.absorb(&b);
+        assert_eq!(a.queries_total, 12);
+        assert_eq!(a.green_reused, 4);
+        assert_eq!(a.red_recomputed, 3);
+        assert_eq!(a.disk_hits, u64::MAX, "saturating add");
+        assert_eq!(a.disk_rejections, 2);
+
+        let d = a.since(&b);
+        assert_eq!(d.queries_total, 5);
+        assert_eq!(d.green_reused, 0);
+        let d2 = b.since(&a);
+        assert_eq!(d2.queries_total, 0, "saturating sub");
     }
 
     #[test]

@@ -449,9 +449,10 @@ enum PEntry {
     Val(PSym),
 }
 
-/// Portable mirror of [`ElabDecl`].
+/// Portable mirror of [`ElabDecl`]. Public because the incremental
+/// engine (`ur-query`) persists elaboration outcomes in portable form.
 #[derive(Clone, Debug)]
-enum PElabDecl {
+pub enum PElabDecl {
     Con {
         name: String,
         sym: PSym,
@@ -466,7 +467,8 @@ enum PElabDecl {
     },
 }
 
-fn export_decl(d: &ElabDecl) -> PElabDecl {
+/// Captures an elaborated declaration as a portable value.
+pub fn export_decl(d: &ElabDecl) -> PElabDecl {
     match d {
         ElabDecl::Con { name, sym, kind, def } => PElabDecl::Con {
             name: name.clone(),
@@ -483,7 +485,8 @@ fn export_decl(d: &ElabDecl) -> PElabDecl {
     }
 }
 
-fn import_decl(imp: &mut Importer, p: &PElabDecl) -> ElabDecl {
+/// Rebuilds an elaborated declaration on the current thread.
+pub fn import_decl(imp: &mut Importer, p: &PElabDecl) -> ElabDecl {
     match p {
         PElabDecl::Con { name, sym, kind, def } => ElabDecl::Con {
             name: name.clone(),
@@ -504,9 +507,9 @@ fn import_decl(imp: &mut Importer, p: &PElabDecl) -> ElabDecl {
 /// declaration itself (absent when it failed) plus any `let`-local `con`
 /// definitions it recorded into the global environment as a side effect.
 #[derive(Clone, Debug, Default)]
-struct POutcome {
-    decl: Option<PElabDecl>,
-    extra_cons: Vec<PConBind>,
+pub struct POutcome {
+    pub decl: Option<PElabDecl>,
+    pub extra_cons: Vec<PConBind>,
 }
 
 /// Read-only batch context shared by all workers.
@@ -566,12 +569,13 @@ impl TaskResult {
 }
 
 /// Worker-local imported form of a dependency outcome.
-struct LocalOutcome {
-    decl: Option<ElabDecl>,
-    extra_cons: Vec<(Sym, Kind, Option<RCon>)>,
+pub struct LocalOutcome {
+    pub decl: Option<ElabDecl>,
+    pub extra_cons: Vec<(Sym, Kind, Option<RCon>)>,
 }
 
-fn import_outcome(imp: &mut Importer, p: &POutcome) -> LocalOutcome {
+/// Rebuilds a portable outcome on the current thread.
+pub fn import_outcome(imp: &mut Importer, p: &POutcome) -> LocalOutcome {
     LocalOutcome {
         decl: p.decl.as_ref().map(|d| import_decl(imp, d)),
         extra_cons: p
@@ -588,7 +592,7 @@ fn import_outcome(imp: &mut Importer, p: &POutcome) -> LocalOutcome {
 /// Installs one dependency outcome into an elaborator: extra `con`
 /// bindings first (the declaration's type may mention their symbols),
 /// then the declaration itself.
-fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
+pub fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
     for (sym, kind, def) in &o.extra_cons {
         match def {
             Some(c) => el.genv.define_con(sym.clone(), kind.clone(), c.clone()),
@@ -598,6 +602,68 @@ fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
     if let Some(d) = &o.decl {
         el.install_elab_decl(d.clone());
     }
+}
+
+/// Elaborates one declaration on `el` (with recovery) and captures what
+/// it persistently contributed as a portable outcome: the declaration
+/// plus any `let`-local `con` bindings it recorded into the global
+/// environment. Shared by the worker loop, the sequential incremental
+/// path, and the merge-loop fallback, so all three export identical
+/// outcome shapes.
+pub fn elab_decl_capture(el: &mut Elaborator, d: &SDecl) -> (Option<Diagnostic>, POutcome) {
+    let before: HashSet<u32> = el.genv.cons().map(|(s, _)| s.id()).collect();
+    let start = el.decls.len();
+    let diag = el.elab_decl_recover(d);
+    let decl = el.decls.get(start).cloned();
+
+    let own_con = match &decl {
+        Some(ElabDecl::Con { sym, .. }) => Some(sym.id()),
+        _ => None,
+    };
+    let mut extra: Vec<(Sym, Kind, Option<RCon>)> = el
+        .genv
+        .cons()
+        .filter(|(s, _)| !before.contains(&s.id()) && Some(s.id()) != own_con)
+        .map(|(s, b)| (s.clone(), b.kind.clone(), b.def.clone()))
+        .collect();
+    extra.sort_by_key(|(s, _, _)| s.id());
+    let extra_cons: Vec<PConBind> = extra
+        .iter()
+        .map(|(s, k, def)| PConBind {
+            sym: export_sym(s),
+            kind: export_kind(k),
+            def: def.as_deref().map(export_con),
+        })
+        .collect();
+    (
+        diag,
+        POutcome {
+            decl: decl.as_ref().map(export_decl),
+            extra_cons,
+        },
+    )
+}
+
+/// A pre-verified elaboration outcome injected into the scheduler by the
+/// incremental engine (`ur-query`): the declaration's cached outcome and
+/// the diagnostic it produced, both already re-linked to this process's
+/// symbols. A seeded declaration is installed verbatim at its source
+/// position — it is never dispatched, charges no fuel, and contributes
+/// no per-declaration stats.
+#[derive(Clone, Debug)]
+pub struct Seed {
+    pub outcome: POutcome,
+    pub diag: Option<Diagnostic>,
+}
+
+/// Per-declaration outcome of an incremental batch, in source order:
+/// what was installed, the diagnostic it carries, and whether it was a
+/// green reuse (seeded) or a red recomputation.
+#[derive(Clone, Debug)]
+pub struct DeclRecord {
+    pub outcome: POutcome,
+    pub diag: Option<Diagnostic>,
+    pub reused: bool,
 }
 
 // ---------------- worker ----------------
@@ -670,30 +736,7 @@ fn worker_main(
             }
         }
 
-        let before: HashSet<u32> = el.genv.cons().map(|(s, _)| s.id()).collect();
-        let start = el.decls.len();
-        let diag = el.elab_decl_recover(&task.decl);
-        let decl = el.decls.get(start).cloned();
-
-        let own_con = match &decl {
-            Some(ElabDecl::Con { sym, .. }) => Some(sym.id()),
-            _ => None,
-        };
-        let mut extra: Vec<(Sym, Kind, Option<RCon>)> = el
-            .genv
-            .cons()
-            .filter(|(s, _)| !before.contains(&s.id()) && Some(s.id()) != own_con)
-            .map(|(s, b)| (s.clone(), b.kind.clone(), b.def.clone()))
-            .collect();
-        extra.sort_by_key(|(s, _, _)| s.id());
-        let extra_cons: Vec<PConBind> = extra
-            .iter()
-            .map(|(s, k, d)| PConBind {
-                sym: export_sym(s),
-                kind: export_kind(k),
-                def: d.as_deref().map(export_con),
-            })
-            .collect();
+        let (diag, outcome) = elab_decl_capture(&mut el, &task.decl);
 
         let stats = el.cx.stats.since(&prev_stats);
         prev_stats = el.cx.stats.clone();
@@ -723,10 +766,7 @@ fn worker_main(
         let sent = tx.send(TaskResult {
             idx: task.idx,
             worker: wid,
-            outcome: POutcome {
-                decl: decl.as_ref().map(export_decl),
-                extra_cons,
-            },
+            outcome,
             diag,
             stats,
             lifetime_steps,
@@ -775,12 +815,85 @@ pub fn elab_program_all_with_graph(
     if graph.len() != n || threads <= 1 || n < 2 {
         return elab.elab_program_all(prog);
     }
+    let seeds = (0..n).map(|_| None).collect();
+    let (decls, diags, _records) = elab_program_all_incremental(elab, prog, threads, graph, seeds);
+    (decls, diags)
+}
+
+/// Sequential arm of the incremental batch: walk the declarations in
+/// source order, installing green seeds verbatim (no fuel, no stats) and
+/// elaborating red ones in place.
+fn run_incremental_sequential(
+    elab: &mut Elaborator,
+    prog: &Program,
+    mut seeds: Vec<Option<Seed>>,
+) -> (Vec<ElabDecl>, Diagnostics, Vec<DeclRecord>) {
+    let start = elab.decls.len();
+    let mut imp = Importer::new();
+    let mut diags = Diagnostics::new();
+    let mut records: Vec<DeclRecord> = Vec::with_capacity(prog.decls.len());
+    for (i, d) in prog.decls.iter().enumerate() {
+        match seeds.get_mut(i).and_then(Option::take) {
+            Some(seed) => {
+                let local = import_outcome(&mut imp, &seed.outcome);
+                install_outcome(elab, &local);
+                if let Some(diag) = seed.diag.clone() {
+                    diags.push(diag);
+                }
+                records.push(DeclRecord {
+                    outcome: seed.outcome,
+                    diag: seed.diag,
+                    reused: true,
+                });
+            }
+            None => {
+                let (diag, outcome) = elab_decl_capture(elab, d);
+                if let Some(dg) = diag.clone() {
+                    diags.push(dg);
+                }
+                records.push(DeclRecord {
+                    outcome,
+                    diag,
+                    reused: false,
+                });
+            }
+        }
+    }
+    sort_diags(&mut diags);
+    (elab.decls[start..].to_vec(), diags, records)
+}
+
+/// Runs a batch in which some declarations arrive pre-verified
+/// ([`Seed`]s from the incremental engine). Seeded declarations are
+/// installed at their source position without re-elaboration — they are
+/// never dispatched to a worker, reset no fuel, and contribute no
+/// per-declaration stats — while the remaining (red) declarations run
+/// through the ordinary parallel scheduler (or sequentially, when
+/// `threads <= 1` or fewer than two declarations are red). `seeds` must
+/// have one entry per declaration; any other length is treated as
+/// all-red. Returns the installed declarations, span-sorted diagnostics,
+/// and one [`DeclRecord`] per declaration in source order.
+pub fn elab_program_all_incremental(
+    elab: &mut Elaborator,
+    prog: &Program,
+    threads: usize,
+    graph: &DepGraph,
+    mut seeds: Vec<Option<Seed>>,
+) -> (Vec<ElabDecl>, Diagnostics, Vec<DeclRecord>) {
+    let n = prog.decls.len();
+    if seeds.len() != n {
+        seeds = (0..n).map(|_| None).collect();
+    }
+    let red = seeds.iter().filter(|s| s.is_none()).count();
+    if graph.len() != n || threads <= 1 || red < 2 {
+        return run_incremental_sequential(elab, prog, seeds);
+    }
     let topo = match graph.topo_order() {
         Ok(t) => t,
         Err(cycle) => {
             // Reject the whole batch: a cycle means there is no valid
             // elaboration order to be deterministic against.
-            return (Vec::new(), cycle_diagnostics(prog, &cycle));
+            return (Vec::new(), cycle_diagnostics(prog, &cycle), Vec::new());
         }
     };
     let closures = graph.closures(&topo);
@@ -814,7 +927,7 @@ pub fn elab_program_all_with_graph(
     // stay aligned with channel indices; the pool just runs smaller. With
     // zero live workers every outcome is missing and the merge loop below
     // degrades to fully sequential elaboration.
-    let pool = threads.min(n);
+    let pool = threads.min(red);
     let (res_tx, res_rx) = mpsc::channel::<TaskResult>();
     let mut task_txs: Vec<Option<mpsc::Sender<Task>>> = Vec::with_capacity(pool);
     let mut handles = Vec::with_capacity(pool);
@@ -863,7 +976,6 @@ pub fn elab_program_all_with_graph(
     //   re-elaborate identical outcomes, so which copy wins is
     //   unobservable).
     let mut indegree: Vec<usize> = (0..n).map(|i| graph.deps(i).len()).collect();
-    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut idle: Vec<usize> = (0..task_txs.len())
         .rev()
         .filter(|&w| task_txs[w].is_some())
@@ -873,11 +985,28 @@ pub fn elab_program_all_with_graph(
     let mut results: Vec<Option<TaskResult>> = (0..n).map(|_| None).collect();
     let mut attempts: Vec<u32> = vec![0; n];
     let mut done: Vec<bool> = vec![false; n];
+    // Seeded declarations start completed: their outcome is already
+    // verified, so it ships to dependents like any finished task but is
+    // never dispatched itself.
+    let mut seeded = 0usize;
+    for (i, s) in seeds.iter().enumerate() {
+        if let Some(seed) = s {
+            done[i] = true;
+            seeded += 1;
+            shipped[i] = Some(seed.outcome.clone());
+            for &d in graph.dependents(i) {
+                indegree[d] = indegree[d].saturating_sub(1);
+            }
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..n)
+        .filter(|&i| !done[i] && indegree[i] == 0)
+        .collect();
     // Backoff queue: `(ready_at_tick, idx)` for re-dispatches waiting out
     // their exponential delay.
     let mut deferred: Vec<(u64, usize)> = Vec::new();
     let mut in_flight: HashMap<usize, usize> = HashMap::new(); // idx -> wid
-    let mut completed = 0usize;
+    let mut completed = seeded;
     let mut tick = 0u64;
     let mut patience_shift = 0u32;
     let mut par_retries = 0u64;
@@ -1034,23 +1163,50 @@ pub fn elab_program_all_with_graph(
     let start = elab.decls.len();
     let mut imp = Importer::new();
     let mut diags = Diagnostics::new();
+    let mut records: Vec<DeclRecord> = Vec::with_capacity(n);
     let mut par_decls = 0u64;
     for (i, d) in prog.decls.iter().enumerate() {
+        if let Some(seed) = seeds.get_mut(i).and_then(Option::take) {
+            // Green reuse: install the verified outcome verbatim. No
+            // fuel reset, no stats — the declaration was not elaborated.
+            let local = import_outcome(&mut imp, &seed.outcome);
+            install_outcome(elab, &local);
+            if let Some(diag) = seed.diag.clone() {
+                diags.push(diag);
+            }
+            records.push(DeclRecord {
+                outcome: seed.outcome,
+                diag: seed.diag,
+                reused: true,
+            });
+            continue;
+        }
         match results[i].take() {
             Some(res) => {
                 let local = import_outcome(&mut imp, &res.outcome);
                 install_outcome(elab, &local);
-                if let Some(diag) = res.diag {
+                if let Some(diag) = res.diag.clone() {
                     diags.push(diag);
                 }
                 elab.cx.stats.absorb(&res.stats);
                 elab.cx.fuel.absorb_lifetime(res.lifetime_steps);
                 par_decls += 1;
+                records.push(DeclRecord {
+                    outcome: res.outcome,
+                    diag: res.diag,
+                    reused: false,
+                });
             }
             None => {
-                if let Some(diag) = elab.elab_decl_recover(d) {
-                    diags.push(diag);
+                let (diag, outcome) = elab_decl_capture(elab, d);
+                if let Some(dg) = diag.clone() {
+                    diags.push(dg);
                 }
+                records.push(DeclRecord {
+                    outcome,
+                    diag,
+                    reused: false,
+                });
             }
         }
     }
@@ -1066,7 +1222,7 @@ pub fn elab_program_all_with_graph(
     elab.cx.stats.watchdog_trips = elab.cx.stats.watchdog_trips.saturating_add(watchdog_trips);
     elab.cx.stats.capture_failpoints();
     sort_diags(&mut diags);
-    (elab.decls[start..].to_vec(), diags)
+    (elab.decls[start..].to_vec(), diags, records)
 }
 
 #[cfg(test)]

@@ -73,7 +73,9 @@ pub(crate) enum Entry {
 /// a chaos-faulted declaration attempt (see
 /// [`Elaborator::snapshot`]/[`Elaborator::restore`]). Sessions reuse it
 /// to roll back whole aborted batches. Opaque: it can only be fed back
-/// to the elaborator it came from.
+/// to the elaborator it came from. `Clone` so a session can keep one
+/// base snapshot and restore it before every incremental rebuild.
+#[derive(Clone)]
 pub struct ElabSnapshot {
     genv: Env,
     cx: Cx,

@@ -38,7 +38,9 @@ pub mod elab;
 pub mod error;
 pub mod unify;
 
-pub use batch::{default_threads, DepGraph};
+pub use batch::{
+    default_threads, elab_program_all_incremental, DeclRecord, DepGraph, PElabDecl, POutcome, Seed,
+};
 pub use elab::{ElabDecl, ElabSnapshot, Elaborator};
 pub use error::{ElabError, EResult};
 pub use unify::{unify, unify_kind, Unify};

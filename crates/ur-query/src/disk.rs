@@ -1,0 +1,208 @@
+//! Persistent on-disk cache for linked elaboration outcomes.
+//!
+//! Layout: one file per query under the cache directory, named by the
+//! query's input fingerprint (`{fp:016x}.urq`). Each file is
+//!
+//! ```text
+//! magic "URQ1" | format version u32 | env fingerprint u64
+//!   | payload (u64 length prefix) | integrity tag u64
+//! ```
+//!
+//! The integrity tag is the FNV-64 hash of the payload xor a salt, so a
+//! truncated or bit-flipped file is detected before the payload reaches
+//! the decoder. Every check failure is a *rejection* (counted by the
+//! engine in `Stats::disk_rejections`) and degrades to recomputation —
+//! the cache can never make a build wrong, only cold.
+//!
+//! The cache directory defaults to `.ur-cache/` next to the current
+//! working directory and can be redirected with the `UR_CACHE_DIR`
+//! environment variable (an empty value disables the disk layer).
+//! Writes go through a temporary file followed by a rename, so a crash
+//! mid-write leaves either the old entry or none — never a torn one
+//! that happens to carry a valid header.
+//!
+//! Under the `failpoints` feature the two cache sites fire here:
+//! [`Site::CacheLoad`](ur_core::failpoint::Site) simulates a read of a
+//! corrupt entry (the bytes are discarded and the load reports
+//! `Rejected`), and `Site::CacheStore` corrupts the integrity tag of the
+//! written file so a *later* load exercises the verification path.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use ur_core::codec::{ByteReader, ByteWriter};
+use ur_core::fingerprint::hash_bytes;
+
+/// File magic for cache entries.
+const MAGIC: [u8; 4] = *b"URQ1";
+/// Bumped whenever the entry encoding changes shape.
+const FORMAT_VERSION: u32 = 1;
+/// Salt mixed into the integrity tag so it cannot collide with a stored
+/// payload hash used for some other purpose.
+const INTEGRITY_SALT: u64 = 0x7571_6361_6368_6531; // "uqcache1"
+
+/// Result of probing the disk cache for one query.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadResult {
+    /// No entry on disk (a plain cold miss).
+    Miss,
+    /// An entry exists but failed verification (bad magic, version or
+    /// environment mismatch, torn payload, integrity failure).
+    Rejected,
+    /// A verified payload.
+    Hit(Vec<u8>),
+}
+
+/// Resolves the cache directory: an explicit override wins, then
+/// `UR_CACHE_DIR` (empty disables), then `.ur-cache` in the working
+/// directory.
+pub fn resolve_cache_dir(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(dir) = explicit {
+        return Some(dir);
+    }
+    match std::env::var("UR_CACHE_DIR") {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(PathBuf::from(".ur-cache")),
+    }
+}
+
+/// Path of the entry for input fingerprint `key`.
+pub fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.urq"))
+}
+
+/// Loads and verifies the entry for `key`, if any.
+pub fn load(dir: &Path, key: u64, env_fp: u64) -> LoadResult {
+    let bytes = match fs::read(entry_path(dir, key)) {
+        Ok(b) => b,
+        Err(_) => return LoadResult::Miss,
+    };
+    #[cfg(feature = "failpoints")]
+    if ur_core::failpoint::fire(ur_core::failpoint::Site::CacheLoad) {
+        // Simulated corruption: the file was read but its contents are
+        // treated as garbage.
+        return LoadResult::Rejected;
+    }
+    let mut r = ByteReader::new(&bytes);
+    let ok = (|| {
+        let magic = [r.get_u8()?, r.get_u8()?, r.get_u8()?, r.get_u8()?];
+        if magic != MAGIC {
+            return None;
+        }
+        if r.get_u32()? != FORMAT_VERSION {
+            return None;
+        }
+        if r.get_u64()? != env_fp {
+            return None;
+        }
+        let payload = r.get_bytes()?;
+        let tag = r.get_u64()?;
+        if !r.is_empty() {
+            return None;
+        }
+        if tag != hash_bytes(payload) ^ INTEGRITY_SALT {
+            return None;
+        }
+        Some(payload)
+    })();
+    match ok {
+        Some(payload) => LoadResult::Hit(payload.to_vec()),
+        None => LoadResult::Rejected,
+    }
+}
+
+/// Stores `payload` for `key`. Best-effort: I/O errors are swallowed (a
+/// cache that cannot write is merely cold) and reported as `false` so
+/// callers that care (tests, benches) can tell.
+pub fn store(dir: &Path, key: u64, env_fp: u64, payload: &[u8]) -> bool {
+    if fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    let mut w = ByteWriter::new();
+    for b in MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u32(FORMAT_VERSION);
+    w.put_u64(env_fp);
+    w.put_bytes(payload);
+    let tag = hash_bytes(payload) ^ INTEGRITY_SALT;
+    // Simulated torn write: flip the integrity tag so the next load of
+    // this entry exercises the rejection path.
+    #[cfg(feature = "failpoints")]
+    let tag = if ur_core::failpoint::fire(ur_core::failpoint::Site::CacheStore) {
+        tag ^ 1
+    } else {
+        tag
+    };
+    w.put_u64(tag);
+    let bytes = w.into_bytes();
+    let tmp = dir.join(format!("{key:016x}.tmp"));
+    let write_ok = (|| {
+        let mut f = fs::File::create(&tmp).ok()?;
+        f.write_all(&bytes).ok()?;
+        f.sync_all().ok()?;
+        Some(())
+    })()
+    .is_some();
+    if !write_ok {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    fs::rename(&tmp, entry_path(dir, key)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ur-query-disk-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("rt");
+        assert!(store(&dir, 42, 7, b"payload"));
+        assert_eq!(load(&dir, 42, 7), LoadResult::Hit(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss_not_a_rejection() {
+        let dir = tmp_dir("miss");
+        assert_eq!(load(&dir, 1, 0), LoadResult::Miss);
+    }
+
+    #[test]
+    fn env_mismatch_rejects() {
+        let dir = tmp_dir("env");
+        assert!(store(&dir, 5, 100, b"x"));
+        assert_eq!(load(&dir, 5, 101), LoadResult::Rejected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_reject() {
+        let dir = tmp_dir("corrupt");
+        assert!(store(&dir, 9, 3, b"some cached outcome bytes"));
+        let path = entry_path(&dir, 9);
+        let clean = fs::read(&path).unwrap();
+        for cut in 0..clean.len() {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert_eq!(load(&dir, 9, 3), LoadResult::Rejected, "cut at {cut}");
+        }
+        for pos in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            assert_eq!(load(&dir, 9, 3), LoadResult::Rejected, "flip at {pos}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,481 @@
+//! The red-green incremental elaboration engine.
+//!
+//! Every declaration of a program is a *query* keyed by its **input
+//! fingerprint**:
+//!
+//! ```text
+//! input_fp(i) = fold mix over
+//!     mix(env_fp, content_fp(i)), input_fp(dep_1), …, input_fp(dep_k)
+//! ```
+//!
+//! where `content_fp` hashes the declaration's canonical printed form
+//! (span-erased, whitespace-normalized — a comment edit stays green),
+//! the dependencies come from the name-level [`DepGraph`] in ascending
+//! index order, and `env_fp` covers everything else an elaboration can
+//! observe: crate version, [`LawConfig`](ur_core::LawConfig) bits,
+//! resource [`Limits`](ur_core::Limits), and the base environment
+//! (prelude) identity. Input fingerprints are transitive by
+//! construction: a change anywhere in a declaration's dependency cone
+//! changes its key.
+//!
+//! A rebuild walks declarations in source order. A declaration is
+//! **green** when all of its dependencies are green *and* its key has a
+//! decodable cached outcome (memory first, then the on-disk layer in
+//! [`crate::disk`]); green declarations are *seeded* — their recorded
+//! outcome is installed verbatim, re-running none of the hnf/defeq/unify
+//! machinery and charging no fuel. Everything else is **red** and
+//! re-elaborates through the ordinary engine, in parallel when a thread
+//! pool is available ([`elab_program_all_incremental`] composes with the
+//! PR-3 scheduler: seeded outcomes ship to workers exactly like
+//! completed tasks). After the run, every red outcome is linked
+//! ([`crate::link`]) and written back to both cache layers.
+//!
+//! The green requirement on dependencies is what makes seeding sound
+//! with direct symbol linking: a green declaration's payload references
+//! its dependencies by fingerprint, and those have already been resolved
+//! (they are green, in source order) by the time the payload decodes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use ur_core::fingerprint::{hash_str, mix, Fnv64};
+use ur_core::transfer::PSym;
+use ur_infer::{elab_program_all_incremental, DepGraph, Elaborator, Seed};
+use ur_infer::{Code, Diagnostic, Diagnostics, ElabDecl};
+use ur_syntax::pretty::decl_to_string;
+use ur_syntax::{parse_program, Span};
+
+use crate::disk;
+use crate::link::{self, LinkTable, RelDiag, ResolveTable};
+
+/// Engine construction parameters.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Explicit cache directory; `None` defers to `UR_CACHE_DIR` /
+    /// `.ur-cache` resolution (see [`disk::resolve_cache_dir`]).
+    pub cache_dir: Option<PathBuf>,
+    /// Identity of the base environment the engine runs against
+    /// (typically a hash of the prelude source). Folded into `env_fp`,
+    /// so caches produced against a different base never seed.
+    pub base_tag: u64,
+}
+
+/// What one [`Engine::run`] did, for reporting and tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Declarations in the program.
+    pub decls_total: usize,
+    /// Declarations reused from cache without re-elaboration.
+    pub green: usize,
+    /// Declarations that re-elaborated.
+    pub red: usize,
+    /// Verified entries loaded from the disk layer this run.
+    pub disk_hits: u64,
+    /// Disk entries that existed but failed verification or decoding.
+    pub disk_rejections: u64,
+}
+
+/// A red-green incremental elaboration engine with a two-layer
+/// (memory + disk) outcome cache. One engine instance tracks one base
+/// environment; reuse it across rebuilds of the same session.
+pub struct Engine {
+    cache_dir: Option<PathBuf>,
+    base_tag: u64,
+    /// Linked payloads by input fingerprint. Entries are
+    /// process-independent (see [`crate::link`]), so surviving a base
+    /// re-seed between rebuilds is safe.
+    memory: HashMap<u64, Vec<u8>>,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            cache_dir: disk::resolve_cache_dir(cfg.cache_dir),
+            base_tag: cfg.base_tag,
+            memory: HashMap::new(),
+        }
+    }
+
+    /// The resolved disk-cache directory, if the disk layer is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Number of linked payloads in the in-memory layer.
+    pub fn memory_entries(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Elaborates `src` against `elab`, which must be at the base state
+    /// this engine was configured for (callers restore a base snapshot
+    /// before each rebuild). Returns the elaborated declarations, the
+    /// diagnostics in source order, and a [`RunReport`].
+    ///
+    /// Semantics are identical to a cold
+    /// [`elab_source_all_threads`](ur_infer::elab::Elaborator) run —
+    /// the cache changes how much work happens, never the result.
+    pub fn run(
+        &mut self,
+        elab: &mut Elaborator,
+        src: &str,
+        threads: usize,
+    ) -> (Vec<ElabDecl>, Diagnostics, RunReport) {
+        let prog = match parse_program(src) {
+            Ok(p) => p,
+            Err(e) => return (Vec::new(), vec![e.into()], RunReport::default()),
+        };
+        let n = prog.decls.len();
+
+        // Base environment enumeration, in sym-id (creation) order. Both
+        // the link and resolve tables are built from this one list, and
+        // env_fp covers it, so cross-process ordinals agree.
+        let mut base_cons: Vec<PSym> = elab
+            .genv
+            .cons()
+            .map(|(s, _)| PSym {
+                name: s.name().to_string(),
+                id: s.id(),
+            })
+            .collect();
+        base_cons.sort_by_key(|s| s.id);
+        let mut base_vals: Vec<PSym> = elab
+            .genv
+            .vals()
+            .map(|(s, _)| PSym {
+                name: s.name().to_string(),
+                id: s.id(),
+            })
+            .collect();
+        base_vals.sort_by_key(|s| s.id);
+        let env_fp = env_fingerprint(elab, self.base_tag, &base_cons, &base_vals);
+
+        // Fingerprints. Dependencies always point at earlier
+        // declarations or form cycles the scheduler reports; for
+        // robustness a forward edge contributes a fixed tag instead of
+        // an (uncomputed) fingerprint.
+        let graph = DepGraph::build(&prog.decls);
+        let mut input_fp = vec![0u64; n];
+        for i in 0..n {
+            let mut fp = mix(env_fp, hash_str(&decl_to_string(&prog.decls[i])));
+            for &d in graph.deps(i) {
+                let dep_fp = if d < i { input_fp[d] } else { 0x6f72_7761_7264_u64 };
+                fp = mix(fp, dep_fp);
+            }
+            input_fp[i] = fp;
+        }
+
+        // Green detection + seeding, in source order so every green
+        // declaration's dependencies are already in the resolve table.
+        let mut resolve = ResolveTable::new(base_cons.clone(), base_vals.clone());
+        let mut green = vec![false; n];
+        let mut seeds: Vec<Option<Seed>> = (0..n).map(|_| None).collect();
+        let mut disk_hits = 0u64;
+        let mut disk_rejections = 0u64;
+        for i in 0..n {
+            if !graph.deps(i).iter().all(|&d| d < i && green[d]) {
+                continue;
+            }
+            let key = input_fp[i];
+            let mut from_disk = false;
+            let payload = match self.memory.get(&key) {
+                Some(p) => Some(p.clone()),
+                None => match &self.cache_dir {
+                    Some(dir) => match disk::load(dir, key, env_fp) {
+                        disk::LoadResult::Hit(p) => {
+                            from_disk = true;
+                            Some(p)
+                        }
+                        disk::LoadResult::Rejected => {
+                            disk_rejections = disk_rejections.saturating_add(1);
+                            None
+                        }
+                        disk::LoadResult::Miss => None,
+                    },
+                    None => None,
+                },
+            };
+            let Some(bytes) = payload else { continue };
+            match link::decode_entry(&bytes, &resolve) {
+                Some((outcome, rel)) => {
+                    if from_disk {
+                        disk_hits = disk_hits.saturating_add(1);
+                        self.memory.insert(key, bytes);
+                    }
+                    let diag = rel.map(|rd| replay_diag(&rd, prog.decls[i].span()));
+                    resolve.add_decl(key, &outcome);
+                    seeds[i] = Some(Seed { outcome, diag });
+                    green[i] = true;
+                }
+                None => {
+                    // Undecodable payload: drop it and recompute.
+                    self.memory.remove(&key);
+                    if from_disk {
+                        disk_rejections = disk_rejections.saturating_add(1);
+                    }
+                }
+            }
+        }
+        let greens = green.iter().filter(|&&g| g).count();
+
+        let (decls, diags, records) =
+            elab_program_all_incremental(elab, &prog, threads, &graph, seeds);
+
+        // Write back every red outcome in linked form. Green outcomes
+        // are only (re-)registered in the link table so later red
+        // declarations can reference their contributions.
+        if records.len() == n {
+            let mut ltab = LinkTable::new(&base_cons, &base_vals);
+            for (i, rec) in records.iter().enumerate() {
+                if !green[i] {
+                    let rel = rec
+                        .diag
+                        .as_ref()
+                        .map(|d| rebase_diag(d, prog.decls[i].span()));
+                    if let Some(bytes) = link::encode_entry(&rec.outcome, rel.as_ref(), &ltab) {
+                        if let Some(dir) = &self.cache_dir {
+                            disk::store(dir, input_fp[i], env_fp, &bytes);
+                        }
+                        self.memory.insert(input_fp[i], bytes);
+                    }
+                }
+                ltab.add_decl(input_fp[i], &rec.outcome);
+            }
+        }
+
+        let st = &mut elab.cx.stats;
+        st.queries_total = st.queries_total.saturating_add(n as u64);
+        st.green_reused = st.green_reused.saturating_add(greens as u64);
+        st.red_recomputed = st.red_recomputed.saturating_add((n - greens) as u64);
+        st.disk_hits = st.disk_hits.saturating_add(disk_hits);
+        st.disk_rejections = st.disk_rejections.saturating_add(disk_rejections);
+
+        let report = RunReport {
+            decls_total: n,
+            green: greens,
+            red: n - greens,
+            disk_hits,
+            disk_rejections,
+        };
+        (decls, diags, report)
+    }
+}
+
+/// Everything an elaboration observes besides the declarations
+/// themselves: crate version, equational-law configuration, resource
+/// limits, the configured base tag, and the base environment's binding
+/// names in enumeration order (so a drifted base can never be confused
+/// with the one a cache entry was linked against).
+fn env_fingerprint(
+    elab: &Elaborator,
+    base_tag: u64,
+    base_cons: &[PSym],
+    base_vals: &[PSym],
+) -> u64 {
+    let mut f = Fnv64::new();
+    f.write_str(env!("CARGO_PKG_VERSION"));
+    f.write_str(&format!("{:?}", elab.cx.laws));
+    f.write_str(&format!("{:?}", elab.cx.fuel.limits));
+    f.write_u64(base_tag);
+    f.write_u32(base_cons.len() as u32);
+    for s in base_cons {
+        f.write_str(&s.name);
+    }
+    f.write_u32(base_vals.len() as u32);
+    for s in base_vals {
+        f.write_str(&s.name);
+    }
+    f.finish()
+}
+
+/// Diagnostic → declaration-relative form (store direction).
+fn rebase_diag(d: &Diagnostic, decl_span: Span) -> RelDiag {
+    RelDiag {
+        dline: d.span.line as i64 - decl_span.line as i64,
+        col: d.span.col,
+        code: d.code.as_str().to_string(),
+        message: d.message.clone(),
+        notes: d.notes.clone(),
+    }
+}
+
+/// Declaration-relative form → diagnostic at the declaration's current
+/// position (load direction).
+fn replay_diag(rd: &RelDiag, decl_span: Span) -> Diagnostic {
+    let line = (decl_span.line as i64 + rd.dline).clamp(0, u32::MAX as i64) as u32;
+    let mut d = Diagnostic::new(
+        Span { line, col: rd.col },
+        Code::parse(&rd.code).unwrap_or(Code::Other),
+        rd.message.clone(),
+    );
+    for n in &rd.notes {
+        d = d.with_note(n.clone());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "con t :: Type = int\n\
+                       val one : int = 1\n\
+                       val two : t = one\n";
+
+    fn run_cold(src: &str) -> (Vec<ElabDecl>, Diagnostics) {
+        let mut elab = Elaborator::new();
+        elab.elab_source_all_threads(src, 1)
+    }
+
+    fn strip(decls: &[ElabDecl]) -> Vec<String> {
+        decls.iter().map(|d| format!("{d:?}")).collect()
+    }
+
+    #[test]
+    fn noop_rebuild_is_fully_green() {
+        let mut eng = Engine::new(EngineConfig {
+            cache_dir: Some(test_dir("noop")),
+            base_tag: 1,
+        });
+        let mut e1 = Elaborator::new();
+        let (d1, g1, r1) = eng.run(&mut e1, SRC, 1);
+        assert_eq!(r1.red, 3, "cold run recomputes everything");
+        assert!(g1.is_empty(), "{g1:?}");
+        let mut e2 = Elaborator::new();
+        let (d2, g2, r2) = eng.run(&mut e2, SRC, 1);
+        assert_eq!(r2.green, 3, "warm no-op rebuild is fully green: {r2:?}");
+        assert_eq!(r2.red, 0);
+        assert!(g2.is_empty());
+        assert_eq!(norm(&strip(&d1)), norm(&strip(&d2)));
+        // Green reuse must charge no elaboration fuel.
+        assert_eq!(e2.cx.fuel.lifetime_norm_steps(), 0);
+        cleanup("noop");
+    }
+
+    #[test]
+    fn single_edit_recomputes_only_the_dependent_cone() {
+        let mut eng = Engine::new(EngineConfig {
+            cache_dir: Some(test_dir("edit")),
+            base_tag: 2,
+        });
+        let mut e1 = Elaborator::new();
+        let _ = eng.run(&mut e1, SRC, 1);
+        // Edit `one` (decl 1): `two` depends on it, `t` does not.
+        let edited = "con t :: Type = int\n\
+                      val one : int = 2\n\
+                      val two : t = one\n";
+        let mut e2 = Elaborator::new();
+        let (_, diags, r) = eng.run(&mut e2, edited, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(r.green, 1, "only `t` stays green: {r:?}");
+        assert_eq!(r.red, 2);
+        cleanup("edit");
+    }
+
+    #[test]
+    fn disk_layer_seeds_a_fresh_engine() {
+        let dir = test_dir("disk");
+        let mut eng1 = Engine::new(EngineConfig {
+            cache_dir: Some(dir.clone()),
+            base_tag: 3,
+        });
+        let mut e1 = Elaborator::new();
+        let (_, _, r1) = eng1.run(&mut e1, SRC, 1);
+        assert_eq!(r1.disk_hits, 0);
+        // A brand-new engine (fresh process simulation) hits disk.
+        let mut eng2 = Engine::new(EngineConfig {
+            cache_dir: Some(dir),
+            base_tag: 3,
+        });
+        let mut e2 = Elaborator::new();
+        let (d2, g2, r2) = eng2.run(&mut e2, SRC, 1);
+        assert!(g2.is_empty());
+        assert_eq!(r2.green, 3, "{r2:?}");
+        assert_eq!(r2.disk_hits, 3);
+        let (cold, _) = run_cold(SRC);
+        assert_eq!(norm(&strip(&cold)), norm(&strip(&d2)));
+        cleanup("disk");
+    }
+
+    #[test]
+    fn corrupt_disk_entries_fall_back_to_recompute() {
+        let dir = test_dir("corrupt");
+        let mut eng1 = Engine::new(EngineConfig {
+            cache_dir: Some(dir.clone()),
+            base_tag: 4,
+        });
+        let mut e1 = Elaborator::new();
+        let _ = eng1.run(&mut e1, SRC, 1);
+        // Bit-flip every cached file.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            let mut b = std::fs::read(&p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xff;
+            std::fs::write(&p, b).unwrap();
+        }
+        let mut eng2 = Engine::new(EngineConfig {
+            cache_dir: Some(dir),
+            base_tag: 4,
+        });
+        let mut e2 = Elaborator::new();
+        let (_, diags, r) = eng2.run(&mut e2, SRC, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(r.green, 0, "corrupt entries must not seed: {r:?}");
+        assert_eq!(r.red, 3);
+        assert!(r.disk_rejections >= 1, "{r:?}");
+        cleanup("corrupt");
+    }
+
+    #[test]
+    fn cached_diagnostics_replay_at_shifted_positions() {
+        let bad = "val a : int = 1\nval b : int = \"oops\"\n";
+        let mut eng = Engine::new(EngineConfig {
+            cache_dir: Some(test_dir("diag")),
+            base_tag: 5,
+        });
+        let mut e1 = Elaborator::new();
+        let (_, d1, _) = eng.run(&mut e1, bad, 1);
+        assert_eq!(d1.len(), 1, "{d1:?}");
+        // Insert an unrelated declaration above; `b` shifts down a line
+        // but stays green, and its diagnostic replays at the new line.
+        let shifted = "val z : int = 9\nval a : int = 1\nval b : int = \"oops\"\n";
+        let mut e2 = Elaborator::new();
+        let (_, d2, r) = eng.run(&mut e2, shifted, 1);
+        assert_eq!(d2.len(), 1, "{d2:?}");
+        assert_eq!(d2[0].code, d1[0].code);
+        assert_eq!(d2[0].message, d1[0].message);
+        assert_eq!(d2[0].span.line, d1[0].span.line + 1, "{:?}", d2[0]);
+        assert!(r.green >= 1, "b must be a green replay: {r:?}");
+        cleanup("diag");
+    }
+
+    fn norm(xs: &[String]) -> Vec<String> {
+        // Sym ids differ between cold and warm runs (alpha-renaming);
+        // strip `#N` suffixes the Debug form carries.
+        xs.iter()
+            .map(|s| {
+                let mut out = String::new();
+                let mut chars = s.chars().peekable();
+                while let Some(c) = chars.next() {
+                    if c == '#' {
+                        while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                            chars.next();
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ur-query-eng-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn cleanup(tag: &str) {
+        let _ = std::fs::remove_dir_all(test_dir(tag));
+    }
+}

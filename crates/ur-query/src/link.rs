@@ -1,0 +1,1008 @@
+//! Symbol linking: process-independent encoding of elaboration outcomes.
+//!
+//! A cached outcome ([`ur_infer::POutcome`]) is full of [`Sym`] ids, and
+//! sym ids come from a process-global counter — an id persisted by one
+//! `urc` run aliases a completely unrelated symbol in the next. Before
+//! an outcome can live in the on-disk cache (or even in the in-memory
+//! cache across rebuilds, where the base environment is re-seeded), every
+//! sym occurrence must be rewritten into a *linked* form ([`LSym`]) that
+//! names symbols by role rather than by id:
+//!
+//! * [`LSym::BaseCon`]/[`LSym::BaseVal`] — the *ord*-th constructor/value
+//!   binding of the base (post-prelude) environment, enumerated in sym-id
+//!   order. Id order is creation order, so the enumeration is identical
+//!   in every process that elaborated the same prelude (the cache's
+//!   environment fingerprint guarantees exactly that).
+//! * [`LSym::DeclOf`] — the declaration symbol of the dependency whose
+//!   input fingerprint is `fp`.
+//! * [`LSym::ExtraOf`] — the *ord*-th extra `con` binding (a `let`-local
+//!   constructor that escaped into the global environment) of the
+//!   dependency with input fingerprint `fp`.
+//! * [`LSym::Local`] — a symbol minted during this declaration's own
+//!   elaboration (its own decl sym, binders, escaped locals). Numbered by
+//!   first appearance; decoding mints a fresh sym per number, which is
+//!   exactly alpha-renaming and therefore invisible to every downstream
+//!   consumer (sym equality is id-based and ids are never compared across
+//!   declarations except through the environment, which the decoder
+//!   rebuilds consistently).
+//!
+//! Soundness of the `Local` fallback: a free sym in an outcome can only
+//! refer to something in the environment the declaration elaborated
+//! against — the base environment plus its dependency closure's
+//! contributions — and all of those are in the link table. Anything not
+//! in the table was minted during the declaration's own elaboration, so
+//! it is local by construction.
+//!
+//! Decoding is the mirror image and is total: any reference the
+//! [`ResolveTable`] cannot satisfy makes the whole entry undecodable
+//! (`None`), and the engine treats the declaration as red.
+
+use std::collections::HashMap;
+use ur_core::codec::{ByteReader, ByteWriter};
+use ur_core::con::PrimType;
+use ur_core::sym::Sym;
+use ur_core::transfer::{PCon, PConBind, PExpr, PKind, PLit, PSym};
+use ur_infer::{PElabDecl, POutcome};
+
+/// Maximum nesting depth the codec will follow, on both directions.
+/// Mirrors the parser's `MAX_PARSE_DEPTH`: real elaborated terms track
+/// surface nesting closely, so anything deeper is either corrupt input
+/// (decode: reject, the declaration recomputes) or a pathological term
+/// not worth caching (encode: the entry is skipped). The cap keeps the
+/// guarded recursion inside a default 8 MiB thread stack even with
+/// debug-build frame sizes.
+const MAX_LINK_DEPTH: u32 = 200;
+
+/// A linked (process-independent) symbol reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LSym {
+    /// Minted during the owning declaration's elaboration; `ord` numbers
+    /// locals by first appearance in the encoded payload.
+    Local(u32),
+    /// The `ord`-th constructor binding of the base environment (sym-id
+    /// order).
+    BaseCon(u32),
+    /// The `ord`-th value binding of the base environment (sym-id order).
+    BaseVal(u32),
+    /// The declaration symbol of the dependency with input fingerprint
+    /// `fp`.
+    DeclOf(u64),
+    /// The `ord`-th extra constructor binding of the dependency with
+    /// input fingerprint `fp`.
+    ExtraOf(u64, u32),
+}
+
+/// Store-direction context: sym id → linked reference, for everything
+/// visible to a declaration from outside (base bindings and dependency
+/// contributions). Ids absent from the table encode as [`LSym::Local`].
+#[derive(Debug, Default)]
+pub struct LinkTable {
+    map: HashMap<u32, LSym>,
+}
+
+impl LinkTable {
+    /// Builds the base layer from the base environment's bindings,
+    /// pre-sorted by sym id (see [`ResolveTable::new`] for the mirror).
+    pub fn new(base_cons: &[PSym], base_vals: &[PSym]) -> LinkTable {
+        let mut map = HashMap::new();
+        for (ord, s) in base_cons.iter().enumerate() {
+            map.insert(s.id, LSym::BaseCon(ord as u32));
+        }
+        for (ord, s) in base_vals.iter().enumerate() {
+            map.insert(s.id, LSym::BaseVal(ord as u32));
+        }
+        LinkTable { map }
+    }
+
+    /// Records one processed declaration's contributions so later
+    /// declarations can reference them. Call in source order, *after*
+    /// encoding the declaration itself (its own sym must encode as
+    /// local, not as a reference to itself).
+    pub fn add_decl(&mut self, fp: u64, outcome: &POutcome) {
+        if let Some(d) = &outcome.decl {
+            let sym = match d {
+                PElabDecl::Con { sym, .. } | PElabDecl::Val { sym, .. } => sym,
+            };
+            self.map.insert(sym.id, LSym::DeclOf(fp));
+        }
+        for (ord, b) in outcome.extra_cons.iter().enumerate() {
+            self.map.insert(b.sym.id, LSym::ExtraOf(fp, ord as u32));
+        }
+    }
+}
+
+/// Load-direction context: the inverse of [`LinkTable`], mapping linked
+/// references back to live symbols of the current process.
+#[derive(Debug, Default)]
+pub struct ResolveTable {
+    base_cons: Vec<PSym>,
+    base_vals: Vec<PSym>,
+    decls: HashMap<u64, (Option<PSym>, Vec<PSym>)>,
+}
+
+impl ResolveTable {
+    /// Builds the base layer; the slices must enumerate the same
+    /// bindings in the same (sym-id) order as the [`LinkTable`] that
+    /// encoded the entries being resolved.
+    pub fn new(base_cons: Vec<PSym>, base_vals: Vec<PSym>) -> ResolveTable {
+        ResolveTable {
+            base_cons,
+            base_vals,
+            decls: HashMap::new(),
+        }
+    }
+
+    /// Records a green declaration's resolved contributions. Call in
+    /// source order as seeds are accepted; red declarations contribute
+    /// nothing (no green declaration can depend on them).
+    pub fn add_decl(&mut self, fp: u64, outcome: &POutcome) {
+        let sym = outcome.decl.as_ref().map(|d| match d {
+            PElabDecl::Con { sym, .. } | PElabDecl::Val { sym, .. } => sym.clone(),
+        });
+        let extra = outcome.extra_cons.iter().map(|b| b.sym.clone()).collect();
+        self.decls.insert(fp, (sym, extra));
+    }
+
+    fn resolve(&self, l: &LSym) -> Option<PSym> {
+        match l {
+            LSym::Local(_) => None, // handled by the decoder's mint table
+            LSym::BaseCon(ord) => self.base_cons.get(*ord as usize).cloned(),
+            LSym::BaseVal(ord) => self.base_vals.get(*ord as usize).cloned(),
+            LSym::DeclOf(fp) => self.decls.get(fp).and_then(|(s, _)| s.clone()),
+            LSym::ExtraOf(fp, ord) => self
+                .decls
+                .get(fp)
+                .and_then(|(_, extra)| extra.get(*ord as usize).cloned()),
+        }
+    }
+}
+
+// ---------------- encoder ----------------
+
+struct Enc<'a> {
+    w: ByteWriter,
+    table: &'a LinkTable,
+    /// Sym id → local ordinal, assigned by first appearance.
+    locals: HashMap<u32, u32>,
+    depth: u32,
+    /// Cleared when the term exceeds [`MAX_LINK_DEPTH`]; the entry is
+    /// then discarded instead of cached.
+    ok: bool,
+}
+
+impl<'a> Enc<'a> {
+    fn enter(&mut self) -> bool {
+        self.depth += 1;
+        if self.depth > MAX_LINK_DEPTH {
+            self.ok = false;
+        }
+        self.ok
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    fn sym(&mut self, s: &PSym) {
+        match self.table.map.get(&s.id) {
+            Some(LSym::BaseCon(ord)) => {
+                self.w.put_u8(1);
+                self.w.put_u32(*ord);
+            }
+            Some(LSym::BaseVal(ord)) => {
+                self.w.put_u8(2);
+                self.w.put_u32(*ord);
+            }
+            Some(LSym::DeclOf(fp)) => {
+                self.w.put_u8(3);
+                self.w.put_u64(*fp);
+            }
+            Some(LSym::ExtraOf(fp, ord)) => {
+                self.w.put_u8(4);
+                self.w.put_u64(*fp);
+                self.w.put_u32(*ord);
+            }
+            Some(LSym::Local(_)) | None => {
+                let next = self.locals.len() as u32;
+                let ord = *self.locals.entry(s.id).or_insert(next);
+                self.w.put_u8(0);
+                self.w.put_u32(ord);
+                self.w.put_str(&s.name);
+            }
+        }
+    }
+
+    fn kind(&mut self, k: &PKind) {
+        if !self.enter() {
+            return;
+        }
+        match k {
+            PKind::Type => self.w.put_u8(0),
+            PKind::Name => self.w.put_u8(1),
+            PKind::Arrow(a, b) => {
+                self.w.put_u8(2);
+                self.kind(a);
+                self.kind(b);
+            }
+            PKind::Row(k) => {
+                self.w.put_u8(3);
+                self.kind(k);
+            }
+            PKind::Pair(a, b) => {
+                self.w.put_u8(4);
+                self.kind(a);
+                self.kind(b);
+            }
+            PKind::Meta(n) => {
+                self.w.put_u8(5);
+                self.w.put_u32(*n);
+            }
+        }
+        self.leave();
+    }
+
+    fn prim(&mut self, p: PrimType) {
+        self.w.put_u8(match p {
+            PrimType::Int => 0,
+            PrimType::Float => 1,
+            PrimType::String => 2,
+            PrimType::Bool => 3,
+            PrimType::Unit => 4,
+        });
+    }
+
+    fn con(&mut self, c: &PCon) {
+        if !self.enter() {
+            return;
+        }
+        match c {
+            PCon::Var(s) => {
+                self.w.put_u8(0);
+                self.sym(s);
+            }
+            PCon::Meta(n) => {
+                self.w.put_u8(1);
+                self.w.put_u32(*n);
+            }
+            PCon::Prim(p) => {
+                self.w.put_u8(2);
+                self.prim(*p);
+            }
+            PCon::Arrow(a, b) => {
+                self.w.put_u8(3);
+                self.con(a);
+                self.con(b);
+            }
+            PCon::Poly(s, k, t) => {
+                self.w.put_u8(4);
+                self.sym(s);
+                self.kind(k);
+                self.con(t);
+            }
+            PCon::Guarded(c1, c2, t) => {
+                self.w.put_u8(5);
+                self.con(c1);
+                self.con(c2);
+                self.con(t);
+            }
+            PCon::Lam(s, k, b) => {
+                self.w.put_u8(6);
+                self.sym(s);
+                self.kind(k);
+                self.con(b);
+            }
+            PCon::App(f, a) => {
+                self.w.put_u8(7);
+                self.con(f);
+                self.con(a);
+            }
+            PCon::Name(n) => {
+                self.w.put_u8(8);
+                self.w.put_str(n);
+            }
+            PCon::Record(r) => {
+                self.w.put_u8(9);
+                self.con(r);
+            }
+            PCon::RowNil(k) => {
+                self.w.put_u8(10);
+                self.kind(k);
+            }
+            PCon::RowOne(n, v) => {
+                self.w.put_u8(11);
+                self.con(n);
+                self.con(v);
+            }
+            PCon::RowCat(a, b) => {
+                self.w.put_u8(12);
+                self.con(a);
+                self.con(b);
+            }
+            PCon::Map(k1, k2) => {
+                self.w.put_u8(13);
+                self.kind(k1);
+                self.kind(k2);
+            }
+            PCon::Folder(k) => {
+                self.w.put_u8(14);
+                self.kind(k);
+            }
+            PCon::Pair(a, b) => {
+                self.w.put_u8(15);
+                self.con(a);
+                self.con(b);
+            }
+            PCon::Fst(c) => {
+                self.w.put_u8(16);
+                self.con(c);
+            }
+            PCon::Snd(c) => {
+                self.w.put_u8(17);
+                self.con(c);
+            }
+        }
+        self.leave();
+    }
+
+    fn lit(&mut self, l: &PLit) {
+        match l {
+            PLit::Int(n) => {
+                self.w.put_u8(0);
+                self.w.put_i64(*n);
+            }
+            PLit::Float(x) => {
+                self.w.put_u8(1);
+                self.w.put_f64(*x);
+            }
+            PLit::Str(s) => {
+                self.w.put_u8(2);
+                self.w.put_str(s);
+            }
+            PLit::Bool(b) => {
+                self.w.put_u8(3);
+                self.w.put_bool(*b);
+            }
+            PLit::Unit => self.w.put_u8(4),
+        }
+    }
+
+    fn expr(&mut self, e: &PExpr) {
+        if !self.enter() {
+            return;
+        }
+        match e {
+            PExpr::Var(s) => {
+                self.w.put_u8(0);
+                self.sym(s);
+            }
+            PExpr::Lit(l) => {
+                self.w.put_u8(1);
+                self.lit(l);
+            }
+            PExpr::App(f, a) => {
+                self.w.put_u8(2);
+                self.expr(f);
+                self.expr(a);
+            }
+            PExpr::Lam(x, t, b) => {
+                self.w.put_u8(3);
+                self.sym(x);
+                self.con(t);
+                self.expr(b);
+            }
+            PExpr::CApp(e, c) => {
+                self.w.put_u8(4);
+                self.expr(e);
+                self.con(c);
+            }
+            PExpr::CLam(a, k, b) => {
+                self.w.put_u8(5);
+                self.sym(a);
+                self.kind(k);
+                self.expr(b);
+            }
+            PExpr::RecNil => self.w.put_u8(6),
+            PExpr::RecOne(n, e) => {
+                self.w.put_u8(7);
+                self.con(n);
+                self.expr(e);
+            }
+            PExpr::RecCat(a, b) => {
+                self.w.put_u8(8);
+                self.expr(a);
+                self.expr(b);
+            }
+            PExpr::Proj(e, c) => {
+                self.w.put_u8(9);
+                self.expr(e);
+                self.con(c);
+            }
+            PExpr::Cut(e, c) => {
+                self.w.put_u8(10);
+                self.expr(e);
+                self.con(c);
+            }
+            PExpr::DLam(c1, c2, b) => {
+                self.w.put_u8(11);
+                self.con(c1);
+                self.con(c2);
+                self.expr(b);
+            }
+            PExpr::DApp(e) => {
+                self.w.put_u8(12);
+                self.expr(e);
+            }
+            PExpr::Let(x, t, bound, body) => {
+                self.w.put_u8(13);
+                self.sym(x);
+                self.con(t);
+                self.expr(bound);
+                self.expr(body);
+            }
+            PExpr::If(c, t, e) => {
+                self.w.put_u8(14);
+                self.expr(c);
+                self.expr(t);
+                self.expr(e);
+            }
+        }
+        self.leave();
+    }
+
+    fn opt_con(&mut self, c: &Option<PCon>) {
+        match c {
+            Some(c) => {
+                self.w.put_bool(true);
+                self.con(c);
+            }
+            None => self.w.put_bool(false),
+        }
+    }
+
+    fn decl(&mut self, d: &PElabDecl) {
+        match d {
+            PElabDecl::Con { name, sym, kind, def } => {
+                self.w.put_u8(0);
+                self.w.put_str(name);
+                self.sym(sym);
+                self.kind(kind);
+                self.opt_con(def);
+            }
+            PElabDecl::Val { name, sym, ty, body } => {
+                self.w.put_u8(1);
+                self.w.put_str(name);
+                self.sym(sym);
+                self.con(ty);
+                match body {
+                    Some(e) => {
+                        self.w.put_bool(true);
+                        self.expr(e);
+                    }
+                    None => self.w.put_bool(false),
+                }
+            }
+        }
+    }
+
+    fn outcome(&mut self, o: &POutcome) {
+        match &o.decl {
+            Some(d) => {
+                self.w.put_bool(true);
+                self.decl(d);
+            }
+            None => self.w.put_bool(false),
+        }
+        self.w.put_u32(o.extra_cons.len() as u32);
+        for b in &o.extra_cons {
+            self.sym(&b.sym);
+            self.kind(&b.kind);
+            self.opt_con(&b.def);
+        }
+    }
+}
+
+// ---------------- decoder ----------------
+
+struct Dec<'a, 'b> {
+    r: ByteReader<'b>,
+    table: &'a ResolveTable,
+    /// Local ordinal → freshly minted symbol (one mint per ordinal).
+    locals: HashMap<u32, PSym>,
+    depth: u32,
+}
+
+impl<'a, 'b> Dec<'a, 'b> {
+    fn enter(&mut self) -> Option<()> {
+        self.depth += 1;
+        (self.depth <= MAX_LINK_DEPTH).then_some(())
+    }
+
+    fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    fn sym(&mut self) -> Option<PSym> {
+        match self.r.get_u8()? {
+            0 => {
+                let ord = self.r.get_u32()?;
+                let name = self.r.get_str()?;
+                Some(
+                    self.locals
+                        .entry(ord)
+                        .or_insert_with(|| {
+                            let s = Sym::fresh(name.as_str());
+                            PSym { name, id: s.id() }
+                        })
+                        .clone(),
+                )
+            }
+            1 => {
+                let ord = self.r.get_u32()?;
+                self.table.resolve(&LSym::BaseCon(ord))
+            }
+            2 => {
+                let ord = self.r.get_u32()?;
+                self.table.resolve(&LSym::BaseVal(ord))
+            }
+            3 => {
+                let fp = self.r.get_u64()?;
+                self.table.resolve(&LSym::DeclOf(fp))
+            }
+            4 => {
+                let fp = self.r.get_u64()?;
+                let ord = self.r.get_u32()?;
+                self.table.resolve(&LSym::ExtraOf(fp, ord))
+            }
+            _ => None,
+        }
+    }
+
+    fn kind(&mut self) -> Option<PKind> {
+        self.enter()?;
+        let k = match self.r.get_u8()? {
+            0 => PKind::Type,
+            1 => PKind::Name,
+            2 => PKind::Arrow(Box::new(self.kind()?), Box::new(self.kind()?)),
+            3 => PKind::Row(Box::new(self.kind()?)),
+            4 => PKind::Pair(Box::new(self.kind()?), Box::new(self.kind()?)),
+            5 => PKind::Meta(self.r.get_u32()?),
+            _ => return None,
+        };
+        self.leave();
+        Some(k)
+    }
+
+    fn prim(&mut self) -> Option<PrimType> {
+        Some(match self.r.get_u8()? {
+            0 => PrimType::Int,
+            1 => PrimType::Float,
+            2 => PrimType::String,
+            3 => PrimType::Bool,
+            4 => PrimType::Unit,
+            _ => return None,
+        })
+    }
+
+    fn con(&mut self) -> Option<PCon> {
+        self.enter()?;
+        let c = match self.r.get_u8()? {
+            0 => PCon::Var(self.sym()?),
+            1 => PCon::Meta(self.r.get_u32()?),
+            2 => PCon::Prim(self.prim()?),
+            3 => PCon::Arrow(Box::new(self.con()?), Box::new(self.con()?)),
+            4 => PCon::Poly(self.sym()?, self.kind()?, Box::new(self.con()?)),
+            5 => PCon::Guarded(
+                Box::new(self.con()?),
+                Box::new(self.con()?),
+                Box::new(self.con()?),
+            ),
+            6 => PCon::Lam(self.sym()?, self.kind()?, Box::new(self.con()?)),
+            7 => PCon::App(Box::new(self.con()?), Box::new(self.con()?)),
+            8 => PCon::Name(self.r.get_str()?),
+            9 => PCon::Record(Box::new(self.con()?)),
+            10 => PCon::RowNil(self.kind()?),
+            11 => PCon::RowOne(Box::new(self.con()?), Box::new(self.con()?)),
+            12 => PCon::RowCat(Box::new(self.con()?), Box::new(self.con()?)),
+            13 => PCon::Map(self.kind()?, self.kind()?),
+            14 => PCon::Folder(self.kind()?),
+            15 => PCon::Pair(Box::new(self.con()?), Box::new(self.con()?)),
+            16 => PCon::Fst(Box::new(self.con()?)),
+            17 => PCon::Snd(Box::new(self.con()?)),
+            _ => return None,
+        };
+        self.leave();
+        Some(c)
+    }
+
+    fn lit(&mut self) -> Option<PLit> {
+        Some(match self.r.get_u8()? {
+            0 => PLit::Int(self.r.get_i64()?),
+            1 => PLit::Float(self.r.get_f64()?),
+            2 => PLit::Str(self.r.get_str()?),
+            3 => PLit::Bool(self.r.get_bool()?),
+            4 => PLit::Unit,
+            _ => return None,
+        })
+    }
+
+    fn expr(&mut self) -> Option<PExpr> {
+        self.enter()?;
+        let e = match self.r.get_u8()? {
+            0 => PExpr::Var(self.sym()?),
+            1 => PExpr::Lit(self.lit()?),
+            2 => PExpr::App(Box::new(self.expr()?), Box::new(self.expr()?)),
+            3 => PExpr::Lam(self.sym()?, self.con()?, Box::new(self.expr()?)),
+            4 => PExpr::CApp(Box::new(self.expr()?), self.con()?),
+            5 => PExpr::CLam(self.sym()?, self.kind()?, Box::new(self.expr()?)),
+            6 => PExpr::RecNil,
+            7 => PExpr::RecOne(self.con()?, Box::new(self.expr()?)),
+            8 => PExpr::RecCat(Box::new(self.expr()?), Box::new(self.expr()?)),
+            9 => PExpr::Proj(Box::new(self.expr()?), self.con()?),
+            10 => PExpr::Cut(Box::new(self.expr()?), self.con()?),
+            11 => PExpr::DLam(self.con()?, self.con()?, Box::new(self.expr()?)),
+            12 => PExpr::DApp(Box::new(self.expr()?)),
+            13 => PExpr::Let(
+                self.sym()?,
+                self.con()?,
+                Box::new(self.expr()?),
+                Box::new(self.expr()?),
+            ),
+            14 => PExpr::If(
+                Box::new(self.expr()?),
+                Box::new(self.expr()?),
+                Box::new(self.expr()?),
+            ),
+            _ => return None,
+        };
+        self.leave();
+        Some(e)
+    }
+
+    fn opt_con(&mut self) -> Option<Option<PCon>> {
+        if self.r.get_bool()? {
+            Some(Some(self.con()?))
+        } else {
+            Some(None)
+        }
+    }
+
+    fn decl(&mut self) -> Option<PElabDecl> {
+        match self.r.get_u8()? {
+            0 => {
+                let name = self.r.get_str()?;
+                let sym = self.sym()?;
+                let kind = self.kind()?;
+                let def = self.opt_con()?;
+                Some(PElabDecl::Con { name, sym, kind, def })
+            }
+            1 => {
+                let name = self.r.get_str()?;
+                let sym = self.sym()?;
+                let ty = self.con()?;
+                let body = if self.r.get_bool()? {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Some(PElabDecl::Val { name, sym, ty, body })
+            }
+            _ => None,
+        }
+    }
+
+    fn outcome(&mut self) -> Option<POutcome> {
+        let decl = if self.r.get_bool()? {
+            Some(self.decl()?)
+        } else {
+            None
+        };
+        let n = self.r.get_u32()?;
+        // Sanity: each extra binding needs at least a few bytes; a corrupt
+        // count must not drive a huge loop.
+        if n as usize > self.r.remaining() {
+            return None;
+        }
+        let mut extra_cons = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let sym = self.sym()?;
+            let kind = self.kind()?;
+            let def = self.opt_con()?;
+            extra_cons.push(PConBind { sym, kind, def });
+        }
+        Some(POutcome { decl, extra_cons })
+    }
+}
+
+// ---------------- cache-entry payloads ----------------
+
+/// A diagnostic in declaration-relative form: the primary span is stored
+/// as a line delta from the declaration's own span, so the replayed
+/// diagnostic lands correctly after unrelated edits shift the
+/// declaration vertically. (A purely horizontal move of the declaration
+/// within its line is not compensated — but such a move changes the
+/// declaration's printed form only if its text changed, which makes it
+/// red anyway.) Notes carry no spans, so they replay verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDiag {
+    pub dline: i64,
+    pub col: u32,
+    pub code: String,
+    pub message: String,
+    pub notes: Vec<String>,
+}
+
+/// Encodes one cache entry: the linked outcome plus its (optional)
+/// declaration-relative diagnostic. `None` when the outcome nests
+/// deeper than [`MAX_LINK_DEPTH`] — such a declaration is simply never
+/// cached.
+pub fn encode_entry(
+    outcome: &POutcome,
+    diag: Option<&RelDiag>,
+    table: &LinkTable,
+) -> Option<Vec<u8>> {
+    let mut enc = Enc {
+        w: ByteWriter::new(),
+        table,
+        locals: HashMap::new(),
+        depth: 0,
+        ok: true,
+    };
+    enc.outcome(outcome);
+    if !enc.ok {
+        return None;
+    }
+    match diag {
+        Some(d) => {
+            enc.w.put_bool(true);
+            enc.w.put_i64(d.dline);
+            enc.w.put_u32(d.col);
+            enc.w.put_str(&d.code);
+            enc.w.put_str(&d.message);
+            enc.w.put_u32(d.notes.len() as u32);
+            for n in &d.notes {
+                enc.w.put_str(n);
+            }
+        }
+        None => enc.w.put_bool(false),
+    }
+    Some(enc.w.into_bytes())
+}
+
+/// Decodes a cache entry against the current process's resolve table.
+/// `None` means the payload is corrupt or references a dependency the
+/// table does not know — either way the declaration must recompute.
+pub fn decode_entry(bytes: &[u8], table: &ResolveTable) -> Option<(POutcome, Option<RelDiag>)> {
+    let mut dec = Dec {
+        r: ByteReader::new(bytes),
+        table,
+        locals: HashMap::new(),
+        depth: 0,
+    };
+    let outcome = dec.outcome()?;
+    let diag = if dec.r.get_bool()? {
+        let dline = dec.r.get_i64()?;
+        let col = dec.r.get_u32()?;
+        let code = dec.r.get_str()?;
+        let message = dec.r.get_str()?;
+        let n = dec.r.get_u32()?;
+        if n as usize > dec.r.remaining() {
+            return None;
+        }
+        let mut notes = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            notes.push(dec.r.get_str()?);
+        }
+        Some(RelDiag {
+            dline,
+            col,
+            code,
+            message,
+            notes,
+        })
+    } else {
+        None
+    };
+    if !dec.r.is_empty() {
+        return None; // trailing garbage
+    }
+    Some((outcome, diag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psym(name: &str) -> PSym {
+        let s = Sym::fresh(name);
+        PSym {
+            name: name.to_string(),
+            id: s.id(),
+        }
+    }
+
+    fn sample_outcome(own: &PSym, base_int: &PSym, dep: &PSym) -> POutcome {
+        // val own : base_int -> dep  (a type referencing one base and one
+        // dependency symbol), with one extra local con binding.
+        let local = psym("t");
+        POutcome {
+            decl: Some(PElabDecl::Val {
+                name: own.name.clone(),
+                sym: own.clone(),
+                ty: PCon::Arrow(
+                    Box::new(PCon::Var(base_int.clone())),
+                    Box::new(PCon::Var(dep.clone())),
+                ),
+                body: Some(PExpr::Lam(
+                    psym("x"),
+                    PCon::Var(base_int.clone()),
+                    Box::new(PExpr::Var(local.clone())),
+                )),
+            }),
+            extra_cons: vec![PConBind {
+                sym: local,
+                kind: PKind::Type,
+                def: Some(PCon::Prim(PrimType::Int)),
+            }],
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_with_relinked_symbols() {
+        let base_con = psym("int_t");
+        let base_val = psym("plus");
+        let dep_sym = psym("helper");
+        let own = psym("f");
+        let dep_fp = 0xfeed_beef_u64;
+
+        // Store side: dep contributes its decl sym under dep_fp.
+        let mut ltab = LinkTable::new(
+            std::slice::from_ref(&base_con),
+            std::slice::from_ref(&base_val),
+        );
+        ltab.add_decl(
+            dep_fp,
+            &POutcome {
+                decl: Some(PElabDecl::Con {
+                    name: dep_sym.name.clone(),
+                    sym: dep_sym.clone(),
+                    kind: PKind::Type,
+                    def: None,
+                }),
+                extra_cons: vec![],
+            },
+        );
+        let outcome = sample_outcome(&own, &base_con, &dep_sym);
+        let diag = RelDiag {
+            dline: 2,
+            col: 5,
+            code: "E0400".to_string(),
+            message: "mismatch".to_string(),
+            notes: vec!["note a".to_string()],
+        };
+        let bytes = encode_entry(&outcome, Some(&diag), &ltab).expect("encodes");
+
+        // Load side in a "new process": different base sym ids, same
+        // enumeration order.
+        let new_base_con = psym("int_t");
+        let new_base_val = psym("plus");
+        let new_dep = psym("helper");
+        let mut rtab = ResolveTable::new(vec![new_base_con.clone()], vec![new_base_val.clone()]);
+        rtab.add_decl(
+            dep_fp,
+            &POutcome {
+                decl: Some(PElabDecl::Con {
+                    name: new_dep.name.clone(),
+                    sym: new_dep.clone(),
+                    kind: PKind::Type,
+                    def: None,
+                }),
+                extra_cons: vec![],
+            },
+        );
+        let (back, rdiag) = decode_entry(&bytes, &rtab).expect("decodes");
+        assert_eq!(rdiag, Some(diag));
+        let Some(PElabDecl::Val { sym, ty, body, .. }) = &back.decl else {
+            panic!("expected val decl");
+        };
+        // The decl's own sym was minted fresh (local)...
+        assert_ne!(sym.id, own.id);
+        assert_eq!(sym.name, "f");
+        // ...base and dep references resolve to the *new* process's syms...
+        let PCon::Arrow(a, b) = ty else { panic!("arrow") };
+        assert_eq!(**a, PCon::Var(new_base_con.clone()));
+        assert_eq!(**b, PCon::Var(new_dep));
+        // ...and the body's reference to the extra local con shares the
+        // freshly minted sym recorded in extra_cons.
+        assert_eq!(back.extra_cons.len(), 1);
+        let Some(PExpr::Lam(_, lam_ty, lam_body)) = body else {
+            panic!("lam body")
+        };
+        assert_eq!(*lam_ty, PCon::Var(new_base_con));
+        assert_eq!(**lam_body, PExpr::Var(back.extra_cons[0].sym.clone()));
+    }
+
+    #[test]
+    fn unknown_dependency_reference_fails_decode() {
+        let own = psym("g");
+        let dep = psym("missing");
+        let mut ltab = LinkTable::new(&[], &[]);
+        ltab.add_decl(
+            7,
+            &POutcome {
+                decl: Some(PElabDecl::Con {
+                    name: dep.name.clone(),
+                    sym: dep.clone(),
+                    kind: PKind::Type,
+                    def: None,
+                }),
+                extra_cons: vec![],
+            },
+        );
+        let outcome = POutcome {
+            decl: Some(PElabDecl::Val {
+                name: own.name.clone(),
+                sym: own,
+                ty: PCon::Var(dep),
+                body: None,
+            }),
+            extra_cons: vec![],
+        };
+        let bytes = encode_entry(&outcome, None, &ltab).expect("encodes");
+        // A resolve table that never saw dependency 7 must reject.
+        let rtab = ResolveTable::new(vec![], vec![]);
+        assert!(decode_entry(&bytes, &rtab).is_none());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected_not_panicking() {
+        let own = psym("h");
+        let ltab = LinkTable::new(&[], &[]);
+        let outcome = POutcome {
+            decl: Some(PElabDecl::Val {
+                name: own.name.clone(),
+                sym: own,
+                ty: PCon::Prim(PrimType::Int),
+                body: Some(PExpr::Lit(PLit::Int(3))),
+            }),
+            extra_cons: vec![],
+        };
+        let bytes = encode_entry(&outcome, None, &ltab).expect("encodes");
+        let rtab = ResolveTable::new(vec![], vec![]);
+        assert!(decode_entry(&bytes, &rtab).is_some(), "clean decodes");
+        // Truncations at every length.
+        for cut in 0..bytes.len() {
+            let _ = decode_entry(&bytes[..cut], &rtab);
+        }
+        // Single-byte corruption at every position either decodes to
+        // *something* or is rejected; it must never panic.
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            let _ = decode_entry(&bad, &rtab);
+        }
+        // Trailing garbage is rejected outright.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_entry(&padded, &rtab).is_none());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        // A payload claiming thousands of nested Record constructors
+        // trips the depth guard instead of overflowing the stack.
+        let mut w = ur_core::codec::ByteWriter::new();
+        w.put_bool(true); // has decl
+        w.put_u8(0); // Con decl
+        w.put_str("d");
+        w.put_u8(0); // local sym
+        w.put_u32(0);
+        w.put_str("d");
+        w.put_u8(0); // kind Type
+        w.put_bool(true); // has def
+        for _ in 0..5000 {
+            w.put_u8(9); // Record(
+        }
+        let rtab = ResolveTable::new(vec![], vec![]);
+        assert!(decode_entry(&w.into_bytes(), &rtab).is_none());
+    }
+}

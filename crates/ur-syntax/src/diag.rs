@@ -69,6 +69,29 @@ impl Code {
             Code::Other => "E0999",
         }
     }
+
+    /// Every code, in `as_str` order (used to invert the mapping).
+    pub const ALL: [Code; 13] = [
+        Code::Lex,
+        Code::LexUnterminated,
+        Code::Parse,
+        Code::ParseTooDeep,
+        Code::Kind,
+        Code::TypeMismatch,
+        Code::Unbound,
+        Code::Unresolved,
+        Code::Disjoint,
+        Code::Eval,
+        Code::DependencyCycle,
+        Code::ResourceExhausted,
+        Code::Other,
+    ];
+
+    /// Parses an `E0xxx` string (as produced by [`Code::as_str`]); the
+    /// incremental cache persists codes in this form.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
 }
 
 impl fmt::Display for Code {
@@ -130,6 +153,15 @@ mod tests {
     fn codes_are_stable_strings() {
         assert_eq!(Code::Lex.to_string(), "E0100");
         assert_eq!(Code::ResourceExhausted.to_string(), "E0900");
+    }
+
+    #[test]
+    fn code_strings_round_trip() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::parse("E1234"), None);
+        assert_eq!(Code::parse(""), None);
     }
 
     #[test]

@@ -153,6 +153,21 @@ impl Breaker {
     }
 }
 
+/// State backing [`Session::reelaborate`]: the *base* — the session as
+/// it stood when incremental mode was first used (normally just the
+/// prelude) — plus the red-green query engine whose caches persist
+/// across rebuilds. Each rebuild restores the base and replays the new
+/// source through the engine, so green declarations are reused instead
+/// of re-elaborated.
+struct IncrState {
+    base_elab: ElabSnapshot,
+    base_world: World,
+    base_top: VEnv,
+    base_by_name: HashMap<String, Sym>,
+    engine: ur_query::Engine,
+    last_report: ur_query::RunReport,
+}
+
 /// A point-in-time capture of a whole session, for rolling back a
 /// chaos-aborted (or simply unwanted) batch: elaborator state, runtime
 /// world (database + debug log), top-level value environment, name
@@ -191,9 +206,15 @@ pub struct Session {
     /// Self-healing circuit breaker fed by per-batch fault counts (see
     /// [`Breaker`]). Open ⇒ [`Session::run_all`] runs degraded.
     pub breaker: Breaker,
+    /// Disk-cache directory for [`Session::reelaborate`]. `None` defers
+    /// to `UR_CACHE_DIR` / `.ur-cache` resolution; set it (or the env
+    /// var) before the first `reelaborate` call — the engine is created
+    /// lazily and keeps its configuration afterwards.
+    pub cache_dir: Option<std::path::PathBuf>,
     builtins: HashMap<Sym, Rc<Builtin>>,
     top: VEnv,
     by_name: HashMap<String, Sym>,
+    incr: Option<IncrState>,
 }
 
 impl Session {
@@ -237,9 +258,11 @@ impl Session {
             world: World::new(),
             threads: ur_infer::default_threads(),
             breaker: Breaker::default(),
+            cache_dir: None,
             builtins: map,
             top: VEnv::new(),
             by_name,
+            incr: None,
         })
     }
 
@@ -340,6 +363,113 @@ impl Session {
             }
         }
         (out, diags)
+    }
+
+    /// Incremental variant of [`Session::run_all`]: elaborates `src` as
+    /// *the whole program* (not an append), reusing every declaration
+    /// whose content and transitive dependencies are unchanged since the
+    /// previous `reelaborate` call — the red-green engine in
+    /// [`ur_query`]. Observable results are identical to a cold
+    /// `run_all` of the same source on a fresh session; only the amount
+    /// of type-inference work differs. Green reuse charges no
+    /// elaboration fuel and re-runs none of the hnf/defeq/unify
+    /// machinery; evaluation of `val` bodies is deliberately *not*
+    /// cached (the runtime world is stateful), so effects replay in
+    /// source order on every rebuild.
+    ///
+    /// The first call captures the session's current state as the
+    /// *base*; every call restores that base before elaborating, so
+    /// successive calls see edits, not accumulation. Statistics are
+    /// cumulative across rebuilds (the incremental counters in
+    /// [`Session::stats`] track green/red/disk activity); the breaker
+    /// degrades rebuilds exactly as it degrades `run_all` batches.
+    pub fn reelaborate(&mut self, src: &str) -> (Vec<(String, Value)>, ur_syntax::Diagnostics) {
+        if self.incr.is_none() {
+            self.incr = Some(IncrState {
+                base_elab: self.elab.snapshot(),
+                base_world: self.world.clone(),
+                base_top: self.top.clone(),
+                base_by_name: self.by_name.clone(),
+                engine: ur_query::Engine::new(ur_query::EngineConfig {
+                    cache_dir: self.cache_dir.clone(),
+                    base_tag: ur_core::fingerprint::hash_str(PRELUDE),
+                }),
+                last_report: ur_query::RunReport::default(),
+            });
+        }
+        let Some(incr) = self.incr.as_mut() else {
+            return (Vec::new(), Vec::new());
+        };
+        // Restore the base, preserving cumulative statistics. Fuel is
+        // deliberately *not* preserved: it returns to its base value, so
+        // `lifetime_norm_steps` after a rebuild reflects only the work
+        // that rebuild actually did (zero for a fully green one).
+        let kept_stats = self.elab.cx.stats.clone();
+        self.elab.restore(incr.base_elab.clone());
+        self.elab.cx.stats = kept_stats;
+        self.world = incr.base_world.clone();
+        self.top = incr.base_top.clone();
+        self.by_name = incr.base_by_name.clone();
+
+        self.elab.cx.stats.capture_failpoints();
+        let before = self.elab.cx.stats.clone();
+        let mut threads = self.threads;
+        if self.breaker.is_open() {
+            if self.breaker.config.degrade_parallelism {
+                threads = 1;
+            }
+            if self.breaker.config.disable_memo {
+                self.elab.cx.memo.enabled = false;
+            }
+            self.elab.cx.stats.breaker_degraded_batches =
+                self.elab.cx.stats.breaker_degraded_batches.saturating_add(1);
+        }
+        let (decls, mut diags, report) = incr.engine.run(&mut self.elab, src, threads);
+        incr.last_report = report;
+        self.elab.cx.stats.capture_failpoints();
+        let delta = self.elab.cx.stats.since(&before);
+        let faults = delta
+            .par_worker_deaths
+            .saturating_add(delta.watchdog_trips)
+            .saturating_add(delta.par_retries)
+            .saturating_add(delta.decl_retries)
+            .saturating_add(delta.fp_memo_rejections);
+        if self.breaker.record(faults) {
+            self.elab.cx.stats.breaker_trips =
+                self.elab.cx.stats.breaker_trips.saturating_add(1);
+        }
+        let mut out = Vec::new();
+        for d in &decls {
+            if let ElabDecl::Val {
+                name,
+                sym,
+                body: Some(body),
+                ..
+            } = d
+            {
+                let mut interp =
+                    Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
+                match interp.eval(&self.top, body) {
+                    Ok(v) => {
+                        self.top.vals.insert(sym.clone(), v.clone());
+                        self.by_name.insert(name.clone(), sym.clone());
+                        out.push((name.clone(), v));
+                    }
+                    Err(e) => diags.push(ur_syntax::Diagnostic::new(
+                        ur_syntax::Span::default(),
+                        ur_syntax::Code::Eval,
+                        format!("runtime error evaluating {name}: {e}"),
+                    )),
+                }
+            }
+        }
+        (out, diags)
+    }
+
+    /// What the most recent [`Session::reelaborate`] did (green/red
+    /// split, disk activity). `None` before the first call.
+    pub fn last_incr_report(&self) -> Option<&ur_query::RunReport> {
+        self.incr.as_ref().map(|i| &i.last_report)
     }
 
     /// Elaborates and evaluates a single expression.
@@ -855,6 +985,62 @@ mod recovery_tests {
         assert!(report.contains("OPEN (degraded)"), "{report}");
         assert!(report.contains("off (breaker)"), "{report}");
         assert!(report.contains("degraded_batches=1"), "{report}");
+    }
+
+    /// `reelaborate` is whole-program-replace: a no-op rebuild is fully
+    /// green, values still evaluate, and an edit only recomputes the
+    /// changed cone while producing the same observable results as a
+    /// cold run.
+    #[test]
+    fn reelaborate_reuses_green_declarations() {
+        let dir = std::env::temp_dir().join(format!("ur-sess-incr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sess = Session::new().unwrap();
+        sess.cache_dir = Some(dir.clone());
+        let src = "val a = 40\nval b = a + 2\nval s = showInt b";
+        let (defs, diags) = sess.reelaborate(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(defs.len(), 3);
+        assert_eq!(sess.get_int("b").unwrap(), 42);
+        let r1 = sess.last_incr_report().unwrap().clone();
+        assert_eq!(r1.red, 3);
+
+        // No-op rebuild: all green, values unchanged, effects replayed.
+        let (defs2, diags2) = sess.reelaborate(src);
+        assert!(diags2.is_empty(), "{diags2:?}");
+        assert_eq!(defs2.len(), 3);
+        assert_eq!(sess.get_str("s").unwrap(), "42");
+        let r2 = sess.last_incr_report().unwrap().clone();
+        assert_eq!(r2.green, 3, "{r2:?}");
+        assert_eq!(r2.red, 0, "{r2:?}");
+
+        // Edit `a`: its dependents recompute, results update.
+        let (_, diags3) = sess.reelaborate("val a = 10\nval b = a + 2\nval s = showInt b");
+        assert!(diags3.is_empty(), "{diags3:?}");
+        assert_eq!(sess.get_int("b").unwrap(), 12);
+        let r3 = sess.last_incr_report().unwrap().clone();
+        assert!(r3.red >= 1, "{r3:?}");
+        assert_eq!(sess.stats().queries_total, 9);
+        assert!(sess.stats().green_reused >= 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Removing a declaration via rebuild removes its binding — the
+    /// base restore means rebuilds replace, never accumulate.
+    #[test]
+    fn reelaborate_replaces_rather_than_accumulates() {
+        let dir = std::env::temp_dir().join(format!("ur-sess-incr2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sess = Session::new().unwrap();
+        sess.cache_dir = Some(dir.clone());
+        let (_, d1) = sess.reelaborate("val x = 1\nval y = 2");
+        assert!(d1.is_empty());
+        assert!(sess.get("y").is_some());
+        let (_, d2) = sess.reelaborate("val x = 1");
+        assert!(d2.is_empty());
+        assert!(sess.get("y").is_none(), "stale binding survived rebuild");
+        assert_eq!(sess.get_int("x").unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A healthy session reports a closed breaker and zeroed healing

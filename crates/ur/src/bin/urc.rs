@@ -20,6 +20,20 @@
 //!   --no-identity      disable the map-identity law   (ablation)
 //!   --no-distrib       disable map-distributivity     (ablation)
 //!   --no-fusion        disable map-fusion             (ablation)
+//!   --emit-json        print diagnostics as one JSON array on stdout
+//!                      (code, line, col, message, notes)
+//!   --cache-dir DIR    persistent incremental cache directory (also:
+//!                      UR_CACHE_DIR env var; default .ur-cache; a
+//!                      single-file run, --watch, and --serve reuse
+//!                      cached elaborations from it)
+//!   --watch            watch FILE and incrementally re-elaborate on
+//!                      every change (single file; Ctrl-C to stop)
+//!   --serve            line-delimited JSON protocol on stdin/stdout:
+//!                      {"cmd":"load"|"edit","source":…} rebuild
+//!                      {"cmd":"type","name":…}          query a type
+//!                      {"cmd":"diagnostics"}            last diagnostics
+//!                      {"cmd":"stats"}                  counters
+//!                      {"cmd":"quit"}                   exit
 //!   --help             this message
 //! ```
 
@@ -40,13 +54,19 @@ struct Options {
     no_identity: bool,
     no_distrib: bool,
     no_fusion: bool,
+    emit_json: bool,
+    cache_dir: Option<String>,
+    watch: bool,
+    serve: bool,
 }
 
 fn usage() -> &'static str {
     "usage: urc [--print] [--stats] [--health] [--core NAME] [--type NAME] [--eval EXPR]\n\
-     \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib]\n\
-     \x20          [--no-fusion] FILE...\n\
-     Elaborates and runs Ur source files against the Ur/Web standard library."
+     \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib] [--no-fusion]\n\
+     \x20          [--emit-json] [--cache-dir DIR] [--watch] [--serve] FILE...\n\
+     Elaborates and runs Ur source files against the Ur/Web standard library.\n\
+     --watch re-elaborates FILE incrementally on every change; --serve speaks\n\
+     line-delimited JSON (load/edit/type/diagnostics/stats/quit) on stdin/stdout."
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -63,6 +83,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         no_identity: false,
         no_distrib: false,
         no_fusion: false,
+        emit_json: false,
+        cache_dir: None,
+        watch: false,
+        serve: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -74,6 +98,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--no-identity" => opts.no_identity = true,
             "--no-distrib" => opts.no_distrib = true,
             "--no-fusion" => opts.no_fusion = true,
+            "--emit-json" => opts.emit_json = true,
+            "--watch" => opts.watch = true,
+            "--serve" => opts.serve = true,
+            "--cache-dir" => {
+                opts.cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?)
+            }
             "--core" => opts
                 .core
                 .push(args.next().ok_or("--core needs a value name")?),
@@ -96,10 +126,22 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             file => opts.files.push(file.to_string()),
         }
     }
-    if opts.files.is_empty() && opts.evals.is_empty() {
+    if opts.watch && opts.files.len() != 1 {
+        return Err(format!("--watch needs exactly one input file\n{}", usage()));
+    }
+    if opts.files.is_empty() && opts.evals.is_empty() && !opts.serve {
         return Err(format!("no input files\n{}", usage()));
     }
     Ok(opts)
+}
+
+/// The inferred type of the most recent value named `name`, if any.
+/// Shared by `--type` and the serve-mode `type` command.
+fn type_of(sess: &Session, name: &str) -> Option<String> {
+    sess.elab.decls.iter().rev().find_map(|d| match d {
+        ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.to_string()),
+        _ => None,
+    })
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -110,25 +152,49 @@ fn run(opts: &Options) -> Result<(), String> {
     sess.elab.cx.laws.identity = !opts.no_identity;
     sess.elab.cx.laws.distrib = !opts.no_distrib;
     sess.elab.cx.laws.fusion = !opts.no_fusion;
+    if let Some(dir) = &opts.cache_dir {
+        sess.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+
+    if opts.serve {
+        return serve(&mut sess);
+    }
+    if opts.watch {
+        return watch(&mut sess, opts);
+    }
 
     // Multi-error mode: report every diagnostic in every file in one
     // pass, keep going (later files may still be useful), and fail at
-    // the end if anything was wrong.
-    let mut n_errors = 0usize;
+    // the end if anything was wrong. A single-file run with --cache-dir
+    // goes through the incremental engine so repeated invocations reuse
+    // the on-disk cache; multi-file runs accumulate declarations across
+    // files and stay on the sequential path.
+    let incremental = opts.cache_dir.is_some() && opts.files.len() == 1;
+    let mut all_diags: ur::syntax::Diagnostics = Vec::new();
     for file in &opts.files {
         let src = std::fs::read_to_string(file)
             .map_err(|e| format!("{file}: {e}"))?;
-        let (defs, diags) = sess.run_all(&src);
-        for d in &diags {
-            eprintln!("{file}: {d}");
+        let (defs, diags) = if incremental {
+            sess.reelaborate(&src)
+        } else {
+            sess.run_all(&src)
+        };
+        if !opts.emit_json {
+            for d in &diags {
+                eprintln!("{file}: {d}");
+            }
         }
-        n_errors += diags.len();
+        all_diags.extend(diags);
         if opts.print {
             for (name, v) in defs {
                 println!("{name} = {v}");
             }
         }
     }
+    if opts.emit_json {
+        println!("{}", ur::query::json::diags_to_json(&all_diags));
+    }
+    let n_errors = all_diags.len();
     if n_errors > 0 {
         return Err(format!(
             "{n_errors} error{} found",
@@ -137,16 +203,7 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     for name in &opts.types {
-        let ty = sess
-            .elab
-            .decls
-            .iter()
-            .rev()
-            .find_map(|d| match d {
-                ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.clone()),
-                _ => None,
-            })
-            .ok_or_else(|| format!("--type: no value named {name}"))?;
+        let ty = type_of(&sess, name).ok_or_else(|| format!("--type: no value named {name}"))?;
         println!("{name} : {ty}");
     }
 
@@ -186,6 +243,140 @@ fn run(opts: &Options) -> Result<(), String> {
         eprint!("{}", sess.health_report());
     }
     Ok(())
+}
+
+/// `--watch`: poll one file's mtime and incrementally re-elaborate on
+/// every change. Runs until the process is interrupted.
+fn watch(sess: &mut Session, opts: &Options) -> Result<(), String> {
+    let file = &opts.files[0];
+    let mut last_stamp = None;
+    loop {
+        // Editors replace files non-atomically; a transiently missing
+        // file or unreadable metadata just means "try again shortly".
+        let stamp = std::fs::metadata(file)
+            .ok()
+            .map(|m| (m.modified().ok(), m.len()));
+        if stamp.is_some() && stamp != last_stamp {
+            last_stamp = stamp;
+            match std::fs::read_to_string(file) {
+                Ok(src) => {
+                    let t0 = std::time::Instant::now();
+                    let (defs, diags) = sess.reelaborate(&src);
+                    let ms = t0.elapsed().as_millis();
+                    if opts.emit_json {
+                        println!("{}", ur::query::json::diags_to_json(&diags));
+                    } else {
+                        for d in &diags {
+                            eprintln!("{file}: {d}");
+                        }
+                    }
+                    if opts.print {
+                        for (name, v) in defs {
+                            println!("{name} = {v}");
+                        }
+                    }
+                    let r = sess.last_incr_report().cloned().unwrap_or_default();
+                    eprintln!(
+                        "[watch] {file}: {} decls ({} green, {} red, {} disk hits), \
+                         {} error{} in {ms} ms",
+                        r.decls_total,
+                        r.green,
+                        r.red,
+                        r.disk_hits,
+                        diags.len(),
+                        if diags.len() == 1 { "" } else { "s" },
+                    );
+                }
+                Err(e) => eprintln!("[watch] {file}: {e}"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+/// `--serve`: one JSON request per stdin line, one JSON response per
+/// stdout line. Exits cleanly on `{"cmd":"quit"}` or end of input.
+fn serve(sess: &mut Session) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut last_diags: ur::syntax::Diagnostics = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, quit) = serve_request(sess, &mut last_diags, &line);
+        writeln!(out, "{resp}").and_then(|()| out.flush()).map_err(|e| e.to_string())?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handles one serve-mode request; returns `(response, quit)`.
+fn serve_request(
+    sess: &mut Session,
+    last_diags: &mut ur::syntax::Diagnostics,
+    line: &str,
+) -> (String, bool) {
+    use ur::query::json::{diags_to_json, escape, parse_flat_object};
+    let err = |msg: &str| (format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(msg)), false);
+    let Some(req) = parse_flat_object(line) else {
+        return err("malformed request: expected a flat JSON object");
+    };
+    match req.get("cmd").map(String::as_str) {
+        Some("load") | Some("edit") => {
+            let Some(src) = req.get("source") else {
+                return err("load/edit needs a \"source\" field");
+            };
+            let (_defs, diags) = sess.reelaborate(src);
+            let r = sess.last_incr_report().cloned().unwrap_or_default();
+            let resp = format!(
+                "{{\"ok\":true,\"decls\":{},\"green\":{},\"red\":{},\
+                 \"disk_hits\":{},\"diagnostics\":{}}}",
+                r.decls_total,
+                r.green,
+                r.red,
+                r.disk_hits,
+                diags_to_json(&diags)
+            );
+            *last_diags = diags;
+            (resp, false)
+        }
+        Some("type") => {
+            let Some(name) = req.get("name") else {
+                return err("type needs a \"name\" field");
+            };
+            match type_of(sess, name) {
+                Some(ty) => (
+                    format!(
+                        "{{\"ok\":true,\"name\":\"{}\",\"type\":\"{}\"}}",
+                        escape(name),
+                        escape(&ty)
+                    ),
+                    false,
+                ),
+                None => err(&format!("no value named {name}")),
+            }
+        }
+        Some("diagnostics") => (
+            format!("{{\"ok\":true,\"diagnostics\":{}}}", diags_to_json(last_diags)),
+            false,
+        ),
+        Some("stats") => (
+            format!(
+                "{{\"ok\":true,\"stats\":\"{}\"}}",
+                escape(&sess.stats_snapshot().to_string())
+            ),
+            false,
+        ),
+        Some("quit") => ("{\"ok\":true}".to_string(), true),
+        Some(other) => err(&format!("unknown cmd {other}")),
+        None => err("request needs a \"cmd\" field"),
+    }
 }
 
 fn main() -> ExitCode {

@@ -30,6 +30,8 @@
 //!   equality with the Figure-3 row laws, typing, disjointness (§3);
 //! * [`syntax`] — lexer and parser for the §2 surface notation;
 //! * [`infer`] — elaboration and unification (§4);
+//! * [`query`] — the red-green incremental elaboration engine with its
+//!   persistent on-disk cache;
 //! * [`eval`] — the call-by-value interpreter;
 //! * [`web`] — the Ur/Web standard library and [`Session`] runtime (§5);
 //! * [`db`] — the in-memory relational substrate;
@@ -39,6 +41,7 @@ pub use ur_core as core;
 pub use ur_db as db;
 pub use ur_eval as eval;
 pub use ur_infer as infer;
+pub use ur_query as query;
 pub use ur_studies as studies;
 pub use ur_syntax as syntax;
 pub use ur_web as web;

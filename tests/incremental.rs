@@ -1,0 +1,506 @@
+//! Warm-vs-cold differential suite for the incremental elaboration
+//! engine (`ur_query` + `Session::reelaborate`).
+//!
+//! The engine promises that a warm rebuild is *observably identical* to
+//! elaborating the edited program cold in a fresh session: the same
+//! declarations (up to fresh symbol ids), the same diagnostics, the
+//! same values — while re-running only the declarations whose
+//! transitive inputs actually changed. This suite pins that promise on:
+//!
+//! 1. the acceptance criteria — a no-op rebuild of the combined
+//!    Figure-5 batch re-runs *zero* declaration elaborations, and a
+//!    single-declaration edit re-elaborates only that declaration plus
+//!    its true transitive dependents;
+//! 2. random edit scripts (mutate / insert / delete / swap) replayed
+//!    against a cold per-step baseline at 1, 2, and 4 worker threads;
+//! 3. the adversarial corpus — error outcomes cache and replay too;
+//! 4. on-disk cache corruption — every damaged entry degrades to a
+//!    recompute, never to a wrong answer;
+//! 5. the fuel ledger — green reuse charges no normalization steps.
+
+use std::path::PathBuf;
+use ur::infer::Diagnostics;
+use ur::Session;
+use ur_testutil::Rng;
+
+const THREADS: &[usize] = &[1, 2, 4];
+
+/// Erases gensym counters (`foo#123` -> `foo#`) so runs that draw
+/// different fresh-symbol numbers from the process-global counter
+/// compare structurally.
+fn strip_sym_ids(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '#' {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        }
+    }
+    out
+}
+
+/// A per-test on-disk cache directory, unique per process so parallel
+/// `cargo test` runs cannot cross-contaminate.
+fn test_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ur-incr-test-{}-{tag}", std::process::id()))
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Normalized observation of one run: declaration debug forms, printed
+/// values, and rendered diagnostics — everything a caller can see.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Observed {
+    decls: Vec<String>,
+    vals: Vec<(String, String)>,
+    diags: Vec<String>,
+}
+
+fn normalize(
+    decls: &[ur::infer::ElabDecl],
+    vals: &[(String, ur::Value)],
+    diags: &Diagnostics,
+) -> Observed {
+    Observed {
+        decls: decls
+            .iter()
+            .map(|d| strip_sym_ids(&format!("{d:?}")))
+            .collect(),
+        vals: vals
+            .iter()
+            .map(|(n, v)| (n.clone(), strip_sym_ids(&v.to_string())))
+            .collect(),
+        diags: diags.iter().map(|d| strip_sym_ids(&d.to_string())).collect(),
+    }
+}
+
+/// Cold baseline: a fresh session, the sequential path, full evaluation.
+fn cold(src: &str) -> Observed {
+    let mut sess = Session::new().expect("session");
+    sess.threads = 1;
+    let base_len = sess.elab.decls.len();
+    let (vals, diags) = sess.run_all(src);
+    normalize(&sess.elab.decls[base_len..], &vals, &diags)
+}
+
+/// A warm session wrapping `Session::reelaborate` with its own cache
+/// directory, exposing normalized observations per rebuild.
+struct Warm {
+    sess: Session,
+    base_len: usize,
+    dir: PathBuf,
+}
+
+impl Warm {
+    fn new(tag: &str, threads: usize) -> Self {
+        let dir = test_dir(tag);
+        cleanup(&dir);
+        let mut sess = Session::new().expect("session");
+        sess.threads = threads;
+        sess.cache_dir = Some(dir.clone());
+        let base_len = sess.elab.decls.len();
+        Warm { sess, base_len, dir }
+    }
+
+    fn rebuild(&mut self, src: &str) -> (Observed, ur::query::RunReport) {
+        let (vals, diags) = self.sess.reelaborate(src);
+        let obs = normalize(&self.sess.elab.decls[self.base_len..], &vals, &diags);
+        let report = self
+            .sess
+            .last_incr_report()
+            .cloned()
+            .expect("reelaborate sets a report");
+        (obs, report)
+    }
+}
+
+impl Drop for Warm {
+    fn drop(&mut self) {
+        cleanup(&self.dir);
+    }
+}
+
+/// One combined source for the whole §6 suite (deduplicated
+/// implementations, no usage demos) — the benchmark workload.
+fn combined_figure5_batch() -> String {
+    let mut parts: Vec<&'static str> = Vec::new();
+    for s in ur::studies::studies() {
+        let impl_src = s.implementation();
+        if !parts.contains(&impl_src) {
+            parts.push(impl_src);
+        }
+    }
+    parts.join("\n")
+}
+
+// ---------------------------------------------------------------------
+// 1. Acceptance criteria
+// ---------------------------------------------------------------------
+
+#[test]
+fn noop_rebuild_of_combined_figure5_batch_reruns_zero_elaborations() {
+    let src = combined_figure5_batch();
+    let baseline = cold(&src);
+    let mut warm = Warm::new("accept-noop", 1);
+
+    let (first, r1) = warm.rebuild(&src);
+    assert_eq!(first, baseline, "cold incremental run diverges");
+    assert_eq!(r1.red, r1.decls_total, "first build must recompute all");
+    assert!(r1.decls_total > 0, "empty batch");
+
+    let (second, r2) = warm.rebuild(&src);
+    assert_eq!(second, baseline, "no-op rebuild diverges");
+    assert_eq!(r2.red, 0, "no-op rebuild re-ran elaborations: {r2:?}");
+    assert_eq!(r2.green, r2.decls_total, "{r2:?}");
+}
+
+#[test]
+fn whitespace_and_comment_edits_stay_fully_green() {
+    let src = "con t :: Type = int\nval one : int = 1\nval two : t = one\n";
+    // Same declarations, different concrete syntax: content hashing
+    // goes through the span-erasing pretty-printer, so this is a no-op.
+    let reformatted =
+        "(* a comment *)\ncon t :: Type =   int\n\n\nval one : int = 1\nval two : t = one";
+    let mut warm = Warm::new("accept-ws", 1);
+    let (first, _) = warm.rebuild(src);
+    let (second, r2) = warm.rebuild(reformatted);
+    assert_eq!(r2.red, 0, "reformatting recomputed declarations: {r2:?}");
+    assert_eq!(first.vals, second.vals);
+}
+
+#[test]
+fn single_decl_edit_recomputes_only_the_dependent_cone() {
+    let base = "con t :: Type = int\n\
+                val one : int = 1\n\
+                val two : t = one\n\
+                val solo = 42\n";
+    let edited = "con t :: Type = int\n\
+                  val one : int = 7\n\
+                  val two : t = one\n\
+                  val solo = 42\n";
+    let mut warm = Warm::new("accept-edit", 1);
+    warm.rebuild(base);
+    let (obs, r) = warm.rebuild(edited);
+    // `one` changed; `two` depends on it. `t` and `solo` are untouched.
+    assert_eq!(r.green, 2, "{r:?}");
+    assert_eq!(r.red, 2, "{r:?}");
+    assert_eq!(obs, cold(edited), "warm edit diverges from cold");
+    assert!(
+        obs.vals.iter().any(|(n, v)| n == "one" && v == "7"),
+        "{obs:?}"
+    );
+}
+
+#[test]
+fn independent_decl_edit_leaves_the_rest_green() {
+    let base = "val a = 1\nval b = a + 1\nval c = 10\nval d = c + 1\n";
+    let edited = "val a = 1\nval b = a + 1\nval c = 20\nval d = c + 1\n";
+    let mut warm = Warm::new("accept-indep", 1);
+    warm.rebuild(base);
+    let (obs, r) = warm.rebuild(edited);
+    // Only the `c` cone (c, d) re-runs; the `a` cone stays green.
+    assert_eq!(r.green, 2, "{r:?}");
+    assert_eq!(r.red, 2, "{r:?}");
+    assert_eq!(obs, cold(edited));
+}
+
+// ---------------------------------------------------------------------
+// 2. Random edit scripts vs cold baseline, at several thread counts
+// ---------------------------------------------------------------------
+
+/// A pool of independent well-formed declaration groups; any subset in
+/// any order is a valid program. `salt` keeps names unique across
+/// insertions so deletes/inserts never collide.
+fn gen_group(rng: &mut Rng, salt: usize) -> String {
+    match rng.below(5) {
+        0 => format!("val int{salt} = {}", rng.range_i64(0, 1000)),
+        1 => format!(
+            "val rec{salt} = {{A{salt} = {}, B{salt} = \"s{salt}\"}}",
+            rng.range_i64(0, 100)
+        ),
+        2 => format!(
+            "con ty{salt} :: Type = int\nval use{salt} : ty{salt} = {}",
+            rng.range_i64(0, 50)
+        ),
+        3 => format!(
+            "fun f{salt} [t :: Type] (x : t) = x\nval app{salt} = f{salt} {}",
+            rng.range_i64(0, 9)
+        ),
+        _ => format!("val sum{salt} = {} + {}", rng.below(100), rng.below(100)),
+    }
+}
+
+#[test]
+fn random_edit_scripts_match_the_cold_baseline_at_every_thread_count() {
+    for &t in THREADS {
+        let mut rng = Rng::new(0x1ec4_ed17 + t as u64);
+        let mut salt = 0usize;
+        let fresh = |rng: &mut Rng, salt: &mut usize| {
+            *salt += 1;
+            gen_group(rng, *salt)
+        };
+        let mut groups: Vec<String> = (0..8).map(|_| fresh(&mut rng, &mut salt)).collect();
+        let mut warm = Warm::new(&format!("script-t{t}"), t);
+        for step in 0..10 {
+            match rng.below(4) {
+                0 => {
+                    // Mutate: regenerate one group in place.
+                    let i = rng.below(groups.len());
+                    groups[i] = fresh(&mut rng, &mut salt);
+                }
+                1 => groups.push(fresh(&mut rng, &mut salt)),
+                2 if groups.len() > 3 => {
+                    let i = rng.below(groups.len());
+                    groups.remove(i);
+                }
+                _ => {
+                    let i = rng.below(groups.len());
+                    let j = rng.below(groups.len());
+                    groups.swap(i, j);
+                }
+            }
+            let src = groups.join("\n");
+            let (obs, r) = warm.rebuild(&src);
+            assert_eq!(
+                obs,
+                cold(&src),
+                "step {step} at {t} threads diverges from cold"
+            );
+            assert_eq!(
+                r.decls_total,
+                r.green + r.red,
+                "step {step} at {t} threads: {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dependency_chain_edits_propagate_redness_transitively() {
+    let mut warm = Warm::new("chain", 1);
+    let base = "val base = 1\n\
+                val c1 = base + 1\n\
+                val c2 = c1 + 1\n\
+                val c3 = c2 + 1\n\
+                val solo = 99\n";
+    warm.rebuild(base);
+    // Editing the root re-runs the whole chain but not `solo`.
+    let edited = base.replace("val base = 1", "val base = 2");
+    let (obs, r) = warm.rebuild(&edited);
+    assert_eq!(r.red, 4, "chain root edit: {r:?}");
+    assert_eq!(r.green, 1, "chain root edit: {r:?}");
+    assert_eq!(obs, cold(&edited));
+    // Editing the tip re-runs only the tip.
+    let tip = edited.replace("val c3 = c2 + 1", "val c3 = c2 + 10");
+    let (obs, r) = warm.rebuild(&tip);
+    assert_eq!(r.red, 1, "chain tip edit: {r:?}");
+    assert_eq!(r.green, 4, "chain tip edit: {r:?}");
+    assert_eq!(obs, cold(&tip));
+}
+
+// ---------------------------------------------------------------------
+// 3. Adversarial corpus: error outcomes cache and replay
+// ---------------------------------------------------------------------
+
+/// Hostile inputs drawn from `tests/adversarial.rs` — including parse
+/// errors and programs whose whole point is to fail.
+const ADVERSARIAL: &[(&str, &str)] = &[
+    (
+        "multi-error",
+        "val a : int = \"not an int\"\nval b = missingVariable\nval c : string = 42\nval good = 7",
+    ),
+    ("unbound", "val x = definitelyNotDefined"),
+    ("self-application", "val omega = fn x => x x"),
+    ("bad-disjointness", "val r = {A = 1} ++ {A = 2}\nval ok = 3"),
+    ("shadow-then-use", "val x = 1\nval x = \"two\"\nval y = x"),
+    (
+        "failed-shadow-falls-back",
+        "val x = 1\nval x = missingName\nval y = x",
+    ),
+    (
+        "forward-reference",
+        "val a = laterName\nval laterName = 2\nval b = laterName",
+    ),
+    (
+        "type-shadowing",
+        "con t :: Type = int\ncon t :: Type = string\nval v : t = \"s\"",
+    ),
+    (
+        "mixed-good-bad",
+        "val one = 1\nval bad : string = one\nval two = one + one",
+    ),
+    ("dup-field-concat", "val u = {A = 1, A = 2} ++ {A = 3}"),
+    ("both-sides-missing", "val v = missing ++ alsoMissing"),
+    ("kind-error", "con k :: Type = #A #B #C\nval after = 1"),
+    ("unterminated-string", "val s = \"unterminated"),
+    ("trailing-parens", "val x = ((("),
+    ("missing-binder", "val = 3\nval ok = 4"),
+    (
+        "wide-independent-with-errors",
+        "val a = 1\nval b = a + missing1\nval c = 2\nval d = c + missing2\nval e = a + c",
+    ),
+];
+
+#[test]
+fn adversarial_corpus_round_trips_through_the_incremental_engine() {
+    for (i, (name, src)) in ADVERSARIAL.iter().enumerate() {
+        let baseline = cold(src);
+        let mut warm = Warm::new(&format!("adv-{i}"), 1);
+        let (first, _) = warm.rebuild(src);
+        assert_eq!(first, baseline, "{name}: cold incremental diverges");
+        // Failed declarations cache their diagnostics, so a repeat is
+        // fully green and replays the same errors.
+        let (second, r) = warm.rebuild(src);
+        assert_eq!(second, baseline, "{name}: warm rebuild diverges");
+        assert_eq!(r.red, 0, "{name}: repeat recomputed declarations: {r:?}");
+    }
+}
+
+#[test]
+fn cached_diagnostics_replay_at_shifted_spans() {
+    let base = "val a = 1\nval bad = missingName\n";
+    let mut warm = Warm::new("shift", 1);
+    let (first, _) = warm.rebuild(base);
+    let line_of = |obs: &Observed| {
+        assert_eq!(obs.diags.len(), 1, "{obs:?}");
+        obs.diags[0].clone()
+    };
+    let d1 = line_of(&first);
+    // Prepend an unrelated declaration: `bad` moves down one line but
+    // stays green; its replayed diagnostic must move with it.
+    let shifted = format!("val zero = 0\n{base}");
+    let (second, r) = warm.rebuild(&shifted);
+    assert_eq!(r.green, 2, "{r:?}");
+    assert_eq!(r.red, 1, "{r:?}");
+    let d2 = line_of(&second);
+    assert_ne!(d1, d2, "span did not shift");
+    assert_eq!(second, cold(&shifted), "replayed diag diverges from cold");
+}
+
+// ---------------------------------------------------------------------
+// 4. Disk-cache corruption degrades to recompute
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_cache_entries_fall_back_to_recompute_with_identical_results() {
+    let src = "con t :: Type = int\nval one : int = 1\nval two : t = one\n";
+    let baseline = cold(src);
+    let dir = test_dir("corrupt");
+    cleanup(&dir);
+
+    // Populate the disk cache, then damage every entry a different way.
+    {
+        let mut sess = Session::new().expect("session");
+        sess.cache_dir = Some(dir.clone());
+        sess.reelaborate(src);
+    }
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert!(!entries.is_empty(), "nothing was cached");
+    for (i, path) in entries.iter().enumerate() {
+        let mut bytes = std::fs::read(path).expect("read entry");
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xff;
+            }
+            _ => bytes.clear(),
+        }
+        std::fs::write(path, bytes).expect("write corrupted entry");
+    }
+
+    // A fresh session over the damaged cache must recompute everything
+    // and still agree with the cold baseline — then repair the cache.
+    let mut sess = Session::new().expect("session");
+    sess.cache_dir = Some(dir.clone());
+    let base_len = sess.elab.decls.len();
+    let (vals, diags) = sess.reelaborate(src);
+    let obs = normalize(&sess.elab.decls[base_len..], &vals, &diags);
+    assert_eq!(obs, baseline, "corrupted cache changed results");
+    let r = sess.last_incr_report().cloned().expect("report");
+    assert_eq!(r.red, r.decls_total, "corrupt entries were trusted: {r:?}");
+    assert!(r.disk_rejections >= 1, "{r:?}");
+
+    let (vals, diags) = sess.reelaborate(src);
+    let obs = normalize(&sess.elab.decls[base_len..], &vals, &diags);
+    assert_eq!(obs, baseline);
+    let r = sess.last_incr_report().cloned().expect("report");
+    assert_eq!(r.red, 0, "cache was not repaired after recompute: {r:?}");
+    cleanup(&dir);
+}
+
+#[test]
+fn a_second_session_seeds_from_disk() {
+    let src = "val a = 1\nval b = a + 1\nval c = b + 1\n";
+    let baseline = cold(src);
+    let dir = test_dir("seed");
+    cleanup(&dir);
+    {
+        let mut sess = Session::new().expect("session");
+        sess.cache_dir = Some(dir.clone());
+        sess.reelaborate(src);
+    }
+    let mut sess = Session::new().expect("session");
+    sess.cache_dir = Some(dir.clone());
+    let base_len = sess.elab.decls.len();
+    let (vals, diags) = sess.reelaborate(src);
+    let obs = normalize(&sess.elab.decls[base_len..], &vals, &diags);
+    let r = sess.last_incr_report().cloned().expect("report");
+    assert_eq!(r.red, 0, "fresh session did not reuse the disk cache: {r:?}");
+    assert_eq!(r.disk_hits, 3, "{r:?}");
+    assert_eq!(obs, baseline, "disk-seeded run diverges from cold");
+    cleanup(&dir);
+}
+
+// ---------------------------------------------------------------------
+// 5. The fuel ledger: green reuse is free
+// ---------------------------------------------------------------------
+
+#[test]
+fn green_reuse_charges_no_elaboration_fuel() {
+    let src = combined_figure5_batch();
+    let mut warm = Warm::new("fuel", 1);
+    let steps_at_base = warm.sess.elab.cx.fuel.lifetime_norm_steps();
+    warm.rebuild(&src);
+    let steps_cold = warm.sess.elab.cx.fuel.lifetime_norm_steps();
+    assert!(
+        steps_cold > steps_at_base,
+        "cold build of the Figure-5 batch charged no normalization steps"
+    );
+    let (_, r) = warm.rebuild(&src);
+    assert_eq!(r.red, 0, "{r:?}");
+    let steps_warm = warm.sess.elab.cx.fuel.lifetime_norm_steps();
+    assert_eq!(
+        steps_warm, steps_at_base,
+        "green reuse charged elaboration fuel"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 6. Machine-readable diagnostics share one encoder
+// ---------------------------------------------------------------------
+
+#[test]
+fn session_diagnostics_encode_to_the_stable_json_shape() {
+    let mut sess = Session::new().expect("session");
+    let (_, diags) = sess.run_all("val bad = missingName");
+    assert!(!diags.is_empty());
+    let json = ur::query::json::diags_to_json(&diags);
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    for key in ["\"code\":\"E", "\"line\":", "\"col\":", "\"message\":", "\"notes\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // The flat-object parser accepts a single note-free diagnostic
+    // object, so serve-mode consumers can round-trip what CI emits.
+    let one = ur::query::json::diag_to_json(&diags[0]).replace(",\"notes\":[]", "");
+    let parsed = ur::query::json::parse_flat_object(&one).expect("parses");
+    assert_eq!(parsed.get("code").map(String::as_str), Some(diags[0].code.as_str()));
+}
