@@ -89,6 +89,107 @@ fn cache_havoc(seed: u64) -> FpConfig {
         .with_rate(Site::CacheStore, 500)
 }
 
+/// Durability-layer havoc: WAL appends and fsyncs fail, commit records
+/// reach the disk torn, snapshot writes die mid-checkpoint. A failed
+/// commit must leave no trace (live state and recovered state both
+/// match an in-memory oracle that skips exactly the failed operations).
+fn wal_havoc(seed: u64) -> FpConfig {
+    FpConfig::new(seed)
+        .with_max_per_site(4)
+        .with_rate(Site::WalAppend, 220)
+        .with_rate(Site::WalSync, 220)
+        .with_rate(Site::WalCorrupt, 220)
+        .with_rate(Site::SnapshotWrite, 400)
+}
+
+/// One durability chaos pass: a deterministic operation stream against
+/// a durable database under `cfg` (simulate mode: injected faults are
+/// `Err`s, not crashes — the kill-point variant is the `crash` bin),
+/// mirrored onto an in-memory oracle only when the durable operation
+/// succeeded. Divergence means either the live state or the recovered
+/// state differs from the oracle.
+fn run_wal_havoc(cfg: FpConfig) -> (f64, FpCounters, bool) {
+    use ur_db::{ColTy, Db, DbVal, DurabilityConfig, Schema, SqlExpr};
+    let dir = std::env::temp_dir().join(format!(
+        "ur-chaos-wal-{}-{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Db::open_with(
+        &dir,
+        DurabilityConfig { snapshot_every: 8, sync_commits: true },
+    )
+    .expect("durable open");
+    let mut oracle = Db::new();
+    let schema = || {
+        Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)]).expect("schema")
+    };
+    let row = |a: i64| {
+        [
+            ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+            ("B".into(), SqlExpr::lit(DbVal::Str(format!("r{a}")))),
+        ]
+    };
+    // The table and sequence exist before any fault can fire, so every
+    // later operation is logically valid on both sides.
+    db.create_table("t", schema()).expect("table");
+    db.try_create_sequence("s").expect("sequence");
+    oracle.create_table("t", schema()).expect("oracle table");
+    oracle.try_create_sequence("s").expect("oracle sequence");
+
+    let _ = failpoint::take_counters();
+    failpoint::install(Some(cfg));
+    let start = Instant::now();
+    for i in 0..60i64 {
+        match i % 5 {
+            // An explicit multi-statement transaction: all-or-nothing.
+            0 => {
+                let mut ok = db.begin().is_ok();
+                ok = ok && db.insert("t", &row(i)).is_ok();
+                ok = ok && db.insert("t", &row(i + 1000)).is_ok();
+                if ok && db.commit().is_ok() {
+                    oracle.insert("t", &row(i)).expect("oracle insert");
+                    oracle.insert("t", &row(i + 1000)).expect("oracle insert");
+                } else if db.in_txn() {
+                    let _ = db.rollback();
+                }
+            }
+            1 | 2 => {
+                if db.insert("t", &row(i)).is_ok() {
+                    oracle.insert("t", &row(i)).expect("oracle insert");
+                }
+            }
+            3 => {
+                if db.nextval("s").is_ok() {
+                    oracle.nextval("s").expect("oracle nextval");
+                }
+            }
+            _ => {
+                let pred = SqlExpr::Lt(
+                    Box::new(SqlExpr::col("A")),
+                    Box::new(SqlExpr::lit(DbVal::Int(i / 3))),
+                );
+                if db.delete("t", &pred).is_ok() {
+                    oracle.delete("t", &pred).expect("oracle delete");
+                }
+            }
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    failpoint::install(None);
+    let injected = failpoint::take_counters();
+
+    let live_diverged = db.dump() != oracle.dump();
+    drop(db);
+    // A clean reopen over whatever the faults left on disk (including a
+    // deliberately-torn tail) must still recover exactly the oracle.
+    let recovered = Db::open(&dir).expect("recovery after simulate-mode havoc");
+    let recovered_diverged = recovered.dump() != oracle.dump();
+    let _ = std::fs::remove_dir_all(&dir);
+    (ms, injected, live_diverged || recovered_diverged)
+}
+
 /// Combined batch: every study's transitive dependencies (depth-first,
 /// deduplicated), implementation, and usage demo, then the client fan.
 fn combined_source() -> String {
@@ -308,6 +409,24 @@ fn main() {
             injected: injected.total_injected(),
             rejections: injected.integrity_rejections,
             diverged: decls != *base_decls || diags != *base_diags,
+        });
+    }
+    // Durability-layer havoc against the WAL + snapshot store: failed
+    // commits must vanish without trace, live and recovered state both
+    // tracking the in-memory oracle.
+    for &seed in MATRIX_SEEDS {
+        let cfg = wal_havoc(seed);
+        let (ms, injected, diverged) = run_wal_havoc(cfg);
+        totals.absorb(&injected);
+        rows.push(RunRecord {
+            corpus: "ur-db",
+            schedule: "wal_havoc",
+            seed: cfg.seed,
+            threads: 1,
+            ms,
+            injected: injected.total_injected(),
+            rejections: injected.integrity_rejections,
+            diverged,
         });
     }
 

@@ -1,0 +1,399 @@
+//! Kill-point crash-chaos harness for the durable `ur-db` store.
+//!
+//! The parent process forks a *writer child* (this same binary with
+//! `--child`) against a fresh database directory with `UR_DB_CRASH=abort`
+//! set, so one seeded failpoint (`wal_append` / `wal_sync` /
+//! `snapshot_write` / `wal_corrupt`) aborts the child mid-write — a
+//! simulated power loss at the worst possible instant. The child runs a
+//! deterministic operation stream and acknowledges each completed
+//! operation on stdout (`C <i>`).
+//!
+//! The parent then reopens the directory and hard-gates the durability
+//! contract against an in-memory oracle replay of the same stream:
+//!
+//! * **no committed transaction lost** — the recovered state covers at
+//!   least every acknowledged operation;
+//! * **no uncommitted effect visible** — the recovered state equals the
+//!   oracle after exactly K operations for some K in
+//!   [acked, acked + 1] (the at-most-one in-flight operation window).
+//!
+//! The kill matrix runs every site at the fixed seeds 11/22/33 plus one
+//! randomized seed (printed, and embedded in every failure message, for
+//! reproduction — override with `UR_CRASH_SEED`). Each fixed-seed site
+//! must observe at least one real kill. Recovery time, WAL replay
+//! throughput, and per-commit fsync cost land in `BENCH_crash.json`.
+//!
+//! Run with `cargo run -p ur-bench --bin crash --features failpoints --release`.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+use ur_core::failpoint::{self, FpConfig, Site};
+use ur_db::{ColTy, Db, DbError, DbVal, DurabilityConfig, Schema, SqlExpr};
+
+/// Fault sites of the durability layer, in matrix order.
+const KILL_SITES: [Site; 4] = [
+    Site::WalAppend,
+    Site::WalSync,
+    Site::SnapshotWrite,
+    Site::WalCorrupt,
+];
+const FIXED_SEEDS: [u64; 3] = [11, 22, 33];
+/// Operations per writer-child run.
+const N_OPS: u64 = 60;
+/// Auto-checkpoint threshold in the child: small, so `snapshot_write`
+/// has plenty of chances to fire mid-run.
+const SNAPSHOT_EVERY: u64 = 8;
+
+fn schema_ab() -> Schema {
+    Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)])
+        .expect("static schema")
+}
+
+fn ins(db: &mut Db, a: i64, b: &str) -> Result<(), DbError> {
+    db.insert(
+        "t",
+        &[
+            ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+            ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+        ],
+    )
+}
+
+/// Operation `i` of the deterministic stream, shared verbatim between
+/// the writer child and the parent's oracle replay — the comparison is
+/// only meaningful because both sides run exactly this function.
+fn apply_op(db: &mut Db, i: u64) -> Result<(), DbError> {
+    let k = i as i64;
+    match i {
+        0 => db.create_table("t", schema_ab()),
+        1 => db.try_create_sequence("ids"),
+        _ if i % 10 == 3 => {
+            // One multi-statement explicit transaction.
+            db.begin()?;
+            ins(db, k, "txn-a")?;
+            ins(db, -k, "txn-b")?;
+            db.commit()
+        }
+        _ if i % 9 == 5 => db
+            .delete(
+                "t",
+                &SqlExpr::Lt(
+                    Box::new(SqlExpr::col("A")),
+                    Box::new(SqlExpr::lit(DbVal::Int(k / 4))),
+                ),
+            )
+            .map(|_| ()),
+        _ if i % 6 == 2 => db
+            .update(
+                "t",
+                &[("B".into(), SqlExpr::lit(DbVal::Str(format!("upd{i}"))))],
+                &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(k - 1))),
+            )
+            .map(|_| ()),
+        _ if i % 4 == 1 => db.nextval("ids").map(|_| ()),
+        _ => ins(db, k, "row"),
+    }
+}
+
+/// The in-memory oracle after exactly `k` operations.
+fn oracle_dump(k: u64) -> String {
+    let mut db = Db::new();
+    for i in 0..k {
+        apply_op(&mut db, i).unwrap_or_else(|e| panic!("oracle op {i} failed: {e}"));
+    }
+    db.dump()
+}
+
+/// Writer child: runs the stream under one armed kill point, acking
+/// each completed operation. Never returns normally on a kill — the
+/// failpoint calls `process::abort` mid-write (`UR_DB_CRASH=abort` is
+/// inherited from the parent and picked up by `Db::open_with`).
+fn child(site_name: &str, seed: u64, dir: &str) -> ! {
+    let site = *KILL_SITES
+        .iter()
+        .find(|s| s.name() == site_name)
+        .unwrap_or_else(|| panic!("unknown kill site {site_name}"));
+    // snapshot_write only fires on checkpoints (~1 in SNAPSHOT_EVERY/3
+    // ops), so it gets a hotter rate than the per-append sites.
+    let rate = if site == Site::SnapshotWrite { 350 } else { 130 };
+    failpoint::install(Some(
+        FpConfig::new(seed).with_rate(site, rate).with_max_per_site(1),
+    ));
+    let mut db = Db::open_with(
+        dir,
+        DurabilityConfig {
+            snapshot_every: SNAPSHOT_EVERY,
+            sync_commits: true,
+        },
+    )
+    .unwrap_or_else(|e| panic!("child open {dir}: {e}"));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for i in 0..N_OPS {
+        apply_op(&mut db, i).unwrap_or_else(|e| panic!("child op {i} failed: {e}"));
+        writeln!(out, "C {i}").and_then(|()| out.flush()).expect("child ack");
+    }
+    writeln!(out, "DONE").and_then(|()| out.flush()).expect("child done");
+    std::process::exit(0)
+}
+
+struct KillRun {
+    site: &'static str,
+    seed: u64,
+    fixed: bool,
+    killed: bool,
+    acked: u64,
+    recovered_k: u64,
+    recovery_ms: f64,
+    replayed_records: u64,
+    truncated_bytes: u64,
+    snapshot_loaded: bool,
+}
+
+/// One parent-side kill run: spawn, (maybe) kill, recover, verify.
+fn run_kill(site: Site, seed: u64, fixed: bool) -> KillRun {
+    let dir = std::env::temp_dir().join(format!(
+        "ur-crash-{}-{seed}-{}",
+        site.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe)
+        .args(["--child", site.name(), &seed.to_string(), &dir.to_string_lossy()])
+        .env("UR_DB_CRASH", "abort")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn writer child");
+
+    // `acked` counts *completed* operations (op i acked ⇒ i+1 done).
+    let mut acked = 0u64;
+    let mut done = false;
+    if let Some(out) = cmd.stdout.take() {
+        for line in BufReader::new(out).lines().map_while(Result::ok) {
+            if let Some(i) = line.strip_prefix("C ").and_then(|s| s.parse::<u64>().ok()) {
+                acked = i + 1;
+            } else if line == "DONE" {
+                done = true;
+            }
+        }
+    }
+    let status = cmd.wait().expect("wait for child");
+    let killed = !done || !status.success();
+
+    // Recovery: reopen must always succeed and yield exactly the
+    // committed prefix.
+    let t0 = Instant::now();
+    let db = Db::open(&dir).unwrap_or_else(|e| {
+        panic!(
+            "recovery failed after {} kill (seed {seed}): {e}",
+            site.name()
+        )
+    });
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let dump = db.dump();
+    let stats = db.stats().clone();
+
+    // The recovered state must be the oracle at K completed operations
+    // for some K in [acked, acked+1]: nothing acknowledged may be lost,
+    // and at most the one in-flight operation may additionally survive.
+    let hi = (acked + 1).min(N_OPS);
+    let recovered_k = (acked..=hi).find(|&k| oracle_dump(k) == dump).unwrap_or_else(|| {
+        panic!(
+            "durability contract violated: site {} seed {seed} acked {acked} — \
+             recovered state matches no oracle in [{acked}, {hi}]\nrecovered:\n{dump}\n\
+             oracle({acked}):\n{}",
+            site.name(),
+            oracle_dump(acked)
+        )
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    KillRun {
+        site: site.name(),
+        seed,
+        fixed,
+        killed,
+        acked,
+        recovered_k,
+        recovery_ms,
+        replayed_records: stats.replayed_records,
+        truncated_bytes: stats.truncated_bytes,
+        snapshot_loaded: stats.snapshot_loaded > 0,
+    }
+}
+
+/// WAL replay throughput: a long pure-WAL history (snapshots off), then
+/// one timed recovery.
+fn bench_replay() -> (u64, u64, f64) {
+    let dir = std::env::temp_dir().join(format!("ur-crash-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Db::open_with(
+            &dir,
+            DurabilityConfig {
+                snapshot_every: 0,
+                sync_commits: false, // building the history, not testing it
+            },
+        )
+        .expect("replay build open");
+        db.create_table("t", schema_ab()).expect("replay table");
+        for i in 0..500 {
+            ins(&mut db, i, "bulk").expect("replay insert");
+        }
+    }
+    let t0 = Instant::now();
+    let db = Db::open(&dir).expect("replay recovery");
+    let ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let (txns, records) = (db.stats().recovered_txns, db.stats().replayed_records);
+    let _ = std::fs::remove_dir_all(&dir);
+    (txns, records, ms)
+}
+
+/// Per-commit fsync cost: timed auto-commit inserts with and without
+/// `sync_commits`.
+fn bench_fsync() -> (f64, f64) {
+    let mut per_commit = [0.0f64; 2];
+    for (slot, sync) in [(0usize, true), (1usize, false)] {
+        let dir = std::env::temp_dir().join(format!(
+            "ur-crash-fsync-{sync}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Db::open_with(
+            &dir,
+            DurabilityConfig {
+                snapshot_every: 0,
+                sync_commits: sync,
+            },
+        )
+        .expect("fsync bench open");
+        db.create_table("t", schema_ab()).expect("fsync bench table");
+        const N: u64 = 64;
+        let t0 = Instant::now();
+        for i in 0..N {
+            ins(&mut db, i as i64, "fsync").expect("fsync bench insert");
+        }
+        per_commit[slot] = t0.elapsed().as_secs_f64() * 1000.0 / N as f64;
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (per_commit[0], per_commit[1])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 5 && args[1] == "--child" {
+        let seed = args[3].parse::<u64>().expect("child seed");
+        child(&args[2], seed, &args[4]);
+    }
+
+    // One randomized seed per invocation, printed (and embedded in any
+    // failure message) so a red run reproduces exactly.
+    let random_seed = std::env::var("UR_CRASH_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 | 1)
+                .unwrap_or(1)
+        });
+    println!("Crash-chaos harness — kill-point matrix over the durable ur-db store");
+    println!(
+        "fixed seeds {FIXED_SEEDS:?}; randomized seed {random_seed} \
+         (re-run with UR_CRASH_SEED={random_seed})"
+    );
+    println!();
+
+    let mut runs: Vec<KillRun> = Vec::new();
+    for &site in &KILL_SITES {
+        for &seed in &FIXED_SEEDS {
+            runs.push(run_kill(site, seed, true));
+        }
+        runs.push(run_kill(site, random_seed, false));
+    }
+
+    println!(
+        "{:>15} {:>12} {:>6} {:>6} {:>6} {:>7} {:>11} {:>9} {:>9}",
+        "site", "seed", "fixed", "killed", "acked", "rec_k", "recovery_ms", "replayed", "truncated"
+    );
+    for r in &runs {
+        println!(
+            "{:>15} {:>12} {:>6} {:>6} {:>6} {:>7} {:>11.2} {:>9} {:>9}",
+            r.site, r.seed, r.fixed, r.killed, r.acked, r.recovered_k, r.recovery_ms,
+            r.replayed_records, r.truncated_bytes
+        );
+    }
+    println!();
+
+    let (replay_txns, replay_records, replay_ms) = bench_replay();
+    let replay_rps = replay_records as f64 / (replay_ms / 1000.0).max(1e-9);
+    let (sync_ms, nosync_ms) = bench_fsync();
+    println!(
+        "wal replay: {replay_txns} txns / {replay_records} records in {replay_ms:.2} ms \
+         ({replay_rps:.0} records/s)"
+    );
+    println!(
+        "fsync cost: {sync_ms:.3} ms/commit synced vs {nosync_ms:.3} ms/commit unsynced"
+    );
+    let kills = runs.iter().filter(|r| r.killed).count();
+    let max_recovery = runs.iter().map(|r| r.recovery_ms).fold(0.0f64, f64::max);
+    println!(
+        "runs: {}; kills: {kills}; max recovery {max_recovery:.2} ms",
+        runs.len()
+    );
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"crash\",\n  \"metric\": \"durability\",\n  \
+         \"fixed_seeds\": {FIXED_SEEDS:?},\n  \"random_seed\": {random_seed},\n  \
+         \"ops_per_run\": {N_OPS},\n  \"runs\": [\n"
+    );
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"site\": \"{}\", \"seed\": {}, \"fixed\": {}, \"killed\": {}, \
+             \"acked\": {}, \"recovered_k\": {}, \"recovery_ms\": {:.3}, \
+             \"replayed_records\": {}, \"truncated_bytes\": {}, \"snapshot_loaded\": {}}}",
+            r.site, r.seed, r.fixed, r.killed, r.acked, r.recovered_k, r.recovery_ms,
+            r.replayed_records, r.truncated_bytes, r.snapshot_loaded
+        );
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(json, "  ],\n  \"kills_per_site\": {{");
+    for (i, site) in KILL_SITES.iter().enumerate() {
+        let n = runs
+            .iter()
+            .filter(|r| r.site == site.name() && r.killed)
+            .count();
+        let _ = write!(json, "{}\"{}\": {n}", if i > 0 { ", " } else { "" }, site.name());
+    }
+    let _ = write!(
+        json,
+        "}},\n  \"kills\": {kills},\n  \"max_recovery_ms\": {max_recovery:.3},\n  \
+         \"wal_replay\": {{\"txns\": {replay_txns}, \"records\": {replay_records}, \
+         \"ms\": {replay_ms:.3}, \"records_per_sec\": {replay_rps:.0}}},\n  \
+         \"fsync\": {{\"sync_ms_per_commit\": {sync_ms:.4}, \
+         \"nosync_ms_per_commit\": {nosync_ms:.4}}}\n}}\n"
+    );
+    std::fs::write("BENCH_crash.json", &json).expect("write BENCH_crash.json");
+    println!("wrote BENCH_crash.json");
+
+    // Hard gate: every fixed-seed site slice must include a real kill —
+    // a matrix that never kills proves nothing. (Every run has already
+    // gated the oracle match; violations panicked in run_kill.)
+    for site in &KILL_SITES {
+        let fixed_kills = runs
+            .iter()
+            .filter(|r| r.site == site.name() && r.fixed && r.killed)
+            .count();
+        assert!(
+            fixed_kills > 0,
+            "kill site {} never fired across fixed seeds {FIXED_SEEDS:?}",
+            site.name()
+        );
+    }
+}

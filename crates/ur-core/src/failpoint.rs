@@ -10,7 +10,9 @@
 //! * **Named sites** ([`Site`]): worker spawn/execution/send/stall in
 //!   `ur-infer::batch`, memo-table load/store in [`crate::memo`],
 //!   intern-table growth in [`crate::intern`], fuel accounting in
-//!   [`crate::limits`], and incremental-cache load/store in `ur-query`.
+//!   [`crate::limits`], incremental-cache load/store in `ur-query`, and
+//!   WAL append/sync/corrupt + snapshot write in `ur-db`'s durability
+//!   layer.
 //! * **Seeded activation**: each site draws from a splitmix64 stream
 //!   keyed by `(seed, site, hit index)`, so a given configuration
 //!   produces the same fault schedule on every run — chaos tests print
@@ -33,7 +35,7 @@
 use std::fmt;
 
 /// Number of named sites (length of [`Site::ALL`]).
-pub const NSITES: usize = 10;
+pub const NSITES: usize = 14;
 
 /// A named fault-injection site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -66,6 +68,18 @@ pub enum Site {
     /// Storing an on-disk incremental-cache entry corrupts it in flight
     /// (detected by a later load's integrity check).
     CacheStore,
+    /// Appending a record to the `ur-db` write-ahead log fails (simulated
+    /// `write(2)` error, or a mid-record crash under `UR_DB_CRASH=abort`).
+    WalAppend,
+    /// The fsync sealing a WAL commit fails (or the process dies between
+    /// the write and the sync) — the transaction must not be acknowledged.
+    WalSync,
+    /// Writing a snapshot during checkpoint compaction fails; the WAL is
+    /// kept so no committed data is lost.
+    SnapshotWrite,
+    /// A WAL record reaches the disk with a corrupt CRC (torn write);
+    /// recovery must truncate the tail at the last committed boundary.
+    WalCorrupt,
 }
 
 impl Site {
@@ -81,6 +95,10 @@ impl Site {
         Site::FuelCharge,
         Site::CacheLoad,
         Site::CacheStore,
+        Site::WalAppend,
+        Site::WalSync,
+        Site::SnapshotWrite,
+        Site::WalCorrupt,
     ];
 
     /// Stable index of this site.
@@ -96,6 +114,10 @@ impl Site {
             Site::FuelCharge => 7,
             Site::CacheLoad => 8,
             Site::CacheStore => 9,
+            Site::WalAppend => 10,
+            Site::WalSync => 11,
+            Site::SnapshotWrite => 12,
+            Site::WalCorrupt => 13,
         }
     }
 
@@ -112,6 +134,10 @@ impl Site {
             Site::FuelCharge => "fuel_charge",
             Site::CacheLoad => "cache_load",
             Site::CacheStore => "cache_store",
+            Site::WalAppend => "wal_append",
+            Site::WalSync => "wal_sync",
+            Site::SnapshotWrite => "snapshot_write",
+            Site::WalCorrupt => "wal_corrupt",
         }
     }
 

@@ -90,6 +90,10 @@ pub struct Stats {
     /// On-disk cache entries rejected (bad magic/version/env, integrity
     /// mismatch, or undecodable payload) and recomputed instead.
     pub disk_rejections: u64,
+    /// On-disk cache store attempts that failed (full disk, permissions,
+    /// injected `CacheStore` I/O faults). The cache stays cold for those
+    /// entries; this counter makes the failure visible in `:stats`.
+    pub disk_store_errs: u64,
 }
 
 impl Stats {
@@ -145,6 +149,7 @@ impl Stats {
             red_recomputed,
             disk_hits,
             disk_rejections,
+            disk_store_errs,
         );
     }
 
@@ -233,6 +238,7 @@ impl Stats {
             red_recomputed: self.red_recomputed.saturating_sub(earlier.red_recomputed),
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             disk_rejections: self.disk_rejections.saturating_sub(earlier.disk_rejections),
+            disk_store_errs: self.disk_store_errs.saturating_sub(earlier.disk_store_errs),
         }
     }
 }
@@ -291,12 +297,13 @@ impl fmt::Display for Stats {
         )?;
         write!(
             f,
-            " incr[queries={} green={} red={} disk={}/{}]",
+            " incr[queries={} green={} red={} disk={}/{} disk_store_err={}]",
             self.queries_total,
             self.green_reused,
             self.red_recomputed,
             self.disk_hits,
             self.disk_rejections,
+            self.disk_store_errs,
         )
     }
 }
@@ -430,9 +437,21 @@ mod tests {
     #[test]
     fn display_mentions_incremental_counters() {
         let s = Stats::new().to_string();
-        for key in ["incr[queries=", "green=", "red=", "disk="] {
+        for key in ["incr[queries=", "green=", "red=", "disk=", "disk_store_err="] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn absorb_and_since_cover_disk_store_errs() {
+        let mut a = Stats::new();
+        a.disk_store_errs = 2;
+        let mut b = Stats::new();
+        b.disk_store_errs = 3;
+        a.absorb(&b);
+        assert_eq!(a.disk_store_errs, 5);
+        assert_eq!(a.since(&b).disk_store_errs, 2);
+        assert_eq!(b.since(&a).disk_store_errs, 0, "saturating sub");
     }
 
     #[test]

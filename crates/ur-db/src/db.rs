@@ -1,28 +1,317 @@
-//! The database engine: tables, sequences, DML operations, and a SQL-text
-//! query log.
+//! The database engine: tables, sequences, DML operations, transactions,
+//! a SQL-text query log, and an optional on-disk durability layer.
 //!
 //! The log records, for every operation, the SQL statement an Ur/Web
 //! deployment would have sent to a real server — useful both for the
 //! examples (showing generated SQL) and for the injection-safety tests
 //! (asserting the statements are correctly escaped).
+//!
+//! ## Durability
+//!
+//! [`Db::new`] is the historical in-memory engine, unchanged.
+//! [`Db::open`] backs the same API with a write-ahead log plus snapshot
+//! compaction in a directory: every statement auto-commits one fsync'd
+//! WAL transaction, or [`Db::begin`]/[`Db::commit`] group statements
+//! into an explicit one. Reopening the directory always recovers
+//! exactly the committed prefix (see `crate::recover`). The SQL-text
+//! log is a per-session debug trace and is deliberately *not*
+//! persisted. Cloning a durable `Db` shares the underlying WAL handle
+//! (`Rc`), so a clone used as an undo snapshot (as `ur-web::Session`
+//! does with its `World`) stays attached to the same files.
 
 use crate::error::DbError;
 use crate::expr::SqlExpr;
+use crate::recover::{self, Durable};
 use crate::table::{Schema, Table};
+use crate::txn::{DbStats, DurabilityConfig, TxnState};
 use crate::value::DbVal;
+use crate::wal::WalRecord;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::Path;
+use std::rc::Rc;
 
-/// An in-memory relational database.
+/// A relational database: in-memory by default, durable when opened on
+/// a directory with [`Db::open`].
 #[derive(Clone, Debug, Default)]
 pub struct Db {
     tables: HashMap<String, Table>,
     sequences: HashMap<String, i64>,
     log: Vec<String>,
+    /// The WAL + checkpoint handle, shared between clones; `None` in
+    /// the in-memory mode.
+    durable: Option<Rc<RefCell<Durable>>>,
+    /// The open explicit transaction, if any.
+    txn: Option<TxnState>,
+    stats: DbStats,
+    /// Transaction-id allocator for the in-memory mode (durable mode
+    /// allocates from the shared handle so ids survive reopen).
+    next_mem_txn: u64,
 }
 
 impl Db {
     pub fn new() -> Db {
         Db::default()
+    }
+
+    /// Opens (creating if needed) a durable database in `dir`: loads the
+    /// last snapshot, replays the committed WAL prefix onto it, and
+    /// truncates any torn or uncommitted tail.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] on filesystem failures, [`DbError::Corrupt`] when
+    /// the snapshot (or the WAL header) fails verification.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Db, DbError> {
+        Db::open_with(dir, DurabilityConfig::default())
+    }
+
+    /// [`Db::open`] with explicit durability tunables.
+    ///
+    /// # Errors
+    ///
+    /// As [`Db::open`].
+    pub fn open_with(dir: impl AsRef<Path>, config: DurabilityConfig) -> Result<Db, DbError> {
+        let rec = recover::open_dir(dir.as_ref(), config)?;
+        Ok(Db {
+            tables: rec.tables,
+            sequences: rec.sequences,
+            log: Vec::new(),
+            durable: Some(Rc::new(RefCell::new(rec.durable))),
+            txn: None,
+            stats: rec.stats,
+            next_mem_txn: 0,
+        })
+    }
+
+    /// True when this handle is backed by a WAL on disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// True while an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Storage-engine counters (WAL appends, fsyncs, recovery work,
+    /// checkpoints) for this handle.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Bytes in the WAL's committed prefix (0 in the in-memory mode).
+    pub fn wal_len(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.borrow().wal.committed_len())
+    }
+
+    /// Runs one mutation to completion: applies the physical record via
+    /// the same interpreter recovery uses (so live execution and replay
+    /// cannot diverge) and makes it durable according to the current
+    /// mode — buffered in the open transaction, auto-committed through
+    /// the WAL, or purely in memory.
+    fn commit_effect(&mut self, rec: WalRecord, sql: String) -> Result<Option<i64>, DbError> {
+        if self.txn.is_some() {
+            // Explicit transaction: apply now (the transaction reads its
+            // own writes), persist at commit.
+            let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
+            self.log.push(sql);
+            if let Some(txn) = self.txn.as_mut() {
+                txn.pending.push(rec);
+            }
+            return Ok(out);
+        }
+        if let Some(durable) = self.durable.clone() {
+            // Auto-commit: WAL first, then the in-memory effect, so a
+            // failed append leaves no trace at all.
+            let txn_id = {
+                let mut d = durable.borrow_mut();
+                let id = d.next_txn;
+                d.next_txn += 1;
+                id
+            };
+            {
+                let mut d = durable.borrow_mut();
+                let sync = d.config.sync_commits;
+                d.wal
+                    .append_txn(txn_id, std::slice::from_ref(&rec), sync, &mut self.stats)?;
+                d.records_since_snapshot = d.records_since_snapshot.saturating_add(3);
+            }
+            let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
+            self.log.push(sql);
+            self.stats.auto_commits = self.stats.auto_commits.saturating_add(1);
+            self.maybe_checkpoint();
+            return Ok(out);
+        }
+        let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
+        self.log.push(sql);
+        Ok(out)
+    }
+
+    /// Opens an explicit transaction; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TxnActive`] when one is already open (no nesting).
+    pub fn begin(&mut self) -> Result<u64, DbError> {
+        if self.txn.is_some() {
+            return Err(DbError::TxnActive);
+        }
+        let id = match &self.durable {
+            Some(d) => {
+                let mut d = d.borrow_mut();
+                let id = d.next_txn;
+                d.next_txn += 1;
+                id
+            }
+            None => {
+                self.next_mem_txn += 1;
+                self.next_mem_txn
+            }
+        };
+        self.txn = Some(TxnState {
+            id,
+            pending: Vec::new(),
+            undo_tables: self.tables.clone(),
+            undo_sequences: self.sequences.clone(),
+            undo_log_len: self.log.len(),
+        });
+        Ok(id)
+    }
+
+    /// Commits the open transaction: one fsync'd WAL append of all its
+    /// records (a no-op in memory). On a durable failure the transaction
+    /// is rolled back — the in-memory state never runs ahead of the log.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoTxn`] without an open transaction; [`DbError::Io`]
+    /// when the WAL append fails (the state is then as before `begin`).
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        let txn = self.txn.take().ok_or(DbError::NoTxn)?;
+        if let Some(durable) = self.durable.clone() {
+            let res = {
+                let mut d = durable.borrow_mut();
+                let sync = d.config.sync_commits;
+                d.wal.append_txn(txn.id, &txn.pending, sync, &mut self.stats)
+            };
+            if let Err(e) = res {
+                self.tables = txn.undo_tables;
+                self.sequences = txn.undo_sequences;
+                self.log.truncate(txn.undo_log_len);
+                self.stats.txn_rollbacks = self.stats.txn_rollbacks.saturating_add(1);
+                return Err(e);
+            }
+            {
+                let mut d = durable.borrow_mut();
+                d.records_since_snapshot = d
+                    .records_since_snapshot
+                    .saturating_add(txn.pending.len() as u64 + 2);
+            }
+            self.stats.txn_commits = self.stats.txn_commits.saturating_add(1);
+            self.maybe_checkpoint();
+            return Ok(());
+        }
+        self.stats.txn_commits = self.stats.txn_commits.saturating_add(1);
+        Ok(())
+    }
+
+    /// Rolls the open transaction back to the `begin` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoTxn`] without an open transaction.
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        let txn = self.txn.take().ok_or(DbError::NoTxn)?;
+        self.tables = txn.undo_tables;
+        self.sequences = txn.undo_sequences;
+        self.log.truncate(txn.undo_log_len);
+        self.stats.txn_rollbacks = self.stats.txn_rollbacks.saturating_add(1);
+        Ok(())
+    }
+
+    /// Checkpoint compaction: writes the full state as a snapshot, then
+    /// resets the WAL to its header. A no-op in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TxnActive`] mid-transaction; [`DbError::Io`] when the
+    /// snapshot write fails (the WAL is kept — nothing is lost).
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        if self.txn.is_some() {
+            return Err(DbError::TxnActive);
+        }
+        let Some(durable) = self.durable.clone() else {
+            return Ok(());
+        };
+        let mut d = durable.borrow_mut();
+        match crate::snapshot::write(&d.dir, &self.tables, &self.sequences, d.crash_mode) {
+            Ok(_) => {
+                d.wal.truncate_to_header()?;
+                d.records_since_snapshot = 0;
+                self.stats.snapshots_written = self.stats.snapshots_written.saturating_add(1);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.snapshot_errs = self.stats.snapshot_errs.saturating_add(1);
+                Err(e)
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let due = match &self.durable {
+            Some(d) => {
+                let d = d.borrow();
+                d.config.snapshot_every > 0
+                    && d.records_since_snapshot >= d.config.snapshot_every
+            }
+            None => false,
+        };
+        if due && self.txn.is_none() {
+            // Best-effort: a failed auto-checkpoint keeps the WAL and is
+            // retried after the next commit; counted in snapshot_errs.
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Re-anchors durability after the in-memory state was *restored*
+    /// from a clone (the incremental engine's base-world rebuild, a
+    /// session rollback): writes a snapshot of the restored state and
+    /// resets the WAL, so a crash recovers the restored state rather
+    /// than the abandoned history. Best-effort — on snapshot failure the
+    /// old WAL is kept (counted in `snapshot_errs`). A no-op in memory.
+    pub fn persist_rebase(&mut self) {
+        if self.durable.is_none() {
+            return;
+        }
+        // A wholesale state restore abandons any open transaction.
+        self.txn = None;
+        let _ = self.checkpoint();
+    }
+
+    /// Deterministic full-state dump (tables sorted by name, rows in
+    /// insertion order, sequences sorted): the oracle-comparison format
+    /// of the crash harness.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for name in self.table_names() {
+            if let Some(t) = self.tables.get(&name) {
+                out.push_str(&format!("table {name} {}\n", t.schema));
+                for row in &t.rows {
+                    let vals: Vec<String> = row.iter().map(|v| v.to_sql()).collect();
+                    out.push_str(&format!("  ({})\n", vals.join(", ")));
+                }
+            }
+        }
+        let mut seqs: Vec<(&String, &i64)> = self.sequences.iter().collect();
+        seqs.sort();
+        for (name, v) in seqs {
+            out.push_str(&format!("sequence {name} = {v}\n"));
+        }
+        out
     }
 
     /// Creates a table.
@@ -34,16 +323,39 @@ impl Db {
         if self.tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        self.log
-            .push(format!("CREATE TABLE \"{name}\" {schema};"));
-        self.tables.insert(name.to_string(), Table::new(schema));
+        let sql = format!("CREATE TABLE \"{name}\" {schema};");
+        self.commit_effect(
+            WalRecord::CreateTable {
+                name: name.to_string(),
+                schema,
+            },
+            sql,
+        )?;
         Ok(())
     }
 
-    /// Creates a sequence starting at 1.
+    /// Creates a sequence starting at 1 (idempotent). Infallible in the
+    /// in-memory mode; in durable mode a WAL failure is swallowed after
+    /// rolling the effect back — use [`Db::try_create_sequence`] to
+    /// observe it.
     pub fn create_sequence(&mut self, name: &str) {
-        self.log.push(format!("CREATE SEQUENCE \"{name}\";"));
-        self.sequences.entry(name.to_string()).or_insert(1);
+        let _ = self.try_create_sequence(name);
+    }
+
+    /// [`Db::create_sequence`], surfacing durable-layer failures.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] when the WAL append fails (no state change).
+    pub fn try_create_sequence(&mut self, name: &str) -> Result<(), DbError> {
+        let sql = format!("CREATE SEQUENCE \"{name}\";");
+        self.commit_effect(
+            WalRecord::CreateSequence {
+                name: name.to_string(),
+            },
+            sql,
+        )?;
+        Ok(())
     }
 
     /// Returns the next value of a sequence, then increments it.
@@ -52,15 +364,19 @@ impl Db {
     ///
     /// Fails with [`DbError::UnknownSequence`] when absent.
     pub fn nextval(&mut self, name: &str) -> Result<i64, DbError> {
-        let v = self
-            .sequences
-            .get_mut(name)
-            .ok_or_else(|| DbError::UnknownSequence(name.to_string()))?;
-        let out = *v;
-        *v += 1;
-        self.log
-            .push(format!("SELECT NEXTVAL('\"{name}\"');"));
-        Ok(out)
+        if !self.sequences.contains_key(name) {
+            return Err(DbError::UnknownSequence(name.to_string()));
+        }
+        let sql = format!("SELECT NEXTVAL('\"{name}\"');");
+        match self.commit_effect(
+            WalRecord::Nextval {
+                name: name.to_string(),
+            },
+            sql,
+        )? {
+            Some(v) => Ok(v),
+            None => Err(DbError::Corrupt("nextval yielded no value".into())),
+        }
     }
 
     /// The schema of a table.
@@ -73,12 +389,6 @@ impl Db {
             .get(table)
             .map(|t| &t.schema)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))
-    }
-
-    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     fn table(&self, name: &str) -> Result<&Table, DbError> {
@@ -117,12 +427,18 @@ impl Db {
         schema.check_row(&row)?;
         let cols: Vec<String> = values.iter().map(|(c, _)| format!("\"{c}\"")).collect();
         let vals: Vec<String> = values.iter().map(|(_, e)| e.to_sql()).collect();
-        self.log.push(format!(
+        let sql = format!(
             "INSERT INTO \"{table}\" ({}) VALUES ({});",
             cols.join(", "),
             vals.join(", ")
-        ));
-        self.table_mut(table)?.rows.push(row);
+        );
+        self.commit_effect(
+            WalRecord::Insert {
+                table: table.to_string(),
+                row,
+            },
+            sql,
+        )?;
         Ok(())
     }
 
@@ -135,21 +451,22 @@ impl Db {
         let t = self.table(table)?;
         let schema = t.schema.clone();
         pred.check(&schema)?;
-        let mut kept = Vec::new();
-        let mut removed = 0;
-        for row in &t.rows {
+        let mut removed = Vec::new();
+        for (i, row) in t.rows.iter().enumerate() {
             if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
-                removed += 1;
-            } else {
-                kept.push(row.clone());
+                removed.push(i as u64);
             }
         }
-        self.log.push(format!(
-            "DELETE FROM \"{table}\" WHERE {};",
-            pred.to_sql()
-        ));
-        self.table_mut(table)?.rows = kept;
-        Ok(removed)
+        let n = removed.len();
+        let sql = format!("DELETE FROM \"{table}\" WHERE {};", pred.to_sql());
+        self.commit_effect(
+            WalRecord::Delete {
+                table: table.to_string(),
+                removed,
+            },
+            sql,
+        )?;
+        Ok(n)
     }
 
     /// Updates the given columns on all rows satisfying `pred`; returns
@@ -176,29 +493,34 @@ impl Db {
             e.check(&schema)?;
             idxs.push(idx);
         }
-        let mut changed = 0;
-        let mut rows = t.rows.clone();
-        for row in &mut rows {
+        let mut mods: Vec<(u64, Vec<DbVal>)> = Vec::new();
+        for (i, row) in t.rows.iter().enumerate() {
             if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
                 let mut new_row = row.clone();
                 for ((_, e), idx) in changes.iter().zip(&idxs) {
                     new_row[*idx] = e.eval(&schema, row)?;
                 }
                 schema.check_row(&new_row)?;
-                *row = new_row;
-                changed += 1;
+                mods.push((i as u64, new_row));
             }
         }
+        let changed = mods.len();
         let sets: Vec<String> = changes
             .iter()
             .map(|(c, e)| format!("\"{c}\" = {}", e.to_sql()))
             .collect();
-        self.log.push(format!(
+        let sql = format!(
             "UPDATE \"{table}\" SET {} WHERE {};",
             sets.join(", "),
             pred.to_sql()
-        ));
-        self.table_mut(table)?.rows = rows;
+        );
+        self.commit_effect(
+            WalRecord::Update {
+                table: table.to_string(),
+                changes: mods,
+            },
+            sql,
+        )?;
         Ok(changed)
     }
 
@@ -479,6 +801,80 @@ mod tests {
         db.create_table("zz", Schema::new(vec![]).unwrap()).unwrap();
         db.create_table("aa", Schema::new(vec![]).unwrap()).unwrap();
         assert_eq!(db.table_names(), vec!["aa".to_string(), "zz".to_string()]);
+    }
+
+    #[test]
+    fn in_memory_txn_commit_keeps_and_rollback_restores() {
+        let mut db = two_col_db();
+        ins(&mut db, 1, "kept");
+        db.begin().unwrap();
+        ins(&mut db, 2, "committed");
+        db.commit().unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 2);
+
+        db.begin().unwrap();
+        ins(&mut db, 3, "doomed");
+        db.create_sequence("s");
+        let log_len = db.log().len();
+        db.rollback().unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 2);
+        assert!(db.nextval("s").is_err(), "sequence rolled back");
+        assert!(db.log().len() < log_len, "log rolled back too");
+        assert_eq!(db.stats().txn_commits, 1);
+        assert_eq!(db.stats().txn_rollbacks, 1);
+    }
+
+    #[test]
+    fn txn_misuse_yields_stable_errors() {
+        let mut db = two_col_db();
+        assert_eq!(db.commit().unwrap_err(), DbError::NoTxn);
+        assert_eq!(db.rollback().unwrap_err(), DbError::NoTxn);
+        db.begin().unwrap();
+        assert_eq!(db.begin().unwrap_err(), DbError::TxnActive);
+        db.commit().unwrap();
+        assert!(!db.in_txn());
+        assert!(!db.is_durable());
+    }
+
+    #[test]
+    fn txn_reads_its_own_writes() {
+        let mut db = two_col_db();
+        db.begin().unwrap();
+        ins(&mut db, 7, "mine");
+        let rows = db
+            .select("t", &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(7))))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        db.commit().unwrap();
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_sorted() {
+        let mut db = Db::new();
+        db.create_table("zz", Schema::new(vec![("A".into(), ColTy::Int)]).unwrap())
+            .unwrap();
+        db.create_table("aa", Schema::new(vec![("B".into(), ColTy::Str)]).unwrap())
+            .unwrap();
+        db.create_sequence("s2");
+        db.create_sequence("s1");
+        db.insert("zz", &[("A".into(), SqlExpr::lit(DbVal::Int(1)))])
+            .unwrap();
+        let d = db.dump();
+        let aa = d.find("table aa").unwrap();
+        let zz = d.find("table zz").unwrap();
+        assert!(aa < zz, "tables sorted in {d}");
+        let s1 = d.find("sequence s1").unwrap();
+        let s2 = d.find("sequence s2").unwrap();
+        assert!(s1 < s2, "sequences sorted in {d}");
+        assert_eq!(d, db.clone().dump(), "clone dumps identically");
+    }
+
+    #[test]
+    fn checkpoint_and_persist_rebase_are_noops_in_memory() {
+        let mut db = two_col_db();
+        db.checkpoint().unwrap();
+        db.persist_rebase();
+        assert_eq!(db.stats().snapshots_written, 0);
     }
 }
 

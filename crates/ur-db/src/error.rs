@@ -17,6 +17,19 @@ pub enum DbError {
     TypeError(String),
     /// Schema construction failed.
     SchemaError(String),
+    /// An I/O failure in the durability layer (WAL append/sync, snapshot
+    /// write, directory creation). The in-memory state is unchanged: a
+    /// failed commit rolls back before this is returned.
+    Io(String),
+    /// On-disk state failed verification during recovery (bad magic,
+    /// version mismatch, CRC failure in a snapshot — WAL tail corruption
+    /// is *not* an error; it is truncated at the last committed boundary).
+    Corrupt(String),
+    /// `commit`/`rollback` without an open transaction.
+    NoTxn,
+    /// `begin` while a transaction is already open (no nesting), or a
+    /// checkpoint requested mid-transaction.
+    TxnActive,
 }
 
 impl fmt::Display for DbError {
@@ -28,6 +41,10 @@ impl fmt::Display for DbError {
             DbError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             DbError::TypeError(m) => write!(f, "type error: {m}"),
             DbError::SchemaError(m) => write!(f, "schema error: {m}"),
+            DbError::Io(m) => write!(f, "i/o error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt database state: {m}"),
+            DbError::NoTxn => write!(f, "no open transaction"),
+            DbError::TxnActive => write!(f, "a transaction is already open"),
         }
     }
 }

@@ -11,6 +11,14 @@
 //! ASTs, with a SQL-text log whose statements are escaped exactly as a
 //! real deployment's wire statements would be (see DESIGN.md §3).
 //!
+//! [`Db::open`] backs the same API with a crash-safe durability layer:
+//! a CRC-tagged, fsync'd write-ahead log ([`wal`]) plus snapshot
+//! compaction ([`snapshot`]), explicit transactions ([`Db::begin`] /
+//! [`Db::commit`] / [`Db::rollback`]), and recovery that replays
+//! exactly the committed prefix ([`recover`]) — torn or uncommitted WAL
+//! tails are truncated at the last committed transaction boundary. See
+//! `docs/ROBUSTNESS.md` §7.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,11 +44,18 @@
 pub mod db;
 pub mod error;
 pub mod expr;
+pub mod recover;
+pub mod snapshot;
 pub mod table;
+pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use db::Db;
 pub use error::DbError;
 pub use expr::SqlExpr;
+pub use snapshot::SNAPSHOT_FILE;
 pub use table::{Schema, Table};
+pub use txn::{DbStats, DurabilityConfig};
 pub use value::{ColTy, DbVal};
+pub use wal::{WalRecord, WAL_FILE};

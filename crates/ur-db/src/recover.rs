@@ -1,0 +1,428 @@
+//! Recovery: replay the WAL onto the last good snapshot, truncating
+//! torn or uncommitted tails at the last committed transaction boundary.
+//!
+//! The invariant `Db::open` guarantees: the recovered state is exactly
+//! the committed prefix of the history — every acknowledged commit is
+//! present, nothing from an unfinished transaction is visible. The scan
+//! stops at the first frame that is truncated, fails its CRC, fails to
+//! decode, or breaks transaction bracketing; everything from the last
+//! `Commit` boundary onward is then physically truncated so the file
+//! never accretes garbage.
+
+use crate::error::DbError;
+use crate::table::Table;
+use crate::txn::{DbStats, DurabilityConfig};
+use crate::wal::{frame_crc, Wal, WalRecord, FRAME_HEADER_LEN, WAL_FILE, WAL_HEADER_LEN, WAL_MAGIC};
+use std::collections::HashMap;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// The durable half of a database: the open WAL plus checkpoint
+/// bookkeeping. Shared (`Rc<RefCell<…>>`) between clones of a `Db`
+/// handle so all of them append to the same log.
+#[derive(Debug)]
+pub(crate) struct Durable {
+    pub dir: PathBuf,
+    pub wal: Wal,
+    pub config: DurabilityConfig,
+    /// Next transaction id to allocate.
+    pub next_txn: u64,
+    /// Committed WAL records since the last checkpoint (drives
+    /// `snapshot_every`).
+    pub records_since_snapshot: u64,
+    /// `UR_DB_CRASH=abort` was set at open: injected faults crash the
+    /// process (the kill-point harness) instead of returning errors.
+    pub crash_mode: bool,
+}
+
+/// Result of opening a database directory.
+pub(crate) struct Recovered {
+    pub tables: HashMap<String, Table>,
+    pub sequences: HashMap<String, i64>,
+    pub durable: Durable,
+    pub stats: DbStats,
+}
+
+/// Outcome of scanning a WAL byte image.
+pub(crate) struct WalScan {
+    /// Committed transactions in commit order.
+    pub txns: Vec<(u64, Vec<WalRecord>)>,
+    /// End offset of the last committed transaction (the truncation
+    /// point; everything beyond is torn or uncommitted).
+    pub committed_len: u64,
+}
+
+/// Scans a WAL image, returning every fully committed transaction and
+/// the boundary to truncate at. Never errors on tail damage — a torn,
+/// corrupt, or uncommitted suffix simply ends the scan.
+pub(crate) fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut txns = Vec::new();
+    let mut committed_len = WAL_HEADER_LEN;
+    let mut pos = WAL_HEADER_LEN as usize;
+    // Operations of the currently open (not yet committed) transaction.
+    let mut open: Option<(u64, Vec<WalRecord>)> = None;
+    // Ends at the first truncated frame header; every other damage mode
+    // breaks out of the body below.
+    while let Some(header) = bytes.get(pos..pos + FRAME_HEADER_LEN) {
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&header[..4]);
+        let len = u32::from_le_bytes(len4) as usize;
+        let mut crc8 = [0u8; 8];
+        crc8.copy_from_slice(&header[4..12]);
+        let crc = u64::from_le_bytes(crc8);
+        let start = pos + FRAME_HEADER_LEN;
+        let Some(payload) = bytes.get(start..start + len) else {
+            break; // truncated payload
+        };
+        if frame_crc(payload) != crc {
+            break; // torn write
+        }
+        let Some(rec) = WalRecord::decode(payload) else {
+            break; // valid CRC but undecodable: treated as corruption
+        };
+        pos = start + len;
+        match rec {
+            WalRecord::Begin { txn } => {
+                if open.is_some() {
+                    break; // nested Begin: bracketing broken
+                }
+                open = Some((txn, Vec::new()));
+            }
+            WalRecord::Commit { txn } => match open.take() {
+                Some((id, ops)) if id == txn => {
+                    txns.push((id, ops));
+                    committed_len = pos as u64;
+                }
+                _ => break, // Commit without matching Begin
+            },
+            op => match open.as_mut() {
+                Some((_, ops)) => ops.push(op),
+                None => break, // operation outside a transaction
+            },
+        }
+    }
+    WalScan {
+        txns,
+        committed_len,
+    }
+}
+
+/// Applies one physical WAL record to the state. Shared by the live
+/// execution path (so replay and execution cannot diverge) and by
+/// recovery. Returns the `Nextval` result when the record is one.
+///
+/// # Errors
+///
+/// Only on state/record mismatch — impossible on the live path, which
+/// validates first; during replay it means the WAL does not match the
+/// snapshot and surfaces as [`DbError::Corrupt`].
+pub(crate) fn apply_record(
+    tables: &mut HashMap<String, Table>,
+    sequences: &mut HashMap<String, i64>,
+    rec: &WalRecord,
+) -> Result<Option<i64>, DbError> {
+    match rec {
+        WalRecord::Begin { .. } | WalRecord::Commit { .. } => Err(DbError::Corrupt(
+            "transaction bracket in operation position".into(),
+        )),
+        WalRecord::CreateTable { name, schema } => {
+            if tables.contains_key(name) {
+                return Err(DbError::TableExists(name.clone()));
+            }
+            tables.insert(name.clone(), Table::new(schema.clone()));
+            Ok(None)
+        }
+        WalRecord::CreateSequence { name } => {
+            sequences.entry(name.clone()).or_insert(1);
+            Ok(None)
+        }
+        WalRecord::Nextval { name } => {
+            let v = sequences
+                .get_mut(name)
+                .ok_or_else(|| DbError::UnknownSequence(name.clone()))?;
+            let out = *v;
+            *v += 1;
+            Ok(Some(out))
+        }
+        WalRecord::Insert { table, row } => {
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            t.rows.push(row.clone());
+            Ok(None)
+        }
+        WalRecord::Update { table, changes } => {
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            for (idx, row) in changes {
+                let slot = t.rows.get_mut(*idx as usize).ok_or_else(|| {
+                    DbError::Corrupt(format!("update index {idx} out of range in {table}"))
+                })?;
+                *slot = row.clone();
+            }
+            Ok(None)
+        }
+        WalRecord::Delete { table, removed } => {
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            // Indices are logged ascending; remove back-to-front so the
+            // earlier ones stay valid.
+            for idx in removed.iter().rev() {
+                let idx = *idx as usize;
+                if idx >= t.rows.len() {
+                    return Err(DbError::Corrupt(format!(
+                        "delete index {idx} out of range in {table}"
+                    )));
+                }
+                t.rows.remove(idx);
+            }
+            Ok(None)
+        }
+    }
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> DbError {
+    DbError::Io(format!("{ctx}: {e}"))
+}
+
+/// Opens (creating if needed) a database directory: loads the snapshot,
+/// replays the committed WAL prefix, truncates the tail, and returns
+/// the recovered state plus the open durable handle.
+pub(crate) fn open_dir(dir: &Path, config: DurabilityConfig) -> Result<Recovered, DbError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("db dir create", e))?;
+    let crash_mode = std::env::var("UR_DB_CRASH").map(|v| v == "abort").unwrap_or(false);
+    let mut stats = DbStats::default();
+
+    let (mut tables, mut sequences) = match crate::snapshot::load(dir)? {
+        Some(state) => {
+            stats.snapshot_loaded = 1;
+            state
+        }
+        None => (HashMap::new(), HashMap::new()),
+    };
+
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = match fs::read(&wal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("wal read", e)),
+    };
+
+    let mut next_txn = 1;
+    let wal = if bytes.len() < WAL_MAGIC.len() {
+        // Missing, or a crash during creation left a partial header:
+        // either way there is no committed data in it. Start fresh.
+        Wal::create(&wal_path, crash_mode)?
+    } else if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // A full-size header that is not ours is a different file, not a
+        // torn write — refuse rather than destroy it.
+        return Err(DbError::Corrupt("WAL has bad magic".into()));
+    } else {
+        let scan = scan_wal(&bytes);
+        for (txn, ops) in &scan.txns {
+            for rec in ops {
+                apply_record(&mut tables, &mut sequences, rec).map_err(|e| {
+                    DbError::Corrupt(format!("WAL replay failed (txn {txn}): {e}"))
+                })?;
+                stats.replayed_records = stats.replayed_records.saturating_add(1);
+            }
+            stats.recovered_txns = stats.recovered_txns.saturating_add(1);
+            next_txn = next_txn.max(*txn + 1);
+        }
+        stats.truncated_bytes = (bytes.len() as u64).saturating_sub(scan.committed_len);
+        if stats.truncated_bytes > 0 {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| io_err("wal open for truncate", e))?;
+            f.set_len(scan.committed_len)
+                .map_err(|e| io_err("wal tail truncate", e))?;
+            f.sync_all().map_err(|e| io_err("wal truncate sync", e))?;
+        }
+        Wal::open_at(&wal_path, scan.committed_len, crash_mode)?
+    };
+
+    // Remove a stale checkpoint tmp file left by a crash mid-snapshot.
+    let _ = fs::remove_file(dir.join(format!("{}.tmp", crate::snapshot::SNAPSHOT_FILE)));
+
+    let records_since_snapshot = stats.replayed_records + 2 * stats.recovered_txns;
+    Ok(Recovered {
+        tables,
+        sequences,
+        durable: Durable {
+            dir: dir.to_path_buf(),
+            wal,
+            config,
+            next_txn,
+            records_since_snapshot,
+            crash_mode,
+        },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Schema;
+    use crate::value::{ColTy, DbVal};
+
+    fn frame(rec: &WalRecord) -> Vec<u8> {
+        let payload = rec.encode();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&frame_crc(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn image(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for rec in records {
+            bytes.extend_from_slice(&frame(rec));
+        }
+        bytes
+    }
+
+    fn committed_txn(txn: u64, ops: &[WalRecord]) -> Vec<WalRecord> {
+        let mut v = vec![WalRecord::Begin { txn }];
+        v.extend_from_slice(ops);
+        v.push(WalRecord::Commit { txn });
+        v
+    }
+
+    #[test]
+    fn scan_accepts_committed_prefix_and_ignores_uncommitted_suffix() {
+        let mut records = committed_txn(1, &[WalRecord::CreateSequence { name: "s".into() }]);
+        records.push(WalRecord::Begin { txn: 2 });
+        records.push(WalRecord::Nextval { name: "s".into() });
+        // no Commit for txn 2
+        let bytes = image(&records);
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.txns[0].0, 1);
+        assert!(scan.committed_len < bytes.len() as u64, "suffix truncated");
+    }
+
+    #[test]
+    fn scan_stops_at_torn_frame() {
+        let records = committed_txn(1, &[WalRecord::CreateSequence { name: "s".into() }]);
+        let mut bytes = image(&records);
+        let good_len = bytes.len() as u64;
+        // A second committed txn, but its last 3 bytes never hit the disk.
+        let more = committed_txn(2, &[WalRecord::Nextval { name: "s".into() }]);
+        for rec in &more {
+            bytes.extend_from_slice(&frame(rec));
+        }
+        bytes.truncate(bytes.len() - 3);
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.committed_len, good_len);
+    }
+
+    #[test]
+    fn scan_stops_at_crc_mismatch() {
+        let records = committed_txn(1, &[WalRecord::CreateSequence { name: "s".into() }]);
+        let good_len = image(&records).len() as u64;
+        let mut all = records;
+        all.extend(committed_txn(2, &[WalRecord::Nextval { name: "s".into() }]));
+        let mut bytes = image(&all);
+        // Flip one payload bit inside the second transaction.
+        let idx = good_len as usize + FRAME_HEADER_LEN + 2;
+        bytes[idx] ^= 0x01;
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.txns.len(), 1);
+        assert_eq!(scan.committed_len, good_len);
+    }
+
+    #[test]
+    fn scan_rejects_broken_bracketing() {
+        // Commit without Begin.
+        let bytes = image(&[WalRecord::Commit { txn: 9 }]);
+        let scan = scan_wal(&bytes);
+        assert!(scan.txns.is_empty());
+        assert_eq!(scan.committed_len, WAL_HEADER_LEN);
+
+        // Operation outside any transaction.
+        let bytes = image(&[WalRecord::CreateSequence { name: "s".into() }]);
+        assert!(scan_wal(&bytes).txns.is_empty());
+    }
+
+    #[test]
+    fn apply_record_replays_all_ops() {
+        let mut tables = HashMap::new();
+        let mut seqs = HashMap::new();
+        let schema = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
+        apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::CreateTable {
+                name: "t".into(),
+                schema,
+            },
+        )
+        .unwrap();
+        for i in 0..3 {
+            apply_record(
+                &mut tables,
+                &mut seqs,
+                &WalRecord::Insert {
+                    table: "t".into(),
+                    row: vec![DbVal::Int(i)],
+                },
+            )
+            .unwrap();
+        }
+        apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::Update {
+                table: "t".into(),
+                changes: vec![(1, vec![DbVal::Int(10)])],
+            },
+        )
+        .unwrap();
+        apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::Delete {
+                table: "t".into(),
+                removed: vec![0, 2],
+            },
+        )
+        .unwrap();
+        assert_eq!(tables["t"].rows, vec![vec![DbVal::Int(10)]]);
+
+        apply_record(&mut tables, &mut seqs, &WalRecord::CreateSequence { name: "s".into() })
+            .unwrap();
+        assert_eq!(
+            apply_record(&mut tables, &mut seqs, &WalRecord::Nextval { name: "s".into() })
+                .unwrap(),
+            Some(1)
+        );
+        assert_eq!(seqs["s"], 2);
+    }
+
+    #[test]
+    fn apply_record_rejects_mismatched_state() {
+        let mut tables = HashMap::new();
+        let mut seqs = HashMap::new();
+        assert!(apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::Insert {
+                table: "ghost".into(),
+                row: vec![]
+            }
+        )
+        .is_err());
+        assert!(apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::Begin { txn: 1 }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Durability integration tests: WAL round trips, torn-tail recovery,
+//! snapshot compaction, and transaction visibility across reopen.
+//!
+//! These run without the `failpoints` feature — they damage the files
+//! directly. The injected-fault and kill-point variants live in the
+//! workspace chaos suite and the `ur-bench` crash harness.
+
+use std::fs;
+use std::path::PathBuf;
+use ur_db::{ColTy, Db, DbError, DbVal, DurabilityConfig, Schema, SqlExpr, WAL_FILE};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ur-db-durability-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn schema_ab() -> Schema {
+    Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)]).unwrap()
+}
+
+fn ins(db: &mut Db, a: i64, b: &str) {
+    db.insert(
+        "t",
+        &[
+            ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+            ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+        ],
+    )
+    .unwrap();
+}
+
+#[test]
+fn reopen_recovers_auto_committed_statements() {
+    let dir = tmpdir("reopen");
+    let dump = {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        db.create_sequence("s");
+        ins(&mut db, 1, "one");
+        ins(&mut db, 2, "two");
+        assert_eq!(db.nextval("s").unwrap(), 1);
+        db.update(
+            "t",
+            &[("B".into(), SqlExpr::lit(DbVal::Str("deux".into())))],
+            &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(2))),
+        )
+        .unwrap();
+        db.delete("t", &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(1))))
+            .unwrap();
+        db.dump()
+    };
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.dump(), dump);
+    assert!(db2.stats().recovered_txns >= 6, "{}", db2.stats());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_txn_survives_uncommitted_txn_does_not() {
+    let dir = tmpdir("txn-visibility");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        db.begin().unwrap();
+        ins(&mut db, 1, "committed");
+        db.commit().unwrap();
+        db.begin().unwrap();
+        ins(&mut db, 2, "uncommitted");
+        // Dropped without commit: buffered records never reach the WAL.
+    }
+    let mut db2 = Db::open(&dir).unwrap();
+    let rows = db2.select("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][1], DbVal::Str("committed".into()));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_rollback_leaves_no_trace_on_disk() {
+    let dir = tmpdir("rollback");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        db.begin().unwrap();
+        ins(&mut db, 1, "doomed");
+        db.rollback().unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 0);
+    }
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.row_count("t").unwrap(), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_to_last_commit() {
+    let dir = tmpdir("torn-tail");
+    let committed_dump = {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "safe");
+        db.dump()
+    };
+    // Simulate a torn write: garbage appended past the committed prefix.
+    let wal = dir.join(WAL_FILE);
+    let mut bytes = fs::read(&wal).unwrap();
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(&[0xAB; 37]);
+    fs::write(&wal, &bytes).unwrap();
+
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.dump(), committed_dump);
+    assert_eq!(db2.stats().truncated_bytes, 37);
+    assert_eq!(
+        fs::metadata(&wal).unwrap().len(),
+        clean_len as u64,
+        "tail physically truncated"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_mid_wal_recovers_prefix_before_the_flip() {
+    let dir = tmpdir("bitflip");
+    let (len_after_first, first_dump) = {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "before");
+        let len = fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        let dump = db.dump();
+        ins(&mut db, 2, "after");
+        (len, dump)
+    };
+    let wal = dir.join(WAL_FILE);
+    let mut bytes = fs::read(&wal).unwrap();
+    // Corrupt the first byte after the first committed prefix: the second
+    // transaction's frames fail their CRC and are truncated.
+    bytes[len_after_first as usize + 16] ^= 0x20;
+    fs::write(&wal, &bytes).unwrap();
+
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.dump(), first_dump);
+    assert!(db2.stats().truncated_bytes > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_compacts_and_recovery_uses_snapshot_plus_wal() {
+    let dir = tmpdir("checkpoint");
+    let dump = {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "in-snapshot");
+        db.checkpoint().unwrap();
+        assert_eq!(db.stats().snapshots_written, 1);
+        // WAL reset to header; this lands in the post-snapshot log.
+        ins(&mut db, 2, "in-wal");
+        db.dump()
+    };
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.stats().snapshot_loaded, 1, "{}", db2.stats());
+    assert_eq!(db2.stats().recovered_txns, 1, "only the post-snapshot txn");
+    assert_eq!(db2.dump(), dump);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_checkpoint_triggers_at_threshold() {
+    let dir = tmpdir("auto-checkpoint");
+    let mut db = Db::open_with(
+        &dir,
+        DurabilityConfig {
+            snapshot_every: 10,
+            sync_commits: true,
+        },
+    )
+    .unwrap();
+    db.create_table("t", schema_ab()).unwrap();
+    for i in 0..6 {
+        ins(&mut db, i, "row");
+    }
+    assert!(db.stats().snapshots_written >= 1, "{}", db.stats());
+    // Compaction reset the WAL mid-run: its live length is smaller than
+    // the total bytes ever appended to it.
+    assert!(
+        db.wal_len() < db.stats().wal_bytes,
+        "wal_len={} appended={}",
+        db.wal_len(),
+        db.stats().wal_bytes
+    );
+    let dump = db.dump();
+    drop(db);
+    assert_eq!(Db::open(&dir).unwrap().dump(), dump);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_is_a_hard_error_not_silent_data_loss() {
+    let dir = tmpdir("corrupt-snap");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "x");
+        db.checkpoint().unwrap();
+    }
+    let snap = dir.join(ur_db::SNAPSHOT_FILE);
+    let mut bytes = fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&snap, &bytes).unwrap();
+    assert!(matches!(Db::open(&dir), Err(DbError::Corrupt(_))));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sequences_are_durable() {
+    let dir = tmpdir("sequences");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.try_create_sequence("s").unwrap();
+        assert_eq!(db.nextval("s").unwrap(), 1);
+        assert_eq!(db.nextval("s").unwrap(), 2);
+    }
+    let mut db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.nextval("s").unwrap(), 3, "sequence position survives");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clones_share_the_wal() {
+    let dir = tmpdir("clone-shared");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        let before = db.wal_len();
+        let mut clone = db.clone();
+        ins(&mut clone, 1, "via-clone");
+        // The clone's append went to the same (shared) WAL handle: the
+        // original observes the growth.
+        assert!(db.wal_len() > before);
+        assert_eq!(db.wal_len(), clone.wal_len());
+    }
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.row_count("t").unwrap(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_rebase_reanchors_on_restored_state() {
+    let dir = tmpdir("rebase");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "base");
+        let base = db.clone();
+        ins(&mut db, 2, "abandoned");
+        // A session-style restore: replace the state wholesale, then
+        // re-anchor durability on it.
+        let mut restored = base;
+        restored.persist_rebase();
+        assert!(restored.stats().snapshots_written >= 1);
+    }
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.row_count("t").unwrap(), 1, "abandoned row is gone");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replay_handles_many_transactions() {
+    let dir = tmpdir("many-txns");
+    let dump = {
+        let mut db = Db::open_with(
+            &dir,
+            DurabilityConfig {
+                snapshot_every: 0, // force pure WAL replay
+                sync_commits: true,
+            },
+        )
+        .unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        for i in 0..50 {
+            db.begin().unwrap();
+            ins(&mut db, i, "bulk");
+            if i % 3 == 0 {
+                db.update(
+                    "t",
+                    &[("B".into(), SqlExpr::lit(DbVal::Str("bumped".into())))],
+                    &SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(i))),
+                )
+                .unwrap();
+            }
+            db.commit().unwrap();
+        }
+        db.delete(
+            "t",
+            &SqlExpr::Lt(
+                Box::new(SqlExpr::col("A")),
+                Box::new(SqlExpr::lit(DbVal::Int(10))),
+            ),
+        )
+        .unwrap();
+        db.dump()
+    };
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.dump(), dump);
+    assert_eq!(db2.stats().recovered_txns, 52);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,177 @@
+//! Edge-case coverage for the relational engine: every failure mode the
+//! typed Ur/Web layer makes unreachable must still surface as a stable
+//! [`DbError`] variant when driven directly, because the durability
+//! layer's recovery path and the REPL both rely on these exact errors.
+
+use ur_db::{ColTy, Db, DbError, DbVal, Schema, SqlExpr};
+
+fn db_ab() -> Db {
+    let mut db = Db::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)]).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn ins(db: &mut Db, a: i64, b: &str) {
+    db.insert(
+        "t",
+        &[
+            ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+            ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+        ],
+    )
+    .unwrap();
+}
+
+#[test]
+fn duplicate_create_table_is_table_exists_and_keeps_rows() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    let err = db
+        .create_table("t", Schema::new(vec![("C".into(), ColTy::Bool)]).unwrap())
+        .unwrap_err();
+    assert_eq!(err, DbError::TableExists("t".into()));
+    // The original table (schema and rows) is untouched.
+    assert_eq!(db.row_count("t").unwrap(), 1);
+    assert!(db.schema("t").unwrap().index_of("A").is_some());
+}
+
+#[test]
+fn insert_unknown_column_is_unknown_column() {
+    let mut db = db_ab();
+    let err = db
+        .insert(
+            "t",
+            &[
+                ("A".into(), SqlExpr::lit(DbVal::Int(1))),
+                ("B".into(), SqlExpr::lit(DbVal::Str("x".into()))),
+                ("Nope".into(), SqlExpr::lit(DbVal::Int(9))),
+            ],
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::UnknownColumn("Nope".into()));
+    assert_eq!(db.row_count("t").unwrap(), 0, "nothing was inserted");
+}
+
+#[test]
+fn update_unknown_column_is_unknown_column() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    let err = db
+        .update(
+            "t",
+            &[("Ghost".into(), SqlExpr::lit(DbVal::Int(2)))],
+            &SqlExpr::lit(DbVal::Bool(true)),
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::UnknownColumn("Ghost".into()));
+}
+
+#[test]
+fn unknown_table_everywhere() {
+    let mut db = Db::new();
+    let t = SqlExpr::lit(DbVal::Bool(true));
+    assert_eq!(
+        db.insert("nope", &[]).unwrap_err(),
+        DbError::UnknownTable("nope".into())
+    );
+    assert_eq!(db.delete("nope", &t).unwrap_err(), DbError::UnknownTable("nope".into()));
+    assert_eq!(
+        db.update("nope", &[], &t).unwrap_err(),
+        DbError::UnknownTable("nope".into())
+    );
+    assert_eq!(db.select("nope", &t).unwrap_err(), DbError::UnknownTable("nope".into()));
+    assert_eq!(db.row_count("nope").unwrap_err(), DbError::UnknownTable("nope".into()));
+    assert_eq!(db.schema("nope").unwrap_err(), DbError::UnknownTable("nope".into()));
+}
+
+#[test]
+fn nextval_on_missing_sequence_is_unknown_sequence_and_no_log() {
+    let mut db = Db::new();
+    let log_len = db.log().len();
+    assert_eq!(
+        db.nextval("ghost").unwrap_err(),
+        DbError::UnknownSequence("ghost".into())
+    );
+    assert_eq!(db.log().len(), log_len, "failed nextval is not logged");
+}
+
+#[test]
+fn delete_with_always_false_predicate_removes_nothing() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    ins(&mut db, 2, "y");
+    assert_eq!(db.delete("t", &SqlExpr::lit(DbVal::Bool(false))).unwrap(), 0);
+    assert_eq!(db.row_count("t").unwrap(), 2);
+    // The statement still reaches the SQL log (a real server would see it).
+    assert!(db.log().last().unwrap().starts_with("DELETE"));
+}
+
+#[test]
+fn update_with_always_false_predicate_changes_nothing() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    let changed = db
+        .update(
+            "t",
+            &[("B".into(), SqlExpr::lit(DbVal::Str("never".into())))],
+            &SqlExpr::lit(DbVal::Bool(false)),
+        )
+        .unwrap();
+    assert_eq!(changed, 0);
+    let rows = db.select("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+    assert_eq!(rows[0][1], DbVal::Str("x".into()));
+}
+
+#[test]
+fn type_mismatched_predicate_is_type_error_and_mutates_nothing() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    // A < 'text' — ill-typed comparison between Int and Str.
+    let bad = SqlExpr::Lt(
+        Box::new(SqlExpr::col("A")),
+        Box::new(SqlExpr::lit(DbVal::Str("text".into()))),
+    );
+    assert!(matches!(db.delete("t", &bad), Err(DbError::TypeError(_))));
+    assert!(matches!(
+        db.update("t", &[("A".into(), SqlExpr::lit(DbVal::Int(0)))], &bad),
+        Err(DbError::TypeError(_))
+    ));
+    // A non-boolean predicate is not an error: it evaluates and simply
+    // never equals TRUE, so nothing matches.
+    let non_bool = SqlExpr::lit(DbVal::Int(1));
+    assert_eq!(db.delete("t", &non_bool).unwrap(), 0);
+    assert_eq!(db.row_count("t").unwrap(), 1, "no partial mutation");
+    let rows = db.select("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+    assert_eq!(rows[0][0], DbVal::Int(1));
+}
+
+#[test]
+fn update_type_mismatched_value_is_type_error() {
+    let mut db = db_ab();
+    ins(&mut db, 1, "x");
+    let err = db
+        .update(
+            "t",
+            &[("A".into(), SqlExpr::lit(DbVal::Str("not an int".into())))],
+            &SqlExpr::lit(DbVal::Bool(true)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DbError::TypeError(_)));
+    let rows = db.select("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+    assert_eq!(rows[0][0], DbVal::Int(1), "row unchanged");
+}
+
+#[test]
+fn error_displays_are_stable() {
+    assert_eq!(DbError::NoTxn.to_string(), "no open transaction");
+    assert_eq!(DbError::TxnActive.to_string(), "a transaction is already open");
+    assert_eq!(DbError::Io("boom".into()).to_string(), "i/o error: boom");
+    assert_eq!(
+        DbError::Corrupt("bad".into()).to_string(),
+        "corrupt database state: bad"
+    );
+}

@@ -72,6 +72,10 @@ pub struct RunReport {
     pub disk_hits: u64,
     /// Disk entries that existed but failed verification or decoding.
     pub disk_rejections: u64,
+    /// Write-back attempts the disk layer could not persist this run
+    /// (full disk, bad permissions, …). The run is still correct — the
+    /// cache just stays cold for those entries.
+    pub disk_store_errs: u64,
 }
 
 /// A red-green incremental elaboration engine with a two-layer
@@ -84,6 +88,9 @@ pub struct Engine {
     /// process-independent (see [`crate::link`]), so surviving a base
     /// re-seed between rebuilds is safe.
     memory: HashMap<u64, Vec<u8>>,
+    /// Whether this engine already warned about disk-store failures;
+    /// one warning per engine (≈ per session), not one per entry.
+    warned_store_err: bool,
 }
 
 impl Engine {
@@ -92,6 +99,7 @@ impl Engine {
             cache_dir: disk::resolve_cache_dir(cfg.cache_dir),
             base_tag: cfg.base_tag,
             memory: HashMap::new(),
+            warned_store_err: false,
         }
     }
 
@@ -222,6 +230,7 @@ impl Engine {
         // Write back every red outcome in linked form. Green outcomes
         // are only (re-)registered in the link table so later red
         // declarations can reference their contributions.
+        let mut disk_store_errs = 0u64;
         if records.len() == n {
             let mut ltab = LinkTable::new(&base_cons, &base_vals);
             for (i, rec) in records.iter().enumerate() {
@@ -232,13 +241,23 @@ impl Engine {
                         .map(|d| rebase_diag(d, prog.decls[i].span()));
                     if let Some(bytes) = link::encode_entry(&rec.outcome, rel.as_ref(), &ltab) {
                         if let Some(dir) = &self.cache_dir {
-                            disk::store(dir, input_fp[i], env_fp, &bytes);
+                            if !disk::store(dir, input_fp[i], env_fp, &bytes) {
+                                disk_store_errs = disk_store_errs.saturating_add(1);
+                            }
                         }
                         self.memory.insert(input_fp[i], bytes);
                     }
                 }
                 ltab.add_decl(input_fp[i], &rec.outcome);
             }
+        }
+        if disk_store_errs > 0 && !self.warned_store_err {
+            self.warned_store_err = true;
+            eprintln!(
+                "warning: ur-query disk cache: {disk_store_errs} store failure(s) in {:?}; \
+                 cache stays cold (check disk space/permissions)",
+                self.cache_dir
+            );
         }
 
         let st = &mut elab.cx.stats;
@@ -247,6 +266,7 @@ impl Engine {
         st.red_recomputed = st.red_recomputed.saturating_add((n - greens) as u64);
         st.disk_hits = st.disk_hits.saturating_add(disk_hits);
         st.disk_rejections = st.disk_rejections.saturating_add(disk_rejections);
+        st.disk_store_errs = st.disk_store_errs.saturating_add(disk_store_errs);
 
         let report = RunReport {
             decls_total: n,
@@ -254,6 +274,7 @@ impl Engine {
             red: n - greens,
             disk_hits,
             disk_rejections,
+            disk_store_errs,
         };
         (decls, diags, report)
     }
@@ -446,6 +467,26 @@ mod tests {
         assert_eq!(d2[0].span.line, d1[0].span.line + 1, "{:?}", d2[0]);
         assert!(r.green >= 1, "b must be a green replay: {r:?}");
         cleanup("diag");
+    }
+
+    #[test]
+    fn unwritable_cache_dir_counts_store_errors() {
+        // The cache dir's parent is a regular file: `create_dir_all`
+        // fails, so every write-back counts as a store error — and the
+        // run itself still succeeds (the cache just stays cold).
+        let file = std::env::temp_dir().join(format!("ur-query-eng-notdir-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let mut eng = Engine::new(EngineConfig {
+            cache_dir: Some(file.join("cache")),
+            base_tag: 6,
+        });
+        let mut e = Elaborator::new();
+        let (_, diags, r) = eng.run(&mut e, SRC, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(r.red, 3);
+        assert_eq!(r.disk_store_errs, 3, "{r:?}");
+        assert_eq!(e.cx.stats.disk_store_errs, 3);
+        let _ = std::fs::remove_file(&file);
     }
 
     fn norm(xs: &[String]) -> Vec<String> {

@@ -408,6 +408,11 @@ impl Session {
         self.elab.restore(incr.base_elab.clone());
         self.elab.cx.stats = kept_stats;
         self.world = incr.base_world.clone();
+        // The wholesale world restore invalidated any WAL suffix written
+        // since the base was captured; re-anchor the durable layer on the
+        // restored state before the rebuild replays effects. No-op for
+        // the in-memory database.
+        self.world.db.persist_rebase();
         self.top = incr.base_top.clone();
         self.by_name = incr.base_by_name.clone();
 
@@ -580,6 +585,10 @@ impl Session {
     pub fn rollback(&mut self, snap: SessionSnapshot) {
         self.elab.restore(snap.elab);
         self.world = snap.world;
+        // Rolling the world back abandons everything the batch appended
+        // to the WAL; re-anchor durability on the restored state so a
+        // crash right after rollback recovers it, not the aborted batch.
+        self.world.db.persist_rebase();
         self.top = snap.top;
         self.by_name = snap.by_name;
         self.breaker = snap.breaker;
@@ -630,6 +639,33 @@ impl Session {
             "  fault injection: injected={} memo_rejections={}",
             s.fp_faults_injected, s.fp_memo_rejections,
         );
+        out
+    }
+
+    /// A human-readable database summary: durability mode, open
+    /// transaction, table row counts, WAL length, and the durability
+    /// counters. Surfaced by the REPL's `:db` command and the serve
+    /// protocol's `db` request.
+    pub fn db_report(&self) -> String {
+        use fmt::Write as _;
+        let db = &self.world.db;
+        let mut out = String::new();
+        let mode = if db.is_durable() { "durable (WAL + snapshot)" } else { "in-memory" };
+        let _ = writeln!(out, "database: {mode}");
+        if db.in_txn() {
+            let _ = writeln!(out, "  txn: open");
+        }
+        let mut names = db.table_names();
+        names.sort();
+        let _ = writeln!(out, "  tables: {}", names.len());
+        for n in &names {
+            let rows = db.row_count(n).unwrap_or(0);
+            let _ = writeln!(out, "    {n}: {rows} row(s)");
+        }
+        if db.is_durable() {
+            let _ = writeln!(out, "  wal: {} byte(s)", db.wal_len());
+        }
+        let _ = writeln!(out, "  {}", db.stats());
         out
     }
 }
@@ -1040,6 +1076,73 @@ mod recovery_tests {
         assert!(d2.is_empty());
         assert!(sess.get("y").is_none(), "stale binding survived rebuild");
         assert_eq!(sess.get_int("x").unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `db_report` names the durability mode and every table.
+    #[test]
+    fn db_report_lists_tables_and_mode() {
+        let mut sess = Session::new().unwrap();
+        sess.run(
+            "val t = createTable \"people\" {Name = sqlString}\n\
+             val u = insert t {Name = const \"alice\"}",
+        )
+        .unwrap();
+        let report = sess.db_report();
+        assert!(report.contains("in-memory"), "{report}");
+        assert!(report.contains("people: 1 row(s)"), "{report}");
+    }
+
+    /// A session whose world is backed by a durable database persists
+    /// its interpreter effects: a fresh open of the same directory sees
+    /// exactly what the program committed.
+    #[test]
+    fn durable_world_effects_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("ur-sess-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut sess = Session::new().unwrap();
+            *sess.db() = ur_db::Db::open(&dir).unwrap();
+            sess.run(
+                "val t = createTable \"people\" {Name = sqlString, Age = sqlInt}\n\
+                 val u1 = insert t {Name = const \"alice\", Age = const 30}\n\
+                 val u2 = insert t {Name = const \"bob\", Age = const 25}\n\
+                 val s = createSequence \"ids\"\n\
+                 val i = nextval \"ids\"",
+            )
+            .unwrap();
+            assert_eq!(sess.get_int("i").unwrap(), 1);
+            let report = sess.db_report();
+            assert!(report.contains("durable"), "{report}");
+            assert!(report.contains("wal:"), "{report}");
+        }
+        let mut db = ur_db::Db::open(&dir).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 2);
+        assert_eq!(db.nextval("ids").unwrap(), 2, "sequence position survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Rollback on a durable world re-anchors the WAL: a reopen after
+    /// rollback recovers the pre-batch state, not the aborted batch.
+    #[test]
+    fn rollback_on_durable_world_discards_batch_from_disk() {
+        let dir = std::env::temp_dir().join(format!("ur-sess-rollbk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut sess = Session::new().unwrap();
+            *sess.db() = ur_db::Db::open(&dir).unwrap();
+            sess.run("val t = createTable \"keep\" {K = sqlInt}").unwrap();
+            let snap = sess.snapshot();
+            sess.run(
+                "val t2 = createTable \"doomed\" {K = sqlInt}\n\
+                 val u = insert t2 {K = const 1}",
+            )
+            .unwrap();
+            sess.rollback(snap);
+        }
+        let db = ur_db::Db::open(&dir).unwrap();
+        assert_eq!(db.row_count("keep").unwrap(), 0);
+        assert!(db.row_count("doomed").is_err(), "aborted batch reached disk");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

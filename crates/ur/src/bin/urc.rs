@@ -26,6 +26,10 @@
 //!                      UR_CACHE_DIR env var; default .ur-cache; a
 //!                      single-file run, --watch, and --serve reuse
 //!                      cached elaborations from it)
+//!   --db-dir DIR       durable database directory: program effects go
+//!                      through a crash-safe WAL + snapshot store that
+//!                      recovers exactly the committed prefix on reopen
+//!                      (empty string or absent = in-memory, the default)
 //!   --watch            watch FILE and incrementally re-elaborate on
 //!                      every change (single file; Ctrl-C to stop)
 //!   --serve            line-delimited JSON protocol on stdin/stdout:
@@ -33,7 +37,11 @@
 //!                      {"cmd":"type","name":…}          query a type
 //!                      {"cmd":"diagnostics"}            last diagnostics
 //!                      {"cmd":"stats"}                  counters
+//!                      {"cmd":"db"}                     database report
 //!                      {"cmd":"quit"}                   exit
+//!                      Requests are capped at 8 MiB per line; over-long
+//!                      or internally-failing requests get a JSON error
+//!                      without tearing down the session.
 //!   --help             this message
 //! ```
 
@@ -56,6 +64,7 @@ struct Options {
     no_fusion: bool,
     emit_json: bool,
     cache_dir: Option<String>,
+    db_dir: Option<String>,
     watch: bool,
     serve: bool,
 }
@@ -63,10 +72,12 @@ struct Options {
 fn usage() -> &'static str {
     "usage: urc [--print] [--stats] [--health] [--core NAME] [--type NAME] [--eval EXPR]\n\
      \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib] [--no-fusion]\n\
-     \x20          [--emit-json] [--cache-dir DIR] [--watch] [--serve] FILE...\n\
+     \x20          [--emit-json] [--cache-dir DIR] [--db-dir DIR] [--watch] [--serve] FILE...\n\
      Elaborates and runs Ur source files against the Ur/Web standard library.\n\
-     --watch re-elaborates FILE incrementally on every change; --serve speaks\n\
-     line-delimited JSON (load/edit/type/diagnostics/stats/quit) on stdin/stdout."
+     --db-dir backs database effects with a crash-safe WAL + snapshot store\n\
+     (empty = in-memory). --watch re-elaborates FILE incrementally on every\n\
+     change; --serve speaks line-delimited JSON (load/edit/type/diagnostics/\n\
+     stats/db/quit) on stdin/stdout, one request per line, 8 MiB cap."
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -85,6 +96,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         no_fusion: false,
         emit_json: false,
         cache_dir: None,
+        db_dir: None,
         watch: false,
         serve: false,
     };
@@ -103,6 +115,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--serve" => opts.serve = true,
             "--cache-dir" => {
                 opts.cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?)
+            }
+            "--db-dir" => {
+                opts.db_dir = Some(args.next().ok_or("--db-dir needs a directory")?)
             }
             "--core" => opts
                 .core
@@ -154,6 +169,11 @@ fn run(opts: &Options) -> Result<(), String> {
     sess.elab.cx.laws.fusion = !opts.no_fusion;
     if let Some(dir) = &opts.cache_dir {
         sess.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    // An empty --db-dir means "today's in-memory mode", so scripts can
+    // pass a variable unconditionally.
+    if let Some(dir) = opts.db_dir.as_deref().filter(|d| !d.is_empty()) {
+        *sess.db() = ur::db::Db::open(dir).map_err(|e| format!("--db-dir {dir}: {e}"))?;
     }
 
     if opts.serve {
@@ -294,20 +314,92 @@ fn watch(sess: &mut Session, opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Serve-mode per-request size cap. A line longer than this gets a
+/// structured JSON error; the excess is drained without ever being
+/// buffered, so a hostile or broken client cannot balloon the server.
+const SERVE_MAX_REQUEST: usize = 8 * 1024 * 1024;
+
+/// Reads one `\n`-terminated line, buffering at most
+/// [`SERVE_MAX_REQUEST`] bytes of it. Returns `None` at end of input,
+/// otherwise `(line, truncated)` — `truncated` set when the line
+/// exceeded the cap (the stored prefix is then partial and must not be
+/// parsed as a request).
+fn read_request_line(
+    r: &mut impl std::io::BufRead,
+) -> std::io::Result<Option<(String, bool)>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut truncated = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let (take, found_newline) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, true),
+            None => (chunk.len(), false),
+        };
+        if !truncated {
+            let room = SERVE_MAX_REQUEST - buf.len();
+            let kept = take.min(room);
+            buf.extend_from_slice(&chunk[..kept]);
+            if kept < take {
+                truncated = true;
+            }
+        }
+        let consumed = if found_newline { take + 1 } else { take };
+        r.consume(consumed);
+        if found_newline {
+            break;
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)))
+}
+
 /// `--serve`: one JSON request per stdin line, one JSON response per
 /// stdout line. Exits cleanly on `{"cmd":"quit"}` or end of input.
+/// Hardened: request lines are capped at [`SERVE_MAX_REQUEST`] bytes,
+/// and a panic while handling one request answers that request with a
+/// JSON error instead of tearing down the whole session.
 fn serve(sess: &mut Session) -> Result<(), String> {
-    use std::io::{BufRead, Write};
+    use std::io::Write;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut inp = stdin.lock();
     let mut out = stdout.lock();
     let mut last_diags: ur::syntax::Diagnostics = Vec::new();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (resp, quit) = serve_request(sess, &mut last_diags, &line);
+    while let Some((line, truncated)) = read_request_line(&mut inp).map_err(|e| e.to_string())? {
+        let (resp, quit) = if truncated {
+            (
+                format!(
+                    "{{\"ok\":false,\"error\":\"request exceeds the {SERVE_MAX_REQUEST}-byte \
+                     limit and was dropped\"}}"
+                ),
+                false,
+            )
+        } else {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_request(sess, &mut last_diags, &line)
+            })) {
+                Ok(r) => r,
+                Err(_) => (
+                    "{\"ok\":false,\"error\":\"internal error handling request; \
+                     session continues\"}"
+                        .to_string(),
+                    false,
+                ),
+            }
+        };
         writeln!(out, "{resp}").and_then(|()| out.flush()).map_err(|e| e.to_string())?;
         if quit {
             break;
@@ -371,6 +463,10 @@ fn serve_request(
                 "{{\"ok\":true,\"stats\":\"{}\"}}",
                 escape(&sess.stats_snapshot().to_string())
             ),
+            false,
+        ),
+        Some("db") => (
+            format!("{{\"ok\":true,\"db\":\"{}\"}}", escape(&sess.db_report())),
             false,
         ),
         Some("quit") => ("{\"ok\":true}".to_string(), true),

@@ -1,14 +1,16 @@
 //! A minimal Ur REPL on top of [`ur::Session`].
 //!
 //! ```sh
-//! cargo run -p ur --example repl
+//! cargo run -p ur --example repl [-- --db-dir DIR]
 //! ```
 //!
 //! Enter expressions to evaluate them, declarations (`val`/`fun`/`type`/
 //! `con`) to extend the session, `:t e` for the type of an expression,
 //! `:stats` for the Figure-5 counters plus the memo-cache, intern-table,
 //! and self-healing columns, `:health` for the circuit-breaker/fault
-//! report, and `:quit` to exit.
+//! report, `:db` for the database report (tables, WAL, durability
+//! counters), and `:quit` to exit. With `--db-dir DIR` the session's
+//! database effects go through the crash-safe WAL + snapshot store.
 
 use std::io::{BufRead, Write};
 use ur::{Session, SessionError};
@@ -30,9 +32,30 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--db-dir" => {
+                let Some(dir) = args.next().filter(|d| !d.is_empty()) else {
+                    continue; // empty = in-memory, same as urc
+                };
+                match ur::db::Db::open(&dir) {
+                    Ok(db) => *sess.db() = db,
+                    Err(e) => {
+                        eprintln!("--db-dir {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other} (supported: --db-dir DIR)");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
         "Ur REPL — :t <expr> for types, :stats for counters, :health for the \
-         self-healing report, :quit to exit"
+         self-healing report, :db for the database, :quit to exit"
     );
     let stdin = std::io::stdin();
     loop {
@@ -60,6 +83,10 @@ fn main() {
         }
         if line == ":health" {
             print!("{}", sess.health_report());
+            continue;
+        }
+        if line == ":db" {
+            print!("{}", sess.db_report());
             continue;
         }
         if let Some(rest) = line.strip_prefix(":t ") {

@@ -414,3 +414,153 @@ fn stats_and_health_surface_fault_counters() {
     assert!(report.contains("fault injection: injected="), "{report}");
     assert!(!report.contains("injected=0"), "{report}");
 }
+
+// ---------------- durability-layer fault injection ----------------
+
+mod wal_chaos {
+    use super::*;
+    use ur::db::{ColTy, Db, DbError, DbVal, Schema, SqlExpr};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ur-chaos-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn schema_ab() -> Schema {
+        Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)]).unwrap()
+    }
+
+    fn ins(db: &mut Db, a: i64, b: &str) -> Result<(), DbError> {
+        db.insert(
+            "t",
+            &[
+                ("A".into(), SqlExpr::lit(DbVal::Int(a))),
+                ("B".into(), SqlExpr::lit(DbVal::Str(b.into()))),
+            ],
+        )
+    }
+
+    /// Arms exactly one deterministic fault at `site` (first draw fires).
+    fn arm(site: Site) {
+        let _ = failpoint::take_counters();
+        failpoint::install(Some(
+            FpConfig::new(7).with_rate(site, 1000).with_max_per_site(1),
+        ));
+    }
+
+    /// A failed WAL append is an error with *no trace*: the in-memory
+    /// state is unchanged, later commits work, and a reopen sees only
+    /// the successful ones.
+    #[test]
+    fn wal_append_fault_leaves_no_trace() {
+        let dir = tmpdir("append");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        arm(Site::WalAppend);
+        let err = ins(&mut db, 1, "doomed").unwrap_err();
+        failpoint::install(None);
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert_eq!(db.row_count("t").unwrap(), 0, "failed commit left state");
+        assert!(db.stats().wal_append_errs >= 1, "{}", db.stats());
+
+        ins(&mut db, 2, "kept").unwrap();
+        let dump = db.dump();
+        drop(db);
+        let db2 = Db::open(&dir).expect("reopen");
+        assert_eq!(db2.dump(), dump);
+        assert_eq!(db2.row_count("t").unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A fsync failure fails the *explicit* transaction commit and rolls
+    /// the whole transaction back — in memory and on disk.
+    #[test]
+    fn wal_sync_fault_rolls_back_explicit_txn() {
+        let dir = tmpdir("sync");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        db.begin().unwrap();
+        ins(&mut db, 1, "a").unwrap();
+        ins(&mut db, 2, "b").unwrap();
+        arm(Site::WalSync);
+        let err = db.commit().unwrap_err();
+        failpoint::install(None);
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert!(!db.in_txn(), "failed commit must close the transaction");
+        assert_eq!(db.row_count("t").unwrap(), 0, "rolled-back rows visible");
+        assert_eq!(db.stats().txn_rollbacks, 1, "{}", db.stats());
+        drop(db);
+        assert_eq!(Db::open(&dir).expect("reopen").row_count("t").unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected torn commit record deliberately stays on disk: the
+    /// live handle reports the failure and stays consistent, and the
+    /// recovery path truncates the corrupt tail.
+    #[test]
+    fn torn_commit_record_is_truncated_on_recovery() {
+        let dir = tmpdir("torn");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        let committed = db.wal_len();
+        arm(Site::WalCorrupt);
+        let err = ins(&mut db, 1, "torn").unwrap_err();
+        failpoint::install(None);
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert_eq!(db.row_count("t").unwrap(), 0);
+        // The corrupt tail is really on disk, past the committed prefix.
+        let disk_len = std::fs::metadata(dir.join(ur::db::WAL_FILE)).unwrap().len();
+        assert!(disk_len > committed, "disk_len={disk_len} committed={committed}");
+        drop(db);
+        let db2 = Db::open(&dir).expect("recovery over torn tail");
+        assert_eq!(db2.row_count("t").unwrap(), 0);
+        assert!(db2.stats().truncated_bytes > 0, "{}", db2.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A failed snapshot write fails the checkpoint but loses nothing:
+    /// the WAL is kept, the data stays recoverable, and the failure is
+    /// counted.
+    #[test]
+    fn snapshot_write_fault_keeps_wal_and_data() {
+        let dir = tmpdir("snap");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "precious").unwrap();
+        let wal_before = db.wal_len();
+        arm(Site::SnapshotWrite);
+        let err = db.checkpoint().unwrap_err();
+        failpoint::install(None);
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert_eq!(db.stats().snapshot_errs, 1, "{}", db.stats());
+        assert_eq!(db.wal_len(), wal_before, "failed checkpoint touched the WAL");
+        let dump = db.dump();
+        drop(db);
+        let db2 = Db::open(&dir).expect("reopen");
+        assert_eq!(db2.dump(), dump, "data lost by a failed checkpoint");
+        assert_eq!(db2.stats().snapshot_loaded, 0, "partial snapshot was loaded");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The live handle stays fully usable across an injected torn write:
+    /// the next append overwrites the corrupt tail in place.
+    #[test]
+    fn live_handle_overwrites_torn_tail() {
+        let dir = tmpdir("overwrite");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        arm(Site::WalCorrupt);
+        assert!(ins(&mut db, 1, "torn").is_err());
+        failpoint::install(None);
+        ins(&mut db, 2, "after").unwrap();
+        let dump = db.dump();
+        drop(db);
+        let db2 = Db::open(&dir).expect("reopen");
+        assert_eq!(db2.dump(), dump);
+        assert_eq!(db2.row_count("t").unwrap(), 1);
+        assert_eq!(db2.stats().truncated_bytes, 0, "tail survived the overwrite");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests for `urc --serve` hardening and `--db-dir`
+//! durability wiring, driving the real binary over pipes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+fn urc() -> &'static str {
+    env!("CARGO_BIN_EXE_urc")
+}
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(urc())
+        .arg("--serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn urc --serve")
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ur-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn serve_survives_oversized_and_malformed_requests() {
+    let mut child = spawn_serve(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+
+    // 1. A request far past the 8 MiB cap: answered with a structured
+    //    error, never buffered whole, and the session stays up.
+    let big = vec![b'x'; 9 * 1024 * 1024];
+    stdin.write_all(&big).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("limit"), "{resp}");
+
+    // 2. Malformed JSON: a per-request error, not a teardown.
+    stdin.write_all(b"this is not json\n").unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+
+    // 3. The same session still answers real requests.
+    stdin.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    stdin.write_all(b"{\"cmd\":\"quit\"}\n").unwrap();
+    stdin.flush().unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "{status:?}");
+}
+
+#[test]
+fn serve_reports_db_and_elaborates_after_errors() {
+    let mut child = spawn_serve(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+
+    // A load with a type error is a normal response with diagnostics.
+    stdin
+        .write_all(b"{\"cmd\":\"load\",\"source\":\"val bad : int = \\\"nope\\\"\"}\n")
+        .unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"diagnostics\":["), "{resp}");
+
+    // The db report names the in-memory mode.
+    stdin.write_all(b"{\"cmd\":\"db\"}\n").unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("in-memory"), "{resp}");
+
+    stdin.write_all(b"{\"cmd\":\"quit\"}\n").unwrap();
+    stdin.flush().unwrap();
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn db_dir_effects_survive_across_processes() {
+    let dir = tmpdir("dbdir");
+    let src_path = std::env::temp_dir().join(format!("ur-serve-src-{}.ur", std::process::id()));
+    std::fs::write(
+        &src_path,
+        "val t = createTable \"people\" {Name = sqlString}\n\
+         val u = insert t {Name = const \"alice\"}\n",
+    )
+    .unwrap();
+
+    // First process: run the program with a durable database.
+    let status = Command::new(urc())
+        .args(["--db-dir", dir.to_str().unwrap(), src_path.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "first urc run failed");
+    assert!(dir.join("wal.log").exists(), "no WAL was written");
+
+    // Second process: a serve session over the same directory recovers
+    // the committed row.
+    let mut child = spawn_serve(&["--db-dir", dir.to_str().unwrap()]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    stdin.write_all(b"{\"cmd\":\"db\"}\n").unwrap();
+    stdin.flush().unwrap();
+    let resp = lines.next().unwrap().unwrap();
+    assert!(resp.contains("durable"), "{resp}");
+    assert!(resp.contains("people: 1 row(s)"), "{resp}");
+    stdin.write_all(b"{\"cmd\":\"quit\"}\n").unwrap();
+    stdin.flush().unwrap();
+    assert!(child.wait().unwrap().success());
+
+    // An empty --db-dir means in-memory: nothing is read or written.
+    let status = Command::new(urc())
+        .args(["--db-dir", "", "--eval", "1 + 1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "empty --db-dir run failed");
+
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
