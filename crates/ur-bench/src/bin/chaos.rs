@@ -90,9 +90,11 @@ fn cache_havoc(seed: u64) -> FpConfig {
 }
 
 /// Durability-layer havoc: WAL appends and fsyncs fail, commit records
-/// reach the disk torn, snapshot writes die mid-checkpoint. A failed
-/// commit must leave no trace (live state and recovered state both
-/// match an in-memory oracle that skips exactly the failed operations).
+/// reach the disk torn, snapshot writes die mid-checkpoint, rotations
+/// fail after their snapshot landed (poisoning the handle until a later
+/// checkpoint heals it). A failed commit must leave no trace (live
+/// state and recovered state both match an in-memory oracle that skips
+/// exactly the failed operations).
 fn wal_havoc(seed: u64) -> FpConfig {
     FpConfig::new(seed)
         .with_max_per_site(4)
@@ -100,6 +102,7 @@ fn wal_havoc(seed: u64) -> FpConfig {
         .with_rate(Site::WalSync, 220)
         .with_rate(Site::WalCorrupt, 220)
         .with_rate(Site::SnapshotWrite, 400)
+        .with_rate(Site::WalRotate, 400)
 }
 
 /// One durability chaos pass: a deterministic operation stream against

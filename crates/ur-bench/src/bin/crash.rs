@@ -3,7 +3,8 @@
 //! The parent process forks a *writer child* (this same binary with
 //! `--child`) against a fresh database directory with `UR_DB_CRASH=abort`
 //! set, so one seeded failpoint (`wal_append` / `wal_sync` /
-//! `snapshot_write` / `wal_corrupt`) aborts the child mid-write — a
+//! `snapshot_write` / `wal_corrupt` / `wal_rotate`) aborts the child
+//! mid-write — a
 //! simulated power loss at the worst possible instant. The child runs a
 //! deterministic operation stream and acknowledges each completed
 //! operation on stdout (`C <i>`).
@@ -32,12 +33,16 @@ use std::time::Instant;
 use ur_core::failpoint::{self, FpConfig, Site};
 use ur_db::{ColTy, Db, DbError, DbVal, DurabilityConfig, Schema, SqlExpr};
 
-/// Fault sites of the durability layer, in matrix order.
-const KILL_SITES: [Site; 4] = [
+/// Fault sites of the durability layer, in matrix order. `wal_rotate`
+/// kills in the checkpoint's crash window — after the snapshot rename,
+/// before the WAL rotation — where recovery must spot the stale log by
+/// its generation number instead of double-applying it.
+const KILL_SITES: [Site; 5] = [
     Site::WalAppend,
     Site::WalSync,
     Site::SnapshotWrite,
     Site::WalCorrupt,
+    Site::WalRotate,
 ];
 const FIXED_SEEDS: [u64; 3] = [11, 22, 33];
 /// Operations per writer-child run.
@@ -115,9 +120,14 @@ fn child(site_name: &str, seed: u64, dir: &str) -> ! {
         .iter()
         .find(|s| s.name() == site_name)
         .unwrap_or_else(|| panic!("unknown kill site {site_name}"));
-    // snapshot_write only fires on checkpoints (~1 in SNAPSHOT_EVERY/3
-    // ops), so it gets a hotter rate than the per-append sites.
-    let rate = if site == Site::SnapshotWrite { 350 } else { 130 };
+    // snapshot_write and wal_rotate only fire on checkpoints (~1 in
+    // SNAPSHOT_EVERY/3 ops), so they get a hotter rate than the
+    // per-append sites.
+    let rate = if site == Site::SnapshotWrite || site == Site::WalRotate {
+        350
+    } else {
+        130
+    };
     failpoint::install(Some(
         FpConfig::new(seed).with_rate(site, rate).with_max_per_site(1),
     ));

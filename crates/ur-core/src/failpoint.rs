@@ -11,8 +11,8 @@
 //!   `ur-infer::batch`, memo-table load/store in [`crate::memo`],
 //!   intern-table growth in [`crate::intern`], fuel accounting in
 //!   [`crate::limits`], incremental-cache load/store in `ur-query`, and
-//!   WAL append/sync/corrupt + snapshot write in `ur-db`'s durability
-//!   layer.
+//!   WAL append/sync/corrupt/rotate + snapshot write in `ur-db`'s
+//!   durability layer.
 //! * **Seeded activation**: each site draws from a splitmix64 stream
 //!   keyed by `(seed, site, hit index)`, so a given configuration
 //!   produces the same fault schedule on every run — chaos tests print
@@ -35,7 +35,7 @@
 use std::fmt;
 
 /// Number of named sites (length of [`Site::ALL`]).
-pub const NSITES: usize = 14;
+pub const NSITES: usize = 15;
 
 /// A named fault-injection site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,6 +80,12 @@ pub enum Site {
     /// A WAL record reaches the disk with a corrupt CRC (torn write);
     /// recovery must truncate the tail at the last committed boundary.
     WalCorrupt,
+    /// The WAL rotation that follows a successful snapshot rename fails
+    /// (or the process dies in that window) — the freshly renamed
+    /// snapshot and the full pre-checkpoint WAL coexist on disk, and
+    /// recovery must recognize the stale log by its generation number
+    /// rather than double-applying it.
+    WalRotate,
 }
 
 impl Site {
@@ -99,6 +105,7 @@ impl Site {
         Site::WalSync,
         Site::SnapshotWrite,
         Site::WalCorrupt,
+        Site::WalRotate,
     ];
 
     /// Stable index of this site.
@@ -118,6 +125,7 @@ impl Site {
             Site::WalSync => 11,
             Site::SnapshotWrite => 12,
             Site::WalCorrupt => 13,
+            Site::WalRotate => 14,
         }
     }
 
@@ -138,6 +146,7 @@ impl Site {
             Site::WalSync => "wal_sync",
             Site::SnapshotWrite => "snapshot_write",
             Site::WalCorrupt => "wal_corrupt",
+            Site::WalRotate => "wal_rotate",
         }
     }
 

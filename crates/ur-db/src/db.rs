@@ -18,6 +18,18 @@
 //! persisted. Cloning a durable `Db` shares the underlying WAL handle
 //! (`Rc`), so a clone used as an undo snapshot (as `ur-web::Session`
 //! does with its `World`) stays attached to the same files.
+//!
+//! Durable handles are **single-writer**: a writer epoch on the shared
+//! handle tracks whose in-memory state the log's physical records were
+//! computed against, and a clone whose state has fallen behind is
+//! refused with [`DbError::StaleHandle`] rather than allowed to
+//! interleave records that recovery would replay against the wrong
+//! base. [`Db::persist_rebase`] transfers writership explicitly (the
+//! undo-restore pattern). When the durable layer gets out of step with
+//! memory — a failed re-anchor, a failed WAL rotation after its
+//! snapshot landed — the handle is *poisoned*: appends fail with
+//! [`DbError::Poisoned`] until a checkpoint succeeds and re-anchors
+//! the log (each refused append first attempts that heal itself).
 
 use crate::error::DbError;
 use crate::expr::SqlExpr;
@@ -30,6 +42,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
 use std::rc::Rc;
+use ur_core::failpoint::{self, Site};
 
 /// A relational database: in-memory by default, durable when opened on
 /// a directory with [`Db::open`].
@@ -47,6 +60,10 @@ pub struct Db {
     /// Transaction-id allocator for the in-memory mode (durable mode
     /// allocates from the shared handle so ids survive reopen).
     next_mem_txn: u64,
+    /// The shared writer epoch this handle's state corresponds to; a
+    /// mismatch with `Durable::epoch` means another clone has written
+    /// since, and this handle's appends are refused as stale.
+    seen_epoch: u64,
 }
 
 impl Db {
@@ -81,6 +98,7 @@ impl Db {
             txn: None,
             stats: rec.stats,
             next_mem_txn: 0,
+            seen_epoch: 0,
         })
     }
 
@@ -107,6 +125,43 @@ impl Db {
             .map_or(0, |d| d.borrow().wal.committed_len())
     }
 
+    /// Generation number of the WAL (0 in the in-memory mode). Bumped
+    /// by every checkpoint; pairs the log with its snapshot.
+    pub fn wal_generation(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.borrow().wal.generation())
+    }
+
+    /// Why durable appends are currently refused, if they are (see
+    /// [`DbError::Poisoned`]); `None` for a healthy or in-memory handle.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.durable.as_ref().and_then(|d| d.borrow().poisoned.clone())
+    }
+
+    /// Attempts to heal a poisoned durable handle with one checkpoint
+    /// (which re-anchors the log on the current in-memory state).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Poisoned`] with the original reason and the heal
+    /// failure when the checkpoint does not succeed.
+    fn heal_poison(&mut self) -> Result<(), DbError> {
+        let why = self.poison_reason();
+        let Some(why) = why else { return Ok(()) };
+        self.checkpoint_inner(false)
+            .map_err(|e| DbError::Poisoned(format!("{why} (heal checkpoint failed: {e})")))
+    }
+
+    /// Fails with [`DbError::StaleHandle`] when another clone has
+    /// written to the shared log since this handle last did.
+    fn check_writer(&self) -> Result<(), DbError> {
+        match &self.durable {
+            Some(d) if d.borrow().epoch != self.seen_epoch => Err(DbError::StaleHandle),
+            _ => Ok(()),
+        }
+    }
+
     /// Runs one mutation to completion: applies the physical record via
     /// the same interpreter recovery uses (so live execution and replay
     /// cannot diverge) and makes it durable according to the current
@@ -125,7 +180,11 @@ impl Db {
         }
         if let Some(durable) = self.durable.clone() {
             // Auto-commit: WAL first, then the in-memory effect, so a
-            // failed append leaves no trace at all.
+            // failed append leaves no trace at all. A stale clone is
+            // refused before anything is allocated; a poisoned handle
+            // first tries to re-anchor the log with a checkpoint.
+            self.check_writer()?;
+            self.heal_poison()?;
             let txn_id = {
                 let mut d = durable.borrow_mut();
                 let id = d.next_txn;
@@ -138,6 +197,8 @@ impl Db {
                 d.wal
                     .append_txn(txn_id, std::slice::from_ref(&rec), sync, &mut self.stats)?;
                 d.records_since_snapshot = d.records_since_snapshot.saturating_add(3);
+                d.epoch += 1;
+                self.seen_epoch = d.epoch;
             }
             let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
             self.log.push(sql);
@@ -188,27 +249,57 @@ impl Db {
     /// # Errors
     ///
     /// [`DbError::NoTxn`] without an open transaction; [`DbError::Io`]
-    /// when the WAL append fails (the state is then as before `begin`).
+    /// when the WAL append fails (the state is then as before `begin`);
+    /// [`DbError::StaleHandle`]/[`DbError::Poisoned`] when this clone
+    /// may not write (also rolled back).
     pub fn commit(&mut self) -> Result<(), DbError> {
         let txn = self.txn.take().ok_or(DbError::NoTxn)?;
         if let Some(durable) = self.durable.clone() {
+            // The transaction's effects are already applied in memory
+            // (it reads its own writes), so a failed durable step must
+            // restore the undo snapshot before surfacing the error.
+            let rollback = |db: &mut Db, e: DbError| {
+                db.tables = txn.undo_tables.clone();
+                db.sequences = txn.undo_sequences.clone();
+                db.log.truncate(txn.undo_log_len);
+                db.stats.txn_rollbacks = db.stats.txn_rollbacks.saturating_add(1);
+                Err(e)
+            };
+            if let Err(e) = self.check_writer() {
+                return rollback(self, e);
+            }
+            if self.poison_reason().is_some() {
+                // Heal against the *pre-transaction* state: the heal
+                // checkpoint's snapshot must not contain this
+                // transaction's effects, because the append below can
+                // still fail and roll them back — a snapshot holding
+                // them would make an uncommitted transaction durable.
+                let mut t = txn.undo_tables.clone();
+                let mut s = txn.undo_sequences.clone();
+                std::mem::swap(&mut self.tables, &mut t);
+                std::mem::swap(&mut self.sequences, &mut s);
+                let healed = self.heal_poison();
+                std::mem::swap(&mut self.tables, &mut t);
+                std::mem::swap(&mut self.sequences, &mut s);
+                if let Err(e) = healed {
+                    return rollback(self, e);
+                }
+            }
             let res = {
                 let mut d = durable.borrow_mut();
                 let sync = d.config.sync_commits;
                 d.wal.append_txn(txn.id, &txn.pending, sync, &mut self.stats)
             };
             if let Err(e) = res {
-                self.tables = txn.undo_tables;
-                self.sequences = txn.undo_sequences;
-                self.log.truncate(txn.undo_log_len);
-                self.stats.txn_rollbacks = self.stats.txn_rollbacks.saturating_add(1);
-                return Err(e);
+                return rollback(self, e);
             }
             {
                 let mut d = durable.borrow_mut();
                 d.records_since_snapshot = d
                     .records_since_snapshot
                     .saturating_add(txn.pending.len() as u64 + 2);
+                d.epoch += 1;
+                self.seen_epoch = d.epoch;
             }
             self.stats.txn_commits = self.stats.txn_commits.saturating_add(1);
             self.maybe_checkpoint();
@@ -232,33 +323,73 @@ impl Db {
         Ok(())
     }
 
-    /// Checkpoint compaction: writes the full state as a snapshot, then
-    /// resets the WAL to its header. A no-op in memory.
+    /// Checkpoint compaction: writes the full state as a snapshot tagged
+    /// with the next WAL generation, then rotates the WAL to it. A no-op
+    /// in memory. A successful checkpoint also heals a poisoned handle —
+    /// the fresh snapshot + empty log *are* the current state.
     ///
     /// # Errors
     ///
-    /// [`DbError::TxnActive`] mid-transaction; [`DbError::Io`] when the
-    /// snapshot write fails (the WAL is kept — nothing is lost).
+    /// [`DbError::TxnActive`] mid-transaction; [`DbError::StaleHandle`]
+    /// from a clone that has fallen behind; [`DbError::Io`] when the
+    /// snapshot write fails (the WAL is kept — nothing is lost) or the
+    /// WAL rotation fails after its snapshot landed (the handle is then
+    /// poisoned: appends to the superseded log would be ignored by
+    /// recovery, so they are refused until a checkpoint succeeds).
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        self.checkpoint_inner(false)
+    }
+
+    /// [`Db::checkpoint`]; with `adopt` the handle first takes over
+    /// writership (bumping the shared epoch) instead of requiring it —
+    /// the `persist_rebase` path, where superseding the other clones'
+    /// history is exactly the point.
+    fn checkpoint_inner(&mut self, adopt: bool) -> Result<(), DbError> {
         if self.txn.is_some() {
             return Err(DbError::TxnActive);
         }
         let Some(durable) = self.durable.clone() else {
             return Ok(());
         };
-        let mut d = durable.borrow_mut();
-        match crate::snapshot::write(&d.dir, &self.tables, &self.sequences, d.crash_mode) {
-            Ok(_) => {
-                d.wal.truncate_to_header()?;
-                d.records_since_snapshot = 0;
-                self.stats.snapshots_written = self.stats.snapshots_written.saturating_add(1);
-                Ok(())
-            }
-            Err(e) => {
-                self.stats.snapshot_errs = self.stats.snapshot_errs.saturating_add(1);
-                Err(e)
-            }
+        if adopt {
+            let mut d = durable.borrow_mut();
+            d.epoch += 1;
+            self.seen_epoch = d.epoch;
+        } else {
+            self.check_writer()?;
         }
+        let mut d = durable.borrow_mut();
+        let next_gen = d.wal.generation() + 1;
+        if let Err(e) =
+            crate::snapshot::write(&d.dir, &self.tables, &self.sequences, next_gen, d.crash_mode)
+        {
+            self.stats.snapshot_errs = self.stats.snapshot_errs.saturating_add(1);
+            return Err(e);
+        }
+        // The snapshot for `next_gen` is on disk: from here until the
+        // rotation lands, the old-generation WAL is stale — recovery
+        // ignores it — so failing to rotate must poison the handle
+        // rather than let appends vanish into the superseded log.
+        if failpoint::fire(Site::WalRotate) {
+            if d.crash_mode {
+                std::process::abort();
+            }
+            d.poisoned =
+                Some("injected WAL rotate failure after its snapshot landed".to_string());
+            self.stats.rotate_errs = self.stats.rotate_errs.saturating_add(1);
+            return Err(DbError::Io("injected WAL rotate failure".into()));
+        }
+        if let Err(e) = d.wal.rotate(next_gen) {
+            d.poisoned = Some(format!(
+                "WAL rotation to generation {next_gen} failed after its snapshot landed: {e}"
+            ));
+            self.stats.rotate_errs = self.stats.rotate_errs.saturating_add(1);
+            return Err(e);
+        }
+        d.records_since_snapshot = 0;
+        d.poisoned = None;
+        self.stats.snapshots_written = self.stats.snapshots_written.saturating_add(1);
+        Ok(())
     }
 
     fn maybe_checkpoint(&mut self) {
@@ -271,25 +402,40 @@ impl Db {
             None => false,
         };
         if due && self.txn.is_none() {
-            // Best-effort: a failed auto-checkpoint keeps the WAL and is
-            // retried after the next commit; counted in snapshot_errs.
+            // Best-effort: a failed snapshot write keeps the WAL and is
+            // retried after the next commit (counted in snapshot_errs);
+            // a failed rotation poisons the handle, and the next append
+            // retries the checkpoint as its heal.
             let _ = self.checkpoint();
         }
     }
 
     /// Re-anchors durability after the in-memory state was *restored*
     /// from a clone (the incremental engine's base-world rebuild, a
-    /// session rollback): writes a snapshot of the restored state and
-    /// resets the WAL, so a crash recovers the restored state rather
-    /// than the abandoned history. Best-effort — on snapshot failure the
-    /// old WAL is kept (counted in `snapshot_errs`). A no-op in memory.
+    /// session rollback): takes over writership of the shared handle,
+    /// writes a snapshot of the restored state, and rotates the WAL, so
+    /// a crash recovers the restored state rather than the abandoned
+    /// history. On failure the handle is **poisoned** — the on-disk log
+    /// still describes the abandoned history, so further appends are
+    /// refused (each retrying the re-anchor first) rather than allowed
+    /// to extend it; the failure is also counted in `snapshot_errs` /
+    /// `rotate_errs`. A no-op in memory.
     pub fn persist_rebase(&mut self) {
         if self.durable.is_none() {
             return;
         }
         // A wholesale state restore abandons any open transaction.
         self.txn = None;
-        let _ = self.checkpoint();
+        if let Err(e) = self.checkpoint_inner(true) {
+            if let Some(durable) = self.durable.clone() {
+                let mut d = durable.borrow_mut();
+                if d.poisoned.is_none() {
+                    d.poisoned = Some(format!(
+                        "re-anchor checkpoint after a state restore failed: {e}"
+                    ));
+                }
+            }
+        }
     }
 
     /// Deterministic full-state dump (tables sorted by name, rows in

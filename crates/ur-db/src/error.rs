@@ -30,6 +30,22 @@ pub enum DbError {
     /// `begin` while a transaction is already open (no nesting), or a
     /// checkpoint requested mid-transaction.
     TxnActive,
+    /// The database directory is already open — by another process or
+    /// another `Db::open` in this one. Two independent WAL handles would
+    /// silently truncate each other's committed transactions, so the
+    /// second open is refused (an advisory lock on `DIR/LOCK`).
+    Locked(String),
+    /// The durable layer is out of step with the in-memory state (a
+    /// checkpoint failed after a wholesale state restore, or a WAL
+    /// rotation failed after its snapshot landed). Appends are refused —
+    /// they would be replayed against the wrong base, or silently
+    /// ignored — until a checkpoint succeeds and re-anchors the log.
+    Poisoned(String),
+    /// A clone of a durable handle tried to write after another clone
+    /// already had: the two in-memory states have diverged and their
+    /// physical records cannot share one log. Durable handles are
+    /// single-writer; `persist_rebase` transfers writership explicitly.
+    StaleHandle,
 }
 
 impl fmt::Display for DbError {
@@ -45,6 +61,12 @@ impl fmt::Display for DbError {
             DbError::Corrupt(m) => write!(f, "corrupt database state: {m}"),
             DbError::NoTxn => write!(f, "no open transaction"),
             DbError::TxnActive => write!(f, "a transaction is already open"),
+            DbError::Locked(d) => write!(f, "database directory {d} is locked by another handle"),
+            DbError::Poisoned(m) => write!(f, "durability poisoned: {m}"),
+            DbError::StaleHandle => write!(
+                f,
+                "stale database handle: another clone has written to the shared log"
+            ),
         }
     }
 }

@@ -8,14 +8,32 @@
 //! decode, or breaks transaction bracketing; everything from the last
 //! `Commit` boundary onward is then physically truncated so the file
 //! never accretes garbage.
+//!
+//! Snapshot and WAL are paired by **generation number**: the WAL is
+//! replayed only when its header generation equals the one recorded in
+//! the snapshot. An older WAL is the stale log a crash stranded between
+//! a checkpoint's snapshot rename and its WAL rotation — every
+//! transaction in it is already inside the snapshot, so it is ignored
+//! (counted in `stale_wal_ignored`), never double-applied. A *newer*
+//! WAL means the snapshot it was rotated for has vanished; that is real
+//! corruption and the open is refused.
+//!
+//! The directory is also guarded by an advisory lock on `DIR/LOCK`
+//! (released automatically when the last handle — or the process —
+//! dies): two live WAL handles would silently truncate each other's
+//! committed transactions, so a concurrent open fails with
+//! [`DbError::Locked`].
 
 use crate::error::DbError;
 use crate::table::Table;
 use crate::txn::{DbStats, DurabilityConfig};
 use crate::wal::{frame_crc, Wal, WalRecord, FRAME_HEADER_LEN, WAL_FILE, WAL_HEADER_LEN, WAL_MAGIC};
 use std::collections::HashMap;
-use std::fs::{self, OpenOptions};
+use std::fs::{self, File, OpenOptions, TryLockError};
 use std::path::{Path, PathBuf};
+
+/// File name of the advisory lock inside a database directory.
+pub const LOCK_FILE: &str = "LOCK";
 
 /// The durable half of a database: the open WAL plus checkpoint
 /// bookkeeping. Shared (`Rc<RefCell<…>>`) between clones of a `Db`
@@ -33,6 +51,19 @@ pub(crate) struct Durable {
     /// `UR_DB_CRASH=abort` was set at open: injected faults crash the
     /// process (the kill-point harness) instead of returning errors.
     pub crash_mode: bool,
+    /// Why the log can no longer be appended to (a failed re-anchor
+    /// after a state restore, or a failed rotation after its snapshot
+    /// landed); cleared by the next successful checkpoint.
+    pub poisoned: Option<String>,
+    /// Writer epoch, bumped on every append and writership transfer. A
+    /// `Db` clone may only write while its own `seen_epoch` matches —
+    /// two clones interleaving physical records computed against
+    /// divergent in-memory states would corrupt the log.
+    pub epoch: u64,
+    /// Held for the lifetime of the handle: the advisory lock on
+    /// `DIR/LOCK`. Dropping the last clone releases it.
+    #[allow(dead_code)]
+    lock: File,
 }
 
 /// Result of opening a database directory.
@@ -187,20 +218,46 @@ fn io_err(ctx: &str, e: std::io::Error) -> DbError {
     DbError::Io(format!("{ctx}: {e}"))
 }
 
-/// Opens (creating if needed) a database directory: loads the snapshot,
-/// replays the committed WAL prefix, truncates the tail, and returns
-/// the recovered state plus the open durable handle.
+/// Takes the exclusive advisory lock on `dir/LOCK`.
+///
+/// # Errors
+///
+/// [`DbError::Locked`] when another handle (this process or another)
+/// holds it; [`DbError::Io`] when the lock file cannot be created.
+fn take_lock(dir: &Path) -> Result<File, DbError> {
+    let lock = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(dir.join(LOCK_FILE))
+        .map_err(|e| io_err("lock file create", e))?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(TryLockError::WouldBlock) => Err(DbError::Locked(dir.display().to_string())),
+        Err(TryLockError::Error(e)) => Err(io_err("lock acquire", e)),
+    }
+}
+
+/// Opens (creating if needed) a database directory: takes the directory
+/// lock, loads the snapshot, replays the committed WAL prefix when the
+/// generations pair up (ignoring a stale log a checkpoint crash left
+/// behind), truncates the tail, and returns the recovered state plus
+/// the open durable handle.
 pub(crate) fn open_dir(dir: &Path, config: DurabilityConfig) -> Result<Recovered, DbError> {
     fs::create_dir_all(dir).map_err(|e| io_err("db dir create", e))?;
+    let lock = take_lock(dir)?;
     let crash_mode = std::env::var("UR_DB_CRASH").map(|v| v == "abort").unwrap_or(false);
     let mut stats = DbStats::default();
 
-    let (mut tables, mut sequences) = match crate::snapshot::load(dir)? {
-        Some(state) => {
+    // `snap_gen` is the generation of the WAL this snapshot pairs with;
+    // a fresh database (no snapshot yet) pairs with generation 1.
+    let (snap_gen, (mut tables, mut sequences)) = match crate::snapshot::load(dir)? {
+        Some((gen, state)) => {
             stats.snapshot_loaded = 1;
-            state
+            (gen, state)
         }
-        None => (HashMap::new(), HashMap::new()),
+        None => (1, (HashMap::new(), HashMap::new())),
     };
 
     let wal_path = dir.join(WAL_FILE);
@@ -213,35 +270,64 @@ pub(crate) fn open_dir(dir: &Path, config: DurabilityConfig) -> Result<Recovered
     let mut next_txn = 1;
     let wal = if bytes.len() < WAL_MAGIC.len() {
         // Missing, or a crash during creation left a partial header:
-        // either way there is no committed data in it. Start fresh.
-        Wal::create(&wal_path, crash_mode)?
+        // either way there is no committed data in it. Start fresh at
+        // the snapshot's generation.
+        Wal::create(&wal_path, snap_gen, crash_mode)?
     } else if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         // A full-size header that is not ours is a different file, not a
         // torn write — refuse rather than destroy it.
         return Err(DbError::Corrupt("WAL has bad magic".into()));
+    } else if bytes.len() < WAL_HEADER_LEN as usize {
+        // Good magic but the generation field never fully landed (a
+        // crash mid-rotation): no committed data, restart at the
+        // snapshot's generation.
+        Wal::create(&wal_path, snap_gen, crash_mode)?
     } else {
-        let scan = scan_wal(&bytes);
-        for (txn, ops) in &scan.txns {
-            for rec in ops {
-                apply_record(&mut tables, &mut sequences, rec).map_err(|e| {
-                    DbError::Corrupt(format!("WAL replay failed (txn {txn}): {e}"))
-                })?;
-                stats.replayed_records = stats.replayed_records.saturating_add(1);
+        let mut gen8 = [0u8; 8];
+        gen8.copy_from_slice(&bytes[WAL_MAGIC.len()..WAL_HEADER_LEN as usize]);
+        let wal_gen = u64::from_le_bytes(gen8);
+        if wal_gen < snap_gen {
+            // The stale log a crash stranded between a checkpoint's
+            // snapshot rename and its rotation: every transaction in it
+            // is already inside the snapshot. Ignore it wholesale —
+            // replaying would double-apply — and restart the log at the
+            // snapshot's generation.
+            stats.stale_wal_ignored =
+                (bytes.len() as u64).saturating_sub(WAL_HEADER_LEN);
+            Wal::create(&wal_path, snap_gen, crash_mode)?
+        } else if wal_gen > snap_gen {
+            // A rotation for generation `wal_gen` implies a snapshot
+            // tagged `wal_gen` was durably renamed first; its absence
+            // means committed history is missing. Refuse rather than
+            // silently recover a truncated database.
+            return Err(DbError::Corrupt(format!(
+                "WAL generation {wal_gen} is ahead of the snapshot ({snap_gen}): \
+                 the snapshot it was rotated for is missing"
+            )));
+        } else {
+            let scan = scan_wal(&bytes);
+            for (txn, ops) in &scan.txns {
+                for rec in ops {
+                    apply_record(&mut tables, &mut sequences, rec).map_err(|e| {
+                        DbError::Corrupt(format!("WAL replay failed (txn {txn}): {e}"))
+                    })?;
+                    stats.replayed_records = stats.replayed_records.saturating_add(1);
+                }
+                stats.recovered_txns = stats.recovered_txns.saturating_add(1);
+                next_txn = next_txn.max(*txn + 1);
             }
-            stats.recovered_txns = stats.recovered_txns.saturating_add(1);
-            next_txn = next_txn.max(*txn + 1);
+            stats.truncated_bytes = (bytes.len() as u64).saturating_sub(scan.committed_len);
+            if stats.truncated_bytes > 0 {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)
+                    .map_err(|e| io_err("wal open for truncate", e))?;
+                f.set_len(scan.committed_len)
+                    .map_err(|e| io_err("wal tail truncate", e))?;
+                f.sync_all().map_err(|e| io_err("wal truncate sync", e))?;
+            }
+            Wal::open_at(&wal_path, scan.committed_len, wal_gen, crash_mode)?
         }
-        stats.truncated_bytes = (bytes.len() as u64).saturating_sub(scan.committed_len);
-        if stats.truncated_bytes > 0 {
-            let f = OpenOptions::new()
-                .write(true)
-                .open(&wal_path)
-                .map_err(|e| io_err("wal open for truncate", e))?;
-            f.set_len(scan.committed_len)
-                .map_err(|e| io_err("wal tail truncate", e))?;
-            f.sync_all().map_err(|e| io_err("wal truncate sync", e))?;
-        }
-        Wal::open_at(&wal_path, scan.committed_len, crash_mode)?
     };
 
     // Remove a stale checkpoint tmp file left by a crash mid-snapshot.
@@ -258,6 +344,9 @@ pub(crate) fn open_dir(dir: &Path, config: DurabilityConfig) -> Result<Recovered
             next_txn,
             records_since_snapshot,
             crash_mode,
+            poisoned: None,
+            epoch: 0,
+            lock,
         },
         stats,
     })
@@ -279,7 +368,7 @@ mod tests {
     }
 
     fn image(records: &[WalRecord]) -> Vec<u8> {
-        let mut bytes = WAL_MAGIC.to_vec();
+        let mut bytes = crate::wal::header_bytes(1).to_vec();
         for rec in records {
             bytes.extend_from_slice(&frame(rec));
         }

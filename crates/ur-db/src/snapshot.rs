@@ -1,12 +1,15 @@
 //! Snapshot compaction: the full database state as one CRC-verified
 //! file, atomically replaced via tmp-write + fsync + rename.
 //!
-//! A checkpoint writes the snapshot, then truncates the WAL to its
-//! header — the snapshot subsumes the logged history. Recovery loads
-//! the snapshot (if any) and replays the WAL on top, so the two files
-//! together always describe exactly the committed state. A failed
-//! snapshot write leaves the previous snapshot and the full WAL in
-//! place: no committed data is ever lost to checkpointing.
+//! A checkpoint writes the snapshot tagged with the *next* WAL
+//! generation, then rotates the WAL to that generation — the snapshot
+//! subsumes the logged history. Recovery loads the snapshot (if any)
+//! and replays the WAL on top **only when their generations match**: a
+//! crash between the snapshot rename and the WAL rotation leaves the
+//! new snapshot next to the old full log, and the generation mismatch
+//! marks that log as stale instead of letting it double-apply. A
+//! failed snapshot write leaves the previous snapshot and the full WAL
+//! in place: no committed data is ever lost to checkpointing.
 
 use crate::error::DbError;
 use crate::table::Table;
@@ -22,7 +25,7 @@ use ur_core::fingerprint::hash_bytes;
 /// File name of the snapshot inside a database directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.db";
 
-const SNAP_MAGIC: &[u8; 8] = b"URSNAP01";
+const SNAP_MAGIC: &[u8; 8] = b"URSNAP02";
 const SNAP_SALT: u64 = 0x7572_534e_4150_6372; // "urSNAPcr"
 
 fn io_err(ctx: &str, e: std::io::Error) -> DbError {
@@ -32,8 +35,10 @@ fn io_err(ctx: &str, e: std::io::Error) -> DbError {
 fn encode_state(
     tables: &HashMap<String, Table>,
     sequences: &HashMap<String, i64>,
+    wal_gen: u64,
 ) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    w.put_u64(wal_gen);
     let mut names: Vec<&String> = tables.keys().collect();
     names.sort();
     w.put_u64(names.len() as u64);
@@ -60,8 +65,9 @@ fn encode_state(
 /// Decoded snapshot contents: tables plus sequence counters.
 pub(crate) type SnapState = (HashMap<String, Table>, HashMap<String, i64>);
 
-fn decode_state(bytes: &[u8]) -> Option<SnapState> {
+fn decode_state(bytes: &[u8]) -> Option<(u64, SnapState)> {
     let mut r = ByteReader::new(bytes);
+    let wal_gen = r.get_u64()?;
     let n_tables = r.get_u64()?;
     if n_tables > r.remaining() as u64 {
         return None;
@@ -97,11 +103,13 @@ fn decode_state(bytes: &[u8]) -> Option<SnapState> {
     if !r.is_empty() {
         return None;
     }
-    Some((tables, sequences))
+    Some((wal_gen, (tables, sequences)))
 }
 
 /// Writes the state as `dir/snapshot.db`, atomically (tmp + fsync +
-/// rename + best-effort directory sync). Returns the snapshot size.
+/// rename + best-effort directory sync), tagged with `wal_gen` — the
+/// generation of the WAL that pairs with this snapshot (the checkpoint
+/// rotates the log to it immediately after). Returns the snapshot size.
 ///
 /// # Errors
 ///
@@ -113,9 +121,10 @@ pub(crate) fn write(
     dir: &Path,
     tables: &HashMap<String, Table>,
     sequences: &HashMap<String, i64>,
+    wal_gen: u64,
     crash_mode: bool,
 ) -> Result<u64, DbError> {
-    let payload = encode_state(tables, sequences);
+    let payload = encode_state(tables, sequences, wal_gen);
     let mut bytes = Vec::with_capacity(16 + payload.len());
     bytes.extend_from_slice(SNAP_MAGIC);
     bytes.extend_from_slice(&(hash_bytes(&payload) ^ SNAP_SALT).to_le_bytes());
@@ -153,14 +162,15 @@ pub(crate) fn write(
     Ok(bytes.len() as u64)
 }
 
-/// Loads `dir/snapshot.db`; `Ok(None)` when no snapshot exists.
+/// Loads `dir/snapshot.db`, returning `(wal_gen, state)`; `Ok(None)`
+/// when no snapshot exists.
 ///
 /// # Errors
 ///
 /// [`DbError::Corrupt`] on bad magic, CRC mismatch, or an undecodable
 /// payload — a snapshot is written atomically, so unlike a WAL tail a
 /// damaged snapshot is a real integrity failure, not a torn write.
-pub(crate) fn load(dir: &Path) -> Result<Option<SnapState>, DbError> {
+pub(crate) fn load(dir: &Path) -> Result<Option<(u64, SnapState)>, DbError> {
     let path = dir.join(SNAPSHOT_FILE);
     let bytes = match fs::read(&path) {
         Ok(b) => b,
@@ -219,8 +229,9 @@ mod tests {
     fn snapshot_round_trips() {
         let dir = tmpdir("roundtrip");
         let (tables, seqs) = sample_state();
-        write(&dir, &tables, &seqs, false).unwrap();
-        let (t2, s2) = load(&dir).unwrap().unwrap();
+        write(&dir, &tables, &seqs, 7, false).unwrap();
+        let (gen, (t2, s2)) = load(&dir).unwrap().unwrap();
+        assert_eq!(gen, 7, "wal generation survives the round trip");
         assert_eq!(s2, seqs);
         assert_eq!(t2.len(), 1);
         assert_eq!(t2["t"].rows, tables["t"].rows);
@@ -239,7 +250,7 @@ mod tests {
     fn bit_flip_is_detected() {
         let dir = tmpdir("bitflip");
         let (tables, seqs) = sample_state();
-        write(&dir, &tables, &seqs, false).unwrap();
+        write(&dir, &tables, &seqs, 1, false).unwrap();
         let path = dir.join(SNAPSHOT_FILE);
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;

@@ -62,8 +62,15 @@ pub struct DbStats {
     pub snapshots_written: u64,
     /// Snapshot writes that failed (the WAL is kept, no data is lost).
     pub snapshot_errs: u64,
+    /// WAL rotations that failed after their snapshot landed (the handle
+    /// is poisoned until a later checkpoint succeeds).
+    pub rotate_errs: u64,
     /// 1 when the open loaded an on-disk snapshot.
     pub snapshot_loaded: u64,
+    /// Bytes of a stale-generation WAL ignored at open — the log a crash
+    /// stranded between a checkpoint's snapshot rename and its rotation;
+    /// the snapshot already contains every transaction in it.
+    pub stale_wal_ignored: u64,
 }
 
 impl fmt::Display for DbStats {
@@ -72,8 +79,8 @@ impl fmt::Display for DbStats {
             f,
             "txn[commits={} rollbacks={} auto={}] \
              wal[records={} bytes={} fsyncs={} errs={}] \
-             recover[txns={} records={} truncated={} snapshot_loaded={}] \
-             snap[written={} errs={}]",
+             recover[txns={} records={} truncated={} stale={} snapshot_loaded={}] \
+             snap[written={} errs={} rotate_errs={}]",
             self.txn_commits,
             self.txn_rollbacks,
             self.auto_commits,
@@ -84,9 +91,11 @@ impl fmt::Display for DbStats {
             self.recovered_txns,
             self.replayed_records,
             self.truncated_bytes,
+            self.stale_wal_ignored,
             self.snapshot_loaded,
             self.snapshots_written,
             self.snapshot_errs,
+            self.rotate_errs,
         )
     }
 }
@@ -127,7 +136,9 @@ mod tests {
             "fsyncs=",
             "recover[txns=",
             "truncated=",
+            "stale=",
             "snap[written=",
+            "rotate_errs=",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

@@ -10,6 +10,13 @@
 //! indices — replay never re-evaluates SQL expressions, so recovery is
 //! deterministic even if expression semantics evolve.
 //!
+//! The file header carries a **generation number** alongside the magic.
+//! Each checkpoint writes the snapshot tagged with generation `g + 1`
+//! and then *rotates* the WAL to `g + 1`; recovery pairs the two files
+//! by generation, so a crash in the window between the snapshot rename
+//! and the rotation (new snapshot, old full WAL) leaves a recognizably
+//! *stale* log that is ignored rather than double-applied.
+//!
 //! Failure semantics (see `docs/ROBUSTNESS.md` §7): a failed append
 //! rewinds the file to the last committed boundary and reports
 //! [`DbError::Io`]; an injected torn write ([`Site::WalCorrupt`])
@@ -33,13 +40,14 @@ use crate::txn::DbStats;
 pub const WAL_FILE: &str = "wal.log";
 
 /// Magic + format version, the first 8 bytes of every WAL file.
-pub(crate) const WAL_MAGIC: &[u8; 8] = b"URWAL001";
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"URWAL002";
 
 /// Salt mixed into every frame CRC so a zeroed region never verifies.
 const WAL_SALT: u64 = 0x7572_5741_4c63_7263; // "urWALcrc"
 
-/// Byte length of the file header (just the magic).
-pub(crate) const WAL_HEADER_LEN: u64 = WAL_MAGIC.len() as u64;
+/// Byte length of the file header: the magic plus the `u64` generation
+/// number (little-endian) that pairs this log with a snapshot.
+pub(crate) const WAL_HEADER_LEN: u64 = WAL_MAGIC.len() as u64 + 8;
 
 /// Byte length of a frame header (`u32 len | u64 crc`).
 pub(crate) const FRAME_HEADER_LEN: usize = 12;
@@ -298,6 +306,14 @@ fn io_err(ctx: &str, e: std::io::Error) -> DbError {
     DbError::Io(format!("{ctx}: {e}"))
 }
 
+/// Serializes the 16-byte file header for `generation`.
+pub(crate) fn header_bytes(generation: u64) -> [u8; WAL_HEADER_LEN as usize] {
+    let mut h = [0u8; WAL_HEADER_LEN as usize];
+    h[..WAL_MAGIC.len()].copy_from_slice(WAL_MAGIC);
+    h[WAL_MAGIC.len()..].copy_from_slice(&generation.to_le_bytes());
+    h
+}
+
 /// An open write-ahead log positioned at its last committed boundary.
 #[derive(Debug)]
 pub(crate) struct Wal {
@@ -305,6 +321,9 @@ pub(crate) struct Wal {
     /// End offset of the last durably committed transaction; everything
     /// beyond it is garbage from a failed append and is overwritten.
     committed_len: u64,
+    /// Generation number in the file header; a log is only replayed onto
+    /// a snapshot carrying the same generation.
+    generation: u64,
     /// `UR_DB_CRASH=abort`: injected faults abort the process instead of
     /// returning errors (the kill-point crash harness).
     crash_mode: bool,
@@ -313,7 +332,7 @@ pub(crate) struct Wal {
 impl Wal {
     /// Creates a fresh WAL (truncating any existing file) with just the
     /// header, synced.
-    pub fn create(path: &Path, crash_mode: bool) -> Result<Wal, DbError> {
+    pub fn create(path: &Path, generation: u64, crash_mode: bool) -> Result<Wal, DbError> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -321,20 +340,26 @@ impl Wal {
             .truncate(true)
             .open(path)
             .map_err(|e| io_err("wal create", e))?;
-        file.write_all(WAL_MAGIC)
+        file.write_all(&header_bytes(generation))
             .map_err(|e| io_err("wal header", e))?;
         file.sync_all().map_err(|e| io_err("wal header sync", e))?;
         Ok(Wal {
             file,
             committed_len: WAL_HEADER_LEN,
+            generation,
             crash_mode,
         })
     }
 
     /// Opens an existing WAL whose committed prefix ends at
     /// `committed_len` (as determined by recovery, which already
-    /// truncated the tail).
-    pub fn open_at(path: &Path, committed_len: u64, crash_mode: bool) -> Result<Wal, DbError> {
+    /// truncated the tail and verified the header generation).
+    pub fn open_at(
+        path: &Path,
+        committed_len: u64,
+        generation: u64,
+        crash_mode: bool,
+    ) -> Result<Wal, DbError> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -343,6 +368,7 @@ impl Wal {
         Ok(Wal {
             file,
             committed_len,
+            generation,
             crash_mode,
         })
     }
@@ -350,6 +376,11 @@ impl Wal {
     /// End offset of the last durably committed transaction.
     pub fn committed_len(&self) -> u64 {
         self.committed_len
+    }
+
+    /// Generation number of this log.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Discards any bytes beyond the committed boundary (garbage left by
@@ -462,16 +493,35 @@ impl Wal {
         Ok(())
     }
 
-    /// Resets the log to just its header (after a successful snapshot
-    /// made the logged history redundant).
-    pub fn truncate_to_header(&mut self) -> Result<(), DbError> {
+    /// Rotates the log to `new_generation`: overwrites the header in
+    /// place, truncates away the history a successful snapshot just
+    /// subsumed, and syncs. Crash-safe without an intermediate fsync:
+    /// whatever prefix of (header write, truncate) reaches the disk, the
+    /// file reads back as either the old generation (stale — ignored by
+    /// recovery, since the snapshot carries the new one), the new
+    /// generation with no committed data, or a partial header (treated
+    /// as empty).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] — the caller must then stop appending: the
+    /// snapshot is already ahead of this log's generation, so anything
+    /// appended here would be ignored by recovery.
+    pub fn rotate(&mut self, new_generation: u64) -> Result<(), DbError> {
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("wal rotate seek", e))?;
+        self.file
+            .write_all(&header_bytes(new_generation))
+            .map_err(|e| io_err("wal rotate header", e))?;
         self.file
             .set_len(WAL_HEADER_LEN)
-            .map_err(|e| io_err("wal truncate", e))?;
+            .map_err(|e| io_err("wal rotate truncate", e))?;
         self.file
             .sync_all()
-            .map_err(|e| io_err("wal truncate sync", e))?;
+            .map_err(|e| io_err("wal rotate sync", e))?;
         self.committed_len = WAL_HEADER_LEN;
+        self.generation = new_generation;
         Ok(())
     }
 }

@@ -265,6 +265,120 @@ fn persist_rebase_reanchors_on_restored_state() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// The checkpoint crash window: the new snapshot has been renamed into
+/// place but the WAL was never rotated, so the *full* old log sits next
+/// to a snapshot that already contains every transaction in it.
+/// Recovery must pair them by generation and ignore the stale log, not
+/// double-apply it (duplicated rows, doubled sequences, or a hard
+/// `Corrupt` on a replayed CreateTable).
+#[test]
+fn stale_wal_from_checkpoint_crash_window_is_ignored() {
+    let dir = tmpdir("stale-wal");
+    let dump = {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        db.create_sequence("s");
+        ins(&mut db, 1, "one");
+        ins(&mut db, 2, "two");
+        assert_eq!(db.nextval("s").unwrap(), 1);
+        // Capture the full generation-1 log, then checkpoint (snapshot
+        // tagged generation 2, WAL rotated to 2).
+        let old_wal = fs::read(dir.join(WAL_FILE)).unwrap();
+        db.checkpoint().unwrap();
+        let dump = db.dump();
+        drop(db);
+        // Reproduce the crash window by putting the old log back.
+        fs::write(dir.join(WAL_FILE), &old_wal).unwrap();
+        dump
+    };
+    let db2 = Db::open(&dir).unwrap();
+    assert_eq!(db2.dump(), dump, "stale WAL was double-applied");
+    assert!(db2.stats().stale_wal_ignored > 0, "{}", db2.stats());
+    assert_eq!(db2.stats().replayed_records, 0, "{}", db2.stats());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Two independent opens of one directory would each rewind and append
+/// the shared log, truncating each other's committed transactions — the
+/// second open is refused while the first handle lives.
+#[test]
+fn second_open_of_a_live_directory_is_refused() {
+    let dir = tmpdir("locked");
+    let db = Db::open(&dir).unwrap();
+    match Db::open(&dir) {
+        Err(DbError::Locked(_)) => {}
+        other => panic!("expected DbError::Locked, got {other:?}"),
+    }
+    drop(db);
+    Db::open(&dir).expect("the advisory lock is released with the handle");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Durable handles are single-writer: once one clone has written, a
+/// sibling's in-memory state no longer matches the log, and its appends
+/// are refused (auto-commit) or rolled back (explicit commit) instead
+/// of interleaving physical records computed against the wrong base.
+#[test]
+fn stale_clone_writes_are_refused() {
+    let dir = tmpdir("stale-clone");
+    let mut db = Db::open(&dir).unwrap();
+    db.create_table("t", schema_ab()).unwrap();
+    let mut clone = db.clone();
+    ins(&mut db, 1, "winner");
+
+    let err = clone
+        .insert(
+            "t",
+            &[
+                ("A".into(), SqlExpr::lit(DbVal::Int(2))),
+                ("B".into(), SqlExpr::lit(DbVal::Str("loser".into()))),
+            ],
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::StaleHandle);
+    assert_eq!(clone.row_count("t").unwrap(), 0, "refused append left state");
+
+    // An explicit transaction on the stale clone rolls back at commit.
+    clone.begin().unwrap();
+    clone
+        .insert(
+            "t",
+            &[
+                ("A".into(), SqlExpr::lit(DbVal::Int(3))),
+                ("B".into(), SqlExpr::lit(DbVal::Str("doomed".into()))),
+            ],
+        )
+        .unwrap();
+    assert_eq!(clone.commit().unwrap_err(), DbError::StaleHandle);
+    assert!(!clone.in_txn());
+    assert_eq!(clone.row_count("t").unwrap(), 0, "failed commit left state");
+
+    // The writer is unaffected, and recovery sees exactly its history.
+    ins(&mut db, 4, "more");
+    drop(clone);
+    let dump = db.dump();
+    drop(db);
+    assert_eq!(Db::open(&dir).unwrap().dump(), dump);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A WAL whose generation is ahead of the snapshot's means the snapshot
+/// it was rotated for has vanished — that is real corruption (committed
+/// data is missing), not something to recover around silently.
+#[test]
+fn missing_snapshot_for_rotated_wal_is_corrupt() {
+    let dir = tmpdir("missing-snap");
+    {
+        let mut db = Db::open(&dir).unwrap();
+        db.create_table("t", schema_ab()).unwrap();
+        db.checkpoint().unwrap();
+        ins(&mut db, 1, "post-checkpoint");
+    }
+    fs::remove_file(dir.join(ur_db::SNAPSHOT_FILE)).unwrap();
+    assert!(matches!(Db::open(&dir), Err(DbError::Corrupt(_))));
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn wal_replay_handles_many_transactions() {
     let dir = tmpdir("many-txns");

@@ -663,7 +663,15 @@ impl Session {
             let _ = writeln!(out, "    {n}: {rows} row(s)");
         }
         if db.is_durable() {
-            let _ = writeln!(out, "  wal: {} byte(s)", db.wal_len());
+            let _ = writeln!(
+                out,
+                "  wal: {} byte(s), generation {}",
+                db.wal_len(),
+                db.wal_generation()
+            );
+            if let Some(why) = db.poison_reason() {
+                let _ = writeln!(out, "  poisoned: {why}");
+            }
         }
         let _ = writeln!(out, "  {}", db.stats());
         out

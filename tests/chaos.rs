@@ -544,6 +544,47 @@ mod wal_chaos {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// A failed WAL rotation *after* its snapshot landed poisons the
+    /// handle — the old-generation log is superseded, so appends to it
+    /// would be silently ignored at recovery. While poisoned, appends
+    /// fail with the poison reason; each one first retries the
+    /// checkpoint as its heal, so once the fault stops firing the next
+    /// append succeeds and clears the poison.
+    #[test]
+    fn wal_rotate_fault_poisons_then_heals() {
+        let dir = tmpdir("rotate");
+        let mut db = Db::open(&dir).expect("open");
+        db.create_table("t", schema_ab()).unwrap();
+        ins(&mut db, 1, "kept").unwrap();
+        assert_eq!(db.wal_generation(), 1);
+
+        arm(Site::WalRotate);
+        let err = db.checkpoint().unwrap_err();
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        assert!(db.poison_reason().is_some(), "rotate failure must poison");
+        assert_eq!(db.stats().rotate_errs, 1, "{}", db.stats());
+
+        // Still poisoned and the fault still firing: the append's heal
+        // checkpoint fails too, and the append is refused.
+        arm(Site::WalRotate);
+        let err = ins(&mut db, 2, "refused").unwrap_err();
+        assert!(matches!(err, DbError::Poisoned(_)), "{err}");
+        assert_eq!(db.row_count("t").unwrap(), 1, "refused append left state");
+
+        // Fault gone: the next append self-heals, then lands normally.
+        failpoint::install(None);
+        ins(&mut db, 2, "after-heal").unwrap();
+        assert!(db.poison_reason().is_none(), "heal did not clear the poison");
+        assert_eq!(db.wal_generation(), 2, "heal checkpoint rotated the log");
+
+        let dump = db.dump();
+        drop(db);
+        let db2 = Db::open(&dir).expect("reopen after heal");
+        assert_eq!(db2.dump(), dump);
+        assert_eq!(db2.row_count("t").unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The live handle stays fully usable across an injected torn write:
     /// the next append overwrites the corrupt tail in place.
     #[test]
