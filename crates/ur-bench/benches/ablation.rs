@@ -4,7 +4,6 @@
 //! that *need* a law fail to elaborate without it — that is checked by
 //! `ur-infer/tests/ablation.rs`, not benchmarked.)
 
-use std::rc::Rc;
 use ur_core::con::{Con, RCon};
 use ur_core::defeq::defeq;
 use ur_core::env::Env;
@@ -20,11 +19,11 @@ fn mapped_ground_row(n: usize) -> (RCon, RCon) {
     let row = Con::row_of(Kind::Type, fields.clone());
     let a = Sym::fresh("a");
     let f = Con::lam(
-        a.clone(),
+        a,
         Kind::Type,
         Con::arrow(Con::var(&a), Con::var(&a)),
     );
-    let mapped = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&row));
+    let mapped = Con::map_app(Kind::Type, Kind::Type, f, row);
     let expanded = Con::row_of(
         Kind::Type,
         (0..n)

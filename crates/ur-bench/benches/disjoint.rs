@@ -40,15 +40,15 @@ fn bench_fact_database() {
         let mut vars = Vec::new();
         for i in 0..n {
             let s = Sym::fresh(format!("r{i}"));
-            env.bind_con(s.clone(), Kind::row(Kind::Type));
+            env.bind_con(s, Kind::row(Kind::Type));
             vars.push(Con::var(&s));
         }
         // Assume each abstract row disjoint from a block of names.
         for v in &vars {
-            env.assume_disjoint(named_row("A", 4), v.clone());
+            env.assume_disjoint(named_row("A", 4), *v);
         }
         let goal_left = named_row("A", 4);
-        let goal_right = vars.last().unwrap().clone();
+        let goal_right = *vars.last().unwrap();
         g.measure(&n.to_string(), || {
             let mut cx = Cx::new();
             assert_eq!(

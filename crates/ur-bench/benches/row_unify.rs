@@ -2,7 +2,6 @@
 //! record width grows, for the three problem shapes the engine meets most:
 //! ground-vs-ground, meta-tail, and reverse-engineering (§4.2).
 
-use std::rc::Rc;
 use ur_core::con::{Con, RCon};
 use ur_core::env::Env;
 use ur_core::kind::Kind;
@@ -55,7 +54,7 @@ fn bench_meta_tail() {
         g.measure(&n.to_string(), || {
             let mut cx = Cx::new();
             let m = cx.metas.fresh_con(Kind::row(Kind::Type), "tail");
-            let left = Con::row_cat(half.clone(), m);
+            let left = Con::row_cat(half, m);
             assert_eq!(unify(&env, &mut cx, &left, &full), Unify::Solved);
         });
     }
@@ -82,11 +81,11 @@ fn bench_reverse_engineering() {
             let m = cx.metas.fresh_con(Kind::row(Kind::Type), "m");
             let a = Sym::fresh("a");
             let f = Con::lam(
-                a.clone(),
+                a,
                 Kind::Type,
                 Con::arrow(Con::var(&a), Con::var(&a)),
             );
-            let left = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&m));
+            let left = Con::map_app(Kind::Type, Kind::Type, f, m);
             assert_eq!(unify(&env, &mut cx, &left, &ground), Unify::Solved);
         });
     }

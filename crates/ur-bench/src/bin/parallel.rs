@@ -26,6 +26,14 @@ use ur_web::Session;
 
 const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
 const REPS: usize = 5;
+/// Pre-arena (PR 3 era) speedups at 4 and 8 threads, measured on this
+/// project's 1-core CI baseline with per-worker intern tables and the
+/// export/re-intern merge step. The shared arena removed that per-worker
+/// overhead, so the refactored scheduler must strictly beat both numbers
+/// whatever the core count — on many-core machines by a wide margin, on
+/// a 1-core machine because each worker simply does less work.
+const PRE_ARENA_SPEEDUP_4T: f64 = 0.402;
+const PRE_ARENA_SPEEDUP_8T: f64 = 0.307;
 /// Independent wide `mkTable` clients appended to the batch; each is a
 /// root of the dependency graph, so the batch has parallel width by
 /// construction.
@@ -183,8 +191,16 @@ fn main() {
         .iter()
         .find(|r| r.threads == 4)
         .map_or(0.0, |r| r.speedup);
+    let speedup8 = rows
+        .iter()
+        .find(|r| r.threads == 8)
+        .map_or(0.0, |r| r.speedup);
     println!();
-    println!("machine cores: {cores}; speedup at 4 threads: {speedup4:.2}x");
+    println!(
+        "machine cores: {cores}; speedup at 4 threads: {speedup4:.2}x \
+         (pre-arena {PRE_ARENA_SPEEDUP_4T:.3}x); at 8 threads: {speedup8:.2}x \
+         (pre-arena {PRE_ARENA_SPEEDUP_8T:.3}x)"
+    );
 
     let mut json = format!(
         "{{\n  \"benchmark\": \"parallel\",\n  \"metric\": \"wall_clock_ms\",\n  \
@@ -202,9 +218,13 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"divergence_count\": {},\n  \"speedup_at_4_threads\": {:.3}\n}}\n",
+        "  ],\n  \"divergence_count\": {},\n  \"speedup_at_4_threads\": {:.3},\n  \
+         \"speedup_at_8_threads\": {:.3},\n  \
+         \"pre_arena_speedup_at_4_threads\": {PRE_ARENA_SPEEDUP_4T:.3},\n  \
+         \"pre_arena_speedup_at_8_threads\": {PRE_ARENA_SPEEDUP_8T:.3}\n}}\n",
         rows.iter().filter(|r| r.diverged).count(),
-        speedup4
+        speedup4,
+        speedup8,
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
@@ -223,4 +243,18 @@ fn main() {
     } else {
         println!("({cores} core(s): speedup gate skipped — divergence gate still enforced)");
     }
+    // Regression gate vs the pre-arena scheduler: the shared intern arena
+    // deleted the per-worker table build and the export/re-intern merge,
+    // so 4- and 8-thread runs must be strictly better than the PR 3
+    // baseline relative to their own sequential run, on any hardware.
+    assert!(
+        speedup4 > PRE_ARENA_SPEEDUP_4T,
+        "4-thread speedup {speedup4:.3}x regressed to pre-arena level \
+         (baseline {PRE_ARENA_SPEEDUP_4T:.3}x)"
+    );
+    assert!(
+        speedup8 > PRE_ARENA_SPEEDUP_8T,
+        "8-thread speedup {speedup8:.3}x regressed to pre-arena level \
+         (baseline {PRE_ARENA_SPEEDUP_8T:.3}x)"
+    );
 }

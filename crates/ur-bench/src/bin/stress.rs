@@ -81,8 +81,8 @@ fn deep_map_nest() -> Result<(), String> {
     let mut cx = Cx::new();
     let f = Sym::fresh("f");
     let r = Sym::fresh("r");
-    env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
-    env.bind_con(r.clone(), Kind::row(Kind::Type));
+    env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
+    env.bind_con(r, Kind::row(Kind::Type));
     let mut c = Con::var(&r);
     for _ in 0..10_000 {
         c = Con::map_app(Kind::Type, Kind::Type, Con::var(&f), c);
@@ -122,7 +122,7 @@ fn cyclic_occurs() -> Result<(), String> {
     let env = Env::new();
     let mut cx = Cx::new();
     let m = cx.metas.fresh_con(Kind::Type, "t");
-    let cyclic = Con::arrow(std::rc::Rc::clone(&m), Con::int());
+    let cyclic = Con::arrow(m, Con::int());
     expect(
         matches!(ur_infer::unify(&env, &mut cx, &m, &cyclic), Unify::Fail(_)),
         "cyclic solve must fail the occurs check",

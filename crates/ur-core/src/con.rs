@@ -9,12 +9,12 @@
 //! by the §2.2/§6 case studies, and constructor metavariables used during
 //! inference.
 
+use crate::arena::{mk_con, IStr};
 use crate::kind::Kind;
 use crate::sym::Sym;
 use std::fmt;
-use std::rc::Rc;
 
-use crate::intern::mk;
+pub use crate::arena::ConId;
 
 /// Identifier of a constructor metavariable (unification variable).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -49,16 +49,17 @@ impl fmt::Display for PrimType {
     }
 }
 
-/// Reference-counted constructor; the AST is immutable, shared, and
-/// hash-consed: all smart constructors intern through
-/// [`crate::intern`], so structurally equal trees are pointer-equal and
-/// `Rc::ptr_eq` is a complete structural-equality test on canonically
-/// built terms.
-pub type RCon = Rc<Con>;
+/// Canonical constructor handle. The AST is immutable, shared, and
+/// hash-consed in the global [`crate::arena`]: all smart constructors
+/// intern, so structurally equal trees share one id and `==` on `RCon` is
+/// a complete O(1) structural-equality test on canonically built terms.
+/// The handle is `Copy + Send + Sync` and derefs to the `'static` node.
+pub type RCon = ConId;
 
 /// A constructor: the compile-time language of Ur. Types are the
-/// constructors of kind `Type`.
-#[derive(Clone, PartialEq, Debug)]
+/// constructors of kind `Type`. Child positions hold canonical ids, so
+/// the enum value *is* its own shallow intern key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Con {
     /// A constructor variable `a` (bound by `Lam`, `Poly`, or the
     /// environment).
@@ -79,7 +80,7 @@ pub enum Con {
     /// Application `c1 c2`.
     App(RCon, RCon),
     /// Name literal `#n`.
-    Name(Rc<str>),
+    Name(IStr),
     /// Record type former `$c`, for `c :: {Type}`.
     Record(RCon),
     /// Empty row `[]` at element kind `k`.
@@ -107,15 +108,15 @@ pub enum Con {
 
 impl Con {
     pub fn var(s: &Sym) -> RCon {
-        mk(Con::Var(s.clone()))
+        mk_con(Con::Var(*s))
     }
 
     pub fn meta(id: MetaId) -> RCon {
-        mk(Con::Meta(id))
+        mk_con(Con::Meta(id))
     }
 
     pub fn prim(p: PrimType) -> RCon {
-        mk(Con::Prim(p))
+        mk_con(Con::Prim(p))
     }
 
     pub fn int() -> RCon {
@@ -139,23 +140,23 @@ impl Con {
     }
 
     pub fn arrow(a: RCon, b: RCon) -> RCon {
-        mk(Con::Arrow(a, b))
+        mk_con(Con::Arrow(a, b))
     }
 
     pub fn poly(s: Sym, k: Kind, body: RCon) -> RCon {
-        mk(Con::Poly(s, k, body))
+        mk_con(Con::Poly(s, k, body))
     }
 
     pub fn guarded(c1: RCon, c2: RCon, t: RCon) -> RCon {
-        mk(Con::Guarded(c1, c2, t))
+        mk_con(Con::Guarded(c1, c2, t))
     }
 
     pub fn lam(s: Sym, k: Kind, body: RCon) -> RCon {
-        mk(Con::Lam(s, k, body))
+        mk_con(Con::Lam(s, k, body))
     }
 
     pub fn app(f: RCon, a: RCon) -> RCon {
-        mk(Con::App(f, a))
+        mk_con(Con::App(f, a))
     }
 
     /// n-ary application.
@@ -163,24 +164,24 @@ impl Con {
         args.into_iter().fold(f, Con::app)
     }
 
-    pub fn name(n: impl Into<Rc<str>>) -> RCon {
-        mk(Con::Name(n.into()))
+    pub fn name(n: impl Into<IStr>) -> RCon {
+        mk_con(Con::Name(n.into()))
     }
 
     pub fn record(row: RCon) -> RCon {
-        mk(Con::Record(row))
+        mk_con(Con::Record(row))
     }
 
     pub fn row_nil(k: Kind) -> RCon {
-        mk(Con::RowNil(k))
+        mk_con(Con::RowNil(k))
     }
 
     pub fn row_one(n: RCon, v: RCon) -> RCon {
-        mk(Con::RowOne(n, v))
+        mk_con(Con::RowOne(n, v))
     }
 
     pub fn row_cat(a: RCon, b: RCon) -> RCon {
-        mk(Con::RowCat(a, b))
+        mk_con(Con::RowCat(a, b))
     }
 
     /// Builds a literal row `[n1 = v1] ++ ... ++ [nk = vk]` from
@@ -214,7 +215,7 @@ impl Con {
 
     /// The bare `map` constant at kinds `(k1 -> k2) -> {k1} -> {k2}`.
     pub fn map_c(k1: Kind, k2: Kind) -> RCon {
-        mk(Con::Map(k1, k2))
+        mk_con(Con::Map(k1, k2))
     }
 
     /// `map` fully applied: `map f r` at the given kinds.
@@ -224,52 +225,65 @@ impl Con {
 
     /// The `folder` family at element kind `k`.
     pub fn folder(k: Kind) -> RCon {
-        mk(Con::Folder(k))
+        mk_con(Con::Folder(k))
     }
 
     pub fn pair(a: RCon, b: RCon) -> RCon {
-        mk(Con::Pair(a, b))
+        mk_con(Con::Pair(a, b))
     }
 
     pub fn fst(c: RCon) -> RCon {
-        mk(Con::Fst(c))
+        mk_con(Con::Fst(c))
     }
 
     pub fn snd(c: RCon) -> RCon {
-        mk(Con::Snd(c))
-    }
-
-    /// If this constructor is a spine `h a1 ... an`, returns the head and
-    /// arguments.
-    pub fn spine(self: &Rc<Self>) -> (RCon, Vec<RCon>) {
-        let mut args = Vec::new();
-        let mut cur = Rc::clone(self);
-        while let Con::App(f, a) = &*cur {
-            args.push(Rc::clone(a));
-            let next = Rc::clone(f);
-            cur = next;
-        }
-        args.reverse();
-        (cur, args)
+        mk_con(Con::Snd(c))
     }
 
     /// True for metavariable occurrences.
     pub fn is_meta(&self) -> bool {
         matches!(self, Con::Meta(_))
     }
+}
 
-    /// The canonical intern-table handle for this constructor. A handle is
-    /// `Copy` and `==` on handles is O(1) structural equality; use it where
-    /// a deep clone of the tree would otherwise be taken just to compare
-    /// or key on the term.
-    pub fn intern_id(self: &Rc<Self>) -> crate::intern::ConId {
-        crate::intern::id_of(self)
+impl ConId {
+    /// If this constructor is a spine `h a1 ... an`, returns the head and
+    /// arguments. O(spine length); children are handles, so nothing is
+    /// cloned.
+    pub fn spine(self) -> (RCon, Vec<RCon>) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let Con::App(f, a) = &*cur {
+            args.push(*a);
+            cur = *f;
+        }
+        args.reverse();
+        (cur, args)
+    }
+
+    /// The canonical intern-arena handle for this constructor — the handle
+    /// *is* its own id now; kept for source compatibility with the
+    /// `Rc`-era API.
+    pub fn intern_id(self) -> ConId {
+        self
     }
 }
 
 impl fmt::Display for Con {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         crate::pretty::fmt_con(self, f, 0)
+    }
+}
+
+impl fmt::Display for ConId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_con(self, f, 0)
+    }
+}
+
+impl fmt::Debug for ConId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.get(), f)
     }
 }
 
@@ -282,12 +296,12 @@ mod tests {
         let f = Con::var(&Sym::fresh("f"));
         let a = Con::int();
         let b = Con::string();
-        let app = Con::apps(Rc::clone(&f), [a.clone(), b.clone()]);
+        let app = Con::apps(f, [a, b]);
         let (head, args) = app.spine();
-        assert_eq!(&*head, &*f);
+        assert_eq!(head, f);
         assert_eq!(args.len(), 2);
-        assert_eq!(&*args[0], &*a);
-        assert_eq!(&*args[1], &*b);
+        assert_eq!(args[0], a);
+        assert_eq!(args[1], b);
     }
 
     #[test]
@@ -330,6 +344,12 @@ mod tests {
             (0..1024).map(|i| (Con::name(format!("F{i}")), Con::int())).collect(),
         );
         assert!(depth(&r) <= 12, "depth {} for 1024 fields", depth(&r));
+    }
+
+    #[test]
+    fn handles_are_copy_and_send() {
+        fn assert_copy_send<T: Copy + Send + Sync>() {}
+        assert_copy_send::<RCon>();
     }
 
     #[test]

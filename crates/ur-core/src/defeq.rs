@@ -13,7 +13,6 @@ use crate::kind::Kind;
 use crate::row::{normalize_row, FieldKey, RowNf};
 use crate::subst::subst;
 use crate::Cx;
-use std::rc::Rc;
 
 /// Kind equality, after resolving solved kind metavariables.
 pub fn kinds_eq(cx: &MutCxRef<'_>, k1: &Kind, k2: &Kind) -> bool {
@@ -54,7 +53,7 @@ pub fn defeq(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> bool {
     if !cx.fuel.descend() {
         return false;
     }
-    if Rc::ptr_eq(c1, c2) {
+    if c1 == c2 {
         cx.fuel.ascend();
         return true;
     }
@@ -91,7 +90,7 @@ pub fn defeq(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> bool {
 fn defeq_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> bool {
     let c1 = hnf(env, cx, c1);
     let c2 = hnf(env, cx, c2);
-    if Rc::ptr_eq(&c1, &c2) {
+    if c1 == c2 {
         return true;
     }
 
@@ -200,7 +199,7 @@ fn eta_eq(
     let mut env2 = env.clone();
     env2.bind_con(fresh, k.clone());
     let b = subst(body, s, &v);
-    let expanded = Con::app(Rc::clone(other), v);
+    let expanded = Con::app(*other, v);
     defeq(&env2, cx, &b, &expanded)
 }
 
@@ -221,7 +220,7 @@ pub fn row_nf_eq(env: &Env, cx: &mut Cx, n1: &RowNf, n2: &RowNf) -> bool {
                 _ => false,
             };
             if keys_match {
-                let v2 = Rc::clone(v2);
+                let v2 = *v2;
                 if !defeq(env, cx, v1, &v2) {
                     return false;
                 }
@@ -268,7 +267,7 @@ mod tests {
             Kind::Type,
             names
                 .iter()
-                .map(|(n, c)| (Con::name(*n), Rc::clone(c)))
+                .map(|(n, c)| (Con::name(*n), (*c)))
                 .collect(),
         )
     }
@@ -303,16 +302,16 @@ mod tests {
         let mut vars = Vec::new();
         for n in ["r1", "r2", "r3"] {
             let s = Sym::fresh(n);
-            env.bind_con(s.clone(), Kind::row(Kind::Type));
+            env.bind_con(s, Kind::row(Kind::Type));
             vars.push(Con::var(&s));
         }
         let left = Con::row_cat(
-            Con::row_cat(vars[0].clone(), vars[1].clone()),
-            vars[2].clone(),
+            Con::row_cat(vars[0], vars[1]),
+            vars[2],
         );
         let right = Con::row_cat(
-            vars[0].clone(),
-            Con::row_cat(vars[1].clone(), vars[2].clone()),
+            vars[0],
+            Con::row_cat(vars[1], vars[2]),
         );
         assert!(defeq(&env, &mut cx, &left, &right));
     }
@@ -325,9 +324,9 @@ mod tests {
         let f = Sym::fresh("f");
         let g = Sym::fresh("g");
         let r = Sym::fresh("r");
-        env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
-        env.bind_con(g.clone(), Kind::arrow(Kind::Type, Kind::Type));
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
+        env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(g, Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(r, Kind::row(Kind::Type));
         let nested = Con::map_app(
             Kind::Type,
             Kind::Type,
@@ -336,7 +335,7 @@ mod tests {
         );
         let x = Sym::fresh("x");
         let composed = Con::lam(
-            x.clone(),
+            x,
             Kind::Type,
             Con::app(Con::var(&f), Con::app(Con::var(&g), Con::var(&x))),
         );
@@ -351,9 +350,9 @@ mod tests {
         let f = Sym::fresh("f");
         let r1 = Sym::fresh("r1");
         let r2 = Sym::fresh("r2");
-        env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
-        env.bind_con(r1.clone(), Kind::row(Kind::Type));
-        env.bind_con(r2.clone(), Kind::row(Kind::Type));
+        env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(r1, Kind::row(Kind::Type));
+        env.bind_con(r2, Kind::row(Kind::Type));
         let mapped_cat = Con::map_app(
             Kind::Type,
             Kind::Type,
@@ -372,9 +371,9 @@ mod tests {
     fn map_identity_equality() {
         let (mut env, mut cx) = setup();
         let r = Sym::fresh("r");
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
+        env.bind_con(r, Kind::row(Kind::Type));
         let a = Sym::fresh("a");
-        let idf = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let idf = Con::lam(a, Kind::Type, Con::var(&a));
         let mapped = Con::map_app(Kind::Type, Kind::Type, idf, Con::var(&r));
         assert!(defeq(&env, &mut cx, &mapped, &Con::var(&r)));
         assert!(cx.stats.law_map_identity >= 1);
@@ -387,27 +386,27 @@ mod tests {
         let exp = Sym::fresh("exp");
         // exp :: {Type} -> Type -> Type
         env.bind_con(
-            exp.clone(),
+            exp,
             Kind::arrow(Kind::row(Kind::Type), Kind::arrow(Kind::Type, Kind::Type)),
         );
         let r = Sym::fresh("r");
         let pair_k = Kind::pair(Kind::Type, Kind::Type);
-        env.bind_con(r.clone(), Kind::row(pair_k.clone()));
+        env.bind_con(r, Kind::row(pair_k.clone()));
 
         let exp_nil = Con::app(Con::var(&exp), Con::row_nil(Kind::Type));
 
         // left: map (fn p => exp [] (snd p)) r
         let p = Sym::fresh("p");
         let lam = Con::lam(
-            p.clone(),
+            p,
             pair_k.clone(),
-            Con::app(exp_nil.clone(), Con::snd(Con::var(&p))),
+            Con::app(exp_nil, Con::snd(Con::var(&p))),
         );
         let left = Con::map_app(pair_k.clone(), Kind::Type, lam, Con::var(&r));
 
         // right: map (exp []) (map snd r)
         let q = Sym::fresh("q");
-        let snd_fn = Con::lam(q.clone(), pair_k.clone(), Con::snd(Con::var(&q)));
+        let snd_fn = Con::lam(q, pair_k.clone(), Con::snd(Con::var(&q)));
         let inner = Con::map_app(pair_k.clone(), Kind::Type, snd_fn, Con::var(&r));
         let right = Con::map_app(Kind::Type, Kind::Type, exp_nil, inner);
 
@@ -422,8 +421,8 @@ mod tests {
         let (env, mut cx) = setup();
         let a = Sym::fresh("a");
         let b = Sym::fresh("b");
-        let p1 = Con::poly(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
-        let p2 = Con::poly(b.clone(), Kind::Type, Con::arrow(Con::var(&b), Con::var(&b)));
+        let p1 = Con::poly(a, Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
+        let p2 = Con::poly(b, Kind::Type, Con::arrow(Con::var(&b), Con::var(&b)));
         assert!(defeq(&env, &mut cx, &p1, &p2));
     }
 
@@ -432,8 +431,8 @@ mod tests {
         let (mut env, mut cx) = setup();
         let r1 = Sym::fresh("r1");
         let r2 = Sym::fresh("r2");
-        env.bind_con(r1.clone(), Kind::row(Kind::Type));
-        env.bind_con(r2.clone(), Kind::row(Kind::Type));
+        env.bind_con(r1, Kind::row(Kind::Type));
+        env.bind_con(r2, Kind::row(Kind::Type));
         let g1 = Con::guarded(Con::var(&r1), Con::var(&r2), Con::int());
         let g2 = Con::guarded(Con::var(&r2), Con::var(&r1), Con::int());
         assert!(defeq(&env, &mut cx, &g1, &g2));
@@ -464,10 +463,10 @@ mod tests {
     fn eta_equality() {
         let (mut env, mut cx) = setup();
         let f = Sym::fresh("f");
-        env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
         let a = Sym::fresh("a");
         let eta = Con::lam(
-            a.clone(),
+            a,
             Kind::Type,
             Con::app(Con::var(&f), Con::var(&a)),
         );

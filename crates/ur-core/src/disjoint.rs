@@ -21,18 +21,18 @@
 //! constraints first, some unification variables will have been
 //! determined").
 
+use crate::arena::IStr;
 use crate::con::RCon;
 use crate::defeq::defeq;
 use crate::env::Env;
 use crate::row::{normalize_row, FieldKey};
 use crate::Cx;
-use std::rc::Rc;
 
 /// An atomic piece of a decomposed row.
 #[derive(Clone, Debug)]
 pub enum Piece {
     /// A literal field name.
-    Name(Rc<str>),
+    Name(IStr),
     /// A neutral constructor: either a name-kinded neutral (from a field
     /// with a variable name) or a row-kinded neutral (an abstract row).
     Neutral(RCon),
@@ -60,8 +60,8 @@ pub fn decompose(env: &Env, cx: &mut Cx, c: &RCon) -> (Vec<Piece>, bool) {
     let mut complete = true;
     for (key, _) in &nf.fields {
         match key {
-            FieldKey::Lit(n) => pieces.push(Piece::Name(Rc::clone(n))),
-            FieldKey::Neutral(c) => pieces.push(Piece::Neutral(Rc::clone(c))),
+            FieldKey::Lit(n) => pieces.push(Piece::Name(*n)),
+            FieldKey::Neutral(c) => pieces.push(Piece::Neutral(*c)),
         }
     }
     for atom in &nf.atoms {
@@ -69,7 +69,7 @@ pub fn decompose(env: &Env, cx: &mut Cx, c: &RCon) -> (Vec<Piece>, bool) {
         if atom.base_meta().is_some() {
             complete = false;
         }
-        pieces.push(Piece::Neutral(Rc::clone(&atom.base)));
+        pieces.push(Piece::Neutral(atom.base));
     }
     (pieces, complete)
 }
@@ -244,7 +244,7 @@ mod tests {
     fn abstract_rows_need_facts() {
         let (mut env, mut cx) = setup();
         let r = Sym::fresh("r");
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
+        env.bind_con(r, Kind::row(Kind::Type));
         // Goal [A] ~ r with no assumption: not provable yet.
         assert_eq!(
             prove(&env, &mut cx, &lit_row(&["A"]), &Con::var(&r)),
@@ -264,8 +264,8 @@ mod tests {
         let (mut env, mut cx) = setup();
         let r1 = Sym::fresh("r1");
         let r2 = Sym::fresh("r2");
-        env.bind_con(r1.clone(), Kind::row(Kind::Type));
-        env.bind_con(r2.clone(), Kind::row(Kind::Type));
+        env.bind_con(r1, Kind::row(Kind::Type));
+        env.bind_con(r2, Kind::row(Kind::Type));
         env.assume_disjoint(
             lit_row(&["A", "B"]),
             Con::row_cat(Con::var(&r1), Con::var(&r2)),
@@ -286,8 +286,8 @@ mod tests {
         let (mut env, mut cx) = setup();
         let r = Sym::fresh("r");
         let f = Sym::fresh("f");
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
-        env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(r, Kind::row(Kind::Type));
+        env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
         env.assume_disjoint(lit_row(&["A"]), Con::var(&r));
         let mapped = Con::map_app(Kind::Type, Kind::Type, Con::var(&f), Con::var(&r));
         assert_eq!(
@@ -304,11 +304,11 @@ mod tests {
         let nm = Sym::fresh("nm");
         let r = Sym::fresh("r");
         let rest = Sym::fresh("rest");
-        env.bind_con(nm.clone(), Kind::Name);
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
-        env.bind_con(rest.clone(), Kind::row(Kind::Type));
+        env.bind_con(nm, Kind::Name);
+        env.bind_con(r, Kind::row(Kind::Type));
+        env.bind_con(rest, Kind::row(Kind::Type));
         let single = Con::row_one(Con::var(&nm), Con::int());
-        env.assume_disjoint(single.clone(), Con::var(&r));
+        env.assume_disjoint(single, Con::var(&r));
         env.assume_disjoint(Con::var(&rest), Con::var(&r));
         let goal_left = Con::row_cat(single, Con::var(&rest));
         assert_eq!(

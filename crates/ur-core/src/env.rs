@@ -18,7 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// disjointness facts.
 static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_gen() -> u64 {
+/// Mints a process-unique semantic generation. Public so tests (and any
+/// embedder building synthetic envs) can reserve generations that no real
+/// env will ever carry.
+pub fn fresh_gen() -> u64 {
     NEXT_GEN.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -126,7 +129,7 @@ mod tests {
     fn bind_and_lookup_con() {
         let mut env = Env::new();
         let a = Sym::fresh("a");
-        env.bind_con(a.clone(), Kind::Type);
+        env.bind_con(a, Kind::Type);
         let b = env.lookup_con(&a).unwrap();
         assert_eq!(b.kind, Kind::Type);
         assert!(b.def.is_none());
@@ -136,7 +139,7 @@ mod tests {
     fn transparent_definition() {
         let mut env = Env::new();
         let a = Sym::fresh("meta");
-        env.define_con(a.clone(), Kind::arrow(Kind::Type, Kind::Type), Con::int());
+        env.define_con(a, Kind::arrow(Kind::Type, Kind::Type), Con::int());
         assert!(env.lookup_con(&a).unwrap().def.is_some());
     }
 
@@ -144,7 +147,7 @@ mod tests {
     fn val_binding() {
         let mut env = Env::new();
         let x = Sym::fresh("x");
-        env.bind_val(x.clone(), Con::int());
+        env.bind_val(x, Con::int());
         assert!(env.lookup_val(&x).is_some());
         assert!(env.lookup_val(&Sym::fresh("x")).is_none());
     }

@@ -7,23 +7,27 @@
 //! ```
 //!
 //! extended with literals, `let`, and `if` (surface conveniences that
-//! elaborate to core directly).
+//! elaborate to core directly). Expressions are hash-consed in the global
+//! [`crate::arena`] just like constructors, so `RExpr` is a `Copy + Send`
+//! handle and structurally equal terms share one node.
 
+use crate::arena::{mk_expr, IStr};
 use crate::con::RCon;
 use crate::kind::Kind;
 use crate::sym::Sym;
 use std::fmt;
-use std::rc::Rc;
 
-/// Reference-counted expression.
-pub type RExpr = Rc<Expr>;
+pub use crate::arena::ExprId;
+
+/// Canonical expression handle (see [`crate::arena`]).
+pub type RExpr = ExprId;
 
 /// Literal constants.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Lit {
     Int(i64),
     Float(f64),
-    Str(Rc<str>),
+    Str(IStr),
     Bool(bool),
     Unit,
 }
@@ -33,7 +37,7 @@ impl fmt::Display for Lit {
         match self {
             Lit::Int(n) => write!(f, "{n}"),
             Lit::Float(x) => write!(f, "{x:?}"),
-            Lit::Str(s) => write!(f, "{s:?}"),
+            Lit::Str(s) => write!(f, "{:?}", s.as_str()),
             Lit::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
             Lit::Unit => write!(f, "()"),
         }
@@ -80,15 +84,15 @@ pub enum Expr {
 
 impl Expr {
     pub fn var(s: &Sym) -> RExpr {
-        Rc::new(Expr::Var(s.clone()))
+        mk_expr(Expr::Var(*s))
     }
 
     pub fn lit(l: Lit) -> RExpr {
-        Rc::new(Expr::Lit(l))
+        mk_expr(Expr::Lit(l))
     }
 
     pub fn app(f: RExpr, a: RExpr) -> RExpr {
-        Rc::new(Expr::App(f, a))
+        mk_expr(Expr::App(f, a))
     }
 
     pub fn apps(f: RExpr, args: impl IntoIterator<Item = RExpr>) -> RExpr {
@@ -96,27 +100,27 @@ impl Expr {
     }
 
     pub fn lam(x: Sym, t: RCon, body: RExpr) -> RExpr {
-        Rc::new(Expr::Lam(x, t, body))
+        mk_expr(Expr::Lam(x, t, body))
     }
 
     pub fn capp(e: RExpr, c: RCon) -> RExpr {
-        Rc::new(Expr::CApp(e, c))
+        mk_expr(Expr::CApp(e, c))
     }
 
     pub fn clam(a: Sym, k: Kind, body: RExpr) -> RExpr {
-        Rc::new(Expr::CLam(a, k, body))
+        mk_expr(Expr::CLam(a, k, body))
     }
 
     pub fn rec_nil() -> RExpr {
-        Rc::new(Expr::RecNil)
+        mk_expr(Expr::RecNil)
     }
 
     pub fn rec_one(n: RCon, e: RExpr) -> RExpr {
-        Rc::new(Expr::RecOne(n, e))
+        mk_expr(Expr::RecOne(n, e))
     }
 
     pub fn rec_cat(a: RExpr, b: RExpr) -> RExpr {
-        Rc::new(Expr::RecCat(a, b))
+        mk_expr(Expr::RecCat(a, b))
     }
 
     /// Builds an n-ary record literal as a *balanced* tree of
@@ -147,33 +151,45 @@ impl Expr {
     }
 
     pub fn proj(e: RExpr, c: RCon) -> RExpr {
-        Rc::new(Expr::Proj(e, c))
+        mk_expr(Expr::Proj(e, c))
     }
 
     pub fn cut(e: RExpr, c: RCon) -> RExpr {
-        Rc::new(Expr::Cut(e, c))
+        mk_expr(Expr::Cut(e, c))
     }
 
     pub fn dlam(c1: RCon, c2: RCon, body: RExpr) -> RExpr {
-        Rc::new(Expr::DLam(c1, c2, body))
+        mk_expr(Expr::DLam(c1, c2, body))
     }
 
     pub fn dapp(e: RExpr) -> RExpr {
-        Rc::new(Expr::DApp(e))
+        mk_expr(Expr::DApp(e))
     }
 
     pub fn let_(x: Sym, t: RCon, bound: RExpr, body: RExpr) -> RExpr {
-        Rc::new(Expr::Let(x, t, bound, body))
+        mk_expr(Expr::Let(x, t, bound, body))
     }
 
     pub fn if_(c: RExpr, t: RExpr, e: RExpr) -> RExpr {
-        Rc::new(Expr::If(c, t, e))
+        mk_expr(Expr::If(c, t, e))
     }
 }
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         crate::pretty::fmt_expr(self, f, 0)
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_expr(self, f, 0)
+    }
+}
+
+impl fmt::Debug for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.get(), f)
     }
 }
 
@@ -200,6 +216,16 @@ mod tests {
             (Con::name("B"), Expr::lit(Lit::Float(2.3))),
         ]);
         assert!(matches!(&*e, Expr::RecCat(_, _)));
+    }
+
+    #[test]
+    fn exprs_hash_cons() {
+        let a = Expr::lit(Lit::Int(7));
+        let b = Expr::lit(Lit::Int(7));
+        assert_eq!(a, b);
+        let c = Expr::app(a, b);
+        let d = Expr::app(a, b);
+        assert_eq!(c, d);
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //! using [`gen_folder`], with the permutation implied by source field
 //! order.
 
+use crate::arena::IStr;
 use crate::con::{Con, RCon};
 use crate::expr::{Expr, RExpr};
 use crate::kind::Kind;
 use crate::sym::Sym;
-use std::rc::Rc;
 
 /// The type of a fold step function, abstracted over the accumulator
 /// family variable `tf`:
@@ -37,16 +37,16 @@ pub fn folder_step_type(k: &Kind, tf: &Sym) -> RCon {
     let r = Sym::fresh("r");
     let single = Con::row_one(Con::var(&nm), Con::var(&t));
     Con::poly(
-        nm.clone(),
+        nm,
         Kind::Name,
         Con::poly(
-            t.clone(),
+            t,
             k.clone(),
             Con::poly(
-                r.clone(),
+                r,
                 Kind::row(k.clone()),
                 Con::guarded(
-                    single.clone(),
+                    single,
                     Con::var(&r),
                     Con::arrow(
                         Con::app(Con::var(tf), Con::var(&r)),
@@ -63,13 +63,13 @@ pub fn unfold_folder(k: &Kind, r: &RCon) -> RCon {
     let tf = Sym::fresh("tf");
     let step_ty = folder_step_type(k, &tf);
     Con::poly(
-        tf.clone(),
+        tf,
         Kind::arrow(Kind::row(k.clone()), Kind::Type),
         Con::arrow(
             step_ty,
             Con::arrow(
                 Con::app(Con::var(&tf), Con::row_nil(k.clone())),
-                Con::app(Con::var(&tf), Rc::clone(r)),
+                Con::app(Con::var(&tf), *r),
             ),
         ),
     )
@@ -80,7 +80,7 @@ pub fn unfold_folder(k: &Kind, r: &RCon) -> RCon {
 pub fn as_folder_app(t: &RCon) -> Option<(Kind, RCon)> {
     let (head, args) = t.spine();
     match (&*head, args.len()) {
-        (Con::Folder(k), 1) => Some((k.clone(), Rc::clone(&args[0]))),
+        (Con::Folder(k), 1) => Some((k.clone(), args[0])),
         _ => None,
     }
 }
@@ -96,7 +96,7 @@ pub fn as_folder_app(t: &RCon) -> Option<(Kind, RCon)> {
 ///
 /// The outermost `step` call processes the *first* field, so a fold whose
 /// step prepends output (like `mkTable`) lists fields in source order.
-pub fn gen_folder(k: &Kind, fields: &[(Rc<str>, RCon)]) -> RExpr {
+pub fn gen_folder(k: &Kind, fields: &[(IStr, RCon)]) -> RExpr {
     let tf = Sym::fresh("tf");
     let step = Sym::fresh("step");
     let init = Sym::fresh("init");
@@ -106,19 +106,19 @@ pub fn gen_folder(k: &Kind, fields: &[(Rc<str>, RCon)]) -> RExpr {
     for (name, ty) in fields.iter().rev() {
         let call = Expr::capp(
             Expr::capp(
-                Expr::capp(Expr::var(&step), Con::name(Rc::clone(name))),
-                Rc::clone(ty),
+                Expr::capp(Expr::var(&step), Con::name(*name)),
+                *ty,
             ),
-            acc_row.clone(),
+            acc_row,
         );
         body = Expr::app(Expr::dapp(call), body);
         acc_row = Con::row_cat(
-            Con::row_one(Con::name(Rc::clone(name)), Rc::clone(ty)),
+            Con::row_one(Con::name(*name), *ty),
             acc_row,
         );
     }
     Expr::clam(
-        tf.clone(),
+        tf,
         Kind::arrow(Kind::row(k.clone()), Kind::Type),
         Expr::lam(
             step,
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn as_folder_app_recognizes() {
         let r = Con::row_one(Con::name("A"), Con::int());
-        let t = Con::app(Con::folder(Kind::Type), r.clone());
+        let t = Con::app(Con::folder(Kind::Type), r);
         let (k, row) = as_folder_app(&t).unwrap();
         assert_eq!(k, Kind::Type);
         assert_eq!(&*row, &*r);
@@ -156,7 +156,7 @@ mod tests {
         // unfolded folder type.
         let env = Env::new();
         let mut cx = Cx::new();
-        let fields: Vec<(Rc<str>, RCon)> = vec![
+        let fields: Vec<(IStr, RCon)> = vec![
             ("A".into(), Con::int()),
             ("B".into(), Con::float()),
         ];
@@ -192,7 +192,7 @@ mod tests {
         let env = Env::new();
         let mut cx = Cx::new();
         let pk = Kind::pair(Kind::Type, Kind::Type);
-        let fields: Vec<(Rc<str>, RCon)> =
+        let fields: Vec<(IStr, RCon)> =
             vec![("A".into(), Con::pair(Con::int(), Con::string()))];
         let term = gen_folder(&pk, &fields);
         let got = type_of(&env, &mut cx, &term).expect("pair-kind folder typechecks");

@@ -11,7 +11,6 @@ use crate::con::{Con, RCon};
 use crate::env::Env;
 use crate::subst::subst;
 use crate::Cx;
-use std::rc::Rc;
 
 /// Reduces `c` to head normal form: the result is never a redex at the
 /// head (no beta redex, no solved metavariable, no transparent variable,
@@ -34,7 +33,7 @@ use std::rc::Rc;
 /// degenerate and never stored.
 pub fn hnf(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
     if !cx.fuel.descend() {
-        return Rc::clone(c);
+        return *c;
     }
     let memoizable = cx.memo.enabled
         && matches!(
@@ -66,7 +65,7 @@ pub fn hnf(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
 }
 
 fn hnf_loop(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
-    let mut cur = Rc::clone(c);
+    let mut cur = *c;
     loop {
         if !cx.fuel.step() {
             return cur;
@@ -74,12 +73,12 @@ fn hnf_loop(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
         match &*cur {
             Con::Meta(id) => match cx.metas.solution(*id) {
                 Some(sol) => {
-                    let next = Rc::clone(sol);
+                    let next = *sol;
                     cur = next;
                 }
                 None => return cur,
             },
-            Con::Var(s) => match env.lookup_con(s).and_then(|b| b.def.clone()) {
+            Con::Var(s) => match env.lookup_con(s).and_then(|b| b.def) {
                 Some(def) => cur = def,
                 None => return cur,
             },
@@ -90,19 +89,19 @@ fn hnf_loop(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
                         cur = subst(body, x, a);
                     }
                     _ => {
-                        if Rc::ptr_eq(&f_hnf, f) {
+                        if f_hnf == *f {
                             return cur;
                         }
-                        return Con::app(f_hnf, Rc::clone(a));
+                        return Con::app(f_hnf, *a);
                     }
                 }
             }
             Con::Fst(p) => {
                 let p_hnf = hnf(env, cx, p);
                 match &*p_hnf {
-                    Con::Pair(a, _) => cur = Rc::clone(a),
+                    Con::Pair(a, _) => cur = *a,
                     _ => {
-                        if Rc::ptr_eq(&p_hnf, p) {
+                        if p_hnf == *p {
                             return cur;
                         }
                         return Con::fst(p_hnf);
@@ -112,9 +111,9 @@ fn hnf_loop(env: &Env, cx: &mut Cx, c: &RCon) -> RCon {
             Con::Snd(p) => {
                 let p_hnf = hnf(env, cx, p);
                 match &*p_hnf {
-                    Con::Pair(_, b) => cur = Rc::clone(b),
+                    Con::Pair(_, b) => cur = *b,
                     _ => {
-                        if Rc::ptr_eq(&p_hnf, p) {
+                        if p_hnf == *p {
                             return cur;
                         }
                         return Con::snd(p_hnf);
@@ -156,7 +155,7 @@ mod tests {
     fn beta_reduces() {
         let (env, mut cx) = setup();
         let a = Sym::fresh("a");
-        let id = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let id = Con::lam(a, Kind::Type, Con::var(&a));
         let app = Con::app(id, Con::int());
         let out = hnf(&env, &mut cx, &app);
         assert!(matches!(&*out, Con::Prim(crate::con::PrimType::Int)));
@@ -166,7 +165,7 @@ mod tests {
     fn unfolds_transparent_definitions() {
         let (mut env, mut cx) = setup();
         let t = Sym::fresh("myint");
-        env.define_con(t.clone(), Kind::Type, Con::int());
+        env.define_con(t, Kind::Type, Con::int());
         let out = hnf(&env, &mut cx, &Con::var(&t));
         assert!(matches!(&*out, Con::Prim(crate::con::PrimType::Int)));
     }
@@ -192,7 +191,7 @@ mod tests {
     fn pair_projections_reduce() {
         let (env, mut cx) = setup();
         let p = Con::pair(Con::int(), Con::string());
-        let f = hnf(&env, &mut cx, &Con::fst(Rc::clone(&p)));
+        let f = hnf(&env, &mut cx, &Con::fst(p));
         let s = hnf(&env, &mut cx, &Con::snd(p));
         assert!(matches!(&*f, Con::Prim(crate::con::PrimType::Int)));
         assert!(matches!(&*s, Con::Prim(crate::con::PrimType::String)));
@@ -203,10 +202,10 @@ mod tests {
         // type id2 = fn a :: Type => a; hnf (id2 (id2 int)) = int
         let (mut env, mut cx) = setup();
         let a = Sym::fresh("a");
-        let idc = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let idc = Con::lam(a, Kind::Type, Con::var(&a));
         let id2 = Sym::fresh("id2");
         env.define_con(
-            id2.clone(),
+            id2,
             Kind::arrow(Kind::Type, Kind::Type),
             idc,
         );
@@ -220,7 +219,7 @@ mod tests {
     fn neutral_application_is_stable() {
         let (mut env, mut cx) = setup();
         let f = Sym::fresh("f");
-        env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
+        env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
         let app = Con::app(Con::var(&f), Con::int());
         let out = hnf(&env, &mut cx, &app);
         assert_eq!(&*out, &*app);
@@ -236,12 +235,12 @@ mod tests {
             &Con::row_one(Con::name("A"), Con::int())
         ));
         let r = Sym::fresh("r");
-        env.bind_con(r.clone(), Kind::row(Kind::Type));
+        env.bind_con(r, Kind::row(Kind::Type));
         // a bare row variable is not row-*shaped* (it is neutral)
         assert!(!is_row_shaped(&env, &mut cx, &Con::var(&r)));
         // but map f r is
         let a = Sym::fresh("a");
-        let idf = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let idf = Con::lam(a, Kind::Type, Con::var(&a));
         let m = Con::map_app(Kind::Type, Kind::Type, idf, Con::var(&r));
         assert!(is_row_shaped(&env, &mut cx, &m));
         assert!(!is_row_shaped(&env, &mut cx, &Con::int()));

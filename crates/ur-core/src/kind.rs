@@ -13,7 +13,7 @@
 //! them by first-order kind unification (see `ur-infer`).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifier of a kind metavariable allocated in a [`crate::meta::MetaCx`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -33,11 +33,11 @@ pub enum Kind {
     /// Kind of field names (`Name`).
     Name,
     /// Kind of type-level functions (`k1 -> k2`).
-    Arrow(Rc<Kind>, Rc<Kind>),
+    Arrow(Arc<Kind>, Arc<Kind>),
     /// Kind of type-level records / rows (`{k}`).
-    Row(Rc<Kind>),
+    Row(Arc<Kind>),
     /// Kind of type-level pairs (`k1 * k2`).
-    Pair(Rc<Kind>, Rc<Kind>),
+    Pair(Arc<Kind>, Arc<Kind>),
     /// A kind metavariable (inference only).
     Meta(KMetaId),
 }
@@ -45,17 +45,17 @@ pub enum Kind {
 impl Kind {
     /// `k1 -> k2`.
     pub fn arrow(k1: Kind, k2: Kind) -> Kind {
-        Kind::Arrow(Rc::new(k1), Rc::new(k2))
+        Kind::Arrow(Arc::new(k1), Arc::new(k2))
     }
 
     /// `{k}`.
     pub fn row(k: Kind) -> Kind {
-        Kind::Row(Rc::new(k))
+        Kind::Row(Arc::new(k))
     }
 
     /// `k1 * k2`.
     pub fn pair(k1: Kind, k2: Kind) -> Kind {
-        Kind::Pair(Rc::new(k1), Rc::new(k2))
+        Kind::Pair(Arc::new(k1), Arc::new(k2))
     }
 
     /// True if this kind contains no metavariables.

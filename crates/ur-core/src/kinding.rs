@@ -39,7 +39,7 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
         Con::Var(a) => env
             .lookup_con(a)
             .map(|b| b.kind.clone())
-            .ok_or_else(|| CoreError::UnboundConVar(a.clone())),
+            .ok_or(CoreError::UnboundConVar(*a)),
         Con::Meta(m) => Ok(cx.metas.kind_of(*m).clone()),
         Con::Prim(_) => Ok(Kind::Type),
         Con::Arrow(t1, t2) => {
@@ -49,7 +49,7 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
         }
         Con::Poly(a, k, t) => {
             let mut env2 = env.clone();
-            env2.bind_con(a.clone(), k.clone());
+            env2.bind_con(*a, k.clone());
             expect_kind(&env2, cx, t, &Kind::Type, "polymorphic body", strict)?;
             Ok(Kind::Type)
         }
@@ -59,13 +59,13 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
             expect_row(cx, c1, &k1)?;
             expect_row(cx, c2, &k2)?;
             let mut env2 = env.clone();
-            env2.assume_disjoint(c1.clone(), c2.clone());
+            env2.assume_disjoint(*c1, *c2);
             expect_kind(&env2, cx, t, &Kind::Type, "guarded body", strict)?;
             Ok(Kind::Type)
         }
         Con::Lam(a, k, body) => {
             let mut env2 = env.clone();
-            env2.bind_con(a.clone(), k.clone());
+            env2.bind_con(*a, k.clone());
             let kb = kind_of_inner(&env2, cx, body, strict)?;
             Ok(Kind::arrow(k.clone(), kb))
         }
@@ -83,7 +83,7 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
                     }
                     Ok((*ran).clone())
                 }
-                other => Err(CoreError::NotArrowKind(f.clone(), other)),
+                other => Err(CoreError::NotArrowKind(*f, other)),
             }
         }
         Con::Name(_) => Ok(Kind::Name),
@@ -113,8 +113,8 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
                     crate::disjoint::ProveResult::Proved => {}
                     _ => {
                         return Err(CoreError::DisjointnessFailed {
-                            left: a.clone(),
-                            right: b.clone(),
+                            left: *a,
+                            right: *b,
                         })
                     }
                 }
@@ -135,14 +135,14 @@ fn kind_of_inner(env: &Env, cx: &mut Cx, c: &RCon, strict: bool) -> Result<Kind,
             let kp = kind_of_inner(env, cx, p, strict)?;
             match cx.metas.resolve_kind(&kp) {
                 Kind::Pair(a, _) => Ok((*a).clone()),
-                other => Err(CoreError::NotPairKind(p.clone(), other)),
+                other => Err(CoreError::NotPairKind(*p, other)),
             }
         }
         Con::Snd(p) => {
             let kp = kind_of_inner(env, cx, p, strict)?;
             match cx.metas.resolve_kind(&kp) {
                 Kind::Pair(_, b) => Ok((*b).clone()),
-                other => Err(CoreError::NotPairKind(p.clone(), other)),
+                other => Err(CoreError::NotPairKind(*p, other)),
             }
         }
     }
@@ -242,13 +242,13 @@ mod tests {
         let r = Sym::fresh("r");
         let single = Con::row_one(Con::var(&nm), Con::int());
         let t = Con::poly(
-            nm.clone(),
+            nm,
             Kind::Name,
             Con::poly(
-                r.clone(),
+                r,
                 Kind::row(Kind::Type),
                 Con::guarded(
-                    single.clone(),
+                    single,
                     Con::var(&r),
                     Con::arrow(
                         Con::record(Con::row_cat(single, Con::var(&r))),
@@ -278,9 +278,9 @@ mod tests {
     fn applied_map_kind() {
         let (mut env, mut cx) = setup();
         let rv = Sym::fresh("r");
-        env.bind_con(rv.clone(), Kind::row(Kind::Type));
+        env.bind_con(rv, Kind::row(Kind::Type));
         let a = Sym::fresh("a");
-        let f = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let f = Con::lam(a, Kind::Type, Con::var(&a));
         let m = Con::map_app(Kind::Type, Kind::Type, f, Con::var(&rv));
         assert_eq!(kind_of(&env, &mut cx, &m).unwrap(), Kind::row(Kind::Type));
     }
@@ -293,7 +293,7 @@ mod tests {
             kind_of(&env, &mut cx, &p).unwrap(),
             Kind::pair(Kind::Type, Kind::Name)
         );
-        assert_eq!(kind_of(&env, &mut cx, &Con::fst(p.clone())).unwrap(), Kind::Type);
+        assert_eq!(kind_of(&env, &mut cx, &Con::fst(p)).unwrap(), Kind::Type);
         assert_eq!(kind_of(&env, &mut cx, &Con::snd(p)).unwrap(), Kind::Name);
     }
 
@@ -301,7 +301,7 @@ mod tests {
     fn app_kind_mismatch_rejected() {
         let (env, mut cx) = setup();
         let a = Sym::fresh("a");
-        let f = Con::lam(a.clone(), Kind::Name, Con::var(&a));
+        let f = Con::lam(a, Kind::Name, Con::var(&a));
         let app = Con::app(f, Con::int()); // int :: Type, wanted Name
         assert!(kind_of(&env, &mut cx, &app).is_err());
     }

@@ -39,6 +39,7 @@
 //! assert_eq!(cx.stats.law_map_identity, 1);
 //! ```
 
+pub mod arena;
 pub mod codec;
 pub mod con;
 pub mod defeq;
@@ -61,7 +62,6 @@ pub mod row;
 pub mod stats;
 pub mod subst;
 pub mod sym;
-pub mod transfer;
 pub mod typing;
 
 pub use limits::{Fuel, Limits, ResourceKind};

@@ -8,7 +8,6 @@
 
 use crate::con::{Con, MetaId, RCon};
 use crate::kind::{KMetaId, Kind};
-use std::rc::Rc;
 
 /// One constructor metavariable: its kind and, once solved, its value.
 #[derive(Clone, Debug)]
@@ -123,11 +122,11 @@ impl MetaCx {
     /// Follows metavariable solutions at the head of `c` until reaching a
     /// non-meta constructor or an unsolved metavariable.
     pub fn resolve(&self, c: &RCon) -> RCon {
-        let mut cur = Rc::clone(c);
+        let mut cur = *c;
         loop {
             match &*cur {
                 Con::Meta(id) => match self.solution(*id) {
-                    Some(sol) => cur = Rc::clone(sol),
+                    Some(sol) => cur = *sol,
                     None => return cur,
                 },
                 _ => return cur,
@@ -167,16 +166,16 @@ impl MetaCx {
         {
             let f = crate::intern::flags_of(c);
             if !f.has_meta() && !f.has_kmeta() {
-                return Rc::clone(c);
+                return *c;
             }
         }
         let c = self.resolve(c);
         match &*c {
             Con::Var(_) | Con::Meta(_) | Con::Prim(_) | Con::Name(_) => c,
             Con::Arrow(a, b) => Con::arrow(self.zonk(a), self.zonk(b)),
-            Con::Poly(s, k, t) => Con::poly(s.clone(), self.zonk_kind(k), self.zonk(t)),
+            Con::Poly(s, k, t) => Con::poly(*s, self.zonk_kind(k), self.zonk(t)),
             Con::Guarded(a, b, t) => Con::guarded(self.zonk(a), self.zonk(b), self.zonk(t)),
-            Con::Lam(s, k, t) => Con::lam(s.clone(), self.zonk_kind(k), self.zonk(t)),
+            Con::Lam(s, k, t) => Con::lam(*s, self.zonk_kind(k), self.zonk(t)),
             Con::App(f, a) => Con::app(self.zonk(f), self.zonk(a)),
             Con::Record(r) => Con::record(self.zonk(r)),
             Con::RowNil(k) => Con::row_nil(self.zonk_kind(k)),

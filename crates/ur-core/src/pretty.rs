@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn con_display_examples() {
         let a = Sym::fresh("a");
-        let poly = Con::poly(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
+        let poly = Con::poly(a, Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
         assert_eq!(poly.to_string(), "a :: Type -> a -> a");
     }
 
@@ -246,7 +246,7 @@ mod tests {
     fn expr_display() {
         let x = Sym::fresh("x");
         let e = Expr::lam(
-            x.clone(),
+            x,
             Con::int(),
             Expr::proj(Expr::var(&x), Con::name("A")),
         );
@@ -268,7 +268,7 @@ mod tests {
         // Hash-consing collapses repeated subterms into one shared node;
         // printing must still expand the DAG into full tree notation.
         let sub = Con::arrow(Con::int(), Con::int());
-        let c = Con::pair(sub.clone(), sub);
+        let c = Con::pair(sub, sub);
         assert_eq!(c.to_string(), "(int -> int, int -> int)");
     }
 

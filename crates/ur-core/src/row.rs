@@ -18,20 +18,20 @@
 //! [`crate::stats::Stats`], which is how we regenerate the paper's
 //! Figure 5 columns.
 
+use crate::arena::IStr;
 use crate::con::{Con, MetaId, RCon};
 use crate::env::Env;
 use crate::hnf::hnf;
 use crate::kind::Kind;
 use crate::sym::Sym;
 use crate::Cx;
-use std::rc::Rc;
 
 /// The name position of a field in normal form: either a literal name
 /// `#n` or a neutral constructor of kind `Name` (e.g. a bound variable
 /// `nm`).
 #[derive(Clone, Debug)]
 pub enum FieldKey {
-    Lit(Rc<str>),
+    Lit(IStr),
     Neutral(RCon),
 }
 
@@ -47,8 +47,8 @@ impl FieldKey {
     /// The underlying constructor.
     pub fn to_con(&self) -> RCon {
         match self {
-            FieldKey::Lit(n) => Con::name(Rc::clone(n)),
-            FieldKey::Neutral(c) => Rc::clone(c),
+            FieldKey::Lit(n) => Con::name(*n),
+            FieldKey::Neutral(c) => *c,
         }
     }
 }
@@ -69,12 +69,12 @@ impl RowAtom {
     /// `out_kind`.
     pub fn to_con(&self, out_kind: &Kind) -> RCon {
         match &self.map {
-            None => Rc::clone(&self.base),
+            None => self.base,
             Some((f, dom)) => Con::map_app(
                 dom.clone(),
                 out_kind.clone(),
-                Rc::clone(f),
-                Rc::clone(&self.base),
+                *f,
+                self.base,
             ),
         }
     }
@@ -142,7 +142,7 @@ impl RowNf {
         let k = self.kind_or_type();
         let mut parts: Vec<RCon> = Vec::new();
         for (key, v) in &self.fields {
-            parts.push(Con::row_one(key.to_con(), Rc::clone(v)));
+            parts.push(Con::row_one(key.to_con(), *v));
         }
         for atom in &self.atoms {
             parts.push(atom.to_con(&k));
@@ -168,11 +168,11 @@ impl RowNf {
     }
 
     /// Names of all literal fields, in canonical order.
-    pub fn lit_names(&self) -> Vec<Rc<str>> {
+    pub fn lit_names(&self) -> Vec<IStr> {
         self.fields
             .iter()
             .filter_map(|(k, _)| match k {
-                FieldKey::Lit(n) => Some(Rc::clone(n)),
+                FieldKey::Lit(n) => Some(*n),
                 _ => None,
             })
             .collect()
@@ -221,7 +221,7 @@ fn collect(env: &Env, cx: &mut Cx, c: &RCon, nf: &mut RowNf) {
     if !cx.fuel.descend() {
         nf.atoms.push(RowAtom {
             map: None,
-            base: Rc::clone(c),
+            base: (*c),
         });
         return;
     }
@@ -240,21 +240,21 @@ fn collect_inner(env: &Env, cx: &mut Cx, c: &RCon, nf: &mut RowNf) {
         Con::RowOne(n, v) => {
             let n = hnf(env, cx, n);
             let key = match &*n {
-                Con::Name(s) => FieldKey::Lit(Rc::clone(s)),
+                Con::Name(s) => FieldKey::Lit(*s),
                 _ => FieldKey::Neutral(n),
             };
-            nf.fields.push((key, Rc::clone(v)));
+            nf.fields.push((key, (*v)));
         }
         Con::RowCat(_, _) => {
             // Wide rows are the common case; walk the concat tree with an
             // explicit worklist so field count costs no call stack (a
             // 5,000-field record is a 5,000-deep concat chain).
-            let mut work = vec![Rc::clone(&c)];
+            let mut work = vec![c];
             while let Some(part) = work.pop() {
                 let part = hnf(env, cx, &part);
                 if let Con::RowCat(a, b) = &*part {
-                    work.push(Rc::clone(b));
-                    work.push(Rc::clone(a));
+                    work.push(*b);
+                    work.push(*a);
                 } else {
                     collect(env, cx, &part, nf);
                 }
@@ -298,7 +298,7 @@ fn collect_map(env: &Env, cx: &mut Cx, f: &RCon, r: &RCon, dom: &Kind, nf: &mut 
         if !cx.laws.distrib {
             // Law disabled: keep `map f <sub>` as one opaque component.
             nf.atoms.push(RowAtom {
-                map: Some((Rc::clone(f), dom.clone())),
+                map: Some(((*f), dom.clone())),
                 base: sub.to_con(),
             });
             return;
@@ -308,20 +308,20 @@ fn collect_map(env: &Env, cx: &mut Cx, f: &RCon, r: &RCon, dom: &Kind, nf: &mut 
 
     // map f ([n = v] ++ r) = [n = f v] ++ map f r   (map-cons)
     for (key, v) in sub.fields {
-        let applied = hnf(env, cx, &Con::app(Rc::clone(f), v));
+        let applied = hnf(env, cx, &Con::app(*f, v));
         nf.fields.push((key, applied));
     }
     for atom in sub.atoms {
         match atom.map {
             None => nf.atoms.push(RowAtom {
-                map: Some((Rc::clone(f), dom.clone())),
+                map: Some(((*f), dom.clone())),
                 base: atom.base,
             }),
             Some((g, g_dom)) => {
                 if !cx.laws.fusion {
                     // Law disabled: the inner map stays opaque.
                     nf.atoms.push(RowAtom {
-                        map: Some((Rc::clone(f), dom.clone())),
+                        map: Some(((*f), dom.clone())),
                         base: Con::map_app(
                             g_dom.clone(),
                             dom.clone(),
@@ -335,9 +335,9 @@ fn collect_map(env: &Env, cx: &mut Cx, f: &RCon, r: &RCon, dom: &Kind, nf: &mut 
                 cx.stats.law_map_fusion += 1;
                 let a = Sym::fresh("a");
                 let composed = Con::lam(
-                    a.clone(),
+                    a,
                     g_dom.clone(),
-                    Con::app(Rc::clone(f), Con::app(g, Con::var(&a))),
+                    Con::app(*f, Con::app(g, Con::var(&a))),
                 );
                 // The composition may itself be an identity (e.g.
                 // `fst (same a)`), in which case the identity law applies
@@ -467,7 +467,7 @@ mod tests {
             Kind::Type,
             names
                 .iter()
-                .map(|(n, c)| (Con::name(*n), Rc::clone(c)))
+                .map(|(n, c)| (Con::name(*n), (*c)))
                 .collect(),
         )
     }
@@ -511,7 +511,7 @@ mod tests {
         let a = lit_row(&[("A", Con::int())]);
         let b = lit_row(&[("B", Con::float())]);
         let c = lit_row(&[("C", Con::bool_())]);
-        let left = Con::row_cat(Con::row_cat(a.clone(), b.clone()), c.clone());
+        let left = Con::row_cat(Con::row_cat(a, b), c);
         let right = Con::row_cat(a, Con::row_cat(b, c));
         let n1 = normalize_row(&env, &mut cx, &left);
         let n2 = normalize_row(&env, &mut cx, &right);
@@ -522,7 +522,7 @@ mod tests {
     fn nil_is_identity_for_concat() {
         let (env, mut cx) = setup();
         let a = lit_row(&[("A", Con::int())]);
-        let wrapped = Con::row_cat(Con::row_nil(Kind::Type), a.clone());
+        let wrapped = Con::row_cat(Con::row_nil(Kind::Type), a);
         let n1 = normalize_row(&env, &mut cx, &wrapped);
         let n2 = normalize_row(&env, &mut cx, &a);
         assert_eq!(canon_con(&n1.to_con()), canon_con(&n2.to_con()));
@@ -532,9 +532,9 @@ mod tests {
     fn map_identity_law_counts() {
         let (env, mut cx) = setup();
         let a = Sym::fresh("a");
-        let idf = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let idf = Con::lam(a, Kind::Type, Con::var(&a));
         let r = lit_row(&[("A", Con::int())]);
-        let m = Con::map_app(Kind::Type, Kind::Type, idf, r.clone());
+        let m = Con::map_app(Kind::Type, Kind::Type, idf, r);
         let nf = normalize_row(&env, &mut cx, &m);
         assert_eq!(cx.stats.law_map_identity, 1);
         assert_eq!(nf.fields.len(), 1);
@@ -550,7 +550,7 @@ mod tests {
         // map (fn a => a -> a) [A = int]  =  [A = int -> int]
         let a = Sym::fresh("a");
         let f = Con::lam(
-            a.clone(),
+            a,
             Kind::Type,
             Con::arrow(Con::var(&a), Con::var(&a)),
         );
@@ -570,10 +570,10 @@ mod tests {
     fn map_distributivity_counts() {
         let (mut env, mut cx) = setup();
         let rv = Sym::fresh("r");
-        env.bind_con(rv.clone(), Kind::row(Kind::Type));
+        env.bind_con(rv, Kind::row(Kind::Type));
         let a = Sym::fresh("a");
         let f = Con::lam(
-            a.clone(),
+            a,
             Kind::Type,
             Con::arrow(Con::var(&a), Con::var(&a)),
         );
@@ -591,11 +591,11 @@ mod tests {
     fn map_fusion_counts() {
         let (mut env, mut cx) = setup();
         let rv = Sym::fresh("r");
-        env.bind_con(rv.clone(), Kind::row(Kind::Type));
+        env.bind_con(rv, Kind::row(Kind::Type));
         let mk = |sym: &str| {
             let a = Sym::fresh(sym);
             Con::lam(
-                a.clone(),
+                a,
                 Kind::Type,
                 Con::arrow(Con::var(&a), Con::var(&a)),
             )
@@ -643,7 +643,7 @@ mod tests {
     fn to_con_roundtrip_preserves_nf() {
         let (mut env, mut cx) = setup();
         let rv = Sym::fresh("r");
-        env.bind_con(rv.clone(), Kind::row(Kind::Type));
+        env.bind_con(rv, Kind::row(Kind::Type));
         let r = Con::row_cat(
             lit_row(&[("B", Con::float()), ("A", Con::int())]),
             Con::var(&rv),
@@ -658,7 +658,7 @@ mod tests {
     fn neutral_field_keys_survive() {
         let (mut env, mut cx) = setup();
         let nm = Sym::fresh("nm");
-        env.bind_con(nm.clone(), Kind::Name);
+        env.bind_con(nm, Kind::Name);
         let r = Con::row_one(Con::var(&nm), Con::int());
         let nf = normalize_row(&env, &mut cx, &r);
         assert_eq!(nf.fields.len(), 1);

@@ -45,13 +45,29 @@ pub struct Stats {
     /// Disjointness-prover verdict memo hits / misses.
     pub disjoint_memo_hits: u64,
     pub disjoint_memo_misses: u64,
-    /// Snapshot of the thread-local intern table (filled by
+    /// Snapshot of the shared intern arena (filled by
     /// [`Stats::capture_intern`]): canonical nodes, intern hits/misses,
-    /// and distinct name literals.
+    /// and distinct name literals. Process-global since the arena refactor
+    /// (they were per-worker tables before).
     pub intern_nodes: u64,
     pub intern_hits: u64,
     pub intern_misses: u64,
     pub intern_names: u64,
+    /// Approximate resident bytes of the shared arena (terms + strings);
+    /// a gauge, captured by [`Stats::capture_intern`].
+    pub arena_bytes: u64,
+    /// Constructor nodes in the most / least loaded arena shard — the
+    /// spread is the sharding balance at capture time.
+    pub arena_shard_max: u64,
+    pub arena_shard_min: u64,
+    /// Times an arena shard lock was contended (try-lock failed and the
+    /// intern had to block).
+    pub arena_contention: u64,
+    /// Global stable-entry memo layer hits / misses (see
+    /// `ur_core::memo::global_hit_stats`); process-wide, captured by
+    /// [`Stats::capture_intern`].
+    pub gmemo_hits: u64,
+    pub gmemo_misses: u64,
     /// Parallel batches elaborated (scheduler invocations that actually
     /// fanned out to workers; see `ur_infer::batch`).
     pub par_batches: u64,
@@ -133,6 +149,12 @@ impl Stats {
             intern_hits,
             intern_misses,
             intern_names,
+            arena_bytes,
+            arena_shard_max,
+            arena_shard_min,
+            arena_contention,
+            gmemo_hits,
+            gmemo_misses,
             par_batches,
             par_decls,
             par_workers,
@@ -153,15 +175,25 @@ impl Stats {
         );
     }
 
-    /// Copies the thread-local intern table's size and hit/miss counters
-    /// into this snapshot (they are table-global, not per-`Cx`, so they
-    /// are captured on demand rather than incremented by the judgments).
+    /// Copies the shared arena's size and hit/miss counters into this
+    /// snapshot (they are process-global, not per-`Cx`, so they are
+    /// captured on demand rather than incremented by the judgments).
+    /// Also captures the arena gauges (bytes, shard balance, lock
+    /// contention) and the global memo layer's hit/miss totals.
     pub fn capture_intern(&mut self) {
         let t = crate::intern::table_stats();
         self.intern_nodes = t.nodes;
         self.intern_hits = t.hits;
         self.intern_misses = t.misses;
         self.intern_names = t.names;
+        let a = crate::arena::stats();
+        self.arena_bytes = a.bytes;
+        self.arena_shard_max = a.con_per_shard.iter().copied().max().unwrap_or(0);
+        self.arena_shard_min = a.con_per_shard.iter().copied().min().unwrap_or(0);
+        self.arena_contention = a.contention;
+        let (gh, gm) = crate::memo::global_hit_stats();
+        self.gmemo_hits = gh;
+        self.gmemo_misses = gm;
     }
 
     /// Copies the thread-local failpoint counters into this snapshot
@@ -214,6 +246,12 @@ impl Stats {
             intern_hits: self.intern_hits.saturating_sub(earlier.intern_hits),
             intern_misses: self.intern_misses.saturating_sub(earlier.intern_misses),
             intern_names: self.intern_names.saturating_sub(earlier.intern_names),
+            arena_bytes: self.arena_bytes.saturating_sub(earlier.arena_bytes),
+            arena_shard_max: self.arena_shard_max.saturating_sub(earlier.arena_shard_max),
+            arena_shard_min: self.arena_shard_min.saturating_sub(earlier.arena_shard_min),
+            arena_contention: self.arena_contention.saturating_sub(earlier.arena_contention),
+            gmemo_hits: self.gmemo_hits.saturating_sub(earlier.gmemo_hits),
+            gmemo_misses: self.gmemo_misses.saturating_sub(earlier.gmemo_misses),
             par_batches: self.par_batches.saturating_sub(earlier.par_batches),
             par_decls: self.par_decls.saturating_sub(earlier.par_decls),
             par_workers: self.par_workers.saturating_sub(earlier.par_workers),
@@ -274,6 +312,20 @@ impl fmt::Display for Stats {
             f,
             " intern[nodes={} names={} hits={} misses={}]",
             self.intern_nodes, self.intern_names, self.intern_hits, self.intern_misses,
+        )?;
+        let hit_rate = {
+            let total = self.intern_hits + self.intern_misses;
+            if total == 0 { 0.0 } else { self.intern_hits as f64 * 100.0 / total as f64 }
+        };
+        write!(
+            f,
+            " arena[bytes={} shard_max={} shard_min={} contention={} hit_rate={hit_rate:.1}%]",
+            self.arena_bytes, self.arena_shard_max, self.arena_shard_min, self.arena_contention,
+        )?;
+        write!(
+            f,
+            " gmemo[hits={} misses={}]",
+            self.gmemo_hits, self.gmemo_misses,
         )?;
         write!(
             f,
@@ -493,10 +545,27 @@ mod tests {
     #[test]
     fn capture_intern_reads_live_table() {
         use crate::con::Con;
-        // Force at least one intern-table node to exist on this thread.
+        // Force at least one arena node to exist.
         let _ = Con::arrow(Con::int(), Con::bool_());
         let mut s = Stats::new();
         s.capture_intern();
         assert!(s.intern_nodes > 0);
+        assert!(s.arena_bytes > 0, "arena gauge must be captured");
+        assert!(s.arena_shard_max >= s.arena_shard_min);
+    }
+
+    #[test]
+    fn display_mentions_arena_and_global_memo_counters() {
+        let s = Stats::new().to_string();
+        for key in [
+            "arena[bytes=",
+            "shard_max=",
+            "shard_min=",
+            "contention=",
+            "hit_rate=",
+            "gmemo[hits=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
     }
 }

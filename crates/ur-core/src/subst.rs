@@ -8,13 +8,12 @@
 use crate::con::{Con, RCon};
 use crate::sym::Sym;
 use std::collections::HashSet;
-use std::rc::Rc;
 
 /// Collects the free constructor variables of `c` into `out`.
 pub fn free_vars(c: &RCon, out: &mut HashSet<Sym>) {
     match &**c {
         Con::Var(s) => {
-            out.insert(s.clone());
+            out.insert(*s);
         }
         Con::Meta(_)
         | Con::Prim(_)
@@ -58,11 +57,11 @@ pub fn subst(c: &RCon, target: &Sym, repl: &RCon) -> RCon {
     // O(1) fast path: the interner precomputes a has-var bit, so a term with
     // no variables at all (bound or free) cannot mention `target`.
     if !crate::intern::flags_of(c).has_var() {
-        return Rc::clone(c);
+        return *c;
     }
     // Fast path: nothing to do if `target` is not free in `c`.
     if !fv(c).contains(target) {
-        return Rc::clone(c);
+        return *c;
     }
     let repl_fv = fv(repl);
     go(c, target, repl, &repl_fv)
@@ -71,14 +70,14 @@ pub fn subst(c: &RCon, target: &Sym, repl: &RCon) -> RCon {
 fn go(c: &RCon, target: &Sym, repl: &RCon, repl_fv: &HashSet<Sym>) -> RCon {
     // Variable-free subtrees are returned as-is without traversal.
     if !crate::intern::flags_of(c).has_var() {
-        return Rc::clone(c);
+        return *c;
     }
     match &**c {
         Con::Var(s) => {
             if s == target {
-                Rc::clone(repl)
+                *repl
             } else {
-                Rc::clone(c)
+                *c
             }
         }
         Con::Meta(_)
@@ -86,7 +85,7 @@ fn go(c: &RCon, target: &Sym, repl: &RCon, repl_fv: &HashSet<Sym>) -> RCon {
         | Con::Name(_)
         | Con::Map(_, _)
         | Con::Folder(_)
-        | Con::RowNil(_) => Rc::clone(c),
+        | Con::RowNil(_) => *c,
         Con::Arrow(a, b) => Con::arrow(go(a, target, repl, repl_fv), go(b, target, repl, repl_fv)),
         Con::App(a, b) => Con::app(go(a, target, repl, repl_fv), go(b, target, repl, repl_fv)),
         Con::RowOne(a, b) => {
@@ -126,7 +125,7 @@ fn under_binder(
 ) -> (Sym, RCon) {
     if s == target {
         // The binder shadows the substitution target; stop here.
-        return (s.clone(), Rc::clone(body));
+        return (*s, (*body));
     }
     if repl_fv.contains(s) {
         // Rename the binder to avoid capturing a free variable of `repl`.
@@ -134,7 +133,7 @@ fn under_binder(
         let renamed = go(body, s, &Con::var(&fresh), &HashSet::new());
         (fresh, go(&renamed, target, repl, repl_fv))
     } else {
-        (s.clone(), go(body, target, repl, repl_fv))
+        (*s, go(body, target, repl, repl_fv))
     }
 }
 
@@ -158,7 +157,7 @@ mod tests {
     fn subst_stops_at_shadowing_binder() {
         let a = Sym::fresh("a");
         // fn a :: Type => a — the bound `a` shadows.
-        let c = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let c = Con::lam(a, Kind::Type, Con::var(&a));
         let out = subst(&c, &a, &Con::int());
         match &*out {
             Con::Lam(s, _, body) => match &**body {
@@ -174,7 +173,7 @@ mod tests {
         let a = Sym::fresh("a");
         let b = Sym::fresh("b");
         // fn b :: Type => a, substituting a := b must rename the binder.
-        let c = Con::lam(b.clone(), Kind::Type, Con::var(&a));
+        let c = Con::lam(b, Kind::Type, Con::var(&a));
         let out = subst(&c, &a, &Con::var(&b));
         match &*out {
             Con::Lam(s, _, body) => {
@@ -205,7 +204,7 @@ mod tests {
     #[test]
     fn fv_excludes_bound() {
         let a = Sym::fresh("a");
-        let c = Con::lam(a.clone(), Kind::Type, Con::var(&a));
+        let c = Con::lam(a, Kind::Type, Con::var(&a));
         assert!(fv(&c).is_empty());
     }
 
@@ -214,6 +213,6 @@ mod tests {
         let a = Sym::fresh("a");
         let c = Con::arrow(Con::int(), Con::string());
         let out = subst(&c, &a, &Con::bool_());
-        assert!(Rc::ptr_eq(&c, &out));
+        assert!(c == out);
     }
 }

@@ -2,19 +2,22 @@
 //!
 //! Every binder in elaborated core syntax carries a [`Sym`]. Two symbols are
 //! equal exactly when their unique ids are equal; the textual name is kept
-//! only for display. Elaboration freshens all binders, so symbol identity
+//! only for display (as an arena-interned [`IStr`], which makes `Sym`
+//! `Copy + Send`). Elaboration freshens all binders, so symbol identity
 //! doubles as a cheap alpha-equivalence discipline, while substitution still
 //! freshens defensively (see [`crate::subst`]).
 
+use crate::arena::IStr;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 static NEXT_SYM: AtomicU32 = AtomicU32::new(1);
 
 /// A named symbol with a globally unique id.
 ///
-/// Equality, ordering, and hashing consider only the id.
+/// Equality, ordering, and hashing consider only the id. The id supply is
+/// process-global, so symbols minted on different worker threads can never
+/// collide and terms carrying them may cross threads freely.
 ///
 /// ```
 /// use ur_core::sym::Sym;
@@ -23,29 +26,18 @@ static NEXT_SYM: AtomicU32 = AtomicU32::new(1);
 /// assert_ne!(a, b);
 /// assert_eq!(a.name(), b.name());
 /// ```
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 pub struct Sym {
-    name: Rc<str>,
+    name: IStr,
     id: u32,
 }
 
 impl Sym {
     /// Creates a new symbol with a fresh unique id.
-    pub fn fresh(name: impl Into<Rc<str>>) -> Sym {
+    pub fn fresh(name: impl Into<IStr>) -> Sym {
         Sym {
             name: name.into(),
             id: NEXT_SYM.fetch_add(1, Ordering::Relaxed),
-        }
-    }
-
-    /// Rebuilds a symbol from a `(name, id)` pair captured on another
-    /// thread (see [`crate::transfer`]). The id supply is process-global,
-    /// so a transferred id can never collide with a locally fresh one, and
-    /// the rebuilt symbol is `==` to the original (equality is id-only).
-    pub fn from_raw(name: impl Into<Rc<str>>, id: u32) -> Sym {
-        Sym {
-            name: name.into(),
-            id,
         }
     }
 
@@ -54,14 +46,19 @@ impl Sym {
     /// Used by capture-avoiding substitution to rename binders.
     pub fn rename(&self) -> Sym {
         Sym {
-            name: Rc::clone(&self.name),
+            name: self.name,
             id: NEXT_SYM.fetch_add(1, Ordering::Relaxed),
         }
     }
 
     /// The textual (source) name.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The interned name handle.
+    pub fn name_istr(&self) -> IStr {
+        self.name
     }
 
     /// The unique id.
@@ -143,9 +140,15 @@ mod tests {
     #[test]
     fn hash_and_eq_agree() {
         let a = Sym::fresh("x");
-        let a2 = a.clone();
+        let a2 = a;
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&a2));
+    }
+
+    #[test]
+    fn syms_are_copy_and_send() {
+        fn assert_copy_send<T: Copy + Send + Sync>() {}
+        assert_copy_send::<Sym>();
     }
 }

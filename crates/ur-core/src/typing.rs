@@ -19,7 +19,6 @@ use crate::kinding::kind_of;
 use crate::row::{normalize_row, FieldKey};
 use crate::subst::subst;
 use crate::Cx;
-use std::rc::Rc;
 
 /// Computes the type of `e` in `env`.
 ///
@@ -31,7 +30,7 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
         Expr::Var(x) => env
             .lookup_val(x)
             .cloned()
-            .ok_or_else(|| CoreError::UnboundVar(x.clone())),
+            .ok_or(CoreError::UnboundVar(*x)),
         Expr::Lit(l) => Ok(match l {
             Lit::Int(_) => Con::int(),
             Lit::Float(_) => Con::float(),
@@ -47,11 +46,11 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
                     let t2 = type_of(env, cx, e2)?;
                     if !defeq(env, cx, &t2, dom) {
                         return Err(CoreError::TypeMismatch {
-                            expected: Rc::clone(dom),
+                            expected: (*dom),
                             got: t2,
                         });
                     }
-                    Ok(Rc::clone(ran))
+                    Ok(*ran)
                 }
                 _ => Err(CoreError::NotFunction(t1)),
             }
@@ -59,9 +58,9 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
         Expr::Lam(x, t, body) => {
             expect_type_kind(env, cx, t)?;
             let mut env2 = env.clone();
-            env2.bind_val(x.clone(), Rc::clone(t));
+            env2.bind_val(*x, *t);
             let tb = type_of(&env2, cx, body)?;
-            Ok(Con::arrow(Rc::clone(t), tb))
+            Ok(Con::arrow(*t, tb))
         }
         Expr::CApp(e, c) => {
             let t = type_of(env, cx, e)?;
@@ -88,9 +87,9 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
         }
         Expr::CLam(a, k, body) => {
             let mut env2 = env.clone();
-            env2.bind_con(a.clone(), k.clone());
+            env2.bind_con(*a, k.clone());
             let tb = type_of(&env2, cx, body)?;
-            Ok(Con::poly(a.clone(), k.clone(), tb))
+            Ok(Con::poly(*a, k.clone(), tb))
         }
         Expr::RecNil => Ok(Con::record(Con::row_nil(Kind::Type))),
         Expr::RecOne(n, e) => {
@@ -103,7 +102,7 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
                 });
             }
             let t = type_of(env, cx, e)?;
-            Ok(Con::record(Con::row_one(Rc::clone(n), t)))
+            Ok(Con::record(Con::row_one(*n, t)))
         }
         Expr::RecCat(e1, e2) => {
             let t1 = type_of(env, cx, e1)?;
@@ -131,19 +130,19 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
         }
         Expr::DLam(c1, c2, body) => {
             let mut env2 = env.clone();
-            env2.assume_disjoint(Rc::clone(c1), Rc::clone(c2));
+            env2.assume_disjoint(*c1, *c2);
             let tb = type_of(&env2, cx, body)?;
-            Ok(Con::guarded(Rc::clone(c1), Rc::clone(c2), tb))
+            Ok(Con::guarded(*c1, *c2, tb))
         }
         Expr::DApp(e) => {
             let t = type_of(env, cx, e)?;
             let t = hnf(env, cx, &t);
             match &*t {
                 Con::Guarded(c1, c2, body) => match prove(env, cx, c1, c2) {
-                    ProveResult::Proved => Ok(Rc::clone(body)),
+                    ProveResult::Proved => Ok(*body),
                     _ => Err(CoreError::DisjointnessFailed {
-                        left: Rc::clone(c1),
-                        right: Rc::clone(c2),
+                        left: (*c1),
+                        right: (*c2),
                     }),
                 },
                 _ => Err(CoreError::NotGuarded(t)),
@@ -153,12 +152,12 @@ pub fn type_of(env: &Env, cx: &mut Cx, e: &RExpr) -> Result<RCon, CoreError> {
             let tb = type_of(env, cx, bound)?;
             if !defeq(env, cx, &tb, t) {
                 return Err(CoreError::TypeMismatch {
-                    expected: Rc::clone(t),
+                    expected: (*t),
                     got: tb,
                 });
             }
             let mut env2 = env.clone();
-            env2.bind_val(x.clone(), Rc::clone(t));
+            env2.bind_val(*x, *t);
             type_of(&env2, cx, body)
         }
         Expr::If(c, th, el) => {
@@ -199,7 +198,7 @@ fn expect_type_kind(env: &Env, cx: &mut Cx, t: &RCon) -> Result<(), CoreError> {
 pub fn expect_record(env: &Env, cx: &mut Cx, t: &RCon) -> Result<RCon, CoreError> {
     let t = hnf(env, cx, t);
     match &*t {
-        Con::Record(r) => Ok(Rc::clone(r)),
+        Con::Record(r) => Ok(*r),
         _ => Err(CoreError::NotRecord(t)),
     }
 }
@@ -213,18 +212,18 @@ pub fn lookup_field(env: &Env, cx: &mut Cx, r: &RCon, c: &RCon) -> Result<RCon, 
         let matches = match (&*c_hnf, key) {
             (Con::Name(n), FieldKey::Lit(m)) => crate::intern::names_eq(n, m),
             (_, FieldKey::Neutral(k)) => {
-                let k = Rc::clone(k);
+                let k = *k;
                 defeq(env, cx, &c_hnf, &k)
             }
             _ => false,
         };
         if matches {
-            return Ok(Rc::clone(v));
+            return Ok(*v);
         }
     }
     Err(CoreError::FieldMissing {
-        record_type: Con::record(Rc::clone(r)),
-        field: Rc::clone(c),
+        record_type: Con::record(*r),
+        field: (*c),
     })
 }
 
@@ -241,7 +240,7 @@ pub fn remove_field(env: &Env, cx: &mut Cx, r: &RCon, c: &RCon) -> Result<RCon, 
             && match (&*c_hnf, key) {
                 (Con::Name(n), FieldKey::Lit(m)) => crate::intern::names_eq(n, m),
                 (_, FieldKey::Neutral(k)) => {
-                    let k = Rc::clone(k);
+                    let k = *k;
                     defeq(env, cx, &c_hnf, &k)
                 }
                 _ => false,
@@ -249,13 +248,13 @@ pub fn remove_field(env: &Env, cx: &mut Cx, r: &RCon, c: &RCon) -> Result<RCon, 
         if matches {
             found = true;
         } else {
-            out.fields.push((key.clone(), Rc::clone(v)));
+            out.fields.push((key.clone(), (*v)));
         }
     }
     if !found {
         return Err(CoreError::FieldMissing {
-            record_type: Con::record(Rc::clone(r)),
-            field: Rc::clone(c),
+            record_type: Con::record(*r),
+            field: (*c),
         });
     }
     Ok(out.to_con())
@@ -287,7 +286,7 @@ mod tests {
     fn lambda_and_application() {
         let (env, mut cx) = setup();
         let x = Sym::fresh("x");
-        let f = Expr::lam(x.clone(), Con::int(), Expr::var(&x));
+        let f = Expr::lam(x, Con::int(), Expr::var(&x));
         let t = type_of(&env, &mut cx, &f).unwrap();
         assert!(defeq(&env, &mut cx, &t, &Con::arrow(Con::int(), Con::int())));
         let app = Expr::app(f, int_lit(1));
@@ -299,7 +298,7 @@ mod tests {
     fn application_type_mismatch() {
         let (env, mut cx) = setup();
         let x = Sym::fresh("x");
-        let f = Expr::lam(x.clone(), Con::int(), Expr::var(&x));
+        let f = Expr::lam(x, Con::int(), Expr::var(&x));
         let app = Expr::app(f, Expr::lit(Lit::Str("no".into())));
         assert!(matches!(
             type_of(&env, &mut cx, &app),
@@ -376,20 +375,20 @@ mod tests {
         let x = Sym::fresh("x");
         let single = Con::row_one(Con::var(&nm), Con::var(&t));
         let body = Expr::clam(
-            nm.clone(),
+            nm,
             Kind::Name,
             Expr::clam(
-                t.clone(),
+                t,
                 Kind::Type,
                 Expr::clam(
-                    r.clone(),
+                    r,
                     Kind::row(Kind::Type),
                     Expr::dlam(
-                        single.clone(),
+                        single,
                         Con::var(&r),
                         Expr::lam(
-                            x.clone(),
-                            Con::record(Con::row_cat(single.clone(), Con::var(&r))),
+                            x,
+                            Con::record(Con::row_cat(single, Con::var(&r))),
                             Expr::proj(Expr::var(&x), Con::var(&nm)),
                         ),
                     ),
@@ -400,16 +399,16 @@ mod tests {
         // Expected: nm :: Name -> t :: Type -> r :: {Type} ->
         //           [[nm = t] ~ r] => $([nm = t] ++ r) -> t
         let expected = Con::poly(
-            nm.clone(),
+            nm,
             Kind::Name,
             Con::poly(
-                t.clone(),
+                t,
                 Kind::Type,
                 Con::poly(
-                    r.clone(),
+                    r,
                     Kind::row(Kind::Type),
                     Con::guarded(
-                        single.clone(),
+                        single,
                         Con::var(&r),
                         Con::arrow(
                             Con::record(Con::row_cat(single, Con::var(&r))),
@@ -432,20 +431,20 @@ mod tests {
         let x = Sym::fresh("x");
         let single = Con::row_one(Con::var(&nm), Con::var(&t));
         let proj = Expr::clam(
-            nm.clone(),
+            nm,
             Kind::Name,
             Expr::clam(
-                t.clone(),
+                t,
                 Kind::Type,
                 Expr::clam(
-                    r.clone(),
+                    r,
                     Kind::row(Kind::Type),
                     Expr::dlam(
-                        single.clone(),
+                        single,
                         Con::var(&r),
                         Expr::lam(
-                            x.clone(),
-                            Con::record(Con::row_cat(single.clone(), Con::var(&r))),
+                            x,
+                            Con::record(Con::row_cat(single, Con::var(&r))),
                             Expr::proj(Expr::var(&x), Con::var(&nm)),
                         ),
                     ),
@@ -488,10 +487,10 @@ mod tests {
     fn let_checks_annotation() {
         let (env, mut cx) = setup();
         let x = Sym::fresh("x");
-        let good = Expr::let_(x.clone(), Con::int(), int_lit(1), Expr::var(&x));
+        let good = Expr::let_(x, Con::int(), int_lit(1), Expr::var(&x));
         assert!(type_of(&env, &mut cx, &good).is_ok());
         let bad = Expr::let_(
-            x.clone(),
+            x,
             Con::string(),
             int_lit(1),
             Expr::var(&x),
@@ -521,10 +520,10 @@ mod tests {
         let nm = Sym::fresh("nm");
         let x = Sym::fresh("x");
         let e = Expr::clam(
-            nm.clone(),
+            nm,
             Kind::Name,
             Expr::lam(
-                x.clone(),
+                x,
                 Con::record(Con::row_one(Con::var(&nm), Con::int())),
                 Expr::proj(Expr::var(&x), Con::var(&nm)),
             ),

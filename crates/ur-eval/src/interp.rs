@@ -56,7 +56,7 @@ impl<'a> Interp<'a> {
     /// Substitutes the runtime constructor bindings of `venv` into `c` and
     /// head-normalizes.
     pub fn resolve_con(&mut self, venv: &VEnv, c: &RCon) -> RCon {
-        let mut out = Rc::clone(c);
+        let mut out = *c;
         loop {
             let vars = fv(&out);
             let mut changed = false;
@@ -78,7 +78,7 @@ impl<'a> Interp<'a> {
     pub fn resolve_name(&mut self, venv: &VEnv, c: &RCon) -> Result<Rc<str>, EvalError> {
         let c = self.resolve_con(venv, c);
         match &*c {
-            Con::Name(n) => Ok(Rc::clone(n)),
+            Con::Name(n) => Ok(Rc::from(n.as_str())),
             other => Err(EvalError::new(format!(
                 "field name did not reduce to a literal: {other}"
             ))),
@@ -110,7 +110,7 @@ impl<'a> Interp<'a> {
             Expr::Lit(l) => Ok(match l {
                 Lit::Int(n) => Value::Int(*n),
                 Lit::Float(x) => Value::Float(*x),
-                Lit::Str(s) => Value::Str(Rc::clone(s)),
+                Lit::Str(s) => Value::Str(Rc::from(s.as_str())),
                 Lit::Bool(b) => Value::Bool(*b),
                 Lit::Unit => Value::Unit,
             }),
@@ -121,8 +121,8 @@ impl<'a> Interp<'a> {
             }
             Expr::Lam(x, _, body) => Ok(Value::Closure(Rc::new(Closure {
                 env: venv.clone(),
-                param: x.clone(),
-                body: Rc::clone(body),
+                param: *x,
+                body: (*body),
             }))),
             Expr::CApp(f, c) => {
                 let fv_ = self.eval(venv, f)?;
@@ -131,8 +131,8 @@ impl<'a> Interp<'a> {
             }
             Expr::CLam(a, _, body) => Ok(Value::CClosure(Rc::new(CClosure {
                 env: venv.clone(),
-                param: a.clone(),
-                body: Rc::clone(body),
+                param: *a,
+                body: (*body),
             }))),
             Expr::RecNil => Ok(Value::Record(BTreeMap::new())),
             Expr::RecOne(n, v) => {
@@ -183,7 +183,7 @@ impl<'a> Interp<'a> {
             }
             Expr::DLam(_, _, body) => Ok(Value::DSusp(Rc::new(DSusp {
                 env: venv.clone(),
-                body: Rc::clone(body),
+                body: (*body),
             }))),
             Expr::DApp(e) => {
                 let v = self.eval(venv, e)?;
@@ -198,7 +198,7 @@ impl<'a> Interp<'a> {
             }
             Expr::Let(x, _, bound, body) => {
                 let bv = self.eval(venv, bound)?;
-                let env2 = venv.with_val(x.clone(), bv);
+                let env2 = venv.with_val(*x, bv);
                 self.eval(&env2, body)
             }
             Expr::If(c, t, el) => {
@@ -215,7 +215,7 @@ impl<'a> Interp<'a> {
     pub fn apply(&mut self, f: Value, arg: Value) -> Result<Value, EvalError> {
         match f {
             Value::Closure(c) => {
-                let env2 = c.env.with_val(c.param.clone(), arg);
+                let env2 = c.env.with_val(c.param, arg);
                 self.eval(&env2, &c.body)
             }
             Value::Builtin(b) => {
@@ -233,7 +233,7 @@ impl<'a> Interp<'a> {
     pub fn capply(&mut self, f: Value, c: RCon) -> Result<Value, EvalError> {
         match f {
             Value::CClosure(cl) => {
-                let env2 = cl.env.with_con(cl.param.clone(), c);
+                let env2 = cl.env.with_con(cl.param, c);
                 self.eval(&env2, &cl.body)
             }
             Value::Builtin(b) => {
@@ -249,7 +249,7 @@ impl<'a> Interp<'a> {
 
     fn maybe_run_builtin(&mut self, app: BuiltinApp) -> Result<Value, EvalError> {
         if app.args.len() >= app.spec.arity && app.cons.len() >= app.spec.con_arity {
-            let spec = Rc::clone(&app.spec);
+            let spec = app.spec;
             (spec.run)(self, &app.cons, &app.args)
         } else {
             Ok(Value::Builtin(Rc::new(app)))
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn lambda_application() {
         let x = Sym::fresh("x");
-        let f = Expr::lam(x.clone(), Con::int(), Expr::var(&x));
+        let f = Expr::lam(x, Con::int(), Expr::var(&x));
         let e = Expr::app(f, Expr::lit(Lit::Int(42)));
         assert!(matches!(run(&e), Value::Int(42)));
     }
@@ -294,7 +294,7 @@ mod tests {
             (Con::name("A"), Expr::lit(Lit::Int(1))),
             (Con::name("B"), Expr::lit(Lit::Int(2))),
         ]);
-        let proj = Expr::proj(rec.clone(), Con::name("B"));
+        let proj = Expr::proj(rec, Con::name("B"));
         assert!(matches!(run(&proj), Value::Int(2)));
         let cut = Expr::cut(rec, Con::name("A"));
         match run(&cut) {
@@ -312,10 +312,10 @@ mod tests {
         let nm = Sym::fresh("nm");
         let x = Sym::fresh("x");
         let f = Expr::clam(
-            nm.clone(),
+            nm,
             Kind::Name,
             Expr::lam(
-                x.clone(),
+                x,
                 Con::record(Con::row_one(Con::var(&nm), Con::int())),
                 Expr::proj(Expr::var(&x), Con::var(&nm)),
             ),
@@ -343,7 +343,7 @@ mod tests {
     fn let_binds() {
         let x = Sym::fresh("x");
         let e = Expr::let_(
-            x.clone(),
+            x,
             Con::int(),
             Expr::lit(Lit::Int(5)),
             Expr::var(&x),
@@ -358,7 +358,7 @@ mod tests {
         let mut builtins = HashMap::new();
         let plus = Sym::fresh("add");
         builtins.insert(
-            plus.clone(),
+            plus,
             Rc::new(Builtin {
                 name: "add".into(),
                 con_arity: 0,

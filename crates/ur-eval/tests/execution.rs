@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use ur_core::arena::IStr;
 use ur_core::con::Con;
 use ur_core::env::Env;
 use ur_core::expr::{Expr, Lit, RExpr};
@@ -24,7 +25,7 @@ fn eval(e: &RExpr) -> Value {
 /// string (type-level name arguments become runtime data).
 #[test]
 fn generated_folder_visits_fields_in_source_order() {
-    let fields: Vec<(Rc<str>, _)> = vec![
+    let fields: Vec<(IStr, _)> = vec![
         ("B".into(), Con::int()),
         ("A".into(), Con::float()),
         ("C".into(), Con::string()),
@@ -41,7 +42,7 @@ fn generated_folder_visits_fields_in_source_order() {
     let mut builtins = HashMap::new();
     let concat = Sym::fresh("concat");
     builtins.insert(
-        concat.clone(),
+        concat,
         Rc::new(Builtin {
             name: "concat".into(),
             con_arity: 0,
@@ -77,19 +78,19 @@ fn generated_folder_visits_fields_in_source_order() {
     // by concatenating "." per field and checking length, while the
     // order claim is delegated to the mkTable integration tests. Here:
     let step = Expr::clam(
-        nm.clone(),
+        nm,
         Kind::Name,
         Expr::clam(
-            t.clone(),
+            t,
             Kind::Type,
             Expr::clam(
-                r.clone(),
+                r,
                 Kind::row(Kind::Type),
                 Expr::dlam(
                     Con::row_one(Con::var(&nm), Con::var(&t)),
                     Con::var(&r),
                     Expr::lam(
-                        acc.clone(),
+                        acc,
                         Con::string(),
                         Expr::let_(
                             Sym::fresh("_tagged"),
@@ -124,13 +125,13 @@ fn type_passing_projection_through_two_instantiations() {
     let b = Sym::fresh("b");
     let x = Sym::fresh("x");
     let f = Expr::clam(
-        a.clone(),
+        a,
         Kind::Name,
         Expr::clam(
-            b.clone(),
+            b,
             Kind::Name,
             Expr::lam(
-                x.clone(),
+                x,
                 Con::record(Con::row_cat(
                     Con::row_one(Con::var(&a), Con::int()),
                     Con::row_one(Con::var(&b), Con::int()),
@@ -155,11 +156,11 @@ fn closures_capture_their_environment() {
     let y = Sym::fresh("y");
     let x = Sym::fresh("x");
     let e = Expr::let_(
-        y.clone(),
+        y,
         Con::int(),
         Expr::lit(Lit::Int(5)),
         Expr::app(
-            Expr::lam(x.clone(), Con::int(), Expr::var(&y)),
+            Expr::lam(x, Con::int(), Expr::var(&y)),
             Expr::lit(Lit::Int(99)),
         ),
     );
@@ -171,11 +172,11 @@ fn shadowing_uses_innermost_binding() {
     let x = Sym::fresh("x");
     let x2 = Sym::fresh("x"); // same name, distinct symbol
     let e = Expr::let_(
-        x.clone(),
+        x,
         Con::int(),
         Expr::lit(Lit::Int(1)),
         Expr::let_(
-            x2.clone(),
+            x2,
             Con::int(),
             Expr::lit(Lit::Int(2)),
             Expr::var(&x2),
@@ -183,7 +184,7 @@ fn shadowing_uses_innermost_binding() {
     );
     assert!(matches!(eval(&e), Value::Int(2)));
     let e2 = Expr::let_(
-        x.clone(),
+        x,
         Con::int(),
         Expr::lit(Lit::Int(1)),
         Expr::let_(x2, Con::int(), Expr::lit(Lit::Int(2)), Expr::var(&x)),
@@ -199,7 +200,7 @@ fn call_by_value_evaluates_arguments_once() {
     let mut builtins = HashMap::new();
     let tick = Sym::fresh("tick");
     builtins.insert(
-        tick.clone(),
+        tick,
         Rc::new(Builtin {
             name: "tick".into(),
             con_arity: 0,
@@ -216,7 +217,7 @@ fn call_by_value_evaluates_arguments_once() {
     let x = Sym::fresh("x");
     let e = Expr::app(
         Expr::lam(
-            x.clone(),
+            x,
             Con::int(),
             Expr::record(vec![
                 (Con::name("A"), Expr::var(&x)),
@@ -238,10 +239,10 @@ fn cut_then_concat_roundtrips_records() {
         (Con::name("B"), Expr::lit(Lit::Str("s".into()))),
     ]);
     let rebuilt = Expr::rec_cat(
-        Expr::cut(rec.clone(), Con::name("A")),
+        Expr::cut(rec, Con::name("A")),
         Expr::record(vec![(
             Con::name("A"),
-            Expr::proj(rec.clone(), Con::name("A")),
+            Expr::proj(rec, Con::name("A")),
         )]),
     );
     let v1 = eval(&rec);

@@ -12,14 +12,13 @@
 //!    elaborate, and the parallel result must be identical.
 //! 2. **Scheduler** ([`run_parallel`]): a Kahn-style topological scheduler
 //!    dispatches ready declarations (lowest source index first) to a
-//!    fixed pool of `std::thread` workers. Each worker owns its own
-//!    thread-local intern table and memo caches; per task it rebuilds a
-//!    snapshot of the base environment plus the transitive dependency
-//!    closure's outcomes, shipped as portable terms ([`ur_core::transfer`])
-//!    and re-interned locally.
+//!    fixed pool of `std::thread` workers. All workers share the global
+//!    intern arena (`ur_core::arena`), so terms are `Copy + Send` ids:
+//!    per task a worker clones the base environment snapshot and installs
+//!    the transitive dependency closure's outcomes directly — no export,
+//!    no re-interning, no portable mirror.
 //! 3. **Deterministic merge**: the coordinator installs results in source
-//!    order — never completion order — re-interning each worker's
-//!    declarations into its own table, folding worker `Stats` and
+//!    order — never completion order — folding worker `Stats` and
 //!    lifetime fuel in with saturating arithmetic, and span-sorting the
 //!    combined diagnostics.
 //!
@@ -45,15 +44,12 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::mpsc;
 use std::sync::Arc;
 use ur_core::con::RCon;
+use ur_core::env::Env;
 use ur_core::failpoint::{self, FpConfig, FpCounters, Site};
 use ur_core::kind::Kind;
 use ur_core::limits::{Fuel, Limits};
 use ur_core::stats::Stats;
 use ur_core::sym::Sym;
-use ur_core::transfer::{
-    export_con, export_env, export_expr, export_kind, export_sym, Importer, PCon, PConBind, PEnv,
-    PExpr, PKind, PSym,
-};
 use ur_core::LawConfig;
 use ur_syntax::ast::{Program, SCon, SDecl, SExpr, SParam};
 use ur_syntax::{Code, Diagnostic, Diagnostics};
@@ -440,82 +436,33 @@ pub fn cycle_diagnostics(prog: &Program, cycle: &[usize]) -> Diagnostics {
     diags
 }
 
-// ---------------- portable task/result payloads ----------------
+// ---------------- task/result payloads ----------------
 
-/// Portable scope entry (mirror of `elab::Entry`).
+/// A `con` binding a declaration recorded into the global environment as
+/// a side effect (`let`-local definitions). Terms are arena handles, so
+/// the binding is `Copy`-cheap and crosses threads as-is.
 #[derive(Clone, Debug)]
-enum PEntry {
-    CVar(PSym),
-    Val(PSym),
-}
-
-/// Portable mirror of [`ElabDecl`]. Public because the incremental
-/// engine (`ur-query`) persists elaboration outcomes in portable form.
-#[derive(Clone, Debug)]
-pub enum PElabDecl {
-    Con {
-        name: String,
-        sym: PSym,
-        kind: PKind,
-        def: Option<PCon>,
-    },
-    Val {
-        name: String,
-        sym: PSym,
-        ty: PCon,
-        body: Option<PExpr>,
-    },
-}
-
-/// Captures an elaborated declaration as a portable value.
-pub fn export_decl(d: &ElabDecl) -> PElabDecl {
-    match d {
-        ElabDecl::Con { name, sym, kind, def } => PElabDecl::Con {
-            name: name.clone(),
-            sym: export_sym(sym),
-            kind: export_kind(kind),
-            def: def.as_deref().map(export_con),
-        },
-        ElabDecl::Val { name, sym, ty, body } => PElabDecl::Val {
-            name: name.clone(),
-            sym: export_sym(sym),
-            ty: export_con(ty),
-            body: body.as_deref().map(export_expr),
-        },
-    }
-}
-
-/// Rebuilds an elaborated declaration on the current thread.
-pub fn import_decl(imp: &mut Importer, p: &PElabDecl) -> ElabDecl {
-    match p {
-        PElabDecl::Con { name, sym, kind, def } => ElabDecl::Con {
-            name: name.clone(),
-            sym: imp.sym(sym),
-            kind: imp.kind(kind),
-            def: def.as_ref().map(|c| imp.con(c)),
-        },
-        PElabDecl::Val { name, sym, ty, body } => ElabDecl::Val {
-            name: name.clone(),
-            sym: imp.sym(sym),
-            ty: imp.con(ty),
-            body: body.as_ref().map(|e| imp.expr(e)),
-        },
-    }
+pub struct ConBind {
+    pub sym: Sym,
+    pub kind: Kind,
+    pub def: Option<RCon>,
 }
 
 /// Everything a declaration's elaboration persistently contributed: the
 /// declaration itself (absent when it failed) plus any `let`-local `con`
 /// definitions it recorded into the global environment as a side effect.
+/// With the shared arena this is plain `Send` data — the PR 3-era
+/// portable mirror (`POutcome` of `PCon`/`PExpr` trees) is gone.
 #[derive(Clone, Debug, Default)]
-pub struct POutcome {
-    pub decl: Option<PElabDecl>,
-    pub extra_cons: Vec<PConBind>,
+pub struct Outcome {
+    pub decl: Option<ElabDecl>,
+    pub extra_cons: Vec<ConBind>,
 }
 
 /// Read-only batch context shared by all workers.
 struct BaseSnapshot {
-    env: PEnv,
-    scope: Vec<(String, PEntry)>,
+    env: Env,
+    scope: Vec<(String, Entry)>,
     laws: LawConfig,
     limits: Limits,
     memo_enabled: bool,
@@ -532,13 +479,13 @@ struct Task {
     /// Transitive dependency closure, ascending source order.
     closure: Vec<usize>,
     /// Closure outcomes this worker has not seen yet.
-    new_outcomes: Vec<(usize, POutcome)>,
+    new_outcomes: Vec<(usize, Outcome)>,
 }
 
 struct TaskResult {
     idx: usize,
     worker: usize,
-    outcome: POutcome,
+    outcome: Outcome,
     diag: Option<Diagnostic>,
     stats: Stats,
     lifetime_steps: u64,
@@ -558,7 +505,7 @@ impl TaskResult {
         TaskResult {
             idx: FLUSH,
             worker,
-            outcome: POutcome::default(),
+            outcome: Outcome::default(),
             diag: None,
             stats: Stats::default(),
             lifetime_steps: 0,
@@ -568,35 +515,14 @@ impl TaskResult {
     }
 }
 
-/// Worker-local imported form of a dependency outcome.
-pub struct LocalOutcome {
-    pub decl: Option<ElabDecl>,
-    pub extra_cons: Vec<(Sym, Kind, Option<RCon>)>,
-}
-
-/// Rebuilds a portable outcome on the current thread.
-pub fn import_outcome(imp: &mut Importer, p: &POutcome) -> LocalOutcome {
-    LocalOutcome {
-        decl: p.decl.as_ref().map(|d| import_decl(imp, d)),
-        extra_cons: p
-            .extra_cons
-            .iter()
-            .map(|b| {
-                let def = b.def.as_ref().map(|c| imp.con(c));
-                (imp.sym(&b.sym), imp.kind(&b.kind), def)
-            })
-            .collect(),
-    }
-}
-
 /// Installs one dependency outcome into an elaborator: extra `con`
 /// bindings first (the declaration's type may mention their symbols),
 /// then the declaration itself.
-pub fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
-    for (sym, kind, def) in &o.extra_cons {
-        match def {
-            Some(c) => el.genv.define_con(sym.clone(), kind.clone(), c.clone()),
-            None => el.genv.bind_con(sym.clone(), kind.clone()),
+pub fn install_outcome(el: &mut Elaborator, o: &Outcome) {
+    for b in &o.extra_cons {
+        match &b.def {
+            Some(c) => el.genv.define_con(b.sym, b.kind.clone(), *c),
+            None => el.genv.bind_con(b.sym, b.kind.clone()),
         }
     }
     if let Some(d) = &o.decl {
@@ -605,12 +531,12 @@ pub fn install_outcome(el: &mut Elaborator, o: &LocalOutcome) {
 }
 
 /// Elaborates one declaration on `el` (with recovery) and captures what
-/// it persistently contributed as a portable outcome: the declaration
-/// plus any `let`-local `con` bindings it recorded into the global
+/// it persistently contributed as an [`Outcome`]: the declaration plus
+/// any `let`-local `con` bindings it recorded into the global
 /// environment. Shared by the worker loop, the sequential incremental
-/// path, and the merge-loop fallback, so all three export identical
+/// path, and the merge-loop fallback, so all three capture identical
 /// outcome shapes.
-pub fn elab_decl_capture(el: &mut Elaborator, d: &SDecl) -> (Option<Diagnostic>, POutcome) {
+pub fn elab_decl_capture(el: &mut Elaborator, d: &SDecl) -> (Option<Diagnostic>, Outcome) {
     let before: HashSet<u32> = el.genv.cons().map(|(s, _)| s.id()).collect();
     let start = el.decls.len();
     let diag = el.elab_decl_recover(d);
@@ -620,39 +546,29 @@ pub fn elab_decl_capture(el: &mut Elaborator, d: &SDecl) -> (Option<Diagnostic>,
         Some(ElabDecl::Con { sym, .. }) => Some(sym.id()),
         _ => None,
     };
-    let mut extra: Vec<(Sym, Kind, Option<RCon>)> = el
+    let mut extra_cons: Vec<ConBind> = el
         .genv
         .cons()
         .filter(|(s, _)| !before.contains(&s.id()) && Some(s.id()) != own_con)
-        .map(|(s, b)| (s.clone(), b.kind.clone(), b.def.clone()))
-        .collect();
-    extra.sort_by_key(|(s, _, _)| s.id());
-    let extra_cons: Vec<PConBind> = extra
-        .iter()
-        .map(|(s, k, def)| PConBind {
-            sym: export_sym(s),
-            kind: export_kind(k),
-            def: def.as_deref().map(export_con),
+        .map(|(s, b)| ConBind {
+            sym: *s,
+            kind: b.kind.clone(),
+            def: b.def,
         })
         .collect();
-    (
-        diag,
-        POutcome {
-            decl: decl.as_ref().map(export_decl),
-            extra_cons,
-        },
-    )
+    extra_cons.sort_by_key(|b| b.sym.id());
+    (diag, Outcome { decl, extra_cons })
 }
 
 /// A pre-verified elaboration outcome injected into the scheduler by the
 /// incremental engine (`ur-query`): the declaration's cached outcome and
-/// the diagnostic it produced, both already re-linked to this process's
-/// symbols. A seeded declaration is installed verbatim at its source
+/// the diagnostic it produced, both already decoded into this process's
+/// arena. A seeded declaration is installed verbatim at its source
 /// position — it is never dispatched, charges no fuel, and contributes
 /// no per-declaration stats.
 #[derive(Clone, Debug)]
 pub struct Seed {
-    pub outcome: POutcome,
+    pub outcome: Outcome,
     pub diag: Option<Diagnostic>,
 }
 
@@ -661,7 +577,7 @@ pub struct Seed {
 /// green reuse (seeded) or a red recomputation.
 #[derive(Clone, Debug)]
 pub struct DeclRecord {
-    pub outcome: POutcome,
+    pub outcome: Outcome,
     pub diag: Option<Diagnostic>,
     pub reused: bool,
 }
@@ -680,27 +596,13 @@ fn worker_main(
     el.cx.fuel = Fuel::new(base.limits);
     el.cx.memo.enabled = base.memo_enabled;
 
-    let mut imp = Importer::new();
-    let base_env = imp.env(&base.env);
-    let base_scope: Vec<(String, Entry)> = base
-        .scope
-        .iter()
-        .map(|(n, e)| {
-            let entry = match e {
-                PEntry::CVar(s) => Entry::CVar(imp.sym(s)),
-                PEntry::Val(s) => Entry::Val(imp.sym(s)),
-            };
-            (n.clone(), entry)
-        })
-        .collect();
-
-    let mut cache: HashMap<usize, LocalOutcome> = HashMap::new();
+    let mut cache: HashMap<usize, Outcome> = HashMap::new();
     let mut prev_stats = el.cx.stats.clone();
     let mut prev_lifetime = el.cx.fuel.lifetime_norm_steps();
 
     while let Ok(task) = rx.recv() {
-        for (j, po) in &task.new_outcomes {
-            cache.insert(*j, import_outcome(&mut imp, po));
+        for (j, o) in &task.new_outcomes {
+            cache.insert(*j, o.clone());
         }
 
         // failpoint `worker_exec`: die mid-task. The death is announced
@@ -712,7 +614,7 @@ fn worker_main(
             let _ = tx.send(TaskResult {
                 idx: task.idx,
                 worker: wid,
-                outcome: POutcome::default(),
+                outcome: Outcome::default(),
                 diag: None,
                 stats: Stats::default(),
                 lifetime_steps: 0,
@@ -726,9 +628,9 @@ fn worker_main(
         // dependency closure, installed in source index order. Never
         // accumulated across tasks — a stale extra binding would corrupt
         // shadowing resolution.
-        el.genv = base_env.clone();
+        el.genv = base.env.clone();
         el.scope.clear();
-        el.scope.push(base_scope.clone());
+        el.scope.push(base.scope.clone());
         el.decls.clear();
         for j in &task.closure {
             if let Some(o) = cache.get(j) {
@@ -829,14 +731,12 @@ fn run_incremental_sequential(
     mut seeds: Vec<Option<Seed>>,
 ) -> (Vec<ElabDecl>, Diagnostics, Vec<DeclRecord>) {
     let start = elab.decls.len();
-    let mut imp = Importer::new();
     let mut diags = Diagnostics::new();
     let mut records: Vec<DeclRecord> = Vec::with_capacity(prog.decls.len());
     for (i, d) in prog.decls.iter().enumerate() {
         match seeds.get_mut(i).and_then(Option::take) {
             Some(seed) => {
-                let local = import_outcome(&mut imp, &seed.outcome);
-                install_outcome(elab, &local);
+                install_outcome(elab, &seed.outcome);
                 if let Some(diag) = seed.diag.clone() {
                     diags.push(diag);
                 }
@@ -899,23 +799,8 @@ pub fn elab_program_all_incremental(
     let closures = graph.closures(&topo);
 
     let base = Arc::new(BaseSnapshot {
-        env: export_env(&elab.genv),
-        scope: elab
-            .scope
-            .first()
-            .map(|frame| {
-                frame
-                    .iter()
-                    .map(|(n, e)| {
-                        let entry = match e {
-                            Entry::CVar(s) => PEntry::CVar(export_sym(s)),
-                            Entry::Val(s) => PEntry::Val(export_sym(s)),
-                        };
-                        (n.clone(), entry)
-                    })
-                    .collect()
-            })
-            .unwrap_or_default(),
+        env: elab.genv.clone(),
+        scope: elab.scope.first().cloned().unwrap_or_default(),
         laws: elab.cx.laws,
         limits: elab.cx.fuel.limits,
         memo_enabled: elab.cx.memo.enabled,
@@ -981,7 +866,7 @@ pub fn elab_program_all_incremental(
         .filter(|&w| task_txs[w].is_some())
         .collect();
     let mut sent: Vec<HashSet<usize>> = vec![HashSet::new(); task_txs.len()];
-    let mut shipped: Vec<Option<POutcome>> = (0..n).map(|_| None).collect();
+    let mut shipped: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
     let mut results: Vec<Option<TaskResult>> = (0..n).map(|_| None).collect();
     let mut attempts: Vec<u32> = vec![0; n];
     let mut done: Vec<bool> = vec![false; n];
@@ -1026,7 +911,7 @@ pub fn elab_program_all_incremental(
         while let (Some(&i), true) = (ready.iter().next(), !idle.is_empty()) {
             let Some(wid) = idle.pop() else { break };
             ready.remove(&i);
-            let new_outcomes: Vec<(usize, POutcome)> = closures[i]
+            let new_outcomes: Vec<(usize, Outcome)> = closures[i]
                 .iter()
                 .filter(|j| !sent[wid].contains(j))
                 .filter_map(|j| shipped[*j].clone().map(|o| (*j, o)))
@@ -1161,7 +1046,6 @@ pub fn elab_program_all_incremental(
     // sequentially right here, at their source position, which reproduces
     // sequential semantics exactly.
     let start = elab.decls.len();
-    let mut imp = Importer::new();
     let mut diags = Diagnostics::new();
     let mut records: Vec<DeclRecord> = Vec::with_capacity(n);
     let mut par_decls = 0u64;
@@ -1169,8 +1053,7 @@ pub fn elab_program_all_incremental(
         if let Some(seed) = seeds.get_mut(i).and_then(Option::take) {
             // Green reuse: install the verified outcome verbatim. No
             // fuel reset, no stats — the declaration was not elaborated.
-            let local = import_outcome(&mut imp, &seed.outcome);
-            install_outcome(elab, &local);
+            install_outcome(elab, &seed.outcome);
             if let Some(diag) = seed.diag.clone() {
                 diags.push(diag);
             }
@@ -1183,8 +1066,7 @@ pub fn elab_program_all_incremental(
         }
         match results[i].take() {
             Some(res) => {
-                let local = import_outcome(&mut imp, &res.outcome);
-                install_outcome(elab, &local);
+                install_outcome(elab, &res.outcome);
                 if let Some(diag) = res.diag.clone() {
                     diags.push(diag);
                 }

@@ -16,7 +16,6 @@ use crate::error::{ElabError, EResult};
 use crate::unify::{unify, unify_kind, Unify};
 pub use ur_core::folder::{gen_folder, unfold_folder};
 use std::collections::HashSet;
-use std::rc::Rc;
 use ur_core::con::{Con, MetaId, RCon};
 use ur_core::disjoint::{prove, ProveResult};
 use ur_core::env::Env;
@@ -345,17 +344,17 @@ impl Elaborator {
         match &d {
             ElabDecl::Con { name, sym, kind, def } => {
                 match def {
-                    Some(c) => self.genv.define_con(sym.clone(), kind.clone(), c.clone()),
-                    None => self.genv.bind_con(sym.clone(), kind.clone()),
+                    Some(c) => self.genv.define_con(*sym, kind.clone(), *c),
+                    None => self.genv.bind_con(*sym, kind.clone()),
                 }
                 let name = name.clone();
-                let sym = sym.clone();
+                let sym = *sym;
                 self.bind_scope(&name, Entry::CVar(sym));
             }
             ElabDecl::Val { name, sym, ty, .. } => {
-                self.genv.bind_val(sym.clone(), ty.clone());
+                self.genv.bind_val(*sym, *ty);
                 let name = name.clone();
-                let sym = sym.clone();
+                let sym = *sym;
                 self.bind_scope(&name, Entry::Val(sym));
             }
         }
@@ -594,7 +593,7 @@ impl Elaborator {
         match c {
             SCon::Var(span, x) => {
                 if let Some(Entry::CVar(sym)) = self.lookup(x) {
-                    let sym = sym.clone();
+                    let sym = *sym;
                     let kind = env
                         .lookup_con(&sym)
                         .map(|b| b.kind.clone())
@@ -703,8 +702,8 @@ impl Elaborator {
                 self.require_disjoint(
                     env,
                     *span,
-                    ca.clone(),
-                    cb.clone(),
+                    ca,
+                    cb,
                     "row concatenation",
                 )?;
                 Ok((Con::row_cat(ca, cb), rk))
@@ -736,9 +735,9 @@ impl Elaborator {
                 };
                 let sym = Sym::fresh(x.as_str());
                 self.push_frame();
-                self.bind_scope(x, Entry::CVar(sym.clone()));
+                self.bind_scope(x, Entry::CVar(sym));
                 let mut env2 = env.clone();
-                env2.bind_con(sym.clone(), kind.clone());
+                env2.bind_con(sym, kind.clone());
                 let result = self.elab_con_inner(&env2, body);
                 self.pop_frame();
                 let (cb, kb) = result?;
@@ -756,9 +755,9 @@ impl Elaborator {
                 let kind = self.elab_kind(k);
                 let sym = Sym::fresh(x.as_str());
                 self.push_frame();
-                self.bind_scope(x, Entry::CVar(sym.clone()));
+                self.bind_scope(x, Entry::CVar(sym));
                 let mut env2 = env.clone();
-                env2.bind_con(sym.clone(), kind.clone());
+                env2.bind_con(sym, kind.clone());
                 let result = self.elab_con(&env2, body, Some(&Kind::Type));
                 self.pop_frame();
                 let (cb, _) = result?;
@@ -770,7 +769,7 @@ impl Elaborator {
                 let (cc1, _) = self.elab_con(env, c1, Some(&k1))?;
                 let (cc2, _) = self.elab_con(env, c2, Some(&k2))?;
                 let mut env2 = env.clone();
-                env2.assume_disjoint(cc1.clone(), cc2.clone());
+                env2.assume_disjoint(cc1, cc2);
                 let (cb, _) = self.elab_con(&env2, body, Some(&Kind::Type))?;
                 Ok((Con::guarded(cc1, cc2, cb), Kind::Type))
             }
@@ -814,7 +813,7 @@ impl Elaborator {
             SCon::Name(_, n) => Ok(Con::name(n.as_str())),
             SCon::Var(_, x) => {
                 if let Some(Entry::CVar(sym)) = self.lookup(x) {
-                    let sym = sym.clone();
+                    let sym = *sym;
                     if let Some(b) = env.lookup_con(&sym) {
                         let kind = b.kind.clone();
                         if unify_kind(&mut self.cx, &kind, &Kind::Name).is_ok() {
@@ -868,7 +867,7 @@ impl Elaborator {
                 if let Some(expected) = mode {
                     let exp_h = hnf(env, &mut self.cx, expected);
                     if let Con::Record(row) = &*exp_h {
-                        let row = Rc::clone(row);
+                        let row = *row;
                         let mut nf = normalize_row(env, &mut self.cx, &row);
                         // Reverse-engineering (§4.2) driven by the literal:
                         // an expected row `map f ?m` gets `?m` pre-solved to
@@ -939,7 +938,7 @@ impl Elaborator {
                     let (ev, tv) = self.instantiate_implicits(env, *span, ev, tv)?;
                     let lit_so_far = name_is_lit && all_names_lit;
                     if !lit_so_far && !row_fields.is_empty() {
-                        let single = Con::row_one(name.clone(), tv.clone());
+                        let single = Con::row_one(name, tv);
                         let acc = Con::row_of(Kind::Type, row_fields.clone());
                         self.require_disjoint(
                             env,
@@ -950,7 +949,7 @@ impl Elaborator {
                         )?;
                     }
                     all_names_lit &= name_is_lit;
-                    core_fields.push((name.clone(), ev));
+                    core_fields.push((name, ev));
                     row_fields.push((name, tv));
                 }
                 let ee = Expr::record(core_fields);
@@ -981,8 +980,8 @@ impl Elaborator {
                 self.require_disjoint(
                     env,
                     *span,
-                    ra.clone(),
-                    rb.clone(),
+                    ra,
+                    rb,
                     "record concatenation",
                 )?;
                 let out = Expr::rec_cat(ea, eb);
@@ -1027,7 +1026,7 @@ impl Elaborator {
                 // type, so polymorphic branch expressions (e.g. `none`)
                 // are instantiated.
                 let target = match mode {
-                    Some(m) => Rc::clone(m),
+                    Some(m) => *m,
                     None => self
                         .cx
                         .metas
@@ -1062,19 +1061,19 @@ impl Elaborator {
                         k.clone(),
                         format!("implicit argument {a} at {span}"),
                     );
-                    ee = Expr::capp(ee, m.clone());
+                    ee = Expr::capp(ee, m);
                     ty = subst(body, a, &m);
                 }
                 Con::Guarded(c1, c2, body) => {
                     self.require_disjoint(
                         env,
                         span,
-                        Rc::clone(c1),
-                        Rc::clone(c2),
+                        *c1,
+                        *c2,
                         "disjointness obligation",
                     )?;
                     ee = Expr::dapp(ee);
-                    ty = Rc::clone(body);
+                    ty = *body;
                 }
                 _ => return Ok((ee, ty)),
             }
@@ -1094,8 +1093,8 @@ impl Elaborator {
             self.require_eq(
                 env,
                 span,
-                ty.clone(),
-                Rc::clone(expected),
+                ty,
+                *expected,
                 "type mismatch",
             )?;
         }
@@ -1135,11 +1134,11 @@ impl Elaborator {
                     format!("record type {expected} has no field #{n}"),
                 ));
             };
-            let want = Rc::clone(want);
+            let want = *want;
             let (ev, _) = self.elab_expr(env, ve, Some(&want))?;
             core_fields.push((name_h, ev));
         }
-        Ok((Expr::record(core_fields), Rc::clone(expected)))
+        Ok((Expr::record(core_fields), (*expected)))
     }
 
     /// Requires `t` to be a record type, returning its row (introducing a
@@ -1147,7 +1146,7 @@ impl Elaborator {
     fn expect_record_row(&mut self, env: &Env, span: Span, t: &RCon) -> EResult<RCon> {
         let t_h = hnf(env, &mut self.cx, t);
         match &*t_h {
-            Con::Record(r) => Ok(Rc::clone(r)),
+            Con::Record(r) => Ok(*r),
             _ => {
                 let row = self
                     .cx
@@ -1157,7 +1156,7 @@ impl Elaborator {
                     env,
                     span,
                     t_h,
-                    Con::record(Rc::clone(&row)),
+                    Con::record(row),
                     "record expected",
                 )?;
                 Ok(row)
@@ -1174,7 +1173,7 @@ impl Elaborator {
             let hit = match (&*name_h, key) {
                 (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                 (_, FieldKey::Neutral(k)) => {
-                    let k = Rc::clone(k);
+                    let k = *k;
                     ur_core::defeq::defeq(env, &mut self.cx, &name_h, &k)
                 }
                 _ => false,
@@ -1183,12 +1182,12 @@ impl Elaborator {
                 // The declarative rule reads e : $([c = t] ++ c');
                 // well-formedness of that concatenation is a disjointness
                 // obligation (this is the prover's main workload in Fig. 5).
-                let v = Rc::clone(v);
+                let v = *v;
                 let rest = self.cut_row_direct(env, &nf, &name_h);
                 self.require_disjoint(
                     env,
                     span,
-                    Con::row_one(Rc::clone(&name_h), v.clone()),
+                    Con::row_one(name_h, v),
                     rest,
                     "field projection",
                 )?;
@@ -1212,18 +1211,18 @@ impl Elaborator {
             .cx
             .metas
             .fresh_con(Kind::row(Kind::Type), format!("row rest at {span}"));
-        let single = Con::row_one(Rc::clone(&name_h), Rc::clone(&a));
+        let single = Con::row_one(name_h, a);
         self.require_disjoint(
             env,
             span,
-            single.clone(),
-            Rc::clone(&rest),
+            single,
+            rest,
             "field projection",
         )?;
         self.require_eq(
             env,
             span,
-            Rc::clone(row),
+            *row,
             Con::row_cat(single, rest),
             "field projection",
         )?;
@@ -1246,7 +1245,7 @@ impl Elaborator {
                 && match (&**name, key) {
                     (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                     (_, FieldKey::Neutral(k)) => {
-                        let k = Rc::clone(k);
+                        let k = *k;
                         ur_core::defeq::defeq(env, &mut self.cx, name, &k)
                     }
                     _ => false,
@@ -1254,7 +1253,7 @@ impl Elaborator {
             if hit {
                 removed = true;
             } else {
-                out.fields.push((key.clone(), Rc::clone(v)));
+                out.fields.push((key.clone(), (*v)));
             }
         }
         out.to_con()
@@ -1273,7 +1272,7 @@ impl Elaborator {
                     && match (&*name_h, key) {
                         (Con::Name(n), FieldKey::Lit(m)) => ur_core::intern::names_eq(n, m),
                         (_, FieldKey::Neutral(k)) => {
-                            let k = Rc::clone(k);
+                            let k = *k;
                             ur_core::defeq::defeq(env, &mut self.cx, &name_h, &k)
                         }
                         _ => false,
@@ -1281,7 +1280,7 @@ impl Elaborator {
                 if hit {
                     found = true;
                 } else {
-                    out.push((key.to_con(), Rc::clone(v)));
+                    out.push((key.to_con(), (*v)));
                 }
             }
             if !found {
@@ -1297,8 +1296,8 @@ impl Elaborator {
             self.require_disjoint(
                 env,
                 span,
-                Con::row_one(Rc::clone(&name_h), Con::unit()),
-                rest.clone(),
+                Con::row_one(name_h, Con::unit()),
+                rest,
                 "field removal",
             )?;
             return Ok(rest);
@@ -1311,19 +1310,19 @@ impl Elaborator {
             .cx
             .metas
             .fresh_con(Kind::row(Kind::Type), format!("row rest at {span}"));
-        let single = Con::row_one(Rc::clone(&name_h), Rc::clone(&a));
+        let single = Con::row_one(name_h, a);
         self.require_disjoint(
             env,
             span,
-            single.clone(),
-            Rc::clone(&rest),
+            single,
+            rest,
             "field removal",
         )?;
         self.require_eq(
             env,
             span,
-            Rc::clone(row),
-            Con::row_cat(single, Rc::clone(&rest)),
+            *row,
+            Con::row_cat(single, rest),
             "field removal",
         )?;
         Ok(rest)
@@ -1355,7 +1354,7 @@ impl Elaborator {
                 Con::Poly(a, k, body) => {
                     if let Some(SpArg::C(c, cspan)) = args.get(idx) {
                         let (cc, _) = self.elab_con(env, c, Some(k))?;
-                        ee = Expr::capp(ee, cc.clone());
+                        ee = Expr::capp(ee, cc);
                         ty = subst(body, a, &cc);
                         let _ = cspan;
                         idx += 1;
@@ -1372,7 +1371,7 @@ impl Elaborator {
                             k.clone(),
                             format!("implicit argument {a} at {span}"),
                         );
-                        ee = Expr::capp(ee, m.clone());
+                        ee = Expr::capp(ee, m);
                         ty = subst(body, a, &m);
                         continue;
                     }
@@ -1393,12 +1392,12 @@ impl Elaborator {
                     self.require_disjoint(
                         env,
                         span,
-                        Rc::clone(c1),
-                        Rc::clone(c2),
+                        *c1,
+                        *c2,
                         "disjointness obligation",
                     )?;
                     ee = Expr::dapp(ee);
-                    ty = Rc::clone(body);
+                    ty = *body;
                     if explicit {
                         idx += 1;
                     }
@@ -1415,19 +1414,19 @@ impl Elaborator {
                                 if !explicit_folders && !self.arg_is_folder_var(env, ae) {
                                     let hole = Sym::fresh("fl");
                                     self.holes.push(Hole {
-                                        sym: hole.clone(),
+                                        sym: hole,
                                         row,
                                         elem_kind: fk,
                                         env: env.clone(),
                                         span,
                                     });
                                     ee = Expr::app(ee, Expr::var(&hole));
-                                    ty = Rc::clone(ran);
+                                    ty = *ran;
                                     continue;
                                 }
                             }
-                            let dom = Rc::clone(dom);
-                            let ran = Rc::clone(ran);
+                            let dom = *dom;
+                            let ran = *ran;
                             let (ea, _) = self.elab_expr(env, ae, Some(&dom))?;
                             ee = Expr::app(ee, ea);
                             ty = ran;
@@ -1480,7 +1479,7 @@ impl Elaborator {
                         self.require_eq(
                             env,
                             span,
-                            Rc::clone(&ty_h),
+                            ty_h,
                             Con::arrow(d, r),
                             "application of unknown function",
                         )?;
@@ -1507,7 +1506,7 @@ impl Elaborator {
         match head {
             SExpr::Var(span, x) => match self.lookup(x) {
                 Some(Entry::Val(sym)) => {
-                    let sym = sym.clone();
+                    let sym = *sym;
                     let ty = env.lookup_val(&sym).cloned().ok_or_else(|| {
                         ElabError::new(*span, format!("variable {x} escaped its scope"))
                     })?;
@@ -1530,7 +1529,7 @@ impl Elaborator {
         let (head, args) = t.spine();
         let head = hnf(env, &mut self.cx, &head);
         match (&*head, args.len()) {
-            (Con::Folder(k), 1) => Some((k.clone(), Rc::clone(&args[0]))),
+            (Con::Folder(k), 1) => Some((k.clone(), args[0])),
             _ => None,
         }
     }
@@ -1540,7 +1539,7 @@ impl Elaborator {
     fn arg_is_folder_var(&mut self, env: &Env, e: &SExpr) -> bool {
         if let SExpr::Var(_, x) = e {
             if let Some(Entry::Val(sym)) = self.lookup(x) {
-                let sym = sym.clone();
+                let sym = *sym;
                 if let Some(t) = env.lookup_val(&sym).cloned() {
                     return self.folder_row(env, &t).is_some();
                 }
@@ -1575,7 +1574,7 @@ impl Elaborator {
     ) -> EResult<(RExpr, RCon)> {
         let Some(param) = params.first() else {
             let (ee, _) = self.elab_expr(env, body, Some(expected))?;
-            return Ok((ee, Rc::clone(expected)));
+            return Ok((ee, (*expected)));
         };
         let mut exp_h = hnf(env, &mut self.cx, expected);
         // Folder values can be written literally (`fn [tf] step init => ...`);
@@ -1592,14 +1591,14 @@ impl Elaborator {
                         .map_err(|e| ElabError::new(span, e))?;
                 }
                 let sym = Sym::fresh(x.as_str());
-                self.bind_scope(x, Entry::CVar(sym.clone()));
+                self.bind_scope(x, Entry::CVar(sym));
                 let mut env2 = env.clone();
-                env2.bind_con(sym.clone(), k.clone());
+                env2.bind_con(sym, k.clone());
                 let inner = subst(t, a, &Con::var(&sym));
                 let (eb, _) = self.check_fn_inner(&env2, span, &params[1..], body, &inner)?;
                 Ok((
                     Expr::clam(sym, k.clone(), eb),
-                    Rc::clone(&exp_h),
+                    exp_h,
                 ))
             }
             (SParam::DParam(c1, c2), Con::Guarded(g1, g2, t)) => {
@@ -1614,12 +1613,12 @@ impl Elaborator {
                 let _ = unify(env, &mut self.cx, &cc1, g1);
                 let _ = unify(env, &mut self.cx, &cc2, g2);
                 let mut env2 = env.clone();
-                env2.assume_disjoint(Rc::clone(g1), Rc::clone(g2));
+                env2.assume_disjoint(*g1, *g2);
                 env2.assume_disjoint(cc1, cc2);
                 let (eb, _) = self.check_fn_inner(&env2, span, &params[1..], body, t)?;
                 Ok((
-                    Expr::dlam(Rc::clone(g1), Rc::clone(g2), eb),
-                    Rc::clone(&exp_h),
+                    Expr::dlam(*g1, *g2, eb),
+                    exp_h,
                 ))
             }
             (SParam::VParam(x, tann), Con::Arrow(dom, ran)) => {
@@ -1629,18 +1628,18 @@ impl Elaborator {
                         env,
                         span,
                         ta,
-                        Rc::clone(dom),
+                        *dom,
                         "parameter annotation",
                     )?;
                 }
                 let sym = Sym::fresh(x.as_str());
-                self.bind_scope(x, Entry::Val(sym.clone()));
+                self.bind_scope(x, Entry::Val(sym));
                 let mut env2 = env.clone();
-                env2.bind_val(sym.clone(), Rc::clone(dom));
+                env2.bind_val(sym, *dom);
                 let (eb, _) = self.check_fn_inner(&env2, span, &params[1..], body, ran)?;
                 Ok((
-                    Expr::lam(sym, Rc::clone(dom), eb),
-                    Rc::clone(&exp_h),
+                    Expr::lam(sym, *dom, eb),
+                    exp_h,
                 ))
             }
             (SParam::VParam(x, tann), Con::Meta(_)) => {
@@ -1659,16 +1658,16 @@ impl Elaborator {
                 self.require_eq(
                     env,
                     span,
-                    Rc::clone(&exp_h),
-                    Con::arrow(Rc::clone(&dom), Rc::clone(&ran)),
+                    exp_h,
+                    Con::arrow(dom, ran),
                     "function against unknown type",
                 )?;
                 let sym = Sym::fresh(x.as_str());
-                self.bind_scope(x, Entry::Val(sym.clone()));
+                self.bind_scope(x, Entry::Val(sym));
                 let mut env2 = env.clone();
-                env2.bind_val(sym.clone(), Rc::clone(&dom));
+                env2.bind_val(sym, dom);
                 let (eb, _) = self.check_fn_inner(&env2, span, &params[1..], body, &ran)?;
-                Ok((Expr::lam(sym, dom, eb), Rc::clone(&exp_h)))
+                Ok((Expr::lam(sym, dom, eb), exp_h))
             }
             (p, _) => Err(ElabError::new(
                 span,
@@ -1714,12 +1713,12 @@ impl Elaborator {
                     None => self.cx.metas.fresh_kind(),
                 };
                 let sym = Sym::fresh(x.as_str());
-                self.bind_scope(x, Entry::CVar(sym.clone()));
+                self.bind_scope(x, Entry::CVar(sym));
                 let mut env2 = env.clone();
-                env2.bind_con(sym.clone(), kind.clone());
+                env2.bind_con(sym, kind.clone());
                 let (eb, tb) = self.infer_fn_inner(&env2, span, &params[1..], body)?;
                 Ok((
-                    Expr::clam(sym.clone(), kind.clone(), eb),
+                    Expr::clam(sym, kind.clone(), eb),
                     Con::poly(sym, kind, tb),
                 ))
             }
@@ -1729,10 +1728,10 @@ impl Elaborator {
                 let (cc1, _) = self.elab_con(env, c1, Some(&k1))?;
                 let (cc2, _) = self.elab_con(env, c2, Some(&k2))?;
                 let mut env2 = env.clone();
-                env2.assume_disjoint(cc1.clone(), cc2.clone());
+                env2.assume_disjoint(cc1, cc2);
                 let (eb, tb) = self.infer_fn_inner(&env2, span, &params[1..], body)?;
                 Ok((
-                    Expr::dlam(cc1.clone(), cc2.clone(), eb),
+                    Expr::dlam(cc1, cc2, eb),
                     Con::guarded(cc1, cc2, tb),
                 ))
             }
@@ -1750,12 +1749,12 @@ impl Elaborator {
                     }
                 };
                 let sym = Sym::fresh(x.as_str());
-                self.bind_scope(x, Entry::Val(sym.clone()));
+                self.bind_scope(x, Entry::Val(sym));
                 let mut env2 = env.clone();
-                env2.bind_val(sym.clone(), Rc::clone(&dom));
+                env2.bind_val(sym, dom);
                 let (eb, tb) = self.infer_fn_inner(&env2, span, &params[1..], body)?;
                 Ok((
-                    Expr::lam(sym, Rc::clone(&dom), eb),
+                    Expr::lam(sym, dom, eb),
                     Con::arrow(dom, tb),
                 ))
             }
@@ -1770,8 +1769,8 @@ impl Elaborator {
                 let kind = self.elab_kind(k);
                 let kind = finalize_kind(&self.cx, &kind);
                 let sym = Sym::fresh(name.as_str());
-                self.genv.bind_con(sym.clone(), kind.clone());
-                self.bind_scope(name, Entry::CVar(sym.clone()));
+                self.genv.bind_con(sym, kind.clone());
+                self.bind_scope(name, Entry::CVar(sym));
                 self.decls.push(ElabDecl::Con {
                     name: name.clone(),
                     sym,
@@ -1797,8 +1796,8 @@ impl Elaborator {
                     ));
                 }
                 let sym = Sym::fresh(name.as_str());
-                self.genv.define_con(sym.clone(), kind.clone(), cc.clone());
-                self.bind_scope(name, Entry::CVar(sym.clone()));
+                self.genv.define_con(sym, kind.clone(), cc);
+                self.bind_scope(name, Entry::CVar(sym));
                 self.decls.push(ElabDecl::Con {
                     name: name.clone(),
                     sym,
@@ -1814,8 +1813,8 @@ impl Elaborator {
                 self.check_no_constraints(*span)?;
                 let tc = finalize_con(&self.cx, &tc);
                 let sym = Sym::fresh(name.as_str());
-                self.genv.bind_val(sym.clone(), tc.clone());
-                self.bind_scope(name, Entry::Val(sym.clone()));
+                self.genv.bind_val(sym, tc);
+                self.bind_scope(name, Entry::Val(sym));
                 self.decls.push(ElabDecl::Val {
                     name: name.clone(),
                     sym,
@@ -1870,8 +1869,8 @@ impl Elaborator {
             ));
         }
         let sym = Sym::fresh(name);
-        self.genv.bind_val(sym.clone(), ty.clone());
-        self.bind_scope(name, Entry::Val(sym.clone()));
+        self.genv.bind_val(sym, ty);
+        self.bind_scope(name, Entry::Val(sym));
         self.decls.push(ElabDecl::Val {
             name: name.to_string(),
             sym,
@@ -1970,8 +1969,8 @@ impl Elaborator {
                     None => self.elab_expr(env, e, None)?,
                 };
                 let sym = Sym::fresh(name.as_str());
-                env.bind_val(sym.clone(), ty.clone());
-                self.bind_scope(name, Entry::Val(sym.clone()));
+                env.bind_val(sym, ty);
+                self.bind_scope(name, Entry::Val(sym));
                 Ok(Some((sym, ty, ee)))
             }
             SDecl::Fun(span, name, params, ann, e) => {
@@ -1982,18 +1981,18 @@ impl Elaborator {
                 let fn_expr = SExpr::Fn(*span, params.clone(), Box::new(body));
                 let (ee, ty) = self.elab_expr(env, &fn_expr, None)?;
                 let sym = Sym::fresh(name.as_str());
-                env.bind_val(sym.clone(), ty.clone());
-                self.bind_scope(name, Entry::Val(sym.clone()));
+                env.bind_val(sym, ty);
+                self.bind_scope(name, Entry::Val(sym));
                 Ok(Some((sym, ty, ee)))
             }
             SDecl::ConDef(_, name, kann, c) => {
                 let expect = kann.as_ref().map(|k| self.elab_kind(k));
                 let (cc, kind) = self.elab_con(env, c, expect.as_ref())?;
                 let sym = Sym::fresh(name.as_str());
-                env.define_con(sym.clone(), kind.clone(), cc.clone());
+                env.define_con(sym, kind.clone(), cc);
                 // Also record globally so later core type checking can
                 // unfold the definition.
-                self.genv.define_con(sym.clone(), kind, cc);
+                self.genv.define_con(sym, kind, cc);
                 self.bind_scope(name, Entry::CVar(sym));
                 Ok(None)
             }
@@ -2028,7 +2027,7 @@ impl Elaborator {
             for (key, v) in &nf.source_fields {
                 match key {
                     FieldKey::Lit(n) => {
-                        fields.push((Rc::clone(n), finalize_con(&self.cx, v)))
+                        fields.push(((*n), finalize_con(&self.cx, v)))
                     }
                     FieldKey::Neutral(c) => {
                         return Err(ElabError::new(
@@ -2134,14 +2133,14 @@ pub fn finalize_con(cx: &Cx, c: &RCon) -> RCon {
         Con::Var(_) | Con::Meta(_) | Con::Prim(_) | Con::Name(_) => c,
         Con::Arrow(a, b) => Con::arrow(finalize_con(cx, a), finalize_con(cx, b)),
         Con::Poly(s, k, t) => {
-            Con::poly(s.clone(), finalize_kind(cx, k), finalize_con(cx, t))
+            Con::poly(*s, finalize_kind(cx, k), finalize_con(cx, t))
         }
         Con::Guarded(a, b, t) => Con::guarded(
             finalize_con(cx, a),
             finalize_con(cx, b),
             finalize_con(cx, t),
         ),
-        Con::Lam(s, k, t) => Con::lam(s.clone(), finalize_kind(cx, k), finalize_con(cx, t)),
+        Con::Lam(s, k, t) => Con::lam(*s, finalize_kind(cx, k), finalize_con(cx, t)),
         Con::App(f, a) => Con::app(finalize_con(cx, f), finalize_con(cx, a)),
         Con::Record(r) => Con::record(finalize_con(cx, r)),
         Con::RowNil(k) => Con::row_nil(finalize_kind(cx, k)),
@@ -2158,12 +2157,12 @@ pub fn finalize_con(cx: &Cx, c: &RCon) -> RCon {
 /// Zonks and kind-defaults every constructor inside an expression.
 pub fn finalize_expr(cx: &Cx, e: &RExpr) -> RExpr {
     match &**e {
-        Expr::Var(_) | Expr::Lit(_) | Expr::RecNil => Rc::clone(e),
+        Expr::Var(_) | Expr::Lit(_) | Expr::RecNil => *e,
         Expr::App(a, b) => Expr::app(finalize_expr(cx, a), finalize_expr(cx, b)),
-        Expr::Lam(x, t, b) => Expr::lam(x.clone(), finalize_con(cx, t), finalize_expr(cx, b)),
+        Expr::Lam(x, t, b) => Expr::lam(*x, finalize_con(cx, t), finalize_expr(cx, b)),
         Expr::CApp(a, c) => Expr::capp(finalize_expr(cx, a), finalize_con(cx, c)),
         Expr::CLam(a, k, b) => {
-            Expr::clam(a.clone(), finalize_kind(cx, k), finalize_expr(cx, b))
+            Expr::clam(*a, finalize_kind(cx, k), finalize_expr(cx, b))
         }
         Expr::RecOne(n, v) => Expr::rec_one(finalize_con(cx, n), finalize_expr(cx, v)),
         Expr::RecCat(a, b) => Expr::rec_cat(finalize_expr(cx, a), finalize_expr(cx, b)),
@@ -2176,7 +2175,7 @@ pub fn finalize_expr(cx: &Cx, e: &RExpr) -> RExpr {
         ),
         Expr::DApp(a) => Expr::dapp(finalize_expr(cx, a)),
         Expr::Let(x, t, bound, body) => Expr::let_(
-            x.clone(),
+            *x,
             finalize_con(cx, t),
             finalize_expr(cx, bound),
             finalize_expr(cx, body),
@@ -2241,35 +2240,35 @@ pub fn replace_var(e: &RExpr, target: &Sym, repl: &RExpr) -> RExpr {
     match &**e {
         Expr::Var(x) => {
             if x == target {
-                Rc::clone(repl)
+                *repl
             } else {
-                Rc::clone(e)
+                *e
             }
         }
-        Expr::Lit(_) | Expr::RecNil => Rc::clone(e),
+        Expr::Lit(_) | Expr::RecNil => *e,
         Expr::App(a, b) => Expr::app(replace_var(a, target, repl), replace_var(b, target, repl)),
         Expr::Lam(x, t, b) => Expr::lam(
-            x.clone(),
-            Rc::clone(t),
+            *x,
+            *t,
             replace_var(b, target, repl),
         ),
-        Expr::CApp(a, c) => Expr::capp(replace_var(a, target, repl), Rc::clone(c)),
-        Expr::CLam(a, k, b) => Expr::clam(a.clone(), k.clone(), replace_var(b, target, repl)),
-        Expr::RecOne(n, v) => Expr::rec_one(Rc::clone(n), replace_var(v, target, repl)),
+        Expr::CApp(a, c) => Expr::capp(replace_var(a, target, repl), *c),
+        Expr::CLam(a, k, b) => Expr::clam(*a, k.clone(), replace_var(b, target, repl)),
+        Expr::RecOne(n, v) => Expr::rec_one(*n, replace_var(v, target, repl)),
         Expr::RecCat(a, b) => {
             Expr::rec_cat(replace_var(a, target, repl), replace_var(b, target, repl))
         }
-        Expr::Proj(a, c) => Expr::proj(replace_var(a, target, repl), Rc::clone(c)),
-        Expr::Cut(a, c) => Expr::cut(replace_var(a, target, repl), Rc::clone(c)),
+        Expr::Proj(a, c) => Expr::proj(replace_var(a, target, repl), *c),
+        Expr::Cut(a, c) => Expr::cut(replace_var(a, target, repl), *c),
         Expr::DLam(c1, c2, b) => Expr::dlam(
-            Rc::clone(c1),
-            Rc::clone(c2),
+            *c1,
+            *c2,
             replace_var(b, target, repl),
         ),
         Expr::DApp(a) => Expr::dapp(replace_var(a, target, repl)),
         Expr::Let(x, t, bound, body) => Expr::let_(
-            x.clone(),
-            Rc::clone(t),
+            *x,
+            *t,
             replace_var(bound, target, repl),
             replace_var(body, target, repl),
         ),

@@ -39,7 +39,7 @@ pub mod error;
 pub mod unify;
 
 pub use batch::{
-    default_threads, elab_program_all_incremental, DeclRecord, DepGraph, PElabDecl, POutcome, Seed,
+    default_threads, elab_program_all_incremental, ConBind, DeclRecord, DepGraph, Outcome, Seed,
 };
 pub use elab::{ElabDecl, ElabSnapshot, Elaborator};
 pub use error::{ElabError, EResult};

@@ -20,7 +20,6 @@
 //! [`MetaCx`](ur_core::meta::MetaCx)); per the paper this is a heuristic,
 //! best-effort engine with no completeness claim.
 
-use std::rc::Rc;
 use ur_core::con::{Con, MetaId, RCon};
 use ur_core::defeq::defeq;
 use ur_core::env::Env;
@@ -121,12 +120,12 @@ fn unify_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
     cx.stats.unify_calls += 1;
     // Hash-consing makes pointer identity a complete syntactic-equality
     // test, so identical handles solve without normalizing at all.
-    if Rc::ptr_eq(c1, c2) {
+    if c1 == c2 {
         return Unify::Solved;
     }
     let c1 = hnf(env, cx, c1);
     let c2 = hnf(env, cx, c2);
-    if Rc::ptr_eq(&c1, &c2) {
+    if c1 == c2 {
         return Unify::Solved;
     }
 
@@ -185,7 +184,7 @@ fn unify_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
             }
             let fresh = s1.rename();
             let mut env2 = env.clone();
-            env2.bind_con(fresh.clone(), cx.metas.zonk_kind(k1));
+            env2.bind_con(fresh, cx.metas.zonk_kind(k1));
             let v = Con::var(&fresh);
             let b1 = subst(t1, s1, &v);
             let b2 = subst(t2, s2, &v);
@@ -197,7 +196,7 @@ fn unify_inner(env: &Env, cx: &mut Cx, c1: &RCon, c2: &RCon) -> Unify {
             }
             let fresh = s1.rename();
             let mut env2 = env.clone();
-            env2.bind_con(fresh.clone(), cx.metas.zonk_kind(k1));
+            env2.bind_con(fresh, cx.metas.zonk_kind(k1));
             let v = Con::var(&fresh);
             let b1 = subst(t1, s1, &v);
             let b2 = subst(t2, s2, &v);
@@ -285,16 +284,16 @@ fn eta_unify(
     if other.is_meta() {
         // Solving a metavariable to a lambda is fine; retried by callers.
         if let Con::Meta(m) = &**other {
-            let lam = Con::lam(s.clone(), k.clone(), Rc::clone(body));
+            let lam = Con::lam(*s, k.clone(), *body);
             return solve_meta(env, cx, *m, &lam);
         }
     }
     let fresh = s.rename();
     let mut env2 = env.clone();
-    env2.bind_con(fresh.clone(), cx.metas.zonk_kind(k));
+    env2.bind_con(fresh, cx.metas.zonk_kind(k));
     let v = Con::var(&fresh);
     let b = subst(body, s, &v);
-    let expanded = Con::app(Rc::clone(other), v);
+    let expanded = Con::app(*other, v);
     unify(&env2, cx, &b, &expanded)
 }
 
@@ -330,7 +329,7 @@ fn solve_meta(env: &Env, cx: &mut Cx, m: MetaId, c: &RCon) -> Unify {
 fn rebuild_row(k: &Kind, fields: &[(FieldKey, RCon)], atoms: &[RowAtom]) -> RCon {
     let mut parts: Vec<RCon> = Vec::new();
     for (key, v) in fields {
-        parts.push(Con::row_one(key.to_con(), Rc::clone(v)));
+        parts.push(Con::row_one(key.to_con(), *v));
     }
     for atom in atoms {
         parts.push(atom.to_con(k));
@@ -370,7 +369,7 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
             let keys_match = match (&f1[i].0, &f2[j].0) {
                 (FieldKey::Lit(a), FieldKey::Lit(b)) => ur_core::intern::names_eq(a, b),
                 (FieldKey::Neutral(a), FieldKey::Neutral(b)) => {
-                    let (a, b) = (Rc::clone(a), Rc::clone(b));
+                    let (a, b) = ((*a), (*b));
                     defeq(env, cx, &a, &b)
                 }
                 _ => false,
@@ -382,8 +381,8 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
         }
         match matched {
             Some(j) => {
-                let v1 = Rc::clone(&f1[i].1);
-                let v2 = Rc::clone(&f2[j].1);
+                let v1 = f1[i].1;
+                let v2 = f2[j].1;
                 match unify(env, cx, &v1, &v2) {
                     Unify::Solved => {}
                     Unify::Postpone => pending_values = true,
@@ -404,14 +403,14 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
     while i < a1.len() {
         let mut matched = None;
         for j in 0..a2.len() {
-            let (b1, b2) = (Rc::clone(&a1[i].base), Rc::clone(&a2[j].base));
+            let (b1, b2) = (a1[i].base, a2[j].base);
             if !defeq(env, cx, &b1, &b2) {
                 continue;
             }
             let maps_eq = match (&a1[i].map, &a2[j].map) {
                 (None, None) => true,
                 (Some((g1, _)), Some((g2, _))) => {
-                    let (g1, g2) = (Rc::clone(g1), Rc::clone(g2));
+                    let (g1, g2) = ((*g1), (*g2));
                     defeq(env, cx, &g1, &g2)
                 }
                 _ => false,
@@ -454,14 +453,14 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
         {
             let gamma = cx.metas.fresh_con(Kind::row(k.clone()), "row remainder");
             let sol1 = if f2.is_empty() {
-                Rc::clone(&gamma)
+                gamma
             } else {
-                Con::row_cat(rebuild_row(&k, &f2, &[]), Rc::clone(&gamma))
+                Con::row_cat(rebuild_row(&k, &f2, &[]), gamma)
             };
             let sol2 = if f1.is_empty() {
-                Rc::clone(&gamma)
+                gamma
             } else {
-                Con::row_cat(rebuild_row(&k, &f1, &[]), Rc::clone(&gamma))
+                Con::row_cat(rebuild_row(&k, &f1, &[]), gamma)
             };
             let out = solve_meta(env, cx, m1, &sol1);
             return out.and(|| solve_meta(env, cx, m2, &sol2));
@@ -483,9 +482,9 @@ pub fn row_unify(env: &Env, cx: &mut Cx, r1: &RCon, r2: &RCon) -> Unify {
     // map f ?m  =  map f ?m2 (+ nothing else): unify the bases.
     if f1.is_empty() && f2.is_empty() && a1.len() == 1 && a2.len() == 1 {
         if let (Some((g1, _)), Some((g2, _))) = (&a1[0].map, &a2[0].map) {
-            let (g1, g2) = (Rc::clone(g1), Rc::clone(g2));
+            let (g1, g2) = ((*g1), (*g2));
             if defeq(env, cx, &g1, &g2) {
-                let (b1, b2) = (Rc::clone(&a1[0].base), Rc::clone(&a2[0].base));
+                let (b1, b2) = (a1[0].base, a2[0].base);
                 return unify(env, cx, &b1, &b2);
             }
         }
@@ -543,8 +542,8 @@ fn try_reverse(
     let mut elems = Vec::new();
     for (key, v) in ground {
         let a = cx.metas.fresh_con(dom.clone(), "reverse-engineered element");
-        skeleton.push((key.clone(), Rc::clone(&a)));
-        elems.push((a, Rc::clone(v)));
+        skeleton.push((key.clone(), a));
+        elems.push((a, (*v)));
     }
     let sol = rebuild_row(dom, &skeleton, &[]);
     match solve_meta(env, cx, m, &sol) {
@@ -554,7 +553,7 @@ fn try_reverse(
     cx.stats.reverse_engineered += 1;
     let mut out = Unify::Solved;
     for (a, v) in elems {
-        let applied = Con::app(Rc::clone(f), a);
+        let applied = Con::app(*f, a);
         out = out.and(|| unify(env, cx, &applied, &v));
     }
     Some(out)
@@ -574,7 +573,7 @@ mod tests {
             Kind::Type,
             fields
                 .iter()
-                .map(|(n, c)| (Con::name(*n), Rc::clone(c)))
+                .map(|(n, c)| (Con::name(*n), (*c)))
                 .collect(),
         )
     }
@@ -602,7 +601,7 @@ mod tests {
     fn occurs_check_fails() {
         let (env, mut cx) = setup();
         let m = cx.metas.fresh_con(Kind::Type, "t");
-        let arrow = Con::arrow(Rc::clone(&m), Con::int());
+        let arrow = Con::arrow(m, Con::int());
         assert!(matches!(
             unify(&env, &mut cx, &m, &arrow),
             Unify::Fail(_)
@@ -625,7 +624,7 @@ mod tests {
         let (env, mut cx) = setup();
         let t = cx.metas.fresh_con(Kind::Type, "t");
         let r = cx.metas.fresh_con(Kind::row(Kind::Type), "r");
-        let left = Con::row_cat(Con::row_one(Con::name("A"), Rc::clone(&t)), Rc::clone(&r));
+        let left = Con::row_cat(Con::row_one(Con::name("A"), t), r);
         let right = lit_row(&[("A", Con::int()), ("B", Con::float())]);
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);
         assert!(matches!(
@@ -659,8 +658,8 @@ mod tests {
         let (env, mut cx) = setup();
         let m1 = cx.metas.fresh_con(Kind::row(Kind::Type), "m1");
         let m2 = cx.metas.fresh_con(Kind::row(Kind::Type), "m2");
-        let left = Con::row_cat(lit_row(&[("A", Con::int())]), Rc::clone(&m1));
-        let right = Con::row_cat(lit_row(&[("B", Con::float())]), Rc::clone(&m2));
+        let left = Con::row_cat(lit_row(&[("A", Con::int())]), m1);
+        let right = Con::row_cat(lit_row(&[("B", Con::float())]), m2);
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);
         // Now both sides should be definitionally equal.
         assert!(defeq(&env, &mut cx, &left, &right));
@@ -673,11 +672,11 @@ mod tests {
         let r = cx.metas.fresh_con(Kind::row(Kind::Type), "r");
         let a = Sym::fresh("a");
         let f = Con::lam(
-            a.clone(),
+            a,
             Kind::Type,
             Con::arrow(Con::var(&a), Con::var(&a)),
         );
-        let left = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&r));
+        let left = Con::map_app(Kind::Type, Kind::Type, f, r);
         let right = lit_row(&[("A", Con::arrow(Con::int(), Con::int()))]);
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);
         assert!(cx.stats.reverse_engineered >= 1);
@@ -693,7 +692,7 @@ mod tests {
         let (mut env, mut cx) = setup();
         let t = Sym::fresh("t");
         let meta_def = Con::lam(
-            t.clone(),
+            t,
             Kind::Type,
             Con::record(Con::row_of(
                 Kind::Type,
@@ -708,7 +707,7 @@ mod tests {
         );
         let meta_sym = Sym::fresh("meta");
         env.define_con(
-            meta_sym.clone(),
+            meta_sym,
             Kind::arrow(Kind::Type, Kind::Type),
             meta_def,
         );
@@ -718,7 +717,7 @@ mod tests {
             Kind::Type,
             Kind::Type,
             Con::var(&meta_sym),
-            Rc::clone(&r),
+            r,
         ));
         // {A : meta int, B : meta float} fully unfolded:
         let meta_at = |ty: RCon| {
@@ -748,11 +747,11 @@ mod tests {
         let r = cx.metas.fresh_con(Kind::row(Kind::Type), "r");
         let a = Sym::fresh("a");
         let f = Con::lam(
-            a.clone(),
+            a,
             Kind::Type,
             Con::arrow(Con::var(&a), Con::var(&a)),
         );
-        let left = Con::map_app(Kind::Type, Kind::Type, f, Rc::clone(&r));
+        let left = Con::map_app(Kind::Type, Kind::Type, f, r);
         let right = lit_row(&[
             ("B", Con::arrow(Con::float(), Con::float())),
             ("A", Con::arrow(Con::int(), Con::int())),
@@ -773,9 +772,9 @@ mod tests {
         // [nm = ?t] = [nm = int] under a bound name variable nm.
         let (mut env, mut cx) = setup();
         let nm = Sym::fresh("nm");
-        env.bind_con(nm.clone(), Kind::Name);
+        env.bind_con(nm, Kind::Name);
         let t = cx.metas.fresh_con(Kind::Type, "t");
-        let left = Con::row_one(Con::var(&nm), Rc::clone(&t));
+        let left = Con::row_one(Con::var(&nm), t);
         let right = Con::row_one(Con::var(&nm), Con::int());
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);
         assert!(matches!(
@@ -788,9 +787,9 @@ mod tests {
     fn rigid_head_applications_unify_pointwise() {
         let (mut env, mut cx) = setup();
         let tf = Sym::fresh("tf");
-        env.bind_con(tf.clone(), Kind::arrow(Kind::row(Kind::Type), Kind::Type));
+        env.bind_con(tf, Kind::arrow(Kind::row(Kind::Type), Kind::Type));
         let m = cx.metas.fresh_con(Kind::row(Kind::Type), "r");
-        let left = Con::app(Con::var(&tf), Rc::clone(&m));
+        let left = Con::app(Con::var(&tf), m);
         let right = Con::app(Con::var(&tf), lit_row(&[("A", Con::int())]));
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);
         let z = cx.metas.zonk(&m);
@@ -832,22 +831,22 @@ mod tests {
         let (mut env, mut cx) = setup();
         let exp = Sym::fresh("exp");
         env.bind_con(
-            exp.clone(),
+            exp,
             Kind::arrow(Kind::row(Kind::Type), Kind::arrow(Kind::Type, Kind::Type)),
         );
         let pair_k = Kind::pair(Kind::Type, Kind::Type);
         let r = Sym::fresh("r");
-        env.bind_con(r.clone(), Kind::row(pair_k.clone()));
+        env.bind_con(r, Kind::row(pair_k.clone()));
         let exp_nil = Con::app(Con::var(&exp), Con::row_nil(Kind::Type));
         let p = Sym::fresh("p");
         let lam = Con::lam(
-            p.clone(),
+            p,
             pair_k.clone(),
-            Con::app(exp_nil.clone(), Con::snd(Con::var(&p))),
+            Con::app(exp_nil, Con::snd(Con::var(&p))),
         );
         let left = Con::record(Con::map_app(pair_k.clone(), Kind::Type, lam, Con::var(&r)));
         let q = Sym::fresh("q");
-        let snd_fn = Con::lam(q.clone(), pair_k.clone(), Con::snd(Con::var(&q)));
+        let snd_fn = Con::lam(q, pair_k.clone(), Con::snd(Con::var(&q)));
         let inner = Con::map_app(pair_k.clone(), Kind::Type, snd_fn, Con::var(&r));
         let right = Con::record(Con::map_app(Kind::Type, Kind::Type, exp_nil, inner));
         assert_eq!(unify(&env, &mut cx, &left, &right), Unify::Solved);

@@ -78,7 +78,7 @@ fn proj_definition_and_explicit_use() {
         "{PROJ}\nval a = proj [#A] [int] [[B = float]] ! {{A = 1, B = 2.3}}"
     ));
     let (ty, _) = find_val(&e, "a");
-    let ty = ty.clone();
+    let ty = *ty;
     assert!(defeq(&e.genv.clone(), &mut e.cx, &ty, &Con::int()));
     core_check(&mut e);
 }
@@ -89,7 +89,7 @@ fn proj_fully_implicit_use() {
     //      proj [#A] [_] [_] ! {A = 1, B = 2.3}".
     let mut e = elaborate(&format!("{PROJ}\nval a = proj [#A] {{A = 1, B = 2.3}}"));
     let (ty, _) = find_val(&e, "a");
-    let ty = ty.clone();
+    let ty = *ty;
     assert!(defeq(&e.genv.clone(), &mut e.cx, &ty, &Con::int()));
     core_check(&mut e);
 }
@@ -101,7 +101,7 @@ fn proj_on_other_field_and_record() {
         "{PROJ}\nval d = proj [#D] {{C = True, D = \"xyz\", E = 8}}"
     ));
     let (ty, _) = find_val(&e, "d");
-    let ty = ty.clone();
+    let ty = *ty;
     assert!(defeq(&e.genv.clone(), &mut e.cx, &ty, &Con::string()));
     core_check(&mut e);
 }
@@ -159,7 +159,7 @@ fn mktable_use_infers_record_type() {
                                       B = {{Label = \"B\", Show = showFloat}}}}"
     ));
     let (ty, _) = find_val(&e, "f");
-    let ty = ty.clone();
+    let ty = *ty;
     // f : {A : int, B : float} -> string
     let expected = Con::arrow(
         Con::record(Con::row_of(
@@ -243,7 +243,7 @@ fn todb_use_reverse_engineers_pairs() {
     );
     let mut e = elaborate(&src);
     let (ty, _) = find_val(&e, "inserter");
-    let ty = ty.clone();
+    let ty = *ty;
     let s = ty.to_string();
     // inserter : table ([A = int] ++ [B = int]) -> $([A = int] ++ [B = float]) -> unit
     assert!(s.contains("table"), "got {s}");
@@ -316,7 +316,7 @@ fn selector_use() {
         "{SELECTOR}\nval sel = selector {{A = 1, B = \"x\"}}"
     ));
     let (ty, _) = find_val(&e, "sel");
-    let ty = ty.clone();
+    let ty = *ty;
     // sel : exp [A = int, B = string] bool
     let genv = e.genv.clone();
     let expected = Con::app(
@@ -353,7 +353,7 @@ val h = hcat3 {A = 1} {B = "x"} {C = 2.5}
 "#;
     let mut e = elaborate(src);
     let (ty, _) = find_val(&e, "h");
-    let ty = ty.clone();
+    let ty = *ty;
     let genv = e.genv.clone();
     let expected = Con::record(Con::row_of(
         Kind::Type,
@@ -411,7 +411,7 @@ fn explicit_folder_passing_still_works() {
     );
     let mut e = elaborate(&src);
     let (ty, _) = find_val(&e, "g");
-    let ty = ty.clone();
+    let ty = *ty;
     let genv = e.genv.clone();
     let expected = Con::arrow(
         Con::record(Con::row_one(Con::name("A"), Con::int())),
@@ -442,7 +442,7 @@ val lt : int -> int -> bool
     e.elab_source(prelude_ops).unwrap();
     e.elab_source(src).unwrap();
     let (ty, _) = find_val(&e, "y");
-    let ty = ty.clone();
+    let ty = *ty;
     let genv = e.genv.clone();
     assert!(defeq(&genv, &mut e.cx, &ty, &Con::int()));
     core_check(&mut e);

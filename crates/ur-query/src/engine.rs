@@ -38,7 +38,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use ur_core::fingerprint::{hash_str, mix, Fnv64};
-use ur_core::transfer::PSym;
+use ur_core::sym::Sym;
 use ur_infer::{elab_program_all_incremental, DepGraph, Elaborator, Seed};
 use ur_infer::{Code, Diagnostic, Diagnostics, ElabDecl};
 use ur_syntax::pretty::decl_to_string;
@@ -136,24 +136,10 @@ impl Engine {
         // Base environment enumeration, in sym-id (creation) order. Both
         // the link and resolve tables are built from this one list, and
         // env_fp covers it, so cross-process ordinals agree.
-        let mut base_cons: Vec<PSym> = elab
-            .genv
-            .cons()
-            .map(|(s, _)| PSym {
-                name: s.name().to_string(),
-                id: s.id(),
-            })
-            .collect();
-        base_cons.sort_by_key(|s| s.id);
-        let mut base_vals: Vec<PSym> = elab
-            .genv
-            .vals()
-            .map(|(s, _)| PSym {
-                name: s.name().to_string(),
-                id: s.id(),
-            })
-            .collect();
-        base_vals.sort_by_key(|s| s.id);
+        let mut base_cons: Vec<Sym> = elab.genv.cons().map(|(s, _)| *s).collect();
+        base_cons.sort_by_key(|s| s.id());
+        let mut base_vals: Vec<Sym> = elab.genv.vals().map(|(s, _)| *s).collect();
+        base_vals.sort_by_key(|s| s.id());
         let env_fp = env_fingerprint(elab, self.base_tag, &base_cons, &base_vals);
 
         // Fingerprints. Dependencies always point at earlier
@@ -288,8 +274,8 @@ impl Engine {
 fn env_fingerprint(
     elab: &Elaborator,
     base_tag: u64,
-    base_cons: &[PSym],
-    base_vals: &[PSym],
+    base_cons: &[Sym],
+    base_vals: &[Sym],
 ) -> u64 {
     let mut f = Fnv64::new();
     f.write_str(env!("CARGO_PKG_VERSION"));
@@ -298,11 +284,11 @@ fn env_fingerprint(
     f.write_u64(base_tag);
     f.write_u32(base_cons.len() as u32);
     for s in base_cons {
-        f.write_str(&s.name);
+        f.write_str(s.name());
     }
     f.write_u32(base_vals.len() as u32);
     for s in base_vals {
-        f.write_str(&s.name);
+        f.write_str(s.name());
     }
     f.finish()
 }

@@ -290,7 +290,7 @@ pub fn check_interface(sess: &mut Session, iface: &str) -> Result<(), SessionErr
             .iter()
             .rev()
             .find_map(|d| match d {
-                ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.clone()),
+                ElabDecl::Val { name: n, ty, .. } if n == name => Some(*ty),
                 _ => None,
             })
             .ok_or_else(|| {

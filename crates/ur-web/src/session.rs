@@ -215,6 +215,12 @@ pub struct Session {
     top: VEnv,
     by_name: HashMap<String, Sym>,
     incr: Option<IncrState>,
+    /// Keeps the shared intern arena alive for this session's lifetime:
+    /// while any session holds a lease, `ur_core::arena::try_reset` is a
+    /// no-op, so every `ConId`/`ExprId` this session minted stays valid.
+    /// Dropped with the session — when the last session goes away the
+    /// embedder may reset the arena to reclaim memory.
+    _arena_lease: ur_core::arena::ArenaLease,
 }
 
 impl Session {
@@ -225,6 +231,9 @@ impl Session {
     /// Fails if the prelude does not elaborate or a primitive lacks an
     /// implementation (both internal errors, exercised by tests).
     pub fn new() -> Result<Session, SessionError> {
+        // Lease first: ids minted while elaborating the prelude must
+        // already be protected from a concurrent `try_reset`.
+        let arena_lease = ur_core::arena::lease();
         let mut elab = Elaborator::new();
         let decls = elab.elab_source(PRELUDE)?;
         // `UR_FAILPOINTS` configures fault injection without code changes
@@ -249,8 +258,8 @@ impl Session {
                 let spec = impls
                     .get(name)
                     .ok_or_else(|| SessionError::MissingBuiltin(name.clone()))?;
-                map.insert(sym.clone(), Rc::clone(spec));
-                by_name.insert(name.clone(), sym.clone());
+                map.insert(*sym, Rc::clone(spec));
+                by_name.insert(name.clone(), *sym);
             }
         }
         Ok(Session {
@@ -263,6 +272,7 @@ impl Session {
             top: VEnv::new(),
             by_name,
             incr: None,
+            _arena_lease: arena_lease,
         })
     }
 
@@ -286,8 +296,8 @@ impl Session {
                 let mut interp =
                     Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
                 let v = interp.eval(&self.top, body)?;
-                self.top.vals.insert(sym.clone(), v.clone());
-                self.by_name.insert(name.clone(), sym.clone());
+                self.top.vals.insert(*sym, v.clone());
+                self.by_name.insert(name.clone(), *sym);
                 out.push((name.clone(), v));
             }
         }
@@ -350,8 +360,8 @@ impl Session {
                     Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
                 match interp.eval(&self.top, body) {
                     Ok(v) => {
-                        self.top.vals.insert(sym.clone(), v.clone());
-                        self.by_name.insert(name.clone(), sym.clone());
+                        self.top.vals.insert(*sym, v.clone());
+                        self.by_name.insert(name.clone(), *sym);
                         out.push((name.clone(), v));
                     }
                     Err(e) => diags.push(ur_syntax::Diagnostic::new(
@@ -456,8 +466,8 @@ impl Session {
                     Interp::new(&mut self.world, &self.elab.genv, &self.builtins);
                 match interp.eval(&self.top, body) {
                     Ok(v) => {
-                        self.top.vals.insert(sym.clone(), v.clone());
-                        self.by_name.insert(name.clone(), sym.clone());
+                        self.top.vals.insert(*sym, v.clone());
+                        self.by_name.insert(name.clone(), *sym);
                         out.push((name.clone(), v));
                     }
                     Err(e) => diags.push(ur_syntax::Diagnostic::new(

@@ -238,7 +238,7 @@ fn run(opts: &Options) -> Result<(), String> {
                     name: n,
                     body: Some(b),
                     ..
-                } if n == name => Some(b.clone()),
+                } if n == name => Some(*b),
                 _ => None,
             })
             .ok_or_else(|| format!("--core: no value named {name} with a body"))?;

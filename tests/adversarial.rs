@@ -65,8 +65,8 @@ fn ten_k_deep_map_nest_normalizes_within_budget() {
     let mut cx = Cx::new();
     let f = Sym::fresh("f");
     let r = Sym::fresh("r");
-    env.bind_con(f.clone(), Kind::arrow(Kind::Type, Kind::Type));
-    env.bind_con(r.clone(), Kind::row(Kind::Type));
+    env.bind_con(f, Kind::arrow(Kind::Type, Kind::Type));
+    env.bind_con(r, Kind::row(Kind::Type));
     let mut c = Con::var(&r);
     for _ in 0..10_000 {
         c = Con::map_app(Kind::Type, Kind::Type, Con::var(&f), c);
@@ -152,7 +152,7 @@ fn cyclic_meta_fails_occurs_check_not_hangs() {
     let env = Env::new();
     let mut cx = Cx::new();
     let m = cx.metas.fresh_con(Kind::Type, "t");
-    let cyclic = Con::arrow(std::rc::Rc::clone(&m), Con::int());
+    let cyclic = Con::arrow(m, Con::int());
     assert!(matches!(
         ur::infer::unify(&env, &mut cx, &m, &cyclic),
         Unify::Fail(_)
@@ -183,17 +183,17 @@ fn mutually_cyclic_row_metas_terminate() {
     let mut cx = Cx::new();
     let a = cx.metas.fresh_con(Kind::row(Kind::Type), "a");
     let b = cx.metas.fresh_con(Kind::row(Kind::Type), "b");
-    let lhs1 = std::rc::Rc::clone(&a);
+    let lhs1 = a;
     let rhs1 = Con::row_cat(
         Con::row_one(Con::name("A"), Con::int()),
-        std::rc::Rc::clone(&b),
+        b,
     );
     let first = ur::infer::unify(&env, &mut cx, &lhs1, &rhs1);
     assert!(!matches!(first, Unify::Fail(_)), "first equation is fine");
-    let lhs2 = std::rc::Rc::clone(&b);
+    let lhs2 = b;
     let rhs2 = Con::row_cat(
         Con::row_one(Con::name("B"), Con::int()),
-        std::rc::Rc::clone(&a),
+        a,
     );
     let second = ur::infer::unify(&env, &mut cx, &lhs2, &rhs2);
     assert!(

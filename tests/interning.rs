@@ -18,7 +18,6 @@
 //! Randomness comes from the deterministic [`ur_testutil::Rng`]; every
 //! test fixes its seed, so failures reproduce exactly.
 
-use std::rc::Rc;
 use ur::core::con::{Con, RCon};
 use ur::core::defeq::defeq;
 use ur::core::disjoint::prove;
@@ -82,7 +81,7 @@ fn to_row(fields: &[(String, RCon)]) -> RCon {
         Kind::Type,
         fields
             .iter()
-            .map(|(n, t)| (Con::name(n.as_str()), Rc::clone(t)))
+            .map(|(n, t)| (Con::name(n.as_str()), (*t)))
             .collect(),
     )
 }
@@ -122,7 +121,7 @@ fn identical_builds_share_one_node() {
         let mut r2 = Rng::new(0x1A7E_0000 + seed);
         let a = gen_closed(&mut r1, 4);
         let b = gen_closed(&mut r2, 4);
-        assert!(Rc::ptr_eq(&a, &b), "hash-consing must share: {a} vs {b}");
+        assert!(a == b, "hash-consing must share: {a} vs {b}");
         assert_eq!(intern::id_of(&a), intern::id_of(&b));
     }
 }
@@ -152,7 +151,7 @@ fn name_literals_are_pointer_shared() {
     let b = Con::name(String::from("Shared") + "Label");
     match (&*a, &*b) {
         (Con::Name(x), Con::Name(y)) => {
-            assert!(Rc::ptr_eq(x, y), "labels must share one allocation");
+            assert!(x == y, "labels must share one allocation");
         }
         _ => unreachable!(),
     }
@@ -170,6 +169,62 @@ fn generated_closed_terms_are_flagged_closed() {
     // And a term with a variable is not.
     let v = Con::var(&Sym::fresh("x"));
     assert!(!intern::flags_of(&Con::arrow(v, Con::int())).is_closed());
+}
+
+/// 8-thread intern hammer: every thread races to build the *same*
+/// deterministic term sequence, and the sharded arena must hand all of
+/// them identical ids (same shallow key ⇒ same id), keep distinct terms
+/// on distinct ids, and leave every id dereferenceable afterwards.
+#[test]
+fn hammer_concurrent_interning_agrees_across_threads() {
+    use std::sync::{Arc, Barrier};
+
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 256;
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (0..ROUNDS)
+                    .map(|seed| {
+                        let mut rng = Rng::new(0x4A44_0000 + seed);
+                        intern::id_of(&gen_closed(&mut rng, 4))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let per_thread: Vec<Vec<intern::ConId>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("hammer thread must not panic"))
+        .collect();
+
+    // Same shallow key ⇒ same id, regardless of which thread interned it
+    // first: all threads observed the identical id sequence.
+    for (t, ids) in per_thread.iter().enumerate().skip(1) {
+        assert_eq!(&per_thread[0], ids, "thread {t} disagrees on intern ids");
+    }
+
+    // Uniqueness: one id never names two structurally distinct terms.
+    let mut seen: std::collections::HashMap<intern::ConId, String> =
+        std::collections::HashMap::new();
+    for (seed, id) in per_thread[0].iter().enumerate() {
+        let mut rng = Rng::new(0x4A44_0000 + seed as u64);
+        let printed = gen_closed(&mut rng, 4).to_string();
+        if let Some(prev) = seen.insert(*id, printed.clone()) {
+            assert_eq!(prev, printed, "id {id:?} maps to two distinct terms");
+        }
+    }
+
+    // Stability: re-interning the same sequence afterwards (single
+    // threaded, warm table) reproduces every id.
+    for (seed, id) in per_thread[0].iter().enumerate() {
+        let mut rng = Rng::new(0x4A44_0000 + seed as u64);
+        assert_eq!(intern::id_of(&gen_closed(&mut rng, 4)), *id);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -252,7 +307,7 @@ fn hnf_memo_agrees_with_uncached() {
         // (fn a => a -> a) T, plus projections of pairs: all reducible.
         let t = gen_closed(&mut rng, 3);
         let a = Sym::fresh("a");
-        let f = Con::lam(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
+        let f = Con::lam(a, Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
         let redex = match rng.below(3) {
             0 => Con::app(f, t),
             1 => Con::fst(Con::pair(t, Con::int())),
@@ -263,8 +318,8 @@ fn hnf_memo_agrees_with_uncached() {
         let first = ur::core::hnf::hnf(&env, &mut cached, &redex);
         let second = ur::core::hnf::hnf(&env, &mut cached, &redex);
         // Hash-consing makes syntactic equality pointer equality.
-        assert!(Rc::ptr_eq(&plain, &first), "{plain} vs {first}");
-        assert!(Rc::ptr_eq(&first, &second));
+        assert!(plain == first, "{plain} vs {first}");
+        assert!(first == second);
     }
     assert!(cached.stats.hnf_memo_hits > 0, "{}", cached.stats);
 }

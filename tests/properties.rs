@@ -8,7 +8,6 @@
 //! fixes its seed, so failures reproduce exactly.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
 use ur::core::con::{Con, RCon};
 use ur::core::defeq::defeq;
 use ur::core::disjoint::{prove, ProveResult};
@@ -51,7 +50,7 @@ fn to_row(fields: &[(String, RCon)]) -> RCon {
         Kind::Type,
         fields
             .iter()
-            .map(|(n, t)| (Con::name(n.as_str()), Rc::clone(t)))
+            .map(|(n, t)| (Con::name(n.as_str()), (*t)))
             .collect(),
     )
 }
@@ -116,8 +115,8 @@ fn map_identity_noop() {
         let mut cx = Cx::new();
         let t = random_assoc(&fields, s);
         let a = Sym::fresh("a");
-        let idf = Con::lam(a.clone(), Kind::Type, Con::var(&a));
-        let mapped = Con::map_app(Kind::Type, Kind::Type, idf, t.clone());
+        let idf = Con::lam(a, Kind::Type, Con::var(&a));
+        let mapped = Con::map_app(Kind::Type, Kind::Type, idf, t);
         assert!(defeq(&env, &mut cx, &mapped, &t), "fields={fields:?}");
     }
 }
@@ -133,15 +132,15 @@ fn map_distributes() {
         let k = rng.below(fields.len() + 1);
         let (l, r) = fields.split_at(k);
         let a = Sym::fresh("a");
-        let f = Con::lam(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
+        let f = Con::lam(a, Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)));
         let whole = Con::map_app(
             Kind::Type,
             Kind::Type,
-            f.clone(),
+            f,
             Con::row_cat(to_row(l), to_row(r)),
         );
         let split_map = Con::row_cat(
-            Con::map_app(Kind::Type, Kind::Type, f.clone(), to_row(l)),
+            Con::map_app(Kind::Type, Kind::Type, f, to_row(l)),
             Con::map_app(Kind::Type, Kind::Type, f, to_row(r)),
         );
         assert!(defeq(&env, &mut cx, &whole, &split_map), "fields={fields:?}");
@@ -343,12 +342,12 @@ mod defeq_equivalence {
 
     fn id_fun() -> RCon {
         let a = Sym::fresh("a");
-        Con::lam(a.clone(), Kind::Type, Con::var(&a))
+        Con::lam(a, Kind::Type, Con::var(&a))
     }
 
     fn wrap_fun() -> RCon {
         let a = Sym::fresh("a");
-        Con::lam(a.clone(), Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)))
+        Con::lam(a, Kind::Type, Con::arrow(Con::var(&a), Con::var(&a)))
     }
 
     /// Random row-shaped constructor: a concat tree, possibly under maps.
@@ -421,7 +420,7 @@ mod defeq_equivalence {
             let env = Env::new();
             let mut cx = Cx::new();
             let bare = random_assoc(&fields, s);
-            let mut wrapped = bare.clone();
+            let mut wrapped = bare;
             for _ in 0..layers {
                 wrapped = Con::map_app(Kind::Type, Kind::Type, id_fun(), wrapped);
             }
