@@ -110,6 +110,20 @@ pub struct Stats {
     /// injected `CacheStore` I/O faults). The cache stays cold for those
     /// entries; this counter makes the failure visible in `:stats`.
     pub disk_store_errs: u64,
+    /// Top-level evaluations executed by the bytecode VM (`ur-eval::vm`).
+    pub eval_vm_runs: u64,
+    /// Top-level evaluations executed by the tree-walking interpreter
+    /// (the differential oracle).
+    pub eval_interp_runs: u64,
+    /// Bytecode instructions dispatched by the VM (including closure
+    /// bodies invoked from builtins during interpreter runs).
+    pub eval_vm_ops: u64,
+    /// Declaration bodies lowered to bytecode chunks.
+    pub eval_chunks_compiled: u64,
+    /// VM runs served from the per-declaration chunk cache.
+    pub eval_chunk_hits: u64,
+    /// Wall-clock nanoseconds spent inside top-level VM dispatch loops.
+    pub eval_dispatch_ns: u64,
 }
 
 impl Stats {
@@ -172,6 +186,12 @@ impl Stats {
             disk_hits,
             disk_rejections,
             disk_store_errs,
+            eval_vm_runs,
+            eval_interp_runs,
+            eval_vm_ops,
+            eval_chunks_compiled,
+            eval_chunk_hits,
+            eval_dispatch_ns,
         );
     }
 
@@ -277,6 +297,14 @@ impl Stats {
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             disk_rejections: self.disk_rejections.saturating_sub(earlier.disk_rejections),
             disk_store_errs: self.disk_store_errs.saturating_sub(earlier.disk_store_errs),
+            eval_vm_runs: self.eval_vm_runs.saturating_sub(earlier.eval_vm_runs),
+            eval_interp_runs: self.eval_interp_runs.saturating_sub(earlier.eval_interp_runs),
+            eval_vm_ops: self.eval_vm_ops.saturating_sub(earlier.eval_vm_ops),
+            eval_chunks_compiled: self
+                .eval_chunks_compiled
+                .saturating_sub(earlier.eval_chunks_compiled),
+            eval_chunk_hits: self.eval_chunk_hits.saturating_sub(earlier.eval_chunk_hits),
+            eval_dispatch_ns: self.eval_dispatch_ns.saturating_sub(earlier.eval_dispatch_ns),
         }
     }
 }
@@ -356,6 +384,16 @@ impl fmt::Display for Stats {
             self.disk_hits,
             self.disk_rejections,
             self.disk_store_errs,
+        )?;
+        write!(
+            f,
+            " eval[vm_runs={} interp_runs={} ops={} chunks={} chunk_hits={} dispatch_ns={}]",
+            self.eval_vm_runs,
+            self.eval_interp_runs,
+            self.eval_vm_ops,
+            self.eval_chunks_compiled,
+            self.eval_chunk_hits,
+            self.eval_dispatch_ns,
         )
     }
 }
@@ -529,6 +567,48 @@ mod tests {
         assert_eq!(d.green_reused, 0);
         let d2 = b.since(&a);
         assert_eq!(d2.queries_total, 0, "saturating sub");
+    }
+
+    #[test]
+    fn display_mentions_eval_counters() {
+        let s = Stats::new().to_string();
+        for key in [
+            "eval[vm_runs=",
+            "interp_runs=",
+            "ops=",
+            "chunks=",
+            "chunk_hits=",
+            "dispatch_ns=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_and_since_cover_eval_counters() {
+        let mut a = Stats::new();
+        a.eval_vm_runs = 5;
+        a.eval_vm_ops = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.eval_vm_runs = 2;
+        b.eval_interp_runs = 3;
+        b.eval_vm_ops = 10;
+        b.eval_chunks_compiled = 4;
+        b.eval_chunk_hits = 6;
+        b.eval_dispatch_ns = 123;
+        a.absorb(&b);
+        assert_eq!(a.eval_vm_runs, 7);
+        assert_eq!(a.eval_interp_runs, 3);
+        assert_eq!(a.eval_vm_ops, u64::MAX, "saturating add");
+        assert_eq!(a.eval_chunks_compiled, 4);
+        assert_eq!(a.eval_chunk_hits, 6);
+        assert_eq!(a.eval_dispatch_ns, 123);
+
+        let d = a.since(&b);
+        assert_eq!(d.eval_vm_runs, 5);
+        assert_eq!(d.eval_chunks_compiled, 0);
+        let d2 = b.since(&a);
+        assert_eq!(d2.eval_vm_runs, 0, "saturating sub");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The call-by-value interpreter over elaborated core terms.
 
-use crate::error::EvalError;
+use crate::error::{EvalError, EvalErrorKind};
 use crate::value::{Builtin, BuiltinApp, CClosure, Closure, DSusp, VEnv, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -37,7 +37,31 @@ pub struct Interp<'a> {
     pub builtins: &'a HashMap<Sym, Rc<Builtin>>,
     /// Scratch context for constructor normalization.
     pub cx: Cx,
+    /// Counters accumulated by VM dispatch loops run through this
+    /// interpreter (ops executed, wall-clock in the dispatch loop). The
+    /// embedder folds them into its session-wide stats after each eval.
+    pub eval_stats: crate::vm::EvalStats,
+    /// VM-side resolution memo: `(constructor, cons-env head pointer)` →
+    /// the resolved constructor. The entry pins the environment's head
+    /// `Rc`, so while it is in the table no other allocation can take
+    /// that address — pointer equality then implies the same immutable
+    /// binding list. The tree-walker cannot use this table: its
+    /// environments are cloned `HashMap`s with no stable identity,
+    /// which is precisely the structural cost compilation removes.
+    pub(crate) resolve_memo: HashMap<(RCon, usize), (crate::vm::ConsEnv, RCon)>,
+    /// Unapplied-builtin wrapper values, allocated once per symbol
+    /// instead of once per mention.
+    builtin_vals: HashMap<Sym, Value>,
+    /// Recycled VM frame and operand-stack buffers: a render loop
+    /// enters thousands of chunks, and reusing the buffers keeps the
+    /// dispatch loop off the allocator entirely for calls.
+    pub(crate) vec_pool: Vec<Vec<Value>>,
 }
+
+/// Bound on [`Interp::resolve_memo`]: adversarial workloads that keep
+/// instantiating fresh constructor environments flush the table instead
+/// of growing it without limit.
+const RESOLVE_MEMO_CAP: usize = 1 << 16;
 
 impl<'a> Interp<'a> {
     pub fn new(
@@ -50,7 +74,60 @@ impl<'a> Interp<'a> {
             genv,
             builtins,
             cx: Cx::new(),
+            eval_stats: crate::vm::EvalStats::default(),
+            resolve_memo: HashMap::new(),
+            builtin_vals: HashMap::new(),
+            vec_pool: Vec::new(),
         }
+    }
+
+    /// A cleared scratch buffer from the pool (or a fresh one).
+    pub(crate) fn take_vec(&mut self) -> Vec<Value> {
+        self.vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool for reuse.
+    pub(crate) fn give_vec(&mut self, mut v: Vec<Value>) {
+        v.clear();
+        if self.vec_pool.len() < 64 {
+            self.vec_pool.push(v);
+        }
+    }
+
+    /// Looks `x` up in the builtin registry and produces its value: a
+    /// nullary builtin runs immediately (it may touch the world, so its
+    /// result is never cached); anything else yields a shared
+    /// unapplied-builtin wrapper.
+    pub(crate) fn global_builtin(&mut self, x: Sym) -> Option<Result<Value, EvalError>> {
+        if let Some(v) = self.builtin_vals.get(&x) {
+            return Some(Ok(v.clone()));
+        }
+        let spec = Rc::clone(self.builtins.get(&x)?);
+        let app = BuiltinApp {
+            spec,
+            cons: Vec::new(),
+            args: Vec::new(),
+        };
+        if app.spec.arity == 0 && app.spec.con_arity == 0 {
+            return Some(self.maybe_run_builtin(app));
+        }
+        let v = Value::Builtin(Rc::new(app));
+        self.builtin_vals.insert(x, v.clone());
+        Some(Ok(v))
+    }
+
+    /// Memo insert for [`crate::vm`]'s resolver, bounded by
+    /// [`RESOLVE_MEMO_CAP`].
+    pub(crate) fn memo_resolution(
+        &mut self,
+        key: (RCon, usize),
+        pin: crate::vm::ConsEnv,
+        out: RCon,
+    ) {
+        if self.resolve_memo.len() >= RESOLVE_MEMO_CAP {
+            self.resolve_memo.clear();
+        }
+        self.resolve_memo.insert(key, (pin, out));
     }
 
     /// Substitutes the runtime constructor bindings of `venv` into `c` and
@@ -79,9 +156,10 @@ impl<'a> Interp<'a> {
         let c = self.resolve_con(venv, c);
         match &*c {
             Con::Name(n) => Ok(Rc::from(n.as_str())),
-            other => Err(EvalError::new(format!(
-                "field name did not reduce to a literal: {other}"
-            ))),
+            other => Err(EvalError::of_kind(
+                EvalErrorKind::UnresolvedName,
+                format!("field name did not reduce to a literal: {other}"),
+            )),
         }
     }
 
@@ -97,15 +175,13 @@ impl<'a> Interp<'a> {
                 if let Some(v) = venv.vals.get(x) {
                     return Ok(v.clone());
                 }
-                if let Some(spec) = self.builtins.get(x) {
-                    let app = BuiltinApp {
-                        spec: Rc::clone(spec),
-                        cons: Vec::new(),
-                        args: Vec::new(),
-                    };
-                    return self.maybe_run_builtin(app);
+                if let Some(r) = self.global_builtin(*x) {
+                    return r;
                 }
-                Err(EvalError::new(format!("unbound variable {x:?} at runtime")))
+                Err(EvalError::of_kind(
+                    EvalErrorKind::UnboundVar,
+                    format!("unbound variable {x:?} at runtime"),
+                ))
             }
             Expr::Lit(l) => Ok(match l {
                 Lit::Int(n) => Value::Int(*n),
@@ -134,32 +210,23 @@ impl<'a> Interp<'a> {
                 param: *a,
                 body: (*body),
             }))),
-            Expr::RecNil => Ok(Value::Record(BTreeMap::new())),
+            Expr::RecNil => Ok(Value::record(BTreeMap::new())),
             Expr::RecOne(n, v) => {
                 let name = self.resolve_name(venv, n)?;
                 let val = self.eval(venv, v)?;
                 let mut map = BTreeMap::new();
                 map.insert(name, val);
-                Ok(Value::Record(map))
+                Ok(Value::record(map))
             }
             Expr::RecCat(a, b) => {
                 let va = self.eval(venv, a)?;
                 let vb = self.eval(venv, b)?;
                 match (va, vb) {
-                    (Value::Record(mut ra), Value::Record(rb)) => {
-                        for (k, v) in rb {
-                            if ra.insert(k.clone(), v).is_some() {
-                                return Err(EvalError::new(format!(
-                                    "duplicate field {k} in record concatenation \
-                                     (type system should prevent this)"
-                                )));
-                            }
-                        }
-                        Ok(Value::Record(ra))
-                    }
-                    (a, b) => Err(EvalError::new(format!(
-                        "record concatenation of non-records {a} and {b}"
-                    ))),
+                    (Value::Record(ra), Value::Record(rb)) => Self::rec_cat(ra, rb),
+                    (a, b) => Err(EvalError::of_kind(
+                        EvalErrorKind::TypeMismatch,
+                        format!("record concatenation of non-records {a} and {b}"),
+                    )),
                 }
             }
             Expr::Proj(r, c) => {
@@ -167,7 +234,10 @@ impl<'a> Interp<'a> {
                 let rv = self.eval(venv, r)?;
                 let rec = rv.as_record()?;
                 rec.get(&name).cloned().ok_or_else(|| {
-                    EvalError::new(format!("record {rv} has no field {name}"))
+                    EvalError::of_kind(
+                        EvalErrorKind::MissingField,
+                        format!("record {rv} has no field {name}"),
+                    )
                 })
             }
             Expr::Cut(r, c) => {
@@ -175,11 +245,12 @@ impl<'a> Interp<'a> {
                 let rv = self.eval(venv, r)?;
                 let mut rec = rv.as_record()?.clone();
                 if rec.remove(&name).is_none() {
-                    return Err(EvalError::new(format!(
-                        "record {rv} has no field {name} to remove"
-                    )));
+                    return Err(EvalError::of_kind(
+                        EvalErrorKind::MissingField,
+                        format!("record {rv} has no field {name} to remove"),
+                    ));
                 }
-                Ok(Value::Record(rec))
+                Ok(Value::record(rec))
             }
             Expr::DLam(_, _, body) => Ok(Value::DSusp(Rc::new(DSusp {
                 env: venv.clone(),
@@ -192,6 +263,7 @@ impl<'a> Interp<'a> {
                         let env = s.env.clone();
                         self.eval(&env, &s.body)
                     }
+                    Value::VmDSusp(s) => crate::vm::force(self, &s),
                     // Builtins erase guards.
                     other => Ok(other),
                 }
@@ -211,22 +283,36 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Applies a function value to an argument.
+    /// Applies a function value to an argument. Dispatches on the value's
+    /// engine: tree closures evaluate here, compiled closures run in the
+    /// VM — so values from either engine mix freely (higher-order
+    /// builtins apply whatever the program handed them).
     pub fn apply(&mut self, f: Value, arg: Value) -> Result<Value, EvalError> {
         match f {
             Value::Closure(c) => {
                 let env2 = c.env.with_val(c.param, arg);
                 self.eval(&env2, &c.body)
             }
+            Value::VmClosure(c) => crate::vm::call(self, &c, arg),
             Value::Builtin(b) => {
                 let mut app = (*b).clone();
                 app.args.push(arg);
                 self.maybe_run_builtin(app)
             }
-            other => Err(EvalError::new(format!(
-                "application of non-function {other}"
-            ))),
+            other => Err(EvalError::of_kind(
+                EvalErrorKind::NotAFunction,
+                format!("application of non-function {other}"),
+            )),
         }
+    }
+
+    /// Applies a function value to two arguments in sequence, `(f a) b`.
+    /// Semantically identical to two [`Interp::apply`] calls; compiled
+    /// curried functions and saturated binary builtins skip the
+    /// intermediate value (see `vm::call2`), which is what higher-order
+    /// builtins like `foldList` spend their per-element time on.
+    pub fn apply2(&mut self, f: Value, a: Value, b: Value) -> Result<Value, EvalError> {
+        crate::vm::call2(self, f, a, b)
     }
 
     /// Applies a value to a constructor argument.
@@ -236,6 +322,7 @@ impl<'a> Interp<'a> {
                 let env2 = cl.env.with_con(cl.param, c);
                 self.eval(&env2, &cl.body)
             }
+            Value::VmCClosure(cl) => crate::vm::capply(self, &cl, c),
             Value::Builtin(b) => {
                 let mut app = (*b).clone();
                 app.cons.push(c);
@@ -247,7 +334,31 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn maybe_run_builtin(&mut self, app: BuiltinApp) -> Result<Value, EvalError> {
+    /// Concatenates two record maps (`a ++ b`), reusing either side's
+    /// allocation when its `Rc` is unshared. Duplicate fields are a
+    /// runtime error, mirroring the type system's disjointness
+    /// obligation.
+    pub(crate) fn rec_cat(
+        ra: Rc<std::collections::BTreeMap<Rc<str>, Value>>,
+        rb: Rc<std::collections::BTreeMap<Rc<str>, Value>>,
+    ) -> Result<Value, EvalError> {
+        let mut ra = Rc::try_unwrap(ra).unwrap_or_else(|rc| (*rc).clone());
+        let rb = Rc::try_unwrap(rb).unwrap_or_else(|rc| (*rc).clone());
+        for (k, v) in rb {
+            if ra.insert(Rc::clone(&k), v).is_some() {
+                return Err(EvalError::of_kind(
+                    EvalErrorKind::DuplicateField,
+                    format!(
+                        "duplicate field {k} in record concatenation \
+                         (type system should prevent this)"
+                    ),
+                ));
+            }
+        }
+        Ok(Value::record(ra))
+    }
+
+    pub(crate) fn maybe_run_builtin(&mut self, app: BuiltinApp) -> Result<Value, EvalError> {
         if app.args.len() >= app.spec.arity && app.cons.len() >= app.spec.con_arity {
             let spec = app.spec;
             (spec.run)(self, &app.cons, &app.args)

@@ -7,7 +7,7 @@
 //! by whole-program monomorphization, §5 — a performance technique we
 //! substitute with interpretation; see DESIGN.md.)
 
-use crate::error::EvalError;
+use crate::error::{EvalError, EvalErrorKind};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fmt;
@@ -194,11 +194,22 @@ pub enum Value {
     Str(Rc<str>),
     Bool(bool),
     Unit,
-    /// A record; field names are concrete at runtime.
-    Record(BTreeMap<Rc<str>, Value>),
+    /// A record; field names are concrete at runtime. The map is
+    /// behind an `Rc` so pushing, capturing, or passing a record is a
+    /// reference bump, not a deep clone — only the record *operations*
+    /// (`++`, `--`) copy, and only when the map is shared.
+    Record(Rc<BTreeMap<Rc<str>, Value>>),
     Closure(Rc<Closure>),
     CClosure(Rc<CClosure>),
     DSusp(Rc<DSusp>),
+    /// A compiled closure `fn x : t => e` (see `crate::vm`). Displays
+    /// like [`Value::Closure`]; the two engines' results stay
+    /// observationally identical.
+    VmClosure(Rc<crate::vm::VmFn>),
+    /// A compiled constructor closure `fn [a :: k] => e`.
+    VmCClosure(Rc<crate::vm::VmFn>),
+    /// A compiled suspended guard abstraction, forced by `!`.
+    VmDSusp(Rc<crate::vm::VmFn>),
     Builtin(Rc<BuiltinApp>),
     /// A homogeneous list (`list t`).
     List(Rc<Vec<Value>>),
@@ -223,59 +234,69 @@ impl Value {
     pub fn as_int(&self) -> Result<i64, EvalError> {
         match self {
             Value::Int(n) => Ok(*n),
-            other => Err(EvalError::new(format!("expected int, got {other}"))),
+            other => Err(Value::mismatch("int", other)),
         }
     }
 
     pub fn as_float(&self) -> Result<f64, EvalError> {
         match self {
             Value::Float(x) => Ok(*x),
-            other => Err(EvalError::new(format!("expected float, got {other}"))),
+            other => Err(Value::mismatch("float", other)),
         }
     }
 
     pub fn as_str(&self) -> Result<Rc<str>, EvalError> {
         match self {
             Value::Str(s) => Ok(Rc::clone(s)),
-            other => Err(EvalError::new(format!("expected string, got {other}"))),
+            other => Err(Value::mismatch("string", other)),
         }
     }
 
     pub fn as_bool(&self) -> Result<bool, EvalError> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(EvalError::new(format!("expected bool, got {other}"))),
+            other => Err(Value::mismatch("bool", other)),
         }
     }
 
     pub fn as_record(&self) -> Result<&BTreeMap<Rc<str>, Value>, EvalError> {
         match self {
-            Value::Record(r) => Ok(r),
-            other => Err(EvalError::new(format!("expected record, got {other}"))),
+            Value::Record(r) => Ok(&**r),
+            other => Err(Value::mismatch("record", other)),
         }
+    }
+
+    /// Builds a record value from an owned field map.
+    pub fn record(map: BTreeMap<Rc<str>, Value>) -> Value {
+        Value::Record(Rc::new(map))
     }
 
     pub fn as_list(&self) -> Result<&[Value], EvalError> {
         match self {
             Value::List(l) => Ok(l),
-            other => Err(EvalError::new(format!("expected list, got {other}"))),
+            other => Err(Value::mismatch("list", other)),
         }
     }
 
     pub fn as_xml(&self) -> Result<&XmlVal, EvalError> {
         match self {
             Value::Xml(x) => Ok(x),
-            other => Err(EvalError::new(format!("expected xml, got {other}"))),
+            other => Err(Value::mismatch("xml", other)),
         }
     }
 
     pub fn as_sql_exp(&self) -> Result<&SqlExpr, EvalError> {
         match self {
             Value::SqlExp(e) => Ok(e),
-            other => Err(EvalError::new(format!(
-                "expected SQL expression, got {other}"
-            ))),
+            other => Err(Value::mismatch("SQL expression", other)),
         }
+    }
+
+    fn mismatch(wanted: &str, got: &Value) -> EvalError {
+        EvalError::of_kind(
+            EvalErrorKind::TypeMismatch,
+            format!("expected {wanted}, got {got}"),
+        )
     }
 }
 
@@ -297,9 +318,9 @@ impl fmt::Display for Value {
                 }
                 write!(f, "}}")
             }
-            Value::Closure(_) => write!(f, "<fn>"),
-            Value::CClosure(_) => write!(f, "<polyfn>"),
-            Value::DSusp(_) => write!(f, "<guarded>"),
+            Value::Closure(_) | Value::VmClosure(_) => write!(f, "<fn>"),
+            Value::CClosure(_) | Value::VmCClosure(_) => write!(f, "<polyfn>"),
+            Value::DSusp(_) | Value::VmDSusp(_) => write!(f, "<guarded>"),
             Value::Builtin(b) => write!(f, "<builtin {}>", b.spec.name),
             Value::List(items) => {
                 write!(f, "[")?;
@@ -372,7 +393,7 @@ mod tests {
     fn value_display() {
         let mut r = BTreeMap::new();
         r.insert(Rc::from("A"), Value::Int(1));
-        assert_eq!(Value::Record(r).to_string(), "{A = 1}");
+        assert_eq!(Value::record(r).to_string(), "{A = 1}");
         assert_eq!(Value::List(Rc::new(vec![Value::Int(1)])).to_string(), "[1]");
         assert_eq!(Value::Opt(None).to_string(), "None");
     }
@@ -382,5 +403,61 @@ mod tests {
         assert_eq!(Value::Int(3).as_int().unwrap(), 3);
         assert!(Value::Int(3).as_str().is_err());
         assert!(Value::Bool(true).as_bool().unwrap());
+    }
+
+    #[test]
+    fn accessor_errors_are_type_mismatches() {
+        use crate::error::EvalErrorKind;
+        assert_eq!(Value::Unit.as_int().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_float().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_str().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_bool().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_record().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_list().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_xml().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+        assert_eq!(Value::Int(1).as_sql_exp().unwrap_err().kind, EvalErrorKind::TypeMismatch);
+    }
+
+    #[test]
+    fn display_covers_every_scalar_shape() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bool(false).to_string(), "False");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Opt(Some(Rc::new(Value::Int(2)))).to_string(), "Some 2");
+        assert_eq!(Value::SqlTable(Rc::from("t")).to_string(), "<table t>");
+    }
+
+    #[test]
+    fn record_display_is_sorted_by_field_name() {
+        // BTreeMap keys iterate sorted, so insertion order never leaks
+        // into the rendered value — the invariant the differential
+        // suites rely on when comparing engines by display.
+        let mut r = BTreeMap::new();
+        r.insert(Rc::from("B"), Value::Int(2));
+        r.insert(Rc::from("A"), Value::Int(1));
+        r.insert(Rc::from("C"), Value::Int(3));
+        assert_eq!(Value::record(r).to_string(), "{A = 1, B = 2, C = 3}");
+    }
+
+    #[test]
+    fn record_accessor_returns_ordered_map() {
+        let mut r = BTreeMap::new();
+        r.insert(Rc::from("Z"), Value::Int(26));
+        r.insert(Rc::from("A"), Value::Int(1));
+        let v = Value::record(r);
+        let keys: Vec<&str> = v.as_record().unwrap().keys().map(|k| k.as_ref()).collect();
+        assert_eq!(keys, vec!["A", "Z"]);
+    }
+
+    #[test]
+    fn nested_record_display() {
+        let mut inner = BTreeMap::new();
+        inner.insert(Rc::from("X"), Value::str("s"));
+        let mut outer = BTreeMap::new();
+        outer.insert(Rc::from("R"), Value::record(inner));
+        outer.insert(Rc::from("N"), Value::Int(0));
+        assert_eq!(Value::record(outer).to_string(), "{N = 0, R = {X = \"s\"}}");
     }
 }

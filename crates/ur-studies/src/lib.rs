@@ -262,7 +262,14 @@ pub fn run_study(s: &Study) -> Result<StudyReport, SessionError> {
     })
 }
 
-fn load_deps(sess: &mut Session, s: &Study) -> Result<(), SessionError> {
+/// Loads a study's transitive dependencies (depth-first) into `sess`.
+/// Public so harnesses (the eval benchmark) can assemble a study
+/// session around a specific execution engine.
+///
+/// # Errors
+///
+/// Returns the first elaboration or runtime error from a dependency.
+pub fn load_deps(sess: &mut Session, s: &Study) -> Result<(), SessionError> {
     for dep in s.deps {
         let d = study(dep);
         load_deps(sess, &d)?;

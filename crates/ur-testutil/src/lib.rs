@@ -88,6 +88,288 @@ impl Rng {
     }
 }
 
+pub mod gen {
+    //! Eval-heavy Ur *source* program generator, shared by the
+    //! differential engine tier in `tests/generative_e2e.rs` and the
+    //! `ur-bench` eval corpus. Programs are type-correct by
+    //! construction — the generator tracks the scalar type of every
+    //! subexpression and only emits well-typed combinations — so every
+    //! generated program elaborates, and the bytecode VM and the
+    //! tree-walking interpreter must agree on every declared value.
+    //!
+    //! The grammar is deliberately weighted toward what the VM has to
+    //! get right: nested `let`s reusing a tiny name pool (shadowing),
+    //! immediately-applied `fn`s whose bodies mention outer locals
+    //! (capture-by-value), `foldList` over `cons` chains (cross-engine
+    //! higher-order application), and record build/`++`/`--`/projection
+    //! chains (the paper's row operations).
+
+    use crate::Rng;
+
+    /// Scalar type of a generated expression.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Ty {
+        Int,
+        Bool,
+        Str,
+    }
+
+    /// A generated program: source text (newline-separated `val`
+    /// declarations) plus the declaration names whose values a
+    /// differential harness should compare.
+    #[derive(Clone, Debug)]
+    pub struct Program {
+        pub source: String,
+        pub vals: Vec<String>,
+    }
+
+    /// Local/global binding pool used while generating one program.
+    struct Gen<'a> {
+        rng: &'a mut Rng,
+        /// Previously declared scalar globals (`g0`, `g1`, …).
+        scalars: Vec<(String, Ty)>,
+        /// Previously declared record globals and their fields.
+        records: Vec<(String, Vec<(String, Ty)>)>,
+        /// Locals currently in scope, innermost last. Names come from a
+        /// three-name pool so shadowing happens constantly.
+        locals: Vec<(String, Ty)>,
+    }
+
+    const LOCAL_POOL: &[&str] = &["x", "y", "z"];
+    const FIELD_POOL: &[&str] = &["A", "B", "C", "D", "E"];
+
+    impl Gen<'_> {
+        fn lit(&mut self, ty: Ty) -> String {
+            match ty {
+                Ty::Int => self.rng.range_i64(0, 100).to_string(),
+                Ty::Bool => if self.rng.bool_() { "True" } else { "False" }.into(),
+                Ty::Str => format!("{:?}", self.rng.lowercase(6)),
+            }
+        }
+
+        /// A literal, an in-scope variable, or a record projection of
+        /// the requested type. Only the *innermost* binding of each
+        /// local name is visible — an outer `x : int` shadowed by an
+        /// inner `x : string` must not be picked as an int.
+        fn atom(&mut self, ty: Ty) -> String {
+            let mut opts: Vec<String> = Vec::new();
+            let mut seen: Vec<&str> = Vec::new();
+            for (n, t) in self.locals.iter().rev() {
+                if seen.contains(&n.as_str()) {
+                    continue;
+                }
+                seen.push(n);
+                if *t == ty {
+                    opts.push(n.clone());
+                }
+            }
+            for (n, t) in &self.scalars {
+                if *t == ty {
+                    opts.push(n.clone());
+                }
+            }
+            for (r, fields) in &self.records {
+                for (f, t) in fields {
+                    if *t == ty {
+                        opts.push(format!("{r}.{f}"));
+                    }
+                }
+            }
+            if !opts.is_empty() && self.rng.chance(2, 3) {
+                let i = self.rng.below(opts.len());
+                return opts[i].clone();
+            }
+            self.lit(ty)
+        }
+
+        fn expr(&mut self, ty: Ty, depth: usize) -> String {
+            if depth == 0 {
+                return self.atom(ty);
+            }
+            match ty {
+                Ty::Int => self.int_expr(depth),
+                Ty::Bool => self.bool_expr(depth),
+                Ty::Str => self.str_expr(depth),
+            }
+        }
+
+        fn int_expr(&mut self, depth: usize) -> String {
+            match self.rng.below(9) {
+                0 | 1 => {
+                    let op = *self.rng.pick(&["+", "-", "*"]);
+                    let a = self.expr(Ty::Int, depth - 1);
+                    let b = self.expr(Ty::Int, depth - 1);
+                    format!("({a} {op} {b})")
+                }
+                2 => {
+                    // Literal denominator: both engines share the `mod`
+                    // builtin, but keep the programs total anyway.
+                    let a = self.expr(Ty::Int, depth - 1);
+                    let k = 2 + self.rng.below(7);
+                    format!("({a} % {k})")
+                }
+                3 => {
+                    let c = self.expr(Ty::Bool, depth - 1);
+                    let t = self.expr(Ty::Int, depth - 1);
+                    let e = self.expr(Ty::Int, depth - 1);
+                    format!("(if {c} then {t} else {e})")
+                }
+                4 => self.let_expr(Ty::Int, depth),
+                5 => self.apply_fn(Ty::Int, depth),
+                6 => self.fold(depth),
+                7 => {
+                    let b = self.expr(Ty::Bool, depth - 1);
+                    format!("(if {b} then 1 else 0)")
+                }
+                _ => self.atom(Ty::Int),
+            }
+        }
+
+        fn bool_expr(&mut self, depth: usize) -> String {
+            match self.rng.below(6) {
+                0 | 1 => {
+                    let op = *self.rng.pick(&["<", "<=", ">", ">=", "==", "!="]);
+                    let a = self.expr(Ty::Int, depth - 1);
+                    let b = self.expr(Ty::Int, depth - 1);
+                    format!("({a} {op} {b})")
+                }
+                2 => {
+                    let op = *self.rng.pick(&["&&", "||"]);
+                    let a = self.expr(Ty::Bool, depth - 1);
+                    let b = self.expr(Ty::Bool, depth - 1);
+                    format!("({a} {op} {b})")
+                }
+                3 => self.let_expr(Ty::Bool, depth),
+                _ => self.atom(Ty::Bool),
+            }
+        }
+
+        fn str_expr(&mut self, depth: usize) -> String {
+            match self.rng.below(5) {
+                0 => {
+                    let a = self.expr(Ty::Str, depth - 1);
+                    let b = self.expr(Ty::Str, depth - 1);
+                    format!("({a} ^ {b})")
+                }
+                1 => {
+                    let n = self.expr(Ty::Int, depth - 1);
+                    format!("(showInt {n})")
+                }
+                2 => self.let_expr(Ty::Str, depth),
+                _ => self.atom(Ty::Str),
+            }
+        }
+
+        /// `let val x = e1 in e2 end`, reusing the tiny local-name pool
+        /// so inner lets shadow outer ones (and function parameters).
+        fn let_expr(&mut self, ty: Ty, depth: usize) -> String {
+            let name = (*self.rng.pick(LOCAL_POOL)).to_string();
+            let bound_ty = *self.rng.pick(&[Ty::Int, Ty::Bool, Ty::Str]);
+            let bound = self.expr(bound_ty, depth - 1);
+            self.locals.push((name.clone(), bound_ty));
+            let body = self.expr(ty, depth - 1);
+            self.locals.pop();
+            format!("(let val {name} = {bound} in {body} end)")
+        }
+
+        /// An immediately-applied annotated lambda. The body is
+        /// generated with outer locals still in scope, so it frequently
+        /// closes over them — the capture-by-value path in the VM.
+        fn apply_fn(&mut self, ty: Ty, depth: usize) -> String {
+            let p = (*self.rng.pick(LOCAL_POOL)).to_string();
+            let arg = self.expr(Ty::Int, depth - 1);
+            self.locals.push((p.clone(), Ty::Int));
+            let body = self.expr(ty, depth - 1);
+            self.locals.pop();
+            format!("((fn ({p} : int) => {body}) {arg})")
+        }
+
+        /// `foldList (fn (x : int) (acc : int) => …) init list` over a
+        /// `cons` chain of 0..6 elements — 0 exercises the fold base
+        /// case, and the closure crosses the engine boundary through
+        /// the builtin.
+        fn fold(&mut self, depth: usize) -> String {
+            let n = self.rng.below(6);
+            let mut list = "nil".to_string();
+            for _ in 0..n {
+                let e = self.expr(Ty::Int, depth.saturating_sub(2));
+                list = format!("(cons {e} {list})");
+            }
+            self.locals.push(("x".into(), Ty::Int));
+            self.locals.push(("acc".into(), Ty::Int));
+            let body = self.expr(Ty::Int, 1);
+            self.locals.pop();
+            self.locals.pop();
+            let init = self.expr(Ty::Int, depth.saturating_sub(2));
+            format!("(foldList (fn (x : int) (acc : int) => {body}) {init} {list})")
+        }
+
+        /// A record declaration body: a field literal, possibly split
+        /// into a disjoint `++`, possibly with a `--`-then-readd.
+        fn record_expr(&mut self, depth: usize) -> (Vec<(String, Ty)>, String) {
+            let n = 1 + self.rng.below(FIELD_POOL.len() - 1);
+            let mut fields: Vec<(String, Ty, String)> = Vec::new();
+            for f in FIELD_POOL.iter().take(n) {
+                let ty = *self.rng.pick(&[Ty::Int, Ty::Bool, Ty::Str]);
+                let e = self.expr(ty, depth - 1);
+                fields.push(((*f).to_string(), ty, e));
+            }
+            let part = |fs: &[(String, Ty, String)]| {
+                let inner: Vec<String> =
+                    fs.iter().map(|(f, _, e)| format!("{f} = {e}")).collect();
+                format!("{{{}}}", inner.join(", "))
+            };
+            let mut src = if fields.len() >= 2 && self.rng.bool_() {
+                let k = 1 + self.rng.below(fields.len() - 1);
+                let (l, r) = fields.split_at(k);
+                format!("({} ++ {})", part(l), part(r))
+            } else {
+                part(&fields)
+            };
+            if self.rng.chance(1, 3) {
+                let i = self.rng.below(fields.len());
+                let (f, ty) = (fields[i].0.clone(), fields[i].1);
+                let re = self.expr(ty, depth - 1);
+                src = format!("(({src} -- {f}) ++ {{{f} = {re}}})");
+            }
+            let shape = fields.into_iter().map(|(f, t, _)| (f, t)).collect();
+            (shape, src)
+        }
+    }
+
+    /// Generates a deterministic eval-heavy program of `decls`
+    /// declarations with expression depth `depth`. Later declarations
+    /// reference earlier ones, so the harness also exercises global
+    /// resolution and (under the VM) per-declaration chunk caching.
+    pub fn eval_program(rng: &mut Rng, decls: usize, depth: usize) -> Program {
+        let mut g = Gen {
+            rng,
+            scalars: Vec::new(),
+            records: Vec::new(),
+            locals: Vec::new(),
+        };
+        let mut source = String::new();
+        let mut vals = Vec::new();
+        for i in 0..decls {
+            if g.rng.chance(1, 3) {
+                let name = format!("r{i}");
+                let (shape, e) = g.record_expr(depth.max(1));
+                source.push_str(&format!("val {name} = {e}\n"));
+                g.records.push((name.clone(), shape));
+                vals.push(name);
+            } else {
+                let ty = *g.rng.pick(&[Ty::Int, Ty::Int, Ty::Bool, Ty::Str]);
+                let name = format!("g{i}");
+                let e = g.expr(ty, depth);
+                source.push_str(&format!("val {name} = {e}\n"));
+                g.scalars.push((name.clone(), ty));
+                vals.push(name);
+            }
+        }
+        Program { source, vals }
+    }
+}
+
 pub mod bench {
     //! Minimal `Instant`-based micro-bench harness (criterion stand-in).
 
@@ -129,6 +411,36 @@ pub mod bench {
                 per,
                 iters
             );
+        }
+    }
+}
+
+#[cfg(test)]
+mod gen_tests {
+    use super::gen::eval_program;
+    use super::Rng;
+
+    #[test]
+    fn same_seed_same_program() {
+        let a = eval_program(&mut Rng::new(7), 8, 3);
+        let b = eval_program(&mut Rng::new(7), 8, 3);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.vals, b.vals);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = eval_program(&mut Rng::new(1), 8, 3);
+        let b = eval_program(&mut Rng::new(2), 8, 3);
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn every_val_is_declared_in_the_source() {
+        let p = eval_program(&mut Rng::new(42), 10, 3);
+        assert_eq!(p.vals.len(), 10);
+        for v in &p.vals {
+            assert!(p.source.contains(&format!("val {v} = ")), "{v} missing");
         }
     }
 }

@@ -203,8 +203,7 @@ pub fn registry() -> HashMap<String, Rc<Builtin>> {
         let f = a[0].clone();
         let mut acc = a[1].clone();
         for item in a[2].as_list()?.to_vec() {
-            let g = interp.apply(f.clone(), item)?;
-            acc = interp.apply(g, acc)?;
+            acc = interp.apply2(f.clone(), item, acc)?;
         }
         Ok(acc)
     });
@@ -512,7 +511,7 @@ pub fn registry() -> HashMap<String, Rc<Builtin>> {
             for ((col, ty), v) in schema.columns().iter().zip(&row) {
                 rec.insert(Rc::from(col.as_str()), db_to_value(v, ty));
             }
-            out.push(Value::Record(rec));
+            out.push(Value::record(rec));
         }
         Ok(Value::List(Rc::new(out)))
     });
@@ -539,7 +538,7 @@ pub fn registry() -> HashMap<String, Rc<Builtin>> {
             for ((col, ty), v) in schema.columns().iter().zip(&row) {
                 rec.insert(Rc::from(col.as_str()), db_to_value(v, ty));
             }
-            out.push(Value::Record(rec));
+            out.push(Value::record(rec));
         }
         Ok(Value::List(Rc::new(out)))
     });

@@ -14,6 +14,9 @@
 //!   --core NAME        dump the elaborated core term of value NAME
 //!   --type NAME        print the inferred type of value NAME
 //!   --eval EXPR        evaluate EXPR after loading the files
+//!   --eval=vm|interp   execution engine: the bytecode VM (default) or
+//!                      the tree-walking interpreter (the differential
+//!                      oracle; also: UR_EVAL env var)
 //!   --sql-log          print the SQL statements the program issued
 //!   --jobs N           elaborate on N worker threads (default: available
 //!                      parallelism; 1 = sequential)
@@ -67,12 +70,14 @@ struct Options {
     db_dir: Option<String>,
     watch: bool,
     serve: bool,
+    engine: Option<ur::eval::EvalEngine>,
 }
 
 fn usage() -> &'static str {
     "usage: urc [--print] [--stats] [--health] [--core NAME] [--type NAME] [--eval EXPR]\n\
-     \x20          [--sql-log] [--jobs N] [--no-identity] [--no-distrib] [--no-fusion]\n\
-     \x20          [--emit-json] [--cache-dir DIR] [--db-dir DIR] [--watch] [--serve] FILE...\n\
+     \x20          [--eval=vm|interp] [--sql-log] [--jobs N] [--no-identity] [--no-distrib]\n\
+     \x20          [--no-fusion] [--emit-json] [--cache-dir DIR] [--db-dir DIR] [--watch]\n\
+     \x20          [--serve] FILE...\n\
      Elaborates and runs Ur source files against the Ur/Web standard library.\n\
      --db-dir backs database effects with a crash-safe WAL + snapshot store\n\
      (empty = in-memory). --watch re-elaborates FILE incrementally on every\n\
@@ -99,6 +104,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         db_dir: None,
         watch: false,
         serve: false,
+        engine: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -135,6 +141,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     .map_err(|_| format!("--jobs: not a thread count: {v}"))?;
                 opts.jobs = Some(n.max(1));
             }
+            other if other.starts_with("--eval=") => {
+                let name = &other["--eval=".len()..];
+                opts.engine = Some(
+                    ur::eval::EvalEngine::parse(name)
+                        .ok_or_else(|| format!("--eval=: unknown engine {name} (vm|interp)"))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}\n{}", usage()))
             }
@@ -169,6 +182,9 @@ fn run(opts: &Options) -> Result<(), String> {
     sess.elab.cx.laws.fusion = !opts.no_fusion;
     if let Some(dir) = &opts.cache_dir {
         sess.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(engine) = opts.engine {
+        sess.engine = engine;
     }
     // An empty --db-dir means "today's in-memory mode", so scripts can
     // pass a variable unconditionally.
@@ -258,6 +274,7 @@ fn run(opts: &Options) -> Result<(), String> {
 
     if opts.stats {
         eprintln!("stats: {}", sess.stats_snapshot());
+        eprintln!("eval engine: {}", sess.engine.name());
     }
     if opts.health {
         eprint!("{}", sess.health_report());

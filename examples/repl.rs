@@ -1,16 +1,18 @@
 //! A minimal Ur REPL on top of [`ur::Session`].
 //!
 //! ```sh
-//! cargo run -p ur --example repl [-- --db-dir DIR]
+//! cargo run -p ur --example repl [-- --db-dir DIR] [--eval=vm|interp]
 //! ```
 //!
 //! Enter expressions to evaluate them, declarations (`val`/`fun`/`type`/
 //! `con`) to extend the session, `:t e` for the type of an expression,
 //! `:stats` for the Figure-5 counters plus the memo-cache, intern-table,
-//! and self-healing columns, `:health` for the circuit-breaker/fault
-//! report, `:db` for the database report (tables, WAL, durability
-//! counters), and `:quit` to exit. With `--db-dir DIR` the session's
-//! database effects go through the crash-safe WAL + snapshot store.
+//! self-healing, and eval-engine columns, `:health` for the
+//! circuit-breaker/fault report, `:db` for the database report (tables,
+//! WAL, durability counters), and `:quit` to exit. With `--db-dir DIR`
+//! the session's database effects go through the crash-safe WAL +
+//! snapshot store; `--eval=` picks the execution engine (the bytecode VM
+//! by default, the tree-walking interpreter as the oracle).
 
 use std::io::{BufRead, Write};
 use ur::{Session, SessionError};
@@ -47,8 +49,20 @@ fn main() {
                     }
                 }
             }
+            other if other.starts_with("--eval=") => {
+                let name = &other["--eval=".len()..];
+                match ur::eval::EvalEngine::parse(name) {
+                    Some(engine) => sess.engine = engine,
+                    None => {
+                        eprintln!("--eval=: unknown engine {name} (vm|interp)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown option {other} (supported: --db-dir DIR)");
+                eprintln!(
+                    "unknown option {other} (supported: --db-dir DIR, --eval=vm|interp)"
+                );
                 std::process::exit(2);
             }
         }
@@ -79,6 +93,7 @@ fn main() {
         }
         if line == ":stats" {
             println!("{}", sess.stats_snapshot());
+            println!("eval engine: {}", sess.engine.name());
             continue;
         }
         if line == ":health" {

@@ -8,8 +8,9 @@
 //! (offline build: no `proptest`); seeds are fixed, so failures reproduce.
 
 use std::collections::BTreeMap;
+use ur::eval::EvalEngine;
 use ur::Session;
-use ur_testutil::Rng;
+use ur_testutil::{gen, Rng};
 
 const CASES: usize = 48;
 
@@ -198,6 +199,81 @@ fn db_roundtrip_for_random_records() {
         let rec_v = rows[0].as_record().unwrap();
         for (name, v) in &rec {
             assert_eq!(rec_v[name.as_str()].to_string(), v.expected_display());
+        }
+    }
+}
+
+/// A session pinned to one execution engine.
+fn session_with(engine: EvalEngine) -> Session {
+    let mut sess = Session::new().unwrap();
+    sess.engine = engine;
+    sess
+}
+
+/// The eval-heavy tier: random programs full of shadowed `let`s,
+/// capturing closures, folds, and record algebra, run through BOTH
+/// engines declaration-by-declaration. Any divergence is a bug in the
+/// bytecode compiler or VM (the tree-walking interpreter is the
+/// oracle); the failing seed is in the panic message.
+#[test]
+fn eval_heavy_programs_agree_across_engines() {
+    for case in 0..CASES as u64 {
+        let seed = 0xE2E_0006 + case;
+        let mut rng = Rng::new(seed);
+        let prog = gen::eval_program(&mut rng, 8, 3);
+        let mut vm = session_with(EvalEngine::Vm);
+        let mut oracle = session_with(EvalEngine::Interp);
+        let (vm_defs, vm_diags) = vm.run_all(&prog.source);
+        let (or_defs, or_diags) = oracle.run_all(&prog.source);
+        assert!(
+            vm_diags.is_empty() && or_diags.is_empty(),
+            "seed {seed:#x}: generated program failed to elaborate\n\
+             vm: {vm_diags:?}\ninterp: {or_diags:?}\nprogram:\n{}",
+            prog.source
+        );
+        assert_eq!(
+            vm_defs.len(),
+            or_defs.len(),
+            "seed {seed:#x}: engines defined different numbers of values\nprogram:\n{}",
+            prog.source
+        );
+        for ((vn, vv), (on, ov)) in vm_defs.iter().zip(&or_defs) {
+            assert_eq!(vn, on, "seed {seed:#x}: declaration order diverged");
+            assert_eq!(
+                vv.to_string(),
+                ov.to_string(),
+                "seed {seed:#x}: engines disagree on `{vn}`\nprogram:\n{}",
+                prog.source
+            );
+        }
+    }
+}
+
+/// Re-evaluating the same generated expressions through one VM session
+/// hits the per-declaration chunk cache (identical bodies hash-cons to
+/// the same core term); the cached chunk must produce the same value
+/// as the first compile, and as the oracle.
+#[test]
+fn chunk_cache_reuse_stays_consistent_with_the_oracle() {
+    for case in 0..8u64 {
+        let seed = 0xE2E_0007 + case;
+        let mut rng = Rng::new(seed);
+        let prog = gen::eval_program(&mut rng, 6, 3);
+        let mut vm = session_with(EvalEngine::Vm);
+        let mut oracle = session_with(EvalEngine::Interp);
+        let (_, vm_diags) = vm.run_all(&prog.source);
+        let (_, or_diags) = oracle.run_all(&prog.source);
+        assert!(
+            vm_diags.is_empty() && or_diags.is_empty(),
+            "seed {seed:#x}: generated program failed to elaborate:\n{}",
+            prog.source
+        );
+        for name in &prog.vals {
+            let first = vm.eval(name).unwrap().to_string();
+            let second = vm.eval(name).unwrap().to_string();
+            let reference = oracle.eval(name).unwrap().to_string();
+            assert_eq!(first, second, "seed {seed:#x}: cached chunk diverged on {name}");
+            assert_eq!(first, reference, "seed {seed:#x}: vm diverged on {name}");
         }
     }
 }
