@@ -655,6 +655,15 @@ impl ConId {
             None => 0,
         }
     }
+
+    /// Whether this id names a live arena slot. Codecs that transport
+    /// raw handles use this to reject forged or stale (post-reset) ids
+    /// up front, instead of letting [`ConId::get`] silently fall back
+    /// to the canonical `unit`.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        arena().cons.slot(self.0).is_some()
+    }
 }
 
 impl Deref for ConId {

@@ -53,11 +53,17 @@ pub enum Op {
     Global(u32),
     /// Pop `arg` then `f`; push `f arg`.
     Call,
-    /// Pop `b`, then `a`, then `f`; push `(f a) b`. Emitted for
-    /// two-argument application spines so a saturated two-argument
+    /// Pop `b`, then `a`, then `f`; push `(f a) b`. Emitted for a
+    /// two-argument application spine so a saturated two-argument
     /// builtin runs directly, without materializing the partial
-    /// application `f a`. Partial builtin application is pure, so the
-    /// observable order (`f`, `a`, `b`, apply, apply) is unchanged.
+    /// application `f a` — but only when evaluating `b` is statically
+    /// unobservable (a literal, a binder, or a local variable). The
+    /// interpreter performs the inner application *before* evaluating
+    /// `b`, and `f a` can itself be observable (an arity-1 builtin
+    /// saturating, a closure body with effects between binders), so
+    /// hoisting `b` across it is only sound for arguments that cannot
+    /// error, effect, or diverge. Every other spine compiles as two
+    /// [`Op::Call`]s in interpreter order.
     Call2,
     /// Make a value closure from `subs[i]`, capturing frame slots.
     Closure(u32),
@@ -363,6 +369,33 @@ impl Compiler<'_> {
         (parent.subs.len() - 1) as u32
     }
 
+    /// Whether `x` is bound by an enclosing binder (parameter, `let`,
+    /// or an already-threaded capture) rather than free at the root.
+    /// Read-only: unlike [`Compiler::var_loc`] it threads no captures.
+    fn is_local(&self, fi: usize, x: Sym) -> bool {
+        (0..=fi).rev().any(|i| {
+            let f = &self.frames[i];
+            f.scope.iter().any(|(s, _)| *s == x) || f.cap_map.contains_key(&x)
+        })
+    }
+
+    /// Whether evaluating `e` is statically unobservable: no effects, no
+    /// errors, no divergence. Only such expressions may move across an
+    /// application in [`Op::Call2`] (see its doc). Global variables are
+    /// excluded — resolution can raise `UnboundVar` and runs nullary
+    /// builtins; record/projection forms are excluded — they can error.
+    fn pure_operand(&self, fi: usize, e: &RExpr) -> bool {
+        match &**e {
+            Expr::Lit(_)
+            | Expr::Lam(..)
+            | Expr::CLam(..)
+            | Expr::DLam(..)
+            | Expr::RecNil => true,
+            Expr::Var(x) => self.is_local(fi, *x),
+            _ => false,
+        }
+    }
+
     /// Emits code that resolves a field-name constructor: static names
     /// become a table index, everything else becomes a [`Op::NameDyn`]
     /// push (before the operand, preserving interpreter effect order).
@@ -390,22 +423,26 @@ impl Compiler<'_> {
                 let i = self.frames[fi].const_idx(l);
                 self.frames[fi].emit(Op::Const(i));
             }
-            Expr::App(f, a) => {
-                if let Expr::App(g, a1) = &**f {
-                    // Two-argument spine `g a1 a`: evaluate `g`, `a1`,
-                    // `a` in the interpreter's order, then apply both at
-                    // once so saturated binary builtins skip the
-                    // intermediate partial application.
+            Expr::App(f, a) => match &**f {
+                // Two-argument spine `g a1 a` whose outer argument is
+                // statically pure: evaluate `g`, `a1`, `a`, then apply
+                // both at once so saturated binary builtins skip the
+                // intermediate partial application. The interpreter
+                // applies `g a1` *before* evaluating `a`; hoisting `a`
+                // across that application is unobservable only because
+                // `pure_operand` guarantees `a` cannot error or effect.
+                Expr::App(g, a1) if self.pure_operand(fi, a) => {
                     self.expr(fi, g);
                     self.expr(fi, a1);
                     self.expr(fi, a);
                     self.frames[fi].emit(Op::Call2);
-                } else {
+                }
+                _ => {
                     self.expr(fi, f);
                     self.expr(fi, a);
                     self.frames[fi].emit(Op::Call);
                 }
-            }
+            },
             Expr::Lam(x, _, body) => {
                 let sub = self.sub_fn(fi, "fn", Some(*x), None, body);
                 self.frames[fi].emit(Op::Closure(sub));
@@ -501,6 +538,10 @@ impl Compiler<'_> {
 // symbol names, string literals) are content-encoded and re-interned on
 // decode; constructor handles are raw arena ids, so decoding is only
 // valid in the process (and arena generation) that encoded the chunk.
+// The stream is stamped with the arena generation, and every
+// constructor handle travels with its intern-time node hash, so a
+// stale, forged, or cross-process handle fails decode instead of
+// producing a chunk that misbehaves at dispatch time.
 // ---------------------------------------------------------------------
 
 const CHUNK_MAGIC: u32 = 0x5552_434B; // "URCK"
@@ -625,6 +666,7 @@ fn encode_into(c: &Chunk, out: &mut Vec<u8>) {
     put_u32(out, c.cons.len() as u32);
     for con in &c.cons {
         put_u32(out, con.0);
+        out.extend_from_slice(&con.node_hash().to_le_bytes());
     }
     put_u32(out, c.syms.len() as u32);
     for s in &c.syms {
@@ -637,9 +679,12 @@ fn encode_into(c: &Chunk, out: &mut Vec<u8>) {
     }
 }
 
-/// Serializes a chunk (recursively, including sub-chunks).
+/// Serializes a chunk (recursively, including sub-chunks). The stream
+/// opens with the current arena generation so a decode after an arena
+/// reset fails fast rather than resurrecting dangling handles.
 pub fn encode_chunk(c: &Chunk) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&ur_core::arena::generation().to_le_bytes());
     encode_into(c, &mut out);
     out
 }
@@ -739,7 +784,17 @@ fn decode_one(r: &mut Reader<'_>) -> Option<Chunk> {
     let n_cons = r.count()?;
     let mut cons = Vec::with_capacity(n_cons);
     for _ in 0..n_cons {
-        cons.push(ConId(r.u32()?));
+        // A raw arena handle is only honest if it names a live slot
+        // whose intern-time hash matches the one recorded at encode
+        // time; anything else (truncated id, cross-process stream, a
+        // slot that means something different now) fails decode here
+        // instead of panicking or dispatching on the wrong constructor.
+        let id = ConId(r.u32()?);
+        let hash = r.u64()?;
+        if !id.is_valid() || id.node_hash() != hash {
+            return None;
+        }
+        cons.push(id);
     }
     let n_syms = r.count()?;
     let mut syms = Vec::with_capacity(n_syms);
@@ -769,11 +824,16 @@ fn decode_one(r: &mut Reader<'_>) -> Option<Chunk> {
 }
 
 /// Deserializes a chunk encoded by [`encode_chunk`]. Returns `None` on
-/// any malformed input (truncation, bad tags, invalid UTF-8). Only valid
-/// in the process that encoded it: constructor handles are raw arena
-/// ids.
+/// any malformed input: truncation, bad tags, invalid UTF-8, an arena
+/// generation other than the current one, or a constructor handle that
+/// does not name a live arena slot with the recorded node hash. Only
+/// valid in the process (and arena generation) that encoded it:
+/// constructor handles are raw arena ids.
 pub fn decode_chunk(bytes: &[u8]) -> Option<Arc<Chunk>> {
     let mut r = Reader { bytes, pos: 0 };
+    if r.u64()? != ur_core::arena::generation() {
+        return None;
+    }
     let c = decode_one(&mut r)?;
     if r.pos != bytes.len() {
         return None;
@@ -899,6 +959,57 @@ mod tests {
     }
 
     #[test]
+    fn call2_only_fires_on_pure_second_arguments() {
+        let g = Sym::fresh("g");
+        let h = Sym::fresh("h");
+        // Literal second argument: superinstruction.
+        let pure = Expr::app(
+            Expr::app(Expr::var(&g), Expr::lit(Lit::Int(1))),
+            Expr::lit(Lit::Int(2)),
+        );
+        let c = compile_simple(&pure);
+        assert!(c.ops.contains(&Op::Call2), "{:?}", c.ops);
+
+        // An application as the second argument can error or effect
+        // before the inner application the interpreter performs first:
+        // two ordinary calls in interpreter order.
+        let impure = Expr::app(
+            Expr::app(Expr::var(&g), Expr::lit(Lit::Int(1))),
+            Expr::app(Expr::var(&h), Expr::lit(Lit::Int(3))),
+        );
+        let c = compile_simple(&impure);
+        assert!(!c.ops.contains(&Op::Call2), "{:?}", c.ops);
+        assert_eq!(
+            c.ops.iter().filter(|o| matches!(o, Op::Call)).count(),
+            3,
+            "{:?}",
+            c.ops
+        );
+
+        // A global second argument resolves at runtime (may raise
+        // UnboundVar or run a nullary builtin): not pure either.
+        let global_arg = Expr::app(
+            Expr::app(Expr::var(&g), Expr::lit(Lit::Int(1))),
+            Expr::var(&h),
+        );
+        let c = compile_simple(&global_arg);
+        assert!(!c.ops.contains(&Op::Call2), "{:?}", c.ops);
+
+        // A local second argument is pure: superinstruction.
+        let x = Sym::fresh("x");
+        let local_arg = Expr::lam(
+            x,
+            Con::int(),
+            Expr::app(
+                Expr::app(Expr::var(&g), Expr::lit(Lit::Int(1))),
+                Expr::var(&x),
+            ),
+        );
+        let c = compile_simple(&local_arg);
+        assert!(c.subs[0].ops.contains(&Op::Call2), "{:?}", c.subs[0].ops);
+    }
+
+    #[test]
     fn encode_decode_round_trips() {
         let x = Sym::fresh("x");
         let e = Expr::let_(
@@ -925,9 +1036,52 @@ mod tests {
         let c = compile_simple(&Expr::lit(Lit::Int(1)));
         let bytes = encode_chunk(&c);
         assert!(decode_chunk(&bytes[..bytes.len() - 1]).is_none(), "truncated");
+        // Bytes 0..8 are the arena generation stamp; the magic follows.
+        let mut stale = bytes.clone();
+        stale[0] ^= 0xFF;
+        assert!(decode_chunk(&stale).is_none(), "wrong arena generation");
         let mut bad = bytes.clone();
-        bad[0] ^= 0xFF;
+        bad[8] ^= 0xFF;
         assert!(decode_chunk(&bad).is_none(), "bad magic");
         assert!(decode_chunk(&[]).is_none(), "empty");
+    }
+
+    #[test]
+    fn decode_rejects_forged_con_handles() {
+        // Projection under a name variable keeps a runtime constructor
+        // in the chunk's con table — the raw arena handle the codec has
+        // to guard.
+        let nm = Sym::fresh("nm");
+        let x = Sym::fresh("x");
+        let body = Expr::lam(
+            x,
+            Con::record(Con::row_one(Con::var(&nm), Con::int())),
+            Expr::proj(Expr::var(&x), Con::var(&nm)),
+        );
+        let c = compile_simple(&Expr::clam(nm, Kind::Name, body));
+        let bytes = encode_chunk(&c);
+        assert!(decode_chunk(&bytes).is_some(), "clean stream decodes");
+
+        let id = c.subs[0].subs[0].cons[0];
+        let mut entry = id.0.to_le_bytes().to_vec();
+        entry.extend_from_slice(&id.node_hash().to_le_bytes());
+        let pos = bytes
+            .windows(entry.len())
+            .position(|w| w == entry.as_slice())
+            .expect("con entry present in the stream");
+
+        // An id that names no live slot fails decode...
+        let mut forged = bytes.clone();
+        forged[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_chunk(&forged).is_none(), "dangling con id decoded");
+
+        // ...and so does a live id whose recorded hash disagrees (a
+        // cross-process or reused slot).
+        let mut mismatched = bytes;
+        mismatched[pos + 4] ^= 0xFF;
+        assert!(
+            decode_chunk(&mismatched).is_none(),
+            "node-hash mismatch decoded"
+        );
     }
 }

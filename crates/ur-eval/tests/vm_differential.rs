@@ -284,6 +284,126 @@ fn deep_let_chains_agree() {
     assert!(matches!(v, Value::Int(1)));
 }
 
+/// An arity-1 builtin that records its argument in the world's debug
+/// log and returns it — the smallest observable first application.
+fn note_builtins() -> (HashMap<Sym, Rc<Builtin>>, Sym) {
+    let sym = Sym::fresh("note");
+    let mut m = HashMap::new();
+    m.insert(
+        sym,
+        Rc::new(Builtin {
+            name: "note".into(),
+            con_arity: 0,
+            arity: 1,
+            run: Rc::new(|interp, _, args| {
+                interp.world.out.push(args[0].to_string());
+                Ok(args[0].clone())
+            }),
+        }),
+    );
+    (m, sym)
+}
+
+/// Runs `e` on both engines, returning each engine's result *and* its
+/// world's debug log, so effect ordering is comparable too.
+#[allow(clippy::type_complexity)]
+fn run_both_with_worlds(
+    e: &RExpr,
+    builtins: &HashMap<Sym, Rc<Builtin>>,
+) -> (
+    (Result<Value, EvalError>, Vec<String>),
+    (Result<Value, EvalError>, Vec<String>),
+) {
+    let genv = Env::new();
+    let mut cx = Cx::new();
+    let chunk = compile(&genv, &mut cx, e, "order");
+    let mut world = World::new();
+    let mut interp = Interp::new(&mut world, &genv, builtins);
+    let from_vm = vm::run(&mut interp, &chunk, &VEnv::new());
+    drop(interp);
+    let mut world2 = World::new();
+    let mut interp2 = Interp::new(&mut world2, &genv, builtins);
+    let from_tree = interp2.eval(&VEnv::new(), e);
+    drop(interp2);
+    ((from_vm, world.out), (from_tree, world2.out))
+}
+
+/// Regression: `(note 1) (note 2)` saturates the arity-1 builtin on the
+/// *inner* application, so the interpreter logs "1" before it ever
+/// evaluates the second argument. A `Call2` that hoisted the second
+/// argument over that application logged "2" first — the compiler must
+/// fall back to interpreter order when the argument is observable.
+#[test]
+fn observable_first_application_keeps_interpreter_effect_order() {
+    let (builtins, note) = note_builtins();
+    let e = Expr::app(
+        Expr::app(Expr::var(&note), int(1)),
+        Expr::app(Expr::var(&note), int(2)),
+    );
+    let ((from_vm, vm_out), (from_tree, tree_out)) = run_both_with_worlds(&e, &builtins);
+    // Applying `1` to `2` is the same NotAFunction on both engines…
+    assert_eq!(from_vm.unwrap_err().kind, EvalErrorKind::NotAFunction);
+    assert_eq!(from_tree.unwrap_err().kind, EvalErrorKind::NotAFunction);
+    // …and both logged the inner application's effect before the
+    // argument's, in the interpreter's order.
+    assert_eq!(tree_out, vec!["1".to_string(), "2".to_string()]);
+    assert_eq!(vm_out, tree_out, "engines disagree on effect order");
+}
+
+/// Regression: effects of the inner application must land before an
+/// error raised by the second argument, exactly as the interpreter
+/// orders them.
+#[test]
+fn observable_first_application_keeps_interpreter_error_order() {
+    let (builtins, note) = note_builtins();
+    // The inner application logs and yields a non-function; the outer
+    // argument is a projection that raises MissingField.
+    let e = Expr::app(
+        Expr::app(Expr::var(&note), int(7)),
+        Expr::proj(Expr::record(vec![]), Con::name("Z")),
+    );
+    let ((from_vm, vm_out), (from_tree, tree_out)) = run_both_with_worlds(&e, &builtins);
+    // The interpreter applies `note 7` (logging "7"), then evaluates
+    // the argument, which raises MissingField before the outer apply.
+    assert_eq!(from_tree.unwrap_err().kind, EvalErrorKind::MissingField);
+    assert_eq!(from_vm.unwrap_err().kind, EvalErrorKind::MissingField);
+    assert_eq!(tree_out, vec!["7".to_string()]);
+    assert_eq!(vm_out, tree_out, "engines disagree on effects before the error");
+}
+
+/// Regression: when the inner application itself errors, both engines
+/// must raise *that* error — the second argument (which would raise a
+/// different kind) is never evaluated by the interpreter.
+#[test]
+fn erroring_first_application_wins_over_the_second_argument() {
+    let boom = Sym::fresh("boom");
+    let mut builtins = HashMap::new();
+    builtins.insert(
+        boom,
+        Rc::new(Builtin {
+            name: "boom".into(),
+            con_arity: 0,
+            arity: 1,
+            run: Rc::new(|_, _, _| {
+                Err(EvalError::of_kind(EvalErrorKind::TypeMismatch, "boom"))
+            }),
+        }),
+    );
+    // `boom 1` errors on the inner application; the argument would
+    // raise MissingField if it were (wrongly) evaluated first.
+    let e = Expr::app(
+        Expr::app(Expr::var(&boom), int(1)),
+        Expr::proj(Expr::record(vec![]), Con::name("Z")),
+    );
+    let (from_vm, from_tree) = run_both_with(&e, &builtins);
+    assert_eq!(from_tree.unwrap_err().kind, EvalErrorKind::TypeMismatch);
+    assert_eq!(
+        from_vm.unwrap_err().kind,
+        EvalErrorKind::TypeMismatch,
+        "vm evaluated the second argument before the erroring application"
+    );
+}
+
 #[test]
 fn chunk_round_trips_through_the_codec() {
     // A chunk with everything: constants, locals, a capturing

@@ -226,7 +226,11 @@ pub struct Session {
     /// Compiled-chunk cache, keyed by the hash-consed body id. Arena ids
     /// are stable for the session's lifetime (`_arena_lease`), so a
     /// re-evaluated declaration (incremental rebuilds, repeated source)
-    /// reuses its chunk instead of re-lowering.
+    /// reuses its chunk instead of re-lowering. Chunks bake in
+    /// `genv`-dependent normalization (static field names, pre-reduced
+    /// constructor arguments), so any wholesale environment restore —
+    /// [`Session::reelaborate`]'s base restore, [`Session::rollback`] —
+    /// clears the cache; size is bounded by [`CHUNK_CACHE_CAP`].
     chunk_cache: HashMap<RExpr, Arc<Chunk>>,
     /// Shared snapshot of `top` for VM runs (`Rc` of the globals plus
     /// the root constructor list), rebuilt lazily after any top-level
@@ -242,6 +246,12 @@ pub struct Session {
     /// embedder may reset the arena to reclaim memory.
     _arena_lease: ur_core::arena::ArenaLease,
 }
+
+/// Bound on [`Session::chunk_cache`]: a long-lived session evaluating
+/// ever-fresh bodies (a REPL, a serve loop) flushes the cache instead of
+/// growing it without limit — the same policy the interpreter applies to
+/// its resolution memo.
+const CHUNK_CACHE_CAP: usize = 1 << 10;
 
 impl Session {
     /// Creates a session with the standard library installed.
@@ -321,6 +331,9 @@ impl Session {
                 let c = ur_eval::compile(&self.elab.genv, &mut cx, body, label);
                 self.elab.cx.stats.eval_chunks_compiled =
                     self.elab.cx.stats.eval_chunks_compiled.saturating_add(1);
+                if self.chunk_cache.len() >= CHUNK_CACHE_CAP {
+                    self.chunk_cache.clear();
+                }
                 self.chunk_cache.insert(*body, Arc::clone(&c));
                 c
             }
@@ -510,6 +523,11 @@ impl Session {
         self.world.db.persist_rebase();
         self.top = incr.base_top.clone();
         self.vm_globals = None;
+        // The elaborator restore above rewound `genv`; cached chunks
+        // baked the old environment's normalization into static field
+        // names and pre-reduced constructors, so none of them may
+        // survive the rebuild.
+        self.chunk_cache.clear();
         self.by_name = incr.base_by_name.clone();
 
         self.elab.cx.stats.capture_failpoints();
@@ -744,6 +762,9 @@ impl Session {
         self.world.db.persist_rebase();
         self.top = snap.top;
         self.vm_globals = None;
+        // `genv` just rewound; chunks compiled against the rolled-back
+        // environment must not be served to post-rollback evaluations.
+        self.chunk_cache.clear();
         self.by_name = snap.by_name;
         self.breaker = snap.breaker;
     }
@@ -992,6 +1013,65 @@ mod tests {
         sess.run("val a = 40 + 2").unwrap();
         sess.run("val b = 40 + 2").unwrap();
         assert!(sess.stats().eval_chunk_hits > 0, "{}", sess.stats());
+    }
+
+    #[test]
+    fn rollback_clears_the_chunk_cache() {
+        let mut sess = Session::new().unwrap();
+        sess.run("val a = 40 + 2").unwrap();
+        let snap = sess.snapshot();
+        sess.run("val b = 40 + 2").unwrap();
+        assert!(sess.stats().eval_chunk_hits > 0, "{}", sess.stats());
+        sess.rollback(snap);
+        // Same hash-consed body, but the environment was rewound: the
+        // chunk must be recompiled, not served from the stale cache.
+        let hits = sess.stats().eval_chunk_hits;
+        let compiled = sess.stats().eval_chunks_compiled;
+        sess.run("val c = 40 + 2").unwrap();
+        assert_eq!(
+            sess.stats().eval_chunk_hits,
+            hits,
+            "stale chunk served after rollback"
+        );
+        assert!(sess.stats().eval_chunks_compiled > compiled);
+        assert_eq!(sess.get_int("c").unwrap(), 42);
+    }
+
+    #[test]
+    fn reelaborate_clears_the_chunk_cache() {
+        let dir = std::env::temp_dir().join(format!("ur-sess-chunks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sess = Session::new().unwrap();
+        sess.cache_dir = Some(dir.clone());
+        let (_, d1) = sess.reelaborate("val a = 40 + 2");
+        assert!(d1.is_empty(), "{d1:?}");
+        let hits = sess.stats().eval_chunk_hits;
+        // The rebuild restores the base environment first, so even an
+        // identical body recompiles rather than reusing a chunk from
+        // the previous build.
+        let (_, d2) = sess.reelaborate("val a = 40 + 2");
+        assert!(d2.is_empty(), "{d2:?}");
+        assert_eq!(
+            sess.stats().eval_chunk_hits,
+            hits,
+            "chunk survived the base restore"
+        );
+        assert_eq!(sess.get_int("a").unwrap(), 42);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunk_cache_is_bounded() {
+        use ur_core::expr::{Expr, Lit};
+        let mut sess = Session::new().unwrap();
+        for i in 0..=(CHUNK_CACHE_CAP as i64) {
+            let body = Expr::lit(Lit::Int(i));
+            let _ = sess.chunk_for(&body, "cap");
+            assert!(
+                sess.chunk_cache.len() <= CHUNK_CACHE_CAP,
+                "cache exceeded its cap at {i}"
+            );
+        }
     }
 
     #[test]
