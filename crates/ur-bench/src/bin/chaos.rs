@@ -2,7 +2,11 @@
 //! adversarial mixed-error batch, elaborated under seeded fault
 //! schedules (`ur_core::failpoint`) at 1, 2, 4, and 8 worker threads,
 //! compared declaration-by-declaration against a clean sequential
-//! baseline.
+//! baseline. Dedicated schedules additionally storm the durability
+//! layer (`wal_havoc`) and the supervised TCP serving layer
+//! (`serve_havoc`), where the invariant is answer-correctness rather
+//! than decl equality: degradation may shed, tear, or expire requests,
+//! but a delivered OK answer must match the oracle.
 //!
 //! Two hard gates, written to `BENCH_chaos.json`:
 //!
@@ -87,6 +91,149 @@ fn cache_havoc(seed: u64) -> FpConfig {
         .with_max_per_site(2)
         .with_rate(Site::CacheLoad, 500)
         .with_rate(Site::CacheStore, 500)
+}
+
+/// Serve-layer havoc: dropped accepts, torn reads, lost writes, and
+/// wedged workers at the TCP front door. Supervision may cost restarts,
+/// replays, and structured shed/lost answers; it must never produce a
+/// *wrong* answer.
+///
+/// Failpoint draws are per-thread and every handler/worker thread
+/// replays the same stream, so a raw seed whose *first* read, write, or
+/// wedge consult fires would tear every fresh connection (or kill every
+/// fresh worker) at the same spot — zero throughput, or a wedge per
+/// request. The schedule therefore *derives* a seed whose hit-0 draws
+/// pass and whose streams provably fire at hit indexes a surviving
+/// connection reaches. One more wrinkle: a connection tears at
+/// whichever of read (consulted before the answer) and write (after it)
+/// fires first, so a single seed can only ever exercise one of the two
+/// — `read_first` picks which, and the matrix alternates it.
+fn serve_havoc(seed: u64, read_first: bool) -> FpConfig {
+    let fires = |seed: u64, site: Site, hit: u64, rate: u64| {
+        let mut z = seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ hit;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % 1000 < rate
+    };
+    let mut seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E12_7E57;
+    loop {
+        let first = |site: Site, rate: u64| (1..=8u64).find(|&h| fires(seed, site, h, rate));
+        let (r, w) = (first(Site::ServeRead, 200), first(Site::ServeWrite, 200));
+        let hit0_pass = !fires(seed, Site::ServeRead, 0, 200)
+            && !fires(seed, Site::ServeWrite, 0, 200)
+            && !fires(seed, Site::ServeWedge, 0, 150);
+        let tear_ok = if read_first {
+            r.is_some() && w.is_none_or(|w| r.unwrap_or(u64::MAX) <= w)
+        } else {
+            w.is_some() && r.is_none_or(|r| w.unwrap_or(u64::MAX) < r)
+        };
+        if hit0_pass && tear_ok && (1..=6).any(|h| fires(seed, Site::ServeWedge, h, 150)) {
+            break;
+        }
+        seed = seed.wrapping_add(1);
+    }
+    FpConfig::new(seed)
+        .with_max_per_site(6)
+        .with_rate(Site::ServeAccept, 250)
+        .with_rate(Site::ServeRead, 200)
+        .with_rate(Site::ServeWrite, 200)
+        .with_rate(Site::ServeWedge, 150)
+}
+
+/// One serve chaos pass: an in-process `ur-serve` front door under
+/// `cfg`, driven by a sequential client that retries through torn
+/// connections. Divergence means an OK answer with wrong content —
+/// a load of a trivially-valid program reporting non-deadline
+/// diagnostics, or an eval answering the wrong value. Structured
+/// degradation (shed, lost, deadline-expired, E0900) is tolerated by
+/// construction.
+fn run_serve_havoc(cfg: FpConfig) -> (f64, FpCounters, bool) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use ur_serve::{ServeConfig, Server};
+    let cache = std::env::temp_dir().join(format!(
+        "ur-chaos-serve-{}-{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache);
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        deadline_ms: 250,
+        watchdog_ms: 50,
+        threads: Some(1),
+        cache_dir: Some(cache.clone()),
+        fp: Some(cfg),
+        ..ServeConfig::default()
+    })
+    .expect("serve bind");
+    let addr = server.addr();
+    struct Conn {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+    impl Conn {
+        // `None` means the connection tore (an injected fault): the
+        // caller reconnects, which is exactly what a real client does.
+        fn roundtrip(&mut self, line: &str) -> Option<String> {
+            if writeln!(self.writer, "{line}").is_err() {
+                return None;
+            }
+            let mut resp = String::new();
+            match self.reader.read_line(&mut resp) {
+                Ok(n) if n > 0 => Some(resp),
+                _ => None,
+            }
+        }
+    }
+    let mut diverged = false;
+    let start = Instant::now();
+    // Connections persist across requests (so later per-thread fault
+    // draws get consulted) and reconnect whenever one tears.
+    let mut client: Option<Conn> = None;
+    for i in 0..40i64 {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => {
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    continue;
+                };
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(20)));
+                let Ok(rs) = stream.try_clone() else { continue };
+                client.insert(Conn {
+                    reader: BufReader::new(rs),
+                    writer: stream,
+                })
+            }
+        };
+        let Some(resp) = c.roundtrip(&format!("{{\"cmd\":\"load\",\"source\":\"val v = {i}\"}}"))
+        else {
+            client = None;
+            continue;
+        };
+        if !resp.contains("\"ok\":true") {
+            continue; // structured shed/lost/expired answer: tolerated
+        }
+        if !resp.contains("\"diagnostics\":[]") {
+            // Degraded rebuild: only a deadline-budget E0900 is legal.
+            diverged |= !resp.contains("E0900");
+            continue;
+        }
+        let Some(resp) = c.roundtrip("{\"cmd\":\"eval\",\"expr\":\"v + 1\"}") else {
+            client = None;
+            continue;
+        };
+        if resp.contains("\"ok\":true") && !resp.contains(&format!("\"value\":\"{}\"", i + 1)) {
+            diverged = true;
+        }
+    }
+    drop(client);
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    server.start_drain();
+    let summary = server.wait();
+    let _ = std::fs::remove_dir_all(&cache);
+    (ms, summary.faults, diverged)
 }
 
 /// Durability-layer havoc: WAL appends and fsyncs fail, commit records
@@ -426,6 +573,24 @@ fn main() {
             schedule: "wal_havoc",
             seed: cfg.seed,
             threads: 1,
+            ms,
+            injected: injected.total_injected(),
+            rejections: injected.integrity_rejections,
+            diverged,
+        });
+    }
+    // Serve-layer havoc against the supervised TCP front door: torn
+    // connections and wedged workers may shed or lose requests, but a
+    // delivered OK answer must never be wrong.
+    for (ix, &seed) in MATRIX_SEEDS.iter().enumerate() {
+        let cfg = serve_havoc(seed, ix % 2 == 0);
+        let (ms, injected, diverged) = run_serve_havoc(cfg);
+        totals.absorb(&injected);
+        rows.push(RunRecord {
+            corpus: "ur-serve",
+            schedule: "serve_havoc",
+            seed: cfg.seed,
+            threads: 2,
             ms,
             injected: injected.total_injected(),
             rejections: injected.integrity_rejections,

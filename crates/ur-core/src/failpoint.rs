@@ -10,9 +10,10 @@
 //! * **Named sites** ([`Site`]): worker spawn/execution/send/stall in
 //!   `ur-infer::batch`, memo-table load/store in [`crate::memo`],
 //!   intern-table growth in [`crate::intern`], fuel accounting in
-//!   [`crate::limits`], incremental-cache load/store in `ur-query`, and
+//!   [`crate::limits`], incremental-cache load/store in `ur-query`,
 //!   WAL append/sync/corrupt/rotate + snapshot write in `ur-db`'s
-//!   durability layer.
+//!   durability layer, and the `ur-serve` front door
+//!   (accept/read/write/worker-wedge).
 //! * **Seeded activation**: each site draws from a splitmix64 stream
 //!   keyed by `(seed, site, hit index)`, so a given configuration
 //!   produces the same fault schedule on every run — chaos tests print
@@ -35,7 +36,7 @@
 use std::fmt;
 
 /// Number of named sites (length of [`Site::ALL`]).
-pub const NSITES: usize = 15;
+pub const NSITES: usize = 19;
 
 /// A named fault-injection site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -86,6 +87,22 @@ pub enum Site {
     /// recovery must recognize the stale log by its generation number
     /// rather than double-applying it.
     WalRotate,
+    /// A freshly accepted serve connection dies before the handler takes
+    /// over (simulated reset at accept time); the acceptor must keep
+    /// accepting and the client sees a clean close, never a hang.
+    ServeAccept,
+    /// Reading a request line from a serve connection fails mid-line;
+    /// the connection is torn down without corrupting the session or
+    /// leaking its admission slot.
+    ServeRead,
+    /// Writing a response back to a serve client fails after the request
+    /// was already executed — the classic acked-vs-applied ambiguity the
+    /// durable-write gate in `ur-bench serve` has to survive.
+    ServeWrite,
+    /// A pool worker wedges (bounded stall past the watchdog budget);
+    /// the supervisor must replace it and restore its sessions without
+    /// wrong answers or acked-write loss.
+    ServeWedge,
 }
 
 impl Site {
@@ -106,6 +123,10 @@ impl Site {
         Site::SnapshotWrite,
         Site::WalCorrupt,
         Site::WalRotate,
+        Site::ServeAccept,
+        Site::ServeRead,
+        Site::ServeWrite,
+        Site::ServeWedge,
     ];
 
     /// Stable index of this site.
@@ -126,6 +147,10 @@ impl Site {
             Site::SnapshotWrite => 12,
             Site::WalCorrupt => 13,
             Site::WalRotate => 14,
+            Site::ServeAccept => 15,
+            Site::ServeRead => 16,
+            Site::ServeWrite => 17,
+            Site::ServeWedge => 18,
         }
     }
 
@@ -147,6 +172,10 @@ impl Site {
             Site::SnapshotWrite => "snapshot_write",
             Site::WalCorrupt => "wal_corrupt",
             Site::WalRotate => "wal_rotate",
+            Site::ServeAccept => "serve_accept",
+            Site::ServeRead => "serve_read",
+            Site::ServeWrite => "serve_write",
+            Site::ServeWedge => "serve_wedge",
         }
     }
 

@@ -92,7 +92,41 @@ impl Limits {
             max_solver_rounds: 8,
         }
     }
+
+    /// Maps a wall-clock deadline budget to fuel ceilings, for serving:
+    /// a request that arrives with `deadline_ms` of budget left gets a
+    /// step budget it can plausibly spend inside that window, so a slow
+    /// elaboration degrades to a structured E0900 diagnostic instead of
+    /// wedging its worker past the deadline.
+    ///
+    /// The conversion is deliberately conservative
+    /// ([`DEADLINE_STEPS_PER_MS`] is a low-end steps/ms figure): a tight
+    /// deadline must *reliably* exhaust rather than occasionally sneak
+    /// through on a fast machine, because the supervisor treats the fuel
+    /// ceiling — not wall-clock preemption, which Rust threads don't
+    /// have — as the mechanism that keeps workers responsive. Depth is
+    /// never scaled below [`Limits::strict`]'s (it guards the stack, not
+    /// time), and no budget ever exceeds the [`Limits::default`] one.
+    pub fn for_deadline_ms(deadline_ms: u64) -> Limits {
+        let d = Limits::default();
+        let steps = deadline_ms
+            .saturating_mul(DEADLINE_STEPS_PER_MS)
+            .clamp(1, d.max_norm_steps);
+        Limits {
+            max_depth: d.max_depth,
+            max_norm_steps: steps,
+            max_prover_pairs: steps.min(d.max_prover_pairs),
+            max_solver_rounds: d.max_solver_rounds,
+        }
+    }
 }
+
+/// Conservative lower-bound estimate of normalization steps per
+/// millisecond used by [`Limits::for_deadline_ms`]. Measured throughput
+/// on the Figure-5 studies is 10-50x higher; the low figure biases tight
+/// deadlines toward deterministic E0900 degradation over machine-speed
+/// lottery.
+pub const DEADLINE_STEPS_PER_MS: u64 = 2_000;
 
 /// Mutable fuel state charged by the judgments. See the module docs for
 /// the sticky-exhaustion protocol.
@@ -325,6 +359,26 @@ mod tests {
         assert!(b.step());
         a.absorb_lifetime(b.lifetime_norm_steps());
         assert_eq!(a.lifetime_norm_steps(), 3);
+    }
+
+    #[test]
+    fn deadline_limits_scale_and_clamp() {
+        let tiny = Limits::for_deadline_ms(1);
+        assert_eq!(tiny.max_norm_steps, DEADLINE_STEPS_PER_MS);
+        assert_eq!(tiny.max_prover_pairs, DEADLINE_STEPS_PER_MS);
+        // Depth guards the stack, not time: never scaled down.
+        assert_eq!(tiny.max_depth, Limits::default().max_depth);
+
+        // Zero budget still leaves one step so exhaustion is reported
+        // through the normal sticky path, not a panic.
+        assert_eq!(Limits::for_deadline_ms(0).max_norm_steps, 1);
+
+        // Monotone in the deadline, capped at the default budget.
+        let a = Limits::for_deadline_ms(10);
+        let b = Limits::for_deadline_ms(100);
+        assert!(a.max_norm_steps < b.max_norm_steps);
+        let huge = Limits::for_deadline_ms(u64::MAX);
+        assert_eq!(huge, Limits::default());
     }
 
     #[test]

@@ -124,6 +124,23 @@ pub struct Stats {
     pub eval_chunk_hits: u64,
     /// Wall-clock nanoseconds spent inside top-level VM dispatch loops.
     pub eval_dispatch_ns: u64,
+    /// Connections accepted by the `ur-serve` front door (the serve
+    /// layer folds its cross-thread gauges into snapshots it hands out;
+    /// zero outside `--listen`/`--serve`).
+    pub srv_accepted: u64,
+    /// Requests admitted to a worker queue.
+    pub srv_requests: u64,
+    /// Requests or connections shed by admission control (queue full,
+    /// connection cap, draining) with an explicit `overloaded` response.
+    pub srv_shed: u64,
+    /// Requests whose wall-clock deadline expired before or during
+    /// execution (answered with a structured E0900-style degradation).
+    pub srv_deadline_expired: u64,
+    /// Pool workers killed and replaced by the supervisor (wedge or
+    /// panic), each restored from snapshot + replay.
+    pub srv_worker_restarts: u64,
+    /// In-flight requests completed during graceful drain.
+    pub srv_drained: u64,
 }
 
 impl Stats {
@@ -192,6 +209,12 @@ impl Stats {
             eval_chunks_compiled,
             eval_chunk_hits,
             eval_dispatch_ns,
+            srv_accepted,
+            srv_requests,
+            srv_shed,
+            srv_deadline_expired,
+            srv_worker_restarts,
+            srv_drained,
         );
     }
 
@@ -305,6 +328,16 @@ impl Stats {
                 .saturating_sub(earlier.eval_chunks_compiled),
             eval_chunk_hits: self.eval_chunk_hits.saturating_sub(earlier.eval_chunk_hits),
             eval_dispatch_ns: self.eval_dispatch_ns.saturating_sub(earlier.eval_dispatch_ns),
+            srv_accepted: self.srv_accepted.saturating_sub(earlier.srv_accepted),
+            srv_requests: self.srv_requests.saturating_sub(earlier.srv_requests),
+            srv_shed: self.srv_shed.saturating_sub(earlier.srv_shed),
+            srv_deadline_expired: self
+                .srv_deadline_expired
+                .saturating_sub(earlier.srv_deadline_expired),
+            srv_worker_restarts: self
+                .srv_worker_restarts
+                .saturating_sub(earlier.srv_worker_restarts),
+            srv_drained: self.srv_drained.saturating_sub(earlier.srv_drained),
         }
     }
 }
@@ -394,6 +427,16 @@ impl fmt::Display for Stats {
             self.eval_chunks_compiled,
             self.eval_chunk_hits,
             self.eval_dispatch_ns,
+        )?;
+        write!(
+            f,
+            " serve[accepted={} requests={} shed={} deadline_expired={} restarts={} drained={}]",
+            self.srv_accepted,
+            self.srv_requests,
+            self.srv_shed,
+            self.srv_deadline_expired,
+            self.srv_worker_restarts,
+            self.srv_drained,
         )
     }
 }
@@ -609,6 +652,48 @@ mod tests {
         assert_eq!(d.eval_chunks_compiled, 0);
         let d2 = b.since(&a);
         assert_eq!(d2.eval_vm_runs, 0, "saturating sub");
+    }
+
+    #[test]
+    fn display_mentions_serve_counters() {
+        let s = Stats::new().to_string();
+        for key in [
+            "serve[accepted=",
+            "requests=",
+            "shed=",
+            "deadline_expired=",
+            "restarts=",
+            "drained=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_and_since_cover_serve_counters() {
+        let mut a = Stats::new();
+        a.srv_accepted = 5;
+        a.srv_shed = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.srv_accepted = 2;
+        b.srv_requests = 9;
+        b.srv_shed = 10;
+        b.srv_deadline_expired = 3;
+        b.srv_worker_restarts = 4;
+        b.srv_drained = 6;
+        a.absorb(&b);
+        assert_eq!(a.srv_accepted, 7);
+        assert_eq!(a.srv_requests, 9);
+        assert_eq!(a.srv_shed, u64::MAX, "saturating add");
+        assert_eq!(a.srv_deadline_expired, 3);
+        assert_eq!(a.srv_worker_restarts, 4);
+        assert_eq!(a.srv_drained, 6);
+
+        let d = a.since(&b);
+        assert_eq!(d.srv_accepted, 5);
+        assert_eq!(d.srv_worker_restarts, 0);
+        let d2 = b.since(&a);
+        assert_eq!(d2.srv_accepted, 0, "saturating sub");
     }
 
     #[test]

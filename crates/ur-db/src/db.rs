@@ -438,6 +438,24 @@ impl Db {
         }
     }
 
+    /// Grafts `state`'s relational contents (tables, sequences) onto
+    /// this durable handle and re-anchors the on-disk log on them via
+    /// [`Db::persist_rebase`], taking over writership. `ur-serve` uses
+    /// this after a session rebuild: declarations were replayed into a
+    /// fresh in-memory world, and the shared durable store must adopt
+    /// that world as the new truth rather than have the replay appended
+    /// on top of the old one (which would double-apply every effect).
+    /// Failure poisons the handle exactly like `persist_rebase`; a
+    /// no-op on in-memory handles.
+    pub fn adopt_state(&mut self, state: &Db) {
+        if self.durable.is_none() {
+            return;
+        }
+        self.tables = state.tables.clone();
+        self.sequences = state.sequences.clone();
+        self.persist_rebase();
+    }
+
     /// Deterministic full-state dump (tables sorted by name, rows in
     /// insertion order, sequences sorted): the oracle-comparison format
     /// of the crash harness.

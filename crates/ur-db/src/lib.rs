@@ -45,6 +45,7 @@ pub mod db;
 pub mod error;
 pub mod expr;
 pub mod recover;
+pub mod retry;
 pub mod snapshot;
 pub mod table;
 pub mod txn;
@@ -54,6 +55,7 @@ pub mod wal;
 pub use db::Db;
 pub use error::DbError;
 pub use expr::SqlExpr;
+pub use retry::RetryConfig;
 pub use snapshot::SNAPSHOT_FILE;
 pub use table::{Schema, Table};
 pub use txn::{DbStats, DurabilityConfig};

@@ -1,0 +1,93 @@
+//! Cross-thread serve gauges.
+//!
+//! The serve layer spans many threads (acceptor, connection handlers,
+//! pool workers, supervisor) while [`ur_core::stats::Stats`] is a plain
+//! struct owned by whichever session snapshots it. [`ServeCounters`] is
+//! the bridge: lock-free atomics every serve thread bumps, folded into
+//! a `Stats` snapshot at observation points (`stats` responses, the
+//! final drain line) so the REPL, `--stats`, and serve all report one
+//! schema.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use ur_core::stats::Stats;
+
+/// Shared atomic counters for the serve front door. Field meanings
+/// mirror the `srv_*` counters in [`Stats`].
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Connections accepted past the admission caps.
+    pub accepted: AtomicU64,
+    /// Requests admitted to a worker queue.
+    pub requests: AtomicU64,
+    /// Requests/connections shed (queue full, conn caps, draining).
+    pub shed: AtomicU64,
+    /// Requests answered with a deadline-expiry degradation.
+    pub deadline_expired: AtomicU64,
+    /// Workers killed and replaced by the supervisor.
+    pub worker_restarts: AtomicU64,
+    /// In-flight requests completed during graceful drain.
+    pub drained: AtomicU64,
+}
+
+impl ServeCounters {
+    pub fn new() -> ServeCounters {
+        ServeCounters::default()
+    }
+
+    pub fn inc_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_worker_restarts(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn inc_drained(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the gauges into `stats`' `srv_*` fields (overwriting: the
+    /// gauges are process-wide truth, not per-session deltas).
+    pub fn fold_into(&self, stats: &mut Stats) {
+        stats.srv_accepted = self.accepted.load(Ordering::Relaxed);
+        stats.srv_requests = self.requests.load(Ordering::Relaxed);
+        stats.srv_shed = self.shed.load(Ordering::Relaxed);
+        stats.srv_deadline_expired = self.deadline_expired.load(Ordering::Relaxed);
+        stats.srv_worker_restarts = self.worker_restarts.load(Ordering::Relaxed);
+        stats.srv_drained = self.drained.load(Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_into_overwrites_srv_fields() {
+        let c = ServeCounters::new();
+        c.inc_accepted();
+        c.inc_accepted();
+        c.inc_shed();
+        c.inc_requests();
+        c.inc_deadline_expired();
+        c.inc_worker_restarts();
+        c.inc_drained();
+        let mut s = Stats::new();
+        s.srv_accepted = 99;
+        c.fold_into(&mut s);
+        assert_eq!(s.srv_accepted, 2);
+        assert_eq!(s.srv_requests, 1);
+        assert_eq!(s.srv_shed, 1);
+        assert_eq!(s.srv_deadline_expired, 1);
+        assert_eq!(s.srv_worker_restarts, 1);
+        assert_eq!(s.srv_drained, 1);
+        assert!(s.to_string().contains("serve[accepted=2"));
+    }
+}

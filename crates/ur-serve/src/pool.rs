@@ -1,0 +1,454 @@
+//! The supervised session pool.
+//!
+//! Each worker is a dedicated OS thread owning its [`Session`]s
+//! (sessions are `Rc`-based and deliberately not `Send`; only `Send`
+//! data — request lines, reply strings, atomics — crosses threads).
+//! Connections are routed stickily (`conn % workers`) so a client's
+//! requests land on the session holding its state.
+//!
+//! ## Supervision and deterministic restore
+//!
+//! A worker that wedges or panics is *replaced*, never joined from the
+//! hot path: [`Pool::report_failed`] is generation-checked (idempotent
+//! under racing reporters), bumps the slot's generation, and spawns a
+//! fresh worker. Session state is rebuilt deterministically from the
+//! *last acknowledged script* — [`Session::reelaborate`] makes session
+//! state a function of (pristine base, last source), so replaying the
+//! script into a fresh session reproduces exactly what was acked.
+//!
+//! ## Durable grafting (shared `--db-dir` mode)
+//!
+//! With a shared durable database the pool runs **one** worker and one
+//! global session: durable handles are single-writer, and funneling
+//! every client through one session is what makes restarts safe to
+//! reason about. The worker pins a *pristine in-memory base* (a
+//! `reelaborate("")` before the durable handle is ever installed) so a
+//! rebuild replays declarations into a scratch in-memory world; the
+//! durable store then *adopts* that world ([`Db::adopt_state`]) instead
+//! of having the replay appended on top of history — the
+//! double-apply-on-restart trap. The invariant threaded through
+//! restore: **a scripts-map entry exists only after its effects are on
+//! disk**, so a restored worker replays the script for elaborator state
+//! only and installs the recovered durable handle without re-adopting.
+
+use crate::counters::ServeCounters;
+use crate::protocol::{self, ReqCtx};
+use crate::{lock, ServeConfig};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use ur_core::failpoint::{self, FpCounters, Site};
+use ur_db::{Db, RetryConfig};
+use ur_query::json::parse_flat_object;
+use ur_web::Session;
+
+/// Session key for the single shared session in durable mode.
+const GLOBAL_KEY: u64 = u64::MAX;
+
+/// One unit of work for a worker.
+pub enum Job {
+    /// A request line from connection `conn`, to be answered through
+    /// `reply` before `deadline`.
+    Request {
+        conn: u64,
+        line: String,
+        deadline: Instant,
+        reply: SyncSender<String>,
+    },
+    /// Connection `conn` closed; its session can be dropped.
+    Close { conn: u64 },
+}
+
+/// State shared between the pool, its workers, and the front door.
+pub struct PoolShared {
+    pub cfg: ServeConfig,
+    pub counters: Arc<ServeCounters>,
+    /// Fault-injection counters shipped home by worker threads (their
+    /// thread-local counters die with them otherwise).
+    pub faults: Mutex<FpCounters>,
+    /// Last *acknowledged* load/edit source per session key. Entries are
+    /// written only after the rebuild's effects are fully applied (and,
+    /// in durable mode, adopted on disk) — the restore invariant.
+    pub scripts: Mutex<HashMap<u64, String>>,
+    /// Set during graceful drain: workers count completions as drained.
+    pub draining: AtomicBool,
+    /// Current generation per worker slot; a worker that discovers its
+    /// generation superseded exits without touching shared state.
+    pub gens: Vec<AtomicU64>,
+}
+
+struct WorkerSlot {
+    gen: u64,
+    tx: SyncSender<Job>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The supervised pool: sticky routing, generation-checked restarts,
+/// bounded per-worker queues.
+pub struct Pool {
+    pub shared: Arc<PoolShared>,
+    slots: Mutex<Vec<WorkerSlot>>,
+}
+
+impl Pool {
+    /// Spawns the worker threads. Durable mode (`cfg.db_dir` set) forces
+    /// a single worker — the shared store is single-writer.
+    pub fn start(cfg: ServeConfig, counters: Arc<ServeCounters>) -> Arc<Pool> {
+        let workers = if cfg.db_dir.is_some() {
+            1
+        } else {
+            cfg.workers.max(1)
+        };
+        let shared = Arc::new(PoolShared {
+            cfg,
+            counters,
+            faults: Mutex::new(FpCounters::default()),
+            scripts: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            gens: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let mut slots = Vec::with_capacity(workers);
+        for wid in 0..workers {
+            slots.push(spawn_worker(&shared, wid, 0));
+        }
+        Arc::new(Pool {
+            shared,
+            slots: Mutex::new(slots),
+        })
+    }
+
+    pub fn workers(&self) -> usize {
+        self.shared.gens.len()
+    }
+
+    /// The worker a connection routes to, with the slot's current
+    /// generation and queue handle.
+    pub fn handle_for(&self, conn: u64) -> (usize, u64, SyncSender<Job>) {
+        let wid = if self.shared.cfg.db_dir.is_some() {
+            0
+        } else {
+            (conn as usize) % self.workers()
+        };
+        let slots = lock(&self.slots);
+        (wid, slots[wid].gen, slots[wid].tx.clone())
+    }
+
+    /// Replaces worker `wid` if it is still at generation `gen`.
+    /// Idempotent: racing reporters observe the bumped generation and
+    /// return `false` (the slot is already fresh — just resubmit).
+    pub fn report_failed(&self, wid: usize, gen: u64) -> bool {
+        let mut slots = lock(&self.slots);
+        if slots[wid].gen != gen {
+            return false;
+        }
+        let next = gen + 1;
+        self.shared.gens[wid].store(next, Ordering::SeqCst);
+        // The wedged worker's thread cannot be force-killed; it is
+        // abandoned (its queue dies with its receiver) and exits on its
+        // own once it wakes and sees the superseded generation. Dropping
+        // the old slot detaches the JoinHandle.
+        slots[wid] = spawn_worker(&self.shared, wid, next);
+        self.shared.counters.inc_worker_restarts();
+        true
+    }
+
+    /// Flags drain: workers count subsequent completions as drained.
+    pub fn start_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Closes every queue and joins the current-generation workers.
+    /// Bounded: a wedged worker's stall is bounded by its wedge sleep,
+    /// after which it observes the closed queue and exits.
+    pub fn shutdown(&self) {
+        let joins: Vec<Option<JoinHandle<()>>> = {
+            let mut slots = lock(&self.slots);
+            slots
+                .iter_mut()
+                .map(|s| {
+                    // Swap in a disconnected sender so the worker's
+                    // queue closes once transient per-request clones
+                    // (held briefly by connection threads) drop.
+                    let (dead_tx, _dead_rx) = sync_channel(1);
+                    drop(std::mem::replace(&mut s.tx, dead_tx));
+                    s.join.take()
+                })
+                .collect()
+        };
+        // Wait for the workers' final checkpoints.
+        for j in joins.into_iter().flatten() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, wid: usize, gen: u64) -> WorkerSlot {
+    let (tx, rx) = sync_channel::<Job>(shared.cfg.queue_depth.max(1));
+    let shared = Arc::clone(shared);
+    let join = std::thread::Builder::new()
+        .name(format!("ur-serve-worker-{wid}.{gen}"))
+        .spawn(move || worker_main(shared, wid, gen, rx))
+        .ok();
+    WorkerSlot { gen, tx, join }
+}
+
+/// Per-worker session table entry.
+struct Slot {
+    sess: Session,
+    ctx: ReqCtx,
+}
+
+fn worker_main(shared: Arc<PoolShared>, wid: usize, gen: u64, rx: Receiver<Job>) {
+    if let Some(fp) = shared.cfg.fp {
+        failpoint::install(Some(fp));
+    }
+    // The durable handle is worker-owned (it is not Send) and opened
+    // with bounded-backoff retry: a predecessor wedged past the watchdog
+    // still holds the directory flock until it wakes and exits, which is
+    // bounded by its wedge sleep — so the budget covers that plus slack.
+    let mut durable: Option<Db> = None;
+    if let Some(dir) = &shared.cfg.db_dir {
+        let budget = wedge_sleep_ms(&shared.cfg) + 2_000;
+        match Db::open_with_retry(dir, RetryConfig::with_wait_ms(budget)) {
+            Ok(db) => durable = Some(db),
+            Err(e) => {
+                // Without the store this worker cannot serve safely;
+                // park until superseded or shut down, refusing requests.
+                refuse_all(&shared, &rx, &e.to_string());
+                return;
+            }
+        }
+    }
+    let mut sessions: HashMap<u64, Slot> = HashMap::new();
+    loop {
+        let job = match rx.recv() {
+            Ok(j) => j,
+            Err(_) => break,
+        };
+        match job {
+            Job::Close { conn } => {
+                if shared.cfg.db_dir.is_none() {
+                    sessions.remove(&conn);
+                }
+            }
+            Job::Request {
+                conn,
+                line,
+                deadline,
+                reply,
+            } => {
+                if failpoint::fire(Site::ServeWedge) {
+                    // Wedge: stall past the watchdog's patience, then
+                    // retire. The supervisor replaces this worker, and
+                    // the replacement models a kill + respawn — which is
+                    // why the durable handle is released *first*: the OS
+                    // would release a killed process's flock, and holding
+                    // it through the stall would convoy the replacement
+                    // past every replay deadline (the flock is held for
+                    // `wedge_sleep_ms` but a replayed request expires at
+                    // patience + deadline, which is strictly sooner). The
+                    // injection counter also ships before the stall: the
+                    // final summary may be taken while this abandoned
+                    // thread is still asleep. Serving after waking is
+                    // never safe — the replacement may have replayed the
+                    // request already — so the thread exits either way;
+                    // if somehow not yet superseded, the dropped receiver
+                    // surfaces as Disconnected and the next shepherd
+                    // replaces us.
+                    drop(durable.take());
+                    sessions.clear();
+                    ship_faults(&shared);
+                    std::thread::sleep(Duration::from_millis(wedge_sleep_ms(&shared.cfg)));
+                    let _ = (wid, gen);
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    shared.counters.inc_deadline_expired();
+                    let _ = reply.send(protocol::deadline_expired_response(
+                        shared.cfg.deadline_ms,
+                    ));
+                    ship_faults(&shared);
+                    continue;
+                }
+                let budget_ms = (deadline - now).as_millis() as u64;
+                let resp = serve_one(&shared, &mut sessions, &mut durable, conn, &line, budget_ms);
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.counters.inc_drained();
+                }
+                let _ = reply.send(resp);
+                ship_faults(&shared);
+            }
+        }
+    }
+    // Queue closed: final checkpoint of every durable handle, then out.
+    if let Some(d) = &mut durable {
+        let _ = d.checkpoint();
+    }
+    for slot in sessions.values_mut() {
+        let _ = slot.sess.db().checkpoint();
+    }
+    ship_faults(&shared);
+}
+
+/// Handles one request against the (lazily built) session for `conn`.
+fn serve_one(
+    shared: &Arc<PoolShared>,
+    sessions: &mut HashMap<u64, Slot>,
+    durable: &mut Option<Db>,
+    conn: u64,
+    line: &str,
+    budget_ms: u64,
+) -> String {
+    let key = if shared.cfg.db_dir.is_some() {
+        GLOBAL_KEY
+    } else {
+        conn
+    };
+    if let std::collections::hash_map::Entry::Vacant(vacant) = sessions.entry(key) {
+        match build_session(shared, durable.as_ref(), key) {
+            Ok(slot) => {
+                vacant.insert(slot);
+            }
+            Err(e) => {
+                return format!(
+                    "{{\"ok\":false,\"error\":\"session construction failed: {}\"}}",
+                    ur_query::json::escape(&e)
+                )
+            }
+        }
+    }
+    let Some(slot) = sessions.get_mut(&key) else {
+        return protocol::internal_error_response();
+    };
+    let is_rebuild = matches!(
+        parse_flat_object(line)
+            .as_ref()
+            .and_then(|r| r.get("cmd"))
+            .map(String::as_str),
+        Some("load") | Some("edit")
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        protocol::handle_line(&mut slot.sess, &mut slot.ctx, line, Some(budget_ms))
+    }));
+    let (resp, _ctl) = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            // The panic was contained but the session's invariants are
+            // unknown: drop it. The next request rebuilds from the last
+            // acknowledged script — deterministic, nothing half-applied.
+            sessions.remove(&key);
+            return protocol::internal_error_response();
+        }
+    };
+    if is_rebuild && resp.starts_with("{\"ok\":true") {
+        if let Some(src) = parse_flat_object(line).and_then(|mut r| r.remove("source")) {
+            if let Some(slot) = sessions.get_mut(&key) {
+                if let Some(d) = durable.as_mut() {
+                    // The rebuild replayed declarations into the scratch
+                    // in-memory world; the durable store adopts that
+                    // world as the new truth (see module docs). Poison
+                    // from a failed adopt is healed by checkpoint retry
+                    // with bounded backoff.
+                    d.adopt_state(&slot.sess.db().clone());
+                    let mut delay = Duration::from_millis(5);
+                    for _ in 0..4 {
+                        if d.poison_reason().is_none() {
+                            break;
+                        }
+                        let _ = d.checkpoint();
+                        std::thread::sleep(delay);
+                        delay *= 2;
+                    }
+                    if d.poison_reason().is_some() {
+                        // The store never accepted the rebuild: refuse
+                        // the ack (acked state must be on disk) and drop
+                        // the session so the next request restores from
+                        // the last state the store *did* accept.
+                        sessions.remove(&key);
+                        return "{\"ok\":false,\"error\":\"durable store rejected the \
+                                rebuild; state rolled back to the last checkpoint\"}"
+                            .to_string();
+                    }
+                    *slot.sess.db() = d.clone();
+                }
+                // Effects are fully applied (and durable, when shared):
+                // only now may the script become the restore point.
+                lock(&shared.scripts).insert(key, src);
+            }
+        }
+    }
+    resp
+}
+
+/// Builds a session for `key`: pin a pristine in-memory base, replay the
+/// last acknowledged script (elaborator state), then install the durable
+/// handle *without* re-adopting — the script's effects are already on
+/// disk by the scripts-map invariant.
+fn build_session(
+    shared: &Arc<PoolShared>,
+    durable: Option<&Db>,
+    key: u64,
+) -> Result<Slot, String> {
+    let mut sess = Session::new().map_err(|e| e.to_string())?;
+    if let Some(t) = shared.cfg.threads {
+        sess.threads = t;
+    }
+    if let Some(e) = shared.cfg.engine {
+        sess.engine = e;
+    }
+    sess.cache_dir = shared.cfg.cache_dir.clone();
+    // Pin the pristine base before any durable handle exists, so every
+    // later rebuild replays into scratch in-memory state.
+    let _ = sess.reelaborate("");
+    let script = lock(&shared.scripts).get(&key).cloned();
+    if let Some(src) = script {
+        let _ = sess.reelaborate(&src);
+    }
+    if let Some(d) = durable {
+        *sess.db() = d.clone();
+    }
+    Ok(Slot {
+        sess,
+        ctx: ReqCtx::new(Some(Arc::clone(&shared.counters))),
+    })
+}
+
+/// Fallback loop for a worker that could not open the shared store:
+/// answer every request with a structured refusal until shut down or
+/// superseded. Keeping the thread alive keeps the failure observable
+/// (clients get errors, not hangs) while the supervisor's next restart
+/// retries the open.
+fn refuse_all(shared: &Arc<PoolShared>, rx: &Receiver<Job>, why: &str) {
+    let resp = format!(
+        "{{\"ok\":false,\"error\":\"shared database unavailable: {}\"}}",
+        ur_query::json::escape(why)
+    );
+    while let Ok(job) = rx.recv() {
+        if let Job::Request { reply, .. } = job {
+            let _ = reply.send(resp.clone());
+        }
+    }
+    ship_faults(shared);
+}
+
+/// Ships this thread's fault-injection counters to the pool-wide sink
+/// (no-op totals without the `failpoints` feature).
+fn ship_faults(shared: &Arc<PoolShared>) {
+    let c = failpoint::take_counters();
+    lock(&shared.faults).absorb(&c);
+}
+
+/// How long an injected wedge stalls a worker. Chosen to outlast the
+/// front door's first-attempt patience
+/// ([`crate::server::patience_ms`] at attempt 0), so a wedge reliably
+/// trips the supervisor instead of degrading into a late deadline
+/// answer — and bounded, so abandoned threads exit (releasing the
+/// durable flock) soon after being superseded.
+pub fn wedge_sleep_ms(cfg: &ServeConfig) -> u64 {
+    3 * cfg.deadline_ms + 3 * cfg.watchdog_ms
+}

@@ -1,0 +1,183 @@
+//! Capped line reading for the serve protocols.
+//!
+//! One request is one `\n`-terminated line, never buffered past
+//! [`crate::protocol::MAX_REQUEST`] bytes: the excess is drained and
+//! the request answered with a structured error, so a hostile or broken
+//! client cannot balloon the server. Shared by `urc --serve` (blocking
+//! stdin) and the TCP front door (sockets with a short read timeout, so
+//! a drain can interrupt an idle connection).
+
+use std::io::{self, BufRead};
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes of it.
+///
+/// Returns `None` at end of input, otherwise `(line, truncated)` —
+/// `truncated` set when the line exceeded the cap (the stored prefix is
+/// then partial and must not be parsed as a request). A trailing `\r`
+/// is stripped.
+///
+/// Timeout-style read errors (`WouldBlock`, `TimedOut`, `Interrupted`)
+/// are retried internally — any partial prefix is preserved — unless
+/// `should_abort` returns true, in which case the read gives up with
+/// `None` (used by graceful drain to unblock idle connections).
+///
+/// # Errors
+///
+/// Any other I/O error from the underlying reader.
+pub fn read_capped_line(
+    r: &mut impl BufRead,
+    max: usize,
+    should_abort: &dyn Fn() -> bool,
+) -> io::Result<Option<(String, bool)>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut truncated = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if should_abort() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let (take, found_newline) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, true),
+            None => (chunk.len(), false),
+        };
+        if !truncated {
+            let room = max - buf.len();
+            let kept = take.min(room);
+            buf.extend_from_slice(&chunk[..kept]);
+            if kept < take {
+                truncated = true;
+            }
+        }
+        let consumed = if found_newline { take + 1 } else { take };
+        r.consume(consumed);
+        if found_newline {
+            break;
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const NEVER: &dyn Fn() -> bool = &|| false;
+
+    #[test]
+    fn reads_lines_and_eof() {
+        let mut r = BufReader::new(&b"one\ntwo\r\n"[..]);
+        assert_eq!(
+            read_capped_line(&mut r, 64, NEVER).unwrap(),
+            Some(("one".to_string(), false))
+        );
+        assert_eq!(
+            read_capped_line(&mut r, 64, NEVER).unwrap(),
+            Some(("two".to_string(), false))
+        );
+        assert_eq!(read_capped_line(&mut r, 64, NEVER).unwrap(), None);
+    }
+
+    #[test]
+    fn final_partial_line_is_returned_not_dropped() {
+        // EOF after a partial line: the line is still delivered (this is
+        // the `--serve` EOF path that must answer the last request).
+        let mut r = BufReader::new(&b"{\"cmd\":\"stats\"}"[..]);
+        assert_eq!(
+            read_capped_line(&mut r, 64, NEVER).unwrap(),
+            Some(("{\"cmd\":\"stats\"}".to_string(), false))
+        );
+        assert_eq!(read_capped_line(&mut r, 64, NEVER).unwrap(), None);
+    }
+
+    #[test]
+    fn over_cap_lines_are_truncated_and_drained() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"next\n");
+        let mut r = BufReader::new(&data[..]);
+        let (line, truncated) = read_capped_line(&mut r, 10, NEVER).unwrap().unwrap();
+        assert!(truncated);
+        assert_eq!(line.len(), 10, "only the capped prefix is buffered");
+        // The excess was consumed: the next read sees the next line.
+        assert_eq!(
+            read_capped_line(&mut r, 10, NEVER).unwrap(),
+            Some(("next".to_string(), false))
+        );
+    }
+
+    /// A reader that yields `WouldBlock` once between chunks, like a
+    /// socket with a read timeout.
+    struct Stutter {
+        chunks: Vec<Vec<u8>>,
+        blocked: bool,
+    }
+    impl io::Read for Stutter {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if !self.blocked {
+                self.blocked = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "later"));
+            }
+            self.blocked = false;
+            match self.chunks.first_mut() {
+                None => Ok(0),
+                Some(c) => {
+                    let n = c.len().min(out.len());
+                    out[..n].copy_from_slice(&c[..n]);
+                    c.drain(..n);
+                    if c.is_empty() {
+                        self.chunks.remove(0);
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_preserve_partial_prefixes() {
+        let mut r = BufReader::new(Stutter {
+            chunks: vec![b"hel".to_vec(), b"lo\n".to_vec()],
+            blocked: false,
+        });
+        assert_eq!(
+            read_capped_line(&mut r, 64, NEVER).unwrap(),
+            Some(("hello".to_string(), false))
+        );
+    }
+
+    #[test]
+    fn abort_interrupts_an_idle_read() {
+        let mut r = BufReader::new(Stutter {
+            chunks: vec![],
+            blocked: false,
+        });
+        // First fill_buf blocks; abort says stop: the read returns None
+        // instead of spinning.
+        assert_eq!(read_capped_line(&mut r, 64, &|| true).unwrap(), None);
+    }
+}

@@ -1,0 +1,340 @@
+//! End-to-end tests for the `ur-serve` TCP front door: concurrent
+//! clients, overload shedding, graceful drain, per-client caps, and
+//! (under `--features failpoints`) supervised worker replacement.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use ur_serve::{ServeConfig, Server};
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        // Tolerates write failures: fault-injection tests tear
+        // connections server-side, and a torn peer surfaces here as
+        // BrokenPipe. The recv-side asserts catch real breakage.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("read");
+        out.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// A fresh, test-private cache directory: deadline tests rely on the
+/// fuel actually burning, which a shared disk cache would short-circuit.
+fn tmp_cache() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "ur-serve-e2e-cache-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn quick_cfg() -> ServeConfig {
+    ServeConfig {
+        deadline_ms: 5_000,
+        watchdog_ms: 200,
+        threads: Some(1),
+        cache_dir: Some(tmp_cache()),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn serves_concurrent_clients_with_isolated_sessions() {
+    let server = Server::start(quick_cfg()).expect("start");
+    let addr = server.addr();
+    let mut joins = Vec::new();
+    for i in 0..4_u32 {
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            let v = 10 + i;
+            let resp = c.roundtrip(&format!(
+                "{{\"cmd\":\"load\",\"source\":\"val x = {v}\"}}"
+            ));
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+            assert!(resp.contains("\"diagnostics\":[]"), "{resp}");
+            let resp = c.roundtrip("{\"cmd\":\"type\",\"name\":\"x\"}");
+            assert!(resp.contains("\"type\":\"int\""), "{resp}");
+            // Sessions are per-connection: each client sees its own x.
+            let resp = c.roundtrip("{\"cmd\":\"eval\",\"expr\":\"x + 1\"}");
+            assert!(
+                resp.contains(&format!("\"value\":\"{}\"", v + 1)),
+                "client {i}: {resp}"
+            );
+            let resp = c.roundtrip("{\"cmd\":\"quit\"}");
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    server.start_drain();
+    let summary = server.wait();
+    assert!(summary.accepted >= 4, "{summary:?}");
+    assert!(summary.requests >= 12, "{summary:?}");
+}
+
+#[test]
+fn oversized_and_malformed_lines_answered_like_serve_mode() {
+    let server = Server::start(quick_cfg()).expect("start");
+    let mut c = Client::connect(server.addr());
+    // Far past the cap: structured error, connection survives.
+    let mut big = vec![b'x'; 9 * 1024 * 1024];
+    big.push(b'\n');
+    c.writer.write_all(&big).expect("write big");
+    let resp = c.recv();
+    assert!(resp.contains("\"ok\":false") && resp.contains("limit"), "{resp}");
+    let resp = c.roundtrip("this is not json");
+    assert!(resp.contains("malformed"), "{resp}");
+    let resp = c.roundtrip("{\"cmd\":\"stats\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("serve[accepted="), "{resp}");
+    server.start_drain();
+    server.wait();
+}
+
+#[test]
+fn overload_sheds_with_structured_retry_hint() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        deadline_ms: 10_000,
+        threads: Some(1),
+        cache_dir: Some(tmp_cache()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+    // One slow-but-legal load occupies the single worker…
+    let body = (0..4_000)
+        .map(|i| format!("F{i} = {i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut busy = Client::connect(addr);
+    busy.send(&format!(
+        "{{\"cmd\":\"load\",\"source\":\"val big = {{{body}}}\"}}"
+    ));
+    std::thread::sleep(Duration::from_millis(50));
+    // …so a burst behind it must overflow the depth-1 queue and shed.
+    let mut shed = 0;
+    let mut others: Vec<Client> = (0..6).map(|_| Client::connect(addr)).collect();
+    for c in &mut others {
+        c.send("{\"cmd\":\"load\",\"source\":\"val y = 1\"}");
+    }
+    for c in &mut others {
+        let resp = c.recv();
+        if resp.contains("\"error\":\"overloaded\"") {
+            assert!(resp.contains("\"retry_after_ms\":"), "{resp}");
+            shed += 1;
+        } else {
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }
+    }
+    assert!(shed > 0, "a depth-1 queue under a 6-deep burst must shed");
+    let resp = busy.recv();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    server.start_drain();
+    let summary = server.wait();
+    assert_eq!(summary.shed, shed, "{summary:?}");
+}
+
+#[test]
+fn per_client_connection_cap_sheds_excess() {
+    let cfg = ServeConfig {
+        max_conns_per_client: 1,
+        ..quick_cfg()
+    };
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+    let mut first = Client::connect(addr);
+    let resp = first.roundtrip("{\"cmd\":\"stats\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    // Same peer IP: the second connection is shed at admission.
+    let mut second = Client::connect(addr);
+    let resp = second.recv();
+    assert!(resp.contains("\"error\":\"overloaded\""), "{resp}");
+    server.start_drain();
+    let summary = server.wait();
+    assert!(summary.shed >= 1, "{summary:?}");
+}
+
+#[test]
+fn shutdown_command_drains_and_summary_reports() {
+    let server = Server::start(quick_cfg()).expect("start");
+    let mut c = Client::connect(server.addr());
+    let resp = c.roundtrip("{\"cmd\":\"load\",\"source\":\"val x = 3\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resp = c.roundtrip("{\"cmd\":\"shutdown\"}");
+    assert!(resp.contains("\"draining\":true"), "{resp}");
+    assert!(server.draining());
+    let summary = server.wait();
+    assert!(summary.accepted >= 1, "{summary:?}");
+    assert!(summary.requests >= 1, "{summary:?}");
+}
+
+#[test]
+fn tiny_deadline_degrades_structurally_at_1_and_4_threads() {
+    for threads in [1_usize, 4] {
+        let cfg = ServeConfig {
+            threads: Some(threads),
+            cache_dir: Some(tmp_cache()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).expect("start");
+        let mut c = Client::connect(server.addr());
+        let fields = |prefix: &str, n: usize| {
+            (0..n)
+                .map(|i| format!("{prefix}{i} = {i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let src = format!(
+            "val wide = {{{}}} ++ {{{}}}",
+            fields("A", 150),
+            fields("B", 150)
+        );
+        let resp = c.roundtrip(&format!(
+            "{{\"cmd\":\"load\",\"source\":\"{src}\",\"deadline_ms\":1}}"
+        ));
+        assert!(resp.contains("\"ok\":true"), "threads={threads}: {resp}");
+        assert!(resp.contains("E0900"), "threads={threads}: {resp}");
+        // The ceiling was per-request: the same session elaborates the
+        // same program fine without the deadline.
+        let resp = c.roundtrip(&format!("{{\"cmd\":\"load\",\"source\":\"{src}\"}}"));
+        assert!(
+            resp.contains("\"diagnostics\":[]"),
+            "threads={threads}: {resp}"
+        );
+        server.start_drain();
+        server.wait();
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod faulted {
+    use super::*;
+    use ur_core::failpoint::{FpConfig, Site};
+
+    #[test]
+    fn wedged_worker_is_replaced_and_request_replayed() {
+        // The fault schedule is deterministic per (seed, site, consult
+        // index) and every worker thread starts its consult count at
+        // zero. Seed 5 at 350‰ draws [pass, FIRE, …] for serve_wedge,
+        // so the original worker serves the load (consult 0), wedges on
+        // the eval (consult 1), and the replacement serves the replayed
+        // eval cleanly on *its* consult 0. A schedule that fires on
+        // consult 0 would wedge every replacement too — by design:
+        // replay is bounded, not a retry loop.
+        let cfg = ServeConfig {
+            workers: 1,
+            deadline_ms: 400,
+            watchdog_ms: 100,
+            threads: Some(1),
+            cache_dir: Some(tmp_cache()),
+            fp: Some(FpConfig::new(5).with_rate(Site::ServeWedge, 350)),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).expect("start");
+        let mut c = Client::connect(server.addr());
+        // Acked state, then a request that trips the wedge. The
+        // supervisor must replace the worker and replay (isolated-mode
+        // requests are idempotent: the replacement rebuilds from the
+        // acked script), so the client still gets a correct answer.
+        let resp = c.roundtrip("{\"cmd\":\"load\",\"source\":\"val x = 9\"}");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let resp = c.roundtrip("{\"cmd\":\"eval\",\"expr\":\"x * 2\"}");
+        assert!(resp.contains("\"value\":\"18\""), "{resp}");
+        server.start_drain();
+        let summary = server.wait();
+        assert!(summary.worker_restarts >= 1, "{summary:?}");
+        assert!(summary.faults.injected[Site::ServeWedge.index()] >= 1, "{summary:?}");
+    }
+
+    #[test]
+    fn accept_and_read_faults_tear_connections_not_the_server() {
+        // Seed 25: the acceptor (one thread, consult count persists
+        // across accepts) drops connections intermittently at 500‰;
+        // each connection handler (fresh thread, fresh consult count)
+        // serves three reads and tears on the fourth at 300‰. A client
+        // that reconnects through the tears keeps getting correct
+        // answers — faults tear *connections*, never the server.
+        let cfg = ServeConfig {
+            deadline_ms: 5_000,
+            threads: Some(1),
+            cache_dir: Some(tmp_cache()),
+            fp: Some(
+                FpConfig::new(25)
+                    .with_rate(Site::ServeAccept, 500)
+                    .with_rate(Site::ServeRead, 300)
+                    .with_max_per_site(8),
+            ),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).expect("start");
+        let addr = server.addr();
+        let mut answered = 0;
+        let mut i = 0;
+        for _attempt in 0..40 {
+            if answered >= 8 {
+                break;
+            }
+            let mut c = Client::connect(addr);
+            loop {
+                c.send(&format!("{{\"cmd\":\"load\",\"source\":\"val v = {i}\"}}"));
+                i += 1;
+                let mut line = String::new();
+                match c.reader.read_line(&mut line) {
+                    Ok(n) if n > 0 => {
+                        assert!(line.contains("\"ok\":true"), "{line}");
+                        assert!(line.contains("\"diagnostics\":[]"), "{line}");
+                        answered += 1;
+                        if answered >= 8 {
+                            break;
+                        }
+                    }
+                    // Torn by an injected accept/read fault: reconnect,
+                    // as a real client would.
+                    _ => break,
+                }
+            }
+        }
+        assert!(
+            answered >= 8,
+            "only {answered} answers through the fault storm"
+        );
+        server.start_drain();
+        let summary = server.wait();
+        let torn = summary.faults.injected[Site::ServeAccept.index()]
+            + summary.faults.injected[Site::ServeRead.index()];
+        assert!(torn > 0, "{summary:?}");
+    }
+}

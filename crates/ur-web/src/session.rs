@@ -239,6 +239,12 @@ pub struct Session {
     /// compile and paying a full environment copy per iteration.
     vm_globals: Option<(Rc<VEnv>, ur_eval::vm::ConsEnv)>,
     incr: Option<IncrState>,
+    /// One-rebuild fuel-ceiling override (see
+    /// [`Session::reelaborate_limited`]). Must be applied *after* the
+    /// base restore inside [`Session::reelaborate`] — the restore
+    /// replaces the whole metavariable context, limits included, so
+    /// setting `elab.cx.fuel.limits` from outside is silently undone.
+    rebuild_limits: Option<ur_core::limits::Limits>,
     /// Keeps the shared intern arena alive for this session's lifetime:
     /// while any session holds a lease, `ur_core::arena::try_reset` is a
     /// no-op, so every `ConId`/`ExprId` this session minted stays valid.
@@ -308,6 +314,7 @@ impl Session {
             chunk_cache: HashMap::new(),
             vm_globals: None,
             incr: None,
+            rebuild_limits: None,
             _arena_lease: arena_lease,
         })
     }
@@ -530,6 +537,13 @@ impl Session {
         self.chunk_cache.clear();
         self.by_name = incr.base_by_name.clone();
 
+        // A per-rebuild fuel ceiling (deadline-budgeted serving) must be
+        // installed here, after the restore replaced the whole context.
+        if let Some(l) = self.rebuild_limits {
+            self.elab.cx.fuel.limits = l;
+            self.elab.cx.fuel.reset();
+        }
+
         self.elab.cx.stats.capture_failpoints();
         let before = self.elab.cx.stats.clone();
         let mut threads = self.threads;
@@ -582,6 +596,29 @@ impl Session {
             }
         }
         (out, diags)
+    }
+
+    /// [`Session::reelaborate`] under a one-rebuild fuel ceiling:
+    /// over-budget declarations degrade to structured E0900
+    /// diagnostics instead of running to completion. The ceiling covers
+    /// exactly this rebuild — sequential or parallel (batch workers
+    /// inherit the coordinator's limits) — and the session's standing
+    /// limits are reinstated afterwards, so later rebuilds and
+    /// evaluations are unaffected. This is the deadline-budget hook the
+    /// serving layer uses (`deadline_ms` → fuel via
+    /// [`ur_core::limits::Limits::for_deadline_ms`]).
+    pub fn reelaborate_limited(
+        &mut self,
+        src: &str,
+        limits: ur_core::limits::Limits,
+    ) -> (Vec<(String, Value)>, ur_syntax::Diagnostics) {
+        let standing = self.elab.cx.fuel.limits;
+        self.rebuild_limits = Some(limits);
+        let out = self.reelaborate(src);
+        self.rebuild_limits = None;
+        self.elab.cx.fuel.limits = standing;
+        self.elab.cx.fuel.reset();
+        out
     }
 
     /// What the most recent [`Session::reelaborate`] did (green/red

@@ -38,13 +38,34 @@
 //!   --serve            line-delimited JSON protocol on stdin/stdout:
 //!                      {"cmd":"load"|"edit","source":…} rebuild
 //!                      {"cmd":"type","name":…}          query a type
+//!                      {"cmd":"eval","expr":…}          evaluate
 //!                      {"cmd":"diagnostics"}            last diagnostics
 //!                      {"cmd":"stats"}                  counters
 //!                      {"cmd":"db"}                     database report
 //!                      {"cmd":"quit"}                   exit
-//!                      Requests are capped at 8 MiB per line; over-long
-//!                      or internally-failing requests get a JSON error
-//!                      without tearing down the session.
+//!                      Requests carry an optional "deadline_ms" budget
+//!                      (over-budget work degrades to E0900) and are
+//!                      capped at 8 MiB per line; over-long or
+//!                      internally-failing requests get a JSON error
+//!                      without tearing down the session. On quit or end
+//!                      of input a final {"event":"final","stats":…}
+//!                      line is flushed and the process exits 0.
+//!   --listen ADDR      serve the same JSON protocol to concurrent TCP
+//!                      clients (e.g. 127.0.0.1:7788; port 0 picks a
+//!                      free port, reported on the first stdout line as
+//!                      {"listening":"HOST:PORT"}). Backed by a
+//!                      supervised session pool with bounded queues:
+//!                      excess load is shed with a structured
+//!                      "overloaded" answer, wedged workers are replaced
+//!                      and their sessions rebuilt, SIGTERM or a
+//!                      "shutdown" request drains gracefully and prints
+//!                      a final summary line.
+//!   --pool N           worker sessions for --listen (default 4; forced
+//!                      to 1 with --db-dir: the store is single-writer)
+//!   --queue-depth N    per-worker bounded queue for --listen (default 16)
+//!   --max-conns N      live-connection cap for --listen (default 64)
+//!   --deadline-ms N    default per-request budget for --listen
+//!                      (default 2000; requests can only tighten it)
 //!   --help             this message
 //! ```
 
@@ -70,6 +91,11 @@ struct Options {
     db_dir: Option<String>,
     watch: bool,
     serve: bool,
+    listen: Option<String>,
+    pool: Option<usize>,
+    queue_depth: Option<usize>,
+    max_conns: Option<usize>,
+    deadline_ms: Option<u64>,
     engine: Option<ur::eval::EvalEngine>,
 }
 
@@ -77,12 +103,16 @@ fn usage() -> &'static str {
     "usage: urc [--print] [--stats] [--health] [--core NAME] [--type NAME] [--eval EXPR]\n\
      \x20          [--eval=vm|interp] [--sql-log] [--jobs N] [--no-identity] [--no-distrib]\n\
      \x20          [--no-fusion] [--emit-json] [--cache-dir DIR] [--db-dir DIR] [--watch]\n\
-     \x20          [--serve] FILE...\n\
+     \x20          [--serve] [--listen ADDR] [--pool N] [--queue-depth N] [--max-conns N]\n\
+     \x20          [--deadline-ms N] FILE...\n\
      Elaborates and runs Ur source files against the Ur/Web standard library.\n\
      --db-dir backs database effects with a crash-safe WAL + snapshot store\n\
      (empty = in-memory). --watch re-elaborates FILE incrementally on every\n\
-     change; --serve speaks line-delimited JSON (load/edit/type/diagnostics/\n\
-     stats/db/quit) on stdin/stdout, one request per line, 8 MiB cap."
+     change; --serve speaks line-delimited JSON (load/edit/type/eval/\n\
+     diagnostics/stats/db/quit) on stdin/stdout, one request per line, 8 MiB\n\
+     cap; --listen ADDR serves the same protocol to concurrent TCP clients\n\
+     through a supervised session pool (bounded queues shed overload, wedged\n\
+     workers are replaced, SIGTERM or \"shutdown\" drains gracefully)."
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -104,6 +134,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         db_dir: None,
         watch: false,
         serve: false,
+        listen: None,
+        pool: None,
+        queue_depth: None,
+        max_conns: None,
+        deadline_ms: None,
         engine: None,
     };
     while let Some(a) = args.next() {
@@ -119,6 +154,37 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--emit-json" => opts.emit_json = true,
             "--watch" => opts.watch = true,
             "--serve" => opts.serve = true,
+            "--listen" => {
+                opts.listen = Some(args.next().ok_or("--listen needs an address (host:port)")?)
+            }
+            "--pool" => {
+                let v = args.next().ok_or("--pool needs a worker count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--pool: not a worker count: {v}"))?;
+                opts.pool = Some(n.max(1));
+            }
+            "--queue-depth" => {
+                let v = args.next().ok_or("--queue-depth needs a depth")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--queue-depth: not a depth: {v}"))?;
+                opts.queue_depth = Some(n.max(1));
+            }
+            "--max-conns" => {
+                let v = args.next().ok_or("--max-conns needs a connection count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-conns: not a connection count: {v}"))?;
+                opts.max_conns = Some(n.max(1));
+            }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a duration")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: not a duration: {v}"))?;
+                opts.deadline_ms = Some(n.max(1));
+            }
             "--cache-dir" => {
                 opts.cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?)
             }
@@ -157,22 +223,24 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     if opts.watch && opts.files.len() != 1 {
         return Err(format!("--watch needs exactly one input file\n{}", usage()));
     }
-    if opts.files.is_empty() && opts.evals.is_empty() && !opts.serve {
+    if opts.files.is_empty() && opts.evals.is_empty() && !opts.serve && opts.listen.is_none() {
         return Err(format!("no input files\n{}", usage()));
     }
     Ok(opts)
 }
 
-/// The inferred type of the most recent value named `name`, if any.
-/// Shared by `--type` and the serve-mode `type` command.
+/// The inferred type of the most recent value named `name`, if any
+/// (shared with the serve-mode `type` command).
 fn type_of(sess: &Session, name: &str) -> Option<String> {
-    sess.elab.decls.iter().rev().find_map(|d| match d {
-        ElabDecl::Val { name: n, ty, .. } if n == name => Some(ty.to_string()),
-        _ => None,
-    })
+    ur::serve::protocol::type_of(sess, name)
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    // `--listen` builds its sessions inside the pool workers; nothing
+    // session-like is needed (or wanted) on this thread.
+    if let Some(addr) = &opts.listen {
+        return listen(opts, addr);
+    }
     let mut sess = Session::new().map_err(|e| e.to_string())?;
     if let Some(jobs) = opts.jobs {
         sess.threads = jobs;
@@ -187,9 +255,12 @@ fn run(opts: &Options) -> Result<(), String> {
         sess.engine = engine;
     }
     // An empty --db-dir means "today's in-memory mode", so scripts can
-    // pass a variable unconditionally.
+    // pass a variable unconditionally. Lock contention (a previous
+    // invocation still checkpointing on exit) is retried with bounded
+    // backoff; UR_DB_LOCK_WAIT_MS tunes the total budget.
     if let Some(dir) = opts.db_dir.as_deref().filter(|d| !d.is_empty()) {
-        *sess.db() = ur::db::Db::open(dir).map_err(|e| format!("--db-dir {dir}: {e}"))?;
+        *sess.db() = ur::db::Db::open_with_retry(dir, ur::db::RetryConfig::from_env())
+            .map_err(|e| format!("--db-dir {dir}: {e}"))?;
     }
 
     if opts.serve {
@@ -331,165 +402,111 @@ fn watch(sess: &mut Session, opts: &Options) -> Result<(), String> {
     }
 }
 
-/// Serve-mode per-request size cap. A line longer than this gets a
-/// structured JSON error; the excess is drained without ever being
-/// buffered, so a hostile or broken client cannot balloon the server.
-const SERVE_MAX_REQUEST: usize = 8 * 1024 * 1024;
-
-/// Reads one `\n`-terminated line, buffering at most
-/// [`SERVE_MAX_REQUEST`] bytes of it. Returns `None` at end of input,
-/// otherwise `(line, truncated)` — `truncated` set when the line
-/// exceeded the cap (the stored prefix is then partial and must not be
-/// parsed as a request).
-fn read_request_line(
-    r: &mut impl std::io::BufRead,
-) -> std::io::Result<Option<(String, bool)>> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut truncated = false;
-    let mut saw_any = false;
-    loop {
-        let chunk = r.fill_buf()?;
-        if chunk.is_empty() {
-            if !saw_any {
-                return Ok(None);
-            }
-            break;
-        }
-        saw_any = true;
-        let (take, found_newline) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => (pos, true),
-            None => (chunk.len(), false),
-        };
-        if !truncated {
-            let room = SERVE_MAX_REQUEST - buf.len();
-            let kept = take.min(room);
-            buf.extend_from_slice(&chunk[..kept]);
-            if kept < take {
-                truncated = true;
-            }
-        }
-        let consumed = if found_newline { take + 1 } else { take };
-        r.consume(consumed);
-        if found_newline {
-            break;
-        }
-    }
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)))
-}
-
 /// `--serve`: one JSON request per stdin line, one JSON response per
-/// stdout line. Exits cleanly on `{"cmd":"quit"}` or end of input.
-/// Hardened: request lines are capped at [`SERVE_MAX_REQUEST`] bytes,
-/// and a panic while handling one request answers that request with a
-/// JSON error instead of tearing down the whole session.
+/// stdout line, driven by the shared [`ur::serve::protocol`] (the same
+/// spec the `--listen` TCP front door speaks). Hardened: request lines
+/// are capped at [`ur::serve::MAX_REQUEST`] bytes, and a panic while
+/// handling one request answers that request with a JSON error instead
+/// of tearing down the whole session. On `{"cmd":"quit"}`, a client
+/// `shutdown`, or end of input, a final stats line
+/// (`{"ok":true,"event":"final","stats":…}`) is flushed and the
+/// process exits 0 — scripted drivers get the session's counters even
+/// when they just close the pipe.
 fn serve(sess: &mut Session) -> Result<(), String> {
     use std::io::Write;
+    use ur::serve::protocol::{handle_line, internal_error_response, oversize_response, Control};
+    use ur::serve::reader::read_capped_line;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut inp = stdin.lock();
     let mut out = stdout.lock();
-    let mut last_diags: ur::syntax::Diagnostics = Vec::new();
-    while let Some((line, truncated)) = read_request_line(&mut inp).map_err(|e| e.to_string())? {
-        let (resp, quit) = if truncated {
-            (
-                format!(
-                    "{{\"ok\":false,\"error\":\"request exceeds the {SERVE_MAX_REQUEST}-byte \
-                     limit and was dropped\"}}"
-                ),
-                false,
-            )
+    let mut ctx = ur::serve::ReqCtx::new(None);
+    let never = || false;
+    while let Some((line, truncated)) =
+        read_capped_line(&mut inp, ur::serve::MAX_REQUEST, &never).map_err(|e| e.to_string())?
+    {
+        let (resp, control) = if truncated {
+            (oversize_response(), Control::Continue)
         } else {
             if line.trim().is_empty() {
                 continue;
             }
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                serve_request(sess, &mut last_diags, &line)
+                handle_line(sess, &mut ctx, &line, None)
             })) {
                 Ok(r) => r,
-                Err(_) => (
-                    "{\"ok\":false,\"error\":\"internal error handling request; \
-                     session continues\"}"
-                        .to_string(),
-                    false,
-                ),
+                Err(_) => (internal_error_response(), Control::Continue),
             }
         };
         writeln!(out, "{resp}").and_then(|()| out.flush()).map_err(|e| e.to_string())?;
-        if quit {
+        if !matches!(control, Control::Continue) {
             break;
         }
     }
+    let stats = sess.stats_snapshot().to_string();
+    writeln!(
+        out,
+        "{{\"ok\":true,\"event\":\"final\",\"stats\":\"{}\"}}",
+        ur::query::json::escape(&stats)
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| e.to_string())?;
     Ok(())
 }
 
-/// Handles one serve-mode request; returns `(response, quit)`.
-fn serve_request(
-    sess: &mut Session,
-    last_diags: &mut ur::syntax::Diagnostics,
-    line: &str,
-) -> (String, bool) {
-    use ur::query::json::{diags_to_json, escape, parse_flat_object};
-    let err = |msg: &str| (format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(msg)), false);
-    let Some(req) = parse_flat_object(line) else {
-        return err("malformed request: expected a flat JSON object");
+/// `--listen ADDR`: the same JSON protocol as `--serve`, served to
+/// concurrent TCP clients through the supervised session pool. Prints
+/// `{"listening":"HOST:PORT"}` once bound (drivers parse the resolved
+/// port), drains gracefully on SIGTERM or a client `shutdown`, and
+/// prints the final summary line before exiting 0.
+fn listen(opts: &Options, addr: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut cfg = ur::serve::ServeConfig {
+        addr: addr.to_string(),
+        threads: opts.jobs,
+        engine: opts.engine,
+        cache_dir: opts.cache_dir.as_ref().map(std::path::PathBuf::from),
+        db_dir: opts
+            .db_dir
+            .as_deref()
+            .filter(|d| !d.is_empty())
+            .map(std::path::PathBuf::from),
+        fp: ur::core::failpoint::FpConfig::from_env(),
+        ..ur::serve::ServeConfig::default()
     };
-    match req.get("cmd").map(String::as_str) {
-        Some("load") | Some("edit") => {
-            let Some(src) = req.get("source") else {
-                return err("load/edit needs a \"source\" field");
-            };
-            let (_defs, diags) = sess.reelaborate(src);
-            let r = sess.last_incr_report().cloned().unwrap_or_default();
-            let resp = format!(
-                "{{\"ok\":true,\"decls\":{},\"green\":{},\"red\":{},\
-                 \"disk_hits\":{},\"diagnostics\":{}}}",
-                r.decls_total,
-                r.green,
-                r.red,
-                r.disk_hits,
-                diags_to_json(&diags)
-            );
-            *last_diags = diags;
-            (resp, false)
-        }
-        Some("type") => {
-            let Some(name) = req.get("name") else {
-                return err("type needs a \"name\" field");
-            };
-            match type_of(sess, name) {
-                Some(ty) => (
-                    format!(
-                        "{{\"ok\":true,\"name\":\"{}\",\"type\":\"{}\"}}",
-                        escape(name),
-                        escape(&ty)
-                    ),
-                    false,
-                ),
-                None => err(&format!("no value named {name}")),
-            }
-        }
-        Some("diagnostics") => (
-            format!("{{\"ok\":true,\"diagnostics\":{}}}", diags_to_json(last_diags)),
-            false,
-        ),
-        Some("stats") => (
-            format!(
-                "{{\"ok\":true,\"stats\":\"{}\"}}",
-                escape(&sess.stats_snapshot().to_string())
-            ),
-            false,
-        ),
-        Some("db") => (
-            format!("{{\"ok\":true,\"db\":\"{}\"}}", escape(&sess.db_report())),
-            false,
-        ),
-        Some("quit") => ("{\"ok\":true}".to_string(), true),
-        Some(other) => err(&format!("unknown cmd {other}")),
-        None => err("request needs a \"cmd\" field"),
+    if let Some(n) = opts.pool {
+        cfg.workers = n;
     }
+    if let Some(n) = opts.queue_depth {
+        cfg.queue_depth = n;
+    }
+    if let Some(n) = opts.max_conns {
+        cfg.max_conns = n;
+    }
+    if let Some(n) = opts.deadline_ms {
+        cfg.deadline_ms = n;
+    }
+    let server = ur::serve::Server::start(cfg).map_err(|e| format!("--listen {addr}: {e}"))?;
+    ur::serve::install_sigterm_handler();
+    {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        writeln!(out, "{{\"listening\":\"{}\"}}", server.addr())
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())?;
+    }
+    loop {
+        if ur::serve::sigterm_received() {
+            server.start_drain();
+        }
+        if server.draining() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let summary = server.wait();
+    println!("{}", summary.to_json());
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -35,6 +35,8 @@
 //! * [`eval`] — the call-by-value interpreter;
 //! * [`web`] — the Ur/Web standard library and [`Session`] runtime (§5);
 //! * [`db`] — the in-memory relational substrate;
+//! * [`serve`] — the resilient serving layer (`urc --serve`/`--listen`):
+//!   supervised session pool, deadlines, overload shedding, drain;
 //! * [`studies`] — the §6 case studies, written in Ur.
 
 pub use ur_core as core;
@@ -42,6 +44,7 @@ pub use ur_db as db;
 pub use ur_eval as eval;
 pub use ur_infer as infer;
 pub use ur_query as query;
+pub use ur_serve as serve;
 pub use ur_studies as studies;
 pub use ur_syntax as syntax;
 pub use ur_web as web;
