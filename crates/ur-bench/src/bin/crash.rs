@@ -16,7 +16,11 @@
 //!   least every acknowledged operation;
 //! * **no uncommitted effect visible** — the recovered state equals the
 //!   oracle after exactly K operations for some K in
-//!   [acked, acked + 1] (the at-most-one in-flight operation window).
+//!   [acked, acked + 1] (the at-most-one in-flight operation window);
+//! * **no index divergence** — every recovered secondary index equals a
+//!   fresh scan-order rebuild from the recovered rows
+//!   (`Db::verify_indexes`), whether it came back via WAL replay or a
+//!   snapshot load.
 //!
 //! The kill matrix runs every site at the fixed seeds 11/22/33 plus one
 //! randomized seed (printed, and embedded in every failure message, for
@@ -74,6 +78,10 @@ fn apply_op(db: &mut Db, i: u64) -> Result<(), DbError> {
     match i {
         0 => db.create_table("t", schema_ab()),
         1 => db.try_create_sequence("ids"),
+        // Index DDL sits inside the kill window like any other record:
+        // recovery must rebuild the index maps from the replayed rows.
+        2 => db.create_index("t_a", "t", "A"),
+        20 => db.create_index("t_b", "t", "B"),
         _ if i % 10 == 3 => {
             // One multi-statement explicit transaction.
             db.begin()?;
@@ -220,6 +228,17 @@ fn run_kill(site: Site, seed: u64, fixed: bool) -> KillRun {
             oracle_dump(acked)
         )
     });
+
+    // Index differential oracle: every recovered index must equal a
+    // fresh scan-order rebuild from the recovered rows — WAL replay and
+    // snapshot load may not leave a divergent (stale, reordered,
+    // dangling) index behind.
+    if let Err(e) = db.verify_indexes() {
+        panic!(
+            "recovered index diverges from fresh rebuild after {} kill (seed {seed}): {e}",
+            site.name()
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
     KillRun {

@@ -1,0 +1,446 @@
+//! Storage-engine benchmark and consistency gates for the ur-db v2
+//! engine (indexes, cost-based planner, MVCC snapshots).
+//!
+//! Four phases, all hard-gated:
+//!
+//! 1. **Populate** — a 1M-row table with secondary indexes on its key
+//!    and group columns, inserted in bijectively-shuffled key order so
+//!    index maintenance sees non-sequential keys.
+//! 2. **Probe vs scan** — timed equality lookups with the planner on
+//!    (index probes) and off (full scans). Gate: the per-query probe is
+//!    at least 100x faster than the scan.
+//! 3. **Planner divergence** — seeded random predicates (equality,
+//!    ranges, AND/OR/NOT combinations) executed planner-on and
+//!    planner-off over both a 20k-row table and the 1M-row table.
+//!    Gate: zero result-set divergence. Fixed seeds 11/22/33 plus one
+//!    randomized seed (printed; reproduce with `UR_DB_BENCH_SEED`).
+//! 4. **MVCC chaos** — a writer runs balanced transfer transactions
+//!    (total balance is invariant) and publishes snapshots — sometimes
+//!    deliberately mid-transaction, which must surface the begin state —
+//!    while reader threads sum balances through read-only snapshot
+//!    handles. Gates: zero torn reads (every read sums to the invariant
+//!    total over the full row count), zero stale reads (published
+//!    snapshot epochs never regress), and checkpoint GC reclaims dead
+//!    versions once the snapshots die.
+//!
+//! Results land in `BENCH_db.json`. Run with
+//! `cargo run -p ur-bench --bin db --release`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use ur_db::{ColTy, Db, DbSnapshot, DbVal, Schema, SqlExpr};
+use ur_testutil::Rng;
+
+const FIXED_SEEDS: [u64; 3] = [11, 22, 33];
+/// Rows in the big table (override with `UR_DB_BENCH_ROWS` for quick
+/// local iteration; the shipped gates are calibrated for 1M).
+const BIG_ROWS: usize = 1_000_000;
+const SMALL_ROWS: usize = 20_000;
+/// Equality lookups timed per side.
+const PROBES: usize = 2_000;
+const SCANS: usize = 30;
+/// Per-query speedup the index must deliver on the big table.
+const SPEEDUP_GATE: f64 = 100.0;
+
+fn schema_kgs() -> Schema {
+    Schema::new(vec![
+        ("K".into(), ColTy::Int),
+        ("G".into(), ColTy::Int),
+        ("S".into(), ColTy::Str),
+    ])
+    .expect("static schema")
+}
+
+/// Builds a `(K, G, S)` table of `n` rows with indexes on `K` (unique
+/// values, bijectively shuffled insert order) and `G` (`K % 1000`).
+fn populate(db: &mut Db, table: &str, n: usize) {
+    db.create_table(table, schema_kgs())
+        .unwrap_or_else(|e| panic!("create {table}: {e}"));
+    db.create_index(&format!("{table}_k"), table, "K")
+        .expect("index on K");
+    db.create_index(&format!("{table}_g"), table, "G")
+        .expect("index on G");
+    // 7919 is coprime to any power-of-(2,5) size, so `i -> i*7919 mod n`
+    // is a bijection: unique keys, non-sequential arrival order.
+    for i in 0..n {
+        let k = (i * 7919) % n;
+        db.insert(
+            table,
+            &[
+                ("K".into(), SqlExpr::lit(DbVal::Int(k as i64))),
+                ("G".into(), SqlExpr::lit(DbVal::Int((k % 1000) as i64))),
+                ("S".into(), SqlExpr::lit(DbVal::Str(format!("s{}", k % 5000)))),
+            ],
+        )
+        .unwrap_or_else(|e| panic!("insert {table}[{i}]: {e}"));
+    }
+}
+
+fn eq_k(k: i64) -> SqlExpr {
+    SqlExpr::eq(SqlExpr::col("K"), SqlExpr::lit(DbVal::Int(k)))
+}
+
+/// One seeded random predicate over the `(K, G, S)` schema: the shapes
+/// the planner distinguishes (probeable equality and ranges) plus the
+/// ones that must fall back (OR, NOT, no indexed conjunct).
+fn gen_pred(rng: &mut Rng, n: i64) -> SqlExpr {
+    let lit = |v: i64| SqlExpr::lit(DbVal::Int(v));
+    let range = |rng: &mut Rng| {
+        let lo = rng.range_i64(-10, n);
+        let hi = lo + rng.range_i64(0, n / 4);
+        SqlExpr::and(
+            SqlExpr::Le(Box::new(lit(lo)), Box::new(SqlExpr::col("K"))),
+            SqlExpr::Lt(Box::new(SqlExpr::col("K")), Box::new(lit(hi))),
+        )
+    };
+    match rng.below(8) {
+        0 => eq_k(rng.range_i64(-10, n + 10)),
+        1 => range(rng),
+        2 => SqlExpr::eq(SqlExpr::col("G"), lit(rng.range_i64(-2, 1002))),
+        3 => SqlExpr::and(
+            SqlExpr::eq(SqlExpr::col("G"), lit(rng.range_i64(0, 1000))),
+            SqlExpr::Lt(Box::new(SqlExpr::col("K")), Box::new(lit(rng.range_i64(0, n)))),
+        ),
+        4 => SqlExpr::or(eq_k(rng.range_i64(0, n)), eq_k(rng.range_i64(0, n))),
+        5 => SqlExpr::not(range(rng)),
+        6 => SqlExpr::eq(
+            SqlExpr::col("S"),
+            SqlExpr::lit(DbVal::Str(format!("s{}", rng.below(6000)))),
+        ),
+        _ => SqlExpr::and(
+            range(rng),
+            SqlExpr::or(
+                SqlExpr::eq(SqlExpr::col("G"), lit(rng.range_i64(0, 1000))),
+                SqlExpr::eq(
+                    SqlExpr::col("S"),
+                    SqlExpr::lit(DbVal::Str(format!("s{}", rng.below(6000)))),
+                ),
+            ),
+        ),
+    }
+}
+
+/// Result set as an order-independent fingerprint: access paths are
+/// free to yield rows in probe order vs scan order; the *set* must
+/// match exactly.
+fn row_set(rows: &[Vec<DbVal>]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(DbVal::to_sql)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Planner-on vs planner-off differential over `preds_per_seed`
+/// generated predicates; returns (queries, divergences).
+fn divergence_round(db: &mut Db, table: &str, n: i64, seed: u64, preds: usize) -> (u64, u64) {
+    let mut rng = Rng::new(seed ^ 0x9e3779b97f4a7c15);
+    let mut diverged = 0u64;
+    for q in 0..preds {
+        let pred = gen_pred(&mut rng, n);
+        db.set_planner(true);
+        let on = db
+            .select(table, &pred)
+            .unwrap_or_else(|e| panic!("planner-on select (seed {seed}, q {q}): {e}"));
+        db.set_planner(false);
+        let off = db
+            .select(table, &pred)
+            .unwrap_or_else(|e| panic!("planner-off select (seed {seed}, q {q}): {e}"));
+        db.set_planner(true);
+        if row_set(&on) != row_set(&off) {
+            diverged += 1;
+            eprintln!(
+                "DIVERGENCE seed {seed} q {q} pred {} — planner-on {} rows, off {} rows",
+                pred.to_sql(),
+                on.len(),
+                off.len()
+            );
+        }
+    }
+    (preds as u64, diverged)
+}
+
+struct ChaosOut {
+    commits: u64,
+    reads: u64,
+    torn: u64,
+    stale: u64,
+    versions_gcd: u64,
+    snapshot_reads: u64,
+}
+
+/// The MVCC consistency chaos: one writer, `readers` snapshot readers,
+/// invariant-total transfers, deliberate mid-transaction publishes.
+fn mvcc_chaos(seed: u64, accounts: i64, run: Duration, readers: usize) -> ChaosOut {
+    let mut db = Db::new();
+    db.create_table(
+        "acct",
+        Schema::new(vec![("ID".into(), ColTy::Int), ("BAL".into(), ColTy::Int)])
+            .expect("acct schema"),
+    )
+    .expect("acct table");
+    db.create_index("acct_id", "acct", "ID").expect("acct index");
+    for id in 0..accounts {
+        db.insert(
+            "acct",
+            &[
+                ("ID".into(), SqlExpr::lit(DbVal::Int(id))),
+                ("BAL".into(), SqlExpr::lit(DbVal::Int(100))),
+            ],
+        )
+        .expect("acct row");
+    }
+    let total: i64 = 100 * accounts;
+
+    let slot: Arc<Mutex<Option<Arc<DbSnapshot>>>> =
+        Arc::new(Mutex::new(Some(db.publish_snapshot())));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+    for _ in 0..readers {
+        let slot = Arc::clone(&slot);
+        let stop = Arc::clone(&stop);
+        joins.push(std::thread::spawn(move || -> (u64, u64, u64, u64) {
+            let (mut reads, mut torn, mut stale, mut snap_reads) = (0u64, 0u64, 0u64, 0u64);
+            let mut last_epoch = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let Some(snap) = slot.lock().expect("slot").clone() else {
+                    break;
+                };
+                // Published epochs only move forward under the single
+                // writer: a regression would be a stale publish.
+                let epoch = snap.epoch();
+                if epoch < last_epoch {
+                    stale += 1;
+                }
+                last_epoch = epoch;
+                let mut ro = Db::read_only(&snap);
+                let rows = ro
+                    .select("acct", &SqlExpr::lit(DbVal::Bool(true)))
+                    .expect("read-only select");
+                let sum: i64 = rows
+                    .iter()
+                    .map(|r| if let DbVal::Int(v) = r[1] { v } else { 0 })
+                    .sum();
+                // A torn or half-committed view shows either a wrong
+                // row count or an unbalanced total.
+                if rows.len() != accounts as usize || sum != total {
+                    torn += 1;
+                }
+                snap_reads += ro.stats().snapshot_reads;
+                reads += 1;
+            }
+            (reads, torn, stale, snap_reads)
+        }));
+    }
+
+    let mut rng = Rng::new(seed);
+    let deadline = Instant::now() + run;
+    let mut commits = 0u64;
+    let bal_plus = |delta: i64| {
+        vec![(
+            "BAL".to_string(),
+            SqlExpr::Add(
+                Box::new(SqlExpr::col("BAL")),
+                Box::new(SqlExpr::lit(DbVal::Int(delta))),
+            ),
+        )]
+    };
+    let id_eq = |id: i64| SqlExpr::eq(SqlExpr::col("ID"), SqlExpr::lit(DbVal::Int(id)));
+    while Instant::now() < deadline {
+        let a = rng.below(accounts as usize) as i64;
+        let b = rng.below(accounts as usize) as i64;
+        db.begin().expect("begin");
+        db.update("acct", &bal_plus(-1), &id_eq(a)).expect("debit");
+        if rng.chance(1, 7) {
+            // Mid-transaction publish: readers must get the begin
+            // state, never the debit-without-credit view.
+            *slot.lock().expect("slot") = Some(db.publish_snapshot());
+        }
+        db.update("acct", &bal_plus(1), &id_eq(b)).expect("credit");
+        db.commit().expect("commit");
+        commits += 1;
+        *slot.lock().expect("slot") = Some(db.publish_snapshot());
+        if commits.is_multiple_of(128) {
+            db.checkpoint().expect("in-memory checkpoint");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (mut reads, mut torn, mut stale, mut snapshot_reads) = (0u64, 0u64, 0u64, 0u64);
+    for j in joins {
+        let (r, t, s, sr) = j.join().expect("reader thread");
+        reads += r;
+        torn += t;
+        stale += s;
+        snapshot_reads += sr;
+    }
+    // Release every pinned snapshot, commit once more (invalidating the
+    // writer's own snapshot cache), and fold: the superseded versions
+    // are now reclaimable and the checkpoint must account for them.
+    *slot.lock().expect("slot") = None;
+    db.update("acct", &bal_plus(0), &id_eq(0)).expect("final touch");
+    db.checkpoint().expect("final checkpoint");
+    ChaosOut {
+        commits,
+        reads,
+        torn,
+        stale,
+        versions_gcd: db.stats().versions_gcd,
+        snapshot_reads,
+    }
+}
+
+fn main() {
+    let big_rows = std::env::var("UR_DB_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(BIG_ROWS);
+    let random_seed = std::env::var("UR_DB_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 | 1)
+                .unwrap_or(1)
+        });
+    println!("ur-db engine benchmark — indexes, planner, MVCC snapshots");
+    println!(
+        "big table {big_rows} rows; fixed seeds {FIXED_SEEDS:?}; randomized seed \
+         {random_seed} (re-run with UR_DB_BENCH_SEED={random_seed})"
+    );
+    println!();
+
+    // Phase 1: populate.
+    let mut db = Db::new();
+    let t0 = Instant::now();
+    populate(&mut db, "big", big_rows);
+    let populate_s = t0.elapsed().as_secs_f64();
+    populate(&mut db, "small", SMALL_ROWS);
+    db.verify_indexes()
+        .unwrap_or_else(|e| panic!("index divergence after populate: {e}"));
+    println!(
+        "populate: {big_rows} rows + 2 indexes in {populate_s:.2}s \
+         ({:.0} rows/s)",
+        big_rows as f64 / populate_s
+    );
+
+    // Phase 2: probe vs scan on big-table equality.
+    let mut rng = Rng::new(random_seed);
+    let keys: Vec<i64> = (0..PROBES).map(|_| rng.below(big_rows) as i64).collect();
+    db.set_planner(true);
+    let t0 = Instant::now();
+    let mut probe_hits = 0usize;
+    for &k in &keys {
+        probe_hits += db.select("big", &eq_k(k)).expect("probe select").len();
+    }
+    let probe_per_q_us = t0.elapsed().as_secs_f64() * 1e6 / PROBES as f64;
+    db.set_planner(false);
+    let t0 = Instant::now();
+    let mut scan_hits = 0usize;
+    for &k in keys.iter().take(SCANS) {
+        scan_hits += db.select("big", &eq_k(k)).expect("scan select").len();
+    }
+    let scan_per_q_us = t0.elapsed().as_secs_f64() * 1e6 / SCANS as f64;
+    db.set_planner(true);
+    assert_eq!(probe_hits, PROBES, "every probed key is present exactly once");
+    assert_eq!(scan_hits, SCANS, "every scanned key is present exactly once");
+    let speedup = scan_per_q_us / probe_per_q_us.max(1e-9);
+    println!(
+        "equality lookup: probe {probe_per_q_us:.2} us/q vs scan {scan_per_q_us:.2} us/q \
+         — {speedup:.0}x"
+    );
+
+    // Phase 3: planner-on/off divergence, small and big tables.
+    let mut seeds: Vec<u64> = FIXED_SEEDS.to_vec();
+    seeds.push(random_seed);
+    let (mut dq, mut dd) = (0u64, 0u64);
+    for &seed in &seeds {
+        let (q, d) = divergence_round(&mut db, "small", SMALL_ROWS as i64, seed, 120);
+        dq += q;
+        dd += d;
+        let (q, d) = divergence_round(&mut db, "big", big_rows as i64, seed, 8);
+        dq += q;
+        dd += d;
+    }
+    println!("planner divergence: {dd} / {dq} queries diverged");
+    let big_stats = db.stats().clone();
+
+    // Phase 4: MVCC chaos at a fixed and the randomized seed.
+    let mut chaos_runs = Vec::new();
+    for &seed in &[FIXED_SEEDS[0], random_seed] {
+        let out = mvcc_chaos(seed, 1_000, Duration::from_millis(1_500), 4);
+        println!(
+            "mvcc chaos (seed {seed}): {} commits, {} snapshot reads \
+             ({} torn, {} stale), {} versions gcd",
+            out.commits, out.reads, out.torn, out.stale, out.versions_gcd
+        );
+        chaos_runs.push((seed, out));
+    }
+    println!();
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"db\",\n  \"metric\": \"engine\",\n  \
+         \"rows\": {big_rows},\n  \"fixed_seeds\": {FIXED_SEEDS:?},\n  \
+         \"random_seed\": {random_seed},\n  \
+         \"populate\": {{\"seconds\": {populate_s:.3}, \"rows_per_sec\": {:.0}}},\n  \
+         \"equality\": {{\"probe_us_per_query\": {probe_per_q_us:.3}, \
+         \"scan_us_per_query\": {scan_per_q_us:.3}, \"speedup\": {speedup:.1}, \
+         \"gate\": {SPEEDUP_GATE}}},\n  \
+         \"divergence\": {{\"queries\": {dq}, \"diverged\": {dd}}},\n  \
+         \"engine_counters\": {{\"index_probes\": {}, \"full_scans\": {}, \
+         \"planner_fallbacks\": {}}},\n  \"mvcc_chaos\": [\n",
+        big_rows as f64 / populate_s,
+        big_stats.index_probes,
+        big_stats.full_scans,
+        big_stats.planner_fallbacks,
+    );
+    for (i, (seed, o)) in chaos_runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"seed\": {seed}, \"commits\": {}, \"reads\": {}, \"torn\": {}, \
+             \"stale\": {}, \"versions_gcd\": {}, \"snapshot_reads\": {}}}",
+            o.commits, o.reads, o.torn, o.stale, o.versions_gcd, o.snapshot_reads
+        );
+        json.push_str(if i + 1 < chaos_runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_db.json", &json).expect("write BENCH_db.json");
+    println!("wrote BENCH_db.json");
+
+    // Hard gates.
+    assert!(
+        speedup >= SPEEDUP_GATE,
+        "index probe speedup {speedup:.1}x below the {SPEEDUP_GATE}x gate \
+         (probe {probe_per_q_us:.2} us vs scan {scan_per_q_us:.2} us)"
+    );
+    assert_eq!(
+        dd, 0,
+        "planner-on/off divergence: {dd} of {dq} queries (seed {random_seed})"
+    );
+    assert!(
+        big_stats.index_probes > 0 && big_stats.full_scans > 0,
+        "both access paths must actually run: {big_stats}"
+    );
+    for (seed, o) in &chaos_runs {
+        assert_eq!(o.torn, 0, "torn snapshot reads at seed {seed}");
+        assert_eq!(o.stale, 0, "stale (regressed) snapshots at seed {seed}");
+        assert!(o.reads > 0 && o.commits > 0, "chaos at seed {seed} did no work");
+        assert!(
+            o.versions_gcd > 0,
+            "checkpoint GC reclaimed nothing at seed {seed}"
+        );
+        assert!(
+            o.snapshot_reads >= o.reads,
+            "snapshot reads were not counted at seed {seed}"
+        );
+    }
+    println!("all gates passed");
+}

@@ -15,7 +15,11 @@
 //!    the store is reopened from disk. Gate: zero acked-write loss
 //!    (disk rows ≥ the highest acknowledged script, and the supervisor
 //!    demonstrably restarted at least one worker).
-//! 4. **overload** — 2× oversubscription against a deliberately tiny
+//! 4. **read fan-out** — durable reads (`db` reports) under concurrent
+//!    durable write load, single-worker vs snapshot-reader fan-out.
+//!    Gate: fan-out read throughput beats the single-worker baseline
+//!    (reads no longer serialise behind the writer).
+//! 5. **overload** — 2× oversubscription against a deliberately tiny
 //!    queue. Gates: shedding actually observed (`overloaded` +
 //!    `retry_after_ms`), and p99 latency of delivered answers bounded
 //!    by `3 × deadline × (queue_depth + 1)`.
@@ -44,6 +48,7 @@ struct Client {
 impl Client {
     fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -540,6 +545,126 @@ fn phase_overload() -> OverloadResult {
     }
 }
 
+// ---------------------------------------------------------------- phase 5
+
+struct ReadFanoutResult {
+    single_rps: f64,
+    fanout_rps: f64,
+    improvement: f64,
+    single_reads: u64,
+    fanout_reads: u64,
+    single_writes: u64,
+    fanout_writes: u64,
+}
+
+/// Durable read throughput under concurrent write load, single-worker
+/// vs snapshot-reader fan-out. With one worker every read queues behind
+/// the writer's durable evals; with the fan-out, read-only commands go
+/// to snapshot readers and never wait for the store. The gate is the
+/// whole point of the MVCC engine's serving story: fan-out read
+/// throughput must beat the single-worker baseline.
+fn phase_read_fanout() -> ReadFanoutResult {
+    const READ_CLIENTS: usize = 4;
+    const WRITE_CLIENTS: usize = 2;
+    const WINDOW: std::time::Duration = std::time::Duration::from_millis(2_000);
+
+    fn run_one(workers: usize) -> (u64, u64) {
+        let db_dir = tmp_dir(&format!("fanout-db-{workers}"));
+        let cache = tmp_dir(&format!("fanout-cache-{workers}"));
+        let server = Server::start(ServeConfig {
+            workers,
+            deadline_ms: 2_000,
+            threads: Some(1),
+            db_dir: Some(db_dir.clone()),
+            cache_dir: Some(cache.clone()),
+            ..ServeConfig::default()
+        })
+        .expect("serve bind");
+        let addr = server.addr();
+
+        // Acked base state: one durable table all clients share.
+        let mut setup = Client::connect(addr).expect("setup client");
+        let resp = setup
+            .roundtrip(&load_req(
+                "val t = createTable \"people\" {Name = sqlString} \
+                 val u0 = insert t {Name = const \"seed\"}",
+            ))
+            .expect("setup load");
+        assert!(
+            resp.contains("\"ok\":true") && resp.contains("\"diagnostics\":[]"),
+            "fan-out setup must ack cleanly: {resp}"
+        );
+
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for _ in 0..WRITE_CLIENTS {
+            let stop = std::sync::Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || -> u64 {
+                let mut writes = 0u64;
+                let Ok(mut c) = Client::connect(addr) else {
+                    return 0;
+                };
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match c.roundtrip(&eval_req("insert t {Name = const \"w\"}")) {
+                        Some(resp) if resp.contains("\"ok\":true") => writes += 1,
+                        Some(_) => {} // shed / expired: keep pressing
+                        None => match Client::connect(addr) {
+                            Ok(n) => c = n,
+                            Err(_) => break,
+                        },
+                    }
+                }
+                writes
+            }));
+        }
+        let mut readers = Vec::new();
+        for _ in 0..READ_CLIENTS {
+            let stop = std::sync::Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || -> u64 {
+                let mut reads = 0u64;
+                let Ok(mut c) = Client::connect(addr) else {
+                    return 0;
+                };
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match c.roundtrip("{\"cmd\":\"db\"}") {
+                        Some(resp) if resp.contains("\"ok\":true") => reads += 1,
+                        Some(_) => {}
+                        None => match Client::connect(addr) {
+                            Ok(n) => c = n,
+                            Err(_) => break,
+                        },
+                    }
+                }
+                reads
+            }));
+        }
+        std::thread::sleep(WINDOW);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let reads: u64 = readers.into_iter().map(|j| j.join().unwrap_or(0)).sum();
+        let writes: u64 = writers.into_iter().map(|j| j.join().unwrap_or(0)).sum();
+        server.start_drain();
+        let _ = server.wait();
+        let _ = std::fs::remove_dir_all(&db_dir);
+        let _ = std::fs::remove_dir_all(&cache);
+        (reads, writes)
+    }
+
+    let (single_reads, single_writes) = run_one(1);
+    let (fanout_reads, fanout_writes) = run_one(4);
+    let secs = WINDOW.as_secs_f64();
+    let single_rps = single_reads as f64 / secs;
+    let fanout_rps = fanout_reads as f64 / secs;
+    ReadFanoutResult {
+        single_rps,
+        fanout_rps,
+        improvement: fanout_rps / single_rps.max(1e-9),
+        single_reads,
+        fanout_reads,
+        single_writes,
+        fanout_writes,
+    }
+}
+
 // ------------------------------------------------------------------ main
 
 fn main() {
@@ -593,6 +718,19 @@ fn main() {
         durable.disk_rows,
         durable.worker_restarts,
         durable.lost_acked_writes,
+        t.elapsed().as_secs_f64()
+    );
+
+    let t = Instant::now();
+    let fanout = phase_read_fanout();
+    println!(
+        "fan-out:   reads {:.0}/s single-worker vs {:.0}/s with snapshot readers \
+         ({:.2}x; writes {} vs {})  ({:.1}s)",
+        fanout.single_rps,
+        fanout.fanout_rps,
+        fanout.improvement,
+        fanout.single_writes,
+        fanout.fanout_writes,
         t.elapsed().as_secs_f64()
     );
 
@@ -654,6 +792,19 @@ fn main() {
         durable.worker_restarts,
         durable.lost_acked_writes
     );
+    let _ = writeln!(
+        json,
+        "    \"read_fanout\": {{\"single_rps\": {:.1}, \"fanout_rps\": {:.1}, \
+         \"improvement\": {:.3}, \"single_reads\": {}, \"fanout_reads\": {}, \
+         \"single_writes\": {}, \"fanout_writes\": {}}},",
+        fanout.single_rps,
+        fanout.fanout_rps,
+        fanout.improvement,
+        fanout.single_reads,
+        fanout.fanout_reads,
+        fanout.single_writes,
+        fanout.fanout_writes
+    );
     let _ = write!(
         json,
         "    \"overload\": {{\"requests\": {}, \"ok\": {}, \"shed\": {}, \"p99_ms\": {:.2}, \
@@ -664,11 +815,13 @@ fn main() {
         json,
         "  \"gates\": {{\"wrong_answers\": {wrong_answers}, \
          \"acked_write_loss\": {}, \"nominal_availability\": {:.4}, \
-         \"overload_shed\": {}, \"overload_p99_bounded\": {}}}\n}}\n",
+         \"overload_shed\": {}, \"overload_p99_bounded\": {}, \
+         \"read_fanout_improvement\": {:.3}}}\n}}\n",
         durable.lost_acked_writes,
         nominal.availability,
         overload.shed,
-        overload.p99_ms <= overload.p99_bound_ms
+        overload.p99_ms <= overload.p99_bound_ms,
+        fanout.improvement
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("wrote BENCH_serving.json");
@@ -705,6 +858,30 @@ fn main() {
         nominal.availability >= 0.99,
         "nominal availability {:.2}% below 99%",
         nominal.availability * 100.0
+    );
+    // Hard gate: the snapshot-reader fan-out must beat the single-worker
+    // baseline on durable reads under write load — and both sides must
+    // have demonstrably served reads *and* writes for the comparison to
+    // mean anything.
+    assert!(
+        fanout.single_reads > 0 && fanout.fanout_reads > 0,
+        "read fan-out phase served no reads: {} vs {}",
+        fanout.single_reads,
+        fanout.fanout_reads
+    );
+    assert!(
+        fanout.single_writes > 0 && fanout.fanout_writes > 0,
+        "read fan-out phase served no writes: {} vs {}",
+        fanout.single_writes,
+        fanout.fanout_writes
+    );
+    assert!(
+        fanout.improvement > 1.0,
+        "snapshot-reader fan-out did not improve durable read throughput: \
+         {:.0}/s vs {:.0}/s ({:.2}x)",
+        fanout.single_rps,
+        fanout.fanout_rps,
+        fanout.improvement
     );
     // Hard gate 4: overload sheds instead of queueing without bound, and
     // what is answered is answered within the patience envelope.

@@ -141,6 +141,19 @@ pub struct Stats {
     pub srv_worker_restarts: u64,
     /// In-flight requests completed during graceful drain.
     pub srv_drained: u64,
+    /// Storage-engine statements executed through an index probe
+    /// (copied from the session's `DbStats` by snapshot surfaces; zero
+    /// when no database work ran).
+    pub db_index_probes: u64,
+    /// Storage-engine statements executed as full table scans.
+    pub db_full_scans: u64,
+    /// Planner fallbacks: scans chosen despite the table having indexes
+    /// (float operands, no probeable conjunct).
+    pub db_planner_fallbacks: u64,
+    /// Reads served from read-only MVCC snapshot handles.
+    pub db_snapshot_reads: u64,
+    /// Superseded row versions reclaimed at checkpoints.
+    pub db_versions_gcd: u64,
 }
 
 impl Stats {
@@ -215,6 +228,11 @@ impl Stats {
             srv_deadline_expired,
             srv_worker_restarts,
             srv_drained,
+            db_index_probes,
+            db_full_scans,
+            db_planner_fallbacks,
+            db_snapshot_reads,
+            db_versions_gcd,
         );
     }
 
@@ -338,7 +356,28 @@ impl Stats {
                 .srv_worker_restarts
                 .saturating_sub(earlier.srv_worker_restarts),
             srv_drained: self.srv_drained.saturating_sub(earlier.srv_drained),
+            db_index_probes: self.db_index_probes.saturating_sub(earlier.db_index_probes),
+            db_full_scans: self.db_full_scans.saturating_sub(earlier.db_full_scans),
+            db_planner_fallbacks: self
+                .db_planner_fallbacks
+                .saturating_sub(earlier.db_planner_fallbacks),
+            db_snapshot_reads: self
+                .db_snapshot_reads
+                .saturating_sub(earlier.db_snapshot_reads),
+            db_versions_gcd: self.db_versions_gcd.saturating_sub(earlier.db_versions_gcd),
         }
+    }
+
+    /// Copies the storage-engine planner/MVCC counters out of a
+    /// database's [`DbStats`]-shaped numbers (passed as plain values so
+    /// `ur-core` stays independent of `ur-db`). Snapshot surfaces call
+    /// this with the session database's live counters.
+    pub fn capture_db(&mut self, probes: u64, scans: u64, fallbacks: u64, snap_reads: u64, gcd: u64) {
+        self.db_index_probes = probes;
+        self.db_full_scans = scans;
+        self.db_planner_fallbacks = fallbacks;
+        self.db_snapshot_reads = snap_reads;
+        self.db_versions_gcd = gcd;
     }
 }
 
@@ -437,6 +476,15 @@ impl fmt::Display for Stats {
             self.srv_deadline_expired,
             self.srv_worker_restarts,
             self.srv_drained,
+        )?;
+        write!(
+            f,
+            " db[probes={} scans={} fallbacks={} snap_reads={} gcd={}]",
+            self.db_index_probes,
+            self.db_full_scans,
+            self.db_planner_fallbacks,
+            self.db_snapshot_reads,
+            self.db_versions_gcd,
         )
     }
 }
@@ -694,6 +742,58 @@ mod tests {
         assert_eq!(d.srv_worker_restarts, 0);
         let d2 = b.since(&a);
         assert_eq!(d2.srv_accepted, 0, "saturating sub");
+    }
+
+    #[test]
+    fn display_mentions_db_counters() {
+        let s = Stats::new().to_string();
+        for key in [
+            "db[probes=",
+            "scans=",
+            "fallbacks=",
+            "snap_reads=",
+            "gcd=",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+
+    #[test]
+    fn absorb_since_and_capture_cover_db_counters() {
+        let mut a = Stats::new();
+        a.db_index_probes = 5;
+        a.db_full_scans = u64::MAX - 1;
+        let mut b = Stats::new();
+        b.db_index_probes = 2;
+        b.db_full_scans = 10;
+        b.db_planner_fallbacks = 3;
+        b.db_snapshot_reads = 4;
+        b.db_versions_gcd = 6;
+        a.absorb(&b);
+        assert_eq!(a.db_index_probes, 7);
+        assert_eq!(a.db_full_scans, u64::MAX, "saturating add");
+        assert_eq!(a.db_planner_fallbacks, 3);
+        assert_eq!(a.db_snapshot_reads, 4);
+        assert_eq!(a.db_versions_gcd, 6);
+
+        let d = a.since(&b);
+        assert_eq!(d.db_index_probes, 5);
+        assert_eq!(d.db_planner_fallbacks, 0);
+        let d2 = b.since(&a);
+        assert_eq!(d2.db_index_probes, 0, "saturating sub");
+
+        let mut c = Stats::new();
+        c.capture_db(1, 2, 3, 4, 5);
+        assert_eq!(
+            (
+                c.db_index_probes,
+                c.db_full_scans,
+                c.db_planner_fallbacks,
+                c.db_snapshot_reads,
+                c.db_versions_gcd
+            ),
+            (1, 2, 3, 4, 5)
+        );
     }
 
     #[test]

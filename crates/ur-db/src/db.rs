@@ -33,6 +33,9 @@
 
 use crate::error::DbError;
 use crate::expr::SqlExpr;
+use crate::index::{Index, IndexDef};
+use crate::mvcc::{DbSnapshot, MvccState};
+use crate::plan::{self, Access, Plan};
 use crate::recover::{self, Durable};
 use crate::table::{Schema, Table};
 use crate::txn::{DbStats, DurabilityConfig, TxnState};
@@ -42,7 +45,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
 use std::rc::Rc;
+use std::sync::Arc;
 use ur_core::failpoint::{self, Site};
+
+/// Capacity of the bounded EXPLAIN ring ([`Db::plan_log`]).
+const PLAN_LOG_CAP: usize = 8;
 
 /// A relational database: in-memory by default, durable when opened on
 /// a directory with [`Db::open`].
@@ -64,6 +71,18 @@ pub struct Db {
     /// mismatch with `Durable::epoch` means another clone has written
     /// since, and this handle's appends are refused as stale.
     seen_epoch: u64,
+    /// Disables index selection: every statement plans as a full scan.
+    /// The probe/scan differential tests flip this; `false` (planner
+    /// on) is the default.
+    planner_off: bool,
+    /// True for handles made by [`Db::read_only`]: every mutation is
+    /// refused with [`DbError::ReadOnly`].
+    read_only: bool,
+    /// Bounded ring of the most recent EXPLAIN lines (oldest first).
+    plan_log: Vec<String>,
+    /// MVCC bookkeeping: committed-state epoch, snapshot cache, and the
+    /// published-snapshot registry GC accounting runs against.
+    mvcc: MvccState,
 }
 
 impl Db {
@@ -99,6 +118,10 @@ impl Db {
             stats: rec.stats,
             next_mem_txn: 0,
             seen_epoch: 0,
+            planner_off: false,
+            read_only: false,
+            plan_log: Vec::new(),
+            mvcc: MvccState::default(),
         })
     }
 
@@ -168,6 +191,9 @@ impl Db {
     /// mode — buffered in the open transaction, auto-committed through
     /// the WAL, or purely in memory.
     fn commit_effect(&mut self, rec: WalRecord, sql: String) -> Result<Option<i64>, DbError> {
+        if self.read_only {
+            return Err(DbError::ReadOnly);
+        }
         if self.txn.is_some() {
             // Explicit transaction: apply now (the transaction reads its
             // own writes), persist at commit.
@@ -203,11 +229,13 @@ impl Db {
             let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
             self.log.push(sql);
             self.stats.auto_commits = self.stats.auto_commits.saturating_add(1);
+            self.mvcc.bump();
             self.maybe_checkpoint();
             return Ok(out);
         }
         let out = recover::apply_record(&mut self.tables, &mut self.sequences, &rec)?;
         self.log.push(sql);
+        self.mvcc.bump();
         Ok(out)
     }
 
@@ -217,6 +245,9 @@ impl Db {
     ///
     /// [`DbError::TxnActive`] when one is already open (no nesting).
     pub fn begin(&mut self) -> Result<u64, DbError> {
+        if self.read_only {
+            return Err(DbError::ReadOnly);
+        }
         if self.txn.is_some() {
             return Err(DbError::TxnActive);
         }
@@ -302,10 +333,12 @@ impl Db {
                 self.seen_epoch = d.epoch;
             }
             self.stats.txn_commits = self.stats.txn_commits.saturating_add(1);
+            self.mvcc.bump();
             self.maybe_checkpoint();
             return Ok(());
         }
         self.stats.txn_commits = self.stats.txn_commits.saturating_add(1);
+        self.mvcc.bump();
         Ok(())
     }
 
@@ -349,6 +382,8 @@ impl Db {
             return Err(DbError::TxnActive);
         }
         let Some(durable) = self.durable.clone() else {
+            // In-memory checkpoints still run the MVCC accounting pass.
+            self.fold_gc();
             return Ok(());
         };
         if adopt {
@@ -389,7 +424,25 @@ impl Db {
         d.records_since_snapshot = 0;
         d.poisoned = None;
         self.stats.snapshots_written = self.stats.snapshots_written.saturating_add(1);
+        drop(d);
+        self.fold_gc();
         Ok(())
+    }
+
+    /// Checkpoint-time MVCC accounting: moves every table's superseded
+    /// version count into the registry's pending pool, prunes dead
+    /// snapshot handles, and folds the pool into `versions_gcd` once no
+    /// published snapshot is live (the versions' memory was freed by
+    /// the last `Arc` drop; this is when the engine can *count* them).
+    fn fold_gc(&mut self) {
+        let newly: u64 = self
+            .tables
+            .values_mut()
+            .map(|t| std::mem::take(&mut t.superseded))
+            .sum();
+        self.mvcc.registry.note_dead(newly);
+        let gcd = self.mvcc.registry.collect();
+        self.stats.versions_gcd = self.stats.versions_gcd.saturating_add(gcd);
     }
 
     fn maybe_checkpoint(&mut self) {
@@ -453,6 +506,7 @@ impl Db {
         }
         self.tables = state.tables.clone();
         self.sequences = state.sequences.clone();
+        self.mvcc.bump();
         self.persist_rebase();
     }
 
@@ -561,6 +615,175 @@ impl Db {
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
+    /// Creates an ordered secondary index `name` on `table (column)`
+    /// and builds it over the existing rows. Durable: the WAL record is
+    /// replayed at the same point in the stream, so a recovered index
+    /// is rebuilt over exactly the rows live execution saw.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`]/[`DbError::UnknownColumn`] when the
+    /// target does not exist, [`DbError::IndexExists`] on a duplicate
+    /// name, plus the durable-layer errors of any statement.
+    pub fn create_index(&mut self, name: &str, table: &str, column: &str) -> Result<(), DbError> {
+        let t = self.table(table)?;
+        if t.index_defs().iter().any(|d| d.name == name) {
+            return Err(DbError::IndexExists(name.to_string()));
+        }
+        Index::resolve_col(t.schema.columns(), column)?;
+        let sql = format!("CREATE INDEX \"{name}\" ON \"{table}\" (\"{column}\");");
+        self.commit_effect(
+            WalRecord::CreateIndex {
+                name: name.to_string(),
+                table: table.to_string(),
+                column: column.to_string(),
+            },
+            sql,
+        )?;
+        Ok(())
+    }
+
+    /// Definitions of the secondary indexes on `table`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::UnknownTable`] when absent.
+    pub fn indexes(&self, table: &str) -> Result<Vec<IndexDef>, DbError> {
+        Ok(self.table(table)?.index_defs())
+    }
+
+    /// Enables or disables the access-path planner. With the planner
+    /// off every statement runs as a full scan; result sets must be
+    /// identical either way (the differential tests gate on it).
+    pub fn set_planner(&mut self, enabled: bool) {
+        self.planner_off = !enabled;
+    }
+
+    /// True when index selection is active (the default).
+    pub fn planner_enabled(&self) -> bool {
+        !self.planner_off
+    }
+
+    /// The most recent EXPLAIN lines (oldest first, bounded ring).
+    pub fn plan_log(&self) -> &[String] {
+        &self.plan_log
+    }
+
+    /// The plan the engine would use for a statement over `table` with
+    /// predicate `pred`, rendered as the machine-readable single-line
+    /// JSON EXPLAIN. Does not execute anything or touch the plan log.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown table or ill-typed predicate.
+    pub fn explain(&self, table: &str, pred: &SqlExpr) -> Result<String, DbError> {
+        let t = self.table(table)?;
+        pred.check(&t.schema)?;
+        Ok(self.plan_for(table, t, pred).explain())
+    }
+
+    /// Cross-checks every secondary index against a fresh rebuild from
+    /// its table's rows; `Err` describes the first divergence. The
+    /// post-recovery oracle of the crash harness: maintained and
+    /// replayed indexes must always equal the from-scratch rebuild.
+    ///
+    /// # Errors
+    ///
+    /// The divergence description, when one exists.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        for name in self.table_names() {
+            if let Some(t) = self.tables.get(&name) {
+                if let Some(d) = t.index_divergence() {
+                    return Err(format!("table {name}: {d}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes an immutable [`DbSnapshot`] of the last **committed**
+    /// state (mid-transaction, that is the `begin` snapshot): a
+    /// handle-copy of the `Arc`-shared tables, cached per epoch —
+    /// repeated publishes between commits return the same `Arc` — and
+    /// registered for the checkpoint GC accounting.
+    pub fn publish_snapshot(&mut self) -> Arc<DbSnapshot> {
+        if let Some(s) = &self.mvcc.cache {
+            if s.epoch() == self.mvcc.epoch {
+                return Arc::clone(s);
+            }
+        }
+        let (tables, sequences) = match &self.txn {
+            Some(t) => (&t.undo_tables, &t.undo_sequences),
+            None => (&self.tables, &self.sequences),
+        };
+        let snap = Arc::new(DbSnapshot {
+            epoch: self.mvcc.epoch,
+            tables: tables.clone(),
+            sequences: sequences.clone(),
+        });
+        self.mvcc.registry.register(&snap);
+        self.mvcc.cache = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// An in-memory read-only handle over a published snapshot: reads
+    /// observe exactly the snapshot's committed state (counted as
+    /// `snapshot_reads`), every mutation is refused with
+    /// [`DbError::ReadOnly`]. The snapshot is `Send + Sync`; the handle
+    /// is not — build it *inside* the reader thread.
+    pub fn read_only(snap: &Arc<DbSnapshot>) -> Db {
+        Db {
+            tables: snap.tables.clone(),
+            sequences: snap.sequences.clone(),
+            read_only: true,
+            mvcc: MvccState {
+                epoch: snap.epoch(),
+                ..MvccState::default()
+            },
+            ..Db::default()
+        }
+    }
+
+    /// True for handles made by [`Db::read_only`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The committed-state epoch of this handle — what a published
+    /// snapshot pins, bumped by every committed change.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.mvcc.epoch
+    }
+
+    /// Plans the access path for a statement, honoring the planner
+    /// toggle.
+    fn plan_for(&self, table: &str, t: &Table, pred: &SqlExpr) -> Plan {
+        if self.planner_off {
+            plan::scan_plan(table, t)
+        } else {
+            plan::plan(table, t, pred)
+        }
+    }
+
+    /// Records an executed plan: engine counters plus the EXPLAIN ring.
+    fn note_plan(&mut self, plan: &Plan) {
+        match plan.access {
+            Access::FullScan => {
+                self.stats.full_scans = self.stats.full_scans.saturating_add(1);
+            }
+            _ => {
+                self.stats.index_probes = self.stats.index_probes.saturating_add(1);
+            }
+        }
+        if plan.fallback.is_some() {
+            self.stats.planner_fallbacks = self.stats.planner_fallbacks.saturating_add(1);
+        }
+        if self.plan_log.len() >= PLAN_LOG_CAP {
+            self.plan_log.remove(0);
+        }
+        self.plan_log.push(plan.explain());
+    }
+
     /// Inserts a row given as (column, value-expression) pairs; the
     /// expressions may not reference columns (Ur/Web types them in the
     /// empty environment, `exp []`).
@@ -612,16 +835,18 @@ impl Db {
     ///
     /// Fails on unknown table or ill-typed predicate.
     pub fn delete(&mut self, table: &str, pred: &SqlExpr) -> Result<usize, DbError> {
-        let t = self.table(table)?;
-        let schema = t.schema.clone();
-        pred.check(&schema)?;
-        let mut removed = Vec::new();
-        for (i, row) in t.rows.iter().enumerate() {
-            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
-                removed.push(i as u64);
-            }
+        if self.read_only {
+            return Err(DbError::ReadOnly);
         }
+        let t = self.table(table)?;
+        pred.check(&t.schema)?;
+        let plan = self.plan_for(table, t, pred);
+        let removed: Vec<u64> = matching_positions(t, pred, &plan.access)?
+            .into_iter()
+            .map(|i| i as u64)
+            .collect();
         let n = removed.len();
+        self.note_plan(&plan);
         let sql = format!("DELETE FROM \"{table}\" WHERE {};", pred.to_sql());
         self.commit_effect(
             WalRecord::Delete {
@@ -646,6 +871,9 @@ impl Db {
         changes: &[(String, SqlExpr)],
         pred: &SqlExpr,
     ) -> Result<usize, DbError> {
+        if self.read_only {
+            return Err(DbError::ReadOnly);
+        }
         let t = self.table(table)?;
         let schema = t.schema.clone();
         pred.check(&schema)?;
@@ -657,18 +885,19 @@ impl Db {
             e.check(&schema)?;
             idxs.push(idx);
         }
+        let plan = self.plan_for(table, t, pred);
         let mut mods: Vec<(u64, Vec<DbVal>)> = Vec::new();
-        for (i, row) in t.rows.iter().enumerate() {
-            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
-                let mut new_row = row.clone();
-                for ((_, e), idx) in changes.iter().zip(&idxs) {
-                    new_row[*idx] = e.eval(&schema, row)?;
-                }
-                schema.check_row(&new_row)?;
-                mods.push((i as u64, new_row));
+        for i in matching_positions(t, pred, &plan.access)? {
+            let row = &t.rows[i];
+            let mut new_row = row.to_vec();
+            for ((_, e), idx) in changes.iter().zip(&idxs) {
+                new_row[*idx] = e.eval(&schema, row)?;
             }
+            schema.check_row(&new_row)?;
+            mods.push((i as u64, new_row));
         }
         let changed = mods.len();
+        self.note_plan(&plan);
         let sets: Vec<String> = changes
             .iter()
             .map(|(c, e)| format!("\"{c}\" = {}", e.to_sql()))
@@ -695,13 +924,15 @@ impl Db {
     /// Fails on unknown table or ill-typed predicate.
     pub fn select(&mut self, table: &str, pred: &SqlExpr) -> Result<Vec<Vec<DbVal>>, DbError> {
         let t = self.table(table)?;
-        let schema = &t.schema;
-        pred.check(schema)?;
-        let mut out = Vec::new();
-        for row in &t.rows {
-            if matches!(pred.eval(schema, row)?, DbVal::Bool(true)) {
-                out.push(row.clone());
-            }
+        pred.check(&t.schema)?;
+        let plan = self.plan_for(table, t, pred);
+        let out: Vec<Vec<DbVal>> = matching_positions(t, pred, &plan.access)?
+            .into_iter()
+            .map(|i| t.rows[i].to_vec())
+            .collect();
+        self.note_plan(&plan);
+        if self.read_only {
+            self.stats.snapshot_reads = self.stats.snapshot_reads.saturating_add(1);
         }
         self.log.push(format!(
             "SELECT * FROM \"{table}\" WHERE {};",
@@ -731,11 +962,14 @@ impl Db {
         let idx = schema
             .index_of(order_col)
             .ok_or_else(|| DbError::UnknownColumn(order_col.to_string()))?;
-        let mut matching = Vec::new();
-        for row in &t.rows {
-            if matches!(pred.eval(&schema, row)?, DbVal::Bool(true)) {
-                matching.push(row.clone());
-            }
+        let plan = self.plan_for(table, t, pred);
+        let mut matching: Vec<Vec<DbVal>> = matching_positions(t, pred, &plan.access)?
+            .into_iter()
+            .map(|i| t.rows[i].to_vec())
+            .collect();
+        self.note_plan(&plan);
+        if self.read_only {
+            self.stats.snapshot_reads = self.stats.snapshot_reads.saturating_add(1);
         }
         // Stable sort; NULLs last, as in SQL's default NULLS LAST.
         matching.sort_by(|a, b| match a[idx].sql_cmp(&b[idx]) {
@@ -780,6 +1014,55 @@ impl Db {
         names.sort();
         names
     }
+}
+
+/// Positions (ascending) of the rows satisfying the full predicate,
+/// visiting only the plan's candidates. A probe yields a candidate
+/// *superset*: the complete predicate is re-evaluated on every
+/// candidate row, never skipped, so planner-on and planner-off return
+/// identical result sets (and surface identical row-level evaluation
+/// errors for the rows a probe visits). A plan whose index has
+/// vanished degrades to the scan, not to an empty result.
+fn matching_positions(t: &Table, pred: &SqlExpr, access: &Access) -> Result<Vec<usize>, DbError> {
+    let schema = &t.schema;
+    let scan = |out: &mut Vec<usize>| -> Result<(), DbError> {
+        for (i, row) in t.rows.iter().enumerate() {
+            if matches!(pred.eval(schema, row)?, DbVal::Bool(true)) {
+                out.push(i);
+            }
+        }
+        Ok(())
+    };
+    let mut out = Vec::new();
+    match access {
+        Access::FullScan => scan(&mut out)?,
+        Access::IndexEq { column, key, .. } => match t.index_on(column) {
+            Some(idx) => {
+                for &pos in idx.probe_eq(key) {
+                    if matches!(pred.eval(schema, &t.rows[pos])?, DbVal::Bool(true)) {
+                        out.push(pos);
+                    }
+                }
+            }
+            None => scan(&mut out)?,
+        },
+        Access::IndexRange { column, lo, hi, .. } => {
+            let like = lo.as_ref().or(hi.as_ref()).map(|(v, _)| v);
+            match (t.index_on(column), like) {
+                (Some(idx), Some(like)) => {
+                    let lo_b = lo.as_ref().map(|(v, incl)| (v, *incl));
+                    let hi_b = hi.as_ref().map(|(v, incl)| (v, *incl));
+                    for pos in idx.probe_range(lo_b, hi_b, like) {
+                        if matches!(pred.eval(schema, &t.rows[pos])?, DbVal::Bool(true)) {
+                            out.push(pos);
+                        }
+                    }
+                }
+                _ => scan(&mut out)?,
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1039,6 +1322,182 @@ mod tests {
         db.checkpoint().unwrap();
         db.persist_rebase();
         assert_eq!(db.stats().snapshots_written, 0);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::value::ColTy;
+
+    fn indexed_db(n: i64) -> Db {
+        let mut db = Db::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![("A".into(), ColTy::Int), ("B".into(), ColTy::Str)]).unwrap(),
+        )
+        .unwrap();
+        for i in 0..n {
+            db.insert(
+                "t",
+                &[
+                    ("A".into(), SqlExpr::lit(DbVal::Int(i % 10))),
+                    ("B".into(), SqlExpr::lit(DbVal::Str(format!("s{i}")))),
+                ],
+            )
+            .unwrap();
+        }
+        db.create_index("t_a", "t", "A").unwrap();
+        db
+    }
+
+    fn eq_pred(v: i64) -> SqlExpr {
+        SqlExpr::eq(SqlExpr::col("A"), SqlExpr::lit(DbVal::Int(v)))
+    }
+
+    #[test]
+    fn create_index_validates_and_rejects_duplicates() {
+        let mut db = indexed_db(5);
+        assert!(matches!(
+            db.create_index("t_a", "t", "A").unwrap_err(),
+            DbError::IndexExists(_)
+        ));
+        assert!(matches!(
+            db.create_index("i2", "t", "Z").unwrap_err(),
+            DbError::UnknownColumn(_)
+        ));
+        assert!(matches!(
+            db.create_index("i2", "missing", "A").unwrap_err(),
+            DbError::UnknownTable(_)
+        ));
+        assert_eq!(db.indexes("t").unwrap().len(), 1);
+        assert!(db.log().iter().any(|l| l.contains("CREATE INDEX \"t_a\"")));
+    }
+
+    #[test]
+    fn probe_and_scan_agree_and_are_counted() {
+        let mut db = indexed_db(50);
+        let probed = db.select("t", &eq_pred(3)).unwrap();
+        assert_eq!(db.stats().index_probes, 1);
+        db.set_planner(false);
+        assert!(!db.planner_enabled());
+        let scanned = db.select("t", &eq_pred(3)).unwrap();
+        assert_eq!(probed, scanned);
+        assert_eq!(db.stats().full_scans, 1);
+        db.set_planner(true);
+        // Unprobeable predicate over an indexed table → fallback.
+        db.select("t", &SqlExpr::eq(SqlExpr::col("B"), SqlExpr::lit(DbVal::Str("s1".into()))))
+            .unwrap();
+        assert_eq!(db.stats().planner_fallbacks, 1);
+        assert_eq!(db.stats().full_scans, 2);
+    }
+
+    #[test]
+    fn mutations_through_probes_match_scans() {
+        let mut probed = indexed_db(40);
+        let mut scanned = indexed_db(40);
+        scanned.set_planner(false);
+        for db in [&mut probed, &mut scanned] {
+            assert_eq!(db.delete("t", &eq_pred(4)).unwrap(), 4);
+            assert_eq!(
+                db.update(
+                    "t",
+                    &[("A".into(), SqlExpr::lit(DbVal::Int(4)))],
+                    &eq_pred(7),
+                )
+                .unwrap(),
+                4
+            );
+        }
+        assert_eq!(probed.dump(), scanned.dump());
+        probed.verify_indexes().unwrap();
+        scanned.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn explain_and_plan_log_surface_plans() {
+        let mut db = indexed_db(30);
+        let e = db.explain("t", &eq_pred(1)).unwrap();
+        assert!(e.contains("\"access\":\"index_eq\""), "{e}");
+        assert!(db.plan_log().is_empty(), "explain alone does not log");
+        db.select("t", &eq_pred(1)).unwrap();
+        assert_eq!(db.plan_log().len(), 1);
+        for _ in 0..20 {
+            db.select("t", &eq_pred(2)).unwrap();
+        }
+        assert!(db.plan_log().len() <= PLAN_LOG_CAP, "ring is bounded");
+    }
+
+    #[test]
+    fn snapshot_reads_are_isolated_from_later_writes() {
+        let mut db = indexed_db(20);
+        let snap = db.publish_snapshot();
+        let again = db.publish_snapshot();
+        assert!(Arc::ptr_eq(&snap, &again), "same epoch, same snapshot");
+        db.delete("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+        assert_ne!(
+            db.publish_snapshot().epoch(),
+            snap.epoch(),
+            "a committed write moves the epoch"
+        );
+
+        let mut reader = Db::read_only(&snap);
+        assert!(reader.is_read_only());
+        let rows = reader.select("t", &eq_pred(3)).unwrap();
+        assert_eq!(rows.len(), 2, "snapshot still sees the deleted rows");
+        assert_eq!(reader.stats().snapshot_reads, 1);
+        assert!(matches!(
+            reader
+                .insert(
+                    "t",
+                    &[
+                        ("A".into(), SqlExpr::lit(DbVal::Int(1))),
+                        ("B".into(), SqlExpr::lit(DbVal::Str("b".into()))),
+                    ],
+                )
+                .unwrap_err(),
+            DbError::ReadOnly
+        ));
+        assert!(matches!(reader.begin().unwrap_err(), DbError::ReadOnly));
+        assert!(matches!(
+            reader.delete("t", &eq_pred(1)).unwrap_err(),
+            DbError::ReadOnly
+        ));
+        reader.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn snapshot_mid_txn_sees_the_begin_state() {
+        let mut db = indexed_db(10);
+        let before = db.publish_snapshot();
+        db.begin().unwrap();
+        db.delete("t", &SqlExpr::lit(DbVal::Bool(true))).unwrap();
+        let during = db.publish_snapshot();
+        assert_eq!(during.epoch(), before.epoch());
+        assert_eq!(during.row_count("t"), Some(10), "uncommitted delete invisible");
+        db.commit().unwrap();
+        assert_eq!(db.publish_snapshot().row_count("t"), Some(0));
+    }
+
+    #[test]
+    fn gc_counts_versions_once_snapshots_die() {
+        let mut db = indexed_db(10);
+        let snap = db.publish_snapshot();
+        db.update(
+            "t",
+            &[("B".into(), SqlExpr::lit(DbVal::Str("x".into())))],
+            &SqlExpr::lit(DbVal::Bool(true)),
+        )
+        .unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(
+            db.stats().versions_gcd,
+            0,
+            "a live snapshot pins the superseded versions"
+        );
+        drop(snap);
+        db.checkpoint().unwrap();
+        assert_eq!(db.stats().versions_gcd, 10);
     }
 }
 

@@ -46,6 +46,12 @@ pub enum DbError {
     /// physical records cannot share one log. Durable handles are
     /// single-writer; `persist_rebase` transfers writership explicitly.
     StaleHandle,
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// A mutation was attempted through a read-only snapshot handle
+    /// (`Db::read_only`): snapshot readers observe one epoch and never
+    /// write — route writes to the single writer instead.
+    ReadOnly,
 }
 
 impl fmt::Display for DbError {
@@ -66,6 +72,11 @@ impl fmt::Display for DbError {
             DbError::StaleHandle => write!(
                 f,
                 "stale database handle: another clone has written to the shared log"
+            ),
+            DbError::IndexExists(i) => write!(f, "index {i} already exists"),
+            DbError::ReadOnly => write!(
+                f,
+                "read-only snapshot handle: writes must go to the single writer"
             ),
         }
     }

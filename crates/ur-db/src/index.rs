@@ -1,0 +1,391 @@
+//! Ordered secondary indexes: a `BTreeMap` from typed column keys to
+//! row positions, one per declared index.
+//!
+//! Indexes are **derived state**: the rows are always the truth, and an
+//! index is a map that must at all times equal the one a fresh scan of
+//! the rows would build ([`Index::divergence`] checks exactly that).
+//! Maintenance is routed through the same `Table` methods the WAL
+//! replay interpreter uses (`crate::recover::apply_record`), so live
+//! execution, crash recovery, and snapshot load all rebuild the same
+//! maps — the crash harness's index oracle relies on this.
+//!
+//! The map is behind an `Arc` with copy-on-write maintenance
+//! ([`Arc::make_mut`]): publishing an MVCC snapshot shares the map by
+//! handle, and the first write after a publish clones it once rather
+//! than on every publish.
+//!
+//! Key ordering is total even for floats (`f64::total_cmp` after
+//! normalizing `-0.0` to `0.0`), with `NULL` ranked below every other
+//! value. The planner never *probes* float keys (see `crate::plan`),
+//! but a float column may still be indexed and must order
+//! deterministically for the rebuild oracle to be meaningful.
+
+use crate::error::DbError;
+use crate::value::DbVal;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// A row as stored by the engine: shared, immutable. Updates replace
+/// the slot with a new version; old versions stay alive for as long as
+/// an MVCC snapshot holds them.
+pub type Row = Arc<[DbVal]>;
+
+/// The durable identity of an index: its name and the column it covers.
+/// This is what the snapshot persists; the map itself is rebuilt from
+/// the rows on load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    pub name: String,
+    pub column: String,
+}
+
+/// A totally ordered wrapper over [`DbVal`] usable as a `BTreeMap` key.
+///
+/// Ranks: `NULL` < booleans < integers < floats < strings. Within a
+/// rank the natural order applies; floats use [`f64::total_cmp`] with
+/// `-0.0` normalized to `0.0` at construction so that key equality can
+/// never disagree with SQL equality on the values the planner probes.
+#[derive(Clone, Debug)]
+pub struct IndexKey(DbVal);
+
+impl IndexKey {
+    pub fn new(v: &DbVal) -> IndexKey {
+        match v {
+            DbVal::Float(x) if *x == 0.0 => IndexKey(DbVal::Float(0.0)),
+            other => IndexKey(other.clone()),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match &self.0 {
+            DbVal::Null => 0,
+            DbVal::Bool(_) => 1,
+            DbVal::Int(_) => 2,
+            DbVal::Float(_) => 3,
+            DbVal::Str(_) => 4,
+        }
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &IndexKey) -> Ordering {
+        match (&self.0, &other.0) {
+            (DbVal::Bool(a), DbVal::Bool(b)) => a.cmp(b),
+            (DbVal::Int(a), DbVal::Int(b)) => a.cmp(b),
+            (DbVal::Float(a), DbVal::Float(b)) => a.total_cmp(b),
+            (DbVal::Str(a), DbVal::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &IndexKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for IndexKey {
+    fn eq(&self, other: &IndexKey) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for IndexKey {}
+
+/// One ordered secondary index over a single column of a table.
+#[derive(Clone, Debug)]
+pub struct Index {
+    pub def: IndexDef,
+    /// Position of the covered column in the table's schema.
+    pub col: usize,
+    /// Key → row positions holding that key, each vector ascending.
+    /// Shared with published MVCC snapshots; maintenance copies on
+    /// write.
+    map: Arc<BTreeMap<IndexKey, Vec<usize>>>,
+}
+
+fn build_map(col: usize, rows: &[Row]) -> BTreeMap<IndexKey, Vec<usize>> {
+    let mut map: BTreeMap<IndexKey, Vec<usize>> = BTreeMap::new();
+    for (pos, row) in rows.iter().enumerate() {
+        map.entry(IndexKey::new(&row[col])).or_default().push(pos);
+    }
+    map
+}
+
+impl Index {
+    /// Builds the index over the current rows.
+    pub(crate) fn build(def: IndexDef, col: usize, rows: &[Row]) -> Index {
+        Index {
+            def,
+            col,
+            map: Arc::new(build_map(col, rows)),
+        }
+    }
+
+    /// Rebuilds the map from scratch (after a delete shifted positions).
+    pub(crate) fn rebuild(&mut self, rows: &[Row]) {
+        self.map = Arc::new(build_map(self.col, rows));
+    }
+
+    /// Records a row appended at position `pos`.
+    pub(crate) fn note_insert(&mut self, pos: usize, row: &[DbVal]) {
+        Arc::make_mut(&mut self.map)
+            .entry(IndexKey::new(&row[self.col]))
+            .or_default()
+            .push(pos);
+    }
+
+    /// Records an in-place update of the row at `pos` (positions do not
+    /// shift; only the key may move).
+    pub(crate) fn note_update(&mut self, pos: usize, old: &[DbVal], new: &[DbVal]) {
+        let old_key = IndexKey::new(&old[self.col]);
+        let new_key = IndexKey::new(&new[self.col]);
+        if old_key == new_key {
+            return;
+        }
+        let map = Arc::make_mut(&mut self.map);
+        if let Some(v) = map.get_mut(&old_key) {
+            v.retain(|p| *p != pos);
+            if v.is_empty() {
+                map.remove(&old_key);
+            }
+        }
+        let v = map.entry(new_key).or_default();
+        let at = v.partition_point(|p| *p < pos);
+        v.insert(at, pos);
+    }
+
+    /// Row positions whose key equals `v` (ascending; empty when none).
+    pub fn probe_eq(&self, v: &DbVal) -> &[usize] {
+        self.map
+            .get(&IndexKey::new(v))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Row positions whose key lies in the given (optionally half-open)
+    /// range, ascending. Keys of a different rank than `like` — in
+    /// practice only the `NULL` entries of a nullable column — are
+    /// excluded: SQL comparisons with `NULL` never match.
+    pub fn probe_range(
+        &self,
+        lo: Option<(&DbVal, bool)>,
+        hi: Option<(&DbVal, bool)>,
+        like: &DbVal,
+    ) -> Vec<usize> {
+        let rank = IndexKey::new(like).rank();
+        let lo_b = match lo {
+            Some((v, true)) => Bound::Included(IndexKey::new(v)),
+            Some((v, false)) => Bound::Excluded(IndexKey::new(v)),
+            None => Bound::Unbounded,
+        };
+        let hi_b = match hi {
+            Some((v, true)) => Bound::Included(IndexKey::new(v)),
+            Some((v, false)) => Bound::Excluded(IndexKey::new(v)),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (k, positions) in self.map.range((lo_b, hi_b)) {
+            if k.rank() == rank {
+                out.extend_from_slice(positions);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distinct keys (the planner's selectivity statistic).
+    pub fn ndv(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total positions indexed (must equal the table's row count).
+    pub fn entries(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Compares this map against one freshly rebuilt from `rows`;
+    /// returns a description of the first divergence, `None` when they
+    /// agree exactly. This is the recovery oracle: a maintained index
+    /// must always equal the from-scratch rebuild.
+    pub(crate) fn divergence(&self, rows: &[Row]) -> Option<String> {
+        let fresh = build_map(self.col, rows);
+        if *self.map == fresh {
+            return None;
+        }
+        for (k, v) in fresh.iter() {
+            match self.map.get(k) {
+                None => return Some(format!("index {}: key {} missing", self.def.name, k.0)),
+                Some(have) if have != v => {
+                    return Some(format!(
+                        "index {}: key {} has positions {have:?}, expected {v:?}",
+                        self.def.name, k.0
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Some(format!(
+            "index {}: {} stale keys not present in a fresh rebuild",
+            self.def.name,
+            self.map.len().saturating_sub(fresh.len())
+        ))
+    }
+
+    /// Validates that `column` exists in a column list and returns its
+    /// position.
+    pub(crate) fn resolve_col(
+        columns: &[(String, crate::value::ColTy)],
+        column: &str,
+    ) -> Result<usize, DbError> {
+        columns
+            .iter()
+            .position(|(n, _)| n == column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: Vec<DbVal>) -> Row {
+        Arc::from(vals)
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            row(vec![DbVal::Int(5), DbVal::Str("a".into())]),
+            row(vec![DbVal::Int(3), DbVal::Str("b".into())]),
+            row(vec![DbVal::Int(5), DbVal::Str("c".into())]),
+            row(vec![DbVal::Int(1), DbVal::Str("d".into())]),
+        ]
+    }
+
+    #[test]
+    fn build_and_probe_eq() {
+        let rows = sample_rows();
+        let idx = Index::build(
+            IndexDef {
+                name: "i".into(),
+                column: "A".into(),
+            },
+            0,
+            &rows,
+        );
+        assert_eq!(idx.probe_eq(&DbVal::Int(5)), &[0, 2]);
+        assert_eq!(idx.probe_eq(&DbVal::Int(1)), &[3]);
+        assert!(idx.probe_eq(&DbVal::Int(99)).is_empty());
+        assert_eq!(idx.ndv(), 3);
+        assert_eq!(idx.entries(), 4);
+        assert!(idx.divergence(&rows).is_none());
+    }
+
+    #[test]
+    fn probe_range_is_sorted_and_bounded() {
+        let rows = sample_rows();
+        let idx = Index::build(
+            IndexDef {
+                name: "i".into(),
+                column: "A".into(),
+            },
+            0,
+            &rows,
+        );
+        // A < 5
+        let got = idx.probe_range(None, Some((&DbVal::Int(5), false)), &DbVal::Int(0));
+        assert_eq!(got, vec![1, 3]);
+        // 3 <= A <= 5
+        let got = idx.probe_range(
+            Some((&DbVal::Int(3), true)),
+            Some((&DbVal::Int(5), true)),
+            &DbVal::Int(0),
+        );
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn range_excludes_nulls() {
+        let rows = vec![
+            row(vec![DbVal::Null]),
+            row(vec![DbVal::Int(1)]),
+            row(vec![DbVal::Int(2)]),
+        ];
+        let idx = Index::build(
+            IndexDef {
+                name: "i".into(),
+                column: "A".into(),
+            },
+            0,
+            &rows,
+        );
+        // Unbounded-low range over ints must not sweep in the NULL entry.
+        let got = idx.probe_range(None, Some((&DbVal::Int(10), true)), &DbVal::Int(0));
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(idx.probe_eq(&DbVal::Null), &[0]);
+    }
+
+    #[test]
+    fn maintenance_matches_rebuild() {
+        let mut rows = sample_rows();
+        let mut idx = Index::build(
+            IndexDef {
+                name: "i".into(),
+                column: "A".into(),
+            },
+            0,
+            &rows,
+        );
+        // Insert.
+        let r = row(vec![DbVal::Int(3), DbVal::Str("e".into())]);
+        idx.note_insert(rows.len(), &r);
+        rows.push(r);
+        assert!(idx.divergence(&rows).is_none());
+        // Update moving a key.
+        let old = rows[0].clone();
+        let new = row(vec![DbVal::Int(3), DbVal::Str("a".into())]);
+        idx.note_update(0, &old, &new);
+        rows[0] = new;
+        assert!(idx.divergence(&rows).is_none());
+        assert_eq!(idx.probe_eq(&DbVal::Int(3)), &[0, 1, 4]);
+        // Delete shifts positions: rebuild.
+        rows.remove(1);
+        idx.rebuild(&rows);
+        assert!(idx.divergence(&rows).is_none());
+    }
+
+    #[test]
+    fn divergence_detects_corruption() {
+        let rows = sample_rows();
+        let mut idx = Index::build(
+            IndexDef {
+                name: "i".into(),
+                column: "A".into(),
+            },
+            0,
+            &rows,
+        );
+        // Sabotage: claim position 0 holds key 42.
+        idx.note_update(
+            0,
+            &[DbVal::Int(5), DbVal::Str("a".into())],
+            &[DbVal::Int(42), DbVal::Str("a".into())],
+        );
+        assert!(idx.divergence(&rows).is_some());
+    }
+
+    #[test]
+    fn float_keys_are_totally_ordered() {
+        let a = IndexKey::new(&DbVal::Float(0.0));
+        let b = IndexKey::new(&DbVal::Float(-0.0));
+        assert_eq!(a, b, "negative zero normalizes");
+        let n1 = IndexKey::new(&DbVal::Float(f64::NAN));
+        let n2 = IndexKey::new(&DbVal::Float(f64::NAN));
+        assert_eq!(n1.cmp(&n2), Ordering::Equal);
+        assert!(IndexKey::new(&DbVal::Null) < IndexKey::new(&DbVal::Bool(false)));
+        assert!(IndexKey::new(&DbVal::Int(i64::MAX)) < IndexKey::new(&DbVal::Float(f64::MIN)));
+        assert!(IndexKey::new(&DbVal::Float(1.0)) < IndexKey::new(&DbVal::Str(String::new())));
+    }
+}

@@ -44,6 +44,9 @@
 pub mod db;
 pub mod error;
 pub mod expr;
+pub mod index;
+pub mod mvcc;
+pub mod plan;
 pub mod recover;
 pub mod retry;
 pub mod snapshot;
@@ -55,6 +58,9 @@ pub mod wal;
 pub use db::Db;
 pub use error::DbError;
 pub use expr::SqlExpr;
+pub use index::{IndexDef, Row};
+pub use mvcc::DbSnapshot;
+pub use plan::{Access, Plan};
 pub use retry::RetryConfig;
 pub use snapshot::SNAPSHOT_FILE;
 pub use table::{Schema, Table};

@@ -1,0 +1,170 @@
+//! MVCC snapshot reads: immutable, `Send + Sync` database snapshots at
+//! a committed epoch, concurrent with the single writer.
+//!
+//! The engine's rows are `Arc`-shared versions (`crate::index::Row`)
+//! and its index maps are `Arc`-shared with copy-on-write maintenance,
+//! so publishing a snapshot ([`crate::Db::publish_snapshot`]) is a
+//! handle-copy of the table map — no row data moves. A snapshot is
+//! pinned to the **epoch** of the last committed transaction: the
+//! writer's later updates replace row slots with *new* versions and
+//! never mutate the ones a snapshot holds, which is the whole
+//! stale/torn-read argument — a reader observes exactly the committed
+//! state at its epoch, however the writer races ahead.
+//!
+//! Readers run in their own threads: a [`DbSnapshot`] crosses the
+//! thread boundary (it is `Send + Sync`; the compile-time assertion
+//! below enforces it), and [`crate::Db::read_only`] wraps it back into
+//! a `Db` handle whose mutating operations are refused with
+//! [`crate::DbError::ReadOnly`]. Reads through such a handle are
+//! counted as `snapshot_reads`.
+//!
+//! **Garbage collection** is accounting, not tracing: superseded row
+//! versions are freed by the last `Arc` drop the moment no snapshot
+//! pins them, and the engine *counts* them at checkpoint time — each
+//! table tracks how many versions its updates/deletes superseded, and
+//! a checkpoint folds those into the `versions_gcd` counter once the
+//! registry of published snapshots holds no live readers (dead `Weak`
+//! handles are pruned on every checkpoint). Tying the fold to
+//! checkpoints keeps the counter meaningful: it advances exactly when
+//! the durable layer compacts, the same cadence the WAL itself is
+//! garbage-collected on.
+
+use crate::table::Table;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// An immutable snapshot of the full database state at one committed
+/// epoch. Cheap to clone (`Arc` inside), safe to move across threads.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) tables: HashMap<String, Table>,
+    pub(crate) sequences: HashMap<String, i64>,
+}
+
+impl DbSnapshot {
+    /// The committed epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Names of all tables in the snapshot (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Row count of a table, `None` when absent.
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.tables.get(table).map(|t| t.rows.len())
+    }
+}
+
+// A snapshot must be shippable to reader threads; if a non-Send/Sync
+// type ever sneaks into `Table`, this fails to compile rather than at
+// runtime in the serving layer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DbSnapshot>()
+};
+
+/// The writer-side ledger of published snapshots and not-yet-counted
+/// dead versions.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SnapRegistry {
+    /// Weak handles to every published snapshot; pruned at checkpoint.
+    published: Vec<Weak<DbSnapshot>>,
+    /// Superseded row versions not yet folded into `versions_gcd`
+    /// (they may still be pinned by a live snapshot).
+    pending_dead: u64,
+}
+
+impl SnapRegistry {
+    pub fn register(&mut self, snap: &Arc<DbSnapshot>) {
+        self.published.push(Arc::downgrade(snap));
+    }
+
+    /// Adds newly superseded versions to the pending pool.
+    pub fn note_dead(&mut self, n: u64) {
+        self.pending_dead = self.pending_dead.saturating_add(n);
+    }
+
+    /// Prunes dead snapshot handles; when no published snapshot is
+    /// still alive, every pending version is reclaimable — returns the
+    /// count to fold into `versions_gcd` (0 otherwise).
+    pub fn collect(&mut self) -> u64 {
+        self.published.retain(|w| w.strong_count() > 0);
+        if self.published.is_empty() {
+            std::mem::take(&mut self.pending_dead)
+        } else {
+            0
+        }
+    }
+
+    /// Published snapshots still alive (after an explicit prune).
+    #[cfg(test)]
+    pub fn live(&mut self) -> usize {
+        self.published.retain(|w| w.strong_count() > 0);
+        self.published.len()
+    }
+}
+
+/// Per-handle MVCC bookkeeping carried by `Db`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MvccState {
+    /// Monotone count of committed state changes through this handle —
+    /// the epoch a published snapshot is pinned to.
+    pub epoch: u64,
+    /// The snapshot published for the current epoch, if any — repeated
+    /// publishes between commits are handle copies.
+    pub cache: Option<Arc<DbSnapshot>>,
+    pub registry: SnapRegistry,
+}
+
+impl MvccState {
+    /// A committed state change: invalidate the epoch cache.
+    pub fn bump(&mut self) {
+        self.epoch += 1;
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_folds_only_when_no_reader_is_live() {
+        let mut reg = SnapRegistry::default();
+        let snap = Arc::new(DbSnapshot {
+            epoch: 1,
+            tables: HashMap::new(),
+            sequences: HashMap::new(),
+        });
+        reg.register(&snap);
+        reg.note_dead(5);
+        assert_eq!(reg.collect(), 0, "a live snapshot pins the versions");
+        assert_eq!(reg.live(), 1);
+        drop(snap);
+        assert_eq!(reg.collect(), 5, "all pending fold once readers are gone");
+        assert_eq!(reg.collect(), 0, "folded once");
+        reg.note_dead(2);
+        assert_eq!(reg.collect(), 2);
+    }
+
+    #[test]
+    fn bump_invalidates_cache() {
+        let mut m = MvccState {
+            cache: Some(Arc::new(DbSnapshot {
+                epoch: 0,
+                tables: HashMap::new(),
+                sequences: HashMap::new(),
+            })),
+            ..MvccState::default()
+        };
+        m.bump();
+        assert_eq!(m.epoch, 1);
+        assert!(m.cache.is_none());
+    }
+}

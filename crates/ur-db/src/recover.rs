@@ -179,7 +179,7 @@ pub(crate) fn apply_record(
             let t = tables
                 .get_mut(table)
                 .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-            t.rows.push(row.clone());
+            t.insert_row(std::sync::Arc::from(row.as_slice()));
             Ok(None)
         }
         WalRecord::Update { table, changes } => {
@@ -187,10 +187,10 @@ pub(crate) fn apply_record(
                 .get_mut(table)
                 .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
             for (idx, row) in changes {
-                let slot = t.rows.get_mut(*idx as usize).ok_or_else(|| {
-                    DbError::Corrupt(format!("update index {idx} out of range in {table}"))
-                })?;
-                *slot = row.clone();
+                t.update_row(*idx as usize, std::sync::Arc::from(row.as_slice()))
+                    .map_err(|_| {
+                        DbError::Corrupt(format!("update index {idx} out of range in {table}"))
+                    })?;
             }
             Ok(None)
         }
@@ -198,17 +198,22 @@ pub(crate) fn apply_record(
             let t = tables
                 .get_mut(table)
                 .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-            // Indices are logged ascending; remove back-to-front so the
-            // earlier ones stay valid.
-            for idx in removed.iter().rev() {
-                let idx = *idx as usize;
-                if idx >= t.rows.len() {
-                    return Err(DbError::Corrupt(format!(
-                        "delete index {idx} out of range in {table}"
-                    )));
-                }
-                t.rows.remove(idx);
-            }
+            // Indices are logged ascending; `delete_rows` removes
+            // back-to-front so the earlier ones stay valid, then
+            // rebuilds the table's indexes.
+            t.delete_rows(removed)
+                .map_err(|e| DbError::Corrupt(format!("{e} in {table}")))?;
+            Ok(None)
+        }
+        WalRecord::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            t.create_index(name, column)?;
             Ok(None)
         }
     }
@@ -482,7 +487,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(tables["t"].rows, vec![vec![DbVal::Int(10)]]);
+        assert_eq!(tables["t"].rows.len(), 1);
+        assert_eq!(tables["t"].rows[0].as_ref(), &[DbVal::Int(10)]);
 
         apply_record(&mut tables, &mut seqs, &WalRecord::CreateSequence { name: "s".into() })
             .unwrap();
@@ -492,6 +498,60 @@ mod tests {
             Some(1)
         );
         assert_eq!(seqs["s"], 2);
+    }
+
+    #[test]
+    fn apply_record_replays_create_index_identically() {
+        // The satellite invariant: an index maintained record-by-record
+        // through replay equals one rebuilt from a fresh scan.
+        let mut tables = HashMap::new();
+        let mut seqs = HashMap::new();
+        let schema = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
+        let records = vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                schema,
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                row: vec![DbVal::Int(1)],
+            },
+            WalRecord::CreateIndex {
+                name: "t_a".into(),
+                table: "t".into(),
+                column: "A".into(),
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                row: vec![DbVal::Int(2)],
+            },
+            WalRecord::Update {
+                table: "t".into(),
+                changes: vec![(0, vec![DbVal::Int(7)])],
+            },
+            WalRecord::Delete {
+                table: "t".into(),
+                removed: vec![1],
+            },
+        ];
+        for rec in &records {
+            apply_record(&mut tables, &mut seqs, rec).unwrap();
+        }
+        let t = &tables["t"];
+        assert_eq!(t.index_defs().len(), 1);
+        assert!(t.index_divergence().is_none());
+        // Duplicate index in the log is a replay error, like a duplicate
+        // table.
+        assert!(apply_record(
+            &mut tables,
+            &mut seqs,
+            &WalRecord::CreateIndex {
+                name: "t_a".into(),
+                table: "t".into(),
+                column: "A".into(),
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -25,7 +25,13 @@ use ur_core::fingerprint::hash_bytes;
 /// File name of the snapshot inside a database directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.db";
 
-const SNAP_MAGIC: &[u8; 8] = b"URSNAP02";
+/// Current format: v3 appends each table's index *definitions* after
+/// its rows; the maps themselves are derived state and are rebuilt from
+/// the rows at load (so a snapshot can never carry a divergent index).
+const SNAP_MAGIC: &[u8; 8] = b"URSNAP03";
+/// The pre-index format is still readable: its tables simply have no
+/// indexes declared.
+const SNAP_MAGIC_V2: &[u8; 8] = b"URSNAP02";
 const SNAP_SALT: u64 = 0x7572_534e_4150_6372; // "urSNAPcr"
 
 fn io_err(ctx: &str, e: std::io::Error) -> DbError {
@@ -48,7 +54,13 @@ fn encode_state(
             put_schema(&mut w, &t.schema);
             w.put_u64(t.rows.len() as u64);
             for row in &t.rows {
-                put_row(&mut w, row);
+                put_row(&mut w, row.as_ref());
+            }
+            let defs = t.index_defs();
+            w.put_u64(defs.len() as u64);
+            for def in &defs {
+                w.put_str(&def.name);
+                w.put_str(&def.column);
             }
         }
     }
@@ -65,7 +77,7 @@ fn encode_state(
 /// Decoded snapshot contents: tables plus sequence counters.
 pub(crate) type SnapState = (HashMap<String, Table>, HashMap<String, i64>);
 
-fn decode_state(bytes: &[u8]) -> Option<(u64, SnapState)> {
+fn decode_state(bytes: &[u8], with_indexes: bool) -> Option<(u64, SnapState)> {
     let mut r = ByteReader::new(bytes);
     let wal_gen = r.get_u64()?;
     let n_tables = r.get_u64()?;
@@ -82,7 +94,20 @@ fn decode_state(bytes: &[u8]) -> Option<(u64, SnapState)> {
         }
         let mut table = Table::new(schema);
         for _ in 0..n_rows {
-            table.rows.push(get_row(&mut r)?);
+            table.rows.push(std::sync::Arc::from(get_row(&mut r)?));
+        }
+        if with_indexes {
+            let n_defs = r.get_u64()?;
+            if n_defs > r.remaining() as u64 {
+                return None;
+            }
+            for _ in 0..n_defs {
+                let idx_name = r.get_str()?;
+                let column = r.get_str()?;
+                // Rebuild the map deterministically from the rows just
+                // decoded; a bad column or duplicate name is corruption.
+                table.create_index(&idx_name, &column).ok()?;
+            }
         }
         if tables.insert(name, table).is_some() {
             return None; // duplicate table name is corruption
@@ -177,9 +202,14 @@ pub(crate) fn load(dir: &Path) -> Result<Option<(u64, SnapState)>, DbError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(io_err("snapshot read", e)),
     };
-    if bytes.len() < 16 || &bytes[..8] != SNAP_MAGIC {
+    if bytes.len() < 16 {
         return Err(DbError::Corrupt("snapshot has bad magic".into()));
     }
+    let with_indexes = match &bytes[..8] {
+        m if m == SNAP_MAGIC => true,
+        m if m == SNAP_MAGIC_V2 => false,
+        _ => return Err(DbError::Corrupt("snapshot has bad magic".into())),
+    };
     let mut crc_bytes = [0u8; 8];
     crc_bytes.copy_from_slice(&bytes[8..16]);
     let crc = u64::from_le_bytes(crc_bytes);
@@ -187,7 +217,7 @@ pub(crate) fn load(dir: &Path) -> Result<Option<(u64, SnapState)>, DbError> {
     if hash_bytes(payload) ^ SNAP_SALT != crc {
         return Err(DbError::Corrupt("snapshot CRC mismatch".into()));
     }
-    match decode_state(payload) {
+    match decode_state(payload, with_indexes) {
         Some(state) => Ok(Some(state)),
         None => Err(DbError::Corrupt("snapshot payload undecodable".into())),
     }
@@ -216,8 +246,10 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new(schema);
-        t.rows.push(vec![DbVal::Int(1), DbVal::Str("x".into())]);
-        t.rows.push(vec![DbVal::Int(2), DbVal::Null]);
+        t.rows
+            .push(std::sync::Arc::from(vec![DbVal::Int(1), DbVal::Str("x".into())]));
+        t.rows.push(std::sync::Arc::from(vec![DbVal::Int(2), DbVal::Null]));
+        t.create_index("t_a", "A").unwrap();
         let mut tables = HashMap::new();
         tables.insert("t".to_string(), t);
         let mut seqs = HashMap::new();
@@ -236,6 +268,42 @@ mod tests {
         assert_eq!(t2.len(), 1);
         assert_eq!(t2["t"].rows, tables["t"].rows);
         assert_eq!(t2["t"].schema, tables["t"].schema);
+        // Index definitions survive; the map is rebuilt from the rows.
+        assert_eq!(t2["t"].index_defs(), tables["t"].index_defs());
+        assert!(t2["t"].index_divergence().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_snapshot_without_indexes_still_loads() {
+        let dir = tmpdir("v2compat");
+        let (tables, seqs) = sample_state();
+        write(&dir, &tables, &seqs, 3, false).unwrap();
+        // Rewrite the file as the v2 format: v2 magic, no index section.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut w = ur_core::codec::ByteWriter::new();
+        w.put_u64(3);
+        w.put_u64(1);
+        w.put_str("t");
+        put_schema(&mut w, &tables["t"].schema);
+        w.put_u64(tables["t"].rows.len() as u64);
+        for row in &tables["t"].rows {
+            put_row(&mut w, row.as_ref());
+        }
+        w.put_u64(1);
+        w.put_str("s");
+        w.put_i64(42);
+        let payload = w.into_bytes();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAP_MAGIC_V2);
+        bytes.extend_from_slice(&(hash_bytes(&payload) ^ SNAP_SALT).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        fs::write(&path, &bytes).unwrap();
+        let (gen, (t2, s2)) = load(&dir).unwrap().unwrap();
+        assert_eq!(gen, 3);
+        assert_eq!(s2, seqs);
+        assert_eq!(t2["t"].rows, tables["t"].rows);
+        assert!(t2["t"].index_defs().is_empty(), "v2 carries no indexes");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,18 +1,20 @@
 //! Schemas and table storage.
 
 use crate::error::DbError;
+use crate::index::{Index, IndexDef, Row};
 use crate::value::{ColTy, DbVal};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An ordered list of named, typed columns.
 ///
-/// The column list is behind an `Rc`, so cloning a schema (which the
+/// The column list is behind an `Arc`, so cloning a schema (which the
 /// query engine does per statement to appease the borrow checker) is a
-/// handle copy, not a deep copy of every column name.
+/// handle copy, not a deep copy of every column name — and a schema can
+/// cross threads inside an MVCC snapshot (`crate::mvcc`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Schema {
-    cols: Rc<[(String, ColTy)]>,
+    cols: Arc<[(String, ColTy)]>,
 }
 
 impl Schema {
@@ -89,11 +91,24 @@ impl fmt::Display for Schema {
     }
 }
 
-/// A table: a schema plus rows in insertion order.
+/// A table: a schema, rows in insertion order, and any declared
+/// secondary indexes.
+///
+/// Rows are `Arc`-shared **versions**: an update replaces the slot with
+/// a new version, a delete drops the slot, and the superseded version
+/// stays alive for exactly as long as a published MVCC snapshot still
+/// holds it (see `crate::mvcc`). Mutations must go through the methods
+/// below so the indexes are maintained in the same motion — this is the
+/// single code path shared by live execution and WAL replay.
 #[derive(Clone, Debug)]
 pub struct Table {
     pub schema: Schema,
-    pub rows: Vec<Vec<DbVal>>,
+    pub rows: Vec<Row>,
+    pub(crate) indexes: Vec<Index>,
+    /// Row versions superseded (updated or deleted) since the engine
+    /// last folded this counter at a checkpoint — the MVCC dead-version
+    /// accounting.
+    pub(crate) superseded: u64,
 }
 
 impl Table {
@@ -101,13 +116,111 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            indexes: Vec::new(),
+            superseded: 0,
         }
+    }
+
+    /// Declares an index named `name` over `column`, building it over
+    /// the current rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::IndexExists`] on a duplicate name,
+    /// [`DbError::UnknownColumn`] when the column is absent.
+    pub(crate) fn create_index(&mut self, name: &str, column: &str) -> Result<(), DbError> {
+        if self.indexes.iter().any(|i| i.def.name == name) {
+            return Err(DbError::IndexExists(name.to_string()));
+        }
+        let col = Index::resolve_col(self.schema.columns(), column)?;
+        self.indexes.push(Index::build(
+            IndexDef {
+                name: name.to_string(),
+                column: column.to_string(),
+            },
+            col,
+            &self.rows,
+        ));
+        Ok(())
+    }
+
+    /// Appends a row, maintaining every index.
+    pub(crate) fn insert_row(&mut self, row: Row) {
+        let pos = self.rows.len();
+        for idx in &mut self.indexes {
+            idx.note_insert(pos, &row);
+        }
+        self.rows.push(row);
+    }
+
+    /// Replaces the row at `pos` with a new version, maintaining every
+    /// index (positions do not shift).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] when `pos` is out of range (a WAL/state
+    /// mismatch during replay; impossible on the validated live path).
+    pub(crate) fn update_row(&mut self, pos: usize, row: Row) -> Result<(), DbError> {
+        let slot = self.rows.get_mut(pos).ok_or_else(|| {
+            DbError::Corrupt(format!("update index {pos} out of range"))
+        })?;
+        let old = std::mem::replace(slot, row);
+        let new = self.rows[pos].clone();
+        for idx in &mut self.indexes {
+            idx.note_update(pos, &old, &new);
+        }
+        self.superseded = self.superseded.saturating_add(1);
+        Ok(())
+    }
+
+    /// Removes the rows at the given ascending positions (back to front,
+    /// so earlier positions stay valid), then rebuilds every index —
+    /// deletion shifts all later positions, so incremental maintenance
+    /// would cost as much as the rebuild anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corrupt`] when a position is out of range.
+    pub(crate) fn delete_rows(&mut self, removed: &[u64]) -> Result<(), DbError> {
+        for idx in removed.iter().rev() {
+            let idx = *idx as usize;
+            if idx >= self.rows.len() {
+                return Err(DbError::Corrupt(format!(
+                    "delete index {idx} out of range"
+                )));
+            }
+            self.rows.remove(idx);
+        }
+        if !removed.is_empty() {
+            for idx in &mut self.indexes {
+                idx.rebuild(&self.rows);
+            }
+            self.superseded = self.superseded.saturating_add(removed.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// The index covering `column`, if one is declared.
+    pub(crate) fn index_on(&self, column: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.def.column == column)
+    }
+
+    /// Declared index definitions, in declaration order.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    /// Checks every index against a fresh rebuild from the rows;
+    /// returns the first divergence found.
+    pub(crate) fn index_divergence(&self) -> Option<String> {
+        self.indexes.iter().find_map(|i| i.divergence(&self.rows))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn schema_rejects_duplicates() {
@@ -155,5 +268,50 @@ mod tests {
     fn schema_display_is_sql() {
         let s = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
         assert_eq!(s.to_string(), "(\"A\" BIGINT NOT NULL)");
+    }
+
+    #[test]
+    fn table_mutations_maintain_indexes() {
+        let s = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
+        let mut t = Table::new(s);
+        t.create_index("i", "A").unwrap();
+        assert!(matches!(
+            t.create_index("i", "A"),
+            Err(DbError::IndexExists(_))
+        ));
+        assert!(matches!(
+            t.create_index("j", "Z"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        for v in [3, 1, 3, 2] {
+            t.insert_row(Arc::from(vec![DbVal::Int(v)]));
+        }
+        assert!(t.index_divergence().is_none());
+        t.update_row(0, Arc::from(vec![DbVal::Int(9)])).unwrap();
+        assert!(t.index_divergence().is_none());
+        t.delete_rows(&[1, 3]).unwrap();
+        assert!(t.index_divergence().is_none());
+        assert_eq!(t.superseded, 3, "one update + two deletes");
+        assert!(t.update_row(99, Arc::from(vec![DbVal::Int(0)])).is_err());
+        assert!(t.delete_rows(&[99]).is_err());
+        assert_eq!(t.index_defs().len(), 1);
+        assert_eq!(t.index_defs()[0].column, "A");
+    }
+
+    #[test]
+    fn cloned_table_indexes_are_independent() {
+        let s = Schema::new(vec![("A".into(), ColTy::Int)]).unwrap();
+        let mut t = Table::new(s);
+        t.create_index("i", "A").unwrap();
+        t.insert_row(Arc::from(vec![DbVal::Int(1)]));
+        let snap = t.clone();
+        t.insert_row(Arc::from(vec![DbVal::Int(2)]));
+        // The clone (an undo snapshot or MVCC snapshot) must not see the
+        // later insert, in rows or in the copy-on-write index map.
+        assert_eq!(snap.rows.len(), 1);
+        assert!(snap.index_on("A").unwrap().probe_eq(&DbVal::Int(2)).is_empty());
+        assert_eq!(t.index_on("A").unwrap().probe_eq(&DbVal::Int(2)), &[1]);
+        assert!(snap.index_divergence().is_none());
+        assert!(t.index_divergence().is_none());
     }
 }

@@ -71,6 +71,19 @@ pub struct DbStats {
     /// stranded between a checkpoint's snapshot rename and its rotation;
     /// the snapshot already contains every transaction in it.
     pub stale_wal_ignored: u64,
+    /// Statements executed through an index probe (equality or range).
+    pub index_probes: u64,
+    /// Statements executed as a full table scan.
+    pub full_scans: u64,
+    /// Scans chosen *despite* the table having indexes (float operands,
+    /// no probeable conjunct) — planner fallbacks, each with a reason
+    /// in the EXPLAIN line.
+    pub planner_fallbacks: u64,
+    /// Reads served by a read-only MVCC snapshot handle.
+    pub snapshot_reads: u64,
+    /// Superseded row versions reclaimed at checkpoints (counted once
+    /// no published snapshot pinned them any longer).
+    pub versions_gcd: u64,
 }
 
 impl fmt::Display for DbStats {
@@ -80,7 +93,8 @@ impl fmt::Display for DbStats {
             "txn[commits={} rollbacks={} auto={}] \
              wal[records={} bytes={} fsyncs={} errs={}] \
              recover[txns={} records={} truncated={} stale={} snapshot_loaded={}] \
-             snap[written={} errs={} rotate_errs={}]",
+             snap[written={} errs={} rotate_errs={}] \
+             engine[probes={} scans={} fallbacks={} snap_reads={} gcd={}]",
             self.txn_commits,
             self.txn_rollbacks,
             self.auto_commits,
@@ -96,6 +110,11 @@ impl fmt::Display for DbStats {
             self.snapshots_written,
             self.snapshot_errs,
             self.rotate_errs,
+            self.index_probes,
+            self.full_scans,
+            self.planner_fallbacks,
+            self.snapshot_reads,
+            self.versions_gcd,
         )
     }
 }
@@ -139,6 +158,11 @@ mod tests {
             "stale=",
             "snap[written=",
             "rotate_errs=",
+            "engine[probes=",
+            "scans=",
+            "fallbacks=",
+            "snap_reads=",
+            "gcd=",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

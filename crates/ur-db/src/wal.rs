@@ -76,6 +76,15 @@ pub enum WalRecord {
     },
     /// Deleted row indices, ascending (replayed in reverse).
     Delete { table: String, removed: Vec<u64> },
+    /// `CREATE INDEX`: a secondary index over one column, built over
+    /// whatever rows the table holds at replay time — maintenance after
+    /// this point is part of each physical record's application, so a
+    /// replayed index always equals a fresh rebuild of the rows.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -86,6 +95,7 @@ const TAG_NEXTVAL: u8 = 5;
 const TAG_INSERT: u8 = 6;
 const TAG_UPDATE: u8 = 7;
 const TAG_DELETE: u8 = 8;
+const TAG_CREATE_INDEX: u8 = 9;
 
 fn put_colty(w: &mut ByteWriter, ty: &ColTy) {
     match ty {
@@ -234,6 +244,16 @@ impl WalRecord {
                     w.put_u64(*idx);
                 }
             }
+            WalRecord::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                w.put_u8(TAG_CREATE_INDEX);
+                w.put_str(name);
+                w.put_str(table);
+                w.put_str(column);
+            }
         }
         w.into_bytes()
     }
@@ -280,6 +300,11 @@ impl WalRecord {
                 }
                 WalRecord::Delete { table, removed }
             }
+            TAG_CREATE_INDEX => WalRecord::CreateIndex {
+                name: r.get_str()?,
+                table: r.get_str()?,
+                column: r.get_str()?,
+            },
             _ => return None,
         };
         if !r.is_empty() {
@@ -563,6 +588,11 @@ mod tests {
             WalRecord::Delete {
                 table: "t".into(),
                 removed: vec![1, 2, 9],
+            },
+            WalRecord::CreateIndex {
+                name: "t_a".into(),
+                table: "t".into(),
+                column: "A".into(),
             },
         ];
         for rec in records {

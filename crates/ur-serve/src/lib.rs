@@ -58,8 +58,10 @@ pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7788` (port 0 picks a free port —
     /// read it back from [`Server::addr`]).
     pub addr: String,
-    /// Pool workers. Forced to 1 when `db_dir` is set: the shared
-    /// durable store is single-writer.
+    /// Pool workers. In durable mode (`db_dir` set) worker 0 is the
+    /// single writer holding the store's flock; the rest are snapshot
+    /// readers serving read-only commands from the writer's published
+    /// MVCC snapshots.
     pub workers: usize,
     /// Bounded per-worker request queue; a full queue sheds.
     pub queue_depth: usize,

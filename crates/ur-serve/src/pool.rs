@@ -18,10 +18,15 @@
 //!
 //! ## Durable grafting (shared `--db-dir` mode)
 //!
-//! With a shared durable database the pool runs **one** worker and one
-//! global session: durable handles are single-writer, and funneling
-//! every client through one session is what makes restarts safe to
-//! reason about. The worker pins a *pristine in-memory base* (a
+//! With a shared durable database worker 0 is the **single writer**
+//! owning the global session: durable handles are single-writer, and
+//! funneling every mutation through one session is what makes restarts
+//! safe to reason about. Workers 1..n are **snapshot readers**: they
+//! never open the store; the writer publishes an MVCC snapshot to the
+//! [`SnapshotHub`] after every request, and readers serve read-only
+//! commands from a [`Db::read_only`] handle over the latest published
+//! snapshot — concurrent with, and isolated from, in-flight writes.
+//! The writer pins a *pristine in-memory base* (a
 //! `reelaborate("")` before the durable handle is ever installed) so a
 //! rebuild replays declarations into a scratch in-memory world; the
 //! durable store then *adopts* that world ([`Db::adopt_state`]) instead
@@ -42,12 +47,65 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use ur_core::failpoint::{self, FpCounters, Site};
-use ur_db::{Db, RetryConfig};
+use ur_db::{Db, DbSnapshot, RetryConfig};
 use ur_query::json::parse_flat_object;
 use ur_web::Session;
 
 /// Session key for the single shared session in durable mode.
 const GLOBAL_KEY: u64 = u64::MAX;
+
+/// The writer→readers handoff point of durable mode: the latest
+/// published MVCC snapshot plus two monotone generation counters.
+///
+/// The writer publishes after every request (cheap — `Db` caches the
+/// snapshot per committed epoch, so an unchanged state republishes the
+/// same `Arc` and the sequence does not move). Readers compare `seq`
+/// — **not** the snapshot's own epoch, which restarts and adopt-state
+/// rebuilds can rewind — and swap in a fresh read-only handle when it
+/// moved. `scripts_gen` moves when the acknowledged script changes, so
+/// readers also rebuild their elaborator state.
+pub struct SnapshotHub {
+    snap: Mutex<Option<Arc<DbSnapshot>>>,
+    seq: AtomicU64,
+    scripts_gen: AtomicU64,
+}
+
+impl SnapshotHub {
+    fn new() -> SnapshotHub {
+        SnapshotHub {
+            snap: Mutex::new(None),
+            seq: AtomicU64::new(0),
+            scripts_gen: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a snapshot; bumps `seq` only when the `Arc` actually
+    /// changed (pointer identity — the writer's per-epoch cache makes
+    /// republishing an unchanged state the common case).
+    pub fn publish(&self, s: Arc<DbSnapshot>) {
+        let mut g = lock(&self.snap);
+        let changed = g.as_ref().is_none_or(|old| !Arc::ptr_eq(old, &s));
+        if changed {
+            *g = Some(s);
+            self.seq.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// The current sequence number and snapshot (if any published yet).
+    pub fn current(&self) -> (u64, Option<Arc<DbSnapshot>>) {
+        let g = lock(&self.snap);
+        (self.seq.load(Ordering::SeqCst), g.clone())
+    }
+
+    /// Marks the acknowledged script as changed.
+    pub fn bump_scripts(&self) {
+        self.scripts_gen.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn scripts_gen(&self) -> u64 {
+        self.scripts_gen.load(Ordering::SeqCst)
+    }
+}
 
 /// One unit of work for a worker.
 pub enum Job {
@@ -79,6 +137,9 @@ pub struct PoolShared {
     /// Current generation per worker slot; a worker that discovers its
     /// generation superseded exits without touching shared state.
     pub gens: Vec<AtomicU64>,
+    /// Durable mode's writer→readers snapshot handoff (unused, but
+    /// present, in memory-only mode).
+    pub hub: SnapshotHub,
 }
 
 struct WorkerSlot {
@@ -95,14 +156,13 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawns the worker threads. Durable mode (`cfg.db_dir` set) forces
-    /// a single worker — the shared store is single-writer.
+    /// Spawns the worker threads. In durable mode (`cfg.db_dir` set)
+    /// worker 0 is the **single writer** (it alone opens the store and
+    /// holds its flock); every other worker is a **snapshot reader**
+    /// serving read-only requests against the hub's latest published
+    /// MVCC snapshot, concurrent with the writer.
     pub fn start(cfg: ServeConfig, counters: Arc<ServeCounters>) -> Arc<Pool> {
-        let workers = if cfg.db_dir.is_some() {
-            1
-        } else {
-            cfg.workers.max(1)
-        };
+        let workers = cfg.workers.max(1);
         let shared = Arc::new(PoolShared {
             cfg,
             counters,
@@ -110,6 +170,7 @@ impl Pool {
             scripts: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             gens: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            hub: SnapshotHub::new(),
         });
         let mut slots = Vec::with_capacity(workers);
         for wid in 0..workers {
@@ -126,12 +187,27 @@ impl Pool {
     }
 
     /// The worker a connection routes to, with the slot's current
-    /// generation and queue handle.
+    /// generation and queue handle. Equivalent to
+    /// [`Pool::handle_for_routed`] with `read_only = false`.
     pub fn handle_for(&self, conn: u64) -> (usize, u64, SyncSender<Job>) {
+        self.handle_for_routed(conn, false)
+    }
+
+    /// Routing with read-only awareness. Memory mode is sticky
+    /// (`conn % workers`, sessions are per-connection). Durable mode
+    /// sends every mutating request to the writer (worker 0) and fans
+    /// read-only requests across the snapshot readers (workers 1..n),
+    /// falling back to the writer when the pool has no readers.
+    pub fn handle_for_routed(&self, conn: u64, read_only: bool) -> (usize, u64, SyncSender<Job>) {
+        let n = self.workers();
         let wid = if self.shared.cfg.db_dir.is_some() {
-            0
+            if read_only && n > 1 {
+                1 + (conn as usize) % (n - 1)
+            } else {
+                0
+            }
         } else {
-            (conn as usize) % self.workers()
+            (conn as usize) % n
         };
         let slots = lock(&self.slots);
         (wid, slots[wid].gen, slots[wid].tx.clone())
@@ -202,28 +278,51 @@ struct Slot {
     ctx: ReqCtx,
 }
 
+/// A snapshot reader's view of the hub, compared before every request.
+/// `seq` starts at `u64::MAX` so the first request always installs the
+/// current snapshot.
+struct ReaderState {
+    seq: u64,
+    scripts_gen: u64,
+}
+
 fn worker_main(shared: Arc<PoolShared>, wid: usize, gen: u64, rx: Receiver<Job>) {
     if let Some(fp) = shared.cfg.fp {
         failpoint::install(Some(fp));
     }
-    // The durable handle is worker-owned (it is not Send) and opened
-    // with bounded-backoff retry: a predecessor wedged past the watchdog
-    // still holds the directory flock until it wakes and exits, which is
-    // bounded by its wedge sleep — so the budget covers that plus slack.
+    let durable_mode = shared.cfg.db_dir.is_some();
+    let is_reader = durable_mode && wid > 0;
+    // The durable handle is writer-owned (it is not Send, and the store
+    // is single-writer) and opened with bounded-backoff retry: a
+    // predecessor wedged past the watchdog still holds the directory
+    // flock until it wakes and exits, which is bounded by its wedge
+    // sleep — so the budget covers that plus slack. Readers never open
+    // the store; they serve the hub's published snapshots.
     let mut durable: Option<Db> = None;
     if let Some(dir) = &shared.cfg.db_dir {
-        let budget = wedge_sleep_ms(&shared.cfg) + 2_000;
-        match Db::open_with_retry(dir, RetryConfig::with_wait_ms(budget)) {
-            Ok(db) => durable = Some(db),
-            Err(e) => {
-                // Without the store this worker cannot serve safely;
-                // park until superseded or shut down, refusing requests.
-                refuse_all(&shared, &rx, &e.to_string());
-                return;
+        if wid == 0 {
+            let budget = wedge_sleep_ms(&shared.cfg) + 2_000;
+            match Db::open_with_retry(dir, RetryConfig::with_wait_ms(budget)) {
+                Ok(mut db) => {
+                    // Publish the recovered state before serving anything,
+                    // so readers never answer from pre-recovery emptiness.
+                    shared.hub.publish(db.publish_snapshot());
+                    durable = Some(db);
+                }
+                Err(e) => {
+                    // Without the store this worker cannot serve safely;
+                    // park until superseded or shut down, refusing requests.
+                    refuse_all(&shared, &rx, &e.to_string());
+                    return;
+                }
             }
         }
     }
     let mut sessions: HashMap<u64, Slot> = HashMap::new();
+    let mut reader = ReaderState {
+        seq: u64::MAX,
+        scripts_gen: shared.hub.scripts_gen(),
+    };
     loop {
         let job = match rx.recv() {
             Ok(j) => j,
@@ -276,7 +375,18 @@ fn worker_main(shared: Arc<PoolShared>, wid: usize, gen: u64, rx: Receiver<Job>)
                     continue;
                 }
                 let budget_ms = (deadline - now).as_millis() as u64;
+                if is_reader {
+                    refresh_reader(&shared, &mut sessions, &mut reader);
+                }
                 let resp = serve_one(&shared, &mut sessions, &mut durable, conn, &line, budget_ms);
+                if durable_mode && wid == 0 {
+                    // Publish after every request: cheap when nothing
+                    // changed (the per-epoch cache republishes the same
+                    // `Arc` and the hub's sequence does not move).
+                    if let Some(slot) = sessions.get_mut(&GLOBAL_KEY) {
+                        shared.hub.publish(slot.sess.db().publish_snapshot());
+                    }
+                }
                 if shared.draining.load(Ordering::SeqCst) {
                     shared.counters.inc_drained();
                 }
@@ -379,10 +489,48 @@ fn serve_one(
                 // Effects are fully applied (and durable, when shared):
                 // only now may the script become the restore point.
                 lock(&shared.scripts).insert(key, src);
+                shared.hub.bump_scripts();
             }
         }
     }
     resp
+}
+
+/// Brings a snapshot reader's session up to date before a request:
+/// rebuild elaborator state when the acknowledged script changed, and
+/// install a read-only handle over the latest snapshot when the hub's
+/// sequence moved. The scripts generation is read *before* the rebuild,
+/// so a script acked concurrently is caught by the next request's
+/// comparison rather than lost.
+fn refresh_reader(
+    shared: &Arc<PoolShared>,
+    sessions: &mut HashMap<u64, Slot>,
+    reader: &mut ReaderState,
+) {
+    let sg = shared.hub.scripts_gen();
+    if sg != reader.scripts_gen {
+        sessions.remove(&GLOBAL_KEY);
+        reader.scripts_gen = sg;
+    }
+    if let std::collections::hash_map::Entry::Vacant(v) = sessions.entry(GLOBAL_KEY) {
+        match build_session(shared, None, GLOBAL_KEY) {
+            Ok(slot) => {
+                v.insert(slot);
+                // A fresh session carries the replayed in-memory world;
+                // force the snapshot reinstall below.
+                reader.seq = u64::MAX;
+            }
+            // serve_one retries the build and surfaces the error.
+            Err(_) => return,
+        }
+    }
+    let (seq, snap) = shared.hub.current();
+    if seq != reader.seq {
+        if let (Some(snap), Some(slot)) = (snap, sessions.get_mut(&GLOBAL_KEY)) {
+            *slot.sess.db() = Db::read_only(&snap);
+            reader.seq = seq;
+        }
+    }
 }
 
 /// Builds a session for `key`: pin a pristine in-memory base, replay the
@@ -451,4 +599,89 @@ fn ship_faults(shared: &Arc<PoolShared>) {
 /// durable flock) soon after being superseded.
 pub fn wedge_sleep_ms(cfg: &ServeConfig) -> u64 {
     3 * cfg.deadline_ms + 3 * cfg.watchdog_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_seq_moves_only_when_the_snapshot_arc_changes() {
+        let hub = SnapshotHub::new();
+        assert_eq!(hub.current().0, 0);
+        let mut d = Db::new();
+        let s1 = d.publish_snapshot();
+        hub.publish(Arc::clone(&s1));
+        assert_eq!(hub.current().0, 1);
+        // Republishing the identical Arc (the writer's per-epoch cache
+        // hit) must not move the sequence.
+        hub.publish(Arc::clone(&s1));
+        assert_eq!(hub.current().0, 1);
+        let mut d2 = Db::new();
+        hub.publish(d2.publish_snapshot());
+        assert_eq!(hub.current().0, 2);
+        hub.bump_scripts();
+        assert_eq!(hub.scripts_gen(), 1);
+    }
+
+    #[test]
+    fn memory_mode_routes_stickily_across_all_workers() {
+        let cfg = ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start(cfg, Arc::new(ServeCounters::new()));
+        for conn in 0..9_u64 {
+            let (wid, _, _) = pool.handle_for_routed(conn, false);
+            assert_eq!(wid, (conn as usize) % 3);
+            let (wid_ro, _, _) = pool.handle_for_routed(conn, true);
+            assert_eq!(wid_ro, wid, "memory mode ignores read_only");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn durable_mode_routes_writes_to_0_and_reads_to_readers() {
+        let dir = std::env::temp_dir().join(format!(
+            "ur-serve-pool-route-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            workers: 4,
+            db_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start(cfg, Arc::new(ServeCounters::new()));
+        let mut reader_wids = std::collections::HashSet::new();
+        for conn in 0..12_u64 {
+            let (wid, _, _) = pool.handle_for_routed(conn, false);
+            assert_eq!(wid, 0, "mutations go to the writer");
+            let (wid_ro, _, _) = pool.handle_for_routed(conn, true);
+            assert!(wid_ro >= 1, "reads never queue behind the writer");
+            reader_wids.insert(wid_ro);
+        }
+        assert_eq!(reader_wids.len(), 3, "reads fan across every reader");
+        pool.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_single_worker_pool_falls_back_to_the_writer() {
+        let dir = std::env::temp_dir().join(format!(
+            "ur-serve-pool-single-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            workers: 1,
+            db_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let pool = Pool::start(cfg, Arc::new(ServeCounters::new()));
+        let (wid, _, _) = pool.handle_for_routed(7, true);
+        assert_eq!(wid, 0);
+        pool.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

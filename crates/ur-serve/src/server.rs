@@ -215,13 +215,16 @@ fn accept_loop(
             drop(stream);
             continue;
         }
+        // Request/response ping-pong: Nagle + delayed ACK would add
+        // ~40ms to every one-line answer.
+        let _ = stream.set_nodelay(true);
         let cfg = &pool.shared.cfg;
         let over_global = live.load(Ordering::SeqCst) >= cfg.max_conns as u64;
         let over_client = *lock(&per_ip).entry(peer.ip()).or_insert(0)
             >= cfg.max_conns_per_client as u64;
         if over_global || over_client {
             pool.shared.counters.inc_shed();
-            shed_and_close(stream, cfg.retry_after_ms);
+            shed_and_close(stream, retry_hint_ms(&pool));
             continue;
         }
         *lock(&per_ip).entry(peer.ip()).or_insert(0) += 1;
@@ -253,6 +256,16 @@ fn accept_loop(
     // Shipped for the final summary: the acceptor's own fault counters.
     let c = failpoint::take_counters();
     lock(&pool.shared.faults).absorb(&c);
+}
+
+/// The retry hint handed to shed clients: the configured hint divided
+/// by the pool depth. With N workers draining bounded queues in
+/// parallel a slot frees up roughly N times as fast, and durable mode's
+/// snapshot readers count — they absorb the read-only traffic that used
+/// to serialise behind the single writer — so the hint stays honest
+/// instead of quoting the single-worker wait.
+fn retry_hint_ms(pool: &Arc<Pool>) -> u64 {
+    (pool.shared.cfg.retry_after_ms / pool.workers() as u64).max(1)
 }
 
 fn shed_and_close(mut stream: TcpStream, retry_after_ms: u64) {
@@ -338,7 +351,7 @@ fn serve_conn(pool: &Arc<Pool>, conn: u64, stream: &TcpStream) {
             let _ = writeln!(
                 writer,
                 "{}",
-                protocol::overloaded_response(cfg.retry_after_ms, true)
+                protocol::overloaded_response(retry_hint_ms(pool), true)
             );
             return;
         }
@@ -352,7 +365,14 @@ fn serve_conn(pool: &Arc<Pool>, conn: u64, stream: &TcpStream) {
         // may have committed.
         let replayable = cfg.db_dir.is_none()
             || !matches!(req.get("cmd").map(String::as_str), Some("eval"));
-        let resp = shepherd(pool, conn, &line, deadline_ms, replayable);
+        // Read-only commands never mutate session or store; in durable
+        // mode they fan out to the snapshot readers instead of queueing
+        // behind the writer.
+        let read_only = matches!(
+            req.get("cmd").map(String::as_str),
+            Some("type") | Some("diagnostics") | Some("stats") | Some("db")
+        );
+        let resp = shepherd(pool, conn, &line, deadline_ms, replayable, read_only);
         if failpoint::fire(Site::ServeWrite) {
             // Injected write failure after execution: effects (if any)
             // are applied but the ack is lost — the acked-vs-applied
@@ -374,11 +394,12 @@ fn shepherd(
     line: &str,
     deadline_ms: u64,
     replayable: bool,
+    read_only: bool,
 ) -> String {
     let cfg = &pool.shared.cfg;
     let mut attempt: u32 = 0;
     loop {
-        let (wid, gen, tx) = pool.handle_for(conn);
+        let (wid, gen, tx) = pool.handle_for_routed(conn, read_only);
         let deadline = Instant::now() + Duration::from_millis(deadline_ms);
         let (reply_tx, reply_rx) = sync_channel::<String>(1);
         match tx.try_send(Job::Request {
@@ -389,7 +410,7 @@ fn shepherd(
         }) {
             Err(TrySendError::Full(_)) => {
                 pool.shared.counters.inc_shed();
-                return protocol::overloaded_response(cfg.retry_after_ms, false);
+                return protocol::overloaded_response(retry_hint_ms(pool), false);
             }
             Err(TrySendError::Disconnected(_)) => {
                 // The worker died before we could enqueue. Replacing it

@@ -202,6 +202,52 @@ fn shutdown_command_drains_and_summary_reports() {
 }
 
 #[test]
+fn durable_mode_snapshot_readers_see_acked_state() {
+    let db_dir = std::env::temp_dir().join(format!(
+        "ur-serve-e2e-db-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&db_dir);
+    let cfg = ServeConfig {
+        workers: 4,
+        db_dir: Some(db_dir.clone()),
+        deadline_ms: 10_000,
+        threads: Some(1),
+        cache_dir: Some(tmp_cache()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+    let mut w = Client::connect(addr);
+    let resp = w.roundtrip("{\"cmd\":\"load\",\"source\":\"val x = 7\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"diagnostics\":[]"), "{resp}");
+    // Read-only commands from other connections fan out to the
+    // snapshot readers; every reader must see the acked script.
+    let mut joins = Vec::new();
+    for _ in 0..6 {
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            let resp = c.roundtrip("{\"cmd\":\"type\",\"name\":\"x\"}");
+            assert!(resp.contains("\"type\":\"int\""), "{resp}");
+            let resp = c.roundtrip("{\"cmd\":\"db\"}");
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+            let resp = c.roundtrip("{\"cmd\":\"stats\"}");
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }));
+    }
+    for j in joins {
+        j.join().expect("reader client");
+    }
+    // The writer keeps accepting mutations alongside the readers.
+    let resp = w.roundtrip("{\"cmd\":\"eval\",\"expr\":\"x + 1\"}");
+    assert!(resp.contains("\"value\":\"8\""), "{resp}");
+    server.start_drain();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&db_dir);
+}
+
+#[test]
 fn tiny_deadline_degrades_structurally_at_1_and_4_threads() {
     for threads in [1_usize, 4] {
         let cfg = ServeConfig {

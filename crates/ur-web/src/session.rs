@@ -771,6 +771,14 @@ impl Session {
         let mut s = self.elab.cx.stats.clone();
         s.capture_intern();
         s.capture_failpoints();
+        let d = self.world.db.stats();
+        s.capture_db(
+            d.index_probes,
+            d.full_scans,
+            d.planner_fallbacks,
+            d.snapshot_reads,
+            d.versions_gcd,
+        );
         s
     }
 
@@ -872,7 +880,27 @@ impl Session {
         let _ = writeln!(out, "  tables: {}", names.len());
         for n in &names {
             let rows = db.row_count(n).unwrap_or(0);
-            let _ = writeln!(out, "    {n}: {rows} row(s)");
+            let idxs = db.indexes(n).unwrap_or_default();
+            if idxs.is_empty() {
+                let _ = writeln!(out, "    {n}: {rows} row(s)");
+            } else {
+                let cols: Vec<String> = idxs
+                    .iter()
+                    .map(|d| format!("{} ({})", d.name, d.column))
+                    .collect();
+                let _ = writeln!(out, "    {n}: {rows} row(s), indexes: {}", cols.join(", "));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  planner: {}",
+            if db.planner_enabled() { "on" } else { "off" }
+        );
+        if !db.plan_log().is_empty() {
+            let _ = writeln!(out, "  plans (most recent last):");
+            for p in db.plan_log() {
+                let _ = writeln!(out, "    {p}");
+            }
         }
         if db.is_durable() {
             let _ = writeln!(
